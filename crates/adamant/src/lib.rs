@@ -1,0 +1,257 @@
+//! # ADAMANT
+//!
+//! A query executor with plug-in interfaces for easy co-processor
+//! integration — a from-scratch Rust reproduction of the ICDE 2023 paper
+//! (Gurumurthy et al.), with the GPU hardware replaced by calibrated
+//! simulated devices (see `DESIGN.md`).
+//!
+//! ## Architecture (paper §III)
+//!
+//! * [`device`] — the device layer: the ten pluggable interface functions a
+//!   driver implements ([`device::Device`]), bounded memory pools, the
+//!   simulated CUDA/OpenCL/OpenMP driver profiles;
+//! * [`task`] — the task layer: primitive definitions (Table I), I/O
+//!   semantics, kernel/data containers and the `(primitive, SDK)` registry;
+//! * [`core`] — the runtime layer: primitive graphs, pipeline splitting,
+//!   the data-transfer hub and the execution models (operator-at-a-time,
+//!   chunked, pipelined, 4-phase);
+//! * [`plan`] — a logical layer lowering relational operations to primitive
+//!   graphs;
+//! * [`storage`] — the columnar substrate;
+//! * [`tpch`] — TPC-H generator, query plans and references;
+//! * [`baseline`] — the HeavyDB-style whole-table-resident comparison.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use adamant::prelude::*;
+//!
+//! // 1. Plug devices (any `Device` impl works; these are the paper's).
+//! let mut engine = Adamant::builder()
+//!     .chunk_rows(1 << 10)
+//!     .device(DeviceProfile::cuda_rtx2080ti())
+//!     .build()
+//!     .unwrap();
+//! let gpu = engine.device_ids()[0];
+//!
+//! // 2. Express a query (filter + sum) against bound columns.
+//! let mut pb = PlanBuilder::new(gpu);
+//! let mut t = pb.scan("sales", &["amount"]);
+//! t.filter(&mut pb, Predicate::cmp("amount", CmpOp::Gt, 100)).unwrap();
+//! let amount = t.materialized(&mut pb, "amount").unwrap();
+//! let total = pb.agg_block(amount, AggFunc::Sum, "total");
+//! pb.output("total", total);
+//! let graph = pb.build().unwrap();
+//!
+//! let mut inputs = QueryInputs::new();
+//! inputs.bind("amount", vec![50, 150, 250]);
+//!
+//! // 3. Execute under any model.
+//! let (out, stats) = engine
+//!     .run(&graph, &inputs, ExecutionModel::FourPhasePipelined)
+//!     .unwrap();
+//! assert_eq!(out.i64_column("total")[0], 400);
+//! assert!(stats.total_ns > 0.0);
+//! ```
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use adamant_baseline as baseline;
+pub use adamant_core as core;
+pub use adamant_device as device;
+pub use adamant_plan as plan;
+pub use adamant_storage as storage;
+pub use adamant_task as task;
+pub use adamant_tpch as tpch;
+
+use adamant_core::error::Result;
+use adamant_core::executor::{Executor, ExecutorConfig, QueryInputs};
+use adamant_core::graph::PrimitiveGraph;
+use adamant_core::models::ExecutionModel;
+use adamant_core::result::QueryOutput;
+use adamant_core::stats::ExecutionStats;
+use adamant_device::device::{Device, DeviceId};
+use adamant_device::profiles::DeviceProfile;
+use adamant_device::sdk::SdkKind;
+use adamant_task::registry::TaskRegistry;
+
+/// The top-level engine: devices + tasks + executor, ready to run plans.
+pub struct Adamant {
+    executor: Executor,
+    device_ids: Vec<DeviceId>,
+}
+
+impl Adamant {
+    /// Starts building an engine.
+    pub fn builder() -> AdamantBuilder {
+        AdamantBuilder::default()
+    }
+
+    /// Ids of the plugged devices, in plug order.
+    pub fn device_ids(&self) -> &[DeviceId] {
+        &self.device_ids
+    }
+
+    /// Plugs an additional device after construction.
+    pub fn plug_device(&mut self, device: Box<dyn Device>) -> Result<DeviceId> {
+        let id = self.executor.add_device(device)?;
+        self.device_ids.push(id);
+        Ok(id)
+    }
+
+    /// Plugs a device from a profile.
+    pub fn plug_profile(&mut self, profile: &DeviceProfile) -> Result<DeviceId> {
+        let id = self.executor.add_profile(profile)?;
+        self.device_ids.push(id);
+        Ok(id)
+    }
+
+    /// Executes a primitive graph.
+    pub fn run(
+        &mut self,
+        graph: &PrimitiveGraph,
+        inputs: &QueryInputs,
+        model: ExecutionModel,
+    ) -> Result<(QueryOutput, ExecutionStats)> {
+        self.executor.run(graph, inputs, model)
+    }
+
+    /// The underlying executor (cost-model tweaks, chunk-size changes).
+    pub fn executor_mut(&mut self) -> &mut Executor {
+        &mut self.executor
+    }
+
+    /// The underlying executor, read-only.
+    pub fn executor(&self) -> &Executor {
+        &self.executor
+    }
+}
+
+/// Builder for [`Adamant`].
+#[derive(Default)]
+pub struct AdamantBuilder {
+    profiles: Vec<DeviceProfile>,
+    devices: Vec<Box<dyn Device>>,
+    chunk_rows: Option<usize>,
+    tasks: Option<TaskRegistry>,
+}
+
+impl AdamantBuilder {
+    /// Adds a device from a profile.
+    pub fn device(mut self, profile: DeviceProfile) -> Self {
+        self.profiles.push(profile);
+        self
+    }
+
+    /// Adds a custom device implementation.
+    pub fn custom_device(mut self, device: Box<dyn Device>) -> Self {
+        self.devices.push(device);
+        self
+    }
+
+    /// Sets the chunk size in rows for the chunked models.
+    pub fn chunk_rows(mut self, rows: usize) -> Self {
+        self.chunk_rows = Some(rows);
+        self
+    }
+
+    /// Supplies a custom task registry (defaults to every built-in kernel
+    /// for the CUDA/OpenCL/OpenMP/Host SDKs).
+    pub fn tasks(mut self, tasks: TaskRegistry) -> Self {
+        self.tasks = Some(tasks);
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> Result<Adamant> {
+        let tasks = self.tasks.unwrap_or_else(|| {
+            TaskRegistry::with_defaults(&[
+                SdkKind::Cuda,
+                SdkKind::OpenCl,
+                SdkKind::OpenMp,
+                SdkKind::Host,
+            ])
+        });
+        let mut config = ExecutorConfig::default();
+        if let Some(rows) = self.chunk_rows {
+            config.chunk_rows = rows;
+        }
+        let mut engine = Adamant {
+            executor: Executor::new(tasks, config),
+            device_ids: Vec::new(),
+        };
+        for p in &self.profiles {
+            engine.plug_profile(p)?;
+        }
+        for d in self.devices {
+            engine.plug_device(d)?;
+        }
+        Ok(engine)
+    }
+}
+
+/// One-stop imports for applications.
+pub mod prelude {
+    pub use crate::{Adamant, AdamantBuilder};
+    pub use adamant_baseline::{BaselineExecutor, BaselineRun};
+    pub use adamant_core::executor::{Executor, ExecutorConfig, QueryInputs};
+    pub use adamant_core::graph::{DataRef, GraphBuilder, NodeParams, PrimitiveGraph};
+    pub use adamant_core::models::ExecutionModel;
+    pub use adamant_core::result::{OutputData, QueryOutput};
+    pub use adamant_core::stats::ExecutionStats;
+    pub use adamant_core::ExecError;
+    pub use adamant_device::buffer::{Buffer, BufferData, BufferId};
+    pub use adamant_device::cost::{CostClass, CostModel};
+    pub use adamant_device::device::{Device, DeviceId, DeviceInfo, DeviceKind};
+    pub use adamant_device::kernel::{ExecuteSpec, KernelSource, KernelStats};
+    pub use adamant_device::profiles::DeviceProfile;
+    pub use adamant_device::sdk::{SdkKind, SdkRepr};
+    pub use adamant_plan::prelude::{Expr, GroupResult, PlacementPolicy, PlanBuilder, Predicate, Stream};
+    pub use adamant_storage::prelude::{Bitmap, Catalog, Column, PositionList, Table};
+    pub use adamant_task::params::{AggFunc, BitmapOp, CmpOp, MapOp};
+    pub use adamant_task::primitive::PrimitiveKind;
+    pub use adamant_task::registry::TaskRegistry;
+    pub use adamant_tpch::gen::TpchGenerator;
+    pub use adamant_tpch::queries::TpchQuery;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn builder_constructs_engine() {
+        let mut engine = Adamant::builder()
+            .chunk_rows(512)
+            .device(DeviceProfile::cuda_rtx2080ti())
+            .device(DeviceProfile::opencl_cpu_i7())
+            .build()
+            .unwrap();
+        assert_eq!(engine.device_ids().len(), 2);
+        assert_eq!(engine.executor().config().chunk_rows, 512);
+        let extra = engine.plug_profile(&DeviceProfile::openmp_cpu_i7()).unwrap();
+        assert_eq!(engine.device_ids().len(), 3);
+        assert_eq!(extra, engine.device_ids()[2]);
+    }
+
+    #[test]
+    fn end_to_end_tpch_through_facade() {
+        let catalog = TpchGenerator::new(0.001, 5).generate();
+        let mut engine = Adamant::builder()
+            .chunk_rows(500)
+            .device(DeviceProfile::cuda_rtx2080ti())
+            .build()
+            .unwrap();
+        let dev = engine.device_ids()[0];
+        let graph = TpchQuery::Q6.plan(dev, &catalog).unwrap();
+        let inputs = TpchQuery::Q6.bind(&catalog).unwrap();
+        let (out, _) = engine
+            .run(&graph, &inputs, ExecutionModel::Chunked)
+            .unwrap();
+        assert_eq!(
+            adamant_tpch::queries::q6::decode(&out),
+            adamant_tpch::reference::q6(&catalog).unwrap()
+        );
+    }
+}

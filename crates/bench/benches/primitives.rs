@@ -1,0 +1,196 @@
+//! Criterion wall-clock benchmarks of the primitive kernels themselves
+//! (the engine's real speed, complementing the modeled figures).
+
+use adamant::prelude::*;
+use adamant::task::container::DataContainer;
+use adamant_bench::{random_ints, standard_tasks};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const N: usize = 1 << 20;
+
+fn device() -> adamant::device::sim::SimDevice {
+    let mut dev = DeviceProfile::cuda_rtx2080ti().build(DeviceId(0));
+    standard_tasks().install_on(&mut dev).unwrap();
+    dev
+}
+
+fn bench_scan_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scan_kernels");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+
+    group.bench_function("filter_bitmap", |bencher| {
+        let mut dev = device();
+        dev.place_data(BufferId(1), BufferData::I64(random_ints(N, 100, 1)), 0)
+            .unwrap();
+        dev.prepare_memory(BufferId(2), 8).unwrap();
+        bencher.iter(|| {
+            dev.execute(&ExecuteSpec::new(
+                "filter_bitmap",
+                vec![BufferId(1), BufferId(2)],
+                vec![CmpOp::Lt.to_code(), 50, 0],
+            ))
+            .unwrap()
+        });
+    });
+
+    group.bench_function("filter_bitmap@branchless", |bencher| {
+        let mut dev = device();
+        dev.place_data(BufferId(1), BufferData::I64(random_ints(N, 100, 1)), 0)
+            .unwrap();
+        dev.prepare_memory(BufferId(2), 8).unwrap();
+        bencher.iter(|| {
+            dev.execute(&ExecuteSpec::new(
+                "filter_bitmap@branchless",
+                vec![BufferId(1), BufferId(2)],
+                vec![CmpOp::Lt.to_code(), 50, 0],
+            ))
+            .unwrap()
+        });
+    });
+
+    group.bench_function("map_mul_const", |bencher| {
+        let mut dev = device();
+        dev.place_data(BufferId(1), BufferData::I64(random_ints(N, 1000, 2)), 0)
+            .unwrap();
+        dev.prepare_memory(BufferId(2), 8).unwrap();
+        bencher.iter(|| {
+            dev.execute(&ExecuteSpec::new(
+                "map",
+                vec![BufferId(1), BufferId(2)],
+                vec![MapOp::MulConst.to_code(), 3],
+            ))
+            .unwrap()
+        });
+    });
+
+    group.bench_function("materialize_50pct", |bencher| {
+        let mut dev = device();
+        dev.place_data(BufferId(1), BufferData::I64(random_ints(N, 100, 3)), 0)
+            .unwrap();
+        dev.prepare_memory(BufferId(2), 8).unwrap();
+        dev.execute(&ExecuteSpec::new(
+            "filter_bitmap",
+            vec![BufferId(1), BufferId(2)],
+            vec![CmpOp::Lt.to_code(), 50, 0],
+        ))
+        .unwrap();
+        dev.prepare_memory(BufferId(3), 8).unwrap();
+        bencher.iter(|| {
+            dev.execute(&ExecuteSpec::new(
+                "materialize",
+                vec![BufferId(1), BufferId(2), BufferId(3)],
+                vec![],
+            ))
+            .unwrap()
+        });
+    });
+
+    group.bench_function("agg_block_sum", |bencher| {
+        let mut dev = device();
+        dev.place_data(BufferId(1), BufferData::I64(random_ints(N, 1000, 4)), 0)
+            .unwrap();
+        dev.init_structure(BufferId(2), BufferData::I64(Vec::new()))
+            .unwrap();
+        bencher.iter(|| {
+            dev.execute(&ExecuteSpec::new(
+                "agg_block",
+                vec![BufferId(1), BufferId(2)],
+                vec![AggFunc::Sum.to_code()],
+            ))
+            .unwrap()
+        });
+    });
+
+    group.finish();
+}
+
+fn bench_hash_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hash_kernels");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(N as u64));
+
+    for groups in [16usize, 1 << 12, 1 << 18] {
+        group.bench_with_input(
+            BenchmarkId::new("hash_agg", groups),
+            &groups,
+            |bencher, &groups| {
+                let mut dev = device();
+                dev.place_data(
+                    BufferId(1),
+                    BufferData::I64(random_ints(N, groups as i64, 5)),
+                    0,
+                )
+                .unwrap();
+                dev.place_data(BufferId(2), BufferData::I64(random_ints(N, 1000, 6)), 0)
+                    .unwrap();
+                bencher.iter(|| {
+                    // Fresh table each iteration (accumulating tables grow).
+                    let _ = dev.delete_memory(BufferId(3));
+                    dev.init_structure(
+                        BufferId(3),
+                        DataContainer::agg_table(groups, vec![AggFunc::Sum], 0),
+                    )
+                    .unwrap();
+                    dev.execute(&ExecuteSpec::new(
+                        "hash_agg",
+                        vec![BufferId(1), BufferId(2), BufferId(3)],
+                        vec![0, 1],
+                    ))
+                    .unwrap()
+                });
+            },
+        );
+    }
+
+    group.bench_function("hash_build", |bencher| {
+        let mut dev = device();
+        dev.place_data(
+            BufferId(1),
+            BufferData::I64(random_ints(N, i64::MAX / 2, 7)),
+            0,
+        )
+        .unwrap();
+        bencher.iter(|| {
+            let _ = dev.delete_memory(BufferId(2));
+            dev.init_structure(BufferId(2), DataContainer::join_table(N, 0))
+                .unwrap();
+            dev.execute(&ExecuteSpec::new(
+                "hash_build",
+                vec![BufferId(1), BufferId(2)],
+                vec![0],
+            ))
+            .unwrap()
+        });
+    });
+
+    group.bench_function("hash_probe", |bencher| {
+        let mut dev = device();
+        dev.place_data(BufferId(1), BufferData::I64(random_ints(N, N as i64, 8)), 0)
+            .unwrap();
+        dev.init_structure(BufferId(2), DataContainer::join_table(N, 0))
+            .unwrap();
+        dev.execute(&ExecuteSpec::new(
+            "hash_build",
+            vec![BufferId(1), BufferId(2)],
+            vec![0],
+        ))
+        .unwrap();
+        dev.place_data(BufferId(3), BufferData::I64(random_ints(N, N as i64, 9)), 0)
+            .unwrap();
+        dev.prepare_memory(BufferId(4), 8).unwrap();
+        bencher.iter(|| {
+            dev.execute(&ExecuteSpec::new(
+                "hash_probe",
+                vec![BufferId(3), BufferId(2), BufferId(4)],
+                vec![0],
+            ))
+            .unwrap()
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_scan_kernels, bench_hash_kernels);
+criterion_main!(benches);

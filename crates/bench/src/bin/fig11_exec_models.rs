@@ -1,0 +1,148 @@
+//! Figure 11 — execution-model comparison on the GPU drivers (chunked vs
+//! pipelined vs 4-phase, OpenCL vs CUDA, Q3/Q4/Q6), plus the HeavyDB-style
+//! baseline with cold start ("w transfer") and in-place ("w/o transfer"),
+//! including the Q3 out-of-memory failure.
+//!
+//! Scaling note (EXPERIMENTS.md): the paper runs SF 100–140 against an
+//! 11 GiB GPU with 2^25-int chunks. We scale data and chunk size by the
+//! same factor (SF 0.05, 2^14-row chunks) so the chunks-per-input ratio —
+//! what the execution models react to — is preserved; for the baseline OOM
+//! the device memory is scaled with the data as well.
+//!
+//! Run: `cargo run --release -p adamant-bench --bin fig11_exec_models`
+
+use adamant::prelude::*;
+use adamant_bench::{catalog, engine_with, ms, Report};
+
+const SF: f64 = 0.05;
+const CHUNK_ROWS: usize = 1 << 14;
+
+fn main() {
+    println!("# Figure 11 — execution models and HeavyDB-style baseline (SF {SF})");
+    let cat = catalog(SF);
+
+    // ---- Part A: execution models × SDK × query ------------------------
+    let models = [
+        ExecutionModel::Chunked,
+        ExecutionModel::Pipelined,
+        ExecutionModel::FourPhaseChunked,
+        ExecutionModel::FourPhasePipelined,
+    ];
+    let gpus = [
+        DeviceProfile::opencl_rtx2080ti(),
+        DeviceProfile::cuda_rtx2080ti(),
+    ];
+    let mut rep = Report::new(&[
+        "query",
+        "driver",
+        "chunked (ms)",
+        "pipelined (ms)",
+        "4p-chunked (ms)",
+        "4p-pipelined (ms)",
+        "best vs chunked",
+    ]);
+    let mut speedups: Vec<(String, String, f64)> = Vec::new();
+    for q in TpchQuery::PAPER_SET {
+        for profile in &gpus {
+            let mut row = vec![q.to_string(), profile.name.clone()];
+            let mut times = Vec::new();
+            for model in models {
+                let (mut engine, dev) = engine_with(profile, CHUNK_ROWS);
+                let graph = q.plan(dev, &cat).unwrap();
+                let inputs = q.bind(&cat).unwrap();
+                let (_, stats) = engine.run(&graph, &inputs, model).unwrap();
+                times.push(stats.total_ns);
+                row.push(ms(stats.total_ns));
+            }
+            let best = times[1..].iter().cloned().fold(f64::INFINITY, f64::min);
+            let speedup = times[0] / best;
+            row.push(format!("{speedup:.2}x"));
+            speedups.push((q.to_string(), profile.name.clone(), speedup));
+            rep.row(row);
+        }
+    }
+    rep.print("A. modeled query time per execution model");
+
+    let best = speedups
+        .iter()
+        .max_by(|a, b| a.2.total_cmp(&b.2))
+        .unwrap();
+    let worst = speedups
+        .iter()
+        .min_by(|a, b| a.2.total_cmp(&b.2))
+        .unwrap();
+    println!(
+        "\nbest-case 4-phase speedup over chunked: {:.2}x ({} on {});",
+        best.2, best.0, best.1
+    );
+    println!(
+        "worst case: {:.2}x ({} on {}) — shallow pipelines give transfer\n\
+         hiding nothing to hide behind (the paper's Q4 observation).",
+        worst.2, worst.0, worst.1
+    );
+
+    // ---- Part B: HeavyDB-style baseline --------------------------------
+    // The paper runs the baseline at scale factors where Q4/Q6 fit in the
+    // 11 GiB card but Q3's hash table no longer does. We scale the device
+    // memory with the data to the same regime: measure each query's
+    // whole-table-resident requirement and size the device between
+    // max(Q4, Q6) and Q3.
+    let measure = |q: TpchQuery| -> u64 {
+        let profile = DeviceProfile::cuda_rtx2080ti();
+        let baseline = BaselineExecutor::new(profile);
+        let resident = baseline.resident_bytes(&cat, q).unwrap();
+        let run = baseline.run(&cat, q).expect("fits in 11 GiB");
+        resident + run.stats.peak_device_bytes.values().max().copied().unwrap_or(0)
+    };
+    let req_q3 = measure(TpchQuery::Q3);
+    let req_q4 = measure(TpchQuery::Q4);
+    let req_q6 = measure(TpchQuery::Q6);
+    let dev_mem = (req_q4.max(req_q6) + req_q3) / 2;
+    let pinned = dev_mem / 4;
+    println!(
+        "\nB. baseline requirements: Q3 {:.1} MiB, Q4 {:.1} MiB, Q6 {:.1} MiB;\n\
+         device memory scaled to {:.1} MiB (between max(Q4,Q6) and Q3 — the\n\
+         paper's SF 100–140 vs 11 GiB regime)",
+        req_q3 as f64 / (1 << 20) as f64,
+        req_q4 as f64 / (1 << 20) as f64,
+        req_q6 as f64 / (1 << 20) as f64,
+        dev_mem as f64 / (1 << 20) as f64
+    );
+
+    let mut rep = Report::new(&[
+        "query",
+        "adamant chunked (ms)",
+        "adamant 4p-pipelined (ms)",
+        "baseline in-place (ms)",
+        "baseline cold (ms)",
+    ]);
+    for q in TpchQuery::PAPER_SET {
+        let profile = DeviceProfile::cuda_rtx2080ti().with_memory(dev_mem, pinned);
+        let run_adamant = |model: ExecutionModel| -> Option<f64> {
+            let (mut engine, dev) = engine_with(&profile, CHUNK_ROWS);
+            let graph = q.plan(dev, &cat).ok()?;
+            let inputs = q.bind(&cat).ok()?;
+            engine.run(&graph, &inputs, model).ok().map(|(_, s)| s.total_ns)
+        };
+        let chunked = run_adamant(ExecutionModel::Chunked);
+        let four_phase = run_adamant(ExecutionModel::FourPhasePipelined);
+        let baseline = BaselineExecutor::new(profile.clone());
+        let base = baseline.run(&cat, q);
+        let fmt = |v: Option<f64>| v.map(ms).unwrap_or_else(|| "OOM".into());
+        rep.row(vec![
+            q.to_string(),
+            fmt(chunked),
+            fmt(four_phase),
+            fmt(base.as_ref().ok().map(|r| r.hot_ns)),
+            fmt(base.as_ref().ok().map(|r| r.cold_ns)),
+        ]);
+    }
+    rep.print("B. ADAMANT vs whole-table-resident baseline");
+    println!(
+        "\nShape check vs paper: Q3 fails on the baseline (hash table exceeds\n\
+         device memory) while ADAMANT streams it; baseline cold start is far\n\
+         slower than ADAMANT (whole tables vs needed columns); in-place\n\
+         baseline is comparable to chunked; 4-phase wins up to ~3x on deep\n\
+         pipelines."
+    );
+}

@@ -1,0 +1,41 @@
+//! Table II — the evaluated environments, as simulated device profiles.
+//!
+//! Run: `cargo run --release -p adamant-bench --bin table02_profiles`
+
+use adamant::prelude::*;
+use adamant_bench::Report;
+
+fn main() {
+    println!("# Table II — simulated device/driver profiles");
+    let mut rep = Report::new(&[
+        "profile",
+        "kind",
+        "sdk",
+        "memory (GiB)",
+        "H2D pageable (GiB/s)",
+        "H2D pinned (GiB/s)",
+        "mem BW (GiB/s)",
+        "launch (µs)",
+        "per-arg (µs)",
+        "runtime JIT",
+    ]);
+    for p in DeviceProfile::setup1().into_iter().chain(DeviceProfile::setup2()) {
+        rep.row(vec![
+            p.name.clone(),
+            format!("{:?}", p.kind),
+            p.sdk.to_string(),
+            format!("{:.0}", p.memory_capacity as f64 / (1u64 << 30) as f64),
+            format!("{:.1}", p.cost.h2d_pageable_gibs),
+            format!("{:.1}", p.cost.h2d_pinned_gibs),
+            format!("{:.0}", p.cost.mem_bandwidth_gibs),
+            format!("{:.1}", p.cost.launch_overhead_ns / 1000.0),
+            format!("{:.2}", p.cost.per_arg_overhead_ns / 1000.0),
+            format!("{}", p.supports_compilation),
+        ]);
+    }
+    rep.print("calibrated profiles (Setup 1 = i7-8700 + RTX 2080 Ti class, Setup 2 = Xeon 5220R + A100 class)");
+    println!(
+        "\nPaper Table II lists the physical machines; these profiles are their\n\
+         simulated stand-ins (calibration rationale in crates/device/src/profiles.rs)."
+    );
+}

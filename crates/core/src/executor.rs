@@ -1,0 +1,869 @@
+//! The query executor: binds a primitive graph to devices and runs it under
+//! an execution model.
+//!
+//! One engine implements all five models (paper §IV), parameterized by
+//! [`crate::models::ModelConfig`]: operator-at-a-time places
+//! whole inputs; the chunked family streams scan chunks through each
+//! pipeline, optionally staging in pinned memory (4-phase) and optionally
+//! overlapping the copy with compute on a real transfer thread synchronized
+//! by `fetched_until`/`processed_until` counters (Algorithm 2).
+
+use crate::error::{ExecError, Result};
+use crate::graph::{DataRef, PrimitiveGraph, PrimitiveNode};
+use crate::hub::DataTransferHub;
+use crate::models::{ExecutionModel, ModelConfig};
+use crate::pipeline::{Pipeline, PipelineSet};
+use crate::result::{OutputData, QueryOutput};
+use crate::stats::ExecutionStats;
+use crate::timeline::{overlapped_makespan, ChunkCost};
+use adamant_device::buffer::{BufferData, BufferId};
+use adamant_device::clock::Lane;
+use adamant_device::device::{Device, DeviceId};
+use adamant_device::kernel::ExecuteSpec;
+use adamant_device::profiles::DeviceProfile;
+use adamant_device::registry::DeviceRegistry;
+use adamant_storage::column::Column;
+use adamant_task::primitive::PrimitiveKind;
+use adamant_task::registry::TaskRegistry;
+use adamant_task::semantics::DataSemantic;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Executor configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecutorConfig {
+    /// Rows per chunk for the chunked execution models (the paper uses
+    /// 2^25 four-byte values; scale together with your data).
+    pub chunk_rows: usize,
+}
+
+impl Default for ExecutorConfig {
+    fn default() -> Self {
+        ExecutorConfig {
+            chunk_rows: 1 << 20,
+        }
+    }
+}
+
+/// Host columns bound to graph inputs, shareable with the transfer thread.
+#[derive(Clone, Debug, Default)]
+pub struct QueryInputs {
+    cols: BTreeMap<String, Arc<Vec<i64>>>,
+}
+
+impl QueryInputs {
+    /// Creates an empty binding set.
+    pub fn new() -> Self {
+        QueryInputs::default()
+    }
+
+    /// Binds a raw vector.
+    pub fn bind(&mut self, name: impl Into<String>, values: Vec<i64>) {
+        self.cols.insert(name.into(), Arc::new(values));
+    }
+
+    /// Binds a storage column (widened to `i64`; dictionary columns bind
+    /// their codes).
+    pub fn bind_column(&mut self, name: impl Into<String>, column: &Column) -> Result<()> {
+        self.cols
+            .insert(name.into(), Arc::new(column.to_i64_vec()?));
+        Ok(())
+    }
+
+    /// Looks up a bound column.
+    pub fn get(&self, name: &str) -> Option<&Arc<Vec<i64>>> {
+        self.cols.get(name)
+    }
+
+    /// Number of bound columns.
+    pub fn len(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// True when nothing is bound.
+    pub fn is_empty(&self) -> bool {
+        self.cols.is_empty()
+    }
+}
+
+/// The ADAMANT executor: plugged devices + task registry + configuration.
+pub struct Executor {
+    devices: DeviceRegistry,
+    tasks: TaskRegistry,
+    config: ExecutorConfig,
+}
+
+impl Executor {
+    /// Creates an executor around a task registry.
+    pub fn new(tasks: TaskRegistry, config: ExecutorConfig) -> Self {
+        Executor {
+            devices: DeviceRegistry::new(),
+            tasks,
+            config,
+        }
+    }
+
+    /// Plugs a device and installs every matching kernel on it.
+    pub fn add_device(&mut self, device: Box<dyn Device>) -> Result<DeviceId> {
+        let id = self.devices.add(device);
+        let dev = self.devices.get_mut(id)?;
+        self.tasks.install_on(dev.as_mut())?;
+        Ok(id)
+    }
+
+    /// Convenience: builds and plugs a device from a profile.
+    pub fn add_profile(&mut self, profile: &DeviceProfile) -> Result<DeviceId> {
+        // The id baked into the built device matches the one the registry
+        // will assign (ids are sequential).
+        let next = DeviceId(self.devices.len() as u32);
+        self.add_device(Box::new(profile.build(next)))
+    }
+
+    /// The plugged devices.
+    pub fn devices(&self) -> &DeviceRegistry {
+        &self.devices
+    }
+
+    /// Mutable device access (benches tweak cost models between runs).
+    pub fn devices_mut(&mut self) -> &mut DeviceRegistry {
+        &mut self.devices
+    }
+
+    /// The task registry.
+    pub fn tasks(&self) -> &TaskRegistry {
+        &self.tasks
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ExecutorConfig {
+        &self.config
+    }
+
+    /// Sets the chunk size (rows).
+    pub fn set_chunk_rows(&mut self, rows: usize) {
+        self.config.chunk_rows = rows.max(1);
+    }
+
+    /// Executes `graph` over `inputs` under `model`.
+    ///
+    /// Returns exact query outputs plus the modeled execution statistics.
+    pub fn run(
+        &mut self,
+        graph: &PrimitiveGraph,
+        inputs: &QueryInputs,
+        model: ExecutionModel,
+    ) -> Result<(QueryOutput, ExecutionStats)> {
+        let wall = Instant::now();
+        let pipelines = PipelineSet::split(graph)?;
+        self.validate_inputs(graph, inputs)?;
+
+        // Fresh clocks and peak watermarks for this run.
+        for id in self.devices.ids() {
+            let dev = self.devices.get_mut(id)?;
+            dev.clock_mut().reset();
+        }
+
+        let cfg = model.config();
+        let mut hub = DataTransferHub::new();
+        let mut stats = ExecutionStats {
+            model: model.name().to_string(),
+            pipelines: pipelines.len(),
+            ..Default::default()
+        };
+        let mut tally = Tally::default();
+        let escaping = escaping_refs(graph, &pipelines);
+
+        let run_result = (|| -> Result<QueryOutput> {
+            for pipeline in &pipelines.pipelines {
+                if pipeline.is_streaming() && cfg.chunked {
+                    self.run_streaming(
+                        graph, pipeline, inputs, cfg, &mut hub, &mut stats, &mut tally,
+                        &escaping,
+                    )?;
+                } else {
+                    self.run_whole(graph, pipeline, inputs, &mut hub, &mut stats, &mut tally)?;
+                }
+            }
+            self.collect_outputs(graph, &mut hub, &mut stats, &mut tally)
+        })();
+
+        // Peaks and byte counts before cleanup.
+        for id in self.devices.ids() {
+            let dev = self.devices.get(id)?;
+            stats
+                .peak_device_bytes
+                .insert(dev.info().name.clone(), dev.pool().peak());
+            stats.bytes_h2d += dev.clock().bytes_h2d();
+            stats.bytes_d2h += dev.clock().bytes_d2h();
+        }
+        // Delete phase: free everything this run created.
+        hub.delete_all(&mut self.devices);
+        for id in self.devices.ids() {
+            tally.drain_serial(self.devices.get_mut(id)?.as_mut(), &mut stats);
+        }
+
+        stats.total_ns = tally.serial_ns + tally.overlap_ns;
+        stats.wall_ns = wall.elapsed().as_nanos() as u64;
+        let output = run_result?;
+        Ok((output, stats))
+    }
+
+    // ---- validation -----------------------------------------------------
+
+    fn validate_inputs(&self, graph: &PrimitiveGraph, inputs: &QueryInputs) -> Result<()> {
+        let mut scan_lens: HashMap<&str, usize> = HashMap::new();
+        for gi in graph.inputs() {
+            let col = inputs
+                .get(&gi.name)
+                .ok_or_else(|| ExecError::MissingInput(gi.name.clone()))?;
+            if let Some(scan) = &gi.scan {
+                match scan_lens.get(scan.as_str()) {
+                    Some(&len) if len != col.len() => {
+                        return Err(ExecError::InputLengthMismatch {
+                            scan: scan.clone(),
+                            expected: len,
+                            actual: col.len(),
+                        })
+                    }
+                    None => {
+                        scan_lens.insert(scan.as_str(), col.len());
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // ---- whole-input execution (OAAT and full-buffer pipelines) ---------
+
+    fn run_whole(
+        &mut self,
+        graph: &PrimitiveGraph,
+        pipeline: &Pipeline,
+        inputs: &QueryInputs,
+        hub: &mut DataTransferHub,
+        stats: &mut ExecutionStats,
+        tally: &mut Tally,
+    ) -> Result<()> {
+        for &node_id in &pipeline.nodes {
+            let node = graph.node(node_id).clone();
+            // Resolve inputs.
+            let mut in_ids = Vec::with_capacity(node.inputs.len());
+            let mut est_rows = 0usize;
+            for &input in &node.inputs {
+                let id = match input {
+                    DataRef::Input(i) => {
+                        let gi = &graph.inputs()[i];
+                        let col = inputs.get(&gi.name).expect("validated");
+                        hub.load_whole_input(&mut self.devices, input, node.device, col)?
+                    }
+                    DataRef::Output { .. } => hub.router(&mut self.devices, input, node.device)?,
+                };
+                let len = self
+                    .devices
+                    .get(node.device)?
+                    .pool()
+                    .get(id)
+                    .map(|b| b.data.len())
+                    .unwrap_or(0);
+                est_rows = est_rows.max(len);
+                in_ids.push(id);
+            }
+            tally.drain_serial(self.devices.get_mut(node.device)?.as_mut(), stats);
+
+            // Prepare outputs (all materialized in whole mode).
+            let mut out_ids = Vec::with_capacity(node.output_count);
+            for port in 0..node.output_count {
+                let semantic = graph.semantic_of(DataRef::Output {
+                    node: node.id,
+                    port,
+                });
+                let id =
+                    hub.prepare_output_buffer(&mut self.devices, &node, port, semantic, est_rows)?;
+                hub.register_resident(
+                    DataRef::Output {
+                        node: node.id,
+                        port,
+                    },
+                    node.device,
+                    id,
+                );
+                out_ids.push(id);
+            }
+            tally.drain_serial(self.devices.get_mut(node.device)?.as_mut(), stats);
+
+            // Execute once over the whole inputs.
+            self.execute_node(&node, &in_ids, &out_ids)?;
+            let (t, c, o) = tally.drain_split(self.devices.get_mut(node.device)?.as_mut());
+            tally.serial_ns += t + c + o;
+            stats.transfer_ns += t;
+            stats.compute_ns += c;
+            stats.other_ns += o;
+            stats.record_primitive(&node.label, c);
+            let used = self.devices.get(node.device)?.pool().used();
+            stats.memory_trace.push((node.label.clone(), used));
+        }
+        Ok(())
+    }
+
+    // ---- streaming (chunked) execution -----------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_streaming(
+        &mut self,
+        graph: &PrimitiveGraph,
+        pipeline: &Pipeline,
+        inputs: &QueryInputs,
+        cfg: ModelConfig,
+        hub: &mut DataTransferHub,
+        stats: &mut ExecutionStats,
+        tally: &mut Tally,
+        escaping: &HashSet<DataRef>,
+    ) -> Result<()> {
+        let scan = pipeline.scan.clone().expect("streaming pipeline has a scan");
+        let chunk_rows = self.config.chunk_rows;
+
+        // The scan columns this pipeline streams, and their length.
+        let mut scan_cols: Vec<(usize, Arc<Vec<i64>>)> = Vec::new();
+        let mut seen = HashSet::new();
+        for &node_id in &pipeline.nodes {
+            for &input in &graph.node(node_id).inputs {
+                if let DataRef::Input(i) = input {
+                    if graph.inputs()[i].scan.as_deref() == Some(scan.as_str())
+                        && seen.insert(i)
+                    {
+                        let col = inputs.get(&graph.inputs()[i].name).expect("validated");
+                        scan_cols.push((i, Arc::clone(col)));
+                    }
+                }
+            }
+        }
+        let rows = scan_cols.first().map(|(_, c)| c.len()).unwrap_or(0);
+        let n_chunks = rows.div_ceil(chunk_rows);
+
+        // Order-sensitive breakers cannot stream across multiple chunks.
+        if n_chunks > 1 {
+            for &node_id in &pipeline.nodes {
+                let kind = graph.node(node_id).kind;
+                if matches!(
+                    kind,
+                    PrimitiveKind::Sort | PrimitiveKind::SortAgg | PrimitiveKind::PrefixSum
+                ) {
+                    return Err(ExecError::InvalidGraph(format!(
+                        "{kind} is order-sensitive and cannot run in a multi-chunk \
+                         streaming pipeline; materialize its input first"
+                    )));
+                }
+            }
+        }
+
+        // ---- Stage phase -------------------------------------------------
+        // Staging buffers per (scan input, consuming device, slot).
+        let devices_used: Vec<DeviceId> = {
+            let mut v: Vec<DeviceId> = pipeline
+                .nodes
+                .iter()
+                .map(|&n| graph.node(n).device)
+                .collect();
+            v.sort_unstable();
+            v.dedup();
+            v
+        };
+        let staging_slots = if cfg.stage_once { cfg.staging_buffers } else { 1 };
+        let chunk_bytes = (chunk_rows.min(rows.max(1)) * 8) as u64;
+        let mut staging: HashMap<(usize, DeviceId, usize), BufferId> = HashMap::new();
+        for &(input_idx, _) in &scan_cols {
+            for &dev_id in &devices_used {
+                for slot in 0..staging_slots {
+                    let id = hub.fresh_id();
+                    let dev = self.devices.get_mut(dev_id)?;
+                    if cfg.pinned {
+                        dev.add_pinned_memory(id, chunk_bytes)?;
+                    } else {
+                        dev.prepare_memory(id, chunk_bytes)?;
+                    }
+                    hub.track_created(dev_id, id);
+                    staging.insert((input_idx, dev_id, slot), id);
+                }
+            }
+        }
+
+        // Scratch outputs (non-breaker) and accumulators (breaker outputs).
+        let mut scratch: HashMap<DataRef, BufferId> = HashMap::new();
+        for &node_id in &pipeline.nodes {
+            let node = graph.node(node_id).clone();
+            for port in 0..node.output_count {
+                let r = DataRef::Output {
+                    node: node.id,
+                    port,
+                };
+                let semantic = graph.semantic_of(r);
+                if node.kind.is_pipeline_breaker() {
+                    let id = hub.prepare_output_buffer(
+                        &mut self.devices,
+                        &node,
+                        port,
+                        semantic,
+                        rows,
+                    )?;
+                    hub.register_resident(r, node.device, id);
+                } else if cfg.stage_once {
+                    let id = hub.prepare_output_buffer(
+                        &mut self.devices,
+                        &node,
+                        port,
+                        semantic,
+                        chunk_rows.min(rows.max(1)),
+                    )?;
+                    scratch.insert(r, id);
+                }
+            }
+        }
+        for &dev_id in &devices_used {
+            tally.drain_serial(self.devices.get_mut(dev_id)?.as_mut(), stats);
+        }
+
+        // ---- Copy-compute phase -------------------------------------------
+        let mut chunk_costs: Vec<ChunkCost> = Vec::with_capacity(n_chunks);
+        if cfg.overlap && n_chunks > 0 {
+            // Algorithm 2: a transfer thread slices and hands chunks to the
+            // execute thread over a bounded channel whose capacity is the
+            // number of staging buffers; `fetched_until`/`processed_until`
+            // track progress exactly as in the paper.
+            let fetched_until = AtomicUsize::new(0);
+            let processed_until = AtomicUsize::new(0);
+            let (tx, rx) =
+                crossbeam::channel::bounded::<(usize, usize, usize, Vec<(usize, BufferData)>)>(
+                    cfg.staging_buffers,
+                );
+            let producer_cols: Vec<(usize, Arc<Vec<i64>>)> = scan_cols.clone();
+            let result: Result<()> = crossbeam::thread::scope(|scope| {
+                let fetched = &fetched_until;
+                let processed = &processed_until;
+                scope.spawn(move |_| {
+                    for chunk in 0..n_chunks {
+                        let offset = chunk * chunk_rows;
+                        let len = chunk_rows.min(rows - offset);
+                        let payloads: Vec<(usize, BufferData)> = producer_cols
+                            .iter()
+                            .map(|(idx, col)| {
+                                (*idx, BufferData::I64(col[offset..offset + len].to_vec()))
+                            })
+                            .collect();
+                        if tx.send((chunk, offset, len, payloads)).is_err() {
+                            return; // executor side failed; stop transferring
+                        }
+                        fetched.fetch_add(1, Ordering::Release);
+                    }
+                });
+                for (chunk, offset, len, payloads) in rx.iter() {
+                    debug_assert!(
+                        fetched.load(Ordering::Acquire) > processed.load(Ordering::Acquire),
+                        "execute thread ran ahead of transfer thread"
+                    );
+                    let slot = chunk % staging_slots;
+                    let cost = self.run_one_chunk(
+                        graph, pipeline, inputs, cfg, hub, stats, tally, escaping, &staging,
+                        &mut scratch, slot, offset, len, payloads,
+                    )?;
+                    chunk_costs.push(cost);
+                    processed.fetch_add(1, Ordering::Release);
+                }
+                Ok(())
+            })
+            .map_err(|_| ExecError::Internal("transfer thread panicked".into()))?;
+            result?;
+        } else {
+            for chunk in 0..n_chunks {
+                let offset = chunk * chunk_rows;
+                let len = chunk_rows.min(rows - offset);
+                let payloads: Vec<(usize, BufferData)> = scan_cols
+                    .iter()
+                    .map(|(idx, col)| (*idx, BufferData::I64(col[offset..offset + len].to_vec())))
+                    .collect();
+                let slot = chunk % staging_slots;
+                let cost = self.run_one_chunk(
+                    graph, pipeline, inputs, cfg, hub, stats, tally, escaping, &staging,
+                    &mut scratch, slot, offset, len, payloads,
+                )?;
+                chunk_costs.push(cost);
+            }
+        }
+        stats.chunks_processed += n_chunks;
+        // Escaped scratch refs that never saw a chunk (empty scans) still
+        // need an (empty) host accumulation for downstream consumers.
+        for &node_id in &pipeline.nodes {
+            let node = graph.node(node_id);
+            if node.kind.is_pipeline_breaker() {
+                continue;
+            }
+            for port in 0..node.output_count {
+                let r = DataRef::Output { node: node.id, port };
+                if escaping.contains(&r) && !hub.has_host(r) {
+                    let semantic = graph.semantic_of(r);
+                    hub.host_accumulate(
+                        r,
+                        semantic,
+                        adamant_task::container::DataContainer::empty_payload(semantic),
+                        0,
+                        0,
+                    )?;
+                }
+            }
+        }
+        if cfg.overlap {
+            tally.overlap_ns += overlapped_makespan(&chunk_costs, cfg.staging_buffers);
+        } else {
+            tally.serial_ns += chunk_costs
+                .iter()
+                .map(|c| c.transfer_ns + c.compute_ns)
+                .sum::<f64>();
+        }
+        let in_loop_transfer: f64 = chunk_costs.iter().map(|c| c.transfer_ns).sum();
+        let in_loop_compute: f64 = chunk_costs.iter().map(|c| c.compute_ns).sum();
+        stats.transfer_ns += in_loop_transfer;
+        stats.compute_ns += in_loop_compute;
+
+        // ---- Per-pipeline delete phase ------------------------------------
+        // Free staging and scratch; breaker accumulators stay resident.
+        for (_, id) in staging {
+            for &dev_id in &devices_used {
+                let _ = self.devices.get_mut(dev_id)?.delete_memory(id);
+            }
+        }
+        for (_, id) in scratch {
+            for &dev_id in &devices_used {
+                let _ = self.devices.get_mut(dev_id)?.delete_memory(id);
+            }
+        }
+        for &dev_id in &devices_used {
+            tally.drain_serial(self.devices.get_mut(dev_id)?.as_mut(), stats);
+        }
+        Ok(())
+    }
+
+    /// Processes one chunk through every primitive of the pipeline
+    /// (Algorithm 1's inner loop). Returns the chunk's transfer/compute
+    /// cost pair for the model's makespan computation.
+    #[allow(clippy::too_many_arguments)]
+    fn run_one_chunk(
+        &mut self,
+        graph: &PrimitiveGraph,
+        pipeline: &Pipeline,
+        inputs: &QueryInputs,
+        cfg: ModelConfig,
+        hub: &mut DataTransferHub,
+        stats: &mut ExecutionStats,
+        tally: &mut Tally,
+        escaping: &HashSet<DataRef>,
+        staging: &HashMap<(usize, DeviceId, usize), BufferId>,
+        scratch: &mut HashMap<DataRef, BufferId>,
+        slot: usize,
+        offset: usize,
+        len: usize,
+        payloads: Vec<(usize, BufferData)>,
+    ) -> Result<ChunkCost> {
+        let mut cost = ChunkCost::default();
+        let scan = pipeline.scan.as_deref().expect("streaming");
+
+        // Upload this chunk into the staging buffers of every device that
+        // consumes it.
+        let mut uploaded: HashMap<(usize, DeviceId), BufferId> = HashMap::new();
+        for (input_idx, payload) in payloads {
+            let mut devices_for_input: Vec<DeviceId> = staging
+                .keys()
+                .filter(|(i, _, s)| *i == input_idx && *s == slot)
+                .map(|(_, d, _)| *d)
+                .collect();
+            devices_for_input.sort_unstable();
+            for dev_id in devices_for_input {
+                let id = staging[&(input_idx, dev_id, slot)];
+                self.devices
+                    .get_mut(dev_id)?
+                    .place_data(id, payload.clone(), 0)?;
+                uploaded.insert((input_idx, dev_id), id);
+                let (t, c, o) = tally.drain_split(self.devices.get_mut(dev_id)?.as_mut());
+                cost.transfer_ns += t + o;
+                cost.compute_ns += c;
+                stats.transfer_ns += t;
+                stats.other_ns += o;
+                stats.compute_ns += c;
+            }
+        }
+
+        // Per-chunk scratch allocation for the naive chunked model
+        // (Algorithm 1 calls prepare_memory inside the loop).
+        let mut chunk_scratch: Vec<(DataRef, BufferId)> = Vec::new();
+        if !cfg.stage_once {
+            for &node_id in &pipeline.nodes {
+                let node = graph.node(node_id).clone();
+                if node.kind.is_pipeline_breaker() {
+                    continue;
+                }
+                for port in 0..node.output_count {
+                    let r = DataRef::Output {
+                        node: node.id,
+                        port,
+                    };
+                    let semantic = graph.semantic_of(r);
+                    let id =
+                        hub.prepare_output_buffer(&mut self.devices, &node, port, semantic, len)?;
+                    scratch.insert(r, id);
+                    chunk_scratch.push((r, id));
+                }
+                let (t, c, o) = tally.drain_split(self.devices.get_mut(node.device)?.as_mut());
+                cost.transfer_ns += t + o;
+                cost.compute_ns += c;
+                stats.transfer_ns += t;
+                stats.other_ns += o;
+                stats.compute_ns += c;
+            }
+        }
+
+        // Execute the pipeline's primitives over this chunk.
+        for &node_id in &pipeline.nodes {
+            let node = graph.node(node_id).clone();
+            let mut in_ids = Vec::with_capacity(node.inputs.len());
+            for &input in &node.inputs {
+                let id = match input {
+                    DataRef::Input(i) => {
+                        let gi = &graph.inputs()[i];
+                        if gi.scan.as_deref() == Some(scan) {
+                            *uploaded.get(&(i, node.device)).ok_or_else(|| {
+                                ExecError::Internal(format!(
+                                    "no staged chunk for input #{i} on {}",
+                                    node.device
+                                ))
+                            })?
+                        } else {
+                            // Whole (small) input: placed once, reused on
+                            // later chunks via the residency map.
+                            let col = inputs
+                                .get(&gi.name)
+                                .ok_or_else(|| ExecError::MissingInput(gi.name.clone()))?
+                                .clone();
+                            hub.load_whole_input(&mut self.devices, input, node.device, &col)?
+                        }
+                    }
+                    DataRef::Output { .. } => {
+                        if let Some(&id) = scratch.get(&input) {
+                            id // same-pipeline scratch
+                        } else {
+                            // Materialized elsewhere (breaker output, earlier
+                            // pipeline, or escaped host accumulation).
+                            hub.router(&mut self.devices, input, node.device)?
+                        }
+                    }
+                };
+                in_ids.push(id);
+            }
+            let mut out_ids = Vec::with_capacity(node.output_count);
+            for port in 0..node.output_count {
+                let r = DataRef::Output {
+                    node: node.id,
+                    port,
+                };
+                if let Some(&id) = scratch.get(&r) {
+                    out_ids.push(id);
+                } else if let Some(id) = hub.resident(r, node.device) {
+                    out_ids.push(id); // breaker accumulator
+                } else {
+                    return Err(ExecError::Internal(format!(
+                        "output {r:?} has no buffer (node `{}`)",
+                        node.label
+                    )));
+                }
+            }
+            self.execute_node(&node, &in_ids, &out_ids)?;
+            let (t, c, o) = tally.drain_split(self.devices.get_mut(node.device)?.as_mut());
+            cost.transfer_ns += t + o;
+            cost.compute_ns += c;
+            stats.transfer_ns += t;
+            stats.other_ns += o;
+            stats.compute_ns += c;
+            stats.record_primitive(&node.label, c);
+
+            // Escaped scratch: pull this chunk's result back to the host.
+            for port in 0..node.output_count {
+                let r = DataRef::Output {
+                    node: node.id,
+                    port,
+                };
+                if !node.kind.is_pipeline_breaker() && escaping.contains(&r) {
+                    let id = scratch[&r];
+                    let payload = self
+                        .devices
+                        .get_mut(node.device)?
+                        .retrieve_data(id, None, 0)?;
+                    let semantic = graph.semantic_of(r);
+                    hub.host_accumulate(r, semantic, payload, offset, len)?;
+                    let (t, c, o) = tally.drain_split(self.devices.get_mut(node.device)?.as_mut());
+                    cost.transfer_ns += t + o;
+                    cost.compute_ns += c;
+                    stats.transfer_ns += t;
+                    stats.other_ns += o;
+                    stats.compute_ns += c;
+                }
+            }
+        }
+
+        // Naive chunked model frees its per-chunk scratch again.
+        if !cfg.stage_once {
+            for (r, id) in chunk_scratch {
+                let node = match r {
+                    DataRef::Output { node, .. } => graph.node(node),
+                    _ => unreachable!(),
+                };
+                let _ = self.devices.get_mut(node.device)?.delete_memory(id);
+                scratch.remove(&r);
+                let (t, c, o) = tally.drain_split(self.devices.get_mut(node.device)?.as_mut());
+                cost.transfer_ns += t + o;
+                cost.compute_ns += c;
+                stats.transfer_ns += t;
+                stats.other_ns += o;
+                stats.compute_ns += c;
+            }
+        }
+        Ok(cost)
+    }
+
+    // ---- shared pieces ----------------------------------------------------
+
+    fn execute_node(
+        &mut self,
+        node: &PrimitiveNode,
+        in_ids: &[BufferId],
+        out_ids: &[BufferId],
+    ) -> Result<()> {
+        let sdk = self.devices.get(node.device)?.info().sdk;
+        let container = self
+            .tasks
+            .resolve(node.kind, sdk, node.variant.as_deref())
+            .ok_or_else(|| ExecError::NoImplementation {
+                primitive: node.kind.to_string(),
+                sdk: sdk.to_string(),
+                variant: node
+                    .variant
+                    .clone()
+                    .unwrap_or_else(|| "default".to_string()),
+            })?;
+        let mut buffers = in_ids.to_vec();
+        buffers.extend_from_slice(out_ids);
+        let spec = ExecuteSpec::new(container.kernel_name(), buffers, node.params.to_scalars());
+        self.devices.get_mut(node.device)?.execute(&spec)?;
+        Ok(())
+    }
+
+    fn collect_outputs(
+        &mut self,
+        graph: &PrimitiveGraph,
+        hub: &mut DataTransferHub,
+        stats: &mut ExecutionStats,
+        tally: &mut Tally,
+    ) -> Result<QueryOutput> {
+        let mut out = QueryOutput::new();
+        for (name, r) in graph.outputs() {
+            if let Some(acc) = hub.take_host(*r) {
+                out.insert(name.clone(), OutputData::from_buffer(acc.into_buffer()));
+                continue;
+            }
+            // Find any device holding it.
+            let mut found = false;
+            for dev_id in self.devices.ids() {
+                if let Some(id) = hub.resident(*r, dev_id) {
+                    let payload = self.devices.get_mut(dev_id)?.retrieve_data(id, None, 0)?;
+                    tally.drain_serial(self.devices.get_mut(dev_id)?.as_mut(), stats);
+                    out.insert(name.clone(), OutputData::from_buffer(payload));
+                    found = true;
+                    break;
+                }
+            }
+            if !found {
+                // Zero-row streaming run: nothing was ever produced.
+                let semantic = graph.semantic_of(*r);
+                let empty = match semantic {
+                    DataSemantic::Position => OutputData::U32(Vec::new()),
+                    DataSemantic::Bitmap => OutputData::BitWords(Vec::new()),
+                    _ => OutputData::I64(Vec::new()),
+                };
+                out.insert(name.clone(), empty);
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// Per-run accounting accumulators.
+#[derive(Default)]
+struct Tally {
+    serial_ns: f64,
+    overlap_ns: f64,
+}
+
+impl Tally {
+    /// Drains a device's events, folding everything into the serial total
+    /// and the stats lanes.
+    fn drain_serial(&mut self, dev: &mut dyn Device, stats: &mut ExecutionStats) {
+        let events = dev.clock_mut().drain_events();
+        for e in events {
+            self.serial_ns += e.duration_ns;
+            match e.lane {
+                Lane::TransferH2D | Lane::TransferD2H => stats.transfer_ns += e.duration_ns,
+                Lane::Compute => stats.compute_ns += e.duration_ns,
+                _ => stats.other_ns += e.duration_ns,
+            }
+        }
+    }
+
+    /// Drains a device's events, returning `(transfer, compute, other)`
+    /// without adding to the serial total (chunk-loop attribution).
+    fn drain_split(&mut self, dev: &mut dyn Device) -> (f64, f64, f64) {
+        let events = dev.clock_mut().drain_events();
+        let (mut t, mut c, mut o) = (0.0, 0.0, 0.0);
+        for e in events {
+            match e.lane {
+                Lane::TransferH2D | Lane::TransferD2H => t += e.duration_ns,
+                Lane::Compute => c += e.duration_ns,
+                _ => o += e.duration_ns,
+            }
+        }
+        (t, c, o)
+    }
+}
+
+/// Data refs produced by non-breaker nodes of streaming pipelines that are
+/// consumed outside their pipeline (or are graph outputs) — these must be
+/// accumulated chunk-by-chunk.
+fn escaping_refs(graph: &PrimitiveGraph, pipelines: &PipelineSet) -> HashSet<DataRef> {
+    let mut escaping = HashSet::new();
+    let is_streamed_scratch = |r: DataRef| -> bool {
+        match r {
+            DataRef::Output { node, .. } => {
+                let n = graph.node(node);
+                !n.kind.is_pipeline_breaker()
+                    && pipelines.pipelines[pipelines.node_pipeline[node.0]].is_streaming()
+            }
+            DataRef::Input(_) => false,
+        }
+    };
+    for node in graph.nodes() {
+        for &input in &node.inputs {
+            if let DataRef::Output { node: src, .. } = input {
+                if pipelines.node_pipeline[src.0] != pipelines.node_pipeline[node.id.0]
+                    && is_streamed_scratch(input)
+                {
+                    escaping.insert(input);
+                }
+            }
+        }
+    }
+    for (_, r) in graph.outputs() {
+        if is_streamed_scratch(*r) {
+            escaping.insert(*r);
+        }
+    }
+    escaping
+}

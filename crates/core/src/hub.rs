@@ -1,0 +1,392 @@
+//! The data transfer hub (paper §III-C).
+//!
+//! Three responsibilities, matching the paper's description:
+//!
+//! * `load_data()` — loading (whole) inputs onto a target device;
+//! * `router()` — all SDK-to-SDK and device-to-device transfers: it
+//!   inspects where a data ref currently lives and produces a buffer on the
+//!   requested device, retrieving/placing across the bus or transforming
+//!   representations as needed;
+//! * `prepare_output_buffer()` — estimating and creating result space for a
+//!   primitive, with the correct data semantics (numeric scratch, bitmap
+//!   words, position lists, join/aggregation hash tables).
+//!
+//! The hub also owns the host-side accumulation of streamed scratch results
+//! that escape their pipeline (graph outputs or cross-pipeline consumers).
+
+use crate::error::{ExecError, Result};
+use crate::graph::{DataRef, NodeParams, PrimitiveNode};
+use adamant_device::buffer::{BufferData, BufferId};
+use adamant_device::device::DeviceId;
+use adamant_device::registry::DeviceRegistry;
+use adamant_storage::bitmap::Bitmap;
+use adamant_task::container::DataContainer;
+use adamant_task::primitive::PrimitiveKind;
+use adamant_task::semantics::DataSemantic;
+use std::collections::HashMap;
+
+/// Host-side accumulation of per-chunk results.
+#[derive(Debug)]
+pub enum HostAccum {
+    /// Concatenated numeric rows.
+    Numeric(Vec<i64>),
+    /// Positions rebased to global row numbers.
+    Position(Vec<u32>),
+    /// A growing bitmap with exact logical length.
+    Bitmap(Bitmap),
+}
+
+impl HostAccum {
+    fn new(semantic: DataSemantic) -> Result<HostAccum> {
+        Ok(match semantic {
+            DataSemantic::Numeric | DataSemantic::PrefixSum => HostAccum::Numeric(Vec::new()),
+            DataSemantic::Position => HostAccum::Position(Vec::new()),
+            DataSemantic::Bitmap => HostAccum::Bitmap(Bitmap::new_zeroed(0)),
+            other => {
+                return Err(ExecError::Internal(format!(
+                    "cannot host-accumulate {other} results"
+                )))
+            }
+        })
+    }
+
+    fn push_chunk(&mut self, data: BufferData, chunk_offset: usize, chunk_len: usize) -> Result<()> {
+        match (self, data) {
+            (HostAccum::Numeric(acc), BufferData::I64(v)) => acc.extend_from_slice(&v),
+            (HostAccum::Position(acc), BufferData::U32(v)) => {
+                acc.extend(v.into_iter().map(|p| p + chunk_offset as u32))
+            }
+            (HostAccum::Bitmap(acc), BufferData::BitWords(words)) => {
+                let chunk = Bitmap::from_words(words, chunk_len);
+                acc.extend_from(&chunk);
+            }
+            (acc, data) => {
+                return Err(ExecError::Internal(format!(
+                    "host accumulation kind mismatch: {acc:?} <- {}",
+                    data.kind()
+                )))
+            }
+        }
+        Ok(())
+    }
+
+    /// Finalizes into a device-shaped payload.
+    pub fn into_buffer(self) -> BufferData {
+        match self {
+            HostAccum::Numeric(v) => BufferData::I64(v),
+            HostAccum::Position(v) => BufferData::U32(v),
+            HostAccum::Bitmap(bm) => BufferData::BitWords(bm.words().to_vec()),
+        }
+    }
+}
+
+/// The hub: buffer-id allocation, residency tracking, routing and output
+/// buffer preparation.
+#[derive(Debug, Default)]
+pub struct DataTransferHub {
+    next_id: u64,
+    /// Where each materialized data ref lives: `(ref, device) -> buffer`.
+    resident: HashMap<(DataRef, DeviceId), BufferId>,
+    /// Host-side accumulations of escaped streamed results.
+    host: HashMap<DataRef, HostAccum>,
+    /// Every buffer created per device, for the delete phase.
+    created: Vec<(DeviceId, BufferId)>,
+}
+
+impl DataTransferHub {
+    /// Creates an empty hub.
+    pub fn new() -> Self {
+        DataTransferHub::default()
+    }
+
+    /// Allocates a fresh buffer id (unique across all devices in this run).
+    pub fn fresh_id(&mut self) -> BufferId {
+        self.next_id += 1;
+        BufferId(self.next_id)
+    }
+
+    /// Records that `data` is materialized on `device` under `id`.
+    pub fn register_resident(&mut self, data: DataRef, device: DeviceId, id: BufferId) {
+        self.resident.insert((data, device), id);
+    }
+
+    /// Records a created buffer for the delete phase.
+    pub fn track_created(&mut self, device: DeviceId, id: BufferId) {
+        self.created.push((device, id));
+    }
+
+    /// Where `data` is resident on `device`, if it is.
+    pub fn resident(&self, data: DataRef, device: DeviceId) -> Option<BufferId> {
+        self.resident.get(&(data, device)).copied()
+    }
+
+    /// `router()`: produce a buffer holding `data` on `target` (paper: "the
+    /// function iterates over all the incoming edges to a primitive and
+    /// loads the data to the target device").
+    ///
+    /// Resolution order: already resident on target → reuse; resident on
+    /// another device → retrieve there, place on target; host-accumulated →
+    /// upload. Transfer costs land on the involved devices' clocks.
+    pub fn router(
+        &mut self,
+        devices: &mut DeviceRegistry,
+        data: DataRef,
+        target: DeviceId,
+    ) -> Result<BufferId> {
+        if let Some(id) = self.resident(data, target) {
+            return Ok(id);
+        }
+        // Find a source device holding it.
+        let source = self
+            .resident
+            .iter()
+            .find(|((r, _), _)| *r == data)
+            .map(|((_, d), id)| (*d, *id));
+        if let Some((src_dev, src_id)) = source {
+            let payload = devices.get_mut(src_dev)?.retrieve_data(src_id, None, 0)?;
+            let new_id = self.fresh_id();
+            devices.get_mut(target)?.place_data(new_id, payload, 0)?;
+            self.register_resident(data, target, new_id);
+            self.track_created(target, new_id);
+            return Ok(new_id);
+        }
+        if let Some(acc) = self.host.remove(&data) {
+            let new_id = self.fresh_id();
+            devices
+                .get_mut(target)?
+                .place_data(new_id, acc.into_buffer(), 0)?;
+            self.register_resident(data, target, new_id);
+            self.track_created(target, new_id);
+            return Ok(new_id);
+        }
+        Err(ExecError::Internal(format!(
+            "router: {data:?} is neither resident nor host-accumulated"
+        )))
+    }
+
+    /// `load_data()`: places a whole host column onto a device as a
+    /// materialized external input.
+    pub fn load_whole_input(
+        &mut self,
+        devices: &mut DeviceRegistry,
+        data: DataRef,
+        target: DeviceId,
+        column: &[i64],
+    ) -> Result<BufferId> {
+        if let Some(id) = self.resident(data, target) {
+            return Ok(id);
+        }
+        let id = self.fresh_id();
+        devices
+            .get_mut(target)?
+            .place_data(id, BufferData::I64(column.to_vec()), 0)?;
+        self.register_resident(data, target, id);
+        self.track_created(target, id);
+        Ok(id)
+    }
+
+    /// Appends one chunk's worth of an escaped scratch result to the host
+    /// accumulation.
+    pub fn host_accumulate(
+        &mut self,
+        data: DataRef,
+        semantic: DataSemantic,
+        payload: BufferData,
+        chunk_offset: usize,
+        chunk_len: usize,
+    ) -> Result<()> {
+        let entry = match self.host.entry(data) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => e.insert(HostAccum::new(semantic)?),
+        };
+        entry.push_chunk(payload, chunk_offset, chunk_len)
+    }
+
+    /// Takes a finished host accumulation (for graph outputs).
+    pub fn take_host(&mut self, data: DataRef) -> Option<HostAccum> {
+        self.host.remove(&data)
+    }
+
+    /// Whether a host accumulation exists for `data`.
+    pub fn has_host(&self, data: DataRef) -> bool {
+        self.host.contains_key(&data)
+    }
+
+    /// `prepare_output_buffer()`: creates result space for output `port` of
+    /// `node` on its device, sized for `estimate_rows` input rows, with the
+    /// correct data semantics.
+    ///
+    /// Pipeline-breaker accumulators (hash tables, block-agg states) are
+    /// initialized as device structures; everything else is a reserved
+    /// scratch region the kernel fills.
+    pub fn prepare_output_buffer(
+        &mut self,
+        devices: &mut DeviceRegistry,
+        node: &PrimitiveNode,
+        port: usize,
+        semantic: DataSemantic,
+        estimate_rows: usize,
+    ) -> Result<BufferId> {
+        let id = self.fresh_id();
+        let device = devices.get_mut(node.device)?;
+        match (&node.kind, &node.params) {
+            (PrimitiveKind::HashBuild, NodeParams::HashBuild { payload_cols, expected }) => {
+                device.init_structure(id, DataContainer::join_table(*expected, *payload_cols))?;
+            }
+            (
+                PrimitiveKind::HashAgg,
+                NodeParams::HashAgg {
+                    payload_cols,
+                    aggs,
+                    expected_groups,
+                },
+            ) => {
+                device.init_structure(
+                    id,
+                    DataContainer::agg_table(*expected_groups, aggs.clone(), *payload_cols),
+                )?;
+            }
+            (PrimitiveKind::AggBlock, params) => {
+                // Two accumulator slots `[state, rows]`, pre-set to the
+                // aggregate's identity so zero-chunk scans still produce a
+                // well-formed result.
+                let identity = match params {
+                    NodeParams::AggBlock { agg } => agg.identity(),
+                    _ => 0,
+                };
+                device.init_structure(id, BufferData::I64(vec![identity, 0]))?;
+            }
+            _ => {
+                let bytes = DataContainer::estimate_output_bytes(semantic, estimate_rows).max(8);
+                device.prepare_memory(id, bytes)?;
+            }
+        }
+        self.track_created(node.device, id);
+        let _ = port;
+        Ok(id)
+    }
+
+    /// The delete phase: frees every buffer this hub created.
+    pub fn delete_all(&mut self, devices: &mut DeviceRegistry) {
+        for (dev, id) in self.created.drain(..) {
+            if let Ok(device) = devices.get_mut(dev) {
+                // Buffers may already be gone if a device was reset.
+                let _ = device.delete_memory(id);
+            }
+        }
+        self.resident.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adamant_device::profiles::DeviceProfile;
+
+    fn two_devices() -> (DeviceRegistry, DeviceId, DeviceId) {
+        let mut reg = DeviceRegistry::new();
+        let a = reg.add(Box::new(
+            DeviceProfile::cuda_rtx2080ti().build(DeviceId(0)),
+        ));
+        let b = reg.add(Box::new(
+            DeviceProfile::opencl_cpu_i7().build(DeviceId(1)),
+        ));
+        (reg, a, b)
+    }
+
+    #[test]
+    fn load_and_route_across_devices() {
+        let (mut devices, gpu, cpu) = two_devices();
+        let mut hub = DataTransferHub::new();
+        let data = DataRef::Input(0);
+        let col = vec![1i64, 2, 3];
+        let id_gpu = hub.load_whole_input(&mut devices, data, gpu, &col).unwrap();
+        // Second load is a no-op.
+        assert_eq!(
+            hub.load_whole_input(&mut devices, data, gpu, &col).unwrap(),
+            id_gpu
+        );
+        // Route to the CPU device: retrieve from GPU, place on CPU.
+        let id_cpu = hub.router(&mut devices, data, cpu).unwrap();
+        assert_ne!(id_gpu.0, id_cpu.0);
+        let payload = devices
+            .get_mut(cpu)
+            .unwrap()
+            .retrieve_data(id_cpu, None, 0)
+            .unwrap();
+        assert_eq!(payload, BufferData::I64(vec![1, 2, 3]));
+        // GPU recorded an extra D2H from the routing.
+        assert!(devices.get(gpu).unwrap().clock().bytes_d2h() > 0);
+    }
+
+    #[test]
+    fn router_unknown_ref_errors() {
+        let (mut devices, gpu, _) = two_devices();
+        let mut hub = DataTransferHub::new();
+        assert!(hub.router(&mut devices, DataRef::Input(9), gpu).is_err());
+    }
+
+    #[test]
+    fn host_accumulation_shapes() {
+        let mut hub = DataTransferHub::new();
+        let r = DataRef::Input(0);
+        hub.host_accumulate(r, DataSemantic::Numeric, BufferData::I64(vec![1, 2]), 0, 2)
+            .unwrap();
+        hub.host_accumulate(r, DataSemantic::Numeric, BufferData::I64(vec![3]), 2, 1)
+            .unwrap();
+        match hub.take_host(r).unwrap() {
+            HostAccum::Numeric(v) => assert_eq!(v, vec![1, 2, 3]),
+            other => panic!("{other:?}"),
+        }
+
+        let p = DataRef::Input(1);
+        hub.host_accumulate(p, DataSemantic::Position, BufferData::U32(vec![0, 3]), 0, 4)
+            .unwrap();
+        hub.host_accumulate(p, DataSemantic::Position, BufferData::U32(vec![1]), 4, 4)
+            .unwrap();
+        match hub.take_host(p).unwrap() {
+            HostAccum::Position(v) => assert_eq!(v, vec![0, 3, 5]),
+            other => panic!("{other:?}"),
+        }
+
+        let bm = DataRef::Input(2);
+        hub.host_accumulate(bm, DataSemantic::Bitmap, BufferData::BitWords(vec![0b1]), 0, 3)
+            .unwrap();
+        hub.host_accumulate(bm, DataSemantic::Bitmap, BufferData::BitWords(vec![0b10]), 3, 2)
+            .unwrap();
+        match hub.take_host(bm).unwrap() {
+            HostAccum::Bitmap(b) => {
+                assert_eq!(b.len(), 5);
+                assert!(b.get(0));
+                assert!(b.get(4));
+                assert_eq!(b.count_ones(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn accumulation_kind_mismatch_rejected() {
+        let mut hub = DataTransferHub::new();
+        let r = DataRef::Input(0);
+        hub.host_accumulate(r, DataSemantic::Numeric, BufferData::I64(vec![1]), 0, 1)
+            .unwrap();
+        assert!(hub
+            .host_accumulate(r, DataSemantic::Numeric, BufferData::U32(vec![1]), 1, 1)
+            .is_err());
+        assert!(hub
+            .host_accumulate(DataRef::Input(5), DataSemantic::HashTable, BufferData::I64(vec![]), 0, 0)
+            .is_err());
+    }
+
+    #[test]
+    fn delete_phase_frees_everything() {
+        let (mut devices, gpu, _) = two_devices();
+        let mut hub = DataTransferHub::new();
+        hub.load_whole_input(&mut devices, DataRef::Input(0), gpu, &[1, 2, 3])
+            .unwrap();
+        assert!(devices.get(gpu).unwrap().pool().used() > 0);
+        hub.delete_all(&mut devices);
+        assert_eq!(devices.get(gpu).unwrap().pool().used(), 0);
+    }
+}

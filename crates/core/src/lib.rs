@@ -1,0 +1,55 @@
+//! # adamant-core
+//!
+//! The **runtime layer** of ADAMANT (paper §III-C and §IV) — the paper's
+//! primary contribution. It interprets a [`graph::PrimitiveGraph`] (a query
+//! plan over task-layer primitives, annotated with target devices), routes
+//! data through the device interfaces, and executes the plan under one of
+//! the execution models:
+//!
+//! * **operator-at-a-time** — whole inputs resident on the device (the
+//!   baseline whose scalability Fig. 7 criticizes);
+//! * **chunked** (Algorithm 1) — streams fixed-size chunks through each
+//!   pipeline, bounding device memory;
+//! * **pipelined** (Algorithm 2) — chunked plus a separate transfer thread
+//!   overlapping copy with compute, synchronized by the
+//!   `fetched_until`/`processed_until` counters;
+//! * **4-phase** (Algorithm 3) — stage/copy-compute/delete phases with dual
+//!   pinned staging buffers, in chunked and pipelined flavors.
+//!
+//! The executor produces exact query results (kernels really run) together
+//! with an [`stats::ExecutionStats`] whose times come from the plugged
+//! devices' cost models — the quantities the paper's figures report.
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod error;
+pub mod executor;
+pub mod graph;
+pub mod hub;
+pub mod models;
+pub mod pipeline;
+pub mod result;
+pub mod stats;
+pub mod timeline;
+
+pub use error::ExecError;
+pub use executor::{Executor, ExecutorConfig};
+pub use graph::{DataRef, GraphBuilder, NodeId, NodeParams, PrimitiveGraph, PrimitiveNode};
+pub use models::ExecutionModel;
+pub use pipeline::{Pipeline, PipelineSet};
+pub use result::{OutputData, QueryOutput};
+pub use stats::ExecutionStats;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::error::ExecError;
+    pub use crate::executor::{Executor, ExecutorConfig};
+    pub use crate::graph::{
+        DataRef, GraphBuilder, NodeId, NodeParams, PrimitiveGraph, PrimitiveNode,
+    };
+    pub use crate::models::ExecutionModel;
+    pub use crate::pipeline::{Pipeline, PipelineSet};
+    pub use crate::result::{OutputData, QueryOutput};
+    pub use crate::stats::ExecutionStats;
+}

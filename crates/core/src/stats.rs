@@ -1,0 +1,177 @@
+//! Execution statistics — the quantities the paper's figures report.
+
+use std::collections::BTreeMap;
+
+/// Statistics of one query execution.
+///
+/// All `*_ns` fields are **modeled** times from the device cost models
+/// (deterministic, hardware-independent); `wall_ns` is the real wall clock
+/// of the simulation itself.
+#[derive(Clone, Debug, Default)]
+pub struct ExecutionStats {
+    /// Execution model name.
+    pub model: String,
+    /// Total modeled elapsed time (makespan under the model's overlap
+    /// policy). The y-axis of Fig. 11.
+    pub total_ns: f64,
+    /// Modeled time spent on transfers (serial sum, both directions).
+    pub transfer_ns: f64,
+    /// Modeled time spent in kernels (serial sum).
+    pub compute_ns: f64,
+    /// Modeled time in allocation/free/transform/compile operations.
+    pub other_ns: f64,
+    /// Modeled kernel time per node label (Fig. 10's "sum of processing
+    /// time of the individual primitives").
+    pub per_primitive_ns: BTreeMap<String, f64>,
+    /// Bytes moved host→device.
+    pub bytes_h2d: u64,
+    /// Bytes moved device→host.
+    pub bytes_d2h: u64,
+    /// Peak device-memory usage per device name (Fig. 7-right).
+    pub peak_device_bytes: BTreeMap<String, u64>,
+    /// Device-memory usage after each primitive execution, in order
+    /// (`(label, bytes)`), for the Fig. 7-right footprint trace.
+    pub memory_trace: Vec<(String, u64)>,
+    /// Number of chunks processed across all streaming pipelines.
+    pub chunks_processed: usize,
+    /// Number of pipelines executed.
+    pub pipelines: usize,
+    /// Real wall-clock nanoseconds of the simulated run.
+    pub wall_ns: u64,
+}
+
+impl ExecutionStats {
+    /// Sum of per-primitive kernel times.
+    pub fn primitive_total_ns(&self) -> f64 {
+        self.per_primitive_ns.values().sum()
+    }
+
+    /// The abstraction-layer overhead of Fig. 10: total execution time minus
+    /// the sum of the individual primitives' processing times.
+    pub fn overhead_ns(&self) -> f64 {
+        (self.total_ns - self.primitive_total_ns()).max(0.0)
+    }
+
+    /// Overhead as a fraction of total time.
+    pub fn overhead_fraction(&self) -> f64 {
+        if self.total_ns > 0.0 {
+            self.overhead_ns() / self.total_ns
+        } else {
+            0.0
+        }
+    }
+
+    /// Total modeled time in milliseconds (convenience for reports).
+    pub fn total_ms(&self) -> f64 {
+        self.total_ns / 1e6
+    }
+
+    /// Adds a kernel-time sample for a node label.
+    pub fn record_primitive(&mut self, label: &str, ns: f64) {
+        *self.per_primitive_ns.entry(label.to_string()).or_insert(0.0) += ns;
+    }
+
+    /// Serializes the stats to a JSON object string (hand-rolled — the
+    /// experiment harness archives run records without a format crate).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let per_primitive: Vec<String> = self
+            .per_primitive_ns
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{:.1}", esc(k), v))
+            .collect();
+        let peaks: Vec<String> = self
+            .peak_device_bytes
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{v}", esc(k)))
+            .collect();
+        format!(
+            concat!(
+                "{{\"model\":\"{}\",\"total_ns\":{:.1},\"transfer_ns\":{:.1},",
+                "\"compute_ns\":{:.1},\"other_ns\":{:.1},\"overhead_ns\":{:.1},",
+                "\"bytes_h2d\":{},\"bytes_d2h\":{},\"chunks\":{},\"pipelines\":{},",
+                "\"wall_ns\":{},\"per_primitive_ns\":{{{}}},\"peak_device_bytes\":{{{}}}}}"
+            ),
+            esc(&self.model),
+            self.total_ns,
+            self.transfer_ns,
+            self.compute_ns,
+            self.other_ns,
+            self.overhead_ns(),
+            self.bytes_h2d,
+            self.bytes_d2h,
+            self.chunks_processed,
+            self.pipelines,
+            self.wall_ns,
+            per_primitive.join(","),
+            peaks.join(","),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_math() {
+        let mut s = ExecutionStats {
+            total_ns: 100.0,
+            ..Default::default()
+        };
+        s.record_primitive("filter", 30.0);
+        s.record_primitive("agg", 40.0);
+        s.record_primitive("filter", 10.0);
+        assert_eq!(s.primitive_total_ns(), 80.0);
+        assert_eq!(s.overhead_ns(), 20.0);
+        assert!((s.overhead_fraction() - 0.2).abs() < 1e-12);
+        assert_eq!(s.per_primitive_ns["filter"], 40.0);
+    }
+
+    #[test]
+    fn overhead_clamps_at_zero() {
+        let mut s = ExecutionStats {
+            total_ns: 10.0,
+            ..Default::default()
+        };
+        s.record_primitive("k", 50.0);
+        assert_eq!(s.overhead_ns(), 0.0);
+        let empty = ExecutionStats::default();
+        assert_eq!(empty.overhead_fraction(), 0.0);
+    }
+
+    #[test]
+    fn unit_helpers() {
+        let s = ExecutionStats {
+            total_ns: 2_500_000.0,
+            ..Default::default()
+        };
+        assert!((s.total_ms() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_export_is_well_formed() {
+        let mut s = ExecutionStats {
+            model: "chunked".into(),
+            total_ns: 123.0,
+            bytes_h2d: 42,
+            ..Default::default()
+        };
+        s.record_primitive("filter \"x\"", 10.0);
+        s.peak_device_bytes.insert("gpu0".into(), 2048);
+        let json = s.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"model\":\"chunked\""));
+        assert!(json.contains("\"bytes_h2d\":42"));
+        assert!(json.contains("\"gpu0\":2048"));
+        // Quotes in labels are escaped.
+        assert!(json.contains("filter \\\"x\\\""));
+        // Balanced braces.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count()
+        );
+    }
+}

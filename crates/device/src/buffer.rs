@@ -1,0 +1,290 @@
+//! Device-resident buffers.
+//!
+//! Buffers are *typed* (the I/O semantics of the task layer map onto payload
+//! kinds) and tagged with the [`SdkRepr`] they are currently interpreted as.
+//! In this simulation the payload physically lives in host memory, but it is
+//! owned by the device's bounded pool and can only be read back through
+//! `retrieve_data` — the runtime never reaches around the interface.
+
+use crate::sdk::SdkRepr;
+use std::any::Any;
+use std::fmt;
+
+/// Identifier for a buffer within one device's pool.
+///
+/// The paper's listings use a `short alias`; a `u64` newtype plays the same
+/// role without collision risk.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BufferId(pub u64);
+
+impl fmt::Display for BufferId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "buf#{}", self.0)
+    }
+}
+
+/// A device-resident opaque structure (the paper's `HASH_TABLE` and
+/// `GENERIC` I/O semantics — hash tables, custom tree indexes, …).
+///
+/// The device layer only needs to know its size (for pool accounting) and
+/// how to clone it; the task layer downcasts through `as_any` to operate on
+/// the concrete structure.
+pub trait GenericPayload: Send + Sync + fmt::Debug {
+    /// Bytes the structure occupies in device memory.
+    fn byte_len(&self) -> u64;
+    /// Logical element count (entries for a hash table).
+    fn len(&self) -> usize;
+    /// True when the structure holds no elements.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Clones the structure behind the trait object.
+    fn clone_box(&self) -> Box<dyn GenericPayload>;
+    /// Downcasting support.
+    fn as_any(&self) -> &dyn Any;
+    /// Mutable downcasting support.
+    fn as_any_mut(&mut self) -> &mut dyn Any;
+}
+
+/// Typed buffer payload.
+///
+/// Kernels operate on these payloads directly, which keeps the whole engine
+/// free of `unsafe` byte-casting while preserving per-element byte accounting
+/// for the cost model.
+#[derive(Debug)]
+pub enum BufferData {
+    /// 64-bit integers (`NUMERIC` semantics; 32-bit inputs are widened on
+    /// placement, with the *transfer* still billed at their true width).
+    I64(Vec<i64>),
+    /// 64-bit floats (`NUMERIC`).
+    F64(Vec<f64>),
+    /// 32-bit positions (`POSITION` semantics).
+    U32(Vec<u32>),
+    /// Packed bitmap words (`BITMAP` semantics).
+    BitWords(Vec<u64>),
+    /// Raw bytes (`GENERIC` semantics, e.g. serialized custom structures).
+    Raw(Vec<u8>),
+    /// An opaque device-resident structure (`HASH_TABLE`/`GENERIC`).
+    Generic(Box<dyn GenericPayload>),
+}
+
+impl Clone for BufferData {
+    fn clone(&self) -> Self {
+        match self {
+            BufferData::I64(v) => BufferData::I64(v.clone()),
+            BufferData::F64(v) => BufferData::F64(v.clone()),
+            BufferData::U32(v) => BufferData::U32(v.clone()),
+            BufferData::BitWords(v) => BufferData::BitWords(v.clone()),
+            BufferData::Raw(v) => BufferData::Raw(v.clone()),
+            BufferData::Generic(g) => BufferData::Generic(g.clone_box()),
+        }
+    }
+}
+
+impl PartialEq for BufferData {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (BufferData::I64(a), BufferData::I64(b)) => a == b,
+            (BufferData::F64(a), BufferData::F64(b)) => a == b,
+            (BufferData::U32(a), BufferData::U32(b)) => a == b,
+            (BufferData::BitWords(a), BufferData::BitWords(b)) => a == b,
+            (BufferData::Raw(a), BufferData::Raw(b)) => a == b,
+            // Opaque structures are never considered equal.
+            _ => false,
+        }
+    }
+}
+
+impl BufferData {
+    /// Number of logical elements.
+    pub fn len(&self) -> usize {
+        match self {
+            BufferData::I64(v) => v.len(),
+            BufferData::F64(v) => v.len(),
+            BufferData::U32(v) => v.len(),
+            BufferData::BitWords(v) => v.len(),
+            BufferData::Raw(v) => v.len(),
+            BufferData::Generic(g) => g.len(),
+        }
+    }
+
+    /// True when the payload holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes occupied in device memory.
+    pub fn byte_len(&self) -> u64 {
+        match self {
+            BufferData::I64(v) => (v.len() * 8) as u64,
+            BufferData::F64(v) => (v.len() * 8) as u64,
+            BufferData::U32(v) => (v.len() * 4) as u64,
+            BufferData::BitWords(v) => (v.len() * 8) as u64,
+            BufferData::Raw(v) => v.len() as u64,
+            BufferData::Generic(g) => g.byte_len(),
+        }
+    }
+
+    /// Short kind name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            BufferData::I64(_) => "i64",
+            BufferData::F64(_) => "f64",
+            BufferData::U32(_) => "u32",
+            BufferData::BitWords(_) => "bitwords",
+            BufferData::Raw(_) => "raw",
+            BufferData::Generic(_) => "generic",
+        }
+    }
+
+    /// An empty payload of the same kind with reserved capacity.
+    ///
+    /// `Generic` payloads clone instead (an "empty like" of an opaque
+    /// structure is not generally constructible).
+    pub fn empty_like(&self, capacity: usize) -> BufferData {
+        match self {
+            BufferData::I64(_) => BufferData::I64(Vec::with_capacity(capacity)),
+            BufferData::F64(_) => BufferData::F64(Vec::with_capacity(capacity)),
+            BufferData::U32(_) => BufferData::U32(Vec::with_capacity(capacity)),
+            BufferData::BitWords(_) => BufferData::BitWords(Vec::with_capacity(capacity)),
+            BufferData::Raw(_) => BufferData::Raw(Vec::with_capacity(capacity)),
+            BufferData::Generic(g) => BufferData::Generic(g.clone_box()),
+        }
+    }
+
+    /// Copies elements `offset..offset+len` into a new payload.
+    ///
+    /// `Generic` payloads do not support slicing; they are cloned whole
+    /// (chunking a hash table has no meaning — the runtime never does it).
+    pub fn slice(&self, offset: usize, len: usize) -> BufferData {
+        let end = (offset + len).min(self.len());
+        let offset = offset.min(end);
+        match self {
+            BufferData::I64(v) => BufferData::I64(v[offset..end].to_vec()),
+            BufferData::F64(v) => BufferData::F64(v[offset..end].to_vec()),
+            BufferData::U32(v) => BufferData::U32(v[offset..end].to_vec()),
+            BufferData::BitWords(v) => BufferData::BitWords(v[offset..end].to_vec()),
+            BufferData::Raw(v) => BufferData::Raw(v[offset..end].to_vec()),
+            BufferData::Generic(g) => BufferData::Generic(g.clone_box()),
+        }
+    }
+
+    /// Borrows the payload as `i64`s.
+    pub fn as_i64(&self) -> Option<&Vec<i64>> {
+        match self {
+            BufferData::I64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrows the payload as `f64`s.
+    pub fn as_f64(&self) -> Option<&Vec<f64>> {
+        match self {
+            BufferData::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrows the payload as positions.
+    pub fn as_u32(&self) -> Option<&Vec<u32>> {
+        match self {
+            BufferData::U32(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Borrows the payload as bitmap words.
+    pub fn as_bitwords(&self) -> Option<&Vec<u64>> {
+        match self {
+            BufferData::BitWords(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Downcasts a generic payload to a concrete type.
+    pub fn as_generic<T: 'static>(&self) -> Option<&T> {
+        match self {
+            BufferData::Generic(g) => g.as_any().downcast_ref::<T>(),
+            _ => None,
+        }
+    }
+
+    /// Mutably downcasts a generic payload to a concrete type.
+    pub fn as_generic_mut<T: 'static>(&mut self) -> Option<&mut T> {
+        match self {
+            BufferData::Generic(g) => g.as_any_mut().downcast_mut::<T>(),
+            _ => None,
+        }
+    }
+}
+
+/// A buffer held by a device pool.
+#[derive(Clone, Debug)]
+pub struct Buffer {
+    /// Current payload.
+    pub data: BufferData,
+    /// SDK representation this buffer is currently tagged as.
+    pub repr: SdkRepr,
+    /// Whether the buffer lives in the pinned (host-accessible) pool.
+    pub pinned: bool,
+    /// Bytes *reserved* in the pool for this buffer.
+    ///
+    /// `prepare_memory`/`add_pinned_memory` reserve a fixed region up front
+    /// (as a real device allocation does); the payload may be smaller. Pool
+    /// accounting always uses `reserved_bytes.max(data.byte_len())`.
+    pub reserved_bytes: u64,
+}
+
+impl Buffer {
+    /// Bytes this buffer occupies in pool accounting.
+    pub fn footprint(&self) -> u64 {
+        self.reserved_bytes.max(self.data.byte_len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_lengths() {
+        assert_eq!(BufferData::I64(vec![1, 2]).byte_len(), 16);
+        assert_eq!(BufferData::U32(vec![1, 2, 3]).byte_len(), 12);
+        assert_eq!(BufferData::BitWords(vec![0]).byte_len(), 8);
+        assert_eq!(BufferData::Raw(vec![0; 5]).byte_len(), 5);
+        assert_eq!(BufferData::F64(vec![]).byte_len(), 0);
+    }
+
+    #[test]
+    fn slicing() {
+        let d = BufferData::I64((0..10).collect());
+        assert_eq!(d.slice(8, 5), BufferData::I64(vec![8, 9]));
+        assert_eq!(d.slice(20, 5).len(), 0);
+    }
+
+    #[test]
+    fn empty_like_preserves_kind() {
+        let d = BufferData::U32(vec![1]);
+        let e = d.empty_like(10);
+        assert_eq!(e.kind(), "u32");
+        assert!(e.is_empty());
+    }
+
+    #[test]
+    fn footprint_uses_max() {
+        let b = Buffer {
+            data: BufferData::I64(vec![1, 2, 3]),
+            repr: SdkRepr::HostVec,
+            pinned: false,
+            reserved_bytes: 100,
+        };
+        assert_eq!(b.footprint(), 100);
+        let b2 = Buffer {
+            data: BufferData::I64(vec![0; 100]),
+            repr: SdkRepr::HostVec,
+            pinned: false,
+            reserved_bytes: 8,
+        };
+        assert_eq!(b2.footprint(), 800);
+    }
+}

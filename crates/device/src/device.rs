@@ -1,0 +1,134 @@
+//! The `Device` trait — ADAMANT's ten pluggable interfaces.
+
+use crate::buffer::{BufferData, BufferId};
+use crate::clock::SimClock;
+use crate::error::Result;
+use crate::kernel::{ExecuteSpec, KernelSource, KernelStats};
+use crate::pool::BufferPool;
+use crate::sdk::{SdkKind, SdkRepr};
+use crate::transform::TransformKind;
+use std::fmt;
+
+/// Identifier for a device within the engine's registry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct DeviceId(pub u32);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev#{}", self.0)
+    }
+}
+
+/// Broad device class.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// Host CPU (possibly many cores).
+    Cpu,
+    /// Discrete GPU behind a bus.
+    Gpu,
+    /// Anything else a user plugs in (FPGA, NPU, smart NIC front end…).
+    Accelerator,
+}
+
+/// Static description of a plugged device.
+#[derive(Clone, Debug)]
+pub struct DeviceInfo {
+    /// Registry id.
+    pub id: DeviceId,
+    /// Human-readable name, e.g. `"gpu0 (cuda, rtx2080ti-class)"`.
+    pub name: String,
+    /// Device class.
+    pub kind: DeviceKind,
+    /// SDK this driver speaks.
+    pub sdk: SdkKind,
+    /// Device memory capacity in bytes.
+    pub memory_capacity: u64,
+    /// Pinned (host-accessible) pool capacity in bytes.
+    pub pinned_capacity: u64,
+}
+
+/// ADAMANT's device-layer interface (paper §III-A).
+///
+/// Implementing this trait is all that is required to plug a new
+/// co-processor or SDK into the executor; the runtime layer only ever talks
+/// through these methods. The ten paper interfaces map to the ten required
+/// methods below; `clock`/`pool` accessors expose the simulation state the
+/// runtime uses for statistics (a real driver would surface hardware
+/// counters the same way).
+pub trait Device: Send {
+    /// Static device description.
+    fn info(&self) -> &DeviceInfo;
+
+    /// `initialize()`: set device properties, compile pre-registered
+    /// kernels. Must be called before any other operation.
+    fn initialize(&mut self) -> Result<()>;
+
+    /// `place_data(data, size, offset)`: push data into device memory.
+    ///
+    /// With `offset == 0` and no existing buffer, creates the buffer. With an
+    /// existing buffer, overwrites elements starting at `offset` (chunk
+    /// uploads into pinned staging buffers use this).
+    fn place_data(&mut self, id: BufferId, data: BufferData, offset: usize) -> Result<()>;
+
+    /// `retrieve_data(id, size, offset)`: read `len` elements back to the
+    /// host (`None` = the whole buffer).
+    fn retrieve_data(&mut self, id: BufferId, len: Option<usize>, offset: usize)
+        -> Result<BufferData>;
+
+    /// `prepare_memory(size)`: allocate `bytes` of device memory for `id`.
+    fn prepare_memory(&mut self, id: BufferId, bytes: u64) -> Result<()>;
+
+    /// `transform_memory(source, target)`: convert a buffer's SDK
+    /// representation, zero-copy when the transform table allows.
+    fn transform_memory(&mut self, id: BufferId, target: SdkRepr) -> Result<TransformKind>;
+
+    /// `delete_memory(id)`: free a buffer.
+    fn delete_memory(&mut self, id: BufferId) -> Result<()>;
+
+    /// `prepare_kernel(name, location)`: bind (and for source kernels,
+    /// compile) a kernel under `name`. Optional per the paper — drivers
+    /// without runtime compilation reject [`KernelSource::Source`].
+    fn prepare_kernel(&mut self, name: &str, source: KernelSource) -> Result<()>;
+
+    /// `create_chunk(ID, chunk size, offset)`: materialize a device-side
+    /// sub-buffer `dst` holding `len` elements of `src` starting at `offset`.
+    fn create_chunk(&mut self, src: BufferId, dst: BufferId, offset: usize, len: usize)
+        -> Result<()>;
+
+    /// `add_pinned_memory(ID, chunk size, offset)`: reserve host-accessible
+    /// pinned memory for `id` (fast staging for the 4-phase model).
+    fn add_pinned_memory(&mut self, id: BufferId, bytes: u64) -> Result<()>;
+
+    /// `execute()`: run a prepared kernel against device buffers.
+    fn execute(&mut self, spec: &ExecuteSpec) -> Result<KernelStats>;
+
+    /// Allocates and initializes a device-resident structure (empty hash
+    /// table, zeroed accumulator) **without** a host transfer — the
+    /// device-side half of the runtime's `prepare_output_buffer`.
+    ///
+    /// Cost: one allocation plus an on-device initialization at memory
+    /// bandwidth (like `cudaMemset` after `cudaMalloc`).
+    fn init_structure(&mut self, id: BufferId, data: BufferData) -> Result<()>;
+
+    /// The device's cost clock (statistics, timelines).
+    fn clock(&self) -> &SimClock;
+
+    /// Mutable clock access (the runtime drains events after each step).
+    fn clock_mut(&mut self) -> &mut SimClock;
+
+    /// The device's buffer pool (read-only inspection: usage, peak).
+    fn pool(&self) -> &BufferPool;
+
+    /// Frees all buffers and resets usage (between queries/experiments).
+    fn reset(&mut self);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_display() {
+        assert_eq!(DeviceId(3).to_string(), "dev#3");
+    }
+}

@@ -1,0 +1,136 @@
+//! Device-layer errors.
+
+use crate::buffer::BufferId;
+use crate::sdk::SdkRepr;
+use std::fmt;
+
+/// Errors produced by device drivers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeviceError {
+    /// The device memory pool cannot satisfy an allocation.
+    ///
+    /// This is a *real* condition in the simulator: pools enforce the
+    /// profile's capacity, which is how the whole-table baseline reproduces
+    /// the paper's "Q3 cannot be executed" result.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes still available.
+        available: u64,
+        /// Total pool capacity.
+        capacity: u64,
+    },
+    /// The pinned (host-accessible) pool cannot satisfy an allocation.
+    OutOfPinnedMemory {
+        /// Bytes requested.
+        requested: u64,
+        /// Bytes still available.
+        available: u64,
+    },
+    /// A buffer id was not found in the pool.
+    UnknownBuffer(BufferId),
+    /// A buffer id was allocated twice.
+    DuplicateBuffer(BufferId),
+    /// A kernel name was not prepared on this device.
+    KernelNotFound(String),
+    /// The device does not support runtime kernel compilation
+    /// (`prepare_kernel` is optional per the paper).
+    CompilationUnsupported {
+        /// Device name for the message.
+        device: String,
+    },
+    /// A kernel was invoked with malformed arguments.
+    BadKernelArgs {
+        /// Kernel name.
+        kernel: String,
+        /// What went wrong.
+        reason: String,
+    },
+    /// `transform_memory` was asked for a conversion with no table entry and
+    /// host round-trips disabled.
+    NoTransformPath {
+        /// Source representation.
+        from: SdkRepr,
+        /// Target representation.
+        to: SdkRepr,
+    },
+    /// A read or chunk operation went past the end of a buffer.
+    RangeOutOfBounds {
+        /// Buffer involved.
+        id: BufferId,
+        /// Requested end element.
+        requested_end: usize,
+        /// Buffer length in elements.
+        len: usize,
+    },
+    /// Buffer payload type differed from what the operation expected.
+    TypeMismatch {
+        /// Buffer involved.
+        id: BufferId,
+        /// Expected payload kind.
+        expected: &'static str,
+        /// Actual payload kind.
+        actual: &'static str,
+    },
+    /// The device was used before `initialize()`.
+    NotInitialized,
+    /// Catch-all for driver-specific failures.
+    Driver(String),
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::OutOfMemory {
+                requested,
+                available,
+                capacity,
+            } => write!(
+                f,
+                "device out of memory: requested {requested} B, {available} B free of {capacity} B"
+            ),
+            DeviceError::OutOfPinnedMemory {
+                requested,
+                available,
+            } => write!(
+                f,
+                "pinned pool exhausted: requested {requested} B, {available} B free"
+            ),
+            DeviceError::UnknownBuffer(id) => write!(f, "unknown buffer {id:?}"),
+            DeviceError::DuplicateBuffer(id) => write!(f, "buffer {id:?} already exists"),
+            DeviceError::KernelNotFound(name) => write!(f, "kernel `{name}` not prepared"),
+            DeviceError::CompilationUnsupported { device } => {
+                write!(f, "device `{device}` does not support runtime compilation")
+            }
+            DeviceError::BadKernelArgs { kernel, reason } => {
+                write!(f, "bad arguments for kernel `{kernel}`: {reason}")
+            }
+            DeviceError::NoTransformPath { from, to } => {
+                write!(f, "no transform path from {from:?} to {to:?}")
+            }
+            DeviceError::RangeOutOfBounds {
+                id,
+                requested_end,
+                len,
+            } => write!(
+                f,
+                "range end {requested_end} out of bounds for buffer {id:?} of length {len}"
+            ),
+            DeviceError::TypeMismatch {
+                id,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "buffer {id:?} type mismatch: expected {expected}, got {actual}"
+            ),
+            DeviceError::NotInitialized => write!(f, "device used before initialize()"),
+            DeviceError::Driver(msg) => write!(f, "driver error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DeviceError {}
+
+/// Shorthand result alias for device operations.
+pub type Result<T> = std::result::Result<T, DeviceError>;

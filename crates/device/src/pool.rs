@@ -1,0 +1,366 @@
+//! Bounded device memory pools.
+//!
+//! Capacity enforcement is load-bearing for the evaluation: the paper's
+//! Fig. 7 argument (operator-at-a-time does not scale) and the HeavyDB Q3
+//! out-of-memory result both hinge on allocations failing when the device is
+//! full. The pool therefore accounts every buffer against the profile's
+//! capacity and refuses overcommit with [`DeviceError::OutOfMemory`].
+
+use crate::buffer::{Buffer, BufferData, BufferId};
+use crate::error::{DeviceError, Result};
+use crate::sdk::SdkRepr;
+use std::collections::HashMap;
+
+/// A bounded pool of device buffers plus a separate pinned (host-accessible)
+/// region, as on a discrete GPU.
+#[derive(Debug)]
+pub struct BufferPool {
+    buffers: HashMap<BufferId, Buffer>,
+    capacity: u64,
+    pinned_capacity: u64,
+    used: u64,
+    pinned_used: u64,
+    peak: u64,
+    /// Buffers temporarily taken by an executing kernel (see [`Self::take`]).
+    taken: HashMap<BufferId, (bool, u64)>,
+}
+
+impl BufferPool {
+    /// Creates a pool with the given device and pinned capacities in bytes.
+    pub fn new(capacity: u64, pinned_capacity: u64) -> Self {
+        BufferPool {
+            buffers: HashMap::new(),
+            capacity,
+            pinned_capacity,
+            used: 0,
+            pinned_used: 0,
+            peak: 0,
+            taken: HashMap::new(),
+        }
+    }
+
+    /// Total device capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated from the device region.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes currently allocated from the pinned region.
+    pub fn pinned_used(&self) -> u64 {
+        self.pinned_used
+    }
+
+    /// Highest device usage observed (for the Fig. 7 footprint traces).
+    pub fn peak(&self) -> u64 {
+        self.peak
+    }
+
+    /// Remaining device bytes.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.used
+    }
+
+    /// Number of live buffers (taken ones included).
+    pub fn buffer_count(&self) -> usize {
+        self.buffers.len() + self.taken.len()
+    }
+
+    /// Inserts a new buffer, charging its footprint against the right region.
+    pub fn insert(&mut self, id: BufferId, buffer: Buffer) -> Result<()> {
+        if self.buffers.contains_key(&id) || self.taken.contains_key(&id) {
+            return Err(DeviceError::DuplicateBuffer(id));
+        }
+        let bytes = buffer.footprint();
+        if buffer.pinned {
+            if self.pinned_used + bytes > self.pinned_capacity {
+                return Err(DeviceError::OutOfPinnedMemory {
+                    requested: bytes,
+                    available: self.pinned_capacity - self.pinned_used,
+                });
+            }
+            self.pinned_used += bytes;
+        } else {
+            if self.used + bytes > self.capacity {
+                return Err(DeviceError::OutOfMemory {
+                    requested: bytes,
+                    available: self.capacity - self.used,
+                    capacity: self.capacity,
+                });
+            }
+            self.used += bytes;
+            self.peak = self.peak.max(self.used);
+        }
+        self.buffers.insert(id, buffer);
+        Ok(())
+    }
+
+    /// Borrows a buffer.
+    pub fn get(&self, id: BufferId) -> Result<&Buffer> {
+        self.buffers.get(&id).ok_or(DeviceError::UnknownBuffer(id))
+    }
+
+    /// Mutably borrows a buffer.
+    ///
+    /// Footprint growth must go through [`Self::update_accounting`] afterwards;
+    /// kernels that resize payloads use [`Self::take`]/[`Self::restore`]
+    /// instead, which re-account automatically.
+    pub fn get_mut(&mut self, id: BufferId) -> Result<&mut Buffer> {
+        self.buffers
+            .get_mut(&id)
+            .ok_or(DeviceError::UnknownBuffer(id))
+    }
+
+    /// Whether the pool holds `id` (taken buffers count as held).
+    pub fn contains(&self, id: BufferId) -> bool {
+        self.buffers.contains_key(&id) || self.taken.contains_key(&id)
+    }
+
+    /// Removes a buffer, releasing its bytes.
+    pub fn remove(&mut self, id: BufferId) -> Result<Buffer> {
+        let buffer = self
+            .buffers
+            .remove(&id)
+            .ok_or(DeviceError::UnknownBuffer(id))?;
+        let bytes = buffer.footprint();
+        if buffer.pinned {
+            self.pinned_used -= bytes;
+        } else {
+            self.used -= bytes;
+        }
+        Ok(buffer)
+    }
+
+    /// Temporarily removes a buffer for kernel execution.
+    ///
+    /// The bytes stay charged (the memory is still allocated on the device);
+    /// [`Self::restore`] re-inserts the buffer and adjusts accounting if the
+    /// kernel grew or shrank the payload.
+    pub fn take(&mut self, id: BufferId) -> Result<Buffer> {
+        let buffer = self
+            .buffers
+            .remove(&id)
+            .ok_or(DeviceError::UnknownBuffer(id))?;
+        self.taken.insert(id, (buffer.pinned, buffer.footprint()));
+        Ok(buffer)
+    }
+
+    /// Restores a buffer previously [`Self::take`]n, re-checking capacity
+    /// for any growth.
+    ///
+    /// On failure (the grown buffer no longer fits) the buffer is
+    /// **consumed and its slot freed** — like a failed `realloc`, the
+    /// allocation cannot exist on the device, so keeping its bytes charged
+    /// would leak pool capacity across error recovery.
+    pub fn restore(&mut self, id: BufferId, buffer: Buffer) -> Result<()> {
+        let (was_pinned, old_bytes) = self
+            .taken
+            .remove(&id)
+            .ok_or(DeviceError::UnknownBuffer(id))?;
+        let new_bytes = buffer.footprint();
+        debug_assert_eq!(was_pinned, buffer.pinned, "pinnedness changed on restore");
+        if buffer.pinned {
+            let adjusted = self.pinned_used - old_bytes + new_bytes;
+            if adjusted > self.pinned_capacity {
+                // Free the slot entirely (failed-realloc semantics).
+                self.pinned_used -= old_bytes;
+                return Err(DeviceError::OutOfPinnedMemory {
+                    requested: new_bytes - old_bytes,
+                    available: self.pinned_capacity - self.pinned_used,
+                });
+            }
+            self.pinned_used = adjusted;
+        } else {
+            let adjusted = self.used - old_bytes + new_bytes;
+            if adjusted > self.capacity {
+                self.used -= old_bytes;
+                return Err(DeviceError::OutOfMemory {
+                    requested: new_bytes - old_bytes,
+                    available: self.capacity - self.used,
+                    capacity: self.capacity,
+                });
+            }
+            self.used = adjusted;
+            self.peak = self.peak.max(self.used);
+        }
+        self.buffers.insert(id, buffer);
+        Ok(())
+    }
+
+    /// Re-checks accounting after an in-place mutation through
+    /// [`Self::get_mut`] changed a buffer's footprint.
+    pub fn update_accounting(&mut self, id: BufferId, old_footprint: u64) -> Result<()> {
+        let buffer = self.buffers.get(&id).ok_or(DeviceError::UnknownBuffer(id))?;
+        let new_bytes = buffer.footprint();
+        let pinned = buffer.pinned;
+        if pinned {
+            self.pinned_used = self.pinned_used - old_footprint + new_bytes;
+        } else {
+            self.used = self.used - old_footprint + new_bytes;
+            self.peak = self.peak.max(self.used);
+            if self.used > self.capacity {
+                return Err(DeviceError::OutOfMemory {
+                    requested: new_bytes - old_footprint,
+                    available: 0,
+                    capacity: self.capacity,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Removes every buffer (end-of-query cleanup / delete phase).
+    pub fn clear(&mut self) {
+        self.buffers.clear();
+        self.taken.clear();
+        self.used = 0;
+        self.pinned_used = 0;
+    }
+
+    /// Resets the peak-usage watermark (between experiments).
+    pub fn reset_peak(&mut self) {
+        self.peak = self.used;
+    }
+
+    /// Ids of all resident buffers (unordered).
+    pub fn ids(&self) -> Vec<BufferId> {
+        self.buffers.keys().copied().collect()
+    }
+
+    /// Convenience: allocates a reserved-but-empty buffer.
+    pub fn reserve(
+        &mut self,
+        id: BufferId,
+        bytes: u64,
+        repr: SdkRepr,
+        pinned: bool,
+    ) -> Result<()> {
+        self.insert(
+            id,
+            Buffer {
+                data: BufferData::Raw(Vec::new()),
+                repr,
+                pinned,
+                reserved_bytes: bytes,
+            },
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn buf(n: usize) -> Buffer {
+        Buffer {
+            data: BufferData::I64(vec![0; n]),
+            repr: SdkRepr::HostVec,
+            pinned: false,
+            reserved_bytes: 0,
+        }
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut pool = BufferPool::new(100, 0);
+        pool.insert(BufferId(1), buf(10)).unwrap(); // 80 bytes
+        let err = pool.insert(BufferId(2), buf(10)).unwrap_err();
+        match err {
+            DeviceError::OutOfMemory {
+                requested,
+                available,
+                capacity,
+            } => {
+                assert_eq!(requested, 80);
+                assert_eq!(available, 20);
+                assert_eq!(capacity, 100);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+        assert_eq!(pool.used(), 80);
+    }
+
+    #[test]
+    fn pinned_capacity_separate() {
+        let mut pool = BufferPool::new(100, 50);
+        let pinned = Buffer {
+            pinned: true,
+            ..buf(5)
+        };
+        pool.insert(BufferId(1), pinned.clone()).unwrap(); // 40 pinned
+        assert_eq!(pool.pinned_used(), 40);
+        assert_eq!(pool.used(), 0);
+        assert!(matches!(
+            pool.insert(BufferId(2), pinned).unwrap_err(),
+            DeviceError::OutOfPinnedMemory { .. }
+        ));
+    }
+
+    #[test]
+    fn duplicate_rejected() {
+        let mut pool = BufferPool::new(1000, 0);
+        pool.insert(BufferId(1), buf(1)).unwrap();
+        assert!(matches!(
+            pool.insert(BufferId(1), buf(1)).unwrap_err(),
+            DeviceError::DuplicateBuffer(_)
+        ));
+    }
+
+    #[test]
+    fn remove_releases() {
+        let mut pool = BufferPool::new(100, 0);
+        pool.insert(BufferId(1), buf(10)).unwrap();
+        pool.remove(BufferId(1)).unwrap();
+        assert_eq!(pool.used(), 0);
+        assert!(pool.remove(BufferId(1)).is_err());
+        // Peak remembers the high-water mark.
+        assert_eq!(pool.peak(), 80);
+        pool.reset_peak();
+        assert_eq!(pool.peak(), 0);
+    }
+
+    #[test]
+    fn take_restore_reaccounts_growth() {
+        let mut pool = BufferPool::new(100, 0);
+        pool.insert(BufferId(1), buf(2)).unwrap(); // 16
+        let mut b = pool.take(BufferId(1)).unwrap();
+        assert!(pool.contains(BufferId(1)), "taken buffers still held");
+        if let BufferData::I64(v) = &mut b.data {
+            v.extend_from_slice(&[0; 8]); // now 80 bytes
+        }
+        pool.restore(BufferId(1), b).unwrap();
+        assert_eq!(pool.used(), 80);
+    }
+
+    #[test]
+    fn restore_rejects_overgrowth() {
+        let mut pool = BufferPool::new(100, 0);
+        pool.insert(BufferId(1), buf(2)).unwrap();
+        let mut b = pool.take(BufferId(1)).unwrap();
+        if let BufferData::I64(v) = &mut b.data {
+            v.extend_from_slice(&[0; 20]); // 176 bytes > 100
+        }
+        assert!(pool.restore(BufferId(1), b).is_err());
+    }
+
+    #[test]
+    fn reserve_counts_reservation() {
+        let mut pool = BufferPool::new(100, 0);
+        pool.reserve(BufferId(7), 64, SdkRepr::ClBuffer, false)
+            .unwrap();
+        assert_eq!(pool.used(), 64);
+        assert_eq!(pool.get(BufferId(7)).unwrap().repr, SdkRepr::ClBuffer);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut pool = BufferPool::new(1000, 100);
+        pool.insert(BufferId(1), buf(10)).unwrap();
+        pool.clear();
+        assert_eq!(pool.used(), 0);
+        assert_eq!(pool.buffer_count(), 0);
+    }
+}

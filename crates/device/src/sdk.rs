@@ -1,0 +1,112 @@
+//! SDK identities and memory-representation tags.
+
+use std::fmt;
+
+/// The SDK family a driver (or kernel implementation) belongs to.
+///
+/// The paper evaluates OpenCL (on CPU *and* GPU), OpenMP (CPU) and CUDA
+/// (GPU); `Custom` lets downstream users plug entirely new SDKs, which is the
+/// point of the architecture.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SdkKind {
+    /// CUDA-style vendor SDK (GPU).
+    Cuda,
+    /// OpenCL-style portable wrapper (CPU or GPU).
+    OpenCl,
+    /// OpenMP-style host parallelism (CPU).
+    OpenMp,
+    /// Plain host execution (no co-processor).
+    Host,
+    /// A user-plugged SDK, identified by a small tag.
+    Custom(u8),
+}
+
+impl SdkKind {
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SdkKind::Cuda => "cuda",
+            SdkKind::OpenCl => "opencl",
+            SdkKind::OpenMp => "openmp",
+            SdkKind::Host => "host",
+            SdkKind::Custom(_) => "custom",
+        }
+    }
+}
+
+impl fmt::Display for SdkKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdkKind::Custom(tag) => write!(f, "custom#{tag}"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+/// How a buffer's memory is *represented* by an SDK or library.
+///
+/// The paper's Figure 4 shows one GPU memory space interpreted differently by
+/// CUDA (`CUdeviceptr`), OpenCL (`cl_mem`), Thrust and Boost.Compute. A naive
+/// engine converts between them by copying through the host;
+/// `transform_memory` converts the representation **without** moving data
+/// when a zero-copy path is registered in the [`crate::transform::TransformTable`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SdkRepr {
+    /// Host-resident vector.
+    HostVec,
+    /// Raw CUDA device pointer.
+    CudaDevPtr,
+    /// OpenCL `cl_mem` buffer.
+    ClBuffer,
+    /// Thrust `device_vector`.
+    ThrustDevVec,
+    /// Boost.Compute vector.
+    BoostComputeVec,
+    /// A user-plugged representation.
+    Custom(u8),
+}
+
+impl SdkRepr {
+    /// The representation a given SDK natively produces.
+    pub fn native_of(sdk: SdkKind) -> SdkRepr {
+        match sdk {
+            SdkKind::Cuda => SdkRepr::CudaDevPtr,
+            SdkKind::OpenCl => SdkRepr::ClBuffer,
+            SdkKind::OpenMp | SdkKind::Host => SdkRepr::HostVec,
+            SdkKind::Custom(tag) => SdkRepr::Custom(tag),
+        }
+    }
+}
+
+impl fmt::Display for SdkRepr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdkRepr::HostVec => f.write_str("host_vec"),
+            SdkRepr::CudaDevPtr => f.write_str("cuda_devptr"),
+            SdkRepr::ClBuffer => f.write_str("cl_mem"),
+            SdkRepr::ThrustDevVec => f.write_str("thrust_device_vector"),
+            SdkRepr::BoostComputeVec => f.write_str("boost_compute_vector"),
+            SdkRepr::Custom(tag) => write!(f, "custom_repr#{tag}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn native_reprs() {
+        assert_eq!(SdkRepr::native_of(SdkKind::Cuda), SdkRepr::CudaDevPtr);
+        assert_eq!(SdkRepr::native_of(SdkKind::OpenCl), SdkRepr::ClBuffer);
+        assert_eq!(SdkRepr::native_of(SdkKind::OpenMp), SdkRepr::HostVec);
+        assert_eq!(SdkRepr::native_of(SdkKind::Custom(3)), SdkRepr::Custom(3));
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(SdkKind::Cuda.to_string(), "cuda");
+        assert_eq!(SdkKind::Custom(7).to_string(), "custom#7");
+        assert_eq!(SdkRepr::ClBuffer.to_string(), "cl_mem");
+    }
+}

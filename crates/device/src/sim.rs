@@ -1,0 +1,619 @@
+//! The simulated device driver.
+//!
+//! [`SimDevice`] implements [`Device`] exactly as a real driver would wrap
+//! CUDA or OpenCL — every operation goes through the bounded buffer pool and
+//! charges the profile's cost model on the clock. Because the pool is real
+//! (allocations fail when full) and kernels really run, the executor above
+//! cannot tell it apart from hardware except by wall-clock speed.
+
+use crate::buffer::{Buffer, BufferData, BufferId};
+use crate::clock::{Lane, SimClock};
+use crate::cost::CostModel;
+use crate::device::{Device, DeviceInfo};
+use crate::error::{DeviceError, Result};
+use crate::kernel::{ExecuteSpec, KernelFn, KernelSource, KernelStats};
+use crate::pool::BufferPool;
+use crate::sdk::{SdkRepr};
+use crate::transform::{TransformKind, TransformTable};
+use std::collections::HashMap;
+
+/// A simulated co-processor driver.
+pub struct SimDevice {
+    info: DeviceInfo,
+    cost: CostModel,
+    pool: BufferPool,
+    clock: SimClock,
+    transforms: TransformTable,
+    kernels: HashMap<String, KernelFn>,
+    supports_compilation: bool,
+    initialized: bool,
+}
+
+impl SimDevice {
+    /// Creates a device from its description, cost model and transform table.
+    pub fn new(
+        info: DeviceInfo,
+        cost: CostModel,
+        transforms: TransformTable,
+        supports_compilation: bool,
+    ) -> Self {
+        let pool = BufferPool::new(info.memory_capacity, info.pinned_capacity);
+        SimDevice {
+            info,
+            cost,
+            pool,
+            clock: SimClock::new(),
+            transforms,
+            kernels: HashMap::new(),
+            supports_compilation,
+            initialized: false,
+        }
+    }
+
+    /// The device's cost model (benches read parameters from here).
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Mutable cost model access (ablation benches tweak parameters).
+    pub fn cost_model_mut(&mut self) -> &mut CostModel {
+        &mut self.cost
+    }
+
+    /// Names of prepared kernels, sorted (for diagnostics).
+    pub fn kernel_names(&self) -> Vec<&str> {
+        let mut names: Vec<&str> = self.kernels.keys().map(|s| s.as_str()).collect();
+        names.sort_unstable();
+        names
+    }
+
+    fn ensure_init(&self) -> Result<()> {
+        if self.initialized {
+            Ok(())
+        } else {
+            Err(DeviceError::NotInitialized)
+        }
+    }
+
+    fn native_repr(&self) -> SdkRepr {
+        SdkRepr::native_of(self.info.sdk)
+    }
+
+    /// Writes `data` into `dst.data` starting at element `offset`.
+    ///
+    /// `offset == 0` replaces the payload wholesale (the chunk-upload case —
+    /// a shorter final chunk must not leave a stale tail); `offset > 0`
+    /// splices into the existing payload, growing it if needed. Payload
+    /// kinds must match.
+    fn overwrite_at(dst: &mut Buffer, id: BufferId, data: BufferData, offset: usize) -> Result<()> {
+        if offset == 0 {
+            match (&dst.data, &data) {
+                (a, b)
+                    if std::mem::discriminant(a) == std::mem::discriminant(b)
+                        || a.is_empty() =>
+                {
+                    dst.data = data;
+                    return Ok(());
+                }
+                _ => {
+                    return Err(DeviceError::TypeMismatch {
+                        id,
+                        expected: dst.data.kind(),
+                        actual: data.kind(),
+                    })
+                }
+            }
+        }
+        macro_rules! splice {
+            ($dv:expr, $sv:expr) => {{
+                let needed = offset + $sv.len();
+                if $dv.len() < needed {
+                    $dv.resize(needed, Default::default());
+                }
+                $dv[offset..needed].copy_from_slice(&$sv);
+            }};
+        }
+        match (&mut dst.data, data) {
+            (BufferData::I64(d), BufferData::I64(s)) => splice!(d, s),
+            (BufferData::F64(d), BufferData::F64(s)) => splice!(d, s),
+            (BufferData::U32(d), BufferData::U32(s)) => splice!(d, s),
+            (BufferData::BitWords(d), BufferData::BitWords(s)) => splice!(d, s),
+            (BufferData::Raw(d), BufferData::Raw(s)) => splice!(d, s),
+            // A reserved-but-empty buffer accepts its first payload kind.
+            (slot @ BufferData::Raw(_), s) if slot.is_empty() && offset == 0 => *slot = s,
+            (d, s) => {
+                return Err(DeviceError::TypeMismatch {
+                    id,
+                    expected: d.kind(),
+                    actual: s.kind(),
+                })
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Device for SimDevice {
+    fn info(&self) -> &DeviceInfo {
+        &self.info
+    }
+
+    fn initialize(&mut self) -> Result<()> {
+        self.initialized = true;
+        Ok(())
+    }
+
+    fn place_data(&mut self, id: BufferId, data: BufferData, offset: usize) -> Result<()> {
+        self.ensure_init()?;
+        let bytes = data.byte_len();
+        if self.pool.contains(id) {
+            let old = self.pool.get(id)?.footprint();
+            let pinned = self.pool.get(id)?.pinned;
+            {
+                let buf = self.pool.get_mut(id)?;
+                Self::overwrite_at(buf, id, data, offset)?;
+            }
+            self.pool.update_accounting(id, old)?;
+            let t = self.cost.h2d_ns(bytes, pinned);
+            self.clock
+                .record(Lane::TransferH2D, t, bytes, format!("place {id} @{offset}"));
+        } else {
+            if offset != 0 {
+                return Err(DeviceError::BadKernelArgs {
+                    kernel: "place_data".into(),
+                    reason: format!("offset {offset} into nonexistent buffer {id}"),
+                });
+            }
+            let buf = Buffer {
+                data,
+                repr: self.native_repr(),
+                pinned: false,
+                reserved_bytes: 0,
+            };
+            self.pool.insert(id, buf)?;
+            let alloc = self.cost.alloc_ns(bytes, false);
+            self.clock
+                .record(Lane::Alloc, alloc, 0, format!("implicit alloc {id}"));
+            let t = self.cost.h2d_ns(bytes, false);
+            self.clock
+                .record(Lane::TransferH2D, t, bytes, format!("place {id}"));
+        }
+        Ok(())
+    }
+
+    fn retrieve_data(
+        &mut self,
+        id: BufferId,
+        len: Option<usize>,
+        offset: usize,
+    ) -> Result<BufferData> {
+        self.ensure_init()?;
+        let buf = self.pool.get(id)?;
+        let total = buf.data.len();
+        let len = len.unwrap_or(total.saturating_sub(offset));
+        if offset + len > total {
+            return Err(DeviceError::RangeOutOfBounds {
+                id,
+                requested_end: offset + len,
+                len: total,
+            });
+        }
+        let out = buf.data.slice(offset, len);
+        let bytes = out.byte_len();
+        let pinned = buf.pinned;
+        let t = self.cost.d2h_ns(bytes, pinned);
+        self.clock
+            .record(Lane::TransferD2H, t, bytes, format!("retrieve {id}"));
+        Ok(out)
+    }
+
+    fn prepare_memory(&mut self, id: BufferId, bytes: u64) -> Result<()> {
+        self.ensure_init()?;
+        self.pool.reserve(id, bytes, self.native_repr(), false)?;
+        let t = self.cost.alloc_ns(bytes, false);
+        self.clock
+            .record(Lane::Alloc, t, 0, format!("prepare_memory {id} ({bytes} B)"));
+        Ok(())
+    }
+
+    fn transform_memory(&mut self, id: BufferId, target: SdkRepr) -> Result<TransformKind> {
+        self.ensure_init()?;
+        let (from, bytes, pinned) = {
+            let buf = self.pool.get(id)?;
+            (buf.repr, buf.data.byte_len(), buf.pinned)
+        };
+        let kind = self.transforms.resolve(from, target);
+        match kind {
+            TransformKind::ZeroCopy => {
+                self.pool.get_mut(id)?.repr = target;
+                self.clock.record(
+                    Lane::Transform,
+                    self.cost.transform_zero_copy_ns,
+                    0,
+                    format!("transform {id} {from}->{target} (zero-copy)"),
+                );
+            }
+            TransformKind::HostRoundTrip => {
+                // Data crosses the bus twice; representation changes on host.
+                self.pool.get_mut(id)?.repr = target;
+                let down = self.cost.d2h_ns(bytes, pinned);
+                let up = self.cost.h2d_ns(bytes, pinned);
+                self.clock.record(
+                    Lane::TransferD2H,
+                    down,
+                    bytes,
+                    format!("transform {id} {from}->{target} (down)"),
+                );
+                self.clock.record(
+                    Lane::TransferH2D,
+                    up,
+                    bytes,
+                    format!("transform {id} {from}->{target} (up)"),
+                );
+            }
+        }
+        Ok(kind)
+    }
+
+    fn delete_memory(&mut self, id: BufferId) -> Result<()> {
+        self.ensure_init()?;
+        self.pool.remove(id)?;
+        self.clock
+            .record(Lane::Alloc, self.cost.free_overhead_ns, 0, format!("free {id}"));
+        Ok(())
+    }
+
+    fn prepare_kernel(&mut self, name: &str, source: KernelSource) -> Result<()> {
+        // Binding kernels before initialize() is allowed (paper compiles at
+        // initialization); compilation cost is charged when it happens.
+        let entry = match source {
+            KernelSource::Builtin(f) => f,
+            KernelSource::Source { entry, .. } => {
+                if !self.supports_compilation {
+                    return Err(DeviceError::CompilationUnsupported {
+                        device: self.info.name.clone(),
+                    });
+                }
+                self.clock.record(
+                    Lane::Compile,
+                    self.cost.compile_ns,
+                    0,
+                    format!("compile {name}"),
+                );
+                entry
+            }
+        };
+        self.kernels.insert(name.to_string(), entry);
+        Ok(())
+    }
+
+    fn create_chunk(
+        &mut self,
+        src: BufferId,
+        dst: BufferId,
+        offset: usize,
+        len: usize,
+    ) -> Result<()> {
+        self.ensure_init()?;
+        let (slice, repr) = {
+            let buf = self.pool.get(src)?;
+            if offset + len > buf.data.len() {
+                return Err(DeviceError::RangeOutOfBounds {
+                    id: src,
+                    requested_end: offset + len,
+                    len: buf.data.len(),
+                });
+            }
+            (buf.data.slice(offset, len), buf.repr)
+        };
+        let bytes = slice.byte_len();
+        self.pool.insert(
+            dst,
+            Buffer {
+                data: slice,
+                repr,
+                pinned: false,
+                reserved_bytes: 0,
+            },
+        )?;
+        // Device-internal copy at memory bandwidth.
+        let t = bytes as f64 / (self.cost.mem_bandwidth_gibs * 1024.0 * 1024.0 * 1024.0) * 1e9;
+        self.clock.record(
+            Lane::Compute,
+            self.cost.alloc_overhead_ns + t,
+            bytes,
+            format!("create_chunk {src}->{dst}"),
+        );
+        Ok(())
+    }
+
+    fn add_pinned_memory(&mut self, id: BufferId, bytes: u64) -> Result<()> {
+        self.ensure_init()?;
+        self.pool.reserve(id, bytes, self.native_repr(), true)?;
+        let t = self.cost.alloc_ns(bytes, true);
+        self.clock.record(
+            Lane::Alloc,
+            t,
+            0,
+            format!("add_pinned_memory {id} ({bytes} B)"),
+        );
+        Ok(())
+    }
+
+    fn execute(&mut self, spec: &ExecuteSpec) -> Result<KernelStats> {
+        self.ensure_init()?;
+        let kernel = self
+            .kernels
+            .get(&spec.kernel)
+            .cloned()
+            .ok_or_else(|| DeviceError::KernelNotFound(spec.kernel.clone()))?;
+        let stats = kernel(&mut self.pool, &spec.buffers, &spec.params)?;
+        let t = self
+            .cost
+            .kernel_ns(stats.cost_class, stats.elements, spec.arg_count());
+        self.clock
+            .record(Lane::Compute, t, 0, format!("kernel {}", spec.kernel));
+        Ok(stats)
+    }
+
+    fn init_structure(&mut self, id: BufferId, data: BufferData) -> Result<()> {
+        self.ensure_init()?;
+        let bytes = data.byte_len();
+        self.pool.insert(
+            id,
+            Buffer {
+                data,
+                repr: self.native_repr(),
+                pinned: false,
+                reserved_bytes: 0,
+            },
+        )?;
+        let memset =
+            bytes as f64 / (self.cost.mem_bandwidth_gibs * 1024.0 * 1024.0 * 1024.0) * 1e9;
+        self.clock.record(
+            Lane::Alloc,
+            self.cost.alloc_ns(bytes, false) + memset,
+            0,
+            format!("init_structure {id} ({bytes} B)"),
+        );
+        Ok(())
+    }
+
+    fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    fn clock_mut(&mut self) -> &mut SimClock {
+        &mut self.clock
+    }
+
+    fn pool(&self) -> &BufferPool {
+        &self.pool
+    }
+
+    fn reset(&mut self) {
+        self.pool.clear();
+        self.pool.reset_peak();
+        self.clock.reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cost::CostClass;
+    use crate::device::{DeviceId, DeviceKind};
+    use crate::sdk::SdkKind;
+    use std::sync::Arc;
+
+    fn gpu() -> SimDevice {
+        let info = DeviceInfo {
+            id: DeviceId(0),
+            name: "test-gpu".into(),
+            kind: DeviceKind::Gpu,
+            sdk: SdkKind::Cuda,
+            memory_capacity: 1 << 20,
+            pinned_capacity: 1 << 18,
+        };
+        let cost = CostModel {
+            discrete: true,
+            ..CostModel::default()
+        };
+        let mut d = SimDevice::new(info, cost, TransformTable::gpu_default(), true);
+        d.initialize().unwrap();
+        d
+    }
+
+    #[test]
+    fn requires_initialize() {
+        let info = DeviceInfo {
+            id: DeviceId(0),
+            name: "g".into(),
+            kind: DeviceKind::Gpu,
+            sdk: SdkKind::Cuda,
+            memory_capacity: 1024,
+            pinned_capacity: 0,
+        };
+        let mut d = SimDevice::new(info, CostModel::default(), TransformTable::new(), false);
+        assert!(matches!(
+            d.place_data(BufferId(1), BufferData::I64(vec![1]), 0),
+            Err(DeviceError::NotInitialized)
+        ));
+        d.initialize().unwrap();
+        d.place_data(BufferId(1), BufferData::I64(vec![1]), 0)
+            .unwrap();
+    }
+
+    #[test]
+    fn place_retrieve_roundtrip() {
+        let mut d = gpu();
+        d.place_data(BufferId(1), BufferData::I64(vec![1, 2, 3, 4]), 0)
+            .unwrap();
+        let out = d.retrieve_data(BufferId(1), None, 0).unwrap();
+        assert_eq!(out, BufferData::I64(vec![1, 2, 3, 4]));
+        let part = d.retrieve_data(BufferId(1), Some(2), 1).unwrap();
+        assert_eq!(part, BufferData::I64(vec![2, 3]));
+        assert!(d.retrieve_data(BufferId(1), Some(9), 0).is_err());
+        assert!(d.clock().bytes_h2d() > 0);
+        assert!(d.clock().bytes_d2h() > 0);
+    }
+
+    #[test]
+    fn place_at_offset_overwrites() {
+        let mut d = gpu();
+        d.place_data(BufferId(1), BufferData::I64(vec![0; 6]), 0)
+            .unwrap();
+        d.place_data(BufferId(1), BufferData::I64(vec![7, 8]), 2)
+            .unwrap();
+        let out = d.retrieve_data(BufferId(1), None, 0).unwrap();
+        assert_eq!(out, BufferData::I64(vec![0, 0, 7, 8, 0, 0]));
+        // Offset into a nonexistent buffer is an error.
+        assert!(d
+            .place_data(BufferId(9), BufferData::I64(vec![1]), 3)
+            .is_err());
+        // Kind mismatch is an error.
+        assert!(d
+            .place_data(BufferId(1), BufferData::U32(vec![1]), 0)
+            .is_err());
+    }
+
+    #[test]
+    fn oom_on_capacity() {
+        let mut d = gpu(); // 1 MiB
+        let big = vec![0i64; 200_000]; // 1.6 MB
+        assert!(matches!(
+            d.place_data(BufferId(1), BufferData::I64(big), 0),
+            Err(DeviceError::OutOfMemory { .. })
+        ));
+    }
+
+    #[test]
+    fn prepare_then_fill_reserved() {
+        let mut d = gpu();
+        d.prepare_memory(BufferId(1), 1024).unwrap();
+        assert_eq!(d.pool().used(), 1024);
+        d.place_data(BufferId(1), BufferData::I64(vec![5; 10]), 0)
+            .unwrap();
+        assert_eq!(
+            d.retrieve_data(BufferId(1), None, 0).unwrap(),
+            BufferData::I64(vec![5; 10])
+        );
+        // Still accounted at the reservation (80 < 1024).
+        assert_eq!(d.pool().used(), 1024);
+    }
+
+    #[test]
+    fn transform_zero_copy_vs_roundtrip() {
+        let mut d = gpu();
+        d.place_data(BufferId(1), BufferData::I64(vec![1; 1000]), 0)
+            .unwrap();
+        let before = d.clock().bytes_d2h();
+        let k = d
+            .transform_memory(BufferId(1), SdkRepr::ClBuffer)
+            .unwrap();
+        assert_eq!(k, TransformKind::ZeroCopy);
+        assert_eq!(d.clock().bytes_d2h(), before, "zero-copy moved no data");
+
+        // HostVec is not in the GPU family -> round-trip.
+        let k = d.transform_memory(BufferId(1), SdkRepr::HostVec).unwrap();
+        assert_eq!(k, TransformKind::HostRoundTrip);
+        assert!(d.clock().bytes_d2h() > before);
+    }
+
+    #[test]
+    fn chunk_creation() {
+        let mut d = gpu();
+        d.place_data(BufferId(1), BufferData::I64((0..100).collect()), 0)
+            .unwrap();
+        d.create_chunk(BufferId(1), BufferId(2), 10, 5).unwrap();
+        assert_eq!(
+            d.retrieve_data(BufferId(2), None, 0).unwrap(),
+            BufferData::I64(vec![10, 11, 12, 13, 14])
+        );
+        assert!(d.create_chunk(BufferId(1), BufferId(3), 99, 5).is_err());
+    }
+
+    #[test]
+    fn kernel_dispatch() {
+        let mut d = gpu();
+        d.place_data(BufferId(1), BufferData::I64(vec![1, 2, 3]), 0)
+            .unwrap();
+        d.prepare_memory(BufferId(2), 24).unwrap();
+        let add_const: KernelFn = Arc::new(|pool, bufs, params| {
+            let c = params[0];
+            let input = pool.get(bufs[0])?.data.as_i64().unwrap().clone();
+            let mut out = pool.take(bufs[1])?;
+            out.data = BufferData::I64(input.iter().map(|x| x + c).collect());
+            let n = input.len() as u64;
+            pool.restore(bufs[1], out)?;
+            Ok(KernelStats::new(n, CostClass::MapLike))
+        });
+        d.prepare_kernel("add_const", KernelSource::Builtin(add_const))
+            .unwrap();
+        let stats = d
+            .execute(&ExecuteSpec::new(
+                "add_const",
+                vec![BufferId(1), BufferId(2)],
+                vec![10],
+            ))
+            .unwrap();
+        assert_eq!(stats.elements, 3);
+        assert_eq!(
+            d.retrieve_data(BufferId(2), None, 0).unwrap(),
+            BufferData::I64(vec![11, 12, 13])
+        );
+        assert!(d.clock().compute_ns() > 0.0);
+        assert!(d
+            .execute(&ExecuteSpec::new("nope", vec![], vec![]))
+            .is_err());
+    }
+
+    #[test]
+    fn compilation_support_flag() {
+        let mut d = gpu();
+        let f: KernelFn = Arc::new(|_, _, _| Ok(KernelStats::new(0, CostClass::MapLike)));
+        d.prepare_kernel(
+            "jit",
+            KernelSource::Source {
+                source: "__kernel void jit() {}".into(),
+                entry: f.clone(),
+            },
+        )
+        .unwrap();
+        assert_eq!(d.kernel_names(), vec!["jit"]);
+
+        let info = DeviceInfo {
+            id: DeviceId(1),
+            name: "no-jit".into(),
+            kind: DeviceKind::Cpu,
+            sdk: SdkKind::OpenMp,
+            memory_capacity: 1024,
+            pinned_capacity: 0,
+        };
+        let mut nc = SimDevice::new(info, CostModel::default(), TransformTable::new(), false);
+        assert!(matches!(
+            nc.prepare_kernel(
+                "jit",
+                KernelSource::Source {
+                    source: "x".into(),
+                    entry: f
+                }
+            ),
+            Err(DeviceError::CompilationUnsupported { .. })
+        ));
+    }
+
+    #[test]
+    fn pinned_memory_and_reset() {
+        let mut d = gpu();
+        d.add_pinned_memory(BufferId(1), 4096).unwrap();
+        assert_eq!(d.pool().pinned_used(), 4096);
+        d.delete_memory(BufferId(1)).unwrap();
+        assert_eq!(d.pool().pinned_used(), 0);
+        d.place_data(BufferId(2), BufferData::I64(vec![1]), 0)
+            .unwrap();
+        d.reset();
+        assert_eq!(d.pool().used(), 0);
+        assert_eq!(d.clock().total_ns(), 0.0);
+    }
+}

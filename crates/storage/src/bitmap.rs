@@ -1,0 +1,328 @@
+//! Bit-packed selection bitmaps.
+//!
+//! `FILTER_BITMAP` produces one bit per input row; `MATERIALIZE` consumes the
+//! bitmap to extract qualifying values. The paper highlights that bit
+//! extraction is comparatively expensive on SIMT devices (Fig. 9b) because
+//! multiple lanes share one word — the packed representation here is the same
+//! one word / 64 rows layout.
+
+use std::fmt;
+
+/// A bit-packed bitmap over `len` rows, one bit per row.
+///
+/// Bits are stored little-endian within `u64` words: row `i` lives in word
+/// `i / 64`, bit `i % 64`.
+#[derive(Clone, PartialEq, Eq, Default)]
+pub struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    /// Creates an all-zero bitmap covering `len` rows.
+    pub fn new_zeroed(len: usize) -> Self {
+        Bitmap {
+            words: vec![0u64; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Creates an all-one bitmap covering `len` rows.
+    pub fn new_ones(len: usize) -> Self {
+        let mut bm = Bitmap {
+            words: vec![u64::MAX; len.div_ceil(64)],
+            len,
+        };
+        bm.mask_tail();
+        bm
+    }
+
+    /// Builds a bitmap from a slice of booleans.
+    pub fn from_bools(bools: &[bool]) -> Self {
+        let mut bm = Bitmap::new_zeroed(bools.len());
+        for (i, &b) in bools.iter().enumerate() {
+            if b {
+                bm.set(i);
+            }
+        }
+        bm
+    }
+
+    /// Reconstructs a bitmap from raw words (e.g. after a device transfer).
+    ///
+    /// Any bits beyond `len` in the final word are cleared.
+    pub fn from_words(words: Vec<u64>, len: usize) -> Self {
+        let mut bm = Bitmap { words, len };
+        bm.words.resize(len.div_ceil(64), 0);
+        bm.mask_tail();
+        bm
+    }
+
+    /// Number of rows covered.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap covers zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Underlying packed words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Mutable access to the packed words (used by device kernels).
+    pub fn words_mut(&mut self) -> &mut [u64] {
+        &mut self.words
+    }
+
+    /// Sets row `i` (marks it selected).
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears row `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Returns whether row `i` is selected.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of selected rows.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of rows selected (`0.0..=1.0`); `0.0` for an empty bitmap.
+    pub fn selectivity(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+
+    /// In-place conjunction with `other` (same length required).
+    pub fn and_inplace(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch in AND");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place disjunction with `other` (same length required).
+    pub fn or_inplace(&mut self, other: &Bitmap) {
+        assert_eq!(self.len, other.len, "bitmap length mismatch in OR");
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= *b;
+        }
+    }
+
+    /// In-place negation (valid bits only).
+    pub fn not_inplace(&mut self) {
+        for w in self.words.iter_mut() {
+            *w = !*w;
+        }
+        self.mask_tail();
+    }
+
+    /// Iterator over the indices of selected rows, ascending.
+    pub fn iter_ones(&self) -> OnesIter<'_> {
+        OnesIter {
+            bm: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// A sub-bitmap covering rows `offset..offset + count` (clamped to len).
+    ///
+    /// Used when slicing filter results chunk-wise.
+    pub fn slice(&self, offset: usize, count: usize) -> Bitmap {
+        let end = (offset + count).min(self.len);
+        let mut out = Bitmap::new_zeroed(end.saturating_sub(offset));
+        for i in offset..end {
+            if self.get(i) {
+                out.set(i - offset);
+            }
+        }
+        out
+    }
+
+    /// Appends another bitmap's rows after this one's.
+    pub fn extend_from(&mut self, other: &Bitmap) {
+        let base = self.len;
+        self.len += other.len;
+        self.words.resize(self.len.div_ceil(64), 0);
+        for i in other.iter_ones() {
+            self.set(base + i);
+        }
+    }
+
+    /// Size of the packed representation in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    fn mask_tail(&mut self) {
+        let tail_bits = self.len % 64;
+        if tail_bits != 0 {
+            if let Some(last) = self.words.last_mut() {
+                *last &= (1u64 << tail_bits) - 1;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Bitmap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Bitmap(len={}, ones={})",
+            self.len,
+            self.count_ones()
+        )
+    }
+}
+
+/// Iterator over selected row indices of a [`Bitmap`].
+pub struct OnesIter<'a> {
+    bm: &'a Bitmap,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for OnesIter<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let bit = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1;
+                let idx = self.word_idx * 64 + bit;
+                if idx < self.bm.len {
+                    return Some(idx);
+                } else {
+                    return None;
+                }
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.bm.words.len() {
+                return None;
+            }
+            self.current = self.bm.words[self.word_idx];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_and_ones() {
+        let z = Bitmap::new_zeroed(130);
+        assert_eq!(z.count_ones(), 0);
+        assert_eq!(z.len(), 130);
+        let o = Bitmap::new_ones(130);
+        assert_eq!(o.count_ones(), 130);
+    }
+
+    #[test]
+    fn set_get_clear() {
+        let mut bm = Bitmap::new_zeroed(100);
+        bm.set(0);
+        bm.set(63);
+        bm.set(64);
+        bm.set(99);
+        assert!(bm.get(0) && bm.get(63) && bm.get(64) && bm.get(99));
+        assert!(!bm.get(1) && !bm.get(65));
+        assert_eq!(bm.count_ones(), 4);
+        bm.clear(63);
+        assert!(!bm.get(63));
+        assert_eq!(bm.count_ones(), 3);
+    }
+
+    #[test]
+    fn from_bools_roundtrip() {
+        let bools: Vec<bool> = (0..200).map(|i| i % 3 == 0).collect();
+        let bm = Bitmap::from_bools(&bools);
+        for (i, &b) in bools.iter().enumerate() {
+            assert_eq!(bm.get(i), b, "row {i}");
+        }
+    }
+
+    #[test]
+    fn and_or_not() {
+        let a = Bitmap::from_bools(&[true, true, false, false]);
+        let b = Bitmap::from_bools(&[true, false, true, false]);
+        let mut x = a.clone();
+        x.and_inplace(&b);
+        assert_eq!(x, Bitmap::from_bools(&[true, false, false, false]));
+        let mut y = a.clone();
+        y.or_inplace(&b);
+        assert_eq!(y, Bitmap::from_bools(&[true, true, true, false]));
+        let mut z = a.clone();
+        z.not_inplace();
+        assert_eq!(z, Bitmap::from_bools(&[false, false, true, true]));
+    }
+
+    #[test]
+    fn not_masks_tail_bits() {
+        let mut bm = Bitmap::new_zeroed(5);
+        bm.not_inplace();
+        assert_eq!(bm.count_ones(), 5);
+    }
+
+    #[test]
+    fn iter_ones_matches_get() {
+        let bools: Vec<bool> = (0..300).map(|i| (i * 7) % 11 < 4).collect();
+        let bm = Bitmap::from_bools(&bools);
+        let ones: Vec<usize> = bm.iter_ones().collect();
+        let expected: Vec<usize> = bools
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i))
+            .collect();
+        assert_eq!(ones, expected);
+    }
+
+    #[test]
+    fn slice_and_extend() {
+        let bools: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let bm = Bitmap::from_bools(&bools);
+        let s = bm.slice(10, 20);
+        assert_eq!(s.len(), 20);
+        assert_eq!(s.count_ones(), 10);
+
+        let mut acc = Bitmap::new_zeroed(0);
+        acc.extend_from(&bm.slice(0, 50));
+        acc.extend_from(&bm.slice(50, 50));
+        assert_eq!(acc, bm);
+    }
+
+    #[test]
+    fn from_words_clears_extra_bits() {
+        let bm = Bitmap::from_words(vec![u64::MAX], 3);
+        assert_eq!(bm.count_ones(), 3);
+    }
+
+    #[test]
+    fn selectivity() {
+        let bm = Bitmap::from_bools(&[true, false, true, false]);
+        assert!((bm.selectivity() - 0.5).abs() < 1e-12);
+        assert_eq!(Bitmap::new_zeroed(0).selectivity(), 0.0);
+    }
+}

@@ -1,0 +1,88 @@
+//! A named collection of tables.
+
+use crate::error::StorageError;
+use crate::table::Table;
+use std::collections::BTreeMap;
+
+/// The catalog maps table names to tables.
+///
+/// Iteration order is deterministic (sorted by name) so experiments and
+/// examples print stable output.
+#[derive(Clone, Debug, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Registers (or replaces) a table under its own name.
+    pub fn register(&mut self, table: Table) {
+        self.tables.insert(table.name().to_string(), table);
+    }
+
+    /// Looks up a table by name.
+    pub fn table(&self, name: &str) -> Result<&Table, StorageError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StorageError::TableNotFound(name.to_string()))
+    }
+
+    /// Removes a table, returning it if present.
+    pub fn drop_table(&mut self, name: &str) -> Option<Table> {
+        self.tables.remove(name)
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// Number of registered tables.
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// True when the catalog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+
+    /// Total bytes of row data across all tables.
+    pub fn byte_len(&self) -> usize {
+        self.tables.values().map(|t| t.byte_len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    #[test]
+    fn register_lookup_drop() {
+        let mut cat = Catalog::new();
+        assert!(cat.is_empty());
+        cat.register(Table::new("b", vec![Column::from_i32("x", vec![1])]).unwrap());
+        cat.register(Table::new("a", vec![Column::from_i32("y", vec![1, 2])]).unwrap());
+        assert_eq!(cat.len(), 2);
+        assert_eq!(cat.table_names(), vec!["a", "b"]);
+        assert_eq!(cat.table("a").unwrap().row_count(), 2);
+        assert!(cat.table("c").is_err());
+        assert_eq!(cat.byte_len(), 4 + 8);
+        assert!(cat.drop_table("a").is_some());
+        assert!(cat.drop_table("a").is_none());
+        assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn register_replaces() {
+        let mut cat = Catalog::new();
+        cat.register(Table::new("t", vec![Column::from_i32("x", vec![1])]).unwrap());
+        cat.register(Table::new("t", vec![Column::from_i32("x", vec![1, 2, 3])]).unwrap());
+        assert_eq!(cat.table("t").unwrap().row_count(), 3);
+    }
+}

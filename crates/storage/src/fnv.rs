@@ -1,0 +1,106 @@
+//! A small FNV-1a hasher.
+//!
+//! The kernel hot paths (hash build/probe/aggregate) need a fast,
+//! deterministic integer hash; the std `SipHash` default is unnecessarily
+//! slow there, and the usual `rustc-hash` crate is not on the allowed
+//! dependency list, so we ship a ~40-line FNV-1a implementation.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// FNV-1a, 64-bit.
+#[derive(Clone, Copy, Debug)]
+pub struct FnvHasher(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(FNV_OFFSET)
+    }
+}
+
+impl Hasher for FnvHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        self.0 = h;
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.write_u64(v as u64);
+    }
+}
+
+/// `HashMap` with the FNV hasher.
+pub type FnvHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FnvHasher>>;
+/// `HashSet` with the FNV hasher.
+pub type FnvHashSet<K> = HashSet<K, BuildHasherDefault<FnvHasher>>;
+
+/// Hashes a single `i64` key directly (used by the open-addressing tables in
+/// the device kernels, which never go through `Hasher`).
+#[inline]
+pub fn fnv1a_i64(v: i64) -> u64 {
+    let mut h = FNV_OFFSET;
+    for &b in &v.to_le_bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(fnv1a_i64(42), fnv1a_i64(42));
+        assert_ne!(fnv1a_i64(42), fnv1a_i64(43));
+    }
+
+    #[test]
+    fn map_works() {
+        let mut m: FnvHashMap<i64, i64> = FnvHashMap::default();
+        for i in 0..1000 {
+            m.insert(i, i * 2);
+        }
+        assert_eq!(m.len(), 1000);
+        assert_eq!(m[&500], 1000);
+    }
+
+    #[test]
+    fn set_works() {
+        let mut s: FnvHashSet<i64> = FnvHashSet::default();
+        s.insert(1);
+        s.insert(1);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn spreads_small_keys() {
+        // Not a rigorous avalanche test, just a sanity check that sequential
+        // keys do not collide in the low bits used by power-of-two tables.
+        let mut low_bits: FnvHashSet<u64> = FnvHashSet::default();
+        for i in 0..256i64 {
+            low_bits.insert(fnv1a_i64(i) & 0x3ff);
+        }
+        assert!(low_bits.len() > 200, "got {} distinct", low_bits.len());
+    }
+}

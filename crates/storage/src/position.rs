@@ -1,0 +1,131 @@
+//! Position lists — the second intermediate format of `FILTER_POSITION`.
+
+use crate::bitmap::Bitmap;
+
+/// A list of selected row positions (ascending unless produced by a join).
+///
+/// `FILTER_POSITION` emits a position list instead of a bitmap when late
+/// materialization with random access is preferred; `HASH_PROBE` emits a pair
+/// of position lists (left/right join sides).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct PositionList {
+    positions: Vec<u32>,
+}
+
+impl PositionList {
+    /// Creates an empty list.
+    pub fn new() -> Self {
+        PositionList::default()
+    }
+
+    /// Creates an empty list with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        PositionList {
+            positions: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Wraps an existing vector of positions.
+    pub fn from_vec(positions: Vec<u32>) -> Self {
+        PositionList { positions }
+    }
+
+    /// Converts a bitmap into the equivalent ascending position list.
+    pub fn from_bitmap(bm: &Bitmap) -> Self {
+        let mut positions = Vec::with_capacity(bm.count_ones());
+        positions.extend(bm.iter_ones().map(|i| i as u32));
+        PositionList { positions }
+    }
+
+    /// Number of positions.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True when no positions are selected.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Appends one position.
+    #[inline]
+    pub fn push(&mut self, pos: u32) {
+        self.positions.push(pos);
+    }
+
+    /// The positions as a slice.
+    pub fn as_slice(&self) -> &[u32] {
+        &self.positions
+    }
+
+    /// Mutable access (device kernels fill lists in place).
+    pub fn as_mut_vec(&mut self) -> &mut Vec<u32> {
+        &mut self.positions
+    }
+
+    /// Consumes the list, returning the raw vector.
+    pub fn into_vec(self) -> Vec<u32> {
+        self.positions
+    }
+
+    /// Converts into a bitmap over `len` rows.
+    ///
+    /// Panics (debug) if any position is `>= len`.
+    pub fn to_bitmap(&self, len: usize) -> Bitmap {
+        let mut bm = Bitmap::new_zeroed(len);
+        for &p in &self.positions {
+            bm.set(p as usize);
+        }
+        bm
+    }
+
+    /// Appends all positions of `other`, shifted by `offset`.
+    ///
+    /// Used when accumulating per-chunk filter results into a global list.
+    pub fn extend_shifted(&mut self, other: &PositionList, offset: u32) {
+        self.positions
+            .extend(other.positions.iter().map(|p| p + offset));
+    }
+
+    /// Size of the representation in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.positions.len() * 4
+    }
+}
+
+impl FromIterator<u32> for PositionList {
+    fn from_iter<I: IntoIterator<Item = u32>>(iter: I) -> Self {
+        PositionList {
+            positions: iter.into_iter().collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_roundtrip() {
+        let bm = Bitmap::from_bools(&[true, false, false, true, true]);
+        let pl = PositionList::from_bitmap(&bm);
+        assert_eq!(pl.as_slice(), &[0, 3, 4]);
+        assert_eq!(pl.to_bitmap(5), bm);
+    }
+
+    #[test]
+    fn extend_shifted() {
+        let mut acc = PositionList::from_vec(vec![1, 2]);
+        let chunk = PositionList::from_vec(vec![0, 3]);
+        acc.extend_shifted(&chunk, 10);
+        assert_eq!(acc.as_slice(), &[1, 2, 10, 13]);
+    }
+
+    #[test]
+    fn from_iterator_and_push() {
+        let mut pl: PositionList = [5u32, 9].into_iter().collect();
+        pl.push(11);
+        assert_eq!(pl.len(), 3);
+        assert_eq!(pl.byte_len(), 12);
+    }
+}

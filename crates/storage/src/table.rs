@@ -1,0 +1,213 @@
+//! Tables and schemas.
+
+use crate::column::Column;
+use crate::datatype::DataType;
+use crate::error::StorageError;
+
+/// One field of a schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Field {
+    /// Column name.
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// Creates a field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+        }
+    }
+}
+
+/// An ordered collection of fields.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Creates a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// The fields, in column order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Index of the field named `name`.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True when the schema has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+}
+
+/// A named table: a schema plus equal-length columns.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Table {
+    name: String,
+    columns: Vec<Column>,
+    row_count: usize,
+}
+
+impl Table {
+    /// Creates a table from columns; all columns must agree in length.
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> Result<Self, StorageError> {
+        let row_count = columns.first().map(|c| c.len()).unwrap_or(0);
+        for c in &columns {
+            if c.len() != row_count {
+                return Err(StorageError::LengthMismatch {
+                    expected: row_count,
+                    actual: c.len(),
+                });
+            }
+        }
+        Ok(Table {
+            name: name.into(),
+            columns,
+            row_count,
+        })
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// All columns in order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// The schema derived from the columns.
+    pub fn schema(&self) -> Schema {
+        Schema::new(
+            self.columns
+                .iter()
+                .map(|c| Field::new(c.name(), c.data_type()))
+                .collect(),
+        )
+    }
+
+    /// Column by name.
+    pub fn column(&self, name: &str) -> Result<&Column, StorageError> {
+        self.columns
+            .iter()
+            .find(|c| c.name() == name)
+            .ok_or_else(|| StorageError::ColumnNotFound {
+                table: self.name.clone(),
+                column: name.to_string(),
+            })
+    }
+
+    /// Total bytes of row data across all columns.
+    pub fn byte_len(&self) -> usize {
+        self.columns.iter().map(|c| c.byte_len()).sum()
+    }
+
+    /// Bytes of row data for a subset of columns (a query's input footprint;
+    /// the quantity plotted in the paper's Fig. 7-left).
+    pub fn footprint_of(&self, column_names: &[&str]) -> Result<usize, StorageError> {
+        let mut total = 0;
+        for name in column_names {
+            total += self.column(name)?.byte_len();
+        }
+        Ok(total)
+    }
+
+    /// Appends a column (must match the row count; first column sets it).
+    pub fn push_column(&mut self, column: Column) -> Result<(), StorageError> {
+        if self.columns.is_empty() {
+            self.row_count = column.len();
+        } else if column.len() != self.row_count {
+            return Err(StorageError::LengthMismatch {
+                expected: self.row_count,
+                actual: column.len(),
+            });
+        }
+        self.columns.push(column);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::ColumnData;
+
+    fn sample() -> Table {
+        Table::new(
+            "t",
+            vec![
+                Column::from_i64("k", vec![1, 2, 3]),
+                Column::from_i32("v", vec![10, 20, 30]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_checks_lengths() {
+        let bad = Table::new(
+            "t",
+            vec![
+                Column::from_i64("a", vec![1]),
+                Column::from_i64("b", vec![1, 2]),
+            ],
+        );
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn lookup_and_schema() {
+        let t = sample();
+        assert_eq!(t.row_count(), 3);
+        assert_eq!(t.column("v").unwrap().data_type(), DataType::Int32);
+        assert!(t.column("zzz").is_err());
+        let s = t.schema();
+        assert_eq!(s.index_of("k"), Some(0));
+        assert_eq!(s.index_of("v"), Some(1));
+        assert_eq!(s.index_of("w"), None);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn footprints() {
+        let t = sample();
+        assert_eq!(t.byte_len(), 3 * 8 + 3 * 4);
+        assert_eq!(t.footprint_of(&["v"]).unwrap(), 12);
+        assert!(t.footprint_of(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn push_column() {
+        let mut t = sample();
+        t.push_column(Column::from_f64("f", vec![0.5, 1.5, 2.5]))
+            .unwrap();
+        assert_eq!(t.columns().len(), 3);
+        assert!(t.push_column(Column::from_i32("bad", vec![1])).is_err());
+        match t.column("f").unwrap().data() {
+            ColumnData::Float64(v) => assert_eq!(v.len(), 3),
+            _ => panic!("wrong type"),
+        }
+    }
+}

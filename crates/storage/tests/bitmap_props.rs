@@ -1,0 +1,95 @@
+//! Property tests: bit-packed structures against `Vec<bool>` oracles.
+
+use adamant_storage::bitmap::Bitmap;
+use adamant_storage::position::PositionList;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn bitmap_matches_bool_vec(bools in prop::collection::vec(any::<bool>(), 0..500)) {
+        let bm = Bitmap::from_bools(&bools);
+        prop_assert_eq!(bm.len(), bools.len());
+        prop_assert_eq!(bm.count_ones(), bools.iter().filter(|&&b| b).count());
+        for (i, &b) in bools.iter().enumerate() {
+            prop_assert_eq!(bm.get(i), b);
+        }
+        let ones: Vec<usize> = bm.iter_ones().collect();
+        let expected: Vec<usize> =
+            bools.iter().enumerate().filter_map(|(i, &b)| b.then_some(i)).collect();
+        prop_assert_eq!(ones, expected);
+    }
+
+    #[test]
+    fn bitmap_boolean_algebra(
+        a in prop::collection::vec(any::<bool>(), 0..300),
+        b_seed in prop::collection::vec(any::<bool>(), 0..300),
+    ) {
+        // Same-length operand derived from the seeds.
+        let n = a.len();
+        let b: Vec<bool> = (0..n).map(|i| b_seed.get(i).copied().unwrap_or(i % 3 == 0)).collect();
+        let ba = Bitmap::from_bools(&a);
+        let bb = Bitmap::from_bools(&b);
+
+        let mut and = ba.clone();
+        and.and_inplace(&bb);
+        let mut or = ba.clone();
+        or.or_inplace(&bb);
+        let mut not = ba.clone();
+        not.not_inplace();
+
+        for i in 0..n {
+            prop_assert_eq!(and.get(i), a[i] && b[i]);
+            prop_assert_eq!(or.get(i), a[i] || b[i]);
+            prop_assert_eq!(not.get(i), !a[i]);
+        }
+        // De Morgan: !(a & b) == !a | !b
+        let mut lhs = ba.clone();
+        lhs.and_inplace(&bb);
+        lhs.not_inplace();
+        let mut nb = bb.clone();
+        nb.not_inplace();
+        let mut rhs = not.clone();
+        rhs.or_inplace(&nb);
+        prop_assert_eq!(lhs, rhs);
+    }
+
+    #[test]
+    fn bitmap_slice_extend_roundtrip(
+        bools in prop::collection::vec(any::<bool>(), 0..400),
+        cut in 0usize..400,
+    ) {
+        let bm = Bitmap::from_bools(&bools);
+        let cut = cut.min(bools.len());
+        let mut rebuilt = Bitmap::new_zeroed(0);
+        rebuilt.extend_from(&bm.slice(0, cut));
+        rebuilt.extend_from(&bm.slice(cut, bools.len() - cut));
+        prop_assert_eq!(rebuilt, bm);
+    }
+
+    #[test]
+    fn positions_bitmap_roundtrip(bools in prop::collection::vec(any::<bool>(), 0..400)) {
+        let bm = Bitmap::from_bools(&bools);
+        let pl = PositionList::from_bitmap(&bm);
+        prop_assert_eq!(pl.len(), bm.count_ones());
+        prop_assert_eq!(pl.to_bitmap(bools.len()), bm);
+        // Positions strictly ascending.
+        prop_assert!(pl.as_slice().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn words_roundtrip_preserves_set_bits(
+        words in prop::collection::vec(any::<u64>(), 0..8),
+        extra in 0usize..63,
+    ) {
+        let len = words.len() * 64 - if words.is_empty() { 0 } else { extra };
+        let bm = Bitmap::from_words(words.clone(), len);
+        // No bit beyond len survives.
+        prop_assert!(bm.iter_ones().all(|i| i < len));
+        // Bits within len match the source words.
+        for i in 0..len {
+            prop_assert_eq!(bm.get(i), (words[i / 64] >> (i % 64)) & 1 == 1);
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! `AGG_BLOCK`, `HASH_AGG` and `SORT_AGG` kernels.
+
+use super::{bad_args, input_i64, need_bufs, need_params, write_output};
+use crate::hashtable::AggHashTable;
+use crate::params::AggFunc;
+use adamant_device::buffer::{BufferData, BufferId};
+use adamant_device::cost::CostClass;
+use adamant_device::error::Result;
+use adamant_device::kernel::KernelStats;
+use adamant_device::pool::BufferPool;
+
+/// `agg_block` — block-wise reduction into a persistent accumulator.
+///
+/// Buffers `[in, acc]`, params `[aggfunc]`. The accumulator buffer holds two
+/// `i64`s: `[state, rows_seen]`; the first call initializes it with the
+/// aggregate's identity. Chunked execution calls this once per chunk and the
+/// accumulator carries across calls (the primitive is a pipeline breaker —
+/// its output persists in device memory).
+pub fn agg_block(pool: &mut BufferPool, bufs: &[BufferId], params: &[i64]) -> Result<KernelStats> {
+    need_bufs("agg_block", bufs, 2)?;
+    need_params("agg_block", params, 1)?;
+    let agg =
+        AggFunc::from_code(params[0]).ok_or_else(|| bad_args("agg_block", "unknown aggregate"))?;
+    let (mut state, mut rows) = {
+        let acc = pool.get(bufs[1])?;
+        match acc.data.as_i64() {
+            Some(v) if v.len() >= 2 => (v[0], v[1]),
+            _ => (agg.identity(), 0),
+        }
+    };
+    let input = input_i64(pool, "agg_block", bufs[0])?;
+    for &x in input {
+        state = agg.fold(state, x);
+    }
+    rows += input.len() as i64;
+    let n = input.len() as u64;
+    write_output(pool, bufs[1], BufferData::I64(vec![state, rows]))?;
+    Ok(KernelStats::new(n, CostClass::ReduceLike))
+}
+
+/// `hash_agg` — group-by aggregation into a shared device-resident table.
+///
+/// Buffers `[keys, payload_0.., val_0.., table]`, params
+/// `[payload_cols, agg_count]`. The table buffer must already hold an
+/// [`AggHashTable`] with matching aggregate functions and payload columns
+/// (the runtime creates it via `prepare_output_buffer`). Accumulates across
+/// chunks.
+pub fn hash_agg(pool: &mut BufferPool, bufs: &[BufferId], params: &[i64]) -> Result<KernelStats> {
+    need_params("hash_agg", params, 2)?;
+    let payload_cols = params[0] as usize;
+    let agg_count = params[1] as usize;
+    let expected_bufs = 1 + payload_cols + agg_count + 1;
+    need_bufs("hash_agg", bufs, expected_bufs)?;
+    let table_id = bufs[expected_bufs - 1];
+
+    let mut table_buf = pool.take(table_id)?;
+    let result = (|| -> Result<KernelStats> {
+        let table = table_buf
+            .data
+            .as_generic_mut::<AggHashTable>()
+            .ok_or_else(|| bad_args("hash_agg", "table buffer does not hold an AggHashTable"))?;
+        if table.agg_funcs().len() != agg_count {
+            return Err(bad_args(
+                "hash_agg",
+                format!(
+                    "table has {} aggregates, call supplies {agg_count}",
+                    table.agg_funcs().len()
+                ),
+            ));
+        }
+        let keys = input_i64(pool, "hash_agg", bufs[0])?;
+        let mut payload_refs = Vec::with_capacity(payload_cols);
+        for i in 0..payload_cols {
+            let col = input_i64(pool, "hash_agg", bufs[1 + i])?;
+            if col.len() != keys.len() {
+                return Err(bad_args("hash_agg", "payload length mismatch"));
+            }
+            payload_refs.push(col);
+        }
+        let mut val_refs = Vec::with_capacity(agg_count);
+        for i in 0..agg_count {
+            let col = input_i64(pool, "hash_agg", bufs[1 + payload_cols + i])?;
+            if col.len() != keys.len() {
+                return Err(bad_args("hash_agg", "value length mismatch"));
+            }
+            val_refs.push(col);
+        }
+        let mut payload_row = vec![0i64; payload_cols];
+        let mut val_row = vec![0i64; agg_count];
+        for (i, &key) in keys.iter().enumerate() {
+            for (c, col) in payload_refs.iter().enumerate() {
+                payload_row[c] = col[i];
+            }
+            for (c, col) in val_refs.iter().enumerate() {
+                val_row[c] = col[i];
+            }
+            table.update(key, &payload_row, &val_row);
+        }
+        Ok(KernelStats::new(
+            keys.len() as u64,
+            CostClass::HashAgg {
+                groups: table.group_count() as u64,
+            },
+        ))
+    })();
+    pool.restore(table_id, table_buf)?;
+    result
+}
+
+/// `sort_agg` — aggregation over *sorted* keys by run detection.
+///
+/// Buffers `[keys, vals, out_keys, out_vals]`, params `[aggfunc]`. A
+/// full-buffer breaker: the runtime materializes and sorts the pipeline's
+/// output before invoking it (the paper pairs it with `PREFIX_SUM` group
+/// boundaries; run detection over sorted keys is the equivalent sequential
+/// form).
+pub fn sort_agg(pool: &mut BufferPool, bufs: &[BufferId], params: &[i64]) -> Result<KernelStats> {
+    need_bufs("sort_agg", bufs, 4)?;
+    need_params("sort_agg", params, 1)?;
+    let agg =
+        AggFunc::from_code(params[0]).ok_or_else(|| bad_args("sort_agg", "unknown aggregate"))?;
+    let keys = input_i64(pool, "sort_agg", bufs[0])?;
+    let vals = input_i64(pool, "sort_agg", bufs[1])?;
+    if keys.len() != vals.len() {
+        return Err(bad_args("sort_agg", "key/value length mismatch"));
+    }
+    if keys.windows(2).any(|w| w[0] > w[1]) {
+        return Err(bad_args("sort_agg", "input keys are not sorted"));
+    }
+    let mut out_keys = Vec::new();
+    let mut out_vals = Vec::new();
+    let mut i = 0;
+    while i < keys.len() {
+        let key = keys[i];
+        let mut state = agg.identity();
+        while i < keys.len() && keys[i] == key {
+            state = agg.fold(state, vals[i]);
+            i += 1;
+        }
+        out_keys.push(key);
+        out_vals.push(state);
+    }
+    let n = keys.len() as u64;
+    write_output(pool, bufs[2], BufferData::I64(out_keys))?;
+    write_output(pool, bufs[3], BufferData::I64(out_vals))?;
+    Ok(KernelStats::new(n, CostClass::SortAgg))
+}
+
+/// `agg_export` — exports an [`AggHashTable`]'s dense columns into numeric
+/// buffers so downstream device primitives (e.g. `SORT` for ORDER BY) can
+/// consume group-by results without a host round-trip.
+///
+/// Buffers `[table, out_keys, out_payload_0.., out_state_0..]`, params
+/// `[payload_cols, agg_count]`. Extension primitive (documented in
+/// DESIGN.md).
+pub fn agg_export(pool: &mut BufferPool, bufs: &[BufferId], params: &[i64]) -> Result<KernelStats> {
+    need_params("agg_export", params, 2)?;
+    let payload_cols = params[0] as usize;
+    let agg_count = params[1] as usize;
+    need_bufs("agg_export", bufs, 2 + payload_cols + agg_count)?;
+    let (keys, payloads, states) = {
+        let table_buf = pool.get(bufs[0])?;
+        let table = table_buf
+            .data
+            .as_generic::<AggHashTable>()
+            .ok_or_else(|| bad_args("agg_export", "buffer does not hold an AggHashTable"))?;
+        if table.group_payload_count() != payload_cols || table.agg_funcs().len() != agg_count {
+            return Err(bad_args(
+                "agg_export",
+                format!(
+                    "table shape ({}, {}) does not match call ({payload_cols}, {agg_count})",
+                    table.group_payload_count(),
+                    table.agg_funcs().len()
+                ),
+            ));
+        }
+        table.export()
+    };
+    let n = keys.len() as u64;
+    write_output(pool, bufs[1], BufferData::I64(keys))?;
+    for (i, col) in payloads.into_iter().enumerate() {
+        write_output(pool, bufs[2 + i], BufferData::I64(col))?;
+    }
+    for (i, col) in states.into_iter().enumerate() {
+        write_output(pool, bufs[2 + payload_cols + i], BufferData::I64(col))?;
+    }
+    Ok(KernelStats::new(n, CostClass::MapLike))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::*;
+    use adamant_device::buffer::{Buffer, BufferData};
+    use adamant_device::sdk::SdkRepr;
+
+    fn put_agg_table(p: &mut adamant_device::pool::BufferPool, id: u64, aggs: Vec<AggFunc>, pc: usize) {
+        p.insert(
+            b(id),
+            Buffer {
+                data: BufferData::Generic(Box::new(AggHashTable::with_capacity(16, aggs, pc))),
+                repr: SdkRepr::HostVec,
+                pinned: false,
+                reserved_bytes: 0,
+            },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn agg_block_accumulates_across_calls() {
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(vec![1, 2, 3]));
+        put(&mut p, 2, BufferData::I64(vec![10, 20]));
+        out(&mut p, 3);
+        agg_block(&mut p, &[b(1), b(3)], &[AggFunc::Sum.to_code()]).unwrap();
+        assert_eq!(read_i64(&p, 3), vec![6, 3]);
+        // Second chunk folds into the same accumulator.
+        agg_block(&mut p, &[b(2), b(3)], &[AggFunc::Sum.to_code()]).unwrap();
+        assert_eq!(read_i64(&p, 3), vec![36, 5]);
+    }
+
+    #[test]
+    fn agg_block_min_and_count() {
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(vec![4, -1, 9]));
+        out(&mut p, 2);
+        agg_block(&mut p, &[b(1), b(2)], &[AggFunc::Min.to_code()]).unwrap();
+        assert_eq!(read_i64(&p, 2)[0], -1);
+        out(&mut p, 3);
+        agg_block(&mut p, &[b(1), b(3)], &[AggFunc::Count.to_code()]).unwrap();
+        assert_eq!(read_i64(&p, 3), vec![3, 3]);
+    }
+
+    #[test]
+    fn hash_agg_groups_and_accumulates() {
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(vec![1, 2, 1, 2, 1]));
+        put(&mut p, 2, BufferData::I64(vec![10, 20, 30, 40, 50]));
+        put_agg_table(&mut p, 3, vec![AggFunc::Sum], 0);
+        let stats = hash_agg(&mut p, &[b(1), b(2), b(3)], &[0, 1]).unwrap();
+        assert!(matches!(stats.cost_class, CostClass::HashAgg { groups: 2 }));
+
+        // Second chunk accumulates into the same table.
+        put(&mut p, 4, BufferData::I64(vec![3, 1]));
+        put(&mut p, 5, BufferData::I64(vec![100, 1]));
+        hash_agg(&mut p, &[b(4), b(5), b(3)], &[0, 1]).unwrap();
+
+        let buf = p.get(b(3)).unwrap();
+        let table = buf.data.as_generic::<AggHashTable>().unwrap();
+        assert_eq!(table.group_count(), 3);
+        let (keys, _, states) = table.export();
+        assert_eq!(keys, vec![1, 2, 3]);
+        assert_eq!(states[0], vec![91, 60, 100]);
+    }
+
+    #[test]
+    fn hash_agg_with_payload_and_multi_agg() {
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(vec![7, 7, 8]));
+        put(&mut p, 2, BufferData::I64(vec![70, 70, 80])); // payload
+        put(&mut p, 3, BufferData::I64(vec![1, 2, 3])); // sum vals
+        put(&mut p, 4, BufferData::I64(vec![0, 0, 0])); // count vals
+        put_agg_table(&mut p, 5, vec![AggFunc::Sum, AggFunc::Count], 1);
+        hash_agg(&mut p, &[b(1), b(2), b(3), b(4), b(5)], &[1, 2]).unwrap();
+        let buf = p.get(b(5)).unwrap();
+        let t = buf.data.as_generic::<AggHashTable>().unwrap();
+        let (keys, payloads, states) = t.export();
+        assert_eq!(keys, vec![7, 8]);
+        assert_eq!(payloads[0], vec![70, 80]);
+        assert_eq!(states[0], vec![3, 3]);
+        assert_eq!(states[1], vec![2, 1]);
+    }
+
+    #[test]
+    fn hash_agg_rejects_bad_table() {
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(vec![1]));
+        put(&mut p, 2, BufferData::I64(vec![1]));
+        put(&mut p, 3, BufferData::I64(vec![0])); // not a table
+        assert!(hash_agg(&mut p, &[b(1), b(2), b(3)], &[0, 1]).is_err());
+        // Agg count mismatch.
+        put_agg_table(&mut p, 4, vec![AggFunc::Sum, AggFunc::Count], 0);
+        assert!(hash_agg(&mut p, &[b(1), b(2), b(4)], &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn sort_agg_runs() {
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(vec![1, 1, 2, 5, 5, 5]));
+        put(&mut p, 2, BufferData::I64(vec![10, 20, 30, 1, 2, 3]));
+        out(&mut p, 3);
+        out(&mut p, 4);
+        sort_agg(&mut p, &[b(1), b(2), b(3), b(4)], &[AggFunc::Sum.to_code()]).unwrap();
+        assert_eq!(read_i64(&p, 3), vec![1, 2, 5]);
+        assert_eq!(read_i64(&p, 4), vec![30, 30, 6]);
+    }
+
+    #[test]
+    fn sort_agg_rejects_unsorted() {
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(vec![2, 1]));
+        put(&mut p, 2, BufferData::I64(vec![0, 0]));
+        out(&mut p, 3);
+        out(&mut p, 4);
+        assert!(sort_agg(&mut p, &[b(1), b(2), b(3), b(4)], &[0]).is_err());
+    }
+}

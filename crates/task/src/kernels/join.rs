@@ -1,0 +1,221 @@
+//! `HASH_BUILD`, `HASH_PROBE` and `HASH_PROBE_SEMI` kernels.
+
+use super::{bad_args, input_i64, need_bufs, need_params, write_output};
+use crate::hashtable::JoinHashTable;
+use adamant_device::buffer::{BufferData, BufferId};
+use adamant_device::cost::CostClass;
+use adamant_device::error::Result;
+use adamant_device::kernel::KernelStats;
+use adamant_device::pool::BufferPool;
+
+/// `hash_build` — streams keys (plus payload columns) into a shared
+/// device-resident join table.
+///
+/// Buffers `[keys, payload_0.., table]`, params `[payload_cols]`. The table
+/// buffer must already hold a [`JoinHashTable`] with matching payload
+/// column count. Accumulates across chunks (pipeline breaker).
+pub fn hash_build(pool: &mut BufferPool, bufs: &[BufferId], params: &[i64]) -> Result<KernelStats> {
+    need_params("hash_build", params, 1)?;
+    let payload_cols = params[0] as usize;
+    need_bufs("hash_build", bufs, 2 + payload_cols)?;
+    let table_id = bufs[1 + payload_cols];
+
+    let mut table_buf = pool.take(table_id)?;
+    let result = (|| -> Result<KernelStats> {
+        let table = table_buf
+            .data
+            .as_generic_mut::<JoinHashTable>()
+            .ok_or_else(|| bad_args("hash_build", "table buffer does not hold a JoinHashTable"))?;
+        if table.payload_cols() != payload_cols {
+            return Err(bad_args(
+                "hash_build",
+                format!(
+                    "table has {} payload columns, call supplies {payload_cols}",
+                    table.payload_cols()
+                ),
+            ));
+        }
+        let keys = input_i64(pool, "hash_build", bufs[0])?;
+        let mut payload_refs = Vec::with_capacity(payload_cols);
+        for i in 0..payload_cols {
+            let col = input_i64(pool, "hash_build", bufs[1 + i])?;
+            if col.len() != keys.len() {
+                return Err(bad_args("hash_build", "payload length mismatch"));
+            }
+            payload_refs.push(col);
+        }
+        let mut row = vec![0i64; payload_cols];
+        for (i, &key) in keys.iter().enumerate() {
+            for (c, col) in payload_refs.iter().enumerate() {
+                row[c] = col[i];
+            }
+            table.insert(key, &row);
+        }
+        Ok(KernelStats::new(keys.len() as u64, CostClass::HashBuild))
+    })();
+    pool.restore(table_id, table_buf)?;
+    result
+}
+
+/// `hash_probe` — inner-join probe.
+///
+/// Buffers `[keys, table, out_probe_pos, out_payload_0..]`, params
+/// `[payload_outs]`. For every probe row `i` and every matching build entry,
+/// emits `i` into `out_probe_pos` (chunk-relative) and the entry's payload
+/// values into the payload outputs. Multi-match keys emit one row per match.
+pub fn hash_probe(pool: &mut BufferPool, bufs: &[BufferId], params: &[i64]) -> Result<KernelStats> {
+    need_params("hash_probe", params, 1)?;
+    let payload_outs = params[0] as usize;
+    need_bufs("hash_probe", bufs, 3 + payload_outs)?;
+    let keys = input_i64(pool, "hash_probe", bufs[0])?;
+    let table_buf = pool.get(bufs[1])?;
+    let table = table_buf
+        .data
+        .as_generic::<JoinHashTable>()
+        .ok_or_else(|| bad_args("hash_probe", "table buffer does not hold a JoinHashTable"))?;
+    if table.payload_cols() < payload_outs {
+        return Err(bad_args(
+            "hash_probe",
+            format!(
+                "table has {} payload columns, call requests {payload_outs}",
+                table.payload_cols()
+            ),
+        ));
+    }
+    let mut probe_pos: Vec<u32> = Vec::new();
+    let mut payload_out: Vec<Vec<i64>> = vec![Vec::new(); payload_outs];
+    let mut slots = Vec::new();
+    for (i, &key) in keys.iter().enumerate() {
+        slots.clear();
+        table.probe_into(key, &mut slots);
+        for &slot in &slots {
+            probe_pos.push(i as u32);
+            for (c, out) in payload_out.iter_mut().enumerate() {
+                out.push(table.payload(c, slot));
+            }
+        }
+    }
+    let n = keys.len() as u64;
+    write_output(pool, bufs[2], BufferData::U32(probe_pos))?;
+    for (c, col) in payload_out.into_iter().enumerate() {
+        write_output(pool, bufs[3 + c], BufferData::I64(col))?;
+    }
+    Ok(KernelStats::new(n, CostClass::HashProbe))
+}
+
+/// `hash_probe_semi` — EXISTS probe producing a bitmap over the probe rows
+/// (Q4's subquery).
+///
+/// Buffers `[keys, table, out_bitmap]`.
+pub fn hash_probe_semi(
+    pool: &mut BufferPool,
+    bufs: &[BufferId],
+    _params: &[i64],
+) -> Result<KernelStats> {
+    need_bufs("hash_probe_semi", bufs, 3)?;
+    let keys = input_i64(pool, "hash_probe_semi", bufs[0])?;
+    let table_buf = pool.get(bufs[1])?;
+    let table = table_buf.data.as_generic::<JoinHashTable>().ok_or_else(|| {
+        bad_args("hash_probe_semi", "table buffer does not hold a JoinHashTable")
+    })?;
+    let n = keys.len();
+    let mut words = vec![0u64; n.div_ceil(64)];
+    for (i, &key) in keys.iter().enumerate() {
+        if table.contains(key) {
+            words[i / 64] |= 1 << (i % 64);
+        }
+    }
+    write_output(pool, bufs[2], BufferData::BitWords(words))?;
+    Ok(KernelStats::new(n as u64, CostClass::HashProbe))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::*;
+    use adamant_device::buffer::Buffer;
+    use adamant_device::sdk::SdkRepr;
+
+    fn put_join_table(p: &mut adamant_device::pool::BufferPool, id: u64, payload_cols: usize) {
+        p.insert(
+            b(id),
+            Buffer {
+                data: BufferData::Generic(Box::new(JoinHashTable::with_capacity(16, payload_cols))),
+                repr: SdkRepr::HostVec,
+                pinned: false,
+                reserved_bytes: 0,
+            },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn build_then_probe_inner() {
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(vec![10, 20, 10]));
+        put(&mut p, 2, BufferData::I64(vec![100, 200, 101])); // payload rows
+        put_join_table(&mut p, 3, 1);
+        let stats = hash_build(&mut p, &[b(1), b(2), b(3)], &[1]).unwrap();
+        assert_eq!(stats.elements, 3);
+
+        put(&mut p, 4, BufferData::I64(vec![20, 10, 99]));
+        out(&mut p, 5);
+        out(&mut p, 6);
+        hash_probe(&mut p, &[b(4), b(3), b(5), b(6)], &[1]).unwrap();
+        let pos = read_u32(&p, 5);
+        let pay = read_i64(&p, 6);
+        // Probe row 0 (key 20) -> one match (200); probe row 1 (key 10) ->
+        // two matches (100, 101); key 99 -> none.
+        assert_eq!(pos.len(), 3);
+        assert_eq!(pos[0], 0);
+        assert_eq!(&pos[1..], &[1, 1]);
+        assert_eq!(pay[0], 200);
+        let mut two: Vec<i64> = pay[1..].to_vec();
+        two.sort_unstable();
+        assert_eq!(two, vec![100, 101]);
+    }
+
+    #[test]
+    fn build_accumulates_across_chunks() {
+        let mut p = pool();
+        put_join_table(&mut p, 3, 0);
+        put(&mut p, 1, BufferData::I64(vec![1, 2]));
+        hash_build(&mut p, &[b(1), b(3)], &[0]).unwrap();
+        put(&mut p, 2, BufferData::I64(vec![3]));
+        hash_build(&mut p, &[b(2), b(3)], &[0]).unwrap();
+        let buf = p.get(b(3)).unwrap();
+        let t = buf.data.as_generic::<JoinHashTable>().unwrap();
+        assert_eq!(t.len(), 3);
+        assert!(t.contains(3));
+    }
+
+    #[test]
+    fn semi_probe_bitmap() {
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(vec![5, 6]));
+        put_join_table(&mut p, 2, 0);
+        hash_build(&mut p, &[b(1), b(2)], &[0]).unwrap();
+        put(&mut p, 3, BufferData::I64(vec![6, 7, 5, 5]));
+        out(&mut p, 4);
+        hash_probe_semi(&mut p, &[b(3), b(2), b(4)], &[]).unwrap();
+        assert_eq!(read_words(&p, 4), vec![0b1101]);
+    }
+
+    #[test]
+    fn errors() {
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(vec![1]));
+        put(&mut p, 2, BufferData::I64(vec![9])); // not a table
+        out(&mut p, 3);
+        assert!(hash_build(&mut p, &[b(1), b(2)], &[0]).is_err());
+        assert!(hash_probe(&mut p, &[b(1), b(2), b(3)], &[0]).is_err());
+        assert!(hash_probe_semi(&mut p, &[b(1), b(2), b(3)], &[]).is_err());
+
+        // Payload column count mismatch.
+        put_join_table(&mut p, 4, 2);
+        assert!(hash_build(&mut p, &[b(1), b(4)], &[0]).is_err());
+        // Probe requesting more payload outs than the table has.
+        out(&mut p, 5);
+        assert!(hash_probe(&mut p, &[b(1), b(4), b(3), b(5), b(5)], &[3]).is_err());
+    }
+}

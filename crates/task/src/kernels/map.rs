@@ -1,0 +1,190 @@
+//! `MAP` and `BITMAP_OP` kernels.
+
+use super::{bad_args, input_bitwords, input_i64, need_bufs, need_params, write_output};
+use crate::params::{BitmapOp, MapOp};
+use adamant_device::buffer::{BufferData, BufferId};
+use adamant_device::cost::CostClass;
+use adamant_device::error::Result;
+use adamant_device::kernel::KernelStats;
+use adamant_device::pool::BufferPool;
+
+/// `map` — element-wise arithmetic.
+///
+/// * const ops: buffers `[in, out]`, params `[opcode, constant]`
+/// * binary ops: buffers `[a, b, out]`, params `[opcode]`
+pub fn map(pool: &mut BufferPool, bufs: &[BufferId], params: &[i64]) -> Result<KernelStats> {
+    need_params("map", params, 1)?;
+    let op = MapOp::from_code(params[0]).ok_or_else(|| bad_args("map", "unknown opcode"))?;
+    let out_data = if op.is_const() {
+        need_bufs("map", bufs, 2)?;
+        need_params("map", params, 2)?;
+        let c = params[1];
+        let input = input_i64(pool, "map", bufs[0])?;
+        BufferData::I64(input.iter().map(|&x| op.apply(x, c)).collect())
+    } else {
+        need_bufs("map", bufs, 3)?;
+        let a = input_i64(pool, "map", bufs[0])?;
+        let b = input_i64(pool, "map", bufs[1])?;
+        if a.len() != b.len() {
+            return Err(bad_args(
+                "map",
+                format!("input length mismatch: {} vs {}", a.len(), b.len()),
+            ));
+        }
+        BufferData::I64(a.iter().zip(b).map(|(&x, &y)| op.apply(x, y)).collect())
+    };
+    let n = out_data.len() as u64;
+    let out_id = *bufs.last().expect("checked above");
+    write_output(pool, out_id, out_data)?;
+    Ok(KernelStats::new(n, CostClass::MapLike))
+}
+
+/// `map@blocked` — a variant of `map` that processes the input in
+/// cache-sized blocks. Results are identical; it exists to demonstrate (and
+/// test) that the task layer carries multiple implementations of one
+/// primitive side by side (paper §III-B1).
+pub fn map_blocked(
+    pool: &mut BufferPool,
+    bufs: &[BufferId],
+    params: &[i64],
+) -> Result<KernelStats> {
+    need_params("map", params, 1)?;
+    let op = MapOp::from_code(params[0]).ok_or_else(|| bad_args("map", "unknown opcode"))?;
+    const BLOCK: usize = 4096;
+    let out_data = if op.is_const() {
+        need_bufs("map", bufs, 2)?;
+        need_params("map", params, 2)?;
+        let c = params[1];
+        let input = input_i64(pool, "map", bufs[0])?;
+        let mut out = Vec::with_capacity(input.len());
+        for block in input.chunks(BLOCK) {
+            out.extend(block.iter().map(|&x| op.apply(x, c)));
+        }
+        BufferData::I64(out)
+    } else {
+        need_bufs("map", bufs, 3)?;
+        let a = input_i64(pool, "map", bufs[0])?;
+        let b = input_i64(pool, "map", bufs[1])?;
+        if a.len() != b.len() {
+            return Err(bad_args("map", "input length mismatch"));
+        }
+        let mut out = Vec::with_capacity(a.len());
+        for (ab, bb) in a.chunks(BLOCK).zip(b.chunks(BLOCK)) {
+            out.extend(ab.iter().zip(bb).map(|(&x, &y)| op.apply(x, y)));
+        }
+        BufferData::I64(out)
+    };
+    let n = out_data.len() as u64;
+    write_output(pool, *bufs.last().expect("checked"), out_data)?;
+    Ok(KernelStats::new(n, CostClass::MapLike))
+}
+
+/// `bitmap_op` — combines two filter bitmaps word-wise.
+///
+/// Buffers `[a, b, out]`, params `[opcode]`.
+pub fn bitmap_op(pool: &mut BufferPool, bufs: &[BufferId], params: &[i64]) -> Result<KernelStats> {
+    need_bufs("bitmap_op", bufs, 3)?;
+    need_params("bitmap_op", params, 1)?;
+    let op =
+        BitmapOp::from_code(params[0]).ok_or_else(|| bad_args("bitmap_op", "unknown opcode"))?;
+    let a = input_bitwords(pool, "bitmap_op", bufs[0])?;
+    let b = input_bitwords(pool, "bitmap_op", bufs[1])?;
+    if a.len() != b.len() {
+        return Err(bad_args(
+            "bitmap_op",
+            format!("word count mismatch: {} vs {}", a.len(), b.len()),
+        ));
+    }
+    let out: Vec<u64> = a.iter().zip(b).map(|(&x, &y)| op.apply(x, y)).collect();
+    let n = out.len() as u64;
+    write_output(pool, bufs[2], BufferData::BitWords(out))?;
+    Ok(KernelStats::new(n, CostClass::MapLike))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::*;
+
+    #[test]
+    fn map_const() {
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(vec![1, 2, 3]));
+        out(&mut p, 2);
+        let stats = map(
+            &mut p,
+            &[b(1), b(2)],
+            &[MapOp::MulConst.to_code(), 10],
+        )
+        .unwrap();
+        assert_eq!(stats.elements, 3);
+        assert_eq!(read_i64(&p, 2), vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn map_binary() {
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(vec![10, 20, 30]));
+        put(&mut p, 2, BufferData::I64(vec![1, 2, 3]));
+        out(&mut p, 3);
+        map(&mut p, &[b(1), b(2), b(3)], &[MapOp::Sub.to_code()]).unwrap();
+        assert_eq!(read_i64(&p, 3), vec![9, 18, 27]);
+    }
+
+    #[test]
+    fn map_rsub_for_discount() {
+        // (1 - discount) in fixed point: 100 - disc.
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(vec![6, 0, 10]));
+        out(&mut p, 2);
+        map(&mut p, &[b(1), b(2)], &[MapOp::RsubConst.to_code(), 100]).unwrap();
+        assert_eq!(read_i64(&p, 2), vec![94, 100, 90]);
+    }
+
+    #[test]
+    fn map_errors() {
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(vec![1]));
+        put(&mut p, 2, BufferData::I64(vec![1, 2]));
+        out(&mut p, 3);
+        assert!(map(&mut p, &[b(1), b(2), b(3)], &[MapOp::Add.to_code()]).is_err());
+        assert!(map(&mut p, &[b(1), b(3)], &[999]).is_err());
+        assert!(map(&mut p, &[b(1), b(3)], &[]).is_err());
+        // Const op without the constant param.
+        assert!(map(&mut p, &[b(1), b(3)], &[MapOp::AddConst.to_code()]).is_err());
+    }
+
+    #[test]
+    fn blocked_variant_matches_reference() {
+        let mut p = pool();
+        let input: Vec<i64> = (0..10_000).collect();
+        put(&mut p, 1, BufferData::I64(input.clone()));
+        out(&mut p, 2);
+        out(&mut p, 3);
+        map(&mut p, &[b(1), b(2)], &[MapOp::AddConst.to_code(), 7]).unwrap();
+        map_blocked(&mut p, &[b(1), b(3)], &[MapOp::AddConst.to_code(), 7]).unwrap();
+        assert_eq!(read_i64(&p, 2), read_i64(&p, 3));
+    }
+
+    #[test]
+    fn bitmap_and() {
+        let mut p = pool();
+        put(&mut p, 1, BufferData::BitWords(vec![0b1100, u64::MAX]));
+        put(&mut p, 2, BufferData::BitWords(vec![0b1010, 0]));
+        out(&mut p, 3);
+        bitmap_op(&mut p, &[b(1), b(2), b(3)], &[BitmapOp::And.to_code()]).unwrap();
+        assert_eq!(read_words(&p, 3), vec![0b1000, 0]);
+    }
+
+    #[test]
+    fn bitmap_op_rejects_mismatch() {
+        let mut p = pool();
+        put(&mut p, 1, BufferData::BitWords(vec![1]));
+        put(&mut p, 2, BufferData::BitWords(vec![1, 2]));
+        out(&mut p, 3);
+        assert!(bitmap_op(&mut p, &[b(1), b(2), b(3)], &[0]).is_err());
+        // Wrong payload kind.
+        put(&mut p, 4, BufferData::I64(vec![1]));
+        assert!(bitmap_op(&mut p, &[b(4), b(2), b(3)], &[0]).is_err());
+    }
+}

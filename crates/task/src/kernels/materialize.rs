@@ -1,0 +1,140 @@
+//! `MATERIALIZE` and `MATERIALIZE_POSITION` kernels.
+
+use super::{bad_args, input_i64, input_u32, need_bufs, write_output};
+use adamant_device::buffer::{BufferData, BufferId};
+use adamant_device::cost::CostClass;
+use adamant_device::error::Result;
+use adamant_device::kernel::KernelStats;
+use adamant_device::pool::BufferPool;
+
+/// `materialize` — extracts the values selected by a bitmap.
+///
+/// Buffers `[values, bitmap, out]`. The bitmap must cover at least
+/// `values.len()` rows (trailing bits are ignored). On SIMT devices the
+/// cost model charges the bit-extraction penalty (paper Fig. 9b).
+pub fn materialize(pool: &mut BufferPool, bufs: &[BufferId], _params: &[i64]) -> Result<KernelStats> {
+    need_bufs("materialize", bufs, 3)?;
+    let values = input_i64(pool, "materialize", bufs[0])?;
+    let bitmap = pool.get(bufs[1])?;
+    let words = bitmap.data.as_bitwords().ok_or_else(|| {
+        bad_args(
+            "materialize",
+            format!("buffer {} is {}, need bitwords", bufs[1], bitmap.data.kind()),
+        )
+    })?;
+    let n = values.len();
+    if words.len() * 64 < n {
+        return Err(bad_args(
+            "materialize",
+            format!("bitmap covers {} rows, values have {n}", words.len() * 64),
+        ));
+    }
+    let mut out = Vec::new();
+    for (w, &word) in words.iter().enumerate() {
+        let mut bits = word;
+        while bits != 0 {
+            let bit = bits.trailing_zeros() as usize;
+            bits &= bits - 1;
+            let idx = w * 64 + bit;
+            if idx < n {
+                out.push(values[idx]);
+            }
+        }
+    }
+    write_output(pool, bufs[2], BufferData::I64(out))?;
+    Ok(KernelStats::new(n as u64, CostClass::MaterializeBitmap))
+}
+
+/// `materialize_position` — gathers values at the given positions.
+///
+/// Buffers `[values, positions, out]`.
+pub fn materialize_position(
+    pool: &mut BufferPool,
+    bufs: &[BufferId],
+    _params: &[i64],
+) -> Result<KernelStats> {
+    need_bufs("materialize_position", bufs, 3)?;
+    let values = input_i64(pool, "materialize_position", bufs[0])?;
+    let positions = input_u32(pool, "materialize_position", bufs[1])?;
+    let mut out = Vec::with_capacity(positions.len());
+    for &pos in positions {
+        let pos = pos as usize;
+        if pos >= values.len() {
+            return Err(bad_args(
+                "materialize_position",
+                format!("position {pos} out of bounds for {} values", values.len()),
+            ));
+        }
+        out.push(values[pos]);
+    }
+    let n = positions.len() as u64;
+    write_output(pool, bufs[2], BufferData::I64(out))?;
+    Ok(KernelStats::new(n, CostClass::MaterializePosition))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::*;
+
+    #[test]
+    fn bitmap_materialize() {
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(vec![10, 20, 30, 40, 50]));
+        put(&mut p, 2, BufferData::BitWords(vec![0b10110]));
+        out(&mut p, 3);
+        let stats = materialize(&mut p, &[b(1), b(2), b(3)], &[]).unwrap();
+        assert_eq!(stats.elements, 5);
+        assert_eq!(read_i64(&p, 3), vec![20, 30, 50]);
+    }
+
+    #[test]
+    fn bitmap_trailing_bits_ignored() {
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(vec![1, 2]));
+        // Bitmap word has bits set beyond row 1.
+        put(&mut p, 2, BufferData::BitWords(vec![u64::MAX]));
+        out(&mut p, 3);
+        materialize(&mut p, &[b(1), b(2), b(3)], &[]).unwrap();
+        assert_eq!(read_i64(&p, 3), vec![1, 2]);
+    }
+
+    #[test]
+    fn bitmap_too_short_rejected() {
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(vec![0; 100]));
+        put(&mut p, 2, BufferData::BitWords(vec![0])); // 64 < 100
+        out(&mut p, 3);
+        assert!(materialize(&mut p, &[b(1), b(2), b(3)], &[]).is_err());
+    }
+
+    #[test]
+    fn position_materialize() {
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(vec![10, 20, 30, 40]));
+        put(&mut p, 2, BufferData::U32(vec![3, 0, 3]));
+        out(&mut p, 3);
+        let stats = materialize_position(&mut p, &[b(1), b(2), b(3)], &[]).unwrap();
+        assert_eq!(stats.elements, 3);
+        assert_eq!(read_i64(&p, 3), vec![40, 10, 40]);
+    }
+
+    #[test]
+    fn position_out_of_bounds() {
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(vec![10]));
+        put(&mut p, 2, BufferData::U32(vec![5]));
+        out(&mut p, 3);
+        assert!(materialize_position(&mut p, &[b(1), b(2), b(3)], &[]).is_err());
+    }
+
+    #[test]
+    fn empty_selection() {
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(vec![1, 2, 3]));
+        put(&mut p, 2, BufferData::BitWords(vec![0]));
+        out(&mut p, 3);
+        materialize(&mut p, &[b(1), b(2), b(3)], &[]).unwrap();
+        assert!(read_i64(&p, 3).is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! Reference kernel implementations for every primitive.
+//!
+//! Kernels execute against the owning device's buffer pool following the
+//! take-inputs-by-reference / take-output-by-value pattern: outputs are
+//! removed from the pool for the duration of the call (the pool keeps their
+//! bytes charged) and restored afterwards, which re-checks capacity for any
+//! growth — so a kernel that overflows device memory fails exactly like a
+//! real device allocation would.
+//!
+//! One *reference* implementation exists per primitive; per-SDK performance
+//! differences come from the device cost models (the paper's
+//! "semantically similar implementations" across drivers, §V). Additional
+//! *variants* (e.g. the branchless filter) demonstrate the multiple-
+//! implementations-per-primitive capability of the task layer.
+
+pub mod agg;
+pub mod filter;
+pub mod join;
+pub mod map;
+pub mod materialize;
+pub mod prefix;
+pub mod sort;
+
+use adamant_device::buffer::{BufferData, BufferId};
+use adamant_device::error::{DeviceError, Result};
+use adamant_device::pool::BufferPool;
+
+/// Builds a `BadKernelArgs` error.
+pub(crate) fn bad_args(kernel: &str, reason: impl Into<String>) -> DeviceError {
+    DeviceError::BadKernelArgs {
+        kernel: kernel.into(),
+        reason: reason.into(),
+    }
+}
+
+/// Requires at least `n` buffer arguments.
+pub(crate) fn need_bufs(kernel: &str, bufs: &[BufferId], n: usize) -> Result<()> {
+    if bufs.len() < n {
+        Err(bad_args(
+            kernel,
+            format!("expected at least {n} buffers, got {}", bufs.len()),
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// Requires at least `n` scalar parameters.
+pub(crate) fn need_params(kernel: &str, params: &[i64], n: usize) -> Result<()> {
+    if params.len() < n {
+        Err(bad_args(
+            kernel,
+            format!("expected at least {n} params, got {}", params.len()),
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// Borrows an input buffer's payload as `i64`s.
+pub(crate) fn input_i64<'p>(
+    pool: &'p BufferPool,
+    kernel: &str,
+    id: BufferId,
+) -> Result<&'p Vec<i64>> {
+    let buf = pool.get(id)?;
+    buf.data
+        .as_i64()
+        .ok_or_else(|| bad_args(kernel, format!("buffer {id} is {}, need i64", buf.data.kind())))
+}
+
+/// Borrows an input buffer's payload as bitmap words.
+pub(crate) fn input_bitwords<'p>(
+    pool: &'p BufferPool,
+    kernel: &str,
+    id: BufferId,
+) -> Result<&'p Vec<u64>> {
+    let buf = pool.get(id)?;
+    buf.data.as_bitwords().ok_or_else(|| {
+        bad_args(
+            kernel,
+            format!("buffer {id} is {}, need bitwords", buf.data.kind()),
+        )
+    })
+}
+
+/// Borrows an input buffer's payload as positions.
+pub(crate) fn input_u32<'p>(
+    pool: &'p BufferPool,
+    kernel: &str,
+    id: BufferId,
+) -> Result<&'p Vec<u32>> {
+    let buf = pool.get(id)?;
+    buf.data
+        .as_u32()
+        .ok_or_else(|| bad_args(kernel, format!("buffer {id} is {}, need u32", buf.data.kind())))
+}
+
+/// Replaces the payload of a taken output buffer and restores it,
+/// re-checking pool capacity.
+pub(crate) fn write_output(
+    pool: &mut BufferPool,
+    id: BufferId,
+    data: BufferData,
+) -> Result<()> {
+    let mut out = pool.take(id)?;
+    out.data = data;
+    pool.restore(id, out)
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    //! Shared scaffolding for kernel unit tests.
+    use adamant_device::buffer::{Buffer, BufferData, BufferId};
+    use adamant_device::pool::BufferPool;
+    use adamant_device::sdk::SdkRepr;
+
+    /// A pool big enough for kernel tests.
+    pub fn pool() -> BufferPool {
+        BufferPool::new(1 << 24, 1 << 20)
+    }
+
+    /// Inserts a payload under `id`.
+    pub fn put(pool: &mut BufferPool, id: u64, data: BufferData) {
+        pool.insert(
+            BufferId(id),
+            Buffer {
+                data,
+                repr: SdkRepr::HostVec,
+                pinned: false,
+                reserved_bytes: 0,
+            },
+        )
+        .unwrap();
+    }
+
+    /// Inserts an empty output slot under `id`.
+    pub fn out(pool: &mut BufferPool, id: u64) {
+        put(pool, id, BufferData::Raw(Vec::new()));
+    }
+
+    /// Reads back an i64 payload.
+    pub fn read_i64(pool: &BufferPool, id: u64) -> Vec<i64> {
+        pool.get(BufferId(id)).unwrap().data.as_i64().unwrap().clone()
+    }
+
+    /// Reads back a u32 payload.
+    pub fn read_u32(pool: &BufferPool, id: u64) -> Vec<u32> {
+        pool.get(BufferId(id)).unwrap().data.as_u32().unwrap().clone()
+    }
+
+    /// Reads back bitmap words.
+    pub fn read_words(pool: &BufferPool, id: u64) -> Vec<u64> {
+        pool.get(BufferId(id))
+            .unwrap()
+            .data
+            .as_bitwords()
+            .unwrap()
+            .clone()
+    }
+
+    /// Buffer id shorthand.
+    pub fn b(id: u64) -> BufferId {
+        BufferId(id)
+    }
+}

@@ -1,0 +1,62 @@
+//! `PREFIX_SUM` kernel.
+
+use super::{input_i64, need_bufs, write_output};
+use adamant_device::buffer::{BufferData, BufferId};
+use adamant_device::cost::CostClass;
+use adamant_device::error::Result;
+use adamant_device::kernel::KernelStats;
+use adamant_device::pool::BufferPool;
+
+/// `prefix_sum` — exclusive prefix sum with the grand total appended.
+///
+/// Buffers `[in, out]`; `out[i]` is the sum of `in[0..i]` and
+/// `out[n] == sum(in)`. The exclusive form is what scatter-style
+/// materialization and `SORT_AGG` consume (the total gives the output size).
+pub fn prefix_sum(pool: &mut BufferPool, bufs: &[BufferId], _params: &[i64]) -> Result<KernelStats> {
+    need_bufs("prefix_sum", bufs, 2)?;
+    let input = input_i64(pool, "prefix_sum", bufs[0])?;
+    let mut out = Vec::with_capacity(input.len() + 1);
+    let mut acc = 0i64;
+    for &x in input {
+        out.push(acc);
+        acc = acc.wrapping_add(x);
+    }
+    out.push(acc);
+    let n = input.len() as u64;
+    write_output(pool, bufs[1], BufferData::I64(out))?;
+    Ok(KernelStats::new(n, CostClass::PrefixSum))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::*;
+
+    #[test]
+    fn exclusive_with_total() {
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(vec![1, 0, 1, 1, 0]));
+        out(&mut p, 2);
+        let stats = prefix_sum(&mut p, &[b(1), b(2)], &[]).unwrap();
+        assert_eq!(stats.elements, 5);
+        assert_eq!(read_i64(&p, 2), vec![0, 1, 1, 2, 3, 3]);
+    }
+
+    #[test]
+    fn empty() {
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(vec![]));
+        out(&mut p, 2);
+        prefix_sum(&mut p, &[b(1), b(2)], &[]).unwrap();
+        assert_eq!(read_i64(&p, 2), vec![0]);
+    }
+
+    #[test]
+    fn general_values() {
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(vec![5, -2, 7]));
+        out(&mut p, 2);
+        prefix_sum(&mut p, &[b(1), b(2)], &[]).unwrap();
+        assert_eq!(read_i64(&p, 2), vec![0, 5, 3, 10]);
+    }
+}

@@ -1,0 +1,120 @@
+//! `SORT` kernel.
+
+use super::{bad_args, input_i64, need_bufs, write_output};
+use adamant_device::buffer::{BufferData, BufferId};
+use adamant_device::cost::CostClass;
+use adamant_device::error::Result;
+use adamant_device::kernel::KernelStats;
+use adamant_device::pool::BufferPool;
+
+/// `sort` — computes the lexicographic sorted permutation of one or more
+/// key columns.
+///
+/// Buffers `[key_0, .., key_{k-1}, out_perm]`, params `[desc_mask]` where
+/// bit `i` of `desc_mask` selects descending order for key `i`. A
+/// full-buffer pipeline breaker: the runtime runs it on materialized data
+/// (ORDER BY / top-N in Q3). The permutation feeds
+/// `MATERIALIZE_POSITION` for the payload columns.
+pub fn sort(pool: &mut BufferPool, bufs: &[BufferId], params: &[i64]) -> Result<KernelStats> {
+    need_bufs("sort", bufs, 2)?;
+    let desc_mask = params.first().copied().unwrap_or(0) as u64;
+    let key_count = bufs.len() - 1;
+    if key_count > 63 {
+        return Err(bad_args("sort", "too many key columns"));
+    }
+    let mut keys = Vec::with_capacity(key_count);
+    let mut n = None;
+    for &buf in &bufs[..key_count] {
+        let col = input_i64(pool, "sort", buf)?;
+        if let Some(n) = n {
+            if col.len() != n {
+                return Err(bad_args("sort", "key column length mismatch"));
+            }
+        } else {
+            n = Some(col.len());
+        }
+        keys.push(col);
+    }
+    let n = n.unwrap_or(0);
+    let mut perm: Vec<u32> = (0..n as u32).collect();
+    perm.sort_by(|&a, &b| {
+        for (i, col) in keys.iter().enumerate() {
+            let (x, y) = (col[a as usize], col[b as usize]);
+            let ord = if desc_mask >> i & 1 == 1 {
+                y.cmp(&x)
+            } else {
+                x.cmp(&y)
+            };
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        // Stable tie-break on original position for determinism.
+        a.cmp(&b)
+    });
+    write_output(pool, *bufs.last().expect("checked"), BufferData::U32(perm))?;
+    Ok(KernelStats::new(n as u64, CostClass::Sort))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::*;
+
+    #[test]
+    fn single_key_ascending() {
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(vec![30, 10, 20]));
+        out(&mut p, 2);
+        sort(&mut p, &[b(1), b(2)], &[0]).unwrap();
+        assert_eq!(read_u32(&p, 2), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn single_key_descending() {
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(vec![30, 10, 20]));
+        out(&mut p, 2);
+        sort(&mut p, &[b(1), b(2)], &[1]).unwrap();
+        assert_eq!(read_u32(&p, 2), vec![0, 2, 1]);
+    }
+
+    #[test]
+    fn multi_key_q3_style() {
+        // Q3: ORDER BY revenue DESC, o_orderdate ASC.
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(vec![100, 200, 100, 200]));
+        put(&mut p, 2, BufferData::I64(vec![5, 9, 3, 1]));
+        out(&mut p, 3);
+        sort(&mut p, &[b(1), b(2), b(3)], &[0b01]).unwrap();
+        // revenue desc: (200,1)@3, (200,9)@1, then (100,3)@2, (100,5)@0.
+        assert_eq!(read_u32(&p, 3), vec![3, 1, 2, 0]);
+    }
+
+    #[test]
+    fn stability_on_full_ties() {
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(vec![7, 7, 7]));
+        out(&mut p, 2);
+        sort(&mut p, &[b(1), b(2)], &[0]).unwrap();
+        assert_eq!(read_u32(&p, 2), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(vec![1, 2]));
+        put(&mut p, 2, BufferData::I64(vec![1]));
+        out(&mut p, 3);
+        assert!(sort(&mut p, &[b(1), b(2), b(3)], &[0]).is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(vec![]));
+        out(&mut p, 2);
+        sort(&mut p, &[b(1), b(2)], &[0]).unwrap();
+        assert!(read_u32(&p, 2).is_empty());
+    }
+}

@@ -1,0 +1,271 @@
+//! Primitive definitions (paper Table I).
+//!
+//! Primitives are the granular functions database operators are built from.
+//! Each has a fixed I/O signature; any implementation adhering to the
+//! signature can be plugged into the registry — including mixing SDKs within
+//! one device (e.g. an OpenCL arithmetic feeding a CUDA reduce).
+//!
+//! Pipeline breakers (marked † in the paper) materialize their output in
+//! device memory and end a query pipeline; the runtime splits plans at them.
+//!
+//! Extensions beyond Table I, required to express the TPC-H plans and
+//! documented in DESIGN.md: `BITMAP_OP` (conjunction of filter bitmaps),
+//! `FILTER_BITMAP_COL` (column-column predicates, Q4's
+//! `l_commitdate < l_receiptdate`), `HASH_PROBE_SEMI` (EXISTS semi-join,
+//! Q4), and `SORT` (ORDER BY / top-N breaker, Q3).
+
+use crate::semantics::DataSemantic;
+use std::fmt;
+
+/// The primitive vocabulary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PrimitiveKind {
+    /// `MAP(NUMERIC in[n] {, NUMERIC in2[n]}, NUMERIC out[n])` —
+    /// one-to-one arithmetic.
+    Map,
+    /// `BITMAP_OP(BITMAP a[k], BITMAP b[k], BITMAP out[k])` — combine
+    /// filter bitmaps (extension).
+    BitmapOp,
+    /// `FILTER_BITMAP(NUMERIC in[n], BITMAP out[k], NUMERIC parameter)`.
+    FilterBitmap,
+    /// `FILTER_BITMAP_COL(NUMERIC a[n], NUMERIC b[n], BITMAP out[k])` —
+    /// column-column comparison (extension).
+    FilterBitmapCol,
+    /// `FILTER_POSITION(NUMERIC in[n], POSITION out[k], NUMERIC parameter)`.
+    FilterPosition,
+    /// `MATERIALIZE(NUMERIC in[n], BITMAP bitmap[k], NUMERIC out[m])`.
+    Materialize,
+    /// `MATERIALIZE_POSITION(NUMERIC in[n], POSITION pos[k], NUMERIC out[m])`.
+    MaterializePosition,
+    /// `PREFIX_SUM(NUMERIC in[n], PREFIX_SUM out[n])` †.
+    PrefixSum,
+    /// `AGG_BLOCK(NUMERIC in[n], NUMERIC out)` † — block-wise reduction.
+    AggBlock,
+    /// `HASH_BUILD(NUMERIC keys[n] {, NUMERIC payload[n]…}, HASH_TABLE t)` †.
+    HashBuild,
+    /// `HASH_PROBE(NUMERIC keys[n], HASH_TABLE t, POSITION probe_pos[m]
+    /// {, NUMERIC payload_out[m]…})` — inner-join probe.
+    HashProbe,
+    /// `HASH_PROBE_SEMI(NUMERIC keys[n], HASH_TABLE t, BITMAP out[k])` —
+    /// EXISTS probe (extension).
+    HashProbeSemi,
+    /// `HASH_AGG(NUMERIC keys[n] {, NUMERIC vals[n]…}, HASH_TABLE t)` † —
+    /// group-by aggregation on a shared table.
+    HashAgg,
+    /// `SORT_AGG(NUMERIC keys[n], NUMERIC vals[n], NUMERIC out_keys[g],
+    /// NUMERIC out_vals[g])` † — aggregation over sorted input.
+    SortAgg,
+    /// `SORT(NUMERIC key[n] {, NUMERIC key2[n]…}, POSITION perm[n])` † —
+    /// produces the sorted permutation (extension).
+    Sort,
+    /// `AGG_EXPORT(HASH_TABLE t, NUMERIC keys[g] {, NUMERIC out…})` —
+    /// exports an aggregation table's dense columns (extension; feeds
+    /// ORDER BY over group-by results without a host round-trip).
+    AggExport,
+}
+
+/// The I/O signature of a primitive.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PrimitiveSignature {
+    /// Semantics of the fixed input slots (variadic slots noted in docs
+    /// repeat the last entry).
+    pub inputs: Vec<DataSemantic>,
+    /// Semantics of the output slots.
+    pub outputs: Vec<DataSemantic>,
+    /// Whether trailing inputs of the last semantic may repeat
+    /// (payload/value columns of `HASH_BUILD`/`HASH_AGG`, keys of `SORT`).
+    pub variadic_inputs: bool,
+    /// Whether trailing outputs may repeat (`HASH_PROBE` payload outputs).
+    pub variadic_outputs: bool,
+}
+
+impl PrimitiveKind {
+    /// All primitives, in Table I order followed by the extensions.
+    pub const ALL: [PrimitiveKind; 16] = [
+        PrimitiveKind::Map,
+        PrimitiveKind::AggBlock,
+        PrimitiveKind::HashAgg,
+        PrimitiveKind::HashBuild,
+        PrimitiveKind::HashProbe,
+        PrimitiveKind::SortAgg,
+        PrimitiveKind::FilterBitmap,
+        PrimitiveKind::FilterPosition,
+        PrimitiveKind::PrefixSum,
+        PrimitiveKind::Materialize,
+        PrimitiveKind::MaterializePosition,
+        PrimitiveKind::BitmapOp,
+        PrimitiveKind::FilterBitmapCol,
+        PrimitiveKind::HashProbeSemi,
+        PrimitiveKind::Sort,
+        PrimitiveKind::AggExport,
+    ];
+
+    /// The kernel name this primitive dispatches to.
+    pub fn kernel_name(self) -> &'static str {
+        match self {
+            PrimitiveKind::Map => "map",
+            PrimitiveKind::BitmapOp => "bitmap_op",
+            PrimitiveKind::FilterBitmap => "filter_bitmap",
+            PrimitiveKind::FilterBitmapCol => "filter_bitmap_col",
+            PrimitiveKind::FilterPosition => "filter_position",
+            PrimitiveKind::Materialize => "materialize",
+            PrimitiveKind::MaterializePosition => "materialize_position",
+            PrimitiveKind::PrefixSum => "prefix_sum",
+            PrimitiveKind::AggBlock => "agg_block",
+            PrimitiveKind::HashBuild => "hash_build",
+            PrimitiveKind::HashProbe => "hash_probe",
+            PrimitiveKind::HashProbeSemi => "hash_probe_semi",
+            PrimitiveKind::HashAgg => "hash_agg",
+            PrimitiveKind::SortAgg => "sort_agg",
+            PrimitiveKind::Sort => "sort",
+            PrimitiveKind::AggExport => "agg_export",
+        }
+    }
+
+    /// Whether this primitive is a pipeline breaker (Table I's †).
+    ///
+    /// Breakers materialize into device memory and end the pipeline; the
+    /// runtime synchronizes chunks at them.
+    pub fn is_pipeline_breaker(self) -> bool {
+        matches!(
+            self,
+            PrimitiveKind::PrefixSum
+                | PrimitiveKind::AggBlock
+                | PrimitiveKind::HashBuild
+                | PrimitiveKind::HashAgg
+                | PrimitiveKind::SortAgg
+                | PrimitiveKind::Sort
+        )
+    }
+
+    /// Whether the primitive *accumulates* across chunks into a persistent
+    /// output (rather than producing per-chunk scratch output).
+    pub fn accumulates(self) -> bool {
+        self.is_pipeline_breaker()
+    }
+
+    /// The I/O signature.
+    pub fn signature(self) -> PrimitiveSignature {
+        use DataSemantic::*;
+        let (inputs, outputs, vi, vo) = match self {
+            PrimitiveKind::Map => (vec![Numeric], vec![Numeric], true, false),
+            PrimitiveKind::BitmapOp => (vec![Bitmap, Bitmap], vec![Bitmap], false, false),
+            PrimitiveKind::FilterBitmap => (vec![Numeric], vec![Bitmap], false, false),
+            PrimitiveKind::FilterBitmapCol => {
+                (vec![Numeric, Numeric], vec![Bitmap], false, false)
+            }
+            PrimitiveKind::FilterPosition => (vec![Numeric], vec![Position], false, false),
+            PrimitiveKind::Materialize => (vec![Numeric, Bitmap], vec![Numeric], false, false),
+            PrimitiveKind::MaterializePosition => {
+                (vec![Numeric, Position], vec![Numeric], false, false)
+            }
+            PrimitiveKind::PrefixSum => (vec![Numeric], vec![PrefixSum], false, false),
+            PrimitiveKind::AggBlock => (vec![Numeric], vec![Numeric], false, false),
+            PrimitiveKind::HashBuild => (vec![Numeric], vec![HashTable], true, false),
+            PrimitiveKind::HashProbe => {
+                (vec![Numeric, HashTable], vec![Position, Numeric], false, true)
+            }
+            PrimitiveKind::HashProbeSemi => {
+                (vec![Numeric, HashTable], vec![Bitmap], false, false)
+            }
+            PrimitiveKind::HashAgg => (vec![Numeric], vec![HashTable], true, false),
+            PrimitiveKind::SortAgg => {
+                (vec![Numeric, Numeric], vec![Numeric, Numeric], false, false)
+            }
+            PrimitiveKind::Sort => (vec![Numeric], vec![Position], true, false),
+            PrimitiveKind::AggExport => (vec![HashTable], vec![Numeric], false, true),
+        };
+        PrimitiveSignature {
+            inputs,
+            outputs,
+            variadic_inputs: vi,
+            variadic_outputs: vo,
+        }
+    }
+
+    /// Validates that input edge semantics satisfy the signature.
+    pub fn accepts_inputs(self, actual: &[DataSemantic]) -> bool {
+        let sig = self.signature();
+        if actual.len() < sig.inputs.len() {
+            return false;
+        }
+        if actual.len() > sig.inputs.len() && !sig.variadic_inputs {
+            return false;
+        }
+        for (i, &a) in actual.iter().enumerate() {
+            let expected = if i < sig.inputs.len() {
+                sig.inputs[i]
+            } else {
+                *sig.inputs.last().expect("nonempty signature")
+            };
+            if !a.compatible_with(expected) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for PrimitiveKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.kernel_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use DataSemantic::*;
+
+    #[test]
+    fn breakers_match_table_one() {
+        // Table I marks AGG_BLOCK, HASH_AGG, HASH_BUILD, SORT_AGG and
+        // PREFIX_SUM with †; SORT is our breaker extension.
+        let breakers: Vec<_> = PrimitiveKind::ALL
+            .iter()
+            .filter(|p| p.is_pipeline_breaker())
+            .collect();
+        assert_eq!(breakers.len(), 6);
+        assert!(PrimitiveKind::AggBlock.is_pipeline_breaker());
+        assert!(PrimitiveKind::HashBuild.is_pipeline_breaker());
+        assert!(!PrimitiveKind::HashProbe.is_pipeline_breaker());
+        assert!(!PrimitiveKind::Materialize.is_pipeline_breaker());
+        assert!(!PrimitiveKind::FilterBitmap.is_pipeline_breaker());
+    }
+
+    #[test]
+    fn kernel_names_unique() {
+        let mut names: Vec<_> = PrimitiveKind::ALL.iter().map(|p| p.kernel_name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), PrimitiveKind::ALL.len());
+    }
+
+    #[test]
+    fn signatures() {
+        let s = PrimitiveKind::HashProbe.signature();
+        assert_eq!(s.inputs, vec![Numeric, HashTable]);
+        assert_eq!(s.outputs, vec![Position, Numeric]);
+        assert!(s.variadic_outputs);
+
+        let s = PrimitiveKind::Materialize.signature();
+        assert_eq!(s.inputs, vec![Numeric, Bitmap]);
+        assert_eq!(s.outputs, vec![Numeric]);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(PrimitiveKind::Map.accepts_inputs(&[Numeric]));
+        assert!(PrimitiveKind::Map.accepts_inputs(&[Numeric, Numeric]));
+        assert!(!PrimitiveKind::Map.accepts_inputs(&[Bitmap]));
+        assert!(!PrimitiveKind::Map.accepts_inputs(&[]));
+        assert!(PrimitiveKind::Materialize.accepts_inputs(&[Numeric, Bitmap]));
+        assert!(!PrimitiveKind::Materialize.accepts_inputs(&[Numeric, Position]));
+        // Non-variadic rejects extras.
+        assert!(!PrimitiveKind::Materialize.accepts_inputs(&[Numeric, Bitmap, Bitmap]));
+        // Variadic hash build takes key + payloads.
+        assert!(PrimitiveKind::HashBuild.accepts_inputs(&[Numeric, Numeric, Numeric]));
+        // PrefixSum result usable as numeric input.
+        assert!(PrimitiveKind::Map.accepts_inputs(&[PrefixSum]));
+    }
+}

@@ -1,0 +1,82 @@
+//! I/O semantics of primitive inputs and outputs (paper §III-B3).
+//!
+//! The runtime uses these tags on the primitive graph's data edges to call
+//! the *right* downstream primitive: a `FILTER` that produced a `BITMAP`
+//! must be followed by `MATERIALIZE`, one that produced a `POSITION` list by
+//! `MATERIALIZE_POSITION`, and so on. Mis-typed edges are rejected when the
+//! graph is validated instead of producing wrong results at runtime.
+
+use std::fmt;
+
+/// The semantic type carried on a data edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DataSemantic {
+    /// Any numeric / column values.
+    Numeric,
+    /// A bit-packed filter result.
+    Bitmap,
+    /// A position list.
+    Position,
+    /// Result of `PREFIX_SUM`.
+    PrefixSum,
+    /// Result of `HASH_BUILD` or `HASH_AGG` — a device-resident table.
+    HashTable,
+    /// Any custom data semantic (e.g. a specialized tree structure).
+    Generic,
+}
+
+impl DataSemantic {
+    /// Stable display name matching the paper's terminology.
+    pub fn name(self) -> &'static str {
+        match self {
+            DataSemantic::Numeric => "NUMERIC",
+            DataSemantic::Bitmap => "BITMAP",
+            DataSemantic::Position => "POSITION",
+            DataSemantic::PrefixSum => "PREFIX_SUM",
+            DataSemantic::HashTable => "HASH_TABLE",
+            DataSemantic::Generic => "GENERIC",
+        }
+    }
+
+    /// Whether an edge of semantic `self` can feed an input slot expecting
+    /// `expected`. `GENERIC` accepts anything (custom semantics are opaque
+    /// to the engine); `PREFIX_SUM` values are numeric positions and may be
+    /// consumed as `NUMERIC`.
+    pub fn compatible_with(self, expected: DataSemantic) -> bool {
+        if expected == DataSemantic::Generic || self == expected {
+            return true;
+        }
+        matches!(
+            (self, expected),
+            (DataSemantic::PrefixSum, DataSemantic::Numeric)
+        )
+    }
+}
+
+impl fmt::Display for DataSemantic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(DataSemantic::Numeric.name(), "NUMERIC");
+        assert_eq!(DataSemantic::HashTable.name(), "HASH_TABLE");
+        assert_eq!(DataSemantic::PrefixSum.to_string(), "PREFIX_SUM");
+    }
+
+    #[test]
+    fn compatibility_rules() {
+        assert!(DataSemantic::Bitmap.compatible_with(DataSemantic::Bitmap));
+        assert!(!DataSemantic::Bitmap.compatible_with(DataSemantic::Position));
+        assert!(DataSemantic::Numeric.compatible_with(DataSemantic::Generic));
+        assert!(DataSemantic::PrefixSum.compatible_with(DataSemantic::Numeric));
+        assert!(!DataSemantic::Numeric.compatible_with(DataSemantic::PrefixSum));
+        assert!(!DataSemantic::HashTable.compatible_with(DataSemantic::Numeric));
+    }
+}

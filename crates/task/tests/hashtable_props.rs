@@ -1,0 +1,91 @@
+//! Property tests: the device-resident hash tables against `std` oracles.
+
+use adamant_task::hashtable::{AggHashTable, JoinHashTable};
+use adamant_task::params::AggFunc;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// JoinHashTable probe returns exactly the multiset of payloads the
+    /// key was inserted with, regardless of growth/collisions.
+    #[test]
+    fn join_table_matches_multimap(
+        entries in prop::collection::vec((0i64..200, -1000i64..1000), 0..600),
+        probes in prop::collection::vec(0i64..300, 0..100),
+    ) {
+        let mut table = JoinHashTable::with_capacity(4, 1); // force growth
+        let mut oracle: HashMap<i64, Vec<i64>> = HashMap::new();
+        for (k, v) in &entries {
+            table.insert(*k, &[*v]);
+            oracle.entry(*k).or_default().push(*v);
+        }
+        prop_assert_eq!(table.len(), entries.len());
+        let mut slots = Vec::new();
+        for &k in &probes {
+            slots.clear();
+            table.probe_into(k, &mut slots);
+            let mut got: Vec<i64> = slots.iter().map(|&s| table.payload(0, s)).collect();
+            got.sort_unstable();
+            let mut want = oracle.get(&k).cloned().unwrap_or_default();
+            want.sort_unstable();
+            prop_assert_eq!(got, want, "key {}", k);
+            prop_assert_eq!(table.contains(k), oracle.contains_key(&k));
+        }
+    }
+
+    /// AggHashTable matches a std-map group-by for all four aggregates
+    /// simultaneously, including payload capture semantics.
+    #[test]
+    fn agg_table_matches_hashmap(
+        rows in prop::collection::vec((0i64..50, -500i64..500), 0..800),
+    ) {
+        let mut table = AggHashTable::with_capacity(
+            2, // force growth
+            vec![AggFunc::Sum, AggFunc::Count, AggFunc::Min, AggFunc::Max],
+            1,
+        );
+        #[derive(Default, Clone)]
+        struct Acc { sum: i64, count: i64, min: i64, max: i64, payload: i64 }
+        let mut oracle: HashMap<i64, Acc> = HashMap::new();
+        for (k, v) in &rows {
+            table.update(*k, &[*k * 3], &[*v, 0, *v, *v]);
+            let e = oracle.entry(*k).or_insert(Acc {
+                min: i64::MAX,
+                max: i64::MIN,
+                payload: *k * 3,
+                ..Default::default()
+            });
+            e.sum += v;
+            e.count += 1;
+            e.min = e.min.min(*v);
+            e.max = e.max.max(*v);
+        }
+        prop_assert_eq!(table.group_count(), oracle.len());
+        let (keys, payloads, states) = table.export();
+        for (i, k) in keys.iter().enumerate() {
+            let o = &oracle[k];
+            prop_assert_eq!(states[0][i], o.sum);
+            prop_assert_eq!(states[1][i], o.count);
+            prop_assert_eq!(states[2][i], o.min);
+            prop_assert_eq!(states[3][i], o.max);
+            prop_assert_eq!(payloads[0][i], o.payload);
+        }
+    }
+
+    /// Group keys export in first-seen order.
+    #[test]
+    fn agg_table_first_seen_order(keys in prop::collection::vec(0i64..30, 0..300)) {
+        let mut table = AggHashTable::with_capacity(4, vec![AggFunc::Count], 0);
+        let mut first_seen = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for &k in &keys {
+            table.update(k, &[], &[0]);
+            if seen.insert(k) {
+                first_seen.push(k);
+            }
+        }
+        prop_assert_eq!(table.group_keys(), &first_seen[..]);
+    }
+}

@@ -1,0 +1,33 @@
+//! # adamant-tpch
+//!
+//! TPC-H substrate for the ADAMANT reproduction: a deterministic data
+//! generator (`dbgen` stand-in), primitive-graph plans for the queries the
+//! paper evaluates (Q1, Q3, Q4, Q6), slow-but-obviously-correct reference
+//! implementations used to validate the executor, and the per-query input
+//! footprint model behind the paper's Fig. 7-left.
+//!
+//! The generator follows TPC-H's schema and key structure (orders↔lineitem
+//! 1:1–7, dates in 1992–1998, discounts 0–10 %, five market segments and
+//! order priorities) with all decimals as scaled integers (cents), matching
+//! the paper's all-integer evaluation. It is *not* a bit-exact `dbgen`
+//! clone — the evaluation needs realistic distributions and selectivities,
+//! not the official text fields (substitution documented in DESIGN.md).
+
+#![deny(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod footprint;
+pub mod gen;
+pub mod queries;
+pub mod reference;
+
+pub use gen::TpchGenerator;
+pub use queries::TpchQuery;
+
+/// Convenience re-exports.
+pub mod prelude {
+    pub use crate::footprint;
+    pub use crate::gen::TpchGenerator;
+    pub use crate::queries::TpchQuery;
+    pub use crate::reference;
+}

@@ -1,0 +1,155 @@
+//! Executes the TPC-H query plans through the ADAMANT executor under every
+//! execution model and compares exact results with the host references.
+
+use adamant_core::executor::{Executor, ExecutorConfig};
+use adamant_core::models::ExecutionModel;
+use adamant_device::profiles::DeviceProfile;
+use adamant_device::sdk::SdkKind;
+use adamant_task::registry::TaskRegistry;
+use adamant_tpch::gen::TpchGenerator;
+use adamant_tpch::queries::{q1, q12, q14, q3, q4, q6, TpchQuery};
+use adamant_tpch::reference;
+use adamant_storage::prelude::Catalog;
+
+fn catalog() -> Catalog {
+    TpchGenerator::new(0.002, 20260707).generate()
+}
+
+fn executor(profile: DeviceProfile, chunk_rows: usize) -> Executor {
+    let tasks = TaskRegistry::with_defaults(&[
+        SdkKind::Cuda,
+        SdkKind::OpenCl,
+        SdkKind::OpenMp,
+        SdkKind::Host,
+    ]);
+    let mut exec = Executor::new(tasks, ExecutorConfig { chunk_rows });
+    exec.add_profile(&profile).unwrap();
+    exec
+}
+
+#[test]
+fn q6_matches_reference_all_models() {
+    let cat = catalog();
+    let expected = reference::q6(&cat).unwrap();
+    assert!(expected > 0);
+    for model in ExecutionModel::ALL {
+        let mut exec = executor(DeviceProfile::cuda_rtx2080ti(), 1000);
+        let graph = TpchQuery::Q6.plan(adamant_device::device::DeviceId(0), &cat).unwrap();
+        let inputs = TpchQuery::Q6.bind(&cat).unwrap();
+        let (out, stats) = exec.run(&graph, &inputs, model).unwrap();
+        assert_eq!(q6::decode(&out), expected, "Q6 under {model}");
+        assert!(stats.total_ns > 0.0);
+    }
+}
+
+#[test]
+fn q1_matches_reference_all_models() {
+    let cat = catalog();
+    let expected = reference::q1(&cat).unwrap();
+    for model in ExecutionModel::ALL {
+        let mut exec = executor(DeviceProfile::cuda_rtx2080ti(), 1000);
+        let graph = TpchQuery::Q1.plan(adamant_device::device::DeviceId(0), &cat).unwrap();
+        let inputs = TpchQuery::Q1.bind(&cat).unwrap();
+        let (out, _) = exec.run(&graph, &inputs, model).unwrap();
+        let rows = q1::decode(&cat, &out).unwrap();
+        assert_eq!(rows, expected, "Q1 under {model}");
+    }
+}
+
+#[test]
+fn q3_matches_reference_all_models() {
+    let cat = catalog();
+    let expected = reference::q3(&cat).unwrap();
+    assert!(!expected.is_empty(), "Q3 reference empty at this SF");
+    for model in ExecutionModel::ALL {
+        let mut exec = executor(DeviceProfile::cuda_rtx2080ti(), 1000);
+        let graph = TpchQuery::Q3.plan(adamant_device::device::DeviceId(0), &cat).unwrap();
+        let inputs = TpchQuery::Q3.bind(&cat).unwrap();
+        let (out, stats) = exec.run(&graph, &inputs, model).unwrap();
+        let rows = q3::decode(&out);
+        assert_eq!(rows, expected, "Q3 under {model}");
+        // Q3 has 3 streaming pipelines + the post stage.
+        assert!(stats.pipelines >= 4, "pipelines {}", stats.pipelines);
+    }
+}
+
+#[test]
+fn q4_matches_reference_all_models() {
+    let cat = catalog();
+    let expected = reference::q4(&cat).unwrap();
+    assert!(!expected.is_empty());
+    for model in ExecutionModel::ALL {
+        let mut exec = executor(DeviceProfile::cuda_rtx2080ti(), 1000);
+        let graph = TpchQuery::Q4.plan(adamant_device::device::DeviceId(0), &cat).unwrap();
+        let inputs = TpchQuery::Q4.bind(&cat).unwrap();
+        let (out, _) = exec.run(&graph, &inputs, model).unwrap();
+        let rows = q4::decode(&cat, &out).unwrap();
+        assert_eq!(rows, expected, "Q4 under {model}");
+    }
+}
+
+#[test]
+fn q12_matches_reference_all_models() {
+    let cat = catalog();
+    let expected = reference::q12(&cat).unwrap();
+    assert!(!expected.is_empty());
+    for model in ExecutionModel::ALL {
+        let mut exec = executor(DeviceProfile::cuda_rtx2080ti(), 1000);
+        let graph = TpchQuery::Q12.plan(adamant_device::device::DeviceId(0), &cat).unwrap();
+        let inputs = TpchQuery::Q12.bind(&cat).unwrap();
+        let (out, _) = exec.run(&graph, &inputs, model).unwrap();
+        let rows = q12::decode(&cat, &out).unwrap();
+        assert_eq!(rows, expected, "Q12 under {model}");
+    }
+}
+
+#[test]
+fn q14_matches_reference_all_models() {
+    let cat = catalog();
+    let expected = reference::q14(&cat).unwrap();
+    assert!(expected.1 > 0);
+    for model in ExecutionModel::ALL {
+        let mut exec = executor(DeviceProfile::cuda_rtx2080ti(), 1000);
+        let graph = TpchQuery::Q14.plan(adamant_device::device::DeviceId(0), &cat).unwrap();
+        let inputs = TpchQuery::Q14.bind(&cat).unwrap();
+        let (out, _) = exec.run(&graph, &inputs, model).unwrap();
+        assert_eq!(q14::decode(&out), expected, "Q14 under {model}");
+    }
+}
+
+#[test]
+fn all_queries_on_all_drivers_chunked() {
+    let cat = catalog();
+    for profile in DeviceProfile::setup1() {
+        for q in TpchQuery::ALL {
+            let mut exec = executor(profile.clone(), 700);
+            let graph = q.plan(adamant_device::device::DeviceId(0), &cat).unwrap();
+            let inputs = q.bind(&cat).unwrap();
+            let (out, _) = exec
+                .run(&graph, &inputs, ExecutionModel::Chunked)
+                .unwrap_or_else(|e| panic!("{q} on {}: {e}", profile.name));
+            match q {
+                TpchQuery::Q1 => {
+                    assert_eq!(q1::decode(&cat, &out).unwrap(), reference::q1(&cat).unwrap())
+                }
+                TpchQuery::Q3 => assert_eq!(q3::decode(&out), reference::q3(&cat).unwrap()),
+                TpchQuery::Q4 => {
+                    assert_eq!(q4::decode(&cat, &out).unwrap(), reference::q4(&cat).unwrap())
+                }
+                TpchQuery::Q6 => assert_eq!(q6::decode(&out), reference::q6(&cat).unwrap()),
+                TpchQuery::Q12 => {
+                    assert_eq!(q12::decode(&cat, &out).unwrap(), reference::q12(&cat).unwrap())
+                }
+                TpchQuery::Q14 => assert_eq!(q14::decode(&out), reference::q14(&cat).unwrap()),
+            }
+        }
+    }
+}
+
+#[test]
+fn input_footprints_are_sane() {
+    let cat = catalog();
+    let q6 = TpchQuery::Q6.input_bytes(&cat).unwrap();
+    let q3 = TpchQuery::Q3.input_bytes(&cat).unwrap();
+    assert!(q6 > 0 && q3 > q6, "Q3 reads more than Q6");
+}

@@ -1,0 +1,52 @@
+//! Execution-model comparison on one query (paper §IV / Fig. 11 in
+//! miniature): chunked vs pipelined vs 4-phase on OpenCL- and CUDA-style
+//! GPU drivers.
+//!
+//! Run: `cargo run --release -p adamant-examples --example execution_models`
+
+use adamant::prelude::*;
+
+fn main() {
+    let catalog = TpchGenerator::new(0.02, 3).generate();
+    println!(
+        "TPC-H Q6 at SF 0.02 ({} lineitem rows), chunk = 16Ki rows\n",
+        catalog.table("lineitem").unwrap().row_count()
+    );
+    println!(
+        "{:<20} {:>16} {:>16}",
+        "model", "opencl (ms)", "cuda (ms)"
+    );
+    let mut chunked_times = Vec::new();
+    for model in [
+        ExecutionModel::Chunked,
+        ExecutionModel::Pipelined,
+        ExecutionModel::FourPhaseChunked,
+        ExecutionModel::FourPhasePipelined,
+    ] {
+        let mut row = format!("{:<20}", model.name());
+        for profile in [
+            DeviceProfile::opencl_rtx2080ti(),
+            DeviceProfile::cuda_rtx2080ti(),
+        ] {
+            let mut engine = Adamant::builder()
+                .chunk_rows(16 << 10)
+                .device(profile)
+                .build()
+                .expect("engine");
+            let dev = engine.device_ids()[0];
+            let graph = TpchQuery::Q6.plan(dev, &catalog).expect("plan");
+            let inputs = TpchQuery::Q6.bind(&catalog).expect("bind");
+            let (_, stats) = engine.run(&graph, &inputs, model).expect("run");
+            if model == ExecutionModel::Chunked {
+                chunked_times.push(stats.total_ns);
+            }
+            row.push_str(&format!(" {:>16.3}", stats.total_ms()));
+        }
+        println!("{row}");
+    }
+    println!(
+        "\n4-phase hides chunk transfers behind compute with dual pinned\n\
+         staging buffers (paper Fig. 8); CUDA's faster bus and cheaper\n\
+         launches keep it ahead of OpenCL throughout (paper Fig. 11)."
+    );
+}

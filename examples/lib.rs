@@ -1,0 +1,1 @@
+//! Examples support library (intentionally empty).

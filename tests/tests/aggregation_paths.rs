@@ -1,0 +1,95 @@
+//! HASH_AGG vs SORT_AGG: Table I offers two aggregation strategies; both
+//! must produce identical group-by results.
+
+use adamant::prelude::*;
+use proptest::prelude::*;
+
+fn run_hash_path(keys: &[i64], vals: &[i64]) -> (Vec<i64>, Vec<i64>) {
+    let mut engine = Adamant::builder()
+        .chunk_rows(64)
+        .device(DeviceProfile::cuda_rtx2080ti())
+        .build()
+        .unwrap();
+    let dev = engine.device_ids()[0];
+    let mut pb = PlanBuilder::new(dev);
+    let mut s = pb.scan("t", &["k", "v"]);
+    let ht = s
+        .hash_agg(&mut pb, "k", &[], &[(AggFunc::Sum, "v")], 16)
+        .unwrap();
+    let groups = pb.group_result(ht, 0, 1);
+    let perm = pb.sort(&[(groups.keys, false)]);
+    let gk = pb.take(groups.keys, perm);
+    let gs = pb.take(groups.states[0], perm);
+    pb.output("k", gk);
+    pb.output("s", gs);
+    let graph = pb.build().unwrap();
+    let mut inputs = QueryInputs::new();
+    inputs.bind("k", keys.to_vec());
+    inputs.bind("v", vals.to_vec());
+    let (out, _) = engine
+        .run(&graph, &inputs, ExecutionModel::Chunked)
+        .unwrap();
+    (
+        out.i64_column("k").to_vec(),
+        out.i64_column("s").to_vec(),
+    )
+}
+
+fn run_sort_path(keys: &[i64], vals: &[i64]) -> (Vec<i64>, Vec<i64>) {
+    let mut engine = Adamant::builder()
+        .device(DeviceProfile::cuda_rtx2080ti())
+        .build()
+        .unwrap();
+    let dev = engine.device_ids()[0];
+    let mut pb = PlanBuilder::new(dev);
+    let mut s = pb.scan("t", &["k", "v"]);
+    let k = s.materialized(&mut pb, "k").unwrap();
+    let v = s.materialized(&mut pb, "v").unwrap();
+    let (gk, gs) = pb.sort_agg(k, v, AggFunc::Sum);
+    pb.output("k", gk);
+    pb.output("s", gs);
+    let graph = pb.build().unwrap();
+    let mut inputs = QueryInputs::new();
+    inputs.bind("k", keys.to_vec());
+    inputs.bind("v", vals.to_vec());
+    // SORT is order-sensitive: run whole-input.
+    let (out, _) = engine
+        .run(&graph, &inputs, ExecutionModel::OperatorAtATime)
+        .unwrap();
+    (
+        out.i64_column("k").to_vec(),
+        out.i64_column("s").to_vec(),
+    )
+}
+
+#[test]
+fn both_paths_agree_on_fixed_data() {
+    let keys = vec![3, 1, 2, 3, 1, 3];
+    let vals = vec![10, 20, 30, 40, 50, 60];
+    let hash = run_hash_path(&keys, &vals);
+    let sorted = run_sort_path(&keys, &vals);
+    assert_eq!(hash, sorted);
+    assert_eq!(hash.0, vec![1, 2, 3]);
+    assert_eq!(hash.1, vec![70, 30, 110]);
+}
+
+#[test]
+fn both_paths_agree_on_empty() {
+    let hash = run_hash_path(&[], &[]);
+    let sorted = run_sort_path(&[], &[]);
+    assert_eq!(hash, sorted);
+    assert!(hash.0.is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn hash_and_sort_aggregation_equivalent(
+        rows in prop::collection::vec((0i64..15, -50i64..50), 0..200),
+    ) {
+        let keys: Vec<i64> = rows.iter().map(|(k, _)| *k).collect();
+        let vals: Vec<i64> = rows.iter().map(|(_, v)| *v).collect();
+        prop_assert_eq!(run_hash_path(&keys, &vals), run_sort_path(&keys, &vals));
+    }
+}

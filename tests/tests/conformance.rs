@@ -1,0 +1,227 @@
+//! Device conformance suite: validates that ANY `Device` implementation
+//! honors the contracts of the ten pluggable interfaces — the executable
+//! form of the paper's claim that a new co-processor can be plugged in
+//! without reworking the engine.
+//!
+//! Run against every built-in profile *and* a from-scratch custom device.
+
+use adamant::device::sim::SimDevice;
+use adamant::device::transform::TransformTable;
+use adamant::prelude::*;
+
+/// Exercises every interface of a freshly-initialized device.
+fn conformance_suite(dev: &mut dyn Device, supports_jit: bool) {
+    let name = dev.info().name.clone();
+    let ctx = |m: &str| format!("{name}: {m}");
+
+    // place / retrieve round trip.
+    dev.place_data(BufferId(1), BufferData::I64(vec![5, 6, 7, 8]), 0)
+        .unwrap_or_else(|e| panic!("{} ({e})", ctx("place_data")));
+    let back = dev
+        .retrieve_data(BufferId(1), None, 0)
+        .unwrap_or_else(|e| panic!("{} ({e})", ctx("retrieve_data")));
+    assert_eq!(back, BufferData::I64(vec![5, 6, 7, 8]), "{}", ctx("roundtrip"));
+
+    // Partial retrieval with offset.
+    let part = dev.retrieve_data(BufferId(1), Some(2), 1).unwrap();
+    assert_eq!(part, BufferData::I64(vec![6, 7]), "{}", ctx("offset read"));
+
+    // prepare_memory reserves; the reservation is visible in the pool.
+    let used_before = dev.pool().used();
+    dev.prepare_memory(BufferId(2), 1024).unwrap();
+    assert!(
+        dev.pool().used() >= used_before + 1024,
+        "{}",
+        ctx("reservation accounted")
+    );
+
+    // create_chunk produces a device-side copy.
+    dev.create_chunk(BufferId(1), BufferId(3), 1, 2).unwrap();
+    assert_eq!(
+        dev.retrieve_data(BufferId(3), None, 0).unwrap(),
+        BufferData::I64(vec![6, 7]),
+        "{}",
+        ctx("create_chunk")
+    );
+
+    // Pinned memory is tracked separately.
+    dev.add_pinned_memory(BufferId(4), 2048).unwrap();
+    assert!(dev.pool().pinned_used() >= 2048, "{}", ctx("pinned pool"));
+
+    // transform_memory returns a path and keeps data intact.
+    let _ = dev
+        .transform_memory(BufferId(1), SdkRepr::native_of(dev.info().sdk))
+        .unwrap();
+    assert_eq!(
+        dev.retrieve_data(BufferId(1), None, 0).unwrap(),
+        BufferData::I64(vec![5, 6, 7, 8]),
+        "{}",
+        ctx("transform preserves data")
+    );
+
+    // Kernel binding + execution.
+    let f: adamant::device::kernel::KernelFn = std::sync::Arc::new(|pool, bufs, params| {
+        let c = params[0];
+        let input = pool.get(bufs[0])?.data.as_i64().unwrap().clone();
+        let mut out = pool.take(bufs[1])?;
+        out.data = BufferData::I64(input.iter().map(|x| x * c).collect());
+        pool.restore(bufs[1], out)?;
+        Ok(KernelStats::new(input.len() as u64, CostClass::MapLike))
+    });
+    dev.prepare_kernel("conf_mul", KernelSource::Builtin(f.clone()))
+        .unwrap();
+    let stats = dev
+        .execute(&ExecuteSpec::new(
+            "conf_mul",
+            vec![BufferId(1), BufferId(2)],
+            vec![10],
+        ))
+        .unwrap();
+    assert_eq!(stats.elements, 4, "{}", ctx("kernel stats"));
+    assert_eq!(
+        dev.retrieve_data(BufferId(2), None, 0).unwrap(),
+        BufferData::I64(vec![50, 60, 70, 80]),
+        "{}",
+        ctx("kernel result")
+    );
+
+    // Runtime compilation is optional — but the answer must be consistent.
+    let jit = dev.prepare_kernel(
+        "conf_jit",
+        KernelSource::Source {
+            source: "kernel void conf_jit() {}".into(),
+            entry: f,
+        },
+    );
+    assert_eq!(jit.is_ok(), supports_jit, "{}", ctx("JIT support flag"));
+
+    // init_structure allocates without host transfer.
+    let h2d_before = dev.clock().bytes_h2d();
+    dev.init_structure(BufferId(5), BufferData::I64(vec![0; 16]))
+        .unwrap();
+    assert_eq!(dev.clock().bytes_h2d(), h2d_before, "{}", ctx("init no H2D"));
+
+    // delete_memory releases bytes; unknown buffers error.
+    dev.delete_memory(BufferId(3)).unwrap();
+    assert!(dev.delete_memory(BufferId(3)).is_err(), "{}", ctx("double free"));
+
+    // Costs were recorded throughout.
+    assert!(dev.clock().total_ns() > 0.0, "{}", ctx("clock records"));
+
+    // reset leaves a clean, reusable device.
+    dev.reset();
+    assert_eq!(dev.pool().used(), 0, "{}", ctx("reset pool"));
+    assert_eq!(dev.clock().total_ns(), 0.0, "{}", ctx("reset clock"));
+    dev.place_data(BufferId(9), BufferData::I64(vec![1]), 0)
+        .unwrap_or_else(|e| panic!("{} ({e})", ctx("usable after reset")));
+}
+
+#[test]
+fn all_builtin_profiles_conform() {
+    for profile in DeviceProfile::setup1()
+        .into_iter()
+        .chain(DeviceProfile::setup2())
+        .chain([DeviceProfile::host()])
+    {
+        let jit = profile.supports_compilation;
+        let mut dev = profile.build(DeviceId(0));
+        conformance_suite(&mut dev, jit);
+    }
+}
+
+#[test]
+fn custom_device_conforms() {
+    // A from-scratch accelerator with its own SDK tag: the plug-in path.
+    let info = DeviceInfo {
+        id: DeviceId(0),
+        name: "conformance-npu".into(),
+        kind: DeviceKind::Accelerator,
+        sdk: SdkKind::Custom(9),
+        memory_capacity: 1 << 24,
+        pinned_capacity: 1 << 22,
+    };
+    let mut dev = SimDevice::new(
+        info,
+        CostModel {
+            discrete: true,
+            ..CostModel::default()
+        },
+        TransformTable::new(),
+        true,
+    );
+    dev.initialize().unwrap();
+    conformance_suite(&mut dev, true);
+}
+
+#[test]
+fn custom_device_runs_full_query_suite() {
+    // The stronger claim: a custom device + SDK executes the TPC-H suite
+    // under every model with exact results.
+    let sdk = SdkKind::Custom(7);
+    let info = DeviceInfo {
+        id: DeviceId(0),
+        name: "query-npu".into(),
+        kind: DeviceKind::Accelerator,
+        sdk,
+        memory_capacity: 4 << 30,
+        pinned_capacity: 1 << 30,
+    };
+    let mut npu = SimDevice::new(
+        info,
+        CostModel {
+            discrete: true,
+            mem_bandwidth_gibs: 700.0,
+            ..CostModel::default()
+        },
+        TransformTable::new(),
+        false,
+    );
+    npu.initialize().unwrap();
+
+    let mut tasks = TaskRegistry::new();
+    tasks.register_defaults_for(sdk);
+    let mut engine = Adamant::builder()
+        .tasks(tasks)
+        .chunk_rows(900)
+        .custom_device(Box::new(npu))
+        .build()
+        .unwrap();
+    let dev = engine.device_ids()[0];
+
+    let catalog = TpchGenerator::new(0.001, 13).generate();
+    for q in TpchQuery::ALL {
+        for model in ExecutionModel::ALL {
+            let graph = q.plan(dev, &catalog).unwrap();
+            let inputs = q.bind(&catalog).unwrap();
+            let (out, _) = engine
+                .run(&graph, &inputs, model)
+                .unwrap_or_else(|e| panic!("{q} under {model}: {e}"));
+            match q {
+                TpchQuery::Q6 => assert_eq!(
+                    adamant::tpch::queries::q6::decode(&out),
+                    adamant::tpch::reference::q6(&catalog).unwrap()
+                ),
+                TpchQuery::Q1 => assert_eq!(
+                    adamant::tpch::queries::q1::decode(&catalog, &out).unwrap(),
+                    adamant::tpch::reference::q1(&catalog).unwrap()
+                ),
+                TpchQuery::Q3 => assert_eq!(
+                    adamant::tpch::queries::q3::decode(&out),
+                    adamant::tpch::reference::q3(&catalog).unwrap()
+                ),
+                TpchQuery::Q4 => assert_eq!(
+                    adamant::tpch::queries::q4::decode(&catalog, &out).unwrap(),
+                    adamant::tpch::reference::q4(&catalog).unwrap()
+                ),
+                TpchQuery::Q12 => assert_eq!(
+                    adamant::tpch::queries::q12::decode(&catalog, &out).unwrap(),
+                    adamant::tpch::reference::q12(&catalog).unwrap()
+                ),
+                TpchQuery::Q14 => assert_eq!(
+                    adamant::tpch::queries::q14::decode(&out),
+                    adamant::tpch::reference::q14(&catalog).unwrap()
+                ),
+            }
+        }
+    }
+}

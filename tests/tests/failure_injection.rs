@@ -1,0 +1,144 @@
+//! Failure injection: the engine must fail cleanly (typed errors, no
+//! leaked device state) and stay usable afterwards.
+
+use adamant::prelude::*;
+
+fn tiny_engine(mem: u64, pinned: u64, chunk_rows: usize) -> (Adamant, DeviceId) {
+    let engine = Adamant::builder()
+        .chunk_rows(chunk_rows)
+        .device(DeviceProfile::cuda_rtx2080ti().with_memory(mem, pinned))
+        .build()
+        .unwrap();
+    let dev = engine.device_ids()[0];
+    (engine, dev)
+}
+
+fn sum_query(dev: DeviceId) -> PrimitiveGraph {
+    let mut pb = PlanBuilder::new(dev);
+    let mut s = pb.scan("t", &["x"]);
+    let x = s.materialized(&mut pb, "x").unwrap();
+    let sum = pb.agg_block(x, AggFunc::Sum, "sum");
+    pb.output("sum", sum);
+    pb.build().unwrap()
+}
+
+#[test]
+fn engine_reusable_after_oom() {
+    let (mut engine, dev) = tiny_engine(1 << 20, 1 << 18, 1 << 20);
+    let graph = sum_query(dev);
+
+    // Too big: OAAT needs the whole 8 MiB column on a 1 MiB device.
+    let mut big = QueryInputs::new();
+    big.bind("x", vec![1i64; 1 << 20]);
+    let err = engine
+        .run(&graph, &big, ExecutionModel::OperatorAtATime)
+        .unwrap_err();
+    assert!(matches!(err, ExecError::Device(_)), "typed OOM, got {err}");
+
+    // The failed run must have cleaned up: a small query now succeeds on
+    // the same engine, and its stats are untainted.
+    let mut small = QueryInputs::new();
+    small.bind("x", vec![1i64; 1000]);
+    let (out, stats) = engine
+        .run(&graph, &small, ExecutionModel::OperatorAtATime)
+        .unwrap();
+    assert_eq!(out.i64_column("sum")[0], 1000);
+    assert!(stats.total_ns > 0.0);
+    // All buffers of both runs released.
+    let used = engine.executor().devices().get(dev).unwrap().pool().used();
+    assert_eq!(used, 0, "leaked {used} bytes after runs");
+}
+
+#[test]
+fn oom_mid_pipeline_cleans_up() {
+    // Chunked execution that OOMs when the accumulating hash table
+    // outgrows the device mid-stream.
+    let (mut engine, dev) = tiny_engine(192 << 10, 64 << 10, 1 << 10);
+    let mut pb = PlanBuilder::new(dev);
+    let mut s = pb.scan("t", &["k"]);
+    let ht = s.hash_build(&mut pb, "k", &[], 8).unwrap();
+    let mut p = pb.scan("p", &["pk"]);
+    p.semi_join(&mut pb, "pk", ht).unwrap();
+    let pk = p.materialized(&mut pb, "pk").unwrap();
+    let cnt = pb.agg_block(pk, AggFunc::Count, "cnt");
+    pb.output("cnt", cnt);
+    let graph = pb.build().unwrap();
+
+    let mut inputs = QueryInputs::new();
+    inputs.bind("k", (0..100_000i64).collect()); // table grows past 192 KiB
+    inputs.bind("pk", vec![1i64; 10]);
+    let err = engine
+        .run(&graph, &inputs, ExecutionModel::Chunked)
+        .unwrap_err();
+    assert!(
+        matches!(err, ExecError::Device(_)),
+        "expected device error, got {err}"
+    );
+    let used = engine.executor().devices().get(dev).unwrap().pool().used();
+    assert_eq!(used, 0, "leaked {used} bytes after mid-pipeline OOM");
+}
+
+#[test]
+fn pinned_pool_exhaustion_is_typed() {
+    // 4-phase staging needs pinned memory; a device without enough fails
+    // with the pinned-specific error.
+    let (mut engine, dev) = tiny_engine(64 << 20, 1 << 10, 1 << 14);
+    let graph = sum_query(dev);
+    let mut inputs = QueryInputs::new();
+    inputs.bind("x", vec![1i64; 1 << 16]);
+    let err = engine
+        .run(&graph, &inputs, ExecutionModel::FourPhaseChunked)
+        .unwrap_err();
+    match err {
+        ExecError::Device(adamant::device::error::DeviceError::OutOfPinnedMemory {
+            ..
+        }) => {}
+        other => panic!("expected pinned exhaustion, got {other}"),
+    }
+    // Pageable chunked execution still works on the same engine.
+    let (out, _) = engine
+        .run(&graph, &inputs, ExecutionModel::Chunked)
+        .unwrap();
+    assert_eq!(out.i64_column("sum")[0], 1 << 16);
+}
+
+#[test]
+fn missing_kernel_is_reported_not_panicked() {
+    // A device whose SDK has no registered kernels yields
+    // `NoImplementation` at execution time.
+    let engine = Adamant::builder()
+        .tasks(TaskRegistry::new()) // empty registry
+        .device(DeviceProfile::cuda_rtx2080ti())
+        .build()
+        .unwrap();
+    let mut engine = engine;
+    let dev = engine.device_ids()[0];
+    let graph = sum_query(dev);
+    let mut inputs = QueryInputs::new();
+    inputs.bind("x", vec![1i64; 10]);
+    let err = engine
+        .run(&graph, &inputs, ExecutionModel::Chunked)
+        .unwrap_err();
+    assert!(
+        matches!(err, ExecError::NoImplementation { .. }),
+        "got {err}"
+    );
+}
+
+#[test]
+fn stats_survive_repeated_runs() {
+    // Clock resets between runs: totals must not accumulate across runs.
+    let (mut engine, dev) = tiny_engine(1 << 30, 1 << 28, 512);
+    let graph = sum_query(dev);
+    let mut inputs = QueryInputs::new();
+    inputs.bind("x", (0..10_000i64).collect());
+    let (_, first) = engine.run(&graph, &inputs, ExecutionModel::Chunked).unwrap();
+    let (_, second) = engine.run(&graph, &inputs, ExecutionModel::Chunked).unwrap();
+    let ratio = second.total_ns / first.total_ns;
+    assert!(
+        (0.99..1.01).contains(&ratio),
+        "run-to-run drift: {} vs {}",
+        first.total_ns,
+        second.total_ns
+    );
+}
