@@ -66,12 +66,13 @@ pub use adamant_task as task;
 pub use adamant_tpch as tpch;
 
 use adamant_core::error::Result;
-use adamant_core::executor::{Executor, ExecutorConfig, QueryInputs};
+use adamant_core::executor::{Executor, ExecutorConfig, QueryInputs, RetryPolicy};
 use adamant_core::graph::PrimitiveGraph;
 use adamant_core::models::ExecutionModel;
 use adamant_core::result::QueryOutput;
 use adamant_core::stats::ExecutionStats;
 use adamant_device::device::{Device, DeviceId};
+use adamant_device::fault::FaultPlan;
 use adamant_device::profiles::DeviceProfile;
 use adamant_device::sdk::SdkKind;
 use adamant_task::registry::TaskRegistry;
@@ -117,6 +118,20 @@ impl Adamant {
         self.executor.run(graph, inputs, model)
     }
 
+    /// Installs a fault plan on one device (by plug order), for chaos
+    /// testing the recovery machinery.
+    pub fn set_fault_plan(&mut self, index: usize, plan: FaultPlan) -> Result<()> {
+        let id = *self.device_ids.get(index).ok_or_else(|| {
+            adamant_core::ExecError::Internal(format!("no device at plug index {index}"))
+        })?;
+        self.executor.set_fault_plan(id, plan)
+    }
+
+    /// Replaces the recovery policy.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.executor.set_retry_policy(retry);
+    }
+
     /// The underlying executor (cost-model tweaks, chunk-size changes).
     pub fn executor_mut(&mut self) -> &mut Executor {
         &mut self.executor
@@ -134,6 +149,8 @@ pub struct AdamantBuilder {
     profiles: Vec<DeviceProfile>,
     devices: Vec<Box<dyn Device>>,
     chunk_rows: Option<usize>,
+    retry: Option<RetryPolicy>,
+    fault_plans: Vec<(usize, FaultPlan)>,
     tasks: Option<TaskRegistry>,
 }
 
@@ -153,6 +170,19 @@ impl AdamantBuilder {
     /// Sets the chunk size in rows for the chunked models.
     pub fn chunk_rows(mut self, rows: usize) -> Self {
         self.chunk_rows = Some(rows);
+        self
+    }
+
+    /// Sets the recovery policy (OOM chunk backoff, device fallback).
+    pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// Installs a fault plan on the device at plug index `index` (profiles
+    /// first, then custom devices, in declaration order).
+    pub fn fault_plan(mut self, index: usize, plan: FaultPlan) -> Self {
+        self.fault_plans.push((index, plan));
         self
     }
 
@@ -177,6 +207,9 @@ impl AdamantBuilder {
         if let Some(rows) = self.chunk_rows {
             config.chunk_rows = rows;
         }
+        if let Some(retry) = self.retry {
+            config.retry = retry;
+        }
         let mut engine = Adamant {
             executor: Executor::new(tasks, config),
             device_ids: Vec::new(),
@@ -187,6 +220,9 @@ impl AdamantBuilder {
         for d in self.devices {
             engine.plug_device(d)?;
         }
+        for (index, plan) in self.fault_plans {
+            engine.set_fault_plan(index, plan)?;
+        }
         Ok(engine)
     }
 }
@@ -195,7 +231,7 @@ impl AdamantBuilder {
 pub mod prelude {
     pub use crate::{Adamant, AdamantBuilder};
     pub use adamant_baseline::{BaselineExecutor, BaselineRun};
-    pub use adamant_core::executor::{Executor, ExecutorConfig, QueryInputs};
+    pub use adamant_core::executor::{Executor, ExecutorConfig, QueryInputs, RetryPolicy};
     pub use adamant_core::graph::{DataRef, GraphBuilder, NodeParams, PrimitiveGraph};
     pub use adamant_core::models::ExecutionModel;
     pub use adamant_core::result::{OutputData, QueryOutput};
@@ -204,10 +240,13 @@ pub mod prelude {
     pub use adamant_device::buffer::{Buffer, BufferData, BufferId};
     pub use adamant_device::cost::{CostClass, CostModel};
     pub use adamant_device::device::{Device, DeviceId, DeviceInfo, DeviceKind};
+    pub use adamant_device::fault::{FaultCounters, FaultPlan};
     pub use adamant_device::kernel::{ExecuteSpec, KernelSource, KernelStats};
     pub use adamant_device::profiles::DeviceProfile;
     pub use adamant_device::sdk::{SdkKind, SdkRepr};
-    pub use adamant_plan::prelude::{Expr, GroupResult, PlacementPolicy, PlanBuilder, Predicate, Stream};
+    pub use adamant_plan::prelude::{
+        Expr, GroupResult, PlacementPolicy, PlanBuilder, Predicate, Stream,
+    };
     pub use adamant_storage::prelude::{Bitmap, Catalog, Column, PositionList, Table};
     pub use adamant_task::params::{AggFunc, BitmapOp, CmpOp, MapOp};
     pub use adamant_task::primitive::PrimitiveKind;
@@ -230,7 +269,9 @@ mod tests {
             .unwrap();
         assert_eq!(engine.device_ids().len(), 2);
         assert_eq!(engine.executor().config().chunk_rows, 512);
-        let extra = engine.plug_profile(&DeviceProfile::openmp_cpu_i7()).unwrap();
+        let extra = engine
+            .plug_profile(&DeviceProfile::openmp_cpu_i7())
+            .unwrap();
         assert_eq!(engine.device_ids().len(), 3);
         assert_eq!(extra, engine.device_ids()[2]);
     }

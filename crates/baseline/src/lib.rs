@@ -81,11 +81,7 @@ impl BaselineExecutor {
 
     /// The unique tables a query references.
     pub fn tables_for(query: TpchQuery) -> Vec<&'static str> {
-        let mut tables: Vec<&'static str> = query
-            .input_columns()
-            .iter()
-            .map(|(t, _)| *t)
-            .collect();
+        let mut tables: Vec<&'static str> = query.input_columns().iter().map(|(t, _)| *t).collect();
         tables.sort_unstable();
         tables.dedup();
         tables
@@ -225,8 +221,7 @@ mod tests {
         let table_bytes = BaselineExecutor::new(DeviceProfile::cuda_rtx2080ti())
             .resident_bytes(&cat, TpchQuery::Q3)
             .unwrap();
-        let profile =
-            DeviceProfile::cuda_rtx2080ti().with_memory(table_bytes + 4096, 1 << 20);
+        let profile = DeviceProfile::cuda_rtx2080ti().with_memory(table_bytes + 4096, 1 << 20);
         let b = BaselineExecutor::new(profile);
         let err = b.run(&cat, TpchQuery::Q3).unwrap_err();
         assert!(matches!(
@@ -237,7 +232,10 @@ mod tests {
 
     #[test]
     fn tables_for_queries() {
-        assert_eq!(BaselineExecutor::tables_for(TpchQuery::Q6), vec!["lineitem"]);
+        assert_eq!(
+            BaselineExecutor::tables_for(TpchQuery::Q6),
+            vec!["lineitem"]
+        );
         assert_eq!(
             BaselineExecutor::tables_for(TpchQuery::Q3),
             vec!["customer", "lineitem", "orders"]

@@ -1,75 +1,62 @@
-//! Criterion wall-clock benchmarks of full TPC-H queries under each
-//! execution model (the engine's real end-to-end speed; the *modeled*
-//! times of Fig. 11 come from the `fig11_exec_models` binary).
+//! Wall-clock benchmarks of full TPC-H queries under each execution model
+//! (the engine's real end-to-end speed; the *modeled* times of Fig. 11
+//! come from the `fig11_exec_models` binary).
+//!
+//! Plain `fn main` harness (`harness = false`): run with
+//! `cargo bench --bench exec_models`.
 
 use adamant::prelude::*;
-use adamant_bench::{catalog, engine_with};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use adamant_bench::{bench, catalog, engine_with};
 
-fn bench_models(c: &mut Criterion) {
-    let cat = catalog(0.01);
-    let mut group = c.benchmark_group("q6_models");
-    group.sample_size(10);
+const SAMPLES: usize = 10;
+
+fn bench_models(cat: &Catalog) {
     for model in ExecutionModel::ALL {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(model.name()),
-            &model,
-            |bencher, &model| {
-                bencher.iter(|| {
-                    let (mut engine, dev) =
-                        engine_with(&DeviceProfile::cuda_rtx2080ti(), 1 << 13);
-                    let graph = TpchQuery::Q6.plan(dev, &cat).unwrap();
-                    let inputs = TpchQuery::Q6.bind(&cat).unwrap();
-                    engine.run(&graph, &inputs, model).unwrap()
-                });
-            },
-        );
-    }
-    group.finish();
-}
-
-fn bench_queries(c: &mut Criterion) {
-    let cat = catalog(0.01);
-    let mut group = c.benchmark_group("queries_chunked");
-    group.sample_size(10);
-    for q in TpchQuery::ALL {
-        group.bench_with_input(BenchmarkId::from_parameter(q.name()), &q, |bencher, &q| {
-            bencher.iter(|| {
-                let (mut engine, dev) = engine_with(&DeviceProfile::cuda_rtx2080ti(), 1 << 13);
-                let graph = q.plan(dev, &cat).unwrap();
-                let inputs = q.bind(&cat).unwrap();
-                engine.run(&graph, &inputs, ExecutionModel::Chunked).unwrap()
-            });
+        bench("q6_models", model.name(), SAMPLES, || {
+            let (mut engine, dev) = engine_with(&DeviceProfile::cuda_rtx2080ti(), 1 << 13);
+            let graph = TpchQuery::Q6.plan(dev, cat).unwrap();
+            let inputs = TpchQuery::Q6.bind(cat).unwrap();
+            engine.run(&graph, &inputs, model).unwrap()
         });
     }
-    group.finish();
 }
 
-fn bench_chunk_sizes(c: &mut Criterion) {
+fn bench_queries(cat: &Catalog) {
+    for q in TpchQuery::ALL {
+        bench("queries_chunked", q.name(), SAMPLES, || {
+            let (mut engine, dev) = engine_with(&DeviceProfile::cuda_rtx2080ti(), 1 << 13);
+            let graph = q.plan(dev, cat).unwrap();
+            let inputs = q.bind(cat).unwrap();
+            engine
+                .run(&graph, &inputs, ExecutionModel::Chunked)
+                .unwrap()
+        });
+    }
+}
+
+fn bench_chunk_sizes(cat: &Catalog) {
     // Ablation: chunk-size sensitivity of the 4-phase model (the paper
     // fixes 2^25 ints "found to be optimal for the underlying GPU").
-    let cat = catalog(0.01);
-    let mut group = c.benchmark_group("q6_chunk_size_ablation");
-    group.sample_size(10);
     for exp in [10usize, 12, 14, 16] {
-        group.bench_with_input(
-            BenchmarkId::from_parameter(format!("2^{exp}")),
-            &exp,
-            |bencher, &exp| {
-                bencher.iter(|| {
-                    let (mut engine, dev) =
-                        engine_with(&DeviceProfile::cuda_rtx2080ti(), 1 << exp);
-                    let graph = TpchQuery::Q6.plan(dev, &cat).unwrap();
-                    let inputs = TpchQuery::Q6.bind(&cat).unwrap();
-                    engine
-                        .run(&graph, &inputs, ExecutionModel::FourPhasePipelined)
-                        .unwrap()
-                });
+        bench(
+            "q6_chunk_size_ablation",
+            &format!("2^{exp}"),
+            SAMPLES,
+            || {
+                let (mut engine, dev) = engine_with(&DeviceProfile::cuda_rtx2080ti(), 1 << exp);
+                let graph = TpchQuery::Q6.plan(dev, cat).unwrap();
+                let inputs = TpchQuery::Q6.bind(cat).unwrap();
+                engine
+                    .run(&graph, &inputs, ExecutionModel::FourPhasePipelined)
+                    .unwrap()
             },
         );
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_models, bench_queries, bench_chunk_sizes);
-criterion_main!(benches);
+fn main() {
+    let cat = catalog(0.01);
+    bench_models(&cat);
+    bench_queries(&cat);
+    bench_chunk_sizes(&cat);
+}

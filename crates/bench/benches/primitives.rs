@@ -1,12 +1,15 @@
-//! Criterion wall-clock benchmarks of the primitive kernels themselves
-//! (the engine's real speed, complementing the modeled figures).
+//! Wall-clock benchmarks of the primitive kernels themselves (the
+//! engine's real speed, complementing the modeled figures).
+//!
+//! Plain `fn main` harness (`harness = false`): run with
+//! `cargo bench --bench primitives`.
 
 use adamant::prelude::*;
 use adamant::task::container::DataContainer;
-use adamant_bench::{random_ints, standard_tasks};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use adamant_bench::{bench, random_ints, standard_tasks};
 
 const N: usize = 1 << 20;
+const SAMPLES: usize = 10;
 
 fn device() -> adamant::device::sim::SimDevice {
     let mut dev = DeviceProfile::cuda_rtx2080ti().build(DeviceId(0));
@@ -14,17 +17,15 @@ fn device() -> adamant::device::sim::SimDevice {
     dev
 }
 
-fn bench_scan_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("scan_kernels");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(N as u64));
+fn bench_scan_kernels() {
+    let group = "scan_kernels";
 
-    group.bench_function("filter_bitmap", |bencher| {
+    {
         let mut dev = device();
         dev.place_data(BufferId(1), BufferData::I64(random_ints(N, 100, 1)), 0)
             .unwrap();
         dev.prepare_memory(BufferId(2), 8).unwrap();
-        bencher.iter(|| {
+        bench(group, "filter_bitmap", SAMPLES, || {
             dev.execute(&ExecuteSpec::new(
                 "filter_bitmap",
                 vec![BufferId(1), BufferId(2)],
@@ -32,14 +33,14 @@ fn bench_scan_kernels(c: &mut Criterion) {
             ))
             .unwrap()
         });
-    });
+    }
 
-    group.bench_function("filter_bitmap@branchless", |bencher| {
+    {
         let mut dev = device();
         dev.place_data(BufferId(1), BufferData::I64(random_ints(N, 100, 1)), 0)
             .unwrap();
         dev.prepare_memory(BufferId(2), 8).unwrap();
-        bencher.iter(|| {
+        bench(group, "filter_bitmap@branchless", SAMPLES, || {
             dev.execute(&ExecuteSpec::new(
                 "filter_bitmap@branchless",
                 vec![BufferId(1), BufferId(2)],
@@ -47,14 +48,14 @@ fn bench_scan_kernels(c: &mut Criterion) {
             ))
             .unwrap()
         });
-    });
+    }
 
-    group.bench_function("map_mul_const", |bencher| {
+    {
         let mut dev = device();
         dev.place_data(BufferId(1), BufferData::I64(random_ints(N, 1000, 2)), 0)
             .unwrap();
         dev.prepare_memory(BufferId(2), 8).unwrap();
-        bencher.iter(|| {
+        bench(group, "map_mul_const", SAMPLES, || {
             dev.execute(&ExecuteSpec::new(
                 "map",
                 vec![BufferId(1), BufferId(2)],
@@ -62,9 +63,9 @@ fn bench_scan_kernels(c: &mut Criterion) {
             ))
             .unwrap()
         });
-    });
+    }
 
-    group.bench_function("materialize_50pct", |bencher| {
+    {
         let mut dev = device();
         dev.place_data(BufferId(1), BufferData::I64(random_ints(N, 100, 3)), 0)
             .unwrap();
@@ -76,7 +77,7 @@ fn bench_scan_kernels(c: &mut Criterion) {
         ))
         .unwrap();
         dev.prepare_memory(BufferId(3), 8).unwrap();
-        bencher.iter(|| {
+        bench(group, "materialize_50pct", SAMPLES, || {
             dev.execute(&ExecuteSpec::new(
                 "materialize",
                 vec![BufferId(1), BufferId(2), BufferId(3)],
@@ -84,15 +85,15 @@ fn bench_scan_kernels(c: &mut Criterion) {
             ))
             .unwrap()
         });
-    });
+    }
 
-    group.bench_function("agg_block_sum", |bencher| {
+    {
         let mut dev = device();
         dev.place_data(BufferId(1), BufferData::I64(random_ints(N, 1000, 4)), 0)
             .unwrap();
         dev.init_structure(BufferId(2), BufferData::I64(Vec::new()))
             .unwrap();
-        bencher.iter(|| {
+        bench(group, "agg_block_sum", SAMPLES, || {
             dev.execute(&ExecuteSpec::new(
                 "agg_block",
                 vec![BufferId(1), BufferId(2)],
@@ -100,50 +101,40 @@ fn bench_scan_kernels(c: &mut Criterion) {
             ))
             .unwrap()
         });
-    });
-
-    group.finish();
+    }
 }
 
-fn bench_hash_kernels(c: &mut Criterion) {
-    let mut group = c.benchmark_group("hash_kernels");
-    group.sample_size(10);
-    group.throughput(Throughput::Elements(N as u64));
+fn bench_hash_kernels() {
+    let group = "hash_kernels";
 
     for groups in [16usize, 1 << 12, 1 << 18] {
-        group.bench_with_input(
-            BenchmarkId::new("hash_agg", groups),
-            &groups,
-            |bencher, &groups| {
-                let mut dev = device();
-                dev.place_data(
-                    BufferId(1),
-                    BufferData::I64(random_ints(N, groups as i64, 5)),
-                    0,
-                )
-                .unwrap();
-                dev.place_data(BufferId(2), BufferData::I64(random_ints(N, 1000, 6)), 0)
-                    .unwrap();
-                bencher.iter(|| {
-                    // Fresh table each iteration (accumulating tables grow).
-                    let _ = dev.delete_memory(BufferId(3));
-                    dev.init_structure(
-                        BufferId(3),
-                        DataContainer::agg_table(groups, vec![AggFunc::Sum], 0),
-                    )
-                    .unwrap();
-                    dev.execute(&ExecuteSpec::new(
-                        "hash_agg",
-                        vec![BufferId(1), BufferId(2), BufferId(3)],
-                        vec![0, 1],
-                    ))
-                    .unwrap()
-                });
-            },
-        );
+        let mut dev = device();
+        dev.place_data(
+            BufferId(1),
+            BufferData::I64(random_ints(N, groups as i64, 5)),
+            0,
+        )
+        .unwrap();
+        dev.place_data(BufferId(2), BufferData::I64(random_ints(N, 1000, 6)), 0)
+            .unwrap();
+        bench(group, &format!("hash_agg/{groups}"), SAMPLES, || {
+            // Fresh table each iteration (accumulating tables grow).
+            let _ = dev.delete_memory(BufferId(3));
+            dev.init_structure(
+                BufferId(3),
+                DataContainer::agg_table(groups, vec![AggFunc::Sum], 0),
+            )
+            .unwrap();
+            dev.execute(&ExecuteSpec::new(
+                "hash_agg",
+                vec![BufferId(1), BufferId(2), BufferId(3)],
+                vec![0, 1],
+            ))
+            .unwrap()
+        });
     }
 
-    group.bench_function("hash_build", |bencher| {
+    {
         let mut dev = device();
         dev.place_data(
             BufferId(1),
@@ -151,7 +142,7 @@ fn bench_hash_kernels(c: &mut Criterion) {
             0,
         )
         .unwrap();
-        bencher.iter(|| {
+        bench(group, "hash_build", SAMPLES, || {
             let _ = dev.delete_memory(BufferId(2));
             dev.init_structure(BufferId(2), DataContainer::join_table(N, 0))
                 .unwrap();
@@ -162,9 +153,9 @@ fn bench_hash_kernels(c: &mut Criterion) {
             ))
             .unwrap()
         });
-    });
+    }
 
-    group.bench_function("hash_probe", |bencher| {
+    {
         let mut dev = device();
         dev.place_data(BufferId(1), BufferData::I64(random_ints(N, N as i64, 8)), 0)
             .unwrap();
@@ -179,7 +170,7 @@ fn bench_hash_kernels(c: &mut Criterion) {
         dev.place_data(BufferId(3), BufferData::I64(random_ints(N, N as i64, 9)), 0)
             .unwrap();
         dev.prepare_memory(BufferId(4), 8).unwrap();
-        bencher.iter(|| {
+        bench(group, "hash_probe", SAMPLES, || {
             dev.execute(&ExecuteSpec::new(
                 "hash_probe",
                 vec![BufferId(3), BufferId(2), BufferId(4)],
@@ -187,10 +178,10 @@ fn bench_hash_kernels(c: &mut Criterion) {
             ))
             .unwrap()
         });
-    });
-
-    group.finish();
+    }
 }
 
-criterion_group!(benches, bench_scan_kernels, bench_hash_kernels);
-criterion_main!(benches);
+fn main() {
+    bench_scan_kernels();
+    bench_hash_kernels();
+}

@@ -28,7 +28,10 @@ fn main() {
             let bytes = mib << 20;
             let n = (bytes / 8) as usize;
             let mut cells = vec![format!("{mib}")];
-            for profile in [DeviceProfile::cuda_rtx2080ti(), DeviceProfile::opencl_rtx2080ti()] {
+            for profile in [
+                DeviceProfile::cuda_rtx2080ti(),
+                DeviceProfile::opencl_rtx2080ti(),
+            ] {
                 for pinned in [false, true] {
                     let mut dev = profile.build(DeviceId(0));
                     let data = vec![7i64; n];
@@ -41,13 +44,16 @@ fn main() {
                     dev.clock_mut().drain_events();
                     let before = dev.clock().total_ns();
                     if direction == "H2D" {
-                        dev.place_data(BufferId(1), BufferData::I64(data), 0).unwrap();
+                        dev.place_data(BufferId(1), BufferData::I64(data), 0)
+                            .unwrap();
                     } else {
-                        dev.place_data(BufferId(1), BufferData::I64(data), 0).unwrap();
+                        dev.place_data(BufferId(1), BufferData::I64(data), 0)
+                            .unwrap();
                         dev.clock_mut().reset();
                         let _ = dev.retrieve_data(BufferId(1), None, 0).unwrap();
                     }
-                    let elapsed = dev.clock().total_ns() - if direction == "H2D" { before } else { 0.0 };
+                    let elapsed =
+                        dev.clock().total_ns() - if direction == "H2D" { before } else { 0.0 };
                     cells.push(gibs(bytes, elapsed));
                 }
             }

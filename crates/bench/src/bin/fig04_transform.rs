@@ -8,8 +8,8 @@
 //!
 //! Run: `cargo run --release -p adamant-bench --bin fig04_transform`
 
-use adamant::prelude::*;
 use adamant::device::transform::TransformKind;
+use adamant::prelude::*;
 use adamant_bench::{ms, Report};
 
 fn main() {
@@ -30,7 +30,9 @@ fn main() {
         dev.clock_mut().reset();
 
         // Zero-copy: both representations view the same VRAM.
-        let kind = dev.transform_memory(BufferId(1), SdkRepr::ClBuffer).unwrap();
+        let kind = dev
+            .transform_memory(BufferId(1), SdkRepr::ClBuffer)
+            .unwrap();
         assert_eq!(kind, TransformKind::ZeroCopy);
         let zero_copy_ns = dev.clock().total_ns();
         dev.clock_mut().reset();

@@ -21,7 +21,9 @@ struct Bench {
 impl Bench {
     fn new(profile: &DeviceProfile) -> Self {
         let mut dev = profile.build(DeviceId(0));
-        adamant_bench::standard_tasks().install_on(&mut dev).unwrap();
+        adamant_bench::standard_tasks()
+            .install_on(&mut dev)
+            .unwrap();
         Bench { dev }
     }
 
@@ -53,7 +55,13 @@ fn b(id: u64) -> BufferId {
 fn main() {
     println!("# Figure 9 — primitive profiles (2^24 random ints, Setup 1 drivers)");
     let profiles = setup1_profiles();
-    let headers = ["workload", "opencl@cpu", "openmp@cpu", "opencl@gpu", "cuda@gpu"];
+    let headers = [
+        "workload",
+        "opencl@cpu",
+        "openmp@cpu",
+        "opencl@gpu",
+        "cuda@gpu",
+    ];
 
     // (a) FILTER producing a bitmap, selectivity sweep.
     let mut rep = Report::new(&headers);

@@ -29,7 +29,9 @@ fn main() {
             let (mut engine, dev) = engine_with(&profile, 1 << 14);
             let graph = q.plan(dev, &cat).unwrap();
             let inputs = q.bind(&cat).unwrap();
-            let (_, stats) = engine.run(&graph, &inputs, ExecutionModel::Chunked).unwrap();
+            let (_, stats) = engine
+                .run(&graph, &inputs, ExecutionModel::Chunked)
+                .unwrap();
             rep.row(vec![
                 profile.name.clone(),
                 q.to_string(),

@@ -63,14 +63,8 @@ fn main() {
     }
     rep.print("A. modeled query time per execution model");
 
-    let best = speedups
-        .iter()
-        .max_by(|a, b| a.2.total_cmp(&b.2))
-        .unwrap();
-    let worst = speedups
-        .iter()
-        .min_by(|a, b| a.2.total_cmp(&b.2))
-        .unwrap();
+    let best = speedups.iter().max_by(|a, b| a.2.total_cmp(&b.2)).unwrap();
+    let worst = speedups.iter().min_by(|a, b| a.2.total_cmp(&b.2)).unwrap();
     println!(
         "\nbest-case 4-phase speedup over chunked: {:.2}x ({} on {});",
         best.2, best.0, best.1
@@ -92,7 +86,14 @@ fn main() {
         let baseline = BaselineExecutor::new(profile);
         let resident = baseline.resident_bytes(&cat, q).unwrap();
         let run = baseline.run(&cat, q).expect("fits in 11 GiB");
-        resident + run.stats.peak_device_bytes.values().max().copied().unwrap_or(0)
+        resident
+            + run
+                .stats
+                .peak_device_bytes
+                .values()
+                .max()
+                .copied()
+                .unwrap_or(0)
     };
     let req_q3 = measure(TpchQuery::Q3);
     let req_q4 = measure(TpchQuery::Q4);
@@ -122,7 +123,10 @@ fn main() {
             let (mut engine, dev) = engine_with(&profile, CHUNK_ROWS);
             let graph = q.plan(dev, &cat).ok()?;
             let inputs = q.bind(&cat).ok()?;
-            engine.run(&graph, &inputs, model).ok().map(|(_, s)| s.total_ns)
+            engine
+                .run(&graph, &inputs, model)
+                .ok()
+                .map(|(_, s)| s.total_ns)
         };
         let chunked = run_adamant(ExecutionModel::Chunked);
         let four_phase = run_adamant(ExecutionModel::FourPhasePipelined);

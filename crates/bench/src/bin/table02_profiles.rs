@@ -19,7 +19,10 @@ fn main() {
         "per-arg (µs)",
         "runtime JIT",
     ]);
-    for p in DeviceProfile::setup1().into_iter().chain(DeviceProfile::setup2()) {
+    for p in DeviceProfile::setup1()
+        .into_iter()
+        .chain(DeviceProfile::setup2())
+    {
         rep.row(vec![
             p.name.clone(),
             format!("{:?}", p.kind),

@@ -1,11 +1,11 @@
-//! Shared harness for the figure-reproduction binaries and Criterion
+//! Shared harness for the figure-reproduction binaries and wall-clock
 //! benches.
 //!
 //! Every table and figure of the paper's evaluation has a binary here that
 //! regenerates it (modeled times from the device cost models — the
-//! hardware-shaped quantities) and, where wall-clock matters, a Criterion
-//! bench measuring the engine itself. EXPERIMENTS.md records the outputs
-//! against the paper's numbers.
+//! hardware-shaped quantities) and, where wall-clock matters, a plain
+//! `fn main` bench measuring the engine itself. EXPERIMENTS.md records the
+//! outputs against the paper's numbers.
 
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
@@ -69,6 +69,30 @@ pub fn random_ints(n: usize, range: i64, seed: u64) -> Vec<i64> {
         out.push((z as i64).rem_euclid(range.max(1)));
     }
     out
+}
+
+/// Minimal wall-clock micro-bench: one warmup call, then `samples` timed
+/// runs; prints the median and minimum. A dependency-free stand-in for a
+/// statistics-grade harness — good enough to spot order-of-magnitude
+/// regressions in the engine's real (non-modeled) speed.
+pub fn bench<R>(group: &str, name: &str, samples: usize, mut f: impl FnMut() -> R) {
+    std::hint::black_box(f());
+    let mut times: Vec<u128> = (0..samples.max(1))
+        .map(|_| {
+            let t0 = std::time::Instant::now();
+            std::hint::black_box(f());
+            t0.elapsed().as_nanos()
+        })
+        .collect();
+    times.sort_unstable();
+    let median = times[times.len() / 2] as f64;
+    let min = times[0] as f64;
+    println!(
+        "{group}/{name}: median {} ms, min {} ms ({} samples)",
+        ms(median),
+        ms(min),
+        times.len()
+    );
 }
 
 /// Pretty-prints a markdown table.

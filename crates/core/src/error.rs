@@ -1,5 +1,6 @@
 //! Runtime-layer errors.
 
+use adamant_device::device::DeviceId;
 use adamant_device::error::DeviceError;
 use adamant_storage::error::StorageError;
 use std::fmt;
@@ -9,6 +10,19 @@ use std::fmt;
 pub enum ExecError {
     /// A device operation failed (including device out-of-memory).
     Device(DeviceError),
+    /// A kernel execution failed on a specific device.
+    ///
+    /// Unlike [`ExecError::Device`], this carries *which* device failed, so
+    /// the executor's recovery path can re-place the pipeline onto a
+    /// fallback device that has the primitive installed.
+    KernelFailed {
+        /// The device the kernel ran on.
+        device: DeviceId,
+        /// The kernel name.
+        kernel: String,
+        /// The underlying driver error.
+        source: DeviceError,
+    },
     /// A storage operation failed while binding inputs.
     Storage(StorageError),
     /// The graph failed validation.
@@ -42,6 +56,11 @@ impl fmt::Display for ExecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ExecError::Device(e) => write!(f, "device error: {e}"),
+            ExecError::KernelFailed {
+                device,
+                kernel,
+                source,
+            } => write!(f, "kernel `{kernel}` failed on {device}: {source}"),
             ExecError::Storage(e) => write!(f, "storage error: {e}"),
             ExecError::InvalidGraph(msg) => write!(f, "invalid primitive graph: {msg}"),
             ExecError::NoImplementation {
@@ -70,6 +89,7 @@ impl std::error::Error for ExecError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             ExecError::Device(e) => Some(e),
+            ExecError::KernelFailed { source, .. } => Some(source),
             ExecError::Storage(e) => Some(e),
             _ => None,
         }

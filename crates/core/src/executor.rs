@@ -37,12 +37,48 @@ pub struct ExecutorConfig {
     /// Rows per chunk for the chunked execution models (the paper uses
     /// 2^25 four-byte values; scale together with your data).
     pub chunk_rows: usize,
+    /// How the executor recovers from device faults mid-query.
+    pub retry: RetryPolicy,
 }
 
 impl Default for ExecutorConfig {
     fn default() -> Self {
         ExecutorConfig {
             chunk_rows: 1 << 20,
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+/// Recovery policy for pipeline execution.
+///
+/// A failed pipeline attempt is rolled back (buffers freed, partial host
+/// accumulations discarded) and retried according to the error class:
+///
+/// * device out-of-memory → the streaming chunk size is halved before the
+///   retry (down to [`RetryPolicy::min_chunk_rows`]);
+/// * a kernel that fails twice in a row on the same device → the
+///   pipeline's nodes on that device are re-placed onto another device
+///   with the primitive installed;
+/// * a missing implementation → immediate re-placement (or the original
+///   error when no capable device exists).
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Total attempts per pipeline, including the first (so 1 disables
+    /// recovery entirely).
+    pub max_attempts: usize,
+    /// Whether pipelines may be re-placed onto a fallback device.
+    pub allow_fallback: bool,
+    /// Smallest chunk size the out-of-memory backoff will reach.
+    pub min_chunk_rows: usize,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 4,
+            allow_fallback: true,
+            min_chunk_rows: 1,
         }
     }
 }
@@ -146,6 +182,21 @@ impl Executor {
         self.config.chunk_rows = rows.max(1);
     }
 
+    /// Sets the recovery policy.
+    pub fn set_retry_policy(&mut self, retry: RetryPolicy) {
+        self.config.retry = retry;
+    }
+
+    /// Installs a fault plan on one device (testing / chaos runs).
+    pub fn set_fault_plan(
+        &mut self,
+        device: DeviceId,
+        plan: adamant_device::FaultPlan,
+    ) -> Result<()> {
+        self.devices.get_mut(device)?.set_fault_plan(plan);
+        Ok(())
+    }
+
     /// Executes `graph` over `inputs` under `model`.
     ///
     /// Returns exact query outputs plus the modeled execution statistics.
@@ -156,13 +207,19 @@ impl Executor {
         model: ExecutionModel,
     ) -> Result<(QueryOutput, ExecutionStats)> {
         let wall = Instant::now();
-        let pipelines = PipelineSet::split(graph)?;
-        self.validate_inputs(graph, inputs)?;
+        // Work on a private copy: recovery may re-place nodes onto fallback
+        // devices, and the caller's graph must not change under them.
+        let mut graph = graph.clone();
+        let pipelines = PipelineSet::split(&graph)?;
+        self.validate_inputs(&graph, inputs)?;
 
-        // Fresh clocks and peak watermarks for this run.
+        // Fresh clocks and peak watermarks for this run; snapshot the fault
+        // counters so the stats report this run's injections only.
+        let mut fault_base: BTreeMap<DeviceId, u64> = BTreeMap::new();
         for id in self.devices.ids() {
             let dev = self.devices.get_mut(id)?;
             dev.clock_mut().reset();
+            fault_base.insert(id, dev.fault_counters().total());
         }
 
         let cfg = model.config();
@@ -173,23 +230,18 @@ impl Executor {
             ..Default::default()
         };
         let mut tally = Tally::default();
-        let escaping = escaping_refs(graph, &pipelines);
+        let escaping = escaping_refs(&graph, &pipelines);
 
         let run_result = (|| -> Result<QueryOutput> {
             for pipeline in &pipelines.pipelines {
-                if pipeline.is_streaming() && cfg.chunked {
-                    self.run_streaming(
-                        graph, pipeline, inputs, cfg, &mut hub, &mut stats, &mut tally,
-                        &escaping,
-                    )?;
-                } else {
-                    self.run_whole(graph, pipeline, inputs, &mut hub, &mut stats, &mut tally)?;
-                }
+                self.run_pipeline_with_recovery(
+                    &mut graph, pipeline, inputs, cfg, &mut hub, &mut stats, &mut tally, &escaping,
+                )?;
             }
-            self.collect_outputs(graph, &mut hub, &mut stats, &mut tally)
+            self.collect_outputs(&graph, &mut hub, &mut stats, &mut tally)
         })();
 
-        // Peaks and byte counts before cleanup.
+        // Peaks, byte counts and per-run fault deltas before cleanup.
         for id in self.devices.ids() {
             let dev = self.devices.get(id)?;
             stats
@@ -197,6 +249,11 @@ impl Executor {
                 .insert(dev.info().name.clone(), dev.pool().peak());
             stats.bytes_h2d += dev.clock().bytes_h2d();
             stats.bytes_d2h += dev.clock().bytes_d2h();
+            let base = fault_base.get(&id).copied().unwrap_or(0);
+            let delta = dev.fault_counters().total().saturating_sub(base);
+            if delta > 0 {
+                stats.device_faults.insert(dev.info().name.clone(), delta);
+            }
         }
         // Delete phase: free everything this run created.
         hub.delete_all(&mut self.devices);
@@ -208,6 +265,189 @@ impl Executor {
         stats.wall_ns = wall.elapsed().as_nanos() as u64;
         let output = run_result?;
         Ok((output, stats))
+    }
+
+    /// Runs one pipeline with bounded fault recovery (the tentpole of the
+    /// executor's hardening): a failed attempt is unwound — buffers freed
+    /// back to the pre-attempt mark, partial host accumulations discarded —
+    /// and retried according to [`RetryPolicy`] and the error class.
+    #[allow(clippy::too_many_arguments)]
+    fn run_pipeline_with_recovery(
+        &mut self,
+        graph: &mut PrimitiveGraph,
+        pipeline: &Pipeline,
+        inputs: &QueryInputs,
+        cfg: ModelConfig,
+        hub: &mut DataTransferHub,
+        stats: &mut ExecutionStats,
+        tally: &mut Tally,
+        escaping: &HashSet<DataRef>,
+    ) -> Result<()> {
+        let retry = self.config.retry;
+        let mut chunk_rows = self.config.chunk_rows;
+        // Consecutive kernel failures on the same device: one is treated as
+        // transient, two trigger a fallback placement.
+        let mut kernel_fault_streak: Option<(DeviceId, usize)> = None;
+        let mut attempt = 0usize;
+        loop {
+            attempt += 1;
+            let mark = hub.mark();
+            let result = if pipeline.is_streaming() && cfg.chunked {
+                self.run_streaming(
+                    graph, pipeline, inputs, cfg, chunk_rows, hub, stats, tally, escaping,
+                )
+            } else {
+                self.run_whole(graph, pipeline, inputs, hub, stats, tally)
+            };
+            let err = match result {
+                Ok(()) => return Ok(()),
+                Err(e) => e,
+            };
+
+            // Unwind the attempt. The modeled time already spent is real
+            // (wasted work is charged); the buffers and partial host
+            // accumulations are not.
+            for id in self.devices.ids() {
+                tally.drain_serial(self.devices.get_mut(id)?.as_mut(), stats);
+            }
+            hub.rollback_to(&mut self.devices, mark);
+            for r in escaping {
+                if let DataRef::Output { node, .. } = r {
+                    if pipeline.nodes.contains(node) {
+                        hub.discard_host(*r);
+                    }
+                }
+            }
+
+            if attempt >= retry.max_attempts.max(1) {
+                return Err(err);
+            }
+
+            let can_halve = pipeline.is_streaming()
+                && cfg.chunked
+                && chunk_rows > retry.min_chunk_rows.max(1)
+                && !pipeline_is_order_sensitive(graph, pipeline);
+            match &err {
+                ExecError::Device(de) if is_oom(de) => {
+                    // Out of memory while staging or allocating: shrink the
+                    // streaming chunk so the working set fits. When halving
+                    // is impossible (whole-buffer pipeline, already at the
+                    // floor, order-sensitive primitives that must see the
+                    // scan in one chunk) a plain retry still clears
+                    // transient allocation faults.
+                    if can_halve {
+                        chunk_rows = (chunk_rows / 2).max(retry.min_chunk_rows.max(1));
+                        stats.chunk_backoffs += 1;
+                    }
+                }
+                ExecError::KernelFailed { device, source, .. } if is_oom(source) => {
+                    // A kernel ran out of memory mid-execution: same backoff
+                    // as an allocation failure.
+                    let _ = device;
+                    if can_halve {
+                        chunk_rows = (chunk_rows / 2).max(retry.min_chunk_rows.max(1));
+                        stats.chunk_backoffs += 1;
+                    }
+                }
+                ExecError::KernelFailed { device, .. } => {
+                    let streak = match kernel_fault_streak {
+                        Some((d, n)) if d == *device => n + 1,
+                        _ => 1,
+                    };
+                    kernel_fault_streak = Some((*device, streak));
+                    if streak >= 2 {
+                        // Persistent per-device failure: move the pipeline's
+                        // work off this device if another one can take it.
+                        if !retry.allow_fallback
+                            || !self.repoint_pipeline(graph, pipeline, *device)?
+                        {
+                            return Err(err);
+                        }
+                        stats.fallback_placements += 1;
+                        kernel_fault_streak = None;
+                    }
+                }
+                ExecError::NoImplementation { .. } => {
+                    // A placement bug, not a transient fault: retrying on
+                    // the same device can never succeed, so fall back
+                    // immediately or fail fast.
+                    let bad = self.find_unresolvable_device(graph, pipeline);
+                    match bad {
+                        Some(dev)
+                            if retry.allow_fallback
+                                && self.repoint_pipeline(graph, pipeline, dev)? =>
+                        {
+                            stats.fallback_placements += 1;
+                        }
+                        _ => return Err(err),
+                    }
+                }
+                // Graph validation problems, missing inputs, internal
+                // invariant violations: retrying cannot help.
+                _ => return Err(err),
+            }
+            stats.retries += 1;
+        }
+    }
+
+    /// Moves every node of `pipeline` currently placed on `failed` onto the
+    /// lowest-id other device that implements all of them. Returns whether
+    /// a re-placement happened.
+    fn repoint_pipeline(
+        &self,
+        graph: &mut PrimitiveGraph,
+        pipeline: &Pipeline,
+        failed: DeviceId,
+    ) -> Result<bool> {
+        let moving: Vec<_> = pipeline
+            .nodes
+            .iter()
+            .copied()
+            .filter(|&n| graph.node(n).device == failed)
+            .collect();
+        if moving.is_empty() {
+            return Ok(false);
+        }
+        for cand in self.devices.ids() {
+            if cand == failed {
+                continue;
+            }
+            let sdk = self.devices.get(cand)?.info().sdk;
+            let capable = moving.iter().all(|&n| {
+                let node = graph.node(n);
+                self.tasks
+                    .resolve(node.kind, sdk, node.variant.as_deref())
+                    .is_some()
+            });
+            if capable {
+                for &n in &moving {
+                    graph.nodes[n.0].device = cand;
+                }
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// The first device in `pipeline` whose SDK lacks an implementation for
+    /// one of its nodes, if any.
+    fn find_unresolvable_device(
+        &self,
+        graph: &PrimitiveGraph,
+        pipeline: &Pipeline,
+    ) -> Option<DeviceId> {
+        for &n in &pipeline.nodes {
+            let node = graph.node(n);
+            let sdk = self.devices.get(node.device).ok()?.info().sdk;
+            if self
+                .tasks
+                .resolve(node.kind, sdk, node.variant.as_deref())
+                .is_none()
+            {
+                return Some(node.device);
+            }
+        }
+        None
     }
 
     // ---- validation -----------------------------------------------------
@@ -318,13 +558,17 @@ impl Executor {
         pipeline: &Pipeline,
         inputs: &QueryInputs,
         cfg: ModelConfig,
+        chunk_rows: usize,
         hub: &mut DataTransferHub,
         stats: &mut ExecutionStats,
         tally: &mut Tally,
         escaping: &HashSet<DataRef>,
     ) -> Result<()> {
-        let scan = pipeline.scan.clone().expect("streaming pipeline has a scan");
-        let chunk_rows = self.config.chunk_rows;
+        let scan = pipeline
+            .scan
+            .clone()
+            .expect("streaming pipeline has a scan");
+        let chunk_rows = chunk_rows.max(1);
 
         // The scan columns this pipeline streams, and their length.
         let mut scan_cols: Vec<(usize, Arc<Vec<i64>>)> = Vec::new();
@@ -332,9 +576,7 @@ impl Executor {
         for &node_id in &pipeline.nodes {
             for &input in &graph.node(node_id).inputs {
                 if let DataRef::Input(i) = input {
-                    if graph.inputs()[i].scan.as_deref() == Some(scan.as_str())
-                        && seen.insert(i)
-                    {
+                    if graph.inputs()[i].scan.as_deref() == Some(scan.as_str()) && seen.insert(i) {
                         let col = inputs.get(&graph.inputs()[i].name).expect("validated");
                         scan_cols.push((i, Arc::clone(col)));
                     }
@@ -372,7 +614,11 @@ impl Executor {
             v.dedup();
             v
         };
-        let staging_slots = if cfg.stage_once { cfg.staging_buffers } else { 1 };
+        let staging_slots = if cfg.stage_once {
+            cfg.staging_buffers
+        } else {
+            1
+        };
         let chunk_bytes = (chunk_rows.min(rows.max(1)) * 8) as u64;
         let mut staging: HashMap<(usize, DeviceId, usize), BufferId> = HashMap::new();
         for &(input_idx, _) in &scan_cols {
@@ -402,13 +648,8 @@ impl Executor {
                 };
                 let semantic = graph.semantic_of(r);
                 if node.kind.is_pipeline_breaker() {
-                    let id = hub.prepare_output_buffer(
-                        &mut self.devices,
-                        &node,
-                        port,
-                        semantic,
-                        rows,
-                    )?;
+                    let id =
+                        hub.prepare_output_buffer(&mut self.devices, &node, port, semantic, rows)?;
                     hub.register_resident(r, node.device, id);
                 } else if cfg.stage_once {
                     let id = hub.prepare_output_buffer(
@@ -436,14 +677,14 @@ impl Executor {
             let fetched_until = AtomicUsize::new(0);
             let processed_until = AtomicUsize::new(0);
             let (tx, rx) =
-                crossbeam::channel::bounded::<(usize, usize, usize, Vec<(usize, BufferData)>)>(
+                std::sync::mpsc::sync_channel::<(usize, usize, usize, Vec<(usize, BufferData)>)>(
                     cfg.staging_buffers,
                 );
             let producer_cols: Vec<(usize, Arc<Vec<i64>>)> = scan_cols.clone();
-            let result: Result<()> = crossbeam::thread::scope(|scope| {
+            let result: Result<()> = std::thread::scope(|scope| {
                 let fetched = &fetched_until;
                 let processed = &processed_until;
-                scope.spawn(move |_| {
+                scope.spawn(move || {
                     for chunk in 0..n_chunks {
                         let offset = chunk * chunk_rows;
                         let len = chunk_rows.min(rows - offset);
@@ -453,12 +694,21 @@ impl Executor {
                                 (*idx, BufferData::I64(col[offset..offset + len].to_vec()))
                             })
                             .collect();
+                        // Algorithm 2 ordering: advertise the fetch *before*
+                        // handing the chunk over. The execute thread may
+                        // start on the chunk the instant `send` enqueues it,
+                        // so incrementing afterwards races its
+                        // `fetched > processed` check.
+                        fetched.fetch_add(1, Ordering::Release);
                         if tx.send((chunk, offset, len, payloads)).is_err() {
                             return; // executor side failed; stop transferring
                         }
-                        fetched.fetch_add(1, Ordering::Release);
                     }
                 });
+                // `rx` is moved into this scope so an early `?` return drops
+                // it, failing the producer's blocked `send` instead of
+                // deadlocking the implicit join at scope exit.
+                let rx = rx;
                 for (chunk, offset, len, payloads) in rx.iter() {
                     debug_assert!(
                         fetched.load(Ordering::Acquire) > processed.load(Ordering::Acquire),
@@ -466,15 +716,26 @@ impl Executor {
                     );
                     let slot = chunk % staging_slots;
                     let cost = self.run_one_chunk(
-                        graph, pipeline, inputs, cfg, hub, stats, tally, escaping, &staging,
-                        &mut scratch, slot, offset, len, payloads,
+                        graph,
+                        pipeline,
+                        inputs,
+                        cfg,
+                        hub,
+                        stats,
+                        tally,
+                        escaping,
+                        &staging,
+                        &mut scratch,
+                        slot,
+                        offset,
+                        len,
+                        payloads,
                     )?;
                     chunk_costs.push(cost);
                     processed.fetch_add(1, Ordering::Release);
                 }
                 Ok(())
-            })
-            .map_err(|_| ExecError::Internal("transfer thread panicked".into()))?;
+            });
             result?;
         } else {
             for chunk in 0..n_chunks {
@@ -486,8 +747,20 @@ impl Executor {
                     .collect();
                 let slot = chunk % staging_slots;
                 let cost = self.run_one_chunk(
-                    graph, pipeline, inputs, cfg, hub, stats, tally, escaping, &staging,
-                    &mut scratch, slot, offset, len, payloads,
+                    graph,
+                    pipeline,
+                    inputs,
+                    cfg,
+                    hub,
+                    stats,
+                    tally,
+                    escaping,
+                    &staging,
+                    &mut scratch,
+                    slot,
+                    offset,
+                    len,
+                    payloads,
                 )?;
                 chunk_costs.push(cost);
             }
@@ -501,7 +774,10 @@ impl Executor {
                 continue;
             }
             for port in 0..node.output_count {
-                let r = DataRef::Output { node: node.id, port };
+                let r = DataRef::Output {
+                    node: node.id,
+                    port,
+                };
                 if escaping.contains(&r) && !hub.has_host(r) {
                     let semantic = graph.semantic_of(r);
                     hub.host_accumulate(
@@ -528,16 +804,32 @@ impl Executor {
         stats.compute_ns += in_loop_compute;
 
         // ---- Per-pipeline delete phase ------------------------------------
-        // Free staging and scratch; breaker accumulators stay resident.
-        for (_, id) in staging {
-            for &dev_id in &devices_used {
-                let _ = self.devices.get_mut(dev_id)?.delete_memory(id);
-            }
+        // Free staging and scratch on the device that owns each buffer;
+        // breaker accumulators stay resident for downstream pipelines.
+        // These buffers are expected to exist, so failures are real leaks
+        // and surface as errors; `release` also untracks the ids so the
+        // final `delete_all` sweep cannot double-delete them.
+        let mut staging_ids: Vec<(DeviceId, BufferId)> = staging
+            .into_iter()
+            .map(|((_, dev_id, _), id)| (dev_id, id))
+            .collect();
+        staging_ids.sort_unstable();
+        for (dev_id, id) in staging_ids {
+            hub.release(&mut self.devices, dev_id, id)?;
         }
-        for (_, id) in scratch {
-            for &dev_id in &devices_used {
-                let _ = self.devices.get_mut(dev_id)?.delete_memory(id);
-            }
+        let mut scratch_ids: Vec<(DeviceId, BufferId)> = scratch
+            .into_iter()
+            .map(|(r, id)| {
+                let owner = match r {
+                    DataRef::Output { node, .. } => graph.node(node).device,
+                    DataRef::Input(_) => unreachable!("scratch refs are node outputs"),
+                };
+                (owner, id)
+            })
+            .collect();
+        scratch_ids.sort_unstable();
+        for (dev_id, id) in scratch_ids {
+            hub.release(&mut self.devices, dev_id, id)?;
         }
         for &dev_id in &devices_used {
             tally.drain_serial(self.devices.get_mut(dev_id)?.as_mut(), stats);
@@ -710,14 +1002,16 @@ impl Executor {
             }
         }
 
-        // Naive chunked model frees its per-chunk scratch again.
+        // Naive chunked model frees its per-chunk scratch again. Going
+        // through `release` untracks the ids, so the final sweep never sees
+        // (and double-deletes) buffers that died inside the chunk loop.
         if !cfg.stage_once {
             for (r, id) in chunk_scratch {
                 let node = match r {
                     DataRef::Output { node, .. } => graph.node(node),
                     _ => unreachable!(),
                 };
-                let _ = self.devices.get_mut(node.device)?.delete_memory(id);
+                hub.release(&mut self.devices, node.device, id)?;
                 scratch.remove(&r);
                 let (t, c, o) = tally.drain_split(self.devices.get_mut(node.device)?.as_mut());
                 cost.transfer_ns += t + o;
@@ -753,7 +1047,14 @@ impl Executor {
         let mut buffers = in_ids.to_vec();
         buffers.extend_from_slice(out_ids);
         let spec = ExecuteSpec::new(container.kernel_name(), buffers, node.params.to_scalars());
-        self.devices.get_mut(node.device)?.execute(&spec)?;
+        self.devices
+            .get_mut(node.device)?
+            .execute(&spec)
+            .map_err(|e| ExecError::KernelFailed {
+                device: node.device,
+                kernel: spec.kernel.clone(),
+                source: e,
+            })?;
         Ok(())
     }
 
@@ -832,6 +1133,28 @@ impl Tally {
         }
         (t, c, o)
     }
+}
+
+/// Whether a device error is an out-of-memory condition (regular or pinned)
+/// — the class the chunk-size backoff can do something about.
+fn is_oom(e: &adamant_device::error::DeviceError) -> bool {
+    matches!(
+        e,
+        adamant_device::error::DeviceError::OutOfMemory { .. }
+            | adamant_device::error::DeviceError::OutOfPinnedMemory { .. }
+    )
+}
+
+/// Whether the pipeline contains a primitive that must see its scan in a
+/// single chunk — halving the chunk size could split a previously
+/// single-chunk scan and break it.
+fn pipeline_is_order_sensitive(graph: &PrimitiveGraph, pipeline: &Pipeline) -> bool {
+    pipeline.nodes.iter().any(|&n| {
+        matches!(
+            graph.node(n).kind,
+            PrimitiveKind::Sort | PrimitiveKind::SortAgg | PrimitiveKind::PrefixSum
+        )
+    })
 }
 
 /// Data refs produced by non-breaker nodes of streaming pipelines that are

@@ -355,11 +355,8 @@ impl GraphBuilder {
                     }
                 }
             }
-            let actual: Vec<DataSemantic> = node
-                .inputs
-                .iter()
-                .map(|&r| graph.semantic_of(r))
-                .collect();
+            let actual: Vec<DataSemantic> =
+                node.inputs.iter().map(|&r| graph.semantic_of(r)).collect();
             if !node.kind.accepts_inputs(&actual) {
                 return Err(ExecError::InvalidGraph(format!(
                     "node `{}` ({}) rejects input semantics {actual:?}",
@@ -497,10 +494,13 @@ mod tests {
             "m",
         );
         b.output("r", m[0]);
-        b.output("bad", DataRef::Output {
-            node: NodeId(0),
-            port: 5,
-        });
+        b.output(
+            "bad",
+            DataRef::Output {
+                node: NodeId(0),
+                port: 5,
+            },
+        );
         assert!(b.build().is_err());
     }
 

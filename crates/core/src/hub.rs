@@ -23,7 +23,7 @@ use adamant_storage::bitmap::Bitmap;
 use adamant_task::container::DataContainer;
 use adamant_task::primitive::PrimitiveKind;
 use adamant_task::semantics::DataSemantic;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 /// Host-side accumulation of per-chunk results.
 #[derive(Debug)]
@@ -50,11 +50,31 @@ impl HostAccum {
         })
     }
 
-    fn push_chunk(&mut self, data: BufferData, chunk_offset: usize, chunk_len: usize) -> Result<()> {
+    fn push_chunk(
+        &mut self,
+        data: BufferData,
+        chunk_offset: usize,
+        chunk_len: usize,
+    ) -> Result<()> {
         match (self, data) {
             (HostAccum::Numeric(acc), BufferData::I64(v)) => acc.extend_from_slice(&v),
             (HostAccum::Position(acc), BufferData::U32(v)) => {
-                acc.extend(v.into_iter().map(|p| p + chunk_offset as u32))
+                // Rebasing to global row numbers must not wrap: a silent
+                // overflow would produce positions pointing at the wrong
+                // rows, which is far worse than failing the query.
+                let base = u32::try_from(chunk_offset).map_err(|_| {
+                    ExecError::Internal(format!(
+                        "position rebase overflow: chunk offset {chunk_offset} exceeds u32 range"
+                    ))
+                })?;
+                for p in v {
+                    let global = p.checked_add(base).ok_or_else(|| {
+                        ExecError::Internal(format!(
+                            "position rebase overflow: {p} + chunk offset {base} exceeds u32 range"
+                        ))
+                    })?;
+                    acc.push(global);
+                }
             }
             (HostAccum::Bitmap(acc), BufferData::BitWords(words)) => {
                 let chunk = Bitmap::from_words(words, chunk_len);
@@ -78,6 +98,18 @@ impl HostAccum {
             HostAccum::Bitmap(bm) => BufferData::BitWords(bm.words().to_vec()),
         }
     }
+
+    /// Clones into a device-shaped payload, leaving the accumulation in
+    /// place. Used when uploading a host accumulation to a device: the host
+    /// copy stays authoritative so a later rollback of the device buffer
+    /// never destroys the only copy of the data.
+    pub fn to_buffer(&self) -> BufferData {
+        match self {
+            HostAccum::Numeric(v) => BufferData::I64(v.clone()),
+            HostAccum::Position(v) => BufferData::U32(v.clone()),
+            HostAccum::Bitmap(bm) => BufferData::BitWords(bm.words().to_vec()),
+        }
+    }
 }
 
 /// The hub: buffer-id allocation, residency tracking, routing and output
@@ -89,6 +121,9 @@ pub struct DataTransferHub {
     resident: HashMap<(DataRef, DeviceId), BufferId>,
     /// Host-side accumulations of escaped streamed results.
     host: HashMap<DataRef, HostAccum>,
+    /// Next expected chunk offset per host accumulation — chunks must
+    /// arrive in order, contiguously.
+    host_offsets: HashMap<DataRef, usize>,
     /// Every buffer created per device, for the delete phase.
     created: Vec<(DeviceId, BufferId)>,
 }
@@ -136,11 +171,15 @@ impl DataTransferHub {
         if let Some(id) = self.resident(data, target) {
             return Ok(id);
         }
-        // Find a source device holding it.
+        // Find a source device holding it. When several devices hold a
+        // copy, pick the lowest device id so the transfer source (and the
+        // clocks it charges) is deterministic across runs — HashMap
+        // iteration order must never leak into the execution.
         let source = self
             .resident
             .iter()
-            .find(|((r, _), _)| *r == data)
+            .filter(|((r, _), _)| *r == data)
+            .min_by_key(|((_, d), _)| *d)
             .map(|((_, d), id)| (*d, *id));
         if let Some((src_dev, src_id)) = source {
             let payload = devices.get_mut(src_dev)?.retrieve_data(src_id, None, 0)?;
@@ -150,11 +189,13 @@ impl DataTransferHub {
             self.track_created(target, new_id);
             return Ok(new_id);
         }
-        if let Some(acc) = self.host.remove(&data) {
+        if let Some(acc) = self.host.get(&data) {
+            // Upload a clone: the host accumulation stays authoritative, so
+            // a recovery rollback that deletes the device copy cannot lose
+            // the data.
+            let payload = acc.to_buffer();
             let new_id = self.fresh_id();
-            devices
-                .get_mut(target)?
-                .place_data(new_id, acc.into_buffer(), 0)?;
+            devices.get_mut(target)?.place_data(new_id, payload, 0)?;
             self.register_resident(data, target, new_id);
             self.track_created(target, new_id);
             return Ok(new_id);
@@ -187,6 +228,11 @@ impl DataTransferHub {
 
     /// Appends one chunk's worth of an escaped scratch result to the host
     /// accumulation.
+    ///
+    /// Chunks must arrive in order and contiguously: `chunk_offset` has to
+    /// equal the end of the previous chunk (0 for the first). Out-of-order
+    /// arrival means an execution-model bug and is rejected rather than
+    /// silently producing misordered results.
     pub fn host_accumulate(
         &mut self,
         data: DataRef,
@@ -195,16 +241,33 @@ impl DataTransferHub {
         chunk_offset: usize,
         chunk_len: usize,
     ) -> Result<()> {
+        let expected = self.host_offsets.get(&data).copied().unwrap_or(0);
+        if chunk_offset != expected {
+            return Err(ExecError::Internal(format!(
+                "out-of-order host accumulation for {data:?}: \
+                 got chunk offset {chunk_offset}, expected {expected}"
+            )));
+        }
         let entry = match self.host.entry(data) {
             std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
             std::collections::hash_map::Entry::Vacant(e) => e.insert(HostAccum::new(semantic)?),
         };
-        entry.push_chunk(payload, chunk_offset, chunk_len)
+        entry.push_chunk(payload, chunk_offset, chunk_len)?;
+        self.host_offsets.insert(data, chunk_offset + chunk_len);
+        Ok(())
     }
 
     /// Takes a finished host accumulation (for graph outputs).
     pub fn take_host(&mut self, data: DataRef) -> Option<HostAccum> {
+        self.host_offsets.remove(&data);
         self.host.remove(&data)
+    }
+
+    /// Discards a partial host accumulation (recovery: a failed pipeline
+    /// attempt is rolled back before the retry re-streams from row 0).
+    pub fn discard_host(&mut self, data: DataRef) {
+        self.host_offsets.remove(&data);
+        self.host.remove(&data);
     }
 
     /// Whether a host accumulation exists for `data`.
@@ -230,7 +293,13 @@ impl DataTransferHub {
         let id = self.fresh_id();
         let device = devices.get_mut(node.device)?;
         match (&node.kind, &node.params) {
-            (PrimitiveKind::HashBuild, NodeParams::HashBuild { payload_cols, expected }) => {
+            (
+                PrimitiveKind::HashBuild,
+                NodeParams::HashBuild {
+                    payload_cols,
+                    expected,
+                },
+            ) => {
                 device.init_structure(id, DataContainer::join_table(*expected, *payload_cols))?;
             }
             (
@@ -266,7 +335,58 @@ impl DataTransferHub {
         Ok(id)
     }
 
-    /// The delete phase: frees every buffer this hub created.
+    /// A rollback mark: the number of buffers created so far. Pass it to
+    /// [`DataTransferHub::rollback_to`] to free everything created after
+    /// this point.
+    pub fn mark(&self) -> usize {
+        self.created.len()
+    }
+
+    /// Frees every buffer created after `mark` (on its owning device) and
+    /// drops the matching residency entries. Used by the executor's
+    /// recovery path to unwind a failed pipeline attempt; tolerant of
+    /// buffers that never finished allocating.
+    pub fn rollback_to(&mut self, devices: &mut DeviceRegistry, mark: usize) {
+        if mark >= self.created.len() {
+            return;
+        }
+        let rolled = self.created.split_off(mark);
+        let ids: HashSet<(DeviceId, BufferId)> = rolled.iter().copied().collect();
+        for (dev, id) in rolled {
+            if let Ok(device) = devices.get_mut(dev) {
+                // The failed attempt may have died mid-allocation.
+                let _ = device.delete_memory(id);
+            }
+        }
+        self.resident.retain(|(_, d), id| !ids.contains(&(*d, *id)));
+    }
+
+    /// Frees one tracked buffer on its owning device, untracking it from
+    /// both the created list and the residency map. Unlike the final
+    /// [`DataTransferHub::delete_all`] sweep, errors here are real (the
+    /// buffer is expected to exist) and are propagated.
+    pub fn release(
+        &mut self,
+        devices: &mut DeviceRegistry,
+        device: DeviceId,
+        id: BufferId,
+    ) -> Result<()> {
+        devices.get_mut(device)?.delete_memory(id)?;
+        self.created.retain(|&(d, i)| !(d == device && i == id));
+        self.resident
+            .retain(|&(_, d), &mut i| !(d == device && i == id));
+        Ok(())
+    }
+
+    /// The delete phase: frees every buffer this hub created that is still
+    /// tracked.
+    ///
+    /// This is the final idempotent sweep, by design tolerant of buffers
+    /// that are already gone (released mid-run via
+    /// [`DataTransferHub::release`] in a previous incarnation of the id
+    /// space, or wiped by a device reset). Per-pipeline cleanup goes
+    /// through `release`, which *does* surface errors and untracks ids so
+    /// this sweep never double-deletes.
     pub fn delete_all(&mut self, devices: &mut DeviceRegistry) {
         for (dev, id) in self.created.drain(..) {
             if let Ok(device) = devices.get_mut(dev) {
@@ -285,12 +405,8 @@ mod tests {
 
     fn two_devices() -> (DeviceRegistry, DeviceId, DeviceId) {
         let mut reg = DeviceRegistry::new();
-        let a = reg.add(Box::new(
-            DeviceProfile::cuda_rtx2080ti().build(DeviceId(0)),
-        ));
-        let b = reg.add(Box::new(
-            DeviceProfile::opencl_cpu_i7().build(DeviceId(1)),
-        ));
+        let a = reg.add(Box::new(DeviceProfile::cuda_rtx2080ti().build(DeviceId(0))));
+        let b = reg.add(Box::new(DeviceProfile::opencl_cpu_i7().build(DeviceId(1))));
         (reg, a, b)
     }
 
@@ -350,10 +466,22 @@ mod tests {
         }
 
         let bm = DataRef::Input(2);
-        hub.host_accumulate(bm, DataSemantic::Bitmap, BufferData::BitWords(vec![0b1]), 0, 3)
-            .unwrap();
-        hub.host_accumulate(bm, DataSemantic::Bitmap, BufferData::BitWords(vec![0b10]), 3, 2)
-            .unwrap();
+        hub.host_accumulate(
+            bm,
+            DataSemantic::Bitmap,
+            BufferData::BitWords(vec![0b1]),
+            0,
+            3,
+        )
+        .unwrap();
+        hub.host_accumulate(
+            bm,
+            DataSemantic::Bitmap,
+            BufferData::BitWords(vec![0b10]),
+            3,
+            2,
+        )
+        .unwrap();
         match hub.take_host(bm).unwrap() {
             HostAccum::Bitmap(b) => {
                 assert_eq!(b.len(), 5);
@@ -375,7 +503,13 @@ mod tests {
             .host_accumulate(r, DataSemantic::Numeric, BufferData::U32(vec![1]), 1, 1)
             .is_err());
         assert!(hub
-            .host_accumulate(DataRef::Input(5), DataSemantic::HashTable, BufferData::I64(vec![]), 0, 0)
+            .host_accumulate(
+                DataRef::Input(5),
+                DataSemantic::HashTable,
+                BufferData::I64(vec![]),
+                0,
+                0
+            )
             .is_err());
     }
 
@@ -388,5 +522,139 @@ mod tests {
         assert!(devices.get(gpu).unwrap().pool().used() > 0);
         hub.delete_all(&mut devices);
         assert_eq!(devices.get(gpu).unwrap().pool().used(), 0);
+    }
+
+    #[test]
+    fn router_source_is_lowest_device_id() {
+        // Three devices; the ref is resident on devices 1 and 2. Routing to
+        // device 0 must always pull from device 1 — the lowest holder —
+        // not whichever the residency map happens to iterate first.
+        let mut devices = DeviceRegistry::new();
+        let a = devices.add(Box::new(DeviceProfile::cuda_rtx2080ti().build(DeviceId(0))));
+        let b = devices.add(Box::new(DeviceProfile::opencl_cpu_i7().build(DeviceId(1))));
+        let c = devices.add(Box::new(DeviceProfile::opencl_cpu_i7().build(DeviceId(2))));
+        let mut hub = DataTransferHub::new();
+        let data = DataRef::Input(0);
+        let col = vec![7i64; 64];
+        hub.load_whole_input(&mut devices, data, b, &col).unwrap();
+        hub.load_whole_input(&mut devices, data, c, &col).unwrap();
+
+        hub.router(&mut devices, data, a).unwrap();
+        assert!(devices.get(b).unwrap().clock().bytes_d2h() > 0);
+        assert_eq!(devices.get(c).unwrap().clock().bytes_d2h(), 0);
+    }
+
+    #[test]
+    fn host_accumulation_rejects_out_of_order_chunks() {
+        let mut hub = DataTransferHub::new();
+        let r = DataRef::Input(0);
+        hub.host_accumulate(r, DataSemantic::Numeric, BufferData::I64(vec![1, 2]), 0, 2)
+            .unwrap();
+        // Replay of an already-consumed offset.
+        assert!(hub
+            .host_accumulate(r, DataSemantic::Numeric, BufferData::I64(vec![9]), 1, 1)
+            .is_err());
+        // Gap: skipping ahead is just as wrong.
+        assert!(hub
+            .host_accumulate(r, DataSemantic::Numeric, BufferData::I64(vec![9]), 4, 1)
+            .is_err());
+        // The expected offset still works.
+        hub.host_accumulate(r, DataSemantic::Numeric, BufferData::I64(vec![3]), 2, 1)
+            .unwrap();
+        match hub.take_host(r).unwrap() {
+            HostAccum::Numeric(v) => assert_eq!(v, vec![1, 2, 3]),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn position_rebase_overflow_is_rejected() {
+        let mut hub = DataTransferHub::new();
+        let r = DataRef::Input(0);
+        // Walk the expected offset to the edge of the u32 range with an
+        // empty chunk, then offer positions that would wrap when rebased.
+        let edge = u32::MAX as usize;
+        hub.host_accumulate(r, DataSemantic::Position, BufferData::U32(vec![]), 0, edge)
+            .unwrap();
+        assert!(hub
+            .host_accumulate(r, DataSemantic::Position, BufferData::U32(vec![5]), edge, 1)
+            .is_err());
+
+        // A chunk offset that itself exceeds u32 is rejected outright.
+        let far = edge + 10;
+        let s = DataRef::Input(1);
+        hub.host_accumulate(s, DataSemantic::Position, BufferData::U32(vec![]), 0, far)
+            .unwrap();
+        assert!(hub
+            .host_accumulate(s, DataSemantic::Position, BufferData::U32(vec![0]), far, 1)
+            .is_err());
+    }
+
+    #[test]
+    fn rollback_frees_only_buffers_after_mark() {
+        let (mut devices, gpu, _) = two_devices();
+        let mut hub = DataTransferHub::new();
+        let kept = DataRef::Input(0);
+        hub.load_whole_input(&mut devices, kept, gpu, &[1, 2, 3])
+            .unwrap();
+        let used_before = devices.get(gpu).unwrap().pool().used();
+        let mark = hub.mark();
+
+        let rolled = DataRef::Input(1);
+        hub.load_whole_input(&mut devices, rolled, gpu, &[4; 100])
+            .unwrap();
+        assert!(devices.get(gpu).unwrap().pool().used() > used_before);
+
+        hub.rollback_to(&mut devices, mark);
+        assert_eq!(devices.get(gpu).unwrap().pool().used(), used_before);
+        // The pre-mark buffer survived, the post-mark one is untracked.
+        assert!(hub.resident(kept, gpu).is_some());
+        assert!(hub.resident(rolled, gpu).is_none());
+        // And the sweep still releases the survivor exactly once.
+        hub.delete_all(&mut devices);
+        assert_eq!(devices.get(gpu).unwrap().pool().used(), 0);
+    }
+
+    #[test]
+    fn release_untracks_so_delete_all_cannot_double_delete() {
+        let (mut devices, gpu, _) = two_devices();
+        let mut hub = DataTransferHub::new();
+        let data = DataRef::Input(0);
+        let id = hub
+            .load_whole_input(&mut devices, data, gpu, &[1, 2, 3])
+            .unwrap();
+        hub.release(&mut devices, gpu, id).unwrap();
+        assert_eq!(devices.get(gpu).unwrap().pool().used(), 0);
+        assert!(hub.resident(data, gpu).is_none());
+        // Releasing an untracked buffer is an error, not a silent no-op.
+        assert!(hub.release(&mut devices, gpu, id).is_err());
+        // The final sweep has nothing left referencing the freed id.
+        hub.delete_all(&mut devices);
+    }
+
+    #[test]
+    fn host_upload_is_a_clone() {
+        let (mut devices, gpu, _) = two_devices();
+        let mut hub = DataTransferHub::new();
+        let r = DataRef::Output {
+            node: crate::graph::NodeId(0),
+            port: 0,
+        };
+        hub.host_accumulate(r, DataSemantic::Numeric, BufferData::I64(vec![1, 2]), 0, 2)
+            .unwrap();
+        let id = hub.router(&mut devices, r, gpu).unwrap();
+        let payload = devices
+            .get_mut(gpu)
+            .unwrap()
+            .retrieve_data(id, None, 0)
+            .unwrap();
+        assert_eq!(payload, BufferData::I64(vec![1, 2]));
+        // The host copy is still there: deleting the device buffer (e.g. in
+        // a recovery rollback) cannot lose the accumulated result.
+        assert!(hub.has_host(r));
+        match hub.take_host(r).unwrap() {
+            HostAccum::Numeric(v) => assert_eq!(v, vec![1, 2]),
+            other => panic!("{other:?}"),
+        }
     }
 }

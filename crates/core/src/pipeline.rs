@@ -68,9 +68,7 @@ impl PipelineSet {
                             // Streams if its pipeline is still open.
                             let pidx = node_pipeline[src.0];
                             let p = &pipelines[pidx];
-                            if open.values().any(|&v| v == pidx)
-                                || open_full == Some(pidx)
-                            {
+                            if open.values().any(|&v| v == pidx) || open_full == Some(pidx) {
                                 p.scan.clone()
                             } else {
                                 None

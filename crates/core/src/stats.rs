@@ -36,6 +36,18 @@ pub struct ExecutionStats {
     pub chunks_processed: usize,
     /// Number of pipelines executed.
     pub pipelines: usize,
+    /// Pipeline attempts that failed and were retried (any recovery kind).
+    pub retries: usize,
+    /// Retries where the streaming chunk size was halved after a device
+    /// out-of-memory error.
+    pub chunk_backoffs: usize,
+    /// Retries where a pipeline was re-placed onto a fallback device after
+    /// a persistent kernel failure or missing implementation.
+    pub fallback_placements: usize,
+    /// Faults injected per device name during this run (only devices with a
+    /// non-zero count appear). Deterministic ordering for reproducible
+    /// reports.
+    pub device_faults: BTreeMap<String, u64>,
     /// Real wall-clock nanoseconds of the simulated run.
     pub wall_ns: u64,
 }
@@ -68,7 +80,10 @@ impl ExecutionStats {
 
     /// Adds a kernel-time sample for a node label.
     pub fn record_primitive(&mut self, label: &str, ns: f64) {
-        *self.per_primitive_ns.entry(label.to_string()).or_insert(0.0) += ns;
+        *self
+            .per_primitive_ns
+            .entry(label.to_string())
+            .or_insert(0.0) += ns;
     }
 
     /// Serializes the stats to a JSON object string (hand-rolled — the
@@ -87,12 +102,19 @@ impl ExecutionStats {
             .iter()
             .map(|(k, v)| format!("\"{}\":{v}", esc(k)))
             .collect();
+        let faults: Vec<String> = self
+            .device_faults
+            .iter()
+            .map(|(k, v)| format!("\"{}\":{v}", esc(k)))
+            .collect();
         format!(
             concat!(
                 "{{\"model\":\"{}\",\"total_ns\":{:.1},\"transfer_ns\":{:.1},",
                 "\"compute_ns\":{:.1},\"other_ns\":{:.1},\"overhead_ns\":{:.1},",
                 "\"bytes_h2d\":{},\"bytes_d2h\":{},\"chunks\":{},\"pipelines\":{},",
-                "\"wall_ns\":{},\"per_primitive_ns\":{{{}}},\"peak_device_bytes\":{{{}}}}}"
+                "\"retries\":{},\"chunk_backoffs\":{},\"fallback_placements\":{},",
+                "\"wall_ns\":{},\"per_primitive_ns\":{{{}}},\"peak_device_bytes\":{{{}}},",
+                "\"device_faults\":{{{}}}}}"
             ),
             esc(&self.model),
             self.total_ns,
@@ -104,9 +126,13 @@ impl ExecutionStats {
             self.bytes_d2h,
             self.chunks_processed,
             self.pipelines,
+            self.retries,
+            self.chunk_backoffs,
+            self.fallback_placements,
             self.wall_ns,
             per_primitive.join(","),
             peaks.join(","),
+            faults.join(","),
         )
     }
 }
@@ -161,17 +187,22 @@ mod tests {
         };
         s.record_primitive("filter \"x\"", 10.0);
         s.peak_device_bytes.insert("gpu0".into(), 2048);
+        s.retries = 3;
+        s.chunk_backoffs = 2;
+        s.fallback_placements = 1;
+        s.device_faults.insert("gpu0".into(), 5);
         let json = s.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"model\":\"chunked\""));
         assert!(json.contains("\"bytes_h2d\":42"));
         assert!(json.contains("\"gpu0\":2048"));
+        assert!(json.contains("\"retries\":3"));
+        assert!(json.contains("\"chunk_backoffs\":2"));
+        assert!(json.contains("\"fallback_placements\":1"));
+        assert!(json.contains("\"device_faults\":{\"gpu0\":5}"));
         // Quotes in labels are escaped.
         assert!(json.contains("filter \\\"x\\\""));
         // Balanced braces.
-        assert_eq!(
-            json.matches('{').count(),
-            json.matches('}').count()
-        );
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

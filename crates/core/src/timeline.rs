@@ -99,10 +99,7 @@ mod tests {
     fn single_buffer_degenerates_towards_serial() {
         // One staging buffer: transfer_{i} waits compute_{i-1}; fully serial.
         let chunks = vec![c(10.0, 10.0); 4];
-        assert_eq!(
-            overlapped_makespan(&chunks, 1),
-            serial_makespan(&chunks)
-        );
+        assert_eq!(overlapped_makespan(&chunks, 1), serial_makespan(&chunks));
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! End-to-end runtime tests: small queries executed under every model on
 //! every driver profile, validated against host-computed references.
 
-use adamant_core::prelude::*;
 use adamant_core::executor::QueryInputs;
+use adamant_core::prelude::*;
 use adamant_device::device::DeviceId;
 use adamant_device::error::DeviceError;
 use adamant_device::profiles::DeviceProfile;
@@ -18,7 +18,13 @@ fn executor_with(profile: DeviceProfile) -> (Executor, DeviceId) {
         SdkKind::OpenMp,
         SdkKind::Host,
     ]);
-    let mut exec = Executor::new(tasks, ExecutorConfig { chunk_rows: 100 });
+    let mut exec = Executor::new(
+        tasks,
+        ExecutorConfig {
+            chunk_rows: 100,
+            ..Default::default()
+        },
+    );
     let dev = exec.add_profile(&profile).unwrap();
     (exec, dev)
 }
@@ -154,11 +160,7 @@ fn q6_like_all_models_all_profiles() {
             let (inputs, expected, selected) = q6_inputs_full(n);
             let (out, stats) = exec.run(&graph, &inputs, model).unwrap();
             let acc = out.i64_column("revenue");
-            assert_eq!(
-                acc[0], expected,
-                "model {model} on {} wrong",
-                profile.name
-            );
+            assert_eq!(acc[0], expected, "model {model} on {} wrong", profile.name);
             assert_eq!(acc[1], selected, "row count mismatch");
             assert!(stats.total_ns > 0.0);
             if model != ExecutionModel::OperatorAtATime {
@@ -453,7 +455,9 @@ fn variant_selection_runs() {
     );
     let s = b.add(
         PrimitiveKind::AggBlock,
-        NodeParams::AggBlock { agg: AggFunc::Count },
+        NodeParams::AggBlock {
+            agg: AggFunc::Count,
+        },
         vec![m[0]],
         1,
         dev,
@@ -500,7 +504,13 @@ fn cross_device_routing_works() {
     // Build on the CPU device, probe on the GPU device: the hub must move
     // the hash table across.
     let tasks = TaskRegistry::with_defaults(&[SdkKind::Cuda, SdkKind::OpenCl]);
-    let mut exec = Executor::new(tasks, ExecutorConfig { chunk_rows: 64 });
+    let mut exec = Executor::new(
+        tasks,
+        ExecutorConfig {
+            chunk_rows: 64,
+            ..Default::default()
+        },
+    );
     let cpu = exec.add_profile(&DeviceProfile::opencl_cpu_i7()).unwrap();
     let gpu = exec.add_profile(&DeviceProfile::cuda_rtx2080ti()).unwrap();
 
@@ -536,7 +546,9 @@ fn cross_device_routing_works() {
     );
     let cnt = b.add(
         PrimitiveKind::AggBlock,
-        NodeParams::AggBlock { agg: AggFunc::Count },
+        NodeParams::AggBlock {
+            agg: AggFunc::Count,
+        },
         vec![mat[0]],
         1,
         gpu,

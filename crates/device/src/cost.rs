@@ -151,7 +151,8 @@ impl CostModel {
     /// page-locking per MiB).
     pub fn alloc_ns(&self, bytes: u64, pinned: bool) -> f64 {
         if pinned {
-            self.alloc_overhead_ns + self.pinned_alloc_per_mib_ns * (bytes as f64 / (1 << 20) as f64)
+            self.alloc_overhead_ns
+                + self.pinned_alloc_per_mib_ns * (bytes as f64 / (1 << 20) as f64)
         } else {
             self.alloc_overhead_ns
         }
@@ -163,7 +164,8 @@ impl CostModel {
     pub fn kernel_ns(&self, class: CostClass, elements: u64, arg_count: usize) -> f64 {
         let n = elements as f64;
         let launch = self.launch_overhead_ns + self.per_arg_overhead_ns * arg_count as f64;
-        let stream = |bytes_per_elem: f64| n * bytes_per_elem / (self.mem_bandwidth_gibs * GIB) * 1e9;
+        let stream =
+            |bytes_per_elem: f64| n * bytes_per_elem / (self.mem_bandwidth_gibs * GIB) * 1e9;
         let body = match class {
             // read 8B + write 8B per element
             CostClass::MapLike => stream(16.0),
@@ -283,7 +285,10 @@ mod tests {
         };
         let few = m.kernel_ns(CostClass::HashAgg { groups: 16 }, 1 << 24, 3);
         let many = m.kernel_ns(CostClass::HashAgg { groups: 1 << 20 }, 1 << 24, 3);
-        assert!(many > few, "many-group agg should be slower: {many} vs {few}");
+        assert!(
+            many > few,
+            "many-group agg should be slower: {many} vs {few}"
+        );
     }
 
     #[test]
@@ -292,8 +297,7 @@ mod tests {
             build_size_penalty: 0.2,
             ..CostModel::default()
         };
-        let per_elem_small =
-            m.kernel_ns(CostClass::HashBuild, 1 << 20, 2) / (1u64 << 20) as f64;
+        let per_elem_small = m.kernel_ns(CostClass::HashBuild, 1 << 20, 2) / (1u64 << 20) as f64;
         let per_elem_big = m.kernel_ns(CostClass::HashBuild, 1 << 28, 2) / (1u64 << 28) as f64;
         assert!(per_elem_big > per_elem_small);
     }

@@ -3,6 +3,7 @@
 use crate::buffer::{BufferData, BufferId};
 use crate::clock::SimClock;
 use crate::error::Result;
+use crate::fault::{FaultCounters, FaultPlan};
 use crate::kernel::{ExecuteSpec, KernelSource, KernelStats};
 use crate::pool::BufferPool;
 use crate::sdk::{SdkKind, SdkRepr};
@@ -72,8 +73,12 @@ pub trait Device: Send {
 
     /// `retrieve_data(id, size, offset)`: read `len` elements back to the
     /// host (`None` = the whole buffer).
-    fn retrieve_data(&mut self, id: BufferId, len: Option<usize>, offset: usize)
-        -> Result<BufferData>;
+    fn retrieve_data(
+        &mut self,
+        id: BufferId,
+        len: Option<usize>,
+        offset: usize,
+    ) -> Result<BufferData>;
 
     /// `prepare_memory(size)`: allocate `bytes` of device memory for `id`.
     fn prepare_memory(&mut self, id: BufferId, bytes: u64) -> Result<()>;
@@ -92,8 +97,13 @@ pub trait Device: Send {
 
     /// `create_chunk(ID, chunk size, offset)`: materialize a device-side
     /// sub-buffer `dst` holding `len` elements of `src` starting at `offset`.
-    fn create_chunk(&mut self, src: BufferId, dst: BufferId, offset: usize, len: usize)
-        -> Result<()>;
+    fn create_chunk(
+        &mut self,
+        src: BufferId,
+        dst: BufferId,
+        offset: usize,
+        len: usize,
+    ) -> Result<()>;
 
     /// `add_pinned_memory(ID, chunk size, offset)`: reserve host-accessible
     /// pinned memory for `id` (fast staging for the 4-phase model).
@@ -121,6 +131,18 @@ pub trait Device: Send {
 
     /// Frees all buffers and resets usage (between queries/experiments).
     fn reset(&mut self);
+
+    /// Installs a deterministic fault-injection plan.
+    ///
+    /// Optional: drivers for real hardware have nothing to inject, so the
+    /// default is a no-op. [`crate::sim::SimDevice`] honors the plan.
+    fn set_fault_plan(&mut self, _plan: FaultPlan) {}
+
+    /// Counters of faults injected so far (all zero for drivers that do not
+    /// support injection).
+    fn fault_counters(&self) -> FaultCounters {
+        FaultCounters::default()
+    }
 }
 
 #[cfg(test)]

@@ -1,0 +1,243 @@
+//! Deterministic, scriptable fault injection.
+//!
+//! A production engine must survive a device that misbehaves: co-processor
+//! memory is the scarce resource that forces chunked execution in the first
+//! place, and accelerator drivers routinely return transient errors under
+//! saturation. A [`FaultPlan`] scripts such failures into a simulated device
+//! so the runtime's recovery paths (chunk backoff, device fallback) are
+//! testable without hardware — and *deterministically*, so a failing run can
+//! be replayed exactly.
+//!
+//! Faults are counted in [`FaultCounters`], which devices expose through
+//! [`crate::device::Device::fault_counters`]; the runtime folds them into
+//! its execution statistics so tests and benches can assert that recovery
+//! actually happened.
+
+use crate::error::{DeviceError, Result};
+
+/// A deterministic script of failures for one device.
+///
+/// All triggers are based on per-device operation ordinals (allocation
+/// count, execute count), never on wall-clock time or randomness, so a plan
+/// replays identically on every run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// 1-based allocation ordinals that fail with
+    /// [`DeviceError::OutOfMemory`]. Each listed ordinal fires exactly once.
+    pub oom_on_alloc: Vec<u64>,
+    /// The first `n` `execute()` calls fail with a transient driver error.
+    pub transient_exec_errors: u64,
+    /// Kernels that *always* fail on this device (persistent hardware or
+    /// driver defect). Matched against the full kernel name and against the
+    /// base name before any `@variant` suffix.
+    pub broken_kernels: Vec<String>,
+    /// Virtual capacity cap in bytes: allocations that would push pool usage
+    /// above the cap fail with [`DeviceError::OutOfMemory`], as if the
+    /// device were smaller than its profile advertises.
+    pub capacity_cap: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the default).
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Fails the `n`-th allocation (1-based) with an out-of-memory error.
+    pub fn oom_on_allocation(mut self, n: u64) -> Self {
+        self.oom_on_alloc.push(n);
+        self
+    }
+
+    /// Fails the first `n` kernel executions with a transient driver error.
+    pub fn transient_exec_errors(mut self, n: u64) -> Self {
+        self.transient_exec_errors = n;
+        self
+    }
+
+    /// Marks `kernel` as persistently broken on this device.
+    pub fn broken_kernel(mut self, kernel: impl Into<String>) -> Self {
+        self.broken_kernels.push(kernel.into());
+        self
+    }
+
+    /// Caps usable device memory at `bytes`.
+    pub fn capacity_cap(mut self, bytes: u64) -> Self {
+        self.capacity_cap = Some(bytes);
+        self
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.oom_on_alloc.is_empty()
+            && self.transient_exec_errors == 0
+            && self.broken_kernels.is_empty()
+            && self.capacity_cap.is_none()
+    }
+}
+
+/// Counts of injected faults, per device.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Out-of-memory errors injected (ordinal triggers + capacity cap).
+    pub oom_injected: u64,
+    /// Transient execute errors injected.
+    pub transient_exec_injected: u64,
+    /// Executions rejected because the kernel is scripted as broken.
+    pub broken_kernel_hits: u64,
+}
+
+impl FaultCounters {
+    /// Total injected faults of any kind.
+    pub fn total(&self) -> u64 {
+        self.oom_injected + self.transient_exec_injected + self.broken_kernel_hits
+    }
+}
+
+/// Live fault-injection state: the plan plus per-device ordinals.
+#[derive(Clone, Debug, Default)]
+pub struct FaultState {
+    plan: FaultPlan,
+    allocs_seen: u64,
+    execs_seen: u64,
+    counters: FaultCounters,
+}
+
+impl FaultState {
+    /// Installs a new plan, resetting ordinals and counters.
+    pub fn install(&mut self, plan: FaultPlan) {
+        *self = FaultState {
+            plan,
+            ..FaultState::default()
+        };
+    }
+
+    /// Injected-fault counters so far.
+    pub fn counters(&self) -> FaultCounters {
+        self.counters
+    }
+
+    /// The installed plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Called before each allocation of `requested` bytes while the pool
+    /// holds `used` of `capacity` bytes. Returns the scripted error when the
+    /// plan says this allocation fails.
+    pub fn on_alloc(&mut self, requested: u64, used: u64, capacity: u64) -> Result<()> {
+        self.allocs_seen += 1;
+        if self.plan.oom_on_alloc.contains(&self.allocs_seen) {
+            self.counters.oom_injected += 1;
+            return Err(DeviceError::OutOfMemory {
+                requested,
+                available: capacity.saturating_sub(used),
+                capacity,
+            });
+        }
+        if let Some(cap) = self.plan.capacity_cap {
+            if used + requested > cap {
+                self.counters.oom_injected += 1;
+                return Err(DeviceError::OutOfMemory {
+                    requested,
+                    available: cap.saturating_sub(used),
+                    capacity: cap,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Called before each kernel execution. Returns the scripted error when
+    /// the plan says this execution fails.
+    pub fn on_execute(&mut self, kernel: &str) -> Result<()> {
+        self.execs_seen += 1;
+        if self.execs_seen <= self.plan.transient_exec_errors {
+            self.counters.transient_exec_injected += 1;
+            return Err(DeviceError::Driver(format!(
+                "injected transient fault on `{kernel}` (execute #{})",
+                self.execs_seen
+            )));
+        }
+        let base = kernel.split('@').next().unwrap_or(kernel);
+        if self
+            .plan
+            .broken_kernels
+            .iter()
+            .any(|b| b == kernel || b == base)
+        {
+            self.counters.broken_kernel_hits += 1;
+            return Err(DeviceError::Driver(format!(
+                "injected persistent fault in kernel `{kernel}`"
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nth_allocation_fires_once() {
+        let mut st = FaultState::default();
+        st.install(FaultPlan::none().oom_on_allocation(2));
+        assert!(st.on_alloc(8, 0, 1024).is_ok());
+        assert!(matches!(
+            st.on_alloc(8, 8, 1024),
+            Err(DeviceError::OutOfMemory { .. })
+        ));
+        assert!(st.on_alloc(8, 8, 1024).is_ok());
+        assert_eq!(st.counters().oom_injected, 1);
+    }
+
+    #[test]
+    fn capacity_cap_enforced() {
+        let mut st = FaultState::default();
+        st.install(FaultPlan::none().capacity_cap(100));
+        assert!(st.on_alloc(60, 0, 1 << 20).is_ok());
+        let err = st.on_alloc(60, 60, 1 << 20).unwrap_err();
+        match err {
+            DeviceError::OutOfMemory {
+                available,
+                capacity,
+                ..
+            } => {
+                assert_eq!(capacity, 100);
+                assert_eq!(available, 40);
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transient_then_recovers() {
+        let mut st = FaultState::default();
+        st.install(FaultPlan::none().transient_exec_errors(2));
+        assert!(st.on_execute("map").is_err());
+        assert!(st.on_execute("map").is_err());
+        assert!(st.on_execute("map").is_ok());
+        assert_eq!(st.counters().transient_exec_injected, 2);
+    }
+
+    #[test]
+    fn broken_kernel_matches_variant() {
+        let mut st = FaultState::default();
+        st.install(FaultPlan::none().broken_kernel("filter_bitmap"));
+        assert!(st.on_execute("filter_bitmap").is_err());
+        assert!(st.on_execute("filter_bitmap@branchless").is_err());
+        assert!(st.on_execute("map").is_ok());
+        assert_eq!(st.counters().broken_kernel_hits, 2);
+    }
+
+    #[test]
+    fn install_resets_ordinals() {
+        let mut st = FaultState::default();
+        st.install(FaultPlan::none().oom_on_allocation(1));
+        assert!(st.on_alloc(8, 0, 64).is_err());
+        st.install(FaultPlan::none().oom_on_allocation(1));
+        assert!(st.on_alloc(8, 0, 64).is_err());
+        assert_eq!(st.counters().oom_injected, 1, "counters reset on install");
+    }
+}

@@ -38,6 +38,7 @@ pub mod clock;
 pub mod cost;
 pub mod device;
 pub mod error;
+pub mod fault;
 pub mod kernel;
 pub mod pool;
 pub mod profiles;
@@ -51,6 +52,7 @@ pub use clock::{CostEvent, Lane, SimClock};
 pub use cost::{CostClass, CostModel};
 pub use device::{Device, DeviceId, DeviceInfo, DeviceKind};
 pub use error::DeviceError;
+pub use fault::{FaultCounters, FaultPlan};
 pub use kernel::{ExecuteSpec, KernelFn, KernelSource, KernelStats};
 pub use pool::BufferPool;
 pub use profiles::DeviceProfile;
@@ -66,6 +68,7 @@ pub mod prelude {
     pub use crate::cost::{CostClass, CostModel};
     pub use crate::device::{Device, DeviceId, DeviceInfo, DeviceKind};
     pub use crate::error::DeviceError;
+    pub use crate::fault::{FaultCounters, FaultPlan};
     pub use crate::kernel::{ExecuteSpec, KernelFn, KernelSource, KernelStats};
     pub use crate::pool::BufferPool;
     pub use crate::profiles::DeviceProfile;

@@ -193,7 +193,10 @@ impl BufferPool {
     /// Re-checks accounting after an in-place mutation through
     /// [`Self::get_mut`] changed a buffer's footprint.
     pub fn update_accounting(&mut self, id: BufferId, old_footprint: u64) -> Result<()> {
-        let buffer = self.buffers.get(&id).ok_or(DeviceError::UnknownBuffer(id))?;
+        let buffer = self
+            .buffers
+            .get(&id)
+            .ok_or(DeviceError::UnknownBuffer(id))?;
         let new_bytes = buffer.footprint();
         let pinned = buffer.pinned;
         if pinned {
@@ -231,13 +234,7 @@ impl BufferPool {
     }
 
     /// Convenience: allocates a reserved-but-empty buffer.
-    pub fn reserve(
-        &mut self,
-        id: BufferId,
-        bytes: u64,
-        repr: SdkRepr,
-        pinned: bool,
-    ) -> Result<()> {
+    pub fn reserve(&mut self, id: BufferId, bytes: u64, repr: SdkRepr, pinned: bool) -> Result<()> {
         self.insert(
             id,
             Buffer {

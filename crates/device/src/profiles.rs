@@ -64,7 +64,12 @@ impl DeviceProfile {
             memory_capacity: self.memory_capacity,
             pinned_capacity: self.pinned_capacity,
         };
-        let mut dev = SimDevice::new(info, self.cost.clone(), transforms, self.supports_compilation);
+        let mut dev = SimDevice::new(
+            info,
+            self.cost.clone(),
+            transforms,
+            self.supports_compilation,
+        );
         dev.initialize().expect("sim device initialize cannot fail");
         dev
     }
@@ -328,7 +333,10 @@ mod tests {
     fn cuda_faster_than_opencl_transfers() {
         // Fig. 3 shape: CUDA above OpenCL, pinned above pageable, both GPUs.
         for (cuda, opencl) in [
-            (DeviceProfile::cuda_rtx2080ti(), DeviceProfile::opencl_rtx2080ti()),
+            (
+                DeviceProfile::cuda_rtx2080ti(),
+                DeviceProfile::opencl_rtx2080ti(),
+            ),
             (DeviceProfile::cuda_a100(), DeviceProfile::opencl_a100()),
         ] {
             let size = 256u64 << 20;
@@ -367,7 +375,12 @@ mod tests {
             m.kernel_ns(CostClass::HashAgg { groups: 1 << 22 }, n, 3)
                 / m.kernel_ns(CostClass::HashAgg { groups: 16 }, n, 3)
         };
-        assert!(ratio(&ocl) > 1.5 * ratio(&cuda), "ocl {} cuda {}", ratio(&ocl), ratio(&cuda));
+        assert!(
+            ratio(&ocl) > 1.5 * ratio(&cuda),
+            "ocl {} cuda {}",
+            ratio(&ocl),
+            ratio(&cuda)
+        );
     }
 
     #[test]
@@ -394,7 +407,10 @@ mod tests {
 
     #[test]
     fn builds_and_initializes() {
-        for p in DeviceProfile::setup1().into_iter().chain(DeviceProfile::setup2()) {
+        for p in DeviceProfile::setup1()
+            .into_iter()
+            .chain(DeviceProfile::setup2())
+        {
             let dev = p.build(DeviceId(0));
             assert_eq!(dev.info().memory_capacity, dev.pool().capacity());
         }

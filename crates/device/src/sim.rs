@@ -11,9 +11,10 @@ use crate::clock::{Lane, SimClock};
 use crate::cost::CostModel;
 use crate::device::{Device, DeviceInfo};
 use crate::error::{DeviceError, Result};
+use crate::fault::{FaultCounters, FaultPlan, FaultState};
 use crate::kernel::{ExecuteSpec, KernelFn, KernelSource, KernelStats};
 use crate::pool::BufferPool;
-use crate::sdk::{SdkRepr};
+use crate::sdk::SdkRepr;
 use crate::transform::{TransformKind, TransformTable};
 use std::collections::HashMap;
 
@@ -27,6 +28,7 @@ pub struct SimDevice {
     kernels: HashMap<String, KernelFn>,
     supports_compilation: bool,
     initialized: bool,
+    faults: FaultState,
 }
 
 impl SimDevice {
@@ -47,6 +49,7 @@ impl SimDevice {
             kernels: HashMap::new(),
             supports_compilation,
             initialized: false,
+            faults: FaultState::default(),
         }
     }
 
@@ -65,6 +68,18 @@ impl SimDevice {
         let mut names: Vec<&str> = self.kernels.keys().map(|s| s.as_str()).collect();
         names.sort_unstable();
         names
+    }
+
+    /// Runs the fault plan's allocation check for a device-memory request.
+    fn check_alloc(&mut self, bytes: u64) -> Result<()> {
+        self.faults
+            .on_alloc(bytes, self.pool.used(), self.info.memory_capacity)
+    }
+
+    /// Runs the fault plan's allocation check for a pinned-memory request.
+    fn check_pinned_alloc(&mut self, bytes: u64) -> Result<()> {
+        self.faults
+            .on_alloc(bytes, self.pool.pinned_used(), self.info.pinned_capacity)
     }
 
     fn ensure_init(&self) -> Result<()> {
@@ -89,8 +104,7 @@ impl SimDevice {
         if offset == 0 {
             match (&dst.data, &data) {
                 (a, b)
-                    if std::mem::discriminant(a) == std::mem::discriminant(b)
-                        || a.is_empty() =>
+                    if std::mem::discriminant(a) == std::mem::discriminant(b) || a.is_empty() =>
                 {
                     dst.data = data;
                     return Ok(());
@@ -164,6 +178,7 @@ impl Device for SimDevice {
                     reason: format!("offset {offset} into nonexistent buffer {id}"),
                 });
             }
+            self.check_alloc(bytes)?;
             let buf = Buffer {
                 data,
                 repr: self.native_repr(),
@@ -209,10 +224,15 @@ impl Device for SimDevice {
 
     fn prepare_memory(&mut self, id: BufferId, bytes: u64) -> Result<()> {
         self.ensure_init()?;
+        self.check_alloc(bytes)?;
         self.pool.reserve(id, bytes, self.native_repr(), false)?;
         let t = self.cost.alloc_ns(bytes, false);
-        self.clock
-            .record(Lane::Alloc, t, 0, format!("prepare_memory {id} ({bytes} B)"));
+        self.clock.record(
+            Lane::Alloc,
+            t,
+            0,
+            format!("prepare_memory {id} ({bytes} B)"),
+        );
         Ok(())
     }
 
@@ -258,8 +278,12 @@ impl Device for SimDevice {
     fn delete_memory(&mut self, id: BufferId) -> Result<()> {
         self.ensure_init()?;
         self.pool.remove(id)?;
-        self.clock
-            .record(Lane::Alloc, self.cost.free_overhead_ns, 0, format!("free {id}"));
+        self.clock.record(
+            Lane::Alloc,
+            self.cost.free_overhead_ns,
+            0,
+            format!("free {id}"),
+        );
         Ok(())
     }
 
@@ -307,6 +331,7 @@ impl Device for SimDevice {
             (buf.data.slice(offset, len), buf.repr)
         };
         let bytes = slice.byte_len();
+        self.check_alloc(bytes)?;
         self.pool.insert(
             dst,
             Buffer {
@@ -329,6 +354,7 @@ impl Device for SimDevice {
 
     fn add_pinned_memory(&mut self, id: BufferId, bytes: u64) -> Result<()> {
         self.ensure_init()?;
+        self.check_pinned_alloc(bytes)?;
         self.pool.reserve(id, bytes, self.native_repr(), true)?;
         let t = self.cost.alloc_ns(bytes, true);
         self.clock.record(
@@ -342,6 +368,7 @@ impl Device for SimDevice {
 
     fn execute(&mut self, spec: &ExecuteSpec) -> Result<KernelStats> {
         self.ensure_init()?;
+        self.faults.on_execute(&spec.kernel)?;
         let kernel = self
             .kernels
             .get(&spec.kernel)
@@ -359,6 +386,7 @@ impl Device for SimDevice {
     fn init_structure(&mut self, id: BufferId, data: BufferData) -> Result<()> {
         self.ensure_init()?;
         let bytes = data.byte_len();
+        self.check_alloc(bytes)?;
         self.pool.insert(
             id,
             Buffer {
@@ -368,8 +396,7 @@ impl Device for SimDevice {
                 reserved_bytes: 0,
             },
         )?;
-        let memset =
-            bytes as f64 / (self.cost.mem_bandwidth_gibs * 1024.0 * 1024.0 * 1024.0) * 1e9;
+        let memset = bytes as f64 / (self.cost.mem_bandwidth_gibs * 1024.0 * 1024.0 * 1024.0) * 1e9;
         self.clock.record(
             Lane::Alloc,
             self.cost.alloc_ns(bytes, false) + memset,
@@ -392,9 +419,19 @@ impl Device for SimDevice {
     }
 
     fn reset(&mut self) {
+        // Fault state survives reset: the plan is configuration, and its
+        // ordinals are per-plan (reinstall the plan to rewind them).
         self.pool.clear();
         self.pool.reset_peak();
         self.clock.reset();
+    }
+
+    fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults.install(plan);
+    }
+
+    fn fault_counters(&self) -> FaultCounters {
+        self.faults.counters()
     }
 }
 
@@ -508,9 +545,7 @@ mod tests {
         d.place_data(BufferId(1), BufferData::I64(vec![1; 1000]), 0)
             .unwrap();
         let before = d.clock().bytes_d2h();
-        let k = d
-            .transform_memory(BufferId(1), SdkRepr::ClBuffer)
-            .unwrap();
+        let k = d.transform_memory(BufferId(1), SdkRepr::ClBuffer).unwrap();
         assert_eq!(k, TransformKind::ZeroCopy);
         assert_eq!(d.clock().bytes_d2h(), before, "zero-copy moved no data");
 
@@ -601,6 +636,62 @@ mod tests {
             ),
             Err(DeviceError::CompilationUnsupported { .. })
         ));
+    }
+
+    #[test]
+    fn fault_plan_oom_on_nth_allocation() {
+        let mut d = gpu();
+        d.set_fault_plan(FaultPlan::none().oom_on_allocation(2));
+        d.prepare_memory(BufferId(1), 64).unwrap();
+        assert!(matches!(
+            d.prepare_memory(BufferId(2), 64),
+            Err(DeviceError::OutOfMemory { .. })
+        ));
+        // The ordinal fired once; later allocations succeed again.
+        d.prepare_memory(BufferId(3), 64).unwrap();
+        assert_eq!(d.fault_counters().oom_injected, 1);
+    }
+
+    #[test]
+    fn fault_plan_transient_execute_errors() {
+        let mut d = gpu();
+        let f: KernelFn = Arc::new(|_, _, _| Ok(KernelStats::new(0, CostClass::MapLike)));
+        d.prepare_kernel("noop", KernelSource::Builtin(f)).unwrap();
+        d.set_fault_plan(FaultPlan::none().transient_exec_errors(1));
+        let spec = ExecuteSpec::new("noop", vec![], vec![]);
+        assert!(matches!(d.execute(&spec), Err(DeviceError::Driver(_))));
+        d.execute(&spec).unwrap();
+        assert_eq!(d.fault_counters().transient_exec_injected, 1);
+    }
+
+    #[test]
+    fn fault_plan_broken_kernel_is_persistent() {
+        let mut d = gpu();
+        let f: KernelFn = Arc::new(|_, _, _| Ok(KernelStats::new(0, CostClass::MapLike)));
+        d.prepare_kernel("bad", KernelSource::Builtin(f.clone()))
+            .unwrap();
+        d.prepare_kernel("good", KernelSource::Builtin(f)).unwrap();
+        d.set_fault_plan(FaultPlan::none().broken_kernel("bad"));
+        for _ in 0..3 {
+            assert!(d.execute(&ExecuteSpec::new("bad", vec![], vec![])).is_err());
+        }
+        d.execute(&ExecuteSpec::new("good", vec![], vec![]))
+            .unwrap();
+        assert_eq!(d.fault_counters().broken_kernel_hits, 3);
+    }
+
+    #[test]
+    fn fault_plan_capacity_cap() {
+        let mut d = gpu(); // real capacity 1 MiB
+        d.set_fault_plan(FaultPlan::none().capacity_cap(128));
+        d.prepare_memory(BufferId(1), 100).unwrap();
+        assert!(matches!(
+            d.prepare_memory(BufferId(2), 100),
+            Err(DeviceError::OutOfMemory { capacity: 128, .. })
+        ));
+        // Freeing makes room under the cap again.
+        d.delete_memory(BufferId(1)).unwrap();
+        d.prepare_memory(BufferId(2), 100).unwrap();
     }
 
     #[test]

@@ -125,7 +125,11 @@ mod tests {
     #[test]
     fn register_overrides() {
         let mut t = TransformTable::new();
-        t.register(SdkRepr::Custom(1), SdkRepr::Custom(2), TransformKind::ZeroCopy);
+        t.register(
+            SdkRepr::Custom(1),
+            SdkRepr::Custom(2),
+            TransformKind::ZeroCopy,
+        );
         assert_eq!(
             t.resolve(SdkRepr::Custom(1), SdkRepr::Custom(2)),
             TransformKind::ZeroCopy

@@ -145,11 +145,7 @@ impl Predicate {
     }
 
     /// `left <cmp> right` over two columns.
-    pub fn cmp_cols(
-        left: impl Into<String>,
-        cmp: CmpOp,
-        right: impl Into<String>,
-    ) -> Predicate {
+    pub fn cmp_cols(left: impl Into<String>, cmp: CmpOp, right: impl Into<String>) -> Predicate {
         Predicate::CmpCols {
             left: left.into(),
             cmp,
@@ -181,9 +177,7 @@ impl Predicate {
     /// The leaf predicates of this (possibly nested) boolean tree.
     pub fn leaves(&self) -> Vec<&Predicate> {
         match self {
-            Predicate::And(ps) | Predicate::Or(ps) => {
-                ps.iter().flat_map(|p| p.leaves()).collect()
-            }
+            Predicate::And(ps) | Predicate::Or(ps) => ps.iter().flat_map(|p| p.leaves()).collect(),
             leaf => vec![leaf],
         }
     }
@@ -215,7 +209,13 @@ mod tests {
         ]);
         let leaves = p.leaves();
         assert_eq!(leaves.len(), 3);
-        assert!(matches!(leaves[0], Predicate::Cmp { cmp: CmpOp::Between, .. }));
+        assert!(matches!(
+            leaves[0],
+            Predicate::Cmp {
+                cmp: CmpOp::Between,
+                ..
+            }
+        ));
         assert!(matches!(leaves[2], Predicate::CmpCols { .. }));
     }
 
@@ -240,7 +240,14 @@ mod tests {
         match &p {
             Predicate::Or(ps) => {
                 assert_eq!(ps.len(), 2);
-                assert!(matches!(&ps[0], Predicate::Cmp { cmp: CmpOp::Eq, value: 3, .. }));
+                assert!(matches!(
+                    &ps[0],
+                    Predicate::Cmp {
+                        cmp: CmpOp::Eq,
+                        value: 3,
+                        ..
+                    }
+                ));
             }
             other => panic!("{other:?}"),
         }

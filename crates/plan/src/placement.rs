@@ -55,9 +55,7 @@ impl PlacementPolicy {
                 .find(|d| d.sdk == *sdk)
                 .map(|d| d.id)
                 .ok_or_else(|| {
-                    ExecError::InvalidGraph(format!(
-                        "placement: no plugged device speaks {sdk}"
-                    ))
+                    ExecError::InvalidGraph(format!("placement: no plugged device speaks {sdk}"))
                 }),
             PlacementPolicy::FitWorkingSet { estimated_bytes } => devices
                 .iter()
@@ -107,7 +105,9 @@ mod tests {
         );
         assert!(PlacementPolicy::Fixed(DeviceId(9)).choose(&d).is_err());
         assert_eq!(
-            PlacementPolicy::PreferKind(DeviceKind::Gpu).choose(&d).unwrap(),
+            PlacementPolicy::PreferKind(DeviceKind::Gpu)
+                .choose(&d)
+                .unwrap(),
             DeviceId(1)
         );
         // Missing kind falls back to the first device.
@@ -123,10 +123,14 @@ mod tests {
     fn sdk_requirement_is_strict() {
         let d = infos();
         assert_eq!(
-            PlacementPolicy::RequireSdk(SdkKind::Cuda).choose(&d).unwrap(),
+            PlacementPolicy::RequireSdk(SdkKind::Cuda)
+                .choose(&d)
+                .unwrap(),
             DeviceId(1)
         );
-        assert!(PlacementPolicy::RequireSdk(SdkKind::OpenCl).choose(&d).is_err());
+        assert!(PlacementPolicy::RequireSdk(SdkKind::OpenCl)
+            .choose(&d)
+            .is_err());
     }
 
     #[test]
@@ -160,6 +164,8 @@ mod tests {
 
     #[test]
     fn empty_registry_rejected() {
-        assert!(PlacementPolicy::PreferKind(DeviceKind::Gpu).choose(&[]).is_err());
+        assert!(PlacementPolicy::PreferKind(DeviceKind::Gpu)
+            .choose(&[])
+            .is_err());
     }
 }

@@ -132,12 +132,7 @@ impl PlanBuilder {
     /// alternative to `HASH_AGG` for materialized group-by inputs): sorts
     /// by `keys`, gathers `vals` through the permutation and reduces the
     /// sorted runs. Returns `(group_keys, aggregates)`.
-    pub fn sort_agg(
-        &mut self,
-        keys: DataRef,
-        vals: DataRef,
-        agg: AggFunc,
-    ) -> (DataRef, DataRef) {
+    pub fn sort_agg(&mut self, keys: DataRef, vals: DataRef, agg: AggFunc) -> (DataRef, DataRef) {
         let perm = self.sort(&[(keys, false)]);
         let sorted_keys = self.take(keys, perm);
         let sorted_vals = self.take(vals, perm);
@@ -291,10 +286,7 @@ impl Stream {
         pb: &mut PlanBuilder,
         predicate: &Predicate,
     ) -> Result<Option<DataRef>> {
-        let combine = |pb: &mut PlanBuilder,
-                       op: BitmapOp,
-                       a: DataRef,
-                       b: DataRef| {
+        let combine = |pb: &mut PlanBuilder, op: BitmapOp, a: DataRef, b: DataRef| {
             let label = pb.label(if op == BitmapOp::And { "and" } else { "or" });
             pb.gb
                 .add(
@@ -415,7 +407,10 @@ impl Stream {
                     .gb
                     .add(
                         PrimitiveKind::Map,
-                        NodeParams::Map { op: *op, constant: *c },
+                        NodeParams::Map {
+                            op: *op,
+                            constant: *c,
+                        },
                         vec![inner],
                         1,
                         pb.device,
@@ -461,11 +456,7 @@ impl Stream {
             (Some(c), None) => {
                 let rhs = self.lower_expr_current(pb, b)?;
                 match lhs_const {
-                    Some(op) => Ok(add_map(
-                        pb,
-                        NodeParams::Map { op, constant: c },
-                        vec![rhs],
-                    )),
+                    Some(op) => Ok(add_map(pb, NodeParams::Map { op, constant: c }, vec![rhs])),
                     None => Err(ExecError::InvalidGraph(
                         "literal-on-left division is not lowerable".into(),
                     )),
@@ -496,9 +487,14 @@ impl Stream {
                 "a bare literal is not a column expression".into(),
             )),
             Expr::Add(a, b) => self.lower_binary(pb, a, b, MapOp::Add, MapOp::AddConst, None),
-            Expr::Sub(a, b) => {
-                self.lower_binary(pb, a, b, MapOp::Sub, MapOp::SubConst, Some(MapOp::RsubConst))
-            }
+            Expr::Sub(a, b) => self.lower_binary(
+                pb,
+                a,
+                b,
+                MapOp::Sub,
+                MapOp::SubConst,
+                Some(MapOp::RsubConst),
+            ),
             Expr::Mul(a, b) => self.lower_binary(pb, a, b, MapOp::Mul, MapOp::MulConst, None),
             Expr::Div(a, b) => self.lower_binary(pb, a, b, MapOp::Div, MapOp::DivConst, None),
             Expr::Indicator(a, op, c) => {
@@ -508,7 +504,10 @@ impl Stream {
                     .gb
                     .add(
                         PrimitiveKind::Map,
-                        NodeParams::Map { op: *op, constant: *c },
+                        NodeParams::Map {
+                            op: *op,
+                            constant: *c,
+                        },
                         vec![inner],
                         1,
                         pb.device,
@@ -562,11 +561,9 @@ impl Stream {
                         },
                         vec![rhs],
                     )),
-                    (_, Some(op)) => Ok(add_map(
-                        pb,
-                        NodeParams::Map { op, constant: c },
-                        vec![rhs],
-                    )),
+                    (_, Some(op)) => {
+                        Ok(add_map(pb, NodeParams::Map { op, constant: c }, vec![rhs]))
+                    }
                     _ => Err(ExecError::InvalidGraph(format!(
                         "literal-on-left form of {binary:?} is not lowerable"
                     ))),
@@ -596,10 +593,7 @@ impl Stream {
             return Ok(r);
         }
         let &(mut r, upto) = self.cols.get(name).ok_or_else(|| {
-            ExecError::InvalidGraph(format!(
-                "unknown column `{name}` in scan `{}`",
-                self.scan
-            ))
+            ExecError::InvalidGraph(format!("unknown column `{name}` in scan `{}`", self.scan))
         })?;
         let pending: Vec<Link> = self.chain[upto..].to_vec();
         for link in pending {
@@ -857,7 +851,8 @@ mod tests {
     fn materialization_cache_reuses_nodes() {
         let mut pb = PlanBuilder::new(dev());
         let mut s = pb.scan("t", &["x"]);
-        s.filter(&mut pb, Predicate::cmp("x", CmpOp::Gt, 0)).unwrap();
+        s.filter(&mut pb, Predicate::cmp("x", CmpOp::Gt, 0))
+            .unwrap();
         let a = s.materialized(&mut pb, "x").unwrap();
         let b = s.materialized(&mut pb, "x").unwrap();
         assert_eq!(a, b, "second materialization hits the cache");
@@ -895,7 +890,9 @@ mod tests {
         let mut build = pb.scan("b", &["bk", "bv"]);
         let ht = build.hash_build(&mut pb, "bk", &["bv"], 8).unwrap();
         let mut probe = pb.scan("p", &["pk", "pv"]);
-        probe.filter(&mut pb, Predicate::cmp("pv", CmpOp::Gt, 0)).unwrap();
+        probe
+            .filter(&mut pb, Predicate::cmp("pv", CmpOp::Gt, 0))
+            .unwrap();
         probe.hash_probe(&mut pb, "pk", ht, &["bv"]).unwrap();
         // bv is already in the joined domain; pv needs sel + positions.
         let bv = probe.materialized(&mut pb, "bv").unwrap();

@@ -187,12 +187,7 @@ impl Bitmap {
 
 impl fmt::Debug for Bitmap {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "Bitmap(len={}, ones={})",
-            self.len,
-            self.count_ones()
-        )
+        write!(f, "Bitmap(len={}, ones={})", self.len, self.count_ones())
     }
 }
 

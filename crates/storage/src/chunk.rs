@@ -84,8 +84,22 @@ mod tests {
     fn exact_division() {
         let chunks: Vec<_> = Chunker::new(100, 25).collect();
         assert_eq!(chunks.len(), 4);
-        assert_eq!(chunks[0], ChunkView { index: 0, offset: 0, len: 25 });
-        assert_eq!(chunks[3], ChunkView { index: 3, offset: 75, len: 25 });
+        assert_eq!(
+            chunks[0],
+            ChunkView {
+                index: 0,
+                offset: 0,
+                len: 25
+            }
+        );
+        assert_eq!(
+            chunks[3],
+            ChunkView {
+                index: 3,
+                offset: 75,
+                len: 25
+            }
+        );
         assert_eq!(chunks[3].end(), 100);
     }
 

@@ -31,6 +31,7 @@ pub mod datatype;
 pub mod error;
 pub mod fnv;
 pub mod position;
+pub mod rng;
 pub mod table;
 
 pub use bitmap::Bitmap;
@@ -40,6 +41,7 @@ pub use column::{Column, ColumnData};
 pub use datatype::{DataType, Value};
 pub use error::StorageError;
 pub use position::PositionList;
+pub use rng::Rng;
 pub use table::{Field, Schema, Table};
 
 /// Convenience re-exports for downstream crates.
@@ -52,5 +54,6 @@ pub mod prelude {
     pub use crate::error::StorageError;
     pub use crate::fnv::{FnvHashMap, FnvHashSet};
     pub use crate::position::PositionList;
+    pub use crate::rng::Rng;
     pub use crate::table::{Field, Schema, Table};
 }

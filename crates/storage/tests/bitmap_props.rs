@@ -1,34 +1,51 @@
-//! Property tests: bit-packed structures against `Vec<bool>` oracles.
+//! Randomized tests: bit-packed structures against `Vec<bool>` oracles.
+//!
+//! Driven by the workspace's deterministic [`Rng`] — every case is seeded,
+//! so a failure reproduces exactly without a stored regression corpus.
 
 use adamant_storage::bitmap::Bitmap;
 use adamant_storage::position::PositionList;
-use proptest::prelude::*;
+use adamant_storage::rng::Rng;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
+const CASES: u64 = 128;
 
-    #[test]
-    fn bitmap_matches_bool_vec(bools in prop::collection::vec(any::<bool>(), 0..500)) {
+fn random_bools(rng: &mut Rng, max_len: usize) -> Vec<bool> {
+    let n = rng.gen_range(0usize..=max_len);
+    (0..n).map(|_| rng.gen_bool(0.5)).collect()
+}
+
+#[test]
+fn bitmap_matches_bool_vec() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xB17_0000 + case);
+        let bools = random_bools(&mut rng, 500);
         let bm = Bitmap::from_bools(&bools);
-        prop_assert_eq!(bm.len(), bools.len());
-        prop_assert_eq!(bm.count_ones(), bools.iter().filter(|&&b| b).count());
+        assert_eq!(bm.len(), bools.len());
+        assert_eq!(bm.count_ones(), bools.iter().filter(|&&b| b).count());
         for (i, &b) in bools.iter().enumerate() {
-            prop_assert_eq!(bm.get(i), b);
+            assert_eq!(bm.get(i), b);
         }
         let ones: Vec<usize> = bm.iter_ones().collect();
-        let expected: Vec<usize> =
-            bools.iter().enumerate().filter_map(|(i, &b)| b.then_some(i)).collect();
-        prop_assert_eq!(ones, expected);
+        let expected: Vec<usize> = bools
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &b)| b.then_some(i))
+            .collect();
+        assert_eq!(ones, expected);
     }
+}
 
-    #[test]
-    fn bitmap_boolean_algebra(
-        a in prop::collection::vec(any::<bool>(), 0..300),
-        b_seed in prop::collection::vec(any::<bool>(), 0..300),
-    ) {
+#[test]
+fn bitmap_boolean_algebra() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xA16_0000 + case);
+        let a = random_bools(&mut rng, 300);
+        let b_seed = random_bools(&mut rng, 300);
         // Same-length operand derived from the seeds.
         let n = a.len();
-        let b: Vec<bool> = (0..n).map(|i| b_seed.get(i).copied().unwrap_or(i % 3 == 0)).collect();
+        let b: Vec<bool> = (0..n)
+            .map(|i| b_seed.get(i).copied().unwrap_or(i % 3 == 0))
+            .collect();
         let ba = Bitmap::from_bools(&a);
         let bb = Bitmap::from_bools(&b);
 
@@ -40,9 +57,9 @@ proptest! {
         not.not_inplace();
 
         for i in 0..n {
-            prop_assert_eq!(and.get(i), a[i] && b[i]);
-            prop_assert_eq!(or.get(i), a[i] || b[i]);
-            prop_assert_eq!(not.get(i), !a[i]);
+            assert_eq!(and.get(i), a[i] && b[i]);
+            assert_eq!(or.get(i), a[i] || b[i]);
+            assert_eq!(not.get(i), !a[i]);
         }
         // De Morgan: !(a & b) == !a | !b
         let mut lhs = ba.clone();
@@ -52,44 +69,52 @@ proptest! {
         nb.not_inplace();
         let mut rhs = not.clone();
         rhs.or_inplace(&nb);
-        prop_assert_eq!(lhs, rhs);
+        assert_eq!(lhs, rhs);
     }
+}
 
-    #[test]
-    fn bitmap_slice_extend_roundtrip(
-        bools in prop::collection::vec(any::<bool>(), 0..400),
-        cut in 0usize..400,
-    ) {
+#[test]
+fn bitmap_slice_extend_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x511CE + case * 31);
+        let bools = random_bools(&mut rng, 400);
+        let cut = rng.gen_range(0usize..=400).min(bools.len());
         let bm = Bitmap::from_bools(&bools);
-        let cut = cut.min(bools.len());
         let mut rebuilt = Bitmap::new_zeroed(0);
         rebuilt.extend_from(&bm.slice(0, cut));
         rebuilt.extend_from(&bm.slice(cut, bools.len() - cut));
-        prop_assert_eq!(rebuilt, bm);
+        assert_eq!(rebuilt, bm);
     }
+}
 
-    #[test]
-    fn positions_bitmap_roundtrip(bools in prop::collection::vec(any::<bool>(), 0..400)) {
+#[test]
+fn positions_bitmap_roundtrip() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x9051_7105 + case);
+        let bools = random_bools(&mut rng, 400);
         let bm = Bitmap::from_bools(&bools);
         let pl = PositionList::from_bitmap(&bm);
-        prop_assert_eq!(pl.len(), bm.count_ones());
-        prop_assert_eq!(pl.to_bitmap(bools.len()), bm);
+        assert_eq!(pl.len(), bm.count_ones());
+        assert_eq!(pl.to_bitmap(bools.len()), bm);
         // Positions strictly ascending.
-        prop_assert!(pl.as_slice().windows(2).all(|w| w[0] < w[1]));
+        assert!(pl.as_slice().windows(2).all(|w| w[0] < w[1]));
     }
+}
 
-    #[test]
-    fn words_roundtrip_preserves_set_bits(
-        words in prop::collection::vec(any::<u64>(), 0..8),
-        extra in 0usize..63,
-    ) {
+#[test]
+fn words_roundtrip_preserves_set_bits() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x60D5 + case * 7);
+        let n_words = rng.gen_range(0usize..8);
+        let words: Vec<u64> = (0..n_words).map(|_| rng.next_u64()).collect();
+        let extra = rng.gen_range(0usize..63);
         let len = words.len() * 64 - if words.is_empty() { 0 } else { extra };
         let bm = Bitmap::from_words(words.clone(), len);
         // No bit beyond len survives.
-        prop_assert!(bm.iter_ones().all(|i| i < len));
+        assert!(bm.iter_ones().all(|i| i < len));
         // Bits within len match the source words.
         for i in 0..len {
-            prop_assert_eq!(bm.get(i), (words[i / 64] >> (i % 64)) & 1 == 1);
+            assert_eq!(bm.get(i), (words[i / 64] >> (i % 64)) & 1 == 1);
         }
     }
 }

@@ -302,9 +302,7 @@ impl AggHashTable {
 impl GenericPayload for AggHashTable {
     fn byte_len(&self) -> u64 {
         let slots = self.slot_keys.len() * (8 + 4);
-        let dense = self.group_keys.len()
-            * 8
-            * (1 + self.group_payloads.len() + self.states.len());
+        let dense = self.group_keys.len() * 8 * (1 + self.group_payloads.len() + self.states.len());
         (slots + dense) as u64
     }
 
@@ -383,8 +381,7 @@ mod tests {
 
     #[test]
     fn agg_grouping() {
-        let mut t =
-            AggHashTable::with_capacity(4, vec![AggFunc::Sum, AggFunc::Count], 1);
+        let mut t = AggHashTable::with_capacity(4, vec![AggFunc::Sum, AggFunc::Count], 1);
         t.update(1, &[77], &[10, 0]);
         t.update(2, &[88], &[20, 0]);
         t.update(1, &[99], &[5, 0]); // payload captured from first row only

@@ -194,7 +194,12 @@ mod tests {
     use adamant_device::buffer::{Buffer, BufferData};
     use adamant_device::sdk::SdkRepr;
 
-    fn put_agg_table(p: &mut adamant_device::pool::BufferPool, id: u64, aggs: Vec<AggFunc>, pc: usize) {
+    fn put_agg_table(
+        p: &mut adamant_device::pool::BufferPool,
+        id: u64,
+        aggs: Vec<AggFunc>,
+        pc: usize,
+    ) {
         p.insert(
             b(id),
             Buffer {

@@ -131,8 +131,7 @@ mod tests {
         let mut p = pool();
         put(&mut p, 1, BufferData::I64(vec![5, 10, 3, 24, 1]));
         out(&mut p, 2);
-        let stats =
-            filter_bitmap(&mut p, &[b(1), b(2)], &[CmpOp::Lt.to_code(), 10, 0]).unwrap();
+        let stats = filter_bitmap(&mut p, &[b(1), b(2)], &[CmpOp::Lt.to_code(), 10, 0]).unwrap();
         assert_eq!(stats.elements, 5);
         let words = read_words(&p, 2);
         assert_eq!(words, vec![0b10101]); // rows 0,2,4
@@ -155,8 +154,7 @@ mod tests {
         out(&mut p, 2);
         out(&mut p, 3);
         filter_bitmap(&mut p, &[b(1), b(2)], &[CmpOp::Ge.to_code(), 128, 0]).unwrap();
-        filter_bitmap_branchless(&mut p, &[b(1), b(3)], &[CmpOp::Ge.to_code(), 128, 0])
-            .unwrap();
+        filter_bitmap_branchless(&mut p, &[b(1), b(3)], &[CmpOp::Ge.to_code(), 128, 0]).unwrap();
         assert_eq!(read_words(&p, 2), read_words(&p, 3));
     }
 
@@ -170,8 +168,7 @@ mod tests {
         assert_eq!(read_words(&p, 3), vec![0b001]);
         // Between is rejected for column-column.
         assert!(
-            filter_bitmap_col(&mut p, &[b(1), b(2), b(3)], &[CmpOp::Between.to_code()])
-                .is_err()
+            filter_bitmap_col(&mut p, &[b(1), b(2), b(3)], &[CmpOp::Between.to_code()]).is_err()
         );
     }
 
@@ -180,8 +177,7 @@ mod tests {
         let mut p = pool();
         put(&mut p, 1, BufferData::I64(vec![5, 10, 3, 24, 1]));
         out(&mut p, 2);
-        let stats =
-            filter_position(&mut p, &[b(1), b(2)], &[CmpOp::Gt.to_code(), 4, 0]).unwrap();
+        let stats = filter_position(&mut p, &[b(1), b(2)], &[CmpOp::Gt.to_code(), 4, 0]).unwrap();
         assert_eq!(stats.elements, 5);
         assert_eq!(read_u32(&p, 2), vec![0, 1, 3]);
     }

@@ -115,9 +115,15 @@ pub fn hash_probe_semi(
     need_bufs("hash_probe_semi", bufs, 3)?;
     let keys = input_i64(pool, "hash_probe_semi", bufs[0])?;
     let table_buf = pool.get(bufs[1])?;
-    let table = table_buf.data.as_generic::<JoinHashTable>().ok_or_else(|| {
-        bad_args("hash_probe_semi", "table buffer does not hold a JoinHashTable")
-    })?;
+    let table = table_buf
+        .data
+        .as_generic::<JoinHashTable>()
+        .ok_or_else(|| {
+            bad_args(
+                "hash_probe_semi",
+                "table buffer does not hold a JoinHashTable",
+            )
+        })?;
     let n = keys.len();
     let mut words = vec![0u64; n.div_ceil(64)];
     for (i, &key) in keys.iter().enumerate() {

@@ -111,12 +111,7 @@ mod tests {
         let mut p = pool();
         put(&mut p, 1, BufferData::I64(vec![1, 2, 3]));
         out(&mut p, 2);
-        let stats = map(
-            &mut p,
-            &[b(1), b(2)],
-            &[MapOp::MulConst.to_code(), 10],
-        )
-        .unwrap();
+        let stats = map(&mut p, &[b(1), b(2)], &[MapOp::MulConst.to_code(), 10]).unwrap();
         assert_eq!(stats.elements, 3);
         assert_eq!(read_i64(&p, 2), vec![10, 20, 30]);
     }

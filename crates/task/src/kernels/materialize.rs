@@ -12,14 +12,22 @@ use adamant_device::pool::BufferPool;
 /// Buffers `[values, bitmap, out]`. The bitmap must cover at least
 /// `values.len()` rows (trailing bits are ignored). On SIMT devices the
 /// cost model charges the bit-extraction penalty (paper Fig. 9b).
-pub fn materialize(pool: &mut BufferPool, bufs: &[BufferId], _params: &[i64]) -> Result<KernelStats> {
+pub fn materialize(
+    pool: &mut BufferPool,
+    bufs: &[BufferId],
+    _params: &[i64],
+) -> Result<KernelStats> {
     need_bufs("materialize", bufs, 3)?;
     let values = input_i64(pool, "materialize", bufs[0])?;
     let bitmap = pool.get(bufs[1])?;
     let words = bitmap.data.as_bitwords().ok_or_else(|| {
         bad_args(
             "materialize",
-            format!("buffer {} is {}, need bitwords", bufs[1], bitmap.data.kind()),
+            format!(
+                "buffer {} is {}, need bitwords",
+                bufs[1],
+                bitmap.data.kind()
+            ),
         )
     })?;
     let n = values.len();

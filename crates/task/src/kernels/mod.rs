@@ -64,9 +64,12 @@ pub(crate) fn input_i64<'p>(
     id: BufferId,
 ) -> Result<&'p Vec<i64>> {
     let buf = pool.get(id)?;
-    buf.data
-        .as_i64()
-        .ok_or_else(|| bad_args(kernel, format!("buffer {id} is {}, need i64", buf.data.kind())))
+    buf.data.as_i64().ok_or_else(|| {
+        bad_args(
+            kernel,
+            format!("buffer {id} is {}, need i64", buf.data.kind()),
+        )
+    })
 }
 
 /// Borrows an input buffer's payload as bitmap words.
@@ -91,18 +94,17 @@ pub(crate) fn input_u32<'p>(
     id: BufferId,
 ) -> Result<&'p Vec<u32>> {
     let buf = pool.get(id)?;
-    buf.data
-        .as_u32()
-        .ok_or_else(|| bad_args(kernel, format!("buffer {id} is {}, need u32", buf.data.kind())))
+    buf.data.as_u32().ok_or_else(|| {
+        bad_args(
+            kernel,
+            format!("buffer {id} is {}, need u32", buf.data.kind()),
+        )
+    })
 }
 
 /// Replaces the payload of a taken output buffer and restores it,
 /// re-checking pool capacity.
-pub(crate) fn write_output(
-    pool: &mut BufferPool,
-    id: BufferId,
-    data: BufferData,
-) -> Result<()> {
+pub(crate) fn write_output(pool: &mut BufferPool, id: BufferId, data: BufferData) -> Result<()> {
     let mut out = pool.take(id)?;
     out.data = data;
     pool.restore(id, out)
@@ -141,12 +143,22 @@ pub(crate) mod testutil {
 
     /// Reads back an i64 payload.
     pub fn read_i64(pool: &BufferPool, id: u64) -> Vec<i64> {
-        pool.get(BufferId(id)).unwrap().data.as_i64().unwrap().clone()
+        pool.get(BufferId(id))
+            .unwrap()
+            .data
+            .as_i64()
+            .unwrap()
+            .clone()
     }
 
     /// Reads back a u32 payload.
     pub fn read_u32(pool: &BufferPool, id: u64) -> Vec<u32> {
-        pool.get(BufferId(id)).unwrap().data.as_u32().unwrap().clone()
+        pool.get(BufferId(id))
+            .unwrap()
+            .data
+            .as_u32()
+            .unwrap()
+            .clone()
     }
 
     /// Reads back bitmap words.

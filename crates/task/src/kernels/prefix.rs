@@ -12,7 +12,11 @@ use adamant_device::pool::BufferPool;
 /// Buffers `[in, out]`; `out[i]` is the sum of `in[0..i]` and
 /// `out[n] == sum(in)`. The exclusive form is what scatter-style
 /// materialization and `SORT_AGG` consume (the total gives the output size).
-pub fn prefix_sum(pool: &mut BufferPool, bufs: &[BufferId], _params: &[i64]) -> Result<KernelStats> {
+pub fn prefix_sum(
+    pool: &mut BufferPool,
+    bufs: &[BufferId],
+    _params: &[i64],
+) -> Result<KernelStats> {
     need_bufs("prefix_sum", bufs, 2)?;
     let input = input_i64(pool, "prefix_sum", bufs[0])?;
     let mut out = Vec::with_capacity(input.len() + 1);

@@ -151,9 +151,7 @@ impl PrimitiveKind {
             PrimitiveKind::Map => (vec![Numeric], vec![Numeric], true, false),
             PrimitiveKind::BitmapOp => (vec![Bitmap, Bitmap], vec![Bitmap], false, false),
             PrimitiveKind::FilterBitmap => (vec![Numeric], vec![Bitmap], false, false),
-            PrimitiveKind::FilterBitmapCol => {
-                (vec![Numeric, Numeric], vec![Bitmap], false, false)
-            }
+            PrimitiveKind::FilterBitmapCol => (vec![Numeric, Numeric], vec![Bitmap], false, false),
             PrimitiveKind::FilterPosition => (vec![Numeric], vec![Position], false, false),
             PrimitiveKind::Materialize => (vec![Numeric, Bitmap], vec![Numeric], false, false),
             PrimitiveKind::MaterializePosition => {
@@ -162,12 +160,13 @@ impl PrimitiveKind {
             PrimitiveKind::PrefixSum => (vec![Numeric], vec![PrefixSum], false, false),
             PrimitiveKind::AggBlock => (vec![Numeric], vec![Numeric], false, false),
             PrimitiveKind::HashBuild => (vec![Numeric], vec![HashTable], true, false),
-            PrimitiveKind::HashProbe => {
-                (vec![Numeric, HashTable], vec![Position, Numeric], false, true)
-            }
-            PrimitiveKind::HashProbeSemi => {
-                (vec![Numeric, HashTable], vec![Bitmap], false, false)
-            }
+            PrimitiveKind::HashProbe => (
+                vec![Numeric, HashTable],
+                vec![Position, Numeric],
+                false,
+                true,
+            ),
+            PrimitiveKind::HashProbeSemi => (vec![Numeric, HashTable], vec![Bitmap], false, false),
             PrimitiveKind::HashAgg => (vec![Numeric], vec![HashTable], true, false),
             PrimitiveKind::SortAgg => {
                 (vec![Numeric, Numeric], vec![Numeric, Numeric], false, false)

@@ -47,7 +47,10 @@ impl TaskRegistry {
             (Map, Arc::new(kernels::map::map)),
             (BitmapOp, Arc::new(kernels::map::bitmap_op)),
             (FilterBitmap, Arc::new(kernels::filter::filter_bitmap)),
-            (FilterBitmapCol, Arc::new(kernels::filter::filter_bitmap_col)),
+            (
+                FilterBitmapCol,
+                Arc::new(kernels::filter::filter_bitmap_col),
+            ),
             (FilterPosition, Arc::new(kernels::filter::filter_position)),
             (Materialize, Arc::new(kernels::materialize::materialize)),
             (
@@ -167,7 +170,11 @@ mod tests {
     fn variant_resolution() {
         let reg = TaskRegistry::with_defaults(&[SdkKind::OpenMp]);
         let v = reg
-            .resolve(PrimitiveKind::FilterBitmap, SdkKind::OpenMp, Some("branchless"))
+            .resolve(
+                PrimitiveKind::FilterBitmap,
+                SdkKind::OpenMp,
+                Some("branchless"),
+            )
             .unwrap();
         assert_eq!(v.kernel_name(), "filter_bitmap@branchless");
         assert!(reg

@@ -3,19 +3,18 @@
 use adamant_storage::column::Column;
 use adamant_storage::datatype::date_to_days;
 use adamant_storage::prelude::{Catalog, Table};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use adamant_storage::rng::Rng;
 
 /// The five market segments.
-pub const SEGMENTS: [&str; 5] = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"];
-/// The five order priorities, in output order.
-pub const PRIORITIES: [&str; 5] = [
-    "1-URGENT",
-    "2-HIGH",
-    "3-MEDIUM",
-    "4-NOT SPECIFIED",
-    "5-LOW",
+pub const SEGMENTS: [&str; 5] = [
+    "AUTOMOBILE",
+    "BUILDING",
+    "FURNITURE",
+    "MACHINERY",
+    "HOUSEHOLD",
 ];
+/// The five order priorities, in output order.
+pub const PRIORITIES: [&str; 5] = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"];
 /// Return flags (`l_returnflag`).
 pub const RETURN_FLAGS: [&str; 3] = ["A", "N", "R"];
 /// Ship modes (`l_shipmode`).
@@ -93,8 +92,8 @@ impl TpchGenerator {
         catalog
     }
 
-    fn rng(&self, stream: u64) -> StdRng {
-        StdRng::seed_from_u64(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ stream)
+    fn rng(&self, stream: u64) -> Rng {
+        Rng::new(self.seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ stream)
     }
 
     /// The `region` table.
@@ -116,7 +115,7 @@ impl TpchGenerator {
         let n = base_rows::NATION;
         let keys: Vec<i64> = (0..n as i64).collect();
         let names: Vec<String> = (0..n).map(|i| format!("NATION_{i:02}")).collect();
-        let regions: Vec<i64> = (0..n).map(|_| rng.gen_range(0..5)).collect();
+        let regions: Vec<i64> = (0..n).map(|_| rng.gen_range(0i64..5)).collect();
         Table::new(
             "nation",
             vec![
@@ -138,11 +137,11 @@ impl TpchGenerator {
                 Column::from_i64("s_suppkey", (1..=n as i64).collect()),
                 Column::from_i64(
                     "s_nationkey",
-                    (0..n).map(|_| rng.gen_range(0..25)).collect(),
+                    (0..n).map(|_| rng.gen_range(0i64..25)).collect(),
                 ),
                 Column::from_i64(
                     "s_acctbal",
-                    (0..n).map(|_| rng.gen_range(-99999..999999)).collect(),
+                    (0..n).map(|_| rng.gen_range(-99999i64..999999)).collect(),
                 ),
             ],
         )
@@ -163,11 +162,11 @@ impl TpchGenerator {
                 Column::from_strings("c_mktsegment", &segments),
                 Column::from_i64(
                     "c_nationkey",
-                    (0..n).map(|_| rng.gen_range(0..25)).collect(),
+                    (0..n).map(|_| rng.gen_range(0i64..25)).collect(),
                 ),
                 Column::from_i64(
                     "c_acctbal",
-                    (0..n).map(|_| rng.gen_range(-99999..999999)).collect(),
+                    (0..n).map(|_| rng.gen_range(-99999i64..999999)).collect(),
                 ),
             ],
         )
@@ -190,10 +189,10 @@ impl TpchGenerator {
                 Column::from_i64("p_partkey", (1..=n as i64).collect()),
                 Column::from_strings("p_brand", &brands),
                 Column::from_strings("p_type", &types),
-                Column::from_i64("p_size", (0..n).map(|_| rng.gen_range(1..51)).collect()),
+                Column::from_i64("p_size", (0..n).map(|_| rng.gen_range(1i64..51)).collect()),
                 Column::from_i64(
                     "p_retailprice",
-                    (0..n).map(|_| rng.gen_range(90_000..200_000)).collect(),
+                    (0..n).map(|_| rng.gen_range(90_000i64..200_000)).collect(),
                 ),
             ],
         )
@@ -219,11 +218,11 @@ impl TpchGenerator {
                 ),
                 Column::from_i64(
                     "ps_availqty",
-                    (0..n).map(|_| rng.gen_range(1..10_000)).collect(),
+                    (0..n).map(|_| rng.gen_range(1i64..10_000)).collect(),
                 ),
                 Column::from_i64(
                     "ps_supplycost",
-                    (0..n).map(|_| rng.gen_range(100..100_000)).collect(),
+                    (0..n).map(|_| rng.gen_range(100i64..100_000)).collect(),
                 ),
             ],
         )
@@ -295,7 +294,7 @@ impl TpchGenerator {
                 let rflag = if status == "O" {
                     "N"
                 } else {
-                    RETURN_FLAGS[rng.gen_range(0..2) * 2] // "A" or "R"
+                    RETURN_FLAGS[rng.gen_range(0usize..2) * 2] // "A" or "R"
                 };
                 l_orderkey.push(okey);
                 l_partkey.push(rng.gen_range(1..=parts));
@@ -390,13 +389,25 @@ mod tests {
         let a = TpchGenerator::new(0.001, 7).generate();
         let b = TpchGenerator::new(0.001, 7).generate();
         assert_eq!(
-            a.table("lineitem").unwrap().column("l_extendedprice").unwrap(),
-            b.table("lineitem").unwrap().column("l_extendedprice").unwrap()
+            a.table("lineitem")
+                .unwrap()
+                .column("l_extendedprice")
+                .unwrap(),
+            b.table("lineitem")
+                .unwrap()
+                .column("l_extendedprice")
+                .unwrap()
         );
         let c = TpchGenerator::new(0.001, 8).generate();
         assert_ne!(
-            a.table("lineitem").unwrap().column("l_extendedprice").unwrap(),
-            c.table("lineitem").unwrap().column("l_extendedprice").unwrap()
+            a.table("lineitem")
+                .unwrap()
+                .column("l_extendedprice")
+                .unwrap(),
+            c.table("lineitem")
+                .unwrap()
+                .column("l_extendedprice")
+                .unwrap()
         );
     }
 
@@ -451,7 +462,11 @@ mod tests {
         for q in li.column("l_quantity").unwrap().to_i64_vec().unwrap() {
             assert!((1..=50).contains(&q));
         }
-        let seg = cat.table("customer").unwrap().column("c_mktsegment").unwrap();
+        let seg = cat
+            .table("customer")
+            .unwrap()
+            .column("c_mktsegment")
+            .unwrap();
         assert!(seg.dict_code("BUILDING").is_some());
         let segs = seg.dictionary().unwrap().len();
         assert_eq!(segs, 5);

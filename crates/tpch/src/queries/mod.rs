@@ -95,7 +95,9 @@ impl TpchQuery {
     pub fn input_bytes(self, catalog: &Catalog) -> Result<u64> {
         let mut total = 0u64;
         for (table, col) in self.input_columns() {
-            let t = catalog.table(table).map_err(adamant_core::ExecError::from)?;
+            let t = catalog
+                .table(table)
+                .map_err(adamant_core::ExecError::from)?;
             let c = t.column(col).map_err(adamant_core::ExecError::from)?;
             total += c.byte_len() as u64;
         }
@@ -110,13 +112,12 @@ impl std::fmt::Display for TpchQuery {
 }
 
 /// Binds `(table, column)` pairs as executor inputs named by bare column.
-pub fn bind_columns(
-    catalog: &Catalog,
-    specs: &[(&str, &str)],
-) -> Result<QueryInputs> {
+pub fn bind_columns(catalog: &Catalog, specs: &[(&str, &str)]) -> Result<QueryInputs> {
     let mut inputs = QueryInputs::new();
     for (table, col) in specs {
-        let t = catalog.table(table).map_err(adamant_core::ExecError::from)?;
+        let t = catalog
+            .table(table)
+            .map_err(adamant_core::ExecError::from)?;
         let c = t.column(col).map_err(adamant_core::ExecError::from)?;
         inputs.bind_column(*col, c)?;
     }

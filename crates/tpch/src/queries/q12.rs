@@ -72,14 +72,28 @@ pub fn plan(device: DeviceId, catalog: &Catalog) -> Result<PrimitiveGraph> {
     // Pipeline 2: filtered lineitems probe and count per ship mode.
     let mut li = pb.scan(
         "lineitem",
-        &["l_orderkey", "l_shipmode", "l_commitdate", "l_receiptdate", "l_shipdate"],
+        &[
+            "l_orderkey",
+            "l_shipmode",
+            "l_commitdate",
+            "l_receiptdate",
+            "l_shipdate",
+        ],
     );
     li.filter(
         &mut pb,
         Predicate::and(vec![
             Predicate::in_set("l_shipmode", &[mail, ship]),
-            Predicate::cmp_cols("l_commitdate", adamant_task::params::CmpOp::Lt, "l_receiptdate"),
-            Predicate::cmp_cols("l_shipdate", adamant_task::params::CmpOp::Lt, "l_commitdate"),
+            Predicate::cmp_cols(
+                "l_commitdate",
+                adamant_task::params::CmpOp::Lt,
+                "l_receiptdate",
+            ),
+            Predicate::cmp_cols(
+                "l_shipdate",
+                adamant_task::params::CmpOp::Lt,
+                "l_commitdate",
+            ),
             Predicate::between("l_receiptdate", lo, hi - 1),
         ]),
     )?;

@@ -54,7 +54,10 @@ pub fn plan(device: DeviceId, catalog: &Catalog) -> Result<PrimitiveGraph> {
         .filter(|(_, t)| t.starts_with("PROMO"))
         .map(|(c, _)| c as i64)
         .collect();
-    assert!(!promo_codes.is_empty(), "generator always emits PROMO types");
+    assert!(
+        !promo_codes.is_empty(),
+        "generator always emits PROMO types"
+    );
     let n_part = part_table.row_count();
 
     let mut pb = PlanBuilder::new(device);

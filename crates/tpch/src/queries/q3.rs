@@ -88,7 +88,12 @@ pub fn plan(device: DeviceId, catalog: &Catalog) -> Result<PrimitiveGraph> {
         "rev",
         Expr::col("l_extendedprice").mul(Expr::lit(100).sub(Expr::col("l_discount"))),
     )?;
-    li.hash_probe(&mut pb, "l_orderkey", ht_orders, &["o_orderdate", "o_shippriority"])?;
+    li.hash_probe(
+        &mut pb,
+        "l_orderkey",
+        ht_orders,
+        &["o_orderdate", "o_shippriority"],
+    )?;
     let ht_rev = li.hash_agg(
         &mut pb,
         "l_orderkey",

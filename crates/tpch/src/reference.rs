@@ -230,8 +230,11 @@ pub fn q12(catalog: &Catalog) -> Result<Vec<Q12Row>, StorageError> {
     let prio_dict = prio.dictionary().expect("dict column").to_vec();
     let urgent = prio_dict.iter().position(|p| p == "1-URGENT").unwrap() as i64;
     let high = prio_dict.iter().position(|p| p == "2-HIGH").unwrap() as i64;
-    let order_prio: HashMap<i64, i64> =
-        o_key.iter().copied().zip(prio_codes.iter().copied()).collect();
+    let order_prio: HashMap<i64, i64> = o_key
+        .iter()
+        .copied()
+        .zip(prio_codes.iter().copied())
+        .collect();
 
     let li = catalog.table("lineitem")?;
     let l_key = li.column("l_orderkey")?.to_i64_vec()?;
@@ -326,11 +329,7 @@ pub fn q6(catalog: &Catalog) -> Result<i64, StorageError> {
     let price = li.column("l_extendedprice")?.to_i64_vec()?;
     let mut sum = 0i64;
     for i in 0..ship.len() {
-        if ship[i] >= lo
-            && ship[i] < hi
-            && (5..=7).contains(&disc[i])
-            && qty[i] < 24
-        {
+        if ship[i] >= lo && ship[i] < hi && (5..=7).contains(&disc[i]) && qty[i] < 24 {
             sum += price[i] * disc[i];
         }
     }

@@ -5,11 +5,11 @@ use adamant_core::executor::{Executor, ExecutorConfig};
 use adamant_core::models::ExecutionModel;
 use adamant_device::profiles::DeviceProfile;
 use adamant_device::sdk::SdkKind;
+use adamant_storage::prelude::Catalog;
 use adamant_task::registry::TaskRegistry;
 use adamant_tpch::gen::TpchGenerator;
 use adamant_tpch::queries::{q1, q12, q14, q3, q4, q6, TpchQuery};
 use adamant_tpch::reference;
-use adamant_storage::prelude::Catalog;
 
 fn catalog() -> Catalog {
     TpchGenerator::new(0.002, 20260707).generate()
@@ -22,7 +22,13 @@ fn executor(profile: DeviceProfile, chunk_rows: usize) -> Executor {
         SdkKind::OpenMp,
         SdkKind::Host,
     ]);
-    let mut exec = Executor::new(tasks, ExecutorConfig { chunk_rows });
+    let mut exec = Executor::new(
+        tasks,
+        ExecutorConfig {
+            chunk_rows,
+            ..Default::default()
+        },
+    );
     exec.add_profile(&profile).unwrap();
     exec
 }
@@ -34,7 +40,9 @@ fn q6_matches_reference_all_models() {
     assert!(expected > 0);
     for model in ExecutionModel::ALL {
         let mut exec = executor(DeviceProfile::cuda_rtx2080ti(), 1000);
-        let graph = TpchQuery::Q6.plan(adamant_device::device::DeviceId(0), &cat).unwrap();
+        let graph = TpchQuery::Q6
+            .plan(adamant_device::device::DeviceId(0), &cat)
+            .unwrap();
         let inputs = TpchQuery::Q6.bind(&cat).unwrap();
         let (out, stats) = exec.run(&graph, &inputs, model).unwrap();
         assert_eq!(q6::decode(&out), expected, "Q6 under {model}");
@@ -48,7 +56,9 @@ fn q1_matches_reference_all_models() {
     let expected = reference::q1(&cat).unwrap();
     for model in ExecutionModel::ALL {
         let mut exec = executor(DeviceProfile::cuda_rtx2080ti(), 1000);
-        let graph = TpchQuery::Q1.plan(adamant_device::device::DeviceId(0), &cat).unwrap();
+        let graph = TpchQuery::Q1
+            .plan(adamant_device::device::DeviceId(0), &cat)
+            .unwrap();
         let inputs = TpchQuery::Q1.bind(&cat).unwrap();
         let (out, _) = exec.run(&graph, &inputs, model).unwrap();
         let rows = q1::decode(&cat, &out).unwrap();
@@ -63,7 +73,9 @@ fn q3_matches_reference_all_models() {
     assert!(!expected.is_empty(), "Q3 reference empty at this SF");
     for model in ExecutionModel::ALL {
         let mut exec = executor(DeviceProfile::cuda_rtx2080ti(), 1000);
-        let graph = TpchQuery::Q3.plan(adamant_device::device::DeviceId(0), &cat).unwrap();
+        let graph = TpchQuery::Q3
+            .plan(adamant_device::device::DeviceId(0), &cat)
+            .unwrap();
         let inputs = TpchQuery::Q3.bind(&cat).unwrap();
         let (out, stats) = exec.run(&graph, &inputs, model).unwrap();
         let rows = q3::decode(&out);
@@ -80,7 +92,9 @@ fn q4_matches_reference_all_models() {
     assert!(!expected.is_empty());
     for model in ExecutionModel::ALL {
         let mut exec = executor(DeviceProfile::cuda_rtx2080ti(), 1000);
-        let graph = TpchQuery::Q4.plan(adamant_device::device::DeviceId(0), &cat).unwrap();
+        let graph = TpchQuery::Q4
+            .plan(adamant_device::device::DeviceId(0), &cat)
+            .unwrap();
         let inputs = TpchQuery::Q4.bind(&cat).unwrap();
         let (out, _) = exec.run(&graph, &inputs, model).unwrap();
         let rows = q4::decode(&cat, &out).unwrap();
@@ -95,7 +109,9 @@ fn q12_matches_reference_all_models() {
     assert!(!expected.is_empty());
     for model in ExecutionModel::ALL {
         let mut exec = executor(DeviceProfile::cuda_rtx2080ti(), 1000);
-        let graph = TpchQuery::Q12.plan(adamant_device::device::DeviceId(0), &cat).unwrap();
+        let graph = TpchQuery::Q12
+            .plan(adamant_device::device::DeviceId(0), &cat)
+            .unwrap();
         let inputs = TpchQuery::Q12.bind(&cat).unwrap();
         let (out, _) = exec.run(&graph, &inputs, model).unwrap();
         let rows = q12::decode(&cat, &out).unwrap();
@@ -110,7 +126,9 @@ fn q14_matches_reference_all_models() {
     assert!(expected.1 > 0);
     for model in ExecutionModel::ALL {
         let mut exec = executor(DeviceProfile::cuda_rtx2080ti(), 1000);
-        let graph = TpchQuery::Q14.plan(adamant_device::device::DeviceId(0), &cat).unwrap();
+        let graph = TpchQuery::Q14
+            .plan(adamant_device::device::DeviceId(0), &cat)
+            .unwrap();
         let inputs = TpchQuery::Q14.bind(&cat).unwrap();
         let (out, _) = exec.run(&graph, &inputs, model).unwrap();
         assert_eq!(q14::decode(&out), expected, "Q14 under {model}");
@@ -130,15 +148,24 @@ fn all_queries_on_all_drivers_chunked() {
                 .unwrap_or_else(|e| panic!("{q} on {}: {e}", profile.name));
             match q {
                 TpchQuery::Q1 => {
-                    assert_eq!(q1::decode(&cat, &out).unwrap(), reference::q1(&cat).unwrap())
+                    assert_eq!(
+                        q1::decode(&cat, &out).unwrap(),
+                        reference::q1(&cat).unwrap()
+                    )
                 }
                 TpchQuery::Q3 => assert_eq!(q3::decode(&out), reference::q3(&cat).unwrap()),
                 TpchQuery::Q4 => {
-                    assert_eq!(q4::decode(&cat, &out).unwrap(), reference::q4(&cat).unwrap())
+                    assert_eq!(
+                        q4::decode(&cat, &out).unwrap(),
+                        reference::q4(&cat).unwrap()
+                    )
                 }
                 TpchQuery::Q6 => assert_eq!(q6::decode(&out), reference::q6(&cat).unwrap()),
                 TpchQuery::Q12 => {
-                    assert_eq!(q12::decode(&cat, &out).unwrap(), reference::q12(&cat).unwrap())
+                    assert_eq!(
+                        q12::decode(&cat, &out).unwrap(),
+                        reference::q12(&cat).unwrap()
+                    )
                 }
                 TpchQuery::Q14 => assert_eq!(q14::decode(&out), reference::q14(&cat).unwrap()),
             }

@@ -12,10 +12,7 @@ fn main() {
         "TPC-H Q6 at SF 0.02 ({} lineitem rows), chunk = 16Ki rows\n",
         catalog.table("lineitem").unwrap().row_count()
     );
-    println!(
-        "{:<20} {:>16} {:>16}",
-        "model", "opencl (ms)", "cuda (ms)"
-    );
+    println!("{:<20} {:>16} {:>16}", "model", "opencl (ms)", "cuda (ms)");
     let mut chunked_times = Vec::new();
     for model in [
         ExecutionModel::Chunked,

@@ -20,7 +20,12 @@ fn conformance_suite(dev: &mut dyn Device, supports_jit: bool) {
     let back = dev
         .retrieve_data(BufferId(1), None, 0)
         .unwrap_or_else(|e| panic!("{} ({e})", ctx("retrieve_data")));
-    assert_eq!(back, BufferData::I64(vec![5, 6, 7, 8]), "{}", ctx("roundtrip"));
+    assert_eq!(
+        back,
+        BufferData::I64(vec![5, 6, 7, 8]),
+        "{}",
+        ctx("roundtrip")
+    );
 
     // Partial retrieval with offset.
     let part = dev.retrieve_data(BufferId(1), Some(2), 1).unwrap();
@@ -99,11 +104,20 @@ fn conformance_suite(dev: &mut dyn Device, supports_jit: bool) {
     let h2d_before = dev.clock().bytes_h2d();
     dev.init_structure(BufferId(5), BufferData::I64(vec![0; 16]))
         .unwrap();
-    assert_eq!(dev.clock().bytes_h2d(), h2d_before, "{}", ctx("init no H2D"));
+    assert_eq!(
+        dev.clock().bytes_h2d(),
+        h2d_before,
+        "{}",
+        ctx("init no H2D")
+    );
 
     // delete_memory releases bytes; unknown buffers error.
     dev.delete_memory(BufferId(3)).unwrap();
-    assert!(dev.delete_memory(BufferId(3)).is_err(), "{}", ctx("double free"));
+    assert!(
+        dev.delete_memory(BufferId(3)).is_err(),
+        "{}",
+        ctx("double free")
+    );
 
     // Costs were recorded throughout.
     assert!(dev.clock().total_ns() > 0.0, "{}", ctx("clock records"));

@@ -1,9 +1,11 @@
-//! Property-based tests (proptest) over the engine's core invariants:
-//! random data and parameters, results validated against straightforward
-//! host computations.
+//! Randomized tests over the engine's core invariants: seeded data and
+//! parameters, results validated against straightforward host computations.
+//!
+//! Driven by the workspace's deterministic [`Rng`] — a failing case names
+//! its seed and reproduces exactly, without a stored regression corpus.
 
 use adamant::prelude::*;
-use proptest::prelude::*;
+use adamant::storage::rng::Rng;
 
 fn engine(chunk_rows: usize) -> (Adamant, DeviceId) {
     let engine = Adamant::builder()
@@ -15,131 +17,212 @@ fn engine(chunk_rows: usize) -> (Adamant, DeviceId) {
     (engine, dev)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+/// FILTER_BITMAP ∘ MATERIALIZE == host filter, under every comparison,
+/// any chunking.
+#[test]
+fn filter_materialize_matches_host() {
+    for case in 0..48u64 {
+        let mut rng = Rng::new(0xF117_E500 + case);
+        let n = rng.gen_range(0usize..500);
+        let data: Vec<i64> = (0..n).map(|_| rng.gen_range(-1000i64..1000)).collect();
+        let cmp = CmpOp::from_code(rng.gen_range(0i64..7)).unwrap();
+        let value = rng.gen_range(-1000i64..1000);
+        let hi = value + rng.gen_range(0i64..500);
+        let chunk_rows = rng.gen_range(1usize..97);
 
-    /// FILTER_BITMAP ∘ MATERIALIZE == host filter, under every comparison,
-    /// any chunking.
-    #[test]
-    fn filter_materialize_matches_host(
-        data in prop::collection::vec(-1000i64..1000, 0..500),
-        cmp_code in 0i64..7,
-        value in -1000i64..1000,
-        span in 0i64..500,
-        chunk_rows in 1usize..97,
-    ) {
-        let cmp = CmpOp::from_code(cmp_code).unwrap();
-        let hi = value + span;
         let (mut engine, dev) = engine(chunk_rows);
         let mut pb = PlanBuilder::new(dev);
         let mut s = pb.scan("t", &["x"]);
-        s.filter(&mut pb, Predicate::Cmp { col: "x".into(), cmp, value, hi }).unwrap();
+        s.filter(
+            &mut pb,
+            Predicate::Cmp {
+                col: "x".into(),
+                cmp,
+                value,
+                hi,
+            },
+        )
+        .unwrap();
         let x = s.materialized(&mut pb, "x").unwrap();
         let cnt = pb.agg_block(x, AggFunc::Count, "count");
-        let sum = {
-            // Reuse the materialized ref for a second aggregate.
-            pb.agg_block(x, AggFunc::Sum, "sum")
-        };
+        // Reuse the materialized ref for a second aggregate.
+        let sum = pb.agg_block(x, AggFunc::Sum, "sum");
         pb.output("count", cnt);
         pb.output("sum", sum);
         let graph = pb.build().unwrap();
         let mut inputs = QueryInputs::new();
         inputs.bind("x", data.clone());
-        let (out, _) = engine.run(&graph, &inputs, ExecutionModel::Chunked).unwrap();
+        let (out, _) = engine
+            .run(&graph, &inputs, ExecutionModel::Chunked)
+            .unwrap();
 
-        let selected: Vec<i64> = data.iter().copied().filter(|&v| cmp.eval(v, value, hi)).collect();
-        prop_assert_eq!(out.i64_column("count")[0], selected.len() as i64);
-        prop_assert_eq!(out.i64_column("sum")[0], selected.iter().sum::<i64>());
+        let selected: Vec<i64> = data
+            .iter()
+            .copied()
+            .filter(|&v| cmp.eval(v, value, hi))
+            .collect();
+        assert_eq!(
+            out.i64_column("count")[0],
+            selected.len() as i64,
+            "case {case}"
+        );
+        assert_eq!(
+            out.i64_column("sum")[0],
+            selected.iter().sum::<i64>(),
+            "case {case}"
+        );
     }
+}
 
-    /// Every execution model computes identical results on a
-    /// filter+map+sum query.
-    #[test]
-    fn models_agree(
-        data in prop::collection::vec(-500i64..500, 0..400),
-        threshold in -500i64..500,
-        factor in -10i64..10,
-        chunk_rows in 1usize..67,
-    ) {
-        let build = |dev: DeviceId| {
-            let mut pb = PlanBuilder::new(dev);
-            let mut s = pb.scan("t", &["x"]);
-            s.filter(&mut pb, Predicate::cmp("x", CmpOp::Ge, threshold)).unwrap();
-            s.project(&mut pb, "y", Expr::col("x").mul(Expr::lit(factor))).unwrap();
-            let y = s.materialized(&mut pb, "y").unwrap();
-            let sum = pb.agg_block(y, AggFunc::Sum, "sum");
-            pb.output("sum", sum);
-            pb.build().unwrap()
-        };
-        let mut results = Vec::new();
-        for model in ExecutionModel::ALL {
-            let (mut e, dev) = engine(chunk_rows);
-            let graph = build(dev);
-            let mut inputs = QueryInputs::new();
-            inputs.bind("x", data.clone());
-            let (out, _) = e.run(&graph, &inputs, model).unwrap();
-            results.push(out.i64_column("sum").to_vec());
-        }
-        for r in &results[1..] {
-            prop_assert_eq!(r, &results[0]);
-        }
-        let expected: i64 = data.iter().filter(|&&v| v >= threshold).map(|v| v * factor).sum();
-        prop_assert_eq!(results[0][0], expected);
-    }
+fn filter_map_sum_graph(dev: DeviceId, threshold: i64, factor: i64) -> PrimitiveGraph {
+    let mut pb = PlanBuilder::new(dev);
+    let mut s = pb.scan("t", &["x"]);
+    s.filter(&mut pb, Predicate::cmp("x", CmpOp::Ge, threshold))
+        .unwrap();
+    s.project(&mut pb, "y", Expr::col("x").mul(Expr::lit(factor)))
+        .unwrap();
+    let y = s.materialized(&mut pb, "y").unwrap();
+    let sum = pb.agg_block(y, AggFunc::Sum, "sum");
+    pb.output("sum", sum);
+    pb.build().unwrap()
+}
 
-    /// Join results match a host nested-loop join (sum of matched
-    /// payloads), including duplicate keys on the build side.
-    #[test]
-    fn join_matches_nested_loop(
-        build_keys in prop::collection::vec(0i64..50, 0..120),
-        probe_keys in prop::collection::vec(0i64..80, 0..200),
-        chunk_rows in 1usize..53,
-    ) {
-        let payload: Vec<i64> = build_keys.iter().map(|k| k * 7 + 1).collect();
+fn run_models_agree_case(data: &[i64], threshold: i64, factor: i64, chunk_rows: usize) {
+    let mut results = Vec::new();
+    for model in ExecutionModel::ALL {
         let (mut e, dev) = engine(chunk_rows);
-        let mut pb = PlanBuilder::new(dev);
-        let mut b = pb.scan("b", &["bk", "bp"]);
-        let ht = b.hash_build(&mut pb, "bk", &["bp"], 64).unwrap();
-        let mut p = pb.scan("p", &["pk"]);
-        p.hash_probe(&mut pb, "pk", ht, &["bp"]).unwrap();
-        let bp = p.materialized(&mut pb, "bp").unwrap();
-        let sum = pb.agg_block(bp, AggFunc::Sum, "sum");
-        let cnt = pb.agg_block(bp, AggFunc::Count, "cnt");
-        pb.output("sum", sum);
-        pb.output("cnt", cnt);
-        let graph = pb.build().unwrap();
+        let graph = filter_map_sum_graph(dev, threshold, factor);
         let mut inputs = QueryInputs::new();
-        inputs.bind("bk", build_keys.clone());
-        inputs.bind("bp", payload.clone());
-        inputs.bind("pk", probe_keys.clone());
-        let (out, _) = e.run(&graph, &inputs, ExecutionModel::Chunked).unwrap();
+        inputs.bind("x", data.to_vec());
+        let (out, _) = e.run(&graph, &inputs, model).unwrap();
+        results.push(out.i64_column("sum").to_vec());
+    }
+    for r in &results[1..] {
+        assert_eq!(r, &results[0]);
+    }
+    let expected: i64 = data
+        .iter()
+        .filter(|&&v| v >= threshold)
+        .map(|v| v * factor)
+        .sum();
+    assert_eq!(results[0][0], expected);
+}
 
-        let mut expect_sum = 0i64;
-        let mut expect_cnt = 0i64;
-        for &pk in &probe_keys {
-            for (i, &bk) in build_keys.iter().enumerate() {
-                if bk == pk {
-                    expect_sum += payload[i];
-                    expect_cnt += 1;
-                }
+/// Every execution model computes identical results on a
+/// filter+map+sum query.
+#[test]
+fn models_agree() {
+    for case in 0..48u64 {
+        let mut rng = Rng::new(0x30_DE15 + case);
+        let n = rng.gen_range(0usize..400);
+        let data: Vec<i64> = (0..n).map(|_| rng.gen_range(-500i64..500)).collect();
+        let threshold = rng.gen_range(-500i64..500);
+        let factor = rng.gen_range(-10i64..10);
+        let chunk_rows = rng.gen_range(1usize..67);
+        run_models_agree_case(&data, threshold, factor, chunk_rows);
+    }
+}
+
+/// Regression (was a stored proptest seed: `data = [], threshold = 0,
+/// factor = 0, chunk_rows = 1`): a zero-row scan must flow through every
+/// execution model — staging, streaming, host accumulation and output
+/// collection all see zero chunks.
+#[test]
+fn zero_row_scan_through_every_model() {
+    run_models_agree_case(&[], 0, 0, 1);
+}
+
+fn run_join_case(build_keys: &[i64], probe_keys: &[i64], chunk_rows: usize, model: ExecutionModel) {
+    let payload: Vec<i64> = build_keys.iter().map(|k| k * 7 + 1).collect();
+    let (mut e, dev) = engine(chunk_rows);
+    let mut pb = PlanBuilder::new(dev);
+    let mut b = pb.scan("b", &["bk", "bp"]);
+    let ht = b.hash_build(&mut pb, "bk", &["bp"], 64).unwrap();
+    let mut p = pb.scan("p", &["pk"]);
+    p.hash_probe(&mut pb, "pk", ht, &["bp"]).unwrap();
+    let bp = p.materialized(&mut pb, "bp").unwrap();
+    let sum = pb.agg_block(bp, AggFunc::Sum, "sum");
+    let cnt = pb.agg_block(bp, AggFunc::Count, "cnt");
+    pb.output("sum", sum);
+    pb.output("cnt", cnt);
+    let graph = pb.build().unwrap();
+    let mut inputs = QueryInputs::new();
+    inputs.bind("bk", build_keys.to_vec());
+    inputs.bind("bp", payload.clone());
+    inputs.bind("pk", probe_keys.to_vec());
+    let (out, _) = e.run(&graph, &inputs, model).unwrap();
+
+    let mut expect_sum = 0i64;
+    let mut expect_cnt = 0i64;
+    for &pk in probe_keys {
+        for (i, &bk) in build_keys.iter().enumerate() {
+            if bk == pk {
+                expect_sum += payload[i];
+                expect_cnt += 1;
             }
         }
-        prop_assert_eq!(out.i64_column("sum")[0], expect_sum);
-        prop_assert_eq!(out.i64_column("cnt")[0], expect_cnt);
     }
+    assert_eq!(out.i64_column("sum")[0], expect_sum);
+    assert_eq!(out.i64_column("cnt")[0], expect_cnt);
+}
 
-    /// Group-by aggregation matches a host hash map under chunking.
-    #[test]
-    fn group_by_matches_host(
-        rows in prop::collection::vec((0i64..20, -100i64..100), 0..300),
-        chunk_rows in 1usize..71,
-    ) {
+/// Join results match a host nested-loop join (sum of matched
+/// payloads), including duplicate keys on the build side.
+#[test]
+fn join_matches_nested_loop() {
+    for case in 0..48u64 {
+        let mut rng = Rng::new(0x10_1177 + case);
+        let nb = rng.gen_range(0usize..120);
+        let build_keys: Vec<i64> = (0..nb).map(|_| rng.gen_range(0i64..50)).collect();
+        let np = rng.gen_range(0usize..200);
+        let probe_keys: Vec<i64> = (0..np).map(|_| rng.gen_range(0i64..80)).collect();
+        let chunk_rows = rng.gen_range(1usize..53);
+        run_join_case(
+            &build_keys,
+            &probe_keys,
+            chunk_rows,
+            ExecutionModel::Chunked,
+        );
+    }
+}
+
+/// Regression (was a stored proptest seed: `build_keys = [], probe_keys =
+/// [], chunk_rows = 1`): an empty build side must yield a valid empty hash
+/// table and an empty probe must produce well-formed zero aggregates — in
+/// every execution model, since each handles the zero-chunk build and
+/// probe pipelines differently.
+#[test]
+fn empty_join_sides_through_every_model() {
+    for model in ExecutionModel::ALL {
+        run_join_case(&[], &[], 1, model);
+    }
+}
+
+/// Group-by aggregation matches a host hash map under chunking.
+#[test]
+fn group_by_matches_host() {
+    for case in 0..48u64 {
+        let mut rng = Rng::new(0x68_009B + case);
+        let n = rng.gen_range(0usize..300);
+        let rows: Vec<(i64, i64)> = (0..n)
+            .map(|_| (rng.gen_range(0i64..20), rng.gen_range(-100i64..100)))
+            .collect();
+        let chunk_rows = rng.gen_range(1usize..71);
+
         let keys: Vec<i64> = rows.iter().map(|(k, _)| *k).collect();
         let vals: Vec<i64> = rows.iter().map(|(_, v)| *v).collect();
         let (mut e, dev) = engine(chunk_rows);
         let mut pb = PlanBuilder::new(dev);
         let mut s = pb.scan("t", &["k", "v"]);
-        let ht = s.hash_agg(&mut pb, "k", &[], &[(AggFunc::Sum, "v"), (AggFunc::Count, "v")], 32).unwrap();
+        let ht = s
+            .hash_agg(
+                &mut pb,
+                "k",
+                &[],
+                &[(AggFunc::Sum, "v"), (AggFunc::Count, "v")],
+                32,
+            )
+            .unwrap();
         let groups = pb.group_result(ht, 0, 2);
         let perm = pb.sort(&[(groups.keys, false)]);
         let gk = pb.take(groups.keys, perm);
@@ -152,7 +235,9 @@ proptest! {
         let mut inputs = QueryInputs::new();
         inputs.bind("k", keys.clone());
         inputs.bind("v", vals.clone());
-        let (out, _) = e.run(&graph, &inputs, ExecutionModel::FourPhasePipelined).unwrap();
+        let (out, _) = e
+            .run(&graph, &inputs, ExecutionModel::FourPhasePipelined)
+            .unwrap();
 
         let mut expected: std::collections::BTreeMap<i64, (i64, i64)> = Default::default();
         for (k, v) in &rows {
@@ -163,17 +248,21 @@ proptest! {
         let exp_keys: Vec<i64> = expected.keys().copied().collect();
         let exp_sums: Vec<i64> = expected.values().map(|e| e.0).collect();
         let exp_counts: Vec<i64> = expected.values().map(|e| e.1).collect();
-        prop_assert_eq!(out.i64_column("k"), &exp_keys[..]);
-        prop_assert_eq!(out.i64_column("sum"), &exp_sums[..]);
-        prop_assert_eq!(out.i64_column("count"), &exp_counts[..]);
+        assert_eq!(out.i64_column("k"), &exp_keys[..], "case {case}");
+        assert_eq!(out.i64_column("sum"), &exp_sums[..], "case {case}");
+        assert_eq!(out.i64_column("count"), &exp_counts[..], "case {case}");
     }
+}
 
-    /// SORT permutation + MATERIALIZE_POSITION equals host sorting.
-    #[test]
-    fn sort_matches_host(
-        data in prop::collection::vec(-1000i64..1000, 0..200),
-        desc in any::<bool>(),
-    ) {
+/// SORT permutation + MATERIALIZE_POSITION equals host sorting.
+#[test]
+fn sort_matches_host() {
+    for case in 0..48u64 {
+        let mut rng = Rng::new(0x50_2700 + case);
+        let n = rng.gen_range(0usize..200);
+        let data: Vec<i64> = (0..n).map(|_| rng.gen_range(-1000i64..1000)).collect();
+        let desc = rng.gen_bool(0.5);
+
         let (mut e, dev) = engine(1024);
         let mut pb = PlanBuilder::new(dev);
         let mut s = pb.scan("t", &["x"]);
@@ -184,31 +273,41 @@ proptest! {
         let graph = pb.build().unwrap();
         let mut inputs = QueryInputs::new();
         inputs.bind("x", data.clone());
-        let (out, _) = e.run(&graph, &inputs, ExecutionModel::OperatorAtATime).unwrap();
+        let (out, _) = e
+            .run(&graph, &inputs, ExecutionModel::OperatorAtATime)
+            .unwrap();
 
         let mut expected = data.clone();
         expected.sort_unstable();
         if desc {
             expected.reverse();
         }
-        prop_assert_eq!(out.i64_column("sorted"), &expected[..]);
+        assert_eq!(out.i64_column("sorted"), &expected[..], "case {case}");
     }
+}
 
-    /// Bitmap conjunction of two filters equals host AND, any chunking.
-    #[test]
-    fn bitmap_and_matches_host(
-        data in prop::collection::vec(0i64..100, 0..400),
-        a in 0i64..100,
-        b in 0i64..100,
-        chunk_rows in 1usize..61,
-    ) {
+/// Bitmap conjunction of two filters equals host AND, any chunking.
+#[test]
+fn bitmap_and_matches_host() {
+    for case in 0..48u64 {
+        let mut rng = Rng::new(0xB17_A2D + case);
+        let n = rng.gen_range(0usize..400);
+        let data: Vec<i64> = (0..n).map(|_| rng.gen_range(0i64..100)).collect();
+        let a = rng.gen_range(0i64..100);
+        let b = rng.gen_range(0i64..100);
+        let chunk_rows = rng.gen_range(1usize..61);
+
         let (mut e, dev) = engine(chunk_rows);
         let mut pb = PlanBuilder::new(dev);
         let mut s = pb.scan("t", &["x"]);
-        s.filter(&mut pb, Predicate::and(vec![
-            Predicate::cmp("x", CmpOp::Ge, a),
-            Predicate::cmp("x", CmpOp::Le, b),
-        ])).unwrap();
+        s.filter(
+            &mut pb,
+            Predicate::and(vec![
+                Predicate::cmp("x", CmpOp::Ge, a),
+                Predicate::cmp("x", CmpOp::Le, b),
+            ]),
+        )
+        .unwrap();
         let x = s.materialized(&mut pb, "x").unwrap();
         let cnt = pb.agg_block(x, AggFunc::Count, "count");
         pb.output("count", cnt);
@@ -217,6 +316,6 @@ proptest! {
         inputs.bind("x", data.clone());
         let (out, _) = e.run(&graph, &inputs, ExecutionModel::Pipelined).unwrap();
         let expected = data.iter().filter(|&&v| v >= a && v <= b).count() as i64;
-        prop_assert_eq!(out.i64_column("count")[0], expected);
+        assert_eq!(out.i64_column("count")[0], expected, "case {case}");
     }
 }

@@ -32,10 +32,19 @@ fn four_phase_beats_chunked_on_deep_pipelines() {
     // §V: "four-phased execution has a speed-up of 3x (best case - Q6)
     // until 1.3x (worst case)" — assert the band 1.2x..4x on the GPUs.
     let cat = catalog();
-    for profile in [DeviceProfile::cuda_rtx2080ti(), DeviceProfile::opencl_rtx2080ti()] {
+    for profile in [
+        DeviceProfile::cuda_rtx2080ti(),
+        DeviceProfile::opencl_rtx2080ti(),
+    ] {
         for q in TpchQuery::PAPER_SET {
             let chunked = run(&profile, q, &cat, ExecutionModel::Chunked, 1 << 13);
-            let fp = run(&profile, q, &cat, ExecutionModel::FourPhasePipelined, 1 << 13);
+            let fp = run(
+                &profile,
+                q,
+                &cat,
+                ExecutionModel::FourPhasePipelined,
+                1 << 13,
+            );
             let speedup = chunked.total_ns / fp.total_ns;
             assert!(
                 (1.2..4.5).contains(&speedup),
@@ -52,7 +61,13 @@ fn q6_is_the_best_case_for_four_phase_on_cuda() {
     let profile = DeviceProfile::cuda_rtx2080ti();
     let speedup = |q: TpchQuery| {
         let c = run(&profile, q, &cat, ExecutionModel::Chunked, 1 << 13);
-        let f = run(&profile, q, &cat, ExecutionModel::FourPhasePipelined, 1 << 13);
+        let f = run(
+            &profile,
+            q,
+            &cat,
+            ExecutionModel::FourPhasePipelined,
+            1 << 13,
+        );
         c.total_ns / f.total_ns
     };
     let q6 = speedup(TpchQuery::Q6);
@@ -105,7 +120,14 @@ fn transfer_dominates_so_pipelining_gain_is_bounded() {
     let q = TpchQuery::Q6;
     let chunked = run(&profile, q, &cat, ExecutionModel::Chunked, 1 << 13).total_ns;
     let fpc = run(&profile, q, &cat, ExecutionModel::FourPhaseChunked, 1 << 13).total_ns;
-    let fpp = run(&profile, q, &cat, ExecutionModel::FourPhasePipelined, 1 << 13).total_ns;
+    let fpp = run(
+        &profile,
+        q,
+        &cat,
+        ExecutionModel::FourPhasePipelined,
+        1 << 13,
+    )
+    .total_ns;
     assert!(fpp <= fpc);
     let pipelining_gain = fpc / fpp;
     let four_phase_gain = chunked / fpc;
@@ -125,7 +147,12 @@ fn baseline_q3_fails_while_adamant_streams() {
     let req = |q| {
         let r = probe.run(&cat, q).unwrap();
         probe.resident_bytes(&cat, q).unwrap()
-            + r.stats.peak_device_bytes.values().max().copied().unwrap_or(0)
+            + r.stats
+                .peak_device_bytes
+                .values()
+                .max()
+                .copied()
+                .unwrap_or(0)
     };
     let dev_mem = (req(TpchQuery::Q4).max(req(TpchQuery::Q6)) + req(TpchQuery::Q3)) / 2;
     let profile = DeviceProfile::cuda_rtx2080ti().with_memory(dev_mem, dev_mem / 4);
@@ -136,14 +163,26 @@ fn baseline_q3_fails_while_adamant_streams() {
     let q6 = baseline.run(&cat, TpchQuery::Q6).expect("Q6 fits");
 
     // ADAMANT chunked executes Q3 on the same small device.
-    let stats = run(&profile, TpchQuery::Q3, &cat, ExecutionModel::Chunked, 1 << 12);
+    let stats = run(
+        &profile,
+        TpchQuery::Q3,
+        &cat,
+        ExecutionModel::Chunked,
+        1 << 12,
+    );
     assert!(stats.total_ns > 0.0);
 
     // Cold start pays for whole tables and loses to 4-phase on every
     // query, by >2x in the best case (the paper's "up to 4x").
     let mut best_factor = 0.0f64;
     for (q, base) in [(TpchQuery::Q4, q4), (TpchQuery::Q6, q6)] {
-        let fp = run(&profile, q, &cat, ExecutionModel::FourPhasePipelined, 1 << 12);
+        let fp = run(
+            &profile,
+            q,
+            &cat,
+            ExecutionModel::FourPhasePipelined,
+            1 << 12,
+        );
         let factor = base.cold_ns / fp.total_ns;
         assert!(
             factor > 1.3,
@@ -167,8 +206,20 @@ fn chunk_size_tradeoff_exists() {
     // trend (smaller chunks => more total time under chunked execution).
     let cat = catalog();
     let profile = DeviceProfile::cuda_rtx2080ti();
-    let tiny = run(&profile, TpchQuery::Q6, &cat, ExecutionModel::Chunked, 1 << 9);
-    let big = run(&profile, TpchQuery::Q6, &cat, ExecutionModel::Chunked, 1 << 15);
+    let tiny = run(
+        &profile,
+        TpchQuery::Q6,
+        &cat,
+        ExecutionModel::Chunked,
+        1 << 9,
+    );
+    let big = run(
+        &profile,
+        TpchQuery::Q6,
+        &cat,
+        ExecutionModel::Chunked,
+        1 << 15,
+    );
     assert!(
         tiny.total_ns > big.total_ns,
         "tiny chunks {} should cost more than big {}",
