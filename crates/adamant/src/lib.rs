@@ -66,13 +66,14 @@ pub use adamant_task as task;
 pub use adamant_tpch as tpch;
 
 use adamant_core::error::Result;
-use adamant_core::executor::{Executor, ExecutorConfig, QueryInputs, RetryPolicy};
+use adamant_core::executor::{CancelToken, Executor, ExecutorConfig, QueryInputs, RetryPolicy};
 use adamant_core::graph::PrimitiveGraph;
 use adamant_core::models::ExecutionModel;
 use adamant_core::result::QueryOutput;
 use adamant_core::stats::ExecutionStats;
 use adamant_device::device::{Device, DeviceId};
 use adamant_device::fault::FaultPlan;
+use adamant_device::health::{DeviceHealthRegistry, HealthPolicy};
 use adamant_device::profiles::DeviceProfile;
 use adamant_device::sdk::SdkKind;
 use adamant_task::registry::TaskRegistry;
@@ -118,6 +119,30 @@ impl Adamant {
         self.executor.run(graph, inputs, model)
     }
 
+    /// Like [`Adamant::run`] under a cancellation token: cancelling from
+    /// another thread unwinds the run between chunks (buffers released) and
+    /// returns [`adamant_core::ExecError::Cancelled`].
+    pub fn run_with_cancel(
+        &mut self,
+        graph: &PrimitiveGraph,
+        inputs: &QueryInputs,
+        model: ExecutionModel,
+        cancel: &CancelToken,
+    ) -> Result<(QueryOutput, ExecutionStats)> {
+        self.executor.run_with_cancel(graph, inputs, model, cancel)
+    }
+
+    /// The cross-query device health registry (breaker states, failure
+    /// memory), read-only.
+    pub fn health(&self) -> &DeviceHealthRegistry {
+        self.executor.health()
+    }
+
+    /// Statistics of the most recent run, kept even when the run failed.
+    pub fn last_run_stats(&self) -> Option<&ExecutionStats> {
+        self.executor.last_run_stats()
+    }
+
     /// Installs a fault plan on one device (by plug order), for chaos
     /// testing the recovery machinery.
     pub fn set_fault_plan(&mut self, index: usize, plan: FaultPlan) -> Result<()> {
@@ -150,6 +175,8 @@ pub struct AdamantBuilder {
     devices: Vec<Box<dyn Device>>,
     chunk_rows: Option<usize>,
     retry: Option<RetryPolicy>,
+    deadline_ns: Option<f64>,
+    health: Option<HealthPolicy>,
     fault_plans: Vec<(usize, FaultPlan)>,
     tasks: Option<TaskRegistry>,
 }
@@ -176,6 +203,21 @@ impl AdamantBuilder {
     /// Sets the recovery policy (OOM chunk backoff, device fallback).
     pub fn retry_policy(mut self, retry: RetryPolicy) -> Self {
         self.retry = Some(retry);
+        self
+    }
+
+    /// Sets a per-query deadline on the simulated timeline, in modeled
+    /// nanoseconds. Runs exceeding it unwind cleanly and return
+    /// [`adamant_core::ExecError::DeadlineExceeded`].
+    pub fn deadline_ns(mut self, budget_ns: f64) -> Self {
+        self.deadline_ns = Some(budget_ns);
+        self
+    }
+
+    /// Sets the device health policy (circuit-breaker thresholds, cool-down
+    /// length). Defaults to [`HealthPolicy::default`].
+    pub fn health_policy(mut self, policy: HealthPolicy) -> Self {
+        self.health = Some(policy);
         self
     }
 
@@ -210,10 +252,14 @@ impl AdamantBuilder {
         if let Some(retry) = self.retry {
             config.retry = retry;
         }
+        config.deadline_ns = self.deadline_ns;
         let mut engine = Adamant {
             executor: Executor::new(tasks, config),
             device_ids: Vec::new(),
         };
+        if let Some(policy) = self.health {
+            engine.executor.set_health_policy(policy);
+        }
         for p in &self.profiles {
             engine.plug_profile(p)?;
         }
@@ -231,7 +277,9 @@ impl AdamantBuilder {
 pub mod prelude {
     pub use crate::{Adamant, AdamantBuilder};
     pub use adamant_baseline::{BaselineExecutor, BaselineRun};
-    pub use adamant_core::executor::{Executor, ExecutorConfig, QueryInputs, RetryPolicy};
+    pub use adamant_core::executor::{
+        CancelToken, Executor, ExecutorConfig, QueryInputs, RetryPolicy,
+    };
     pub use adamant_core::graph::{DataRef, GraphBuilder, NodeParams, PrimitiveGraph};
     pub use adamant_core::models::ExecutionModel;
     pub use adamant_core::result::{OutputData, QueryOutput};
@@ -241,6 +289,9 @@ pub mod prelude {
     pub use adamant_device::cost::{CostClass, CostModel};
     pub use adamant_device::device::{Device, DeviceId, DeviceInfo, DeviceKind};
     pub use adamant_device::fault::{FaultCounters, FaultPlan};
+    pub use adamant_device::health::{
+        BreakerState, DeviceHealthRegistry, HealthPolicy, HealthSnapshot,
+    };
     pub use adamant_device::kernel::{ExecuteSpec, KernelSource, KernelStats};
     pub use adamant_device::profiles::DeviceProfile;
     pub use adamant_device::sdk::{SdkKind, SdkRepr};

@@ -48,6 +48,18 @@ pub enum ExecError {
         /// Conflicting length.
         actual: usize,
     },
+    /// The query's simulated-timeline budget was exhausted mid-run. The
+    /// attempt was unwound like any failed attempt (buffers released, ids
+    /// untracked) before this error surfaced.
+    DeadlineExceeded {
+        /// The configured budget in modeled nanoseconds.
+        budget_ns: f64,
+        /// Modeled nanoseconds actually spent when the deadline check fired.
+        spent_ns: f64,
+    },
+    /// The run was cancelled through its cancellation token. Unwound exactly
+    /// like [`ExecError::DeadlineExceeded`].
+    Cancelled,
     /// Internal invariant violation (a bug in an execution model).
     Internal(String),
 }
@@ -80,6 +92,14 @@ impl fmt::Display for ExecError {
                 f,
                 "scan `{scan}` columns disagree in length: {expected} vs {actual}"
             ),
+            ExecError::DeadlineExceeded {
+                budget_ns,
+                spent_ns,
+            } => write!(
+                f,
+                "query deadline exceeded: spent {spent_ns:.0} ns of a {budget_ns:.0} ns budget"
+            ),
+            ExecError::Cancelled => write!(f, "query cancelled"),
             ExecError::Internal(msg) => write!(f, "internal executor error: {msg}"),
         }
     }
@@ -123,6 +143,12 @@ mod tests {
         assert!(e.to_string().contains("storage error"));
         let e = ExecError::MissingInput("l_qty".into());
         assert!(e.to_string().contains("l_qty"));
+        let e = ExecError::DeadlineExceeded {
+            budget_ns: 1000.0,
+            spent_ns: 1500.0,
+        };
+        assert!(e.to_string().contains("deadline exceeded"));
+        assert!(ExecError::Cancelled.to_string().contains("cancelled"));
     }
 
     #[test]

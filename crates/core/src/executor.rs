@@ -19,6 +19,7 @@ use crate::timeline::{overlapped_makespan, ChunkCost};
 use adamant_device::buffer::{BufferData, BufferId};
 use adamant_device::clock::Lane;
 use adamant_device::device::{Device, DeviceId};
+use adamant_device::health::{DeviceHealthRegistry, HealthPolicy};
 use adamant_device::kernel::ExecuteSpec;
 use adamant_device::profiles::DeviceProfile;
 use adamant_device::registry::DeviceRegistry;
@@ -39,6 +40,11 @@ pub struct ExecutorConfig {
     pub chunk_rows: usize,
     /// How the executor recovers from device faults mid-query.
     pub retry: RetryPolicy,
+    /// Simulated-timeline budget per query, in modeled nanoseconds. The
+    /// streaming loops check it between chunks and the recovery loop before
+    /// each attempt; exceeding it unwinds the attempt like the OOM path and
+    /// returns [`ExecError::DeadlineExceeded`]. `None` disables the check.
+    pub deadline_ns: Option<f64>,
 }
 
 impl Default for ExecutorConfig {
@@ -46,6 +52,7 @@ impl Default for ExecutorConfig {
         ExecutorConfig {
             chunk_rows: 1 << 20,
             retry: RetryPolicy::default(),
+            deadline_ns: None,
         }
     }
 }
@@ -71,6 +78,10 @@ pub struct RetryPolicy {
     pub allow_fallback: bool,
     /// Smallest chunk size the out-of-memory backoff will reach.
     pub min_chunk_rows: usize,
+    /// After this many consecutive successful chunks at a backed-off size,
+    /// the streaming chunk size doubles back toward the configured
+    /// `chunk_rows` (never above it). `0` disables regrowth.
+    pub regrow_after_chunks: usize,
 }
 
 impl Default for RetryPolicy {
@@ -79,7 +90,104 @@ impl Default for RetryPolicy {
             max_attempts: 4,
             allow_fallback: true,
             min_chunk_rows: 1,
+            regrow_after_chunks: 4,
         }
+    }
+}
+
+/// Cooperative cancellation token for [`Executor::run_with_cancel`].
+///
+/// Clone it, hand one copy to the run and keep the other; calling
+/// [`CancelToken::cancel`] from anywhere (another thread, a timeout watcher)
+/// makes the run unwind at its next between-chunks check and return
+/// [`ExecError::Cancelled`] with all buffers released.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    flag: Arc<std::sync::atomic::AtomicBool>,
+}
+
+impl CancelToken {
+    /// Creates a token in the not-cancelled state.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Requests cancellation (idempotent, callable from any thread).
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// Per-run deadline + cancellation bundle threaded through the execution
+/// loops.
+struct RunControl {
+    deadline_ns: Option<f64>,
+    cancel: CancelToken,
+}
+
+impl RunControl {
+    /// Cooperative check: called between chunks, between whole-mode nodes
+    /// and before each recovery attempt, with the modeled time spent so far.
+    fn check(&self, spent_ns: f64, stats: &mut ExecutionStats) -> Result<()> {
+        if self.cancel.is_cancelled() {
+            return Err(ExecError::Cancelled);
+        }
+        if let Some(budget_ns) = self.deadline_ns {
+            if spent_ns > budget_ns {
+                stats.deadline_aborts += 1;
+                return Err(ExecError::DeadlineExceeded {
+                    budget_ns,
+                    spent_ns,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Deterministic chunk-size schedule for one streaming attempt.
+///
+/// A failed chunk unwinds the whole attempt, so every chunk an attempt
+/// processes succeeded and "after K consecutive successful chunks" is a
+/// pure function of the chunk index: starting from a (possibly backed-off)
+/// `start`, the size doubles every `regrow_after` chunks, capped at the
+/// configured size. The transfer thread and the execute thread evaluate
+/// the same schedule independently — no shared mutable size — so chunk
+/// boundaries, and every stat derived from them, are identical under any
+/// thread interleaving.
+#[derive(Clone, Copy)]
+struct ChunkSchedule {
+    start: usize,
+    configured: usize,
+    regrow_after: usize,
+}
+
+impl ChunkSchedule {
+    /// Rows for the `chunk`-th (0-based) chunk of the attempt.
+    fn rows_for(&self, chunk: usize) -> usize {
+        let mut size = self.start.max(1);
+        if self.regrow_after == 0 {
+            return size;
+        }
+        for _ in 0..(chunk / self.regrow_after) {
+            if size >= self.configured {
+                break;
+            }
+            size = (size * 2).min(self.configured);
+        }
+        size
+    }
+
+    /// True when `chunk` is the first chunk of a regrown group (each
+    /// doubling is counted once, and only if a chunk actually runs at the
+    /// new size).
+    fn regrows_at(&self, chunk: usize) -> bool {
+        chunk > 0 && self.rows_for(chunk) > self.rows_for(chunk - 1)
     }
 }
 
@@ -124,11 +232,14 @@ impl QueryInputs {
     }
 }
 
-/// The ADAMANT executor: plugged devices + task registry + configuration.
+/// The ADAMANT executor: plugged devices + task registry + configuration,
+/// plus the cross-query [`DeviceHealthRegistry`] that feeds placement.
 pub struct Executor {
     devices: DeviceRegistry,
     tasks: TaskRegistry,
     config: ExecutorConfig,
+    health: DeviceHealthRegistry,
+    last_stats: Option<ExecutionStats>,
 }
 
 impl Executor {
@@ -138,6 +249,8 @@ impl Executor {
             devices: DeviceRegistry::new(),
             tasks,
             config,
+            health: DeviceHealthRegistry::default(),
+            last_stats: None,
         }
     }
 
@@ -187,6 +300,35 @@ impl Executor {
         self.config.retry = retry;
     }
 
+    /// Sets (or clears) the per-query simulated-timeline deadline.
+    pub fn set_deadline_ns(&mut self, deadline_ns: Option<f64>) {
+        self.config.deadline_ns = deadline_ns;
+    }
+
+    /// Replaces the health policy (breaker thresholds, cool-down length).
+    /// Recorded health is kept.
+    pub fn set_health_policy(&mut self, policy: HealthPolicy) {
+        self.health.set_policy(policy);
+    }
+
+    /// The cross-query device health registry, read-only.
+    pub fn health(&self) -> &DeviceHealthRegistry {
+        &self.health
+    }
+
+    /// Mutable health registry access (tests force breaker states; callers
+    /// may `reset()` it between experiments).
+    pub fn health_mut(&mut self) -> &mut DeviceHealthRegistry {
+        &mut self.health
+    }
+
+    /// Statistics of the most recent run, kept even when the run failed —
+    /// the only way to observe breaker trips and deadline aborts of a query
+    /// that returned an error.
+    pub fn last_run_stats(&self) -> Option<&ExecutionStats> {
+        self.last_stats.as_ref()
+    }
+
     /// Installs a fault plan on one device (testing / chaos runs).
     pub fn set_fault_plan(
         &mut self,
@@ -205,6 +347,19 @@ impl Executor {
         graph: &PrimitiveGraph,
         inputs: &QueryInputs,
         model: ExecutionModel,
+    ) -> Result<(QueryOutput, ExecutionStats)> {
+        self.run_with_cancel(graph, inputs, model, &CancelToken::new())
+    }
+
+    /// Like [`Executor::run`], under a [`CancelToken`]: cancelling from
+    /// another thread unwinds the run between chunks (buffers released, ids
+    /// untracked) and returns [`ExecError::Cancelled`].
+    pub fn run_with_cancel(
+        &mut self,
+        graph: &PrimitiveGraph,
+        inputs: &QueryInputs,
+        model: ExecutionModel,
+        cancel: &CancelToken,
     ) -> Result<(QueryOutput, ExecutionStats)> {
         let wall = Instant::now();
         // Work on a private copy: recovery may re-place nodes onto fallback
@@ -229,6 +384,15 @@ impl Executor {
             pipelines: pipelines.len(),
             ..Default::default()
         };
+        // Health-aware placement repair: move pipelines off quarantined
+        // devices, admit at most one half-open probe, and tell the hub which
+        // devices to avoid as transfer sources.
+        self.apply_health_placement(&mut graph, &pipelines, &mut stats);
+        hub.set_quarantined(self.health.quarantined_ids().into_iter().collect());
+        let control = RunControl {
+            deadline_ns: self.config.deadline_ns,
+            cancel: cancel.clone(),
+        };
         let mut tally = Tally::default();
         let escaping = escaping_refs(&graph, &pipelines);
 
@@ -236,6 +400,7 @@ impl Executor {
             for pipeline in &pipelines.pipelines {
                 self.run_pipeline_with_recovery(
                     &mut graph, pipeline, inputs, cfg, &mut hub, &mut stats, &mut tally, &escaping,
+                    &control,
                 )?;
             }
             self.collect_outputs(&graph, &mut hub, &mut stats, &mut tally)
@@ -255,6 +420,7 @@ impl Executor {
                 stats.device_faults.insert(dev.info().name.clone(), delta);
             }
         }
+        stats.quarantine_skips += hub.take_quarantine_skips();
         // Delete phase: free everything this run created.
         hub.delete_all(&mut self.devices);
         for id in self.devices.ids() {
@@ -263,8 +429,72 @@ impl Executor {
 
         stats.total_ns = tally.serial_ns + tally.overlap_ns;
         stats.wall_ns = wall.elapsed().as_nanos() as u64;
+
+        // Tick breaker cool-downs and snapshot post-query health, whether
+        // the run succeeded or not.
+        self.health.on_query_completed();
+        let mut names: BTreeMap<DeviceId, String> = BTreeMap::new();
+        for id in self.devices.ids() {
+            names.insert(id, self.devices.get(id)?.info().name.clone());
+        }
+        for (id, snap) in self.health.snapshot() {
+            let name = names
+                .get(&id)
+                .cloned()
+                .unwrap_or_else(|| format!("dev#{}", id.0));
+            stats.device_health.insert(name, snap);
+        }
+        self.last_stats = Some(stats.clone());
         let output = run_result?;
         Ok((output, stats))
+    }
+
+    /// Pre-run placement repair from cross-query health: every pipeline
+    /// placed on a quarantined device is moved to a healthy capable device
+    /// when one exists; a `HalfOpen` device keeps exactly one pipeline as
+    /// its recovery probe and sheds the rest.
+    fn apply_health_placement(
+        &mut self,
+        graph: &mut PrimitiveGraph,
+        pipelines: &PipelineSet,
+        stats: &mut ExecutionStats,
+    ) {
+        let mut probe_granted: HashSet<DeviceId> = HashSet::new();
+        for pipeline in &pipelines.pipelines {
+            let mut devs: Vec<DeviceId> = pipeline
+                .nodes
+                .iter()
+                .map(|&n| graph.node(n).device)
+                .collect();
+            devs.sort_unstable();
+            devs.dedup();
+            for dev in devs {
+                let avoid = if self.health.is_quarantined(dev) {
+                    true
+                } else if self.health.is_half_open(dev) {
+                    if self.health.probe_candidate(dev) && !probe_granted.contains(&dev) {
+                        // This pipeline is the device's one probe this query.
+                        probe_granted.insert(dev);
+                        self.health.begin_probe(dev);
+                        false
+                    } else {
+                        // Already probing via an earlier pipeline: shed the
+                        // extra load until the probe verdict is in.
+                        true
+                    }
+                } else {
+                    false
+                };
+                if avoid {
+                    if let Ok(true) = self.repoint_pipeline(graph, pipeline, dev) {
+                        stats.quarantine_skips += 1;
+                    }
+                    // No healthy capable candidate: leave the placement and
+                    // let the run try its luck (graceful degradation beats
+                    // refusing to run at all).
+                }
+            }
+        }
     }
 
     /// Runs one pipeline with bounded fault recovery (the tentpole of the
@@ -282,6 +512,7 @@ impl Executor {
         stats: &mut ExecutionStats,
         tally: &mut Tally,
         escaping: &HashSet<DataRef>,
+        control: &RunControl,
     ) -> Result<()> {
         let retry = self.config.retry;
         let mut chunk_rows = self.config.chunk_rows;
@@ -291,16 +522,37 @@ impl Executor {
         let mut attempt = 0usize;
         loop {
             attempt += 1;
+            control.check(tally.serial_ns + tally.overlap_ns, stats)?;
+            // Devices this attempt runs on (re-placement changes them), for
+            // the health registry's attempt/success accounting.
+            let mut attempt_devs: Vec<DeviceId> = pipeline
+                .nodes
+                .iter()
+                .map(|&n| graph.node(n).device)
+                .collect();
+            attempt_devs.sort_unstable();
+            attempt_devs.dedup();
+            for &d in &attempt_devs {
+                self.health.record_attempt(d);
+            }
+            let lanes_before = stats.transfer_ns + stats.compute_ns + stats.other_ns;
             let mark = hub.mark();
             let result = if pipeline.is_streaming() && cfg.chunked {
                 self.run_streaming(
-                    graph, pipeline, inputs, cfg, chunk_rows, hub, stats, tally, escaping,
+                    graph, pipeline, inputs, cfg, chunk_rows, hub, stats, tally, escaping, control,
                 )
             } else {
-                self.run_whole(graph, pipeline, inputs, hub, stats, tally)
+                self.run_whole(graph, pipeline, inputs, hub, stats, tally, control)
             };
             let err = match result {
-                Ok(()) => return Ok(()),
+                Ok(()) => {
+                    for &d in &attempt_devs {
+                        if self.health.record_success(d) {
+                            stats.probe_successes += 1;
+                        }
+                    }
+                    return Ok(());
+                }
                 Err(e) => e,
             };
 
@@ -317,6 +569,33 @@ impl Executor {
                         hub.discard_host(*r);
                     }
                 }
+            }
+
+            // Feed the failure back into the health registry: what the
+            // attempt burned (the stats lanes kept accumulating through the
+            // chunk loop and the unwind drain) is its observed retry cost.
+            let wasted_ns =
+                (stats.transfer_ns + stats.compute_ns + stats.other_ns - lanes_before).max(0.0);
+            let tripped = match &err {
+                ExecError::KernelFailed { device, source, .. } if is_oom(source) => {
+                    self.health.record_oom(*device, wasted_ns)
+                }
+                ExecError::KernelFailed { device, kernel, .. } => self
+                    .health
+                    .record_kernel_failure(*device, kernel, wasted_ns),
+                ExecError::Device(de) if is_oom(de) => {
+                    // A bare device OOM does not say which device; charge the
+                    // pipeline's first device (deterministic, and pipelines
+                    // are single-device in all built-in plans).
+                    match attempt_devs.first() {
+                        Some(&d) => self.health.record_oom(d, wasted_ns),
+                        None => false,
+                    }
+                }
+                _ => false,
+            };
+            if tripped {
+                stats.breaker_trips += 1;
             }
 
             if attempt >= retry.max_attempts.max(1) {
@@ -391,8 +670,12 @@ impl Executor {
     }
 
     /// Moves every node of `pipeline` currently placed on `failed` onto the
-    /// lowest-id other device that implements all of them. Returns whether
-    /// a re-placement happened.
+    /// best other device that implements all of them, consulting the health
+    /// registry. Candidates where any moving kernel is already known broken
+    /// are never chosen; quarantined devices only as a last resort; among
+    /// the healthy candidates the recovery-aware placement cost (modeled
+    /// staging transfer plus expected retry penalty) picks the winner,
+    /// lowest id on ties. Returns whether a re-placement happened.
     fn repoint_pipeline(
         &self,
         graph: &mut PrimitiveGraph,
@@ -408,25 +691,46 @@ impl Executor {
         if moving.is_empty() {
             return Ok(false);
         }
+        let est_bytes = (self.config.chunk_rows.max(1) * 8) as u64;
+        let mut healthy: Vec<(f64, DeviceId)> = Vec::new();
+        let mut last_resort: Vec<DeviceId> = Vec::new();
         for cand in self.devices.ids() {
             if cand == failed {
                 continue;
             }
-            let sdk = self.devices.get(cand)?.info().sdk;
+            let dev = self.devices.get(cand)?;
+            let sdk = dev.info().sdk;
             let capable = moving.iter().all(|&n| {
                 let node = graph.node(n);
-                self.tasks
-                    .resolve(node.kind, sdk, node.variant.as_deref())
-                    .is_some()
+                match self.tasks.resolve(node.kind, sdk, node.variant.as_deref()) {
+                    Some(c) => !self.health.kernel_known_broken(cand, &c.kernel_name()),
+                    None => false,
+                }
             });
-            if capable {
+            if !capable {
+                continue;
+            }
+            if self.health.is_quarantined(cand) {
+                last_resort.push(cand);
+            } else {
+                let penalty = self.health.retry_penalty_ns(cand);
+                healthy.push((dev.placement_cost_ns(est_bytes, penalty), cand));
+            }
+        }
+        let target = healthy
+            .into_iter()
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+            .map(|(_, id)| id)
+            .or_else(|| last_resort.into_iter().min());
+        match target {
+            Some(cand) => {
                 for &n in &moving {
                     graph.nodes[n.0].device = cand;
                 }
-                return Ok(true);
+                Ok(true)
             }
+            None => Ok(false),
         }
-        Ok(false)
     }
 
     /// The first device in `pipeline` whose SDK lacks an implementation for
@@ -479,6 +783,7 @@ impl Executor {
 
     // ---- whole-input execution (OAAT and full-buffer pipelines) ---------
 
+    #[allow(clippy::too_many_arguments)]
     fn run_whole(
         &mut self,
         graph: &PrimitiveGraph,
@@ -487,8 +792,10 @@ impl Executor {
         hub: &mut DataTransferHub,
         stats: &mut ExecutionStats,
         tally: &mut Tally,
+        control: &RunControl,
     ) -> Result<()> {
         for &node_id in &pipeline.nodes {
+            control.check(tally.serial_ns + tally.overlap_ns, stats)?;
             let node = graph.node(node_id).clone();
             // Resolve inputs.
             let mut in_ids = Vec::with_capacity(node.inputs.len());
@@ -563,12 +870,28 @@ impl Executor {
         stats: &mut ExecutionStats,
         tally: &mut Tally,
         escaping: &HashSet<DataRef>,
+        control: &RunControl,
     ) -> Result<()> {
         let scan = pipeline
             .scan
             .clone()
             .expect("streaming pipeline has a scan");
         let chunk_rows = chunk_rows.max(1);
+        // Adaptive regrowth: after `regrow_after_chunks` consecutive
+        // successful chunks at a backed-off size, double back toward the
+        // configured size. Staging buffers grow in place (`place_data`
+        // re-checks the accounting, so an over-eager regrow surfaces as a
+        // recoverable OOM). Any failed chunk unwinds the whole attempt, so
+        // within an attempt every processed chunk succeeded and the size is
+        // a pure function of the chunk index — both streaming loops (and the
+        // overlap path's transfer thread) evaluate the same [`ChunkSchedule`]
+        // instead of exchanging sizes through shared state, keeping chunk
+        // boundaries deterministic under any thread interleaving.
+        let schedule = ChunkSchedule {
+            start: chunk_rows,
+            configured: self.config.chunk_rows.max(1),
+            regrow_after: self.config.retry.regrow_after_chunks,
+        };
 
         // The scan columns this pipeline streams, and their length.
         let mut scan_cols: Vec<(usize, Arc<Vec<i64>>)> = Vec::new();
@@ -681,13 +1004,20 @@ impl Executor {
                     cfg.staging_buffers,
                 );
             let producer_cols: Vec<(usize, Arc<Vec<i64>>)> = scan_cols.clone();
+            let producer_cancel = control.cancel.clone();
             let result: Result<()> = std::thread::scope(|scope| {
                 let fetched = &fetched_until;
                 let processed = &processed_until;
                 scope.spawn(move || {
-                    for chunk in 0..n_chunks {
-                        let offset = chunk * chunk_rows;
-                        let len = chunk_rows.min(rows - offset);
+                    let mut chunk = 0usize;
+                    let mut offset = 0usize;
+                    while offset < rows {
+                        // Cooperative cancellation: stop slicing; the execute
+                        // side surfaces the error at its own check.
+                        if producer_cancel.is_cancelled() {
+                            return;
+                        }
+                        let len = schedule.rows_for(chunk).min(rows - offset);
                         let payloads: Vec<(usize, BufferData)> = producer_cols
                             .iter()
                             .map(|(idx, col)| {
@@ -703,13 +1033,20 @@ impl Executor {
                         if tx.send((chunk, offset, len, payloads)).is_err() {
                             return; // executor side failed; stop transferring
                         }
+                        chunk += 1;
+                        offset += len;
                     }
                 });
                 // `rx` is moved into this scope so an early `?` return drops
                 // it, failing the producer's blocked `send` instead of
                 // deadlocking the implicit join at scope exit.
                 let rx = rx;
+                let mut streamed_ns = 0.0_f64;
                 for (chunk, offset, len, payloads) in rx.iter() {
+                    control.check(tally.serial_ns + tally.overlap_ns + streamed_ns, stats)?;
+                    if schedule.regrows_at(chunk) {
+                        stats.chunk_regrowths += 1;
+                    }
                     debug_assert!(
                         fetched.load(Ordering::Acquire) > processed.load(Ordering::Acquire),
                         "execute thread ran ahead of transfer thread"
@@ -731,6 +1068,7 @@ impl Executor {
                         len,
                         payloads,
                     )?;
+                    streamed_ns += cost.transfer_ns + cost.compute_ns;
                     chunk_costs.push(cost);
                     processed.fetch_add(1, Ordering::Release);
                 }
@@ -738,9 +1076,15 @@ impl Executor {
             });
             result?;
         } else {
-            for chunk in 0..n_chunks {
-                let offset = chunk * chunk_rows;
-                let len = chunk_rows.min(rows - offset);
+            let mut chunk = 0usize;
+            let mut offset = 0usize;
+            let mut streamed_ns = 0.0_f64;
+            while offset < rows {
+                control.check(tally.serial_ns + tally.overlap_ns + streamed_ns, stats)?;
+                if schedule.regrows_at(chunk) {
+                    stats.chunk_regrowths += 1;
+                }
+                let len = schedule.rows_for(chunk).min(rows - offset);
                 let payloads: Vec<(usize, BufferData)> = scan_cols
                     .iter()
                     .map(|(idx, col)| (*idx, BufferData::I64(col[offset..offset + len].to_vec())))
@@ -762,10 +1106,13 @@ impl Executor {
                     len,
                     payloads,
                 )?;
+                streamed_ns += cost.transfer_ns + cost.compute_ns;
                 chunk_costs.push(cost);
+                chunk += 1;
+                offset += len;
             }
         }
-        stats.chunks_processed += n_chunks;
+        stats.chunks_processed += chunk_costs.len();
         // Escaped scratch refs that never saw a chunk (empty scans) still
         // need an (empty) host accumulation for downstream consumers.
         for &node_id in &pipeline.nodes {

@@ -126,6 +126,11 @@ pub struct DataTransferHub {
     host_offsets: HashMap<DataRef, usize>,
     /// Every buffer created per device, for the delete phase.
     created: Vec<(DeviceId, BufferId)>,
+    /// Devices quarantined by the health registry: the router avoids them
+    /// as transfer sources while any healthy copy exists.
+    quarantined: std::collections::BTreeSet<DeviceId>,
+    /// Transfers whose source was re-picked away from a quarantined holder.
+    quarantine_skips: usize,
 }
 
 impl DataTransferHub {
@@ -138,6 +143,19 @@ impl DataTransferHub {
     pub fn fresh_id(&mut self) -> BufferId {
         self.next_id += 1;
         BufferId(self.next_id)
+    }
+
+    /// Installs the set of quarantined devices the router should avoid as
+    /// transfer sources (the executor refreshes this at the start of each
+    /// run from the health registry).
+    pub fn set_quarantined(&mut self, devices: std::collections::BTreeSet<DeviceId>) {
+        self.quarantined = devices;
+    }
+
+    /// Takes (and resets) the count of transfers re-sourced away from a
+    /// quarantined holder, for the run's stats.
+    pub fn take_quarantine_skips(&mut self) -> usize {
+        std::mem::take(&mut self.quarantine_skips)
     }
 
     /// Records that `data` is materialized on `device` under `id`.
@@ -174,13 +192,27 @@ impl DataTransferHub {
         // Find a source device holding it. When several devices hold a
         // copy, pick the lowest device id so the transfer source (and the
         // clocks it charges) is deterministic across runs — HashMap
-        // iteration order must never leak into the execution.
-        let source = self
+        // iteration order must never leak into the execution. Quarantined
+        // holders are passed over while any healthy copy exists (the data is
+        // intact either way, but reading through a tripped device keeps it
+        // on the critical path and delays its recovery probe).
+        let mut holders: Vec<(DeviceId, BufferId)> = self
             .resident
             .iter()
             .filter(|((r, _), _)| *r == data)
-            .min_by_key(|((_, d), _)| *d)
-            .map(|((_, d), id)| (*d, *id));
+            .map(|((_, d), id)| (*d, *id))
+            .collect();
+        holders.sort_unstable_by_key(|(d, _)| *d);
+        let source = holders
+            .iter()
+            .find(|(d, _)| !self.quarantined.contains(d))
+            .or_else(|| holders.first())
+            .copied();
+        if let (Some((chosen, _)), Some(&(lowest, _))) = (source, holders.first()) {
+            if chosen != lowest {
+                self.quarantine_skips += 1;
+            }
+        }
         if let Some((src_dev, src_id)) = source {
             let payload = devices.get_mut(src_dev)?.retrieve_data(src_id, None, 0)?;
             let new_id = self.fresh_id();

@@ -34,7 +34,7 @@ pub mod stats;
 pub mod timeline;
 
 pub use error::ExecError;
-pub use executor::{Executor, ExecutorConfig, QueryInputs, RetryPolicy};
+pub use executor::{CancelToken, Executor, ExecutorConfig, QueryInputs, RetryPolicy};
 pub use graph::{DataRef, GraphBuilder, NodeId, NodeParams, PrimitiveGraph, PrimitiveNode};
 pub use models::ExecutionModel;
 pub use pipeline::{Pipeline, PipelineSet};
@@ -44,7 +44,7 @@ pub use stats::ExecutionStats;
 /// Convenience re-exports.
 pub mod prelude {
     pub use crate::error::ExecError;
-    pub use crate::executor::{Executor, ExecutorConfig, QueryInputs, RetryPolicy};
+    pub use crate::executor::{CancelToken, Executor, ExecutorConfig, QueryInputs, RetryPolicy};
     pub use crate::graph::{
         DataRef, GraphBuilder, NodeId, NodeParams, PrimitiveGraph, PrimitiveNode,
     };

@@ -1,5 +1,6 @@
 //! Execution statistics — the quantities the paper's figures report.
 
+use adamant_device::health::HealthSnapshot;
 use std::collections::BTreeMap;
 
 /// Statistics of one query execution.
@@ -44,6 +45,24 @@ pub struct ExecutionStats {
     /// Retries where a pipeline was re-placed onto a fallback device after
     /// a persistent kernel failure or missing implementation.
     pub fallback_placements: usize,
+    /// Chunk-size regrowths: the backed-off streaming chunk size was doubled
+    /// back toward the configured value after sustained success.
+    pub chunk_regrowths: usize,
+    /// Device circuit breakers tripped (`Closed → Open`, or a failed
+    /// `HalfOpen` probe re-opening) during this run.
+    pub breaker_trips: usize,
+    /// Times a quarantined device was skipped: pipelines moved off `Open`
+    /// devices at placement time plus hub transfers re-sourced away from
+    /// quarantined holders.
+    pub quarantine_skips: usize,
+    /// `HalfOpen` probes that succeeded and restored a device to `Closed`.
+    pub probe_successes: usize,
+    /// Runs aborted because the simulated-timeline deadline was exceeded.
+    pub deadline_aborts: usize,
+    /// Per-device health snapshot (breaker state, failure counts, current
+    /// placement penalty) at the end of this run, keyed by device name.
+    /// Deterministic ordering for reproducible reports.
+    pub device_health: BTreeMap<String, HealthSnapshot>,
     /// Faults injected per device name during this run (only devices with a
     /// non-zero count appear). Deterministic ordering for reproducible
     /// reports.
@@ -107,14 +126,31 @@ impl ExecutionStats {
             .iter()
             .map(|(k, v)| format!("\"{}\":{v}", esc(k)))
             .collect();
+        let health: Vec<String> = self
+            .device_health
+            .iter()
+            .map(|(k, h)| {
+                format!(
+                    "\"{}\":{{\"state\":\"{}\",\"kernel_failures\":{},\"ooms\":{},\
+                     \"retry_penalty_ns\":{:.1}}}",
+                    esc(k),
+                    h.state.label(),
+                    h.kernel_failures,
+                    h.ooms,
+                    h.retry_penalty_ns,
+                )
+            })
+            .collect();
         format!(
             concat!(
                 "{{\"model\":\"{}\",\"total_ns\":{:.1},\"transfer_ns\":{:.1},",
                 "\"compute_ns\":{:.1},\"other_ns\":{:.1},\"overhead_ns\":{:.1},",
                 "\"bytes_h2d\":{},\"bytes_d2h\":{},\"chunks\":{},\"pipelines\":{},",
                 "\"retries\":{},\"chunk_backoffs\":{},\"fallback_placements\":{},",
+                "\"chunk_regrowths\":{},\"breaker_trips\":{},\"quarantine_skips\":{},",
+                "\"probe_successes\":{},\"deadline_aborts\":{},",
                 "\"wall_ns\":{},\"per_primitive_ns\":{{{}}},\"peak_device_bytes\":{{{}}},",
-                "\"device_faults\":{{{}}}}}"
+                "\"device_faults\":{{{}}},\"device_health\":{{{}}}}}"
             ),
             esc(&self.model),
             self.total_ns,
@@ -129,10 +165,16 @@ impl ExecutionStats {
             self.retries,
             self.chunk_backoffs,
             self.fallback_placements,
+            self.chunk_regrowths,
+            self.breaker_trips,
+            self.quarantine_skips,
+            self.probe_successes,
+            self.deadline_aborts,
             self.wall_ns,
             per_primitive.join(","),
             peaks.join(","),
             faults.join(","),
+            health.join(","),
         )
     }
 }
@@ -190,7 +232,21 @@ mod tests {
         s.retries = 3;
         s.chunk_backoffs = 2;
         s.fallback_placements = 1;
+        s.chunk_regrowths = 4;
+        s.breaker_trips = 1;
+        s.quarantine_skips = 2;
+        s.probe_successes = 1;
+        s.deadline_aborts = 1;
         s.device_faults.insert("gpu0".into(), 5);
+        s.device_health.insert(
+            "gpu0".into(),
+            HealthSnapshot {
+                state: adamant_device::health::BreakerState::Open { cooldown_left: 2 },
+                kernel_failures: 2,
+                ooms: 1,
+                retry_penalty_ns: 123.45,
+            },
+        );
         let json = s.to_json();
         assert!(json.starts_with('{') && json.ends_with('}'));
         assert!(json.contains("\"model\":\"chunked\""));
@@ -199,7 +255,16 @@ mod tests {
         assert!(json.contains("\"retries\":3"));
         assert!(json.contains("\"chunk_backoffs\":2"));
         assert!(json.contains("\"fallback_placements\":1"));
+        assert!(json.contains("\"chunk_regrowths\":4"));
+        assert!(json.contains("\"breaker_trips\":1"));
+        assert!(json.contains("\"quarantine_skips\":2"));
+        assert!(json.contains("\"probe_successes\":1"));
+        assert!(json.contains("\"deadline_aborts\":1"));
         assert!(json.contains("\"device_faults\":{\"gpu0\":5}"));
+        assert!(json.contains(
+            "\"device_health\":{\"gpu0\":{\"state\":\"open\",\"kernel_failures\":2,\
+             \"ooms\":1,\"retry_penalty_ns\":123.5}}"
+        ));
         // Quotes in labels are escaped.
         assert!(json.contains("filter \\\"x\\\""));
         // Balanced braces.

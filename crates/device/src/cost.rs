@@ -209,6 +209,18 @@ impl CostModel {
         let t_s = self.kernel_ns(class, elements, arg_count) / 1e9;
         elements as f64 / (1u64 << 30) as f64 / t_s
     }
+
+    /// Recovery-aware placement cost: what moving a `working_set_bytes`
+    /// working set onto this device is expected to cost, including the
+    /// expected-retry penalty the health registry derived from the device's
+    /// observed failure rate (failure rate × average wasted modeled time).
+    ///
+    /// Fallback placement ranks candidates by this value, so a flaky or
+    /// memory-tight device loses ties against an equally capable healthy one
+    /// instead of winning them by id order.
+    pub fn placement_cost_ns(&self, working_set_bytes: u64, retry_penalty_ns: f64) -> f64 {
+        self.h2d_ns(working_set_bytes, false) + retry_penalty_ns.max(0.0)
+    }
 }
 
 impl Default for CostModel {
@@ -341,5 +353,16 @@ mod tests {
         let m = CostModel::default();
         let t = m.throughput_gips(CostClass::MapLike, 1 << 28, 2);
         assert!(t > 0.0 && t < 100.0);
+    }
+
+    #[test]
+    fn placement_cost_charges_retry_penalty() {
+        let m = discrete();
+        let healthy = m.placement_cost_ns(1 << 20, 0.0);
+        let flaky = m.placement_cost_ns(1 << 20, 50_000.0);
+        assert_eq!(healthy, m.h2d_ns(1 << 20, false));
+        assert!((flaky - healthy - 50_000.0).abs() < 1e-9);
+        // Negative penalties (a bug upstream) must not discount a device.
+        assert_eq!(m.placement_cost_ns(1 << 20, -10.0), healthy);
     }
 }

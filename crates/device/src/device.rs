@@ -143,6 +143,19 @@ pub trait Device: Send {
     fn fault_counters(&self) -> FaultCounters {
         FaultCounters::default()
     }
+
+    /// Recovery-aware placement cost of moving a `working_set_bytes` working
+    /// set onto this device, given the expected-retry penalty the health
+    /// registry attributes to it. Fallback placement ranks candidate devices
+    /// by this value (ties broken by lowest id).
+    ///
+    /// The default charges only the penalty — drivers without a cost model
+    /// still let health feedback order candidates.
+    /// [`crate::sim::SimDevice`] adds its modeled transfer cost via
+    /// [`crate::cost::CostModel::placement_cost_ns`].
+    fn placement_cost_ns(&self, _working_set_bytes: u64, retry_penalty_ns: f64) -> f64 {
+        retry_penalty_ns.max(0.0)
+    }
 }
 
 #[cfg(test)]

@@ -14,13 +14,16 @@
 //! actually happened.
 
 use crate::error::{DeviceError, Result};
+use adamant_storage::rng::Rng;
 
 /// A deterministic script of failures for one device.
 ///
-/// All triggers are based on per-device operation ordinals (allocation
-/// count, execute count), never on wall-clock time or randomness, so a plan
-/// replays identically on every run.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+/// Scripted triggers are based on per-device operation ordinals (allocation
+/// count, execute count). Probabilistic triggers ([`FaultPlan::oom_rate`],
+/// [`FaultPlan::exec_error_rate`]) draw from a SplitMix64 stream seeded by
+/// [`FaultPlan::with_seed`] — never from wall-clock time or OS entropy — so
+/// a plan replays identically on every run with the same seed.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct FaultPlan {
     /// 1-based allocation ordinals that fail with
     /// [`DeviceError::OutOfMemory`]. Each listed ordinal fires exactly once.
@@ -35,6 +38,15 @@ pub struct FaultPlan {
     /// above the cap fail with [`DeviceError::OutOfMemory`], as if the
     /// device were smaller than its profile advertises.
     pub capacity_cap: Option<u64>,
+    /// Seed for the probabilistic triggers below (chaos soaks sweep it).
+    /// `None` behaves like seed 0.
+    pub seed: Option<u64>,
+    /// Probability in `[0, 1]` that any given `execute()` call fails with a
+    /// transient driver error (drawn per call from the seeded stream).
+    pub exec_error_rate: f64,
+    /// Probability in `[0, 1]` that any given allocation fails with
+    /// [`DeviceError::OutOfMemory`] (drawn per call from the seeded stream).
+    pub oom_rate: f64,
 }
 
 impl FaultPlan {
@@ -67,12 +79,41 @@ impl FaultPlan {
         self
     }
 
+    /// Seeds the probabilistic triggers. The same seed (with the same rates
+    /// and the same operation sequence) reproduces the exact same failures.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Makes each `execute()` call fail with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn exec_error_rate(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "rate must be in [0, 1]");
+        self.exec_error_rate = p;
+        self
+    }
+
+    /// Makes each allocation fail with probability `p`.
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn oom_rate(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "rate must be in [0, 1]");
+        self.oom_rate = p;
+        self
+    }
+
     /// True when the plan injects nothing.
     pub fn is_empty(&self) -> bool {
         self.oom_on_alloc.is_empty()
             && self.transient_exec_errors == 0
             && self.broken_kernels.is_empty()
             && self.capacity_cap.is_none()
+            && self.exec_error_rate == 0.0
+            && self.oom_rate == 0.0
     }
 }
 
@@ -94,20 +135,37 @@ impl FaultCounters {
     }
 }
 
-/// Live fault-injection state: the plan plus per-device ordinals.
+/// Live fault-injection state: the plan plus per-device ordinals and the
+/// seeded streams behind the probabilistic triggers.
 #[derive(Clone, Debug, Default)]
 pub struct FaultState {
     plan: FaultPlan,
     allocs_seen: u64,
     execs_seen: u64,
     counters: FaultCounters,
+    /// Separate streams for allocation and execution draws, so the two
+    /// trigger kinds do not perturb each other's sequences.
+    alloc_rng: Option<Rng>,
+    exec_rng: Option<Rng>,
 }
 
 impl FaultState {
-    /// Installs a new plan, resetting ordinals and counters.
+    /// Installs a new plan, resetting ordinals, counters and the seeded
+    /// streams (re-installing the same plan replays the same failures).
     pub fn install(&mut self, plan: FaultPlan) {
+        let seed = plan.seed.unwrap_or(0);
+        let (alloc_rng, exec_rng) = if plan.oom_rate > 0.0 || plan.exec_error_rate > 0.0 {
+            (
+                Some(Rng::new(seed)),
+                Some(Rng::new(seed ^ 0x9E37_79B9_7F4A_7C15)),
+            )
+        } else {
+            (None, None)
+        };
         *self = FaultState {
             plan,
+            alloc_rng,
+            exec_rng,
             ..FaultState::default()
         };
     }
@@ -135,6 +193,18 @@ impl FaultState {
                 capacity,
             });
         }
+        if self.plan.oom_rate > 0.0 {
+            if let Some(rng) = &mut self.alloc_rng {
+                if rng.gen_bool(self.plan.oom_rate) {
+                    self.counters.oom_injected += 1;
+                    return Err(DeviceError::OutOfMemory {
+                        requested,
+                        available: capacity.saturating_sub(used),
+                        capacity,
+                    });
+                }
+            }
+        }
         if let Some(cap) = self.plan.capacity_cap {
             if used + requested > cap {
                 self.counters.oom_injected += 1;
@@ -158,6 +228,17 @@ impl FaultState {
                 "injected transient fault on `{kernel}` (execute #{})",
                 self.execs_seen
             )));
+        }
+        if self.plan.exec_error_rate > 0.0 {
+            if let Some(rng) = &mut self.exec_rng {
+                if rng.gen_bool(self.plan.exec_error_rate) {
+                    self.counters.transient_exec_injected += 1;
+                    return Err(DeviceError::Driver(format!(
+                        "injected probabilistic fault on `{kernel}` (execute #{})",
+                        self.execs_seen
+                    )));
+                }
+            }
         }
         let base = kernel.split('@').next().unwrap_or(kernel);
         if self
@@ -229,6 +310,59 @@ mod tests {
         assert!(st.on_execute("filter_bitmap@branchless").is_err());
         assert!(st.on_execute("map").is_ok());
         assert_eq!(st.counters().broken_kernel_hits, 2);
+    }
+
+    #[test]
+    fn probabilistic_plan_is_deterministic_per_seed() {
+        let plan = FaultPlan::none()
+            .with_seed(42)
+            .exec_error_rate(0.3)
+            .oom_rate(0.2);
+        let run = |plan: FaultPlan| -> (Vec<bool>, Vec<bool>) {
+            let mut st = FaultState::default();
+            st.install(plan);
+            let allocs: Vec<bool> = (0..200)
+                .map(|_| st.on_alloc(8, 0, 1 << 20).is_err())
+                .collect();
+            let execs: Vec<bool> = (0..200).map(|_| st.on_execute("map").is_err()).collect();
+            (allocs, execs)
+        };
+        let (a1, e1) = run(plan.clone());
+        let (a2, e2) = run(plan);
+        assert_eq!(a1, a2, "same seed replays the same alloc failures");
+        assert_eq!(e1, e2, "same seed replays the same exec failures");
+        // The rates actually fire, but not on every call.
+        let fired = a1.iter().filter(|&&f| f).count();
+        assert!(fired > 0 && fired < 200, "alloc fired {fired}/200");
+        let fired = e1.iter().filter(|&&f| f).count();
+        assert!(fired > 0 && fired < 200, "exec fired {fired}/200");
+    }
+
+    #[test]
+    fn distinct_seeds_differ() {
+        let mk = |seed: u64| {
+            let mut st = FaultState::default();
+            st.install(FaultPlan::none().with_seed(seed).exec_error_rate(0.5));
+            (0..64)
+                .map(|_| st.on_execute("k").is_err())
+                .collect::<Vec<_>>()
+        };
+        assert_ne!(mk(1), mk(2));
+    }
+
+    #[test]
+    fn rate_plans_count_as_non_empty() {
+        assert!(FaultPlan::none().is_empty());
+        assert!(!FaultPlan::none().oom_rate(0.1).is_empty());
+        assert!(!FaultPlan::none().exec_error_rate(0.1).is_empty());
+        // A bare seed injects nothing.
+        assert!(FaultPlan::none().with_seed(7).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in [0, 1]")]
+    fn out_of_range_rate_rejected() {
+        let _ = FaultPlan::none().exec_error_rate(1.5);
     }
 
     #[test]

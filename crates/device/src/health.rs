@@ -1,0 +1,540 @@
+//! Cross-query device health tracking with per-device circuit breakers.
+//!
+//! PR 1 gave the executor *within-run* recovery (chunk backoff, pipeline
+//! fallback), but every query still started blind: a device that just burned
+//! four retries on a kernel got picked again by the next query. The
+//! [`DeviceHealthRegistry`] is the missing feedback channel — it outlives a
+//! single query, records per-`(DeviceId, kernel)` failures and OOM pressure,
+//! and drives three decisions in the runtime:
+//!
+//! * **Quarantine.** Each device carries a circuit breaker
+//!   ([`BreakerState`]): `Closed → Open` after
+//!   [`HealthPolicy::failure_threshold`] consecutive kernel failures.
+//!   Quarantined (`Open`) devices are skipped by initial placement, by the
+//!   hub router's source choice, and by `repoint_pipeline`.
+//! * **Probing.** After [`HealthPolicy::cooldown_queries`] completed queries
+//!   the breaker moves `Open → HalfOpen`; exactly one pipeline per query is
+//!   admitted as a probe. A successful probe restores `Closed` (and clears
+//!   the device's failure memory — it is deemed repaired); a failed probe
+//!   re-opens the breaker for another cool-down.
+//! * **Recovery-aware placement cost.** [`DeviceHealthRegistry::retry_penalty_ns`]
+//!   is the expected retry cost of placing on a device — its observed
+//!   failure rate times the average modeled time a failed attempt wasted.
+//!   Fed into [`crate::cost::CostModel::placement_cost_ns`], it makes flaky
+//!   or memory-tight devices lose placement ties instead of winning them.
+//!
+//! Everything here is deterministic: state transitions depend only on the
+//! sequence of recorded events, and [`DeviceHealthRegistry::snapshot`]
+//! returns a `BTreeMap` so exported reports are byte-stable.
+
+use crate::device::DeviceId;
+use std::collections::BTreeMap;
+
+/// Tunables of the circuit breaker and placement penalty.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HealthPolicy {
+    /// Consecutive kernel failures (without an intervening success) that
+    /// trip a device's breaker `Closed → Open`.
+    pub failure_threshold: u32,
+    /// Completed queries a tripped breaker stays `Open` before a `HalfOpen`
+    /// probe is admitted. The query that trips the breaker does not count.
+    pub cooldown_queries: u32,
+    /// Recorded failures of one kernel on one device before that kernel
+    /// counts as *known broken* there (fallback placement skips such
+    /// candidates).
+    pub broken_kernel_threshold: u64,
+    /// Master switch: when `false` the registry records nothing and reports
+    /// every device healthy (useful for A/B benchmarking the subsystem).
+    pub enabled: bool,
+}
+
+impl Default for HealthPolicy {
+    fn default() -> Self {
+        HealthPolicy {
+            failure_threshold: 2,
+            cooldown_queries: 2,
+            broken_kernel_threshold: 2,
+            enabled: true,
+        }
+    }
+}
+
+/// Circuit-breaker state of one device.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    /// Healthy: placement uses the device normally.
+    Closed,
+    /// Quarantined: skipped by placement, routing and fallback until the
+    /// cool-down elapses.
+    Open {
+        /// Completed queries remaining before the breaker half-opens.
+        cooldown_left: u32,
+    },
+    /// Cooling down finished: one probe pipeline per query is admitted to
+    /// test whether the device recovered.
+    HalfOpen,
+}
+
+impl BreakerState {
+    /// Stable lowercase label for reports (`"closed"`, `"open"`,
+    /// `"half-open"`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            BreakerState::Closed => "closed",
+            BreakerState::Open { .. } => "open",
+            BreakerState::HalfOpen => "half-open",
+        }
+    }
+}
+
+/// Per-device health record.
+#[derive(Clone, Debug)]
+struct DeviceHealth {
+    state: BreakerState,
+    /// A `HalfOpen` probe pipeline is in flight this query.
+    probing: bool,
+    /// The breaker tripped during the current query (its cool-down only
+    /// starts counting from the *next* completed query).
+    tripped_this_query: bool,
+    consecutive_failures: u32,
+    total_failures: u64,
+    total_attempts: u64,
+    ooms: u64,
+    wasted_retry_ns: f64,
+}
+
+impl Default for DeviceHealth {
+    fn default() -> Self {
+        DeviceHealth {
+            state: BreakerState::Closed,
+            probing: false,
+            tripped_this_query: false,
+            consecutive_failures: 0,
+            total_failures: 0,
+            total_attempts: 0,
+            ooms: 0,
+            wasted_retry_ns: 0.0,
+        }
+    }
+}
+
+/// Deterministic export of one device's health (for `ExecutionStats`).
+#[derive(Clone, Debug, PartialEq)]
+pub struct HealthSnapshot {
+    /// Breaker state at snapshot time.
+    pub state: BreakerState,
+    /// Kernel failures recorded (lifetime, cleared by a successful probe).
+    pub kernel_failures: u64,
+    /// Out-of-memory events recorded (lifetime, cleared by a successful
+    /// probe).
+    pub ooms: u64,
+    /// Current expected-retry placement penalty in modeled nanoseconds.
+    pub retry_penalty_ns: f64,
+}
+
+/// Cross-query device health registry (the tentpole of the graceful-
+/// degradation subsystem). Owned by the executor; shared across queries.
+#[derive(Clone, Debug, Default)]
+pub struct DeviceHealthRegistry {
+    policy: HealthPolicy,
+    devices: BTreeMap<DeviceId, DeviceHealth>,
+    /// Failure counts per `(device, kernel name)`.
+    kernel_failures: BTreeMap<(DeviceId, String), u64>,
+}
+
+impl DeviceHealthRegistry {
+    /// Creates a registry under the given policy.
+    pub fn new(policy: HealthPolicy) -> Self {
+        DeviceHealthRegistry {
+            policy,
+            ..Default::default()
+        }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &HealthPolicy {
+        &self.policy
+    }
+
+    /// Replaces the policy (existing state is kept).
+    pub fn set_policy(&mut self, policy: HealthPolicy) {
+        self.policy = policy;
+    }
+
+    /// Forgets all recorded health (e.g. between experiments).
+    pub fn reset(&mut self) {
+        self.devices.clear();
+        self.kernel_failures.clear();
+    }
+
+    fn entry(&mut self, device: DeviceId) -> &mut DeviceHealth {
+        self.devices.entry(device).or_default()
+    }
+
+    /// Records that a pipeline attempt is about to run on `device` (the
+    /// denominator of the failure rate).
+    pub fn record_attempt(&mut self, device: DeviceId) {
+        if !self.policy.enabled {
+            return;
+        }
+        self.entry(device).total_attempts += 1;
+    }
+
+    /// Records a kernel execution failure of `kernel` on `device` that
+    /// wasted `wasted_ns` of modeled time. Returns `true` when this failure
+    /// tripped the breaker (`Closed → Open`, or a failed `HalfOpen` probe
+    /// re-opening it).
+    pub fn record_kernel_failure(
+        &mut self,
+        device: DeviceId,
+        kernel: &str,
+        wasted_ns: f64,
+    ) -> bool {
+        if !self.policy.enabled {
+            return false;
+        }
+        *self
+            .kernel_failures
+            .entry((device, kernel.to_string()))
+            .or_insert(0) += 1;
+        let threshold = self.policy.failure_threshold;
+        let cooldown = self.policy.cooldown_queries;
+        let h = self.entry(device);
+        h.total_failures += 1;
+        h.consecutive_failures += 1;
+        h.wasted_retry_ns += wasted_ns.max(0.0);
+        Self::maybe_trip(h, threshold, cooldown)
+    }
+
+    /// Records an out-of-memory event on `device` that wasted `wasted_ns`
+    /// of modeled time. OOM pressure feeds the placement penalty but does
+    /// not trip a `Closed` breaker (chunk backoff owns that failure class);
+    /// it *does* fail an in-flight `HalfOpen` probe. Returns `true` when the
+    /// probe was failed (breaker re-opened).
+    pub fn record_oom(&mut self, device: DeviceId, wasted_ns: f64) -> bool {
+        if !self.policy.enabled {
+            return false;
+        }
+        let cooldown = self.policy.cooldown_queries;
+        let h = self.entry(device);
+        h.ooms += 1;
+        h.total_failures += 1;
+        h.wasted_retry_ns += wasted_ns.max(0.0);
+        if h.state == BreakerState::HalfOpen && h.probing {
+            h.state = BreakerState::Open {
+                cooldown_left: cooldown,
+            };
+            h.probing = false;
+            h.tripped_this_query = true;
+            return true;
+        }
+        false
+    }
+
+    fn maybe_trip(h: &mut DeviceHealth, threshold: u32, cooldown: u32) -> bool {
+        match h.state {
+            BreakerState::HalfOpen if h.probing => {
+                h.state = BreakerState::Open {
+                    cooldown_left: cooldown,
+                };
+                h.probing = false;
+                h.tripped_this_query = true;
+                true
+            }
+            BreakerState::Closed if h.consecutive_failures >= threshold.max(1) => {
+                h.state = BreakerState::Open {
+                    cooldown_left: cooldown,
+                };
+                h.tripped_this_query = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Records a successful pipeline execution on `device`. Returns `true`
+    /// when this success completed a `HalfOpen` probe (breaker restored to
+    /// `Closed` and the device's failure memory cleared).
+    pub fn record_success(&mut self, device: DeviceId) -> bool {
+        if !self.policy.enabled {
+            return false;
+        }
+        let h = self.entry(device);
+        h.consecutive_failures = 0;
+        if h.state == BreakerState::HalfOpen && h.probing {
+            h.state = BreakerState::Closed;
+            h.probing = false;
+            h.total_failures = 0;
+            h.ooms = 0;
+            h.wasted_retry_ns = 0.0;
+            self.kernel_failures.retain(|(d, _), _| *d != device);
+            return true;
+        }
+        false
+    }
+
+    /// Whether `device` is quarantined (breaker `Open`).
+    pub fn is_quarantined(&self, device: DeviceId) -> bool {
+        self.policy.enabled
+            && matches!(
+                self.devices.get(&device).map(|h| h.state),
+                Some(BreakerState::Open { .. })
+            )
+    }
+
+    /// Whether `device` is `HalfOpen` (only a probe pipeline may use it).
+    pub fn is_half_open(&self, device: DeviceId) -> bool {
+        self.policy.enabled
+            && matches!(
+                self.devices.get(&device).map(|h| h.state),
+                Some(BreakerState::HalfOpen)
+            )
+    }
+
+    /// Whether `device` is `HalfOpen` with no probe in flight yet — the next
+    /// pipeline placed there may be admitted via [`Self::begin_probe`].
+    pub fn probe_candidate(&self, device: DeviceId) -> bool {
+        self.policy.enabled
+            && self
+                .devices
+                .get(&device)
+                .map(|h| h.state == BreakerState::HalfOpen && !h.probing)
+                .unwrap_or(false)
+    }
+
+    /// Marks the `HalfOpen` probe on `device` as in flight.
+    pub fn begin_probe(&mut self, device: DeviceId) {
+        if !self.policy.enabled {
+            return;
+        }
+        let h = self.entry(device);
+        if h.state == BreakerState::HalfOpen {
+            h.probing = true;
+        }
+    }
+
+    /// Whether `kernel` has failed on `device` at least
+    /// [`HealthPolicy::broken_kernel_threshold`] times — fallback placement
+    /// must not pick such a candidate for work that runs this kernel.
+    pub fn kernel_known_broken(&self, device: DeviceId, kernel: &str) -> bool {
+        self.policy.enabled
+            && self
+                .kernel_failures
+                .get(&(device, kernel.to_string()))
+                .map(|&n| n >= self.policy.broken_kernel_threshold.max(1))
+                .unwrap_or(false)
+    }
+
+    /// Expected retry cost of placing work on `device`, in modeled
+    /// nanoseconds: observed failure rate × average modeled time wasted per
+    /// failure. Zero for devices with no recorded failures.
+    pub fn retry_penalty_ns(&self, device: DeviceId) -> f64 {
+        if !self.policy.enabled {
+            return 0.0;
+        }
+        let Some(h) = self.devices.get(&device) else {
+            return 0.0;
+        };
+        if h.total_failures == 0 {
+            return 0.0;
+        }
+        // rate * avg_wasted = (failures / attempts) * (wasted / failures)
+        // = wasted / attempts, with attempts floored at the failure count so
+        // the rate never exceeds 1.
+        h.wasted_retry_ns / h.total_attempts.max(h.total_failures) as f64
+    }
+
+    /// Ids currently quarantined (breaker `Open`), ascending.
+    pub fn quarantined_ids(&self) -> Vec<DeviceId> {
+        self.devices
+            .iter()
+            .filter(|(_, h)| matches!(h.state, BreakerState::Open { .. }))
+            .map(|(&id, _)| id)
+            .collect()
+    }
+
+    /// Ticks the cool-down at the end of a completed query: `Open` breakers
+    /// (except those tripped during this query) count down and half-open at
+    /// zero; stale probe markers are cleared.
+    pub fn on_query_completed(&mut self) {
+        if !self.policy.enabled {
+            return;
+        }
+        for h in self.devices.values_mut() {
+            h.probing = false;
+            if h.tripped_this_query {
+                h.tripped_this_query = false;
+                continue;
+            }
+            if let BreakerState::Open { cooldown_left } = &mut h.state {
+                *cooldown_left = cooldown_left.saturating_sub(1);
+                if *cooldown_left == 0 {
+                    h.state = BreakerState::HalfOpen;
+                }
+            }
+        }
+    }
+
+    /// Deterministic per-device snapshot for reports.
+    pub fn snapshot(&self) -> BTreeMap<DeviceId, HealthSnapshot> {
+        self.devices
+            .iter()
+            .map(|(&id, h)| {
+                (
+                    id,
+                    HealthSnapshot {
+                        state: h.state,
+                        kernel_failures: h.total_failures - h.ooms,
+                        ooms: h.ooms,
+                        retry_penalty_ns: self.retry_penalty_ns(id),
+                    },
+                )
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reg() -> DeviceHealthRegistry {
+        DeviceHealthRegistry::new(HealthPolicy {
+            failure_threshold: 2,
+            cooldown_queries: 2,
+            broken_kernel_threshold: 2,
+            enabled: true,
+        })
+    }
+
+    const D: DeviceId = DeviceId(0);
+
+    #[test]
+    fn breaker_trips_after_threshold() {
+        let mut r = reg();
+        r.record_attempt(D);
+        assert!(!r.record_kernel_failure(D, "agg_block", 100.0));
+        assert!(!r.is_quarantined(D));
+        assert!(r.record_kernel_failure(D, "agg_block", 100.0));
+        assert!(r.is_quarantined(D));
+        assert_eq!(r.quarantined_ids(), vec![D]);
+    }
+
+    #[test]
+    fn success_resets_consecutive_count() {
+        let mut r = reg();
+        r.record_kernel_failure(D, "map", 1.0);
+        r.record_success(D);
+        assert!(!r.record_kernel_failure(D, "map", 1.0));
+        assert!(!r.is_quarantined(D));
+    }
+
+    #[test]
+    fn cooldown_then_half_open_then_probe_restores() {
+        let mut r = reg();
+        r.record_kernel_failure(D, "k", 1.0);
+        r.record_kernel_failure(D, "k", 1.0); // trips, cooldown 2
+        r.on_query_completed(); // tripped this query: no decrement
+        assert!(r.is_quarantined(D));
+        r.on_query_completed(); // 2 -> 1
+        assert!(r.is_quarantined(D));
+        r.on_query_completed(); // 1 -> 0 -> HalfOpen
+        assert!(!r.is_quarantined(D));
+        assert!(r.probe_candidate(D));
+        r.begin_probe(D);
+        assert!(!r.probe_candidate(D), "one probe per query");
+        assert!(r.record_success(D), "probe success restores Closed");
+        assert!(!r.is_half_open(D));
+        assert_eq!(r.retry_penalty_ns(D), 0.0, "failure memory cleared");
+        assert!(!r.kernel_known_broken(D, "k"));
+    }
+
+    #[test]
+    fn failed_probe_reopens() {
+        let mut r = reg();
+        r.record_kernel_failure(D, "k", 1.0);
+        r.record_kernel_failure(D, "k", 1.0);
+        r.on_query_completed();
+        r.on_query_completed();
+        r.on_query_completed();
+        r.begin_probe(D);
+        assert!(
+            r.record_kernel_failure(D, "k", 1.0),
+            "failed probe re-trips"
+        );
+        assert!(r.is_quarantined(D));
+    }
+
+    #[test]
+    fn oom_does_not_trip_closed_breaker_but_fails_probe() {
+        let mut r = reg();
+        for _ in 0..10 {
+            assert!(!r.record_oom(D, 50.0));
+        }
+        assert!(!r.is_quarantined(D));
+        assert!(r.retry_penalty_ns(D) > 0.0, "OOM pressure raises penalty");
+        // Trip via kernel failures, cool down, then fail the probe with OOM.
+        r.record_kernel_failure(D, "k", 1.0);
+        r.record_kernel_failure(D, "k", 1.0);
+        r.on_query_completed();
+        r.on_query_completed();
+        r.on_query_completed();
+        r.begin_probe(D);
+        assert!(r.record_oom(D, 1.0));
+        assert!(r.is_quarantined(D));
+    }
+
+    #[test]
+    fn known_broken_kernel_threshold() {
+        let mut r = reg();
+        r.record_kernel_failure(D, "hash_build", 1.0);
+        assert!(!r.kernel_known_broken(D, "hash_build"));
+        r.record_kernel_failure(D, "hash_build", 1.0);
+        assert!(r.kernel_known_broken(D, "hash_build"));
+        assert!(!r.kernel_known_broken(D, "hash_probe"));
+        assert!(!r.kernel_known_broken(DeviceId(1), "hash_build"));
+    }
+
+    #[test]
+    fn retry_penalty_is_rate_times_cost() {
+        let mut r = reg();
+        // 4 attempts, 1 failure wasting 1000 ns: rate 0.25, avg 1000.
+        for _ in 0..4 {
+            r.record_attempt(D);
+        }
+        r.record_kernel_failure(D, "k", 1000.0);
+        assert!((r.retry_penalty_ns(D) - 250.0).abs() < 1e-9);
+        assert_eq!(r.retry_penalty_ns(DeviceId(7)), 0.0);
+    }
+
+    #[test]
+    fn disabled_policy_records_nothing() {
+        let mut r = DeviceHealthRegistry::new(HealthPolicy {
+            enabled: false,
+            ..HealthPolicy::default()
+        });
+        r.record_attempt(D);
+        r.record_kernel_failure(D, "k", 1.0);
+        r.record_kernel_failure(D, "k", 1.0);
+        assert!(!r.is_quarantined(D));
+        assert_eq!(r.retry_penalty_ns(D), 0.0);
+        assert!(r.snapshot().is_empty());
+    }
+
+    #[test]
+    fn snapshot_is_deterministic_and_split() {
+        let mut r = reg();
+        r.record_attempt(D);
+        r.record_kernel_failure(D, "k", 10.0);
+        r.record_oom(D, 5.0);
+        let snap = r.snapshot();
+        let s = &snap[&D];
+        assert_eq!(s.kernel_failures, 1);
+        assert_eq!(s.ooms, 1);
+        assert_eq!(s.state, BreakerState::Closed);
+        assert!(s.retry_penalty_ns > 0.0);
+        assert_eq!(BreakerState::Closed.label(), "closed");
+        assert_eq!(BreakerState::Open { cooldown_left: 1 }.label(), "open");
+        assert_eq!(BreakerState::HalfOpen.label(), "half-open");
+    }
+}

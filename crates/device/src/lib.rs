@@ -39,6 +39,7 @@ pub mod cost;
 pub mod device;
 pub mod error;
 pub mod fault;
+pub mod health;
 pub mod kernel;
 pub mod pool;
 pub mod profiles;
@@ -53,6 +54,7 @@ pub use cost::{CostClass, CostModel};
 pub use device::{Device, DeviceId, DeviceInfo, DeviceKind};
 pub use error::DeviceError;
 pub use fault::{FaultCounters, FaultPlan};
+pub use health::{BreakerState, DeviceHealthRegistry, HealthPolicy, HealthSnapshot};
 pub use kernel::{ExecuteSpec, KernelFn, KernelSource, KernelStats};
 pub use pool::BufferPool;
 pub use profiles::DeviceProfile;
@@ -69,6 +71,7 @@ pub mod prelude {
     pub use crate::device::{Device, DeviceId, DeviceInfo, DeviceKind};
     pub use crate::error::DeviceError;
     pub use crate::fault::{FaultCounters, FaultPlan};
+    pub use crate::health::{BreakerState, DeviceHealthRegistry, HealthPolicy, HealthSnapshot};
     pub use crate::kernel::{ExecuteSpec, KernelFn, KernelSource, KernelStats};
     pub use crate::pool::BufferPool;
     pub use crate::profiles::DeviceProfile;

@@ -433,6 +433,11 @@ impl Device for SimDevice {
     fn fault_counters(&self) -> FaultCounters {
         self.faults.counters()
     }
+
+    fn placement_cost_ns(&self, working_set_bytes: u64, retry_penalty_ns: f64) -> f64 {
+        self.cost
+            .placement_cost_ns(working_set_bytes, retry_penalty_ns)
+    }
 }
 
 #[cfg(test)]

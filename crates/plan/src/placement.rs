@@ -69,6 +69,29 @@ impl PlacementPolicy {
                 }),
         }
     }
+
+    /// Like [`PlacementPolicy::choose`], but prefers devices outside `avoid`
+    /// (quarantined by the executor's health registry). The policy is first
+    /// resolved against the non-avoided devices; when that leaves nothing to
+    /// choose from (or the filtered resolution fails), the full set is used
+    /// — a degraded device beats no device. [`PlacementPolicy::Fixed`] is
+    /// honored as-is: an explicit pin overrides health.
+    pub fn choose_avoiding(&self, devices: &[DeviceInfo], avoid: &[DeviceId]) -> Result<DeviceId> {
+        if matches!(self, PlacementPolicy::Fixed(_)) || avoid.is_empty() {
+            return self.choose(devices);
+        }
+        let preferred: Vec<DeviceInfo> = devices
+            .iter()
+            .filter(|d| !avoid.contains(&d.id))
+            .cloned()
+            .collect();
+        if !preferred.is_empty() {
+            if let Ok(id) = self.choose(&preferred) {
+                return Ok(id);
+            }
+        }
+        self.choose(devices)
+    }
 }
 
 #[cfg(test)]
@@ -160,6 +183,40 @@ mod tests {
         }
         .choose(&d)
         .is_err());
+    }
+
+    #[test]
+    fn avoiding_skips_quarantined_devices() {
+        let d = infos();
+        // The GPU is quarantined: kind preference degrades to the CPU.
+        assert_eq!(
+            PlacementPolicy::PreferKind(DeviceKind::Gpu)
+                .choose_avoiding(&d, &[DeviceId(1)])
+                .unwrap(),
+            DeviceId(0)
+        );
+        // Everything quarantined: fall back to the full set rather than fail.
+        assert_eq!(
+            PlacementPolicy::PreferKind(DeviceKind::Gpu)
+                .choose_avoiding(&d, &[DeviceId(0), DeviceId(1)])
+                .unwrap(),
+            DeviceId(1)
+        );
+        // A strict SDK requirement that only a quarantined device satisfies
+        // still resolves (degraded beats impossible).
+        assert_eq!(
+            PlacementPolicy::RequireSdk(SdkKind::Cuda)
+                .choose_avoiding(&d, &[DeviceId(1)])
+                .unwrap(),
+            DeviceId(1)
+        );
+        // An explicit pin overrides health.
+        assert_eq!(
+            PlacementPolicy::Fixed(DeviceId(1))
+                .choose_avoiding(&d, &[DeviceId(1)])
+                .unwrap(),
+            DeviceId(1)
+        );
     }
 
     #[test]

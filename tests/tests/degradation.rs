@@ -1,0 +1,364 @@
+//! Graceful degradation end-to-end: the cross-query device health registry
+//! (circuit breakers, quarantine, half-open probes), recovery-aware fallback
+//! placement, query deadlines and cooperative cancellation.
+
+use adamant::prelude::*;
+
+fn filter_map_sum(dev: DeviceId, threshold: i64, factor: i64) -> PrimitiveGraph {
+    let mut pb = PlanBuilder::new(dev);
+    let mut s = pb.scan("t", &["x"]);
+    s.filter(&mut pb, Predicate::cmp("x", CmpOp::Ge, threshold))
+        .unwrap();
+    s.project(&mut pb, "y", Expr::col("x").mul(Expr::lit(factor)))
+        .unwrap();
+    let y = s.materialized(&mut pb, "y").unwrap();
+    let sum = pb.agg_block(y, AggFunc::Sum, "sum");
+    pb.output("sum", sum);
+    pb.build().unwrap()
+}
+
+fn test_data(n: i64) -> Vec<i64> {
+    (0..n).map(|i| (i * 37 + 11) % 500 - 250).collect()
+}
+
+fn expected_sum(data: &[i64], threshold: i64, factor: i64) -> i64 {
+    data.iter()
+        .filter(|&&v| v >= threshold)
+        .map(|v| v * factor)
+        .sum()
+}
+
+/// The acceptance scenario of the graceful-degradation subsystem, on one
+/// engine across four queries:
+///
+/// 1. query 1 trips the breaker of a persistently broken device and falls
+///    back to the healthy one;
+/// 2. query 2 is placed around the quarantined device up front — zero
+///    retries, `quarantine_skips` recorded, the broken device untouched;
+/// 3. the device is "repaired"; after the cool-down, query 3 is admitted as
+///    a half-open probe, succeeds, and restores the breaker to `Closed`
+///    (failure memory cleared);
+/// 4. query 4 runs on the restored device without any health intervention.
+#[test]
+fn breaker_quarantine_probe_lifecycle() {
+    let data = test_data(150);
+    let expected = expected_sum(&data, -100, 2);
+    let mut engine = Adamant::builder()
+        .chunk_rows(50)
+        .device(DeviceProfile::cuda_rtx2080ti())
+        .device(DeviceProfile::opencl_cpu_i7())
+        .fault_plan(0, FaultPlan::none().broken_kernel("agg_block"))
+        .health_policy(HealthPolicy {
+            cooldown_queries: 1,
+            ..HealthPolicy::default()
+        })
+        .build()
+        .unwrap();
+    let dev0 = engine.device_ids()[0];
+    let graph = filter_map_sum(dev0, -100, 2);
+    let mut inputs = QueryInputs::new();
+    inputs.bind("x", data.clone());
+
+    // Query 1: two strikes on dev0 trip the breaker, fallback completes it.
+    let (out, stats) = engine
+        .run(&graph, &inputs, ExecutionModel::Chunked)
+        .unwrap();
+    assert_eq!(out.i64_column("sum")[0], expected);
+    assert!(stats.retries >= 2, "fallback needs two failed attempts");
+    assert!(stats.breaker_trips >= 1, "breaker did not trip");
+    assert!(engine.health().is_quarantined(dev0), "dev0 not quarantined");
+    let hits_after_q1 = engine
+        .executor()
+        .devices()
+        .get(dev0)
+        .unwrap()
+        .fault_counters()
+        .broken_kernel_hits;
+
+    // Query 2: quarantine re-places the plan up front — no retries, and the
+    // broken device is never touched.
+    let (out, stats) = engine
+        .run(&graph, &inputs, ExecutionModel::Chunked)
+        .unwrap();
+    assert_eq!(out.i64_column("sum")[0], expected);
+    assert_eq!(stats.retries, 0, "quarantined device was still attempted");
+    assert!(stats.quarantine_skips > 0, "no quarantine skip recorded");
+    assert_eq!(
+        engine
+            .executor()
+            .devices()
+            .get(dev0)
+            .unwrap()
+            .fault_counters()
+            .broken_kernel_hits,
+        hits_after_q1,
+        "quarantined device was still executed on"
+    );
+    // Query 2 completing ends the one-query cool-down: dev0 half-opens.
+    assert!(!engine.health().is_quarantined(dev0));
+    assert!(
+        engine.health().is_half_open(dev0),
+        "cool-down did not elapse"
+    );
+    // The breaker state is visible in the exported stats.
+    assert!(
+        stats.to_json().contains("\"state\":\"half-open\""),
+        "health snapshot missing from stats JSON: {}",
+        stats.to_json()
+    );
+
+    // Repair the device, then query 3 probes and restores it.
+    engine.set_fault_plan(0, FaultPlan::none()).unwrap();
+    let (out, stats) = engine
+        .run(&graph, &inputs, ExecutionModel::Chunked)
+        .unwrap();
+    assert_eq!(out.i64_column("sum")[0], expected);
+    assert!(stats.probe_successes >= 1, "probe success not recorded");
+    assert!(!engine.health().is_quarantined(dev0));
+    assert!(!engine.health().is_half_open(dev0), "breaker not re-closed");
+    assert_eq!(
+        engine.health().retry_penalty_ns(dev0),
+        0.0,
+        "probe success should clear failure memory"
+    );
+
+    // Query 4: business as usual on the repaired device.
+    let (out, stats) = engine
+        .run(&graph, &inputs, ExecutionModel::Chunked)
+        .unwrap();
+    assert_eq!(out.i64_column("sum")[0], expected);
+    assert_eq!(stats.retries, 0);
+    assert_eq!(stats.quarantine_skips, 0);
+    for &d in engine.device_ids() {
+        let used = engine.executor().devices().get(d).unwrap().pool().used();
+        assert_eq!(used, 0, "leaked {used} bytes on {d}");
+    }
+}
+
+/// Fallback placement consults the health registry: a candidate whose
+/// resolved kernel is already known broken there is skipped outright, even
+/// though its breaker is still closed.
+#[test]
+fn repoint_skips_known_broken_kernel_candidates() {
+    let data = test_data(120);
+    let mut engine = Adamant::builder()
+        .chunk_rows(40)
+        .device(DeviceProfile::cuda_rtx2080ti())
+        .device(DeviceProfile::opencl_cpu_i7())
+        .device(DeviceProfile::openmp_cpu_i7())
+        .fault_plan(0, FaultPlan::none().broken_kernel("agg_block"))
+        .fault_plan(1, FaultPlan::none().broken_kernel("agg_block"))
+        // Breakers stay closed throughout: this isolates the known-broken
+        // kernel skip from quarantine.
+        .health_policy(HealthPolicy {
+            failure_threshold: 100,
+            ..HealthPolicy::default()
+        })
+        .build()
+        .unwrap();
+    let (dev0, dev1) = (engine.device_ids()[0], engine.device_ids()[1]);
+    // Teach the registry that `agg_block` is broken on dev1 (as a previous
+    // query would have): the fallback from dev0 must skip straight to dev2.
+    let health = engine.executor_mut().health_mut();
+    health.record_kernel_failure(dev1, "agg_block", 100.0);
+    health.record_kernel_failure(dev1, "agg_block", 100.0);
+    assert!(health.kernel_known_broken(dev1, "agg_block"));
+
+    let graph = filter_map_sum(dev0, 0, 3);
+    let mut inputs = QueryInputs::new();
+    inputs.bind("x", data.clone());
+    let (out, stats) = engine
+        .run(&graph, &inputs, ExecutionModel::Chunked)
+        .unwrap();
+    assert_eq!(out.i64_column("sum")[0], expected_sum(&data, 0, 3));
+    // One fallback, directly to the healthy third device; trying dev1 first
+    // would have cost a second fallback and two more retries.
+    assert_eq!(stats.fallback_placements, 1, "expected a single fallback");
+    assert_eq!(stats.retries, 2);
+    assert_eq!(
+        engine
+            .executor()
+            .devices()
+            .get(dev1)
+            .unwrap()
+            .fault_counters()
+            .broken_kernel_hits,
+        0,
+        "known-broken candidate was still executed on"
+    );
+}
+
+/// A wedged device (every kernel execution fails) under a simulated-timeline
+/// deadline: the run unwinds cleanly with `DeadlineExceeded` instead of
+/// burning the full retry budget, releases every buffer, and the aborted
+/// run's stats stay observable and byte-stable.
+#[test]
+fn deadline_bounds_wedged_device() {
+    let run_once = || -> (String, u64) {
+        let mut engine = Adamant::builder()
+            .chunk_rows(32)
+            .device(DeviceProfile::cuda_rtx2080ti())
+            .fault_plan(0, FaultPlan::none().transient_exec_errors(u64::MAX))
+            .retry_policy(RetryPolicy {
+                max_attempts: 10_000,
+                ..Default::default()
+            })
+            // Small enough that the second attempt's pre-check trips it,
+            // large enough that the first attempt is admitted.
+            .deadline_ns(1_000.0)
+            .build()
+            .unwrap();
+        let dev = engine.device_ids()[0];
+        let graph = filter_map_sum(dev, 0, 2);
+        let mut inputs = QueryInputs::new();
+        inputs.bind("x", test_data(200));
+        let err = engine
+            .run(&graph, &inputs, ExecutionModel::Chunked)
+            .unwrap_err();
+        match err {
+            ExecError::DeadlineExceeded {
+                budget_ns,
+                spent_ns,
+            } => {
+                assert_eq!(budget_ns, 1_000.0);
+                assert!(spent_ns > budget_ns);
+            }
+            other => panic!("expected DeadlineExceeded, got {other}"),
+        }
+        let used = engine.executor().devices().get(dev).unwrap().pool().used();
+        assert_eq!(used, 0, "leaked {used} bytes after deadline abort");
+        let stats = engine
+            .executor()
+            .last_run_stats()
+            .expect("aborted run must leave stats behind")
+            .clone();
+        assert_eq!(stats.deadline_aborts, 1);
+        assert!(
+            stats.to_json().contains("\"deadline_aborts\":1"),
+            "abort not exported"
+        );
+        let mut stats = stats;
+        stats.wall_ns = 0;
+        let attempts = engine
+            .executor()
+            .devices()
+            .get(dev)
+            .unwrap()
+            .fault_counters()
+            .transient_exec_injected;
+        (stats.to_json(), attempts)
+    };
+    let (first, attempts) = run_once();
+    let (second, _) = run_once();
+    assert_eq!(first, second, "aborted-run stats drifted between runs");
+    assert!(
+        attempts < 100,
+        "deadline should cut the retry spiral short, saw {attempts} attempts"
+    );
+}
+
+/// A pre-cancelled token aborts before any work happens; the engine stays
+/// usable afterwards.
+#[test]
+fn cancellation_unwinds_cleanly() {
+    let data = test_data(100);
+    let mut engine = Adamant::builder()
+        .chunk_rows(16)
+        .device(DeviceProfile::cuda_rtx2080ti())
+        .build()
+        .unwrap();
+    let dev = engine.device_ids()[0];
+    let graph = filter_map_sum(dev, 0, 2);
+    let mut inputs = QueryInputs::new();
+    inputs.bind("x", data.clone());
+
+    let token = CancelToken::new();
+    token.cancel();
+    let err = engine
+        .run_with_cancel(&graph, &inputs, ExecutionModel::Pipelined, &token)
+        .unwrap_err();
+    assert!(matches!(err, ExecError::Cancelled), "got {err}");
+    let used = engine.executor().devices().get(dev).unwrap().pool().used();
+    assert_eq!(used, 0, "leaked {used} bytes after cancellation");
+
+    // A fresh (un-cancelled) token runs normally on the same engine.
+    let (out, _) = engine
+        .run_with_cancel(
+            &graph,
+            &inputs,
+            ExecutionModel::Pipelined,
+            &CancelToken::new(),
+        )
+        .unwrap();
+    assert_eq!(out.i64_column("sum")[0], expected_sum(&data, 0, 2));
+}
+
+/// After an OOM chunk backoff, sustained success doubles the chunk size
+/// back toward the configured value — in both the serial and the
+/// overlapped streaming loops — and the regrowth is counted.
+#[test]
+fn chunk_size_regrows_after_backoff() {
+    let data = test_data(400);
+    let expected = expected_sum(&data, 0, 3);
+    for model in [ExecutionModel::Chunked, ExecutionModel::Pipelined] {
+        let mut engine = Adamant::builder()
+            .chunk_rows(64)
+            .device(DeviceProfile::cuda_rtx2080ti())
+            .fault_plan(0, FaultPlan::none().oom_on_allocation(3))
+            .retry_policy(RetryPolicy {
+                regrow_after_chunks: 2,
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
+        let dev = engine.device_ids()[0];
+        let graph = filter_map_sum(dev, 0, 3);
+        let mut inputs = QueryInputs::new();
+        inputs.bind("x", data.clone());
+        let (out, stats) = engine.run(&graph, &inputs, model).unwrap();
+        assert_eq!(out.i64_column("sum")[0], expected, "{model:?}");
+        assert!(stats.chunk_backoffs > 0, "{model:?}: no backoff recorded");
+        assert!(
+            stats.chunk_regrowths > 0,
+            "{model:?}: backed-off chunk size never regrew"
+        );
+        let used = engine.executor().devices().get(dev).unwrap().pool().used();
+        assert_eq!(used, 0, "{model:?}: leaked {used} bytes");
+    }
+}
+
+/// Disabling the health policy turns the whole subsystem off: the same
+/// broken-device scenario records no breaker activity and query 2 blindly
+/// retries the broken device again.
+#[test]
+fn disabled_health_policy_is_inert() {
+    let data = test_data(100);
+    let mut engine = Adamant::builder()
+        .chunk_rows(32)
+        .device(DeviceProfile::cuda_rtx2080ti())
+        .device(DeviceProfile::opencl_cpu_i7())
+        .fault_plan(0, FaultPlan::none().broken_kernel("agg_block"))
+        .health_policy(HealthPolicy {
+            enabled: false,
+            ..HealthPolicy::default()
+        })
+        .build()
+        .unwrap();
+    let dev0 = engine.device_ids()[0];
+    let graph = filter_map_sum(dev0, 0, 2);
+    let mut inputs = QueryInputs::new();
+    inputs.bind("x", data.clone());
+    for query in 0..2 {
+        let (out, stats) = engine
+            .run(&graph, &inputs, ExecutionModel::Chunked)
+            .unwrap();
+        assert_eq!(out.i64_column("sum")[0], expected_sum(&data, 0, 2));
+        assert_eq!(stats.breaker_trips, 0, "query {query}");
+        assert_eq!(stats.quarantine_skips, 0, "query {query}");
+        assert!(
+            stats.retries >= 2,
+            "query {query}: with health off every query must rediscover the fault"
+        );
+        assert!(stats.device_health.is_empty(), "query {query}");
+    }
+}
