@@ -17,6 +17,9 @@
 //!   chunked, pipelined, 4-phase);
 //! * [`plan`] — a logical layer lowering relational operations to primitive
 //!   graphs;
+//! * [`sched`] — the multi-query scheduler: admission control against the
+//!   device pools, per-tenant fair queuing, device-time sharing on the
+//!   simulated timeline;
 //! * [`storage`] — the columnar substrate;
 //! * [`tpch`] — TPC-H generator, query plans and references;
 //! * [`baseline`] — the HeavyDB-style whole-table-resident comparison.
@@ -61,6 +64,7 @@ pub use adamant_baseline as baseline;
 pub use adamant_core as core;
 pub use adamant_device as device;
 pub use adamant_plan as plan;
+pub use adamant_sched as sched;
 pub use adamant_storage as storage;
 pub use adamant_task as task;
 pub use adamant_tpch as tpch;
@@ -76,6 +80,7 @@ use adamant_device::fault::FaultPlan;
 use adamant_device::health::{DeviceHealthRegistry, HealthPolicy};
 use adamant_device::profiles::DeviceProfile;
 use adamant_device::sdk::SdkKind;
+use adamant_sched::{QueryScheduler, QuerySpec, SchedReport};
 use adamant_task::registry::TaskRegistry;
 
 /// The top-level engine: devices + tasks + executor, ready to run plans.
@@ -130,6 +135,26 @@ impl Adamant {
         cancel: &CancelToken,
     ) -> Result<(QueryOutput, ExecutionStats)> {
         self.executor.run_with_cancel(graph, inputs, model, cancel)
+    }
+
+    /// Opens a multi-query scheduling session over this engine: register
+    /// tenants, [`QueryScheduler::submit`] queries, then
+    /// [`QueryScheduler::run_all`] to interleave them on the shared
+    /// simulated timeline under admission control and weighted fair
+    /// queuing. The session borrows the engine exclusively; drop it to run
+    /// single queries again.
+    pub fn session(&mut self) -> QueryScheduler<'_> {
+        QueryScheduler::new(&mut self.executor)
+    }
+
+    /// Convenience for one-tenant concurrency: submits `(tenant, spec)`
+    /// pairs and drains them in a single session.
+    pub fn submit_all(&mut self, queries: Vec<(String, QuerySpec)>) -> SchedReport {
+        let mut session = self.session();
+        for (tenant, spec) in queries {
+            session.submit(&tenant, spec);
+        }
+        session.run_all()
     }
 
     /// The cross-query device health registry (breaker states, failure
@@ -297,6 +322,10 @@ pub mod prelude {
     pub use adamant_device::sdk::{SdkKind, SdkRepr};
     pub use adamant_plan::prelude::{
         Expr, GroupResult, PlacementPolicy, PlanBuilder, Predicate, Stream,
+    };
+    pub use adamant_sched::{
+        QueryOutcome, QueryScheduler, QuerySpec, QueryTicket, SchedReport, SchedulerStats,
+        TenantStats,
     };
     pub use adamant_storage::prelude::{Bitmap, Catalog, Column, PositionList, Table};
     pub use adamant_task::params::{AggFunc, BitmapOp, CmpOp, MapOp};

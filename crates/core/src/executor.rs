@@ -19,7 +19,7 @@ use crate::timeline::{overlapped_makespan, ChunkCost};
 use adamant_device::buffer::{BufferData, BufferId};
 use adamant_device::clock::Lane;
 use adamant_device::device::{Device, DeviceId};
-use adamant_device::health::{DeviceHealthRegistry, HealthPolicy};
+use adamant_device::health::{DeviceHealthRegistry, FailureVerdict, HealthPolicy};
 use adamant_device::kernel::ExecuteSpec;
 use adamant_device::profiles::DeviceProfile;
 use adamant_device::registry::DeviceRegistry;
@@ -361,6 +361,21 @@ impl Executor {
         model: ExecutionModel,
         cancel: &CancelToken,
     ) -> Result<(QueryOutput, ExecutionStats)> {
+        self.run_with_deadline(graph, inputs, model, cancel, self.config.deadline_ns)
+    }
+
+    /// Like [`Executor::run_with_cancel`] with a per-query deadline override
+    /// replacing [`ExecutorConfig::deadline_ns`] for this run only. The
+    /// multi-query scheduler uses this to pass each query's *remaining*
+    /// budget rather than a global one.
+    pub fn run_with_deadline(
+        &mut self,
+        graph: &PrimitiveGraph,
+        inputs: &QueryInputs,
+        model: ExecutionModel,
+        cancel: &CancelToken,
+        deadline_ns: Option<f64>,
+    ) -> Result<(QueryOutput, ExecutionStats)> {
         let wall = Instant::now();
         // Work on a private copy: recovery may re-place nodes onto fallback
         // devices, and the caller's graph must not change under them.
@@ -390,7 +405,7 @@ impl Executor {
         self.apply_health_placement(&mut graph, &pipelines, &mut stats);
         hub.set_quarantined(self.health.quarantined_ids().into_iter().collect());
         let control = RunControl {
-            deadline_ns: self.config.deadline_ns,
+            deadline_ns,
             cancel: cancel.clone(),
         };
         let mut tally = Tally::default();
@@ -450,9 +465,10 @@ impl Executor {
     }
 
     /// Pre-run placement repair from cross-query health: every pipeline
-    /// placed on a quarantined device is moved to a healthy capable device
-    /// when one exists; a `HalfOpen` device keeps exactly one pipeline as
-    /// its recovery probe and sheds the rest.
+    /// placed on a quarantined device — or whose kernels are quarantined
+    /// *on* that device — is moved to a healthy capable device when one
+    /// exists; a `HalfOpen` device (or `(device, kernel)` breaker) keeps
+    /// exactly one pipeline as its recovery probe and sheds the rest.
     fn apply_health_placement(
         &mut self,
         graph: &mut PrimitiveGraph,
@@ -460,6 +476,7 @@ impl Executor {
         stats: &mut ExecutionStats,
     ) {
         let mut probe_granted: HashSet<DeviceId> = HashSet::new();
+        let mut kernel_probe_granted: HashSet<(DeviceId, String)> = HashSet::new();
         for pipeline in &pipelines.pipelines {
             let mut devs: Vec<DeviceId> = pipeline
                 .nodes
@@ -469,6 +486,7 @@ impl Executor {
             devs.sort_unstable();
             devs.dedup();
             for dev in devs {
+                let kernels = self.kernels_on_device(graph, pipeline, dev);
                 let avoid = if self.health.is_quarantined(dev) {
                     true
                 } else if self.health.is_half_open(dev) {
@@ -482,8 +500,33 @@ impl Executor {
                         // extra load until the probe verdict is in.
                         true
                     }
+                } else if kernels
+                    .iter()
+                    .any(|k| self.health.kernel_known_broken(dev, k))
+                {
+                    // A kernel this pipeline needs is quarantined here; the
+                    // device itself stays available for other pipelines.
+                    true
                 } else {
-                    false
+                    // Grant at most one probe per half-open (device, kernel)
+                    // breaker; shed pipelines needing a kernel whose probe is
+                    // already in flight elsewhere.
+                    let mut shed = false;
+                    for k in &kernels {
+                        let key = (dev, k.clone());
+                        if self.health.kernel_probe_candidate(dev, k)
+                            && !kernel_probe_granted.contains(&key)
+                        {
+                            kernel_probe_granted.insert(key);
+                            self.health.begin_kernel_probe(dev, k);
+                        } else if matches!(
+                            self.health.kernel_state(dev, k),
+                            Some(adamant_device::health::BreakerState::HalfOpen)
+                        ) {
+                            shed = true;
+                        }
+                    }
+                    shed
                 };
                 if avoid {
                     if let Ok(true) = self.repoint_pipeline(graph, pipeline, dev) {
@@ -495,6 +538,34 @@ impl Executor {
                 }
             }
         }
+    }
+
+    /// Kernel names the pipeline's nodes placed on `dev` resolve to there
+    /// (deduplicated, sorted for determinism).
+    fn kernels_on_device(
+        &self,
+        graph: &PrimitiveGraph,
+        pipeline: &Pipeline,
+        dev: DeviceId,
+    ) -> Vec<String> {
+        let Ok(device) = self.devices.get(dev) else {
+            return Vec::new();
+        };
+        let sdk = device.info().sdk;
+        let mut kernels: Vec<String> = pipeline
+            .nodes
+            .iter()
+            .filter(|&&n| graph.node(n).device == dev)
+            .filter_map(|&n| {
+                let node = graph.node(n);
+                self.tasks
+                    .resolve(node.kind, sdk, node.variant.as_deref())
+                    .map(|c| c.kernel_name())
+            })
+            .collect();
+        kernels.sort_unstable();
+        kernels.dedup();
+        kernels
     }
 
     /// Runs one pipeline with bounded fault recovery (the tentpole of the
@@ -550,6 +621,14 @@ impl Executor {
                         if self.health.record_success(d) {
                             stats.probe_successes += 1;
                         }
+                        // Every kernel the successful pipeline resolved on
+                        // this device ran clean: reset its streak and settle
+                        // any in-flight kernel probe.
+                        for k in self.kernels_on_device(graph, pipeline, d) {
+                            if self.health.record_kernel_success(d, &k) {
+                                stats.kernel_probe_successes += 1;
+                            }
+                        }
                     }
                     return Ok(());
                 }
@@ -576,9 +655,12 @@ impl Executor {
             // chunk loop and the unwind drain) is its observed retry cost.
             let wasted_ns =
                 (stats.transfer_ns + stats.compute_ns + stats.other_ns - lanes_before).max(0.0);
-            let tripped = match &err {
+            let verdict = match &err {
                 ExecError::KernelFailed { device, source, .. } if is_oom(source) => {
-                    self.health.record_oom(*device, wasted_ns)
+                    FailureVerdict {
+                        device_tripped: self.health.record_oom(*device, wasted_ns),
+                        kernel_tripped: false,
+                    }
                 }
                 ExecError::KernelFailed { device, kernel, .. } => self
                     .health
@@ -587,15 +669,21 @@ impl Executor {
                     // A bare device OOM does not say which device; charge the
                     // pipeline's first device (deterministic, and pipelines
                     // are single-device in all built-in plans).
-                    match attempt_devs.first() {
-                        Some(&d) => self.health.record_oom(d, wasted_ns),
-                        None => false,
+                    FailureVerdict {
+                        device_tripped: match attempt_devs.first() {
+                            Some(&d) => self.health.record_oom(d, wasted_ns),
+                            None => false,
+                        },
+                        kernel_tripped: false,
                     }
                 }
-                _ => false,
+                _ => FailureVerdict::default(),
             };
-            if tripped {
+            if verdict.device_tripped {
                 stats.breaker_trips += 1;
+            }
+            if verdict.kernel_tripped {
+                stats.kernel_breaker_trips += 1;
             }
 
             if attempt >= retry.max_attempts.max(1) {
@@ -850,6 +938,7 @@ impl Executor {
             stats.compute_ns += c;
             stats.other_ns += o;
             stats.record_primitive(&node.label, c);
+            stats.slice_ns.push(t + c + o);
             let used = self.devices.get(node.device)?.pool().used();
             stats.memory_trace.push((node.label.clone(), used));
         }
@@ -1113,6 +1202,11 @@ impl Executor {
             }
         }
         stats.chunks_processed += chunk_costs.len();
+        // Preemption points for the multi-query scheduler: each chunk is
+        // one interleavable slice of device time.
+        for c in &chunk_costs {
+            stats.slice_ns.push(c.transfer_ns + c.compute_ns);
+        }
         // Escaped scratch refs that never saw a chunk (empty scans) still
         // need an (empty) host accumulation for downstream consumers.
         for &node_id in &pipeline.nodes {

@@ -211,6 +211,15 @@ impl PrimitiveGraph {
         }
     }
 
+    /// Re-places every node onto `device` (the multi-query scheduler pins a
+    /// whole query to its admitted device; health-aware repair may still
+    /// move individual pipelines afterwards).
+    pub fn retarget(&mut self, device: DeviceId) {
+        for node in &mut self.nodes {
+            node.device = device;
+        }
+    }
+
     /// Consumer count per data ref (used for buffer lifetime decisions).
     pub fn consumer_counts(&self) -> BTreeMap<DataRef, usize> {
         let mut counts = BTreeMap::new();

@@ -57,8 +57,19 @@ pub struct ExecutionStats {
     pub quarantine_skips: usize,
     /// `HalfOpen` probes that succeeded and restored a device to `Closed`.
     pub probe_successes: usize,
+    /// Per-`(device, kernel)` circuit breakers tripped during this run (a
+    /// kernel quarantined without quarantining its device).
+    pub kernel_breaker_trips: usize,
+    /// `HalfOpen` kernel probes that succeeded and restored a
+    /// `(device, kernel)` breaker to `Closed`.
+    pub kernel_probe_successes: usize,
     /// Runs aborted because the simulated-timeline deadline was exceeded.
     pub deadline_aborts: usize,
+    /// Modeled duration of each interleavable slice of device time this run
+    /// produced, in execution order: one entry per streamed chunk, one per
+    /// whole-mode node. The multi-query scheduler replays these on the
+    /// shared timeline; not exported to JSON (unbounded length).
+    pub slice_ns: Vec<f64>,
     /// Per-device health snapshot (breaker state, failure counts, current
     /// placement penalty) at the end of this run, keyed by device name.
     /// Deterministic ordering for reproducible reports.
@@ -132,12 +143,13 @@ impl ExecutionStats {
             .map(|(k, h)| {
                 format!(
                     "\"{}\":{{\"state\":\"{}\",\"kernel_failures\":{},\"ooms\":{},\
-                     \"retry_penalty_ns\":{:.1}}}",
+                     \"retry_penalty_ns\":{:.1},\"open_kernels\":{}}}",
                     esc(k),
                     h.state.label(),
                     h.kernel_failures,
                     h.ooms,
                     h.retry_penalty_ns,
+                    h.open_kernels,
                 )
             })
             .collect();
@@ -148,7 +160,8 @@ impl ExecutionStats {
                 "\"bytes_h2d\":{},\"bytes_d2h\":{},\"chunks\":{},\"pipelines\":{},",
                 "\"retries\":{},\"chunk_backoffs\":{},\"fallback_placements\":{},",
                 "\"chunk_regrowths\":{},\"breaker_trips\":{},\"quarantine_skips\":{},",
-                "\"probe_successes\":{},\"deadline_aborts\":{},",
+                "\"probe_successes\":{},\"kernel_breaker_trips\":{},",
+                "\"kernel_probe_successes\":{},\"deadline_aborts\":{},",
                 "\"wall_ns\":{},\"per_primitive_ns\":{{{}}},\"peak_device_bytes\":{{{}}},",
                 "\"device_faults\":{{{}}},\"device_health\":{{{}}}}}"
             ),
@@ -169,6 +182,8 @@ impl ExecutionStats {
             self.breaker_trips,
             self.quarantine_skips,
             self.probe_successes,
+            self.kernel_breaker_trips,
+            self.kernel_probe_successes,
             self.deadline_aborts,
             self.wall_ns,
             per_primitive.join(","),
@@ -236,6 +251,8 @@ mod tests {
         s.breaker_trips = 1;
         s.quarantine_skips = 2;
         s.probe_successes = 1;
+        s.kernel_breaker_trips = 2;
+        s.kernel_probe_successes = 1;
         s.deadline_aborts = 1;
         s.device_faults.insert("gpu0".into(), 5);
         s.device_health.insert(
@@ -245,6 +262,7 @@ mod tests {
                 kernel_failures: 2,
                 ooms: 1,
                 retry_penalty_ns: 123.45,
+                open_kernels: 1,
             },
         );
         let json = s.to_json();
@@ -259,11 +277,13 @@ mod tests {
         assert!(json.contains("\"breaker_trips\":1"));
         assert!(json.contains("\"quarantine_skips\":2"));
         assert!(json.contains("\"probe_successes\":1"));
+        assert!(json.contains("\"kernel_breaker_trips\":2"));
+        assert!(json.contains("\"kernel_probe_successes\":1"));
         assert!(json.contains("\"deadline_aborts\":1"));
         assert!(json.contains("\"device_faults\":{\"gpu0\":5}"));
         assert!(json.contains(
             "\"device_health\":{\"gpu0\":{\"state\":\"open\",\"kernel_failures\":2,\
-             \"ooms\":1,\"retry_penalty_ns\":123.5}}"
+             \"ooms\":1,\"retry_penalty_ns\":123.5,\"open_kernels\":1}}"
         ));
         // Quotes in labels are escaped.
         assert!(json.contains("filter \\\"x\\\""));

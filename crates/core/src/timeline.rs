@@ -52,6 +52,86 @@ pub fn overlapped_makespan(chunks: &[ChunkCost], staging_buffers: usize) -> f64 
     compute_end.last().copied().unwrap_or(0.0)
 }
 
+/// Weighted fair queuing over the shared simulated timeline.
+///
+/// Each stream (a tenant, in the scheduler) carries a weight and a virtual
+/// *pass* value. The next slice of device time goes to the active stream
+/// with the smallest pass; charging a slice of duration `d` advances that
+/// stream's pass by `d / weight`, so a weight-2 stream is eligible twice as
+/// often as a weight-1 stream and receives ≈2× the device time under
+/// sustained load. A stream that goes idle and returns re-enters at the
+/// minimum active pass (it does not bank credit while idle — the classic
+/// start-time fair queuing rule that keeps the discipline starvation-free).
+///
+/// Fully deterministic: ties break on the lowest stream index.
+#[derive(Clone, Debug, Default)]
+pub struct WfqClock {
+    weights: Vec<f64>,
+    passes: Vec<f64>,
+    active: Vec<bool>,
+}
+
+impl WfqClock {
+    /// Creates an empty clock.
+    pub fn new() -> Self {
+        WfqClock::default()
+    }
+
+    /// Registers a stream with the given weight (floored at a small positive
+    /// value so a zero weight cannot stall the clock). Returns its index.
+    pub fn add_stream(&mut self, weight: f64) -> usize {
+        self.weights.push(weight.max(1e-9));
+        self.passes.push(0.0);
+        self.active.push(false);
+        self.weights.len() - 1
+    }
+
+    /// Marks a stream active (it has work queued). A stream re-activating
+    /// after idling is brought forward to the minimum active pass.
+    pub fn activate(&mut self, idx: usize) {
+        if self.active[idx] {
+            return;
+        }
+        let floor = self
+            .passes
+            .iter()
+            .zip(&self.active)
+            .filter(|(_, &a)| a)
+            .map(|(&p, _)| p)
+            .fold(f64::INFINITY, f64::min);
+        if floor.is_finite() {
+            self.passes[idx] = self.passes[idx].max(floor);
+        }
+        self.active[idx] = true;
+    }
+
+    /// Marks a stream idle (no work left).
+    pub fn deactivate(&mut self, idx: usize) {
+        self.active[idx] = false;
+    }
+
+    /// The active stream that should receive the next slice: minimum pass,
+    /// lowest index on ties. `None` when every stream is idle.
+    pub fn next_stream(&self) -> Option<usize> {
+        let mut best: Option<(f64, usize)> = None;
+        for (i, (&p, &a)) in self.passes.iter().zip(&self.active).enumerate() {
+            if !a {
+                continue;
+            }
+            match best {
+                Some((bp, _)) if bp <= p => {}
+                _ => best = Some((p, i)),
+            }
+        }
+        best.map(|(_, i)| i)
+    }
+
+    /// Charges a served slice of `duration_ns` to stream `idx`.
+    pub fn charge(&mut self, idx: usize, duration_ns: f64) {
+        self.passes[idx] += duration_ns.max(0.0) / self.weights[idx];
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -118,5 +198,77 @@ mod tests {
     fn empty_and_single() {
         assert_eq!(overlapped_makespan(&[], 2), 0.0);
         assert_eq!(overlapped_makespan(&[c(3.0, 4.0)], 2), 7.0);
+    }
+
+    #[test]
+    fn wfq_shares_proportionally_to_weight() {
+        let mut clock = WfqClock::new();
+        let heavy = clock.add_stream(2.0);
+        let light = clock.add_stream(1.0);
+        clock.activate(heavy);
+        clock.activate(light);
+        let mut served = [0.0f64; 2];
+        for _ in 0..300 {
+            let s = clock.next_stream().unwrap();
+            clock.charge(s, 10.0);
+            served[s] += 10.0;
+        }
+        let ratio = served[heavy] / served[light];
+        assert!(
+            (ratio - 2.0).abs() < 0.05,
+            "2:1 weights should yield ~2x service, got {ratio}"
+        );
+    }
+
+    #[test]
+    fn wfq_idle_stream_does_not_bank_credit() {
+        let mut clock = WfqClock::new();
+        let a = clock.add_stream(1.0);
+        let b = clock.add_stream(1.0);
+        clock.activate(a);
+        // `a` runs alone for a long time...
+        for _ in 0..100 {
+            let s = clock.next_stream().unwrap();
+            assert_eq!(s, a);
+            clock.charge(s, 10.0);
+        }
+        // ...then `b` arrives. It must not monopolize the device to "catch
+        // up" the 1000 ns it was absent for: service alternates from here.
+        clock.activate(b);
+        let mut b_streak = 0usize;
+        let mut max_streak = 0usize;
+        for _ in 0..50 {
+            let s = clock.next_stream().unwrap();
+            clock.charge(s, 10.0);
+            if s == b {
+                b_streak += 1;
+                max_streak = max_streak.max(b_streak);
+            } else {
+                b_streak = 0;
+            }
+        }
+        assert!(
+            max_streak <= 2,
+            "late arrival must not monopolize: streak {max_streak}"
+        );
+    }
+
+    #[test]
+    fn wfq_deactivate_and_ties_are_deterministic() {
+        let mut clock = WfqClock::new();
+        let a = clock.add_stream(1.0);
+        let b = clock.add_stream(1.0);
+        clock.activate(a);
+        clock.activate(b);
+        assert_eq!(clock.next_stream(), Some(a), "ties break on lowest index");
+        clock.deactivate(a);
+        assert_eq!(clock.next_stream(), Some(b));
+        clock.deactivate(b);
+        assert_eq!(clock.next_stream(), None);
+        // Zero-weight streams are floored, not divide-by-zero.
+        let z = clock.add_stream(0.0);
+        clock.activate(z);
+        clock.charge(z, 1.0);
+        assert_eq!(clock.next_stream(), Some(z));
     }
 }

@@ -129,6 +129,11 @@ pub trait Device: Send {
     /// The device's buffer pool (read-only inspection: usage, peak).
     fn pool(&self) -> &BufferPool;
 
+    /// Mutable pool access — the multi-query scheduler drives the admission
+    /// ledger ([`BufferPool::admission_reserve`]/[`BufferPool::admission_release`])
+    /// through it.
+    fn pool_mut(&mut self) -> &mut BufferPool;
+
     /// Frees all buffers and resets usage (between queries/experiments).
     fn reset(&mut self);
 

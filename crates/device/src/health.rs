@@ -1,48 +1,71 @@
-//! Cross-query device health tracking with per-device circuit breakers.
+//! Cross-query device health tracking with per-device **and per-kernel**
+//! circuit breakers.
 //!
 //! PR 1 gave the executor *within-run* recovery (chunk backoff, pipeline
 //! fallback), but every query still started blind: a device that just burned
 //! four retries on a kernel got picked again by the next query. The
 //! [`DeviceHealthRegistry`] is the missing feedback channel — it outlives a
-//! single query, records per-`(DeviceId, kernel)` failures and OOM pressure,
+//! single query, records failures per device and per `(device, kernel)`,
 //! and drives three decisions in the runtime:
 //!
-//! * **Quarantine.** Each device carries a circuit breaker
-//!   ([`BreakerState`]): `Closed → Open` after
-//!   [`HealthPolicy::failure_threshold`] consecutive kernel failures.
+//! * **Kernel quarantine.** Every `(device, kernel)` pair carries its own
+//!   circuit breaker with its own trip/probe counters: `Closed → Open` after
+//!   [`HealthPolicy::broken_kernel_threshold`] consecutive failures of that
+//!   kernel on that device. Placement and fallback never send work that
+//!   resolves to an `Open` kernel there — but the device itself stays
+//!   available for everything else. A broken kernel no longer quarantines an
+//!   otherwise healthy device.
+//! * **Device quarantine.** The device-level breaker trips only on evidence
+//!   of *device-wide* sickness: a consecutive-failure streak of at least
+//!   [`HealthPolicy::failure_threshold`] spanning at least
+//!   [`HealthPolicy::device_trip_min_kernels`] distinct kernels.
 //!   Quarantined (`Open`) devices are skipped by initial placement, by the
 //!   hub router's source choice, and by `repoint_pipeline`.
-//! * **Probing.** After [`HealthPolicy::cooldown_queries`] completed queries
-//!   the breaker moves `Open → HalfOpen`; exactly one pipeline per query is
-//!   admitted as a probe. A successful probe restores `Closed` (and clears
-//!   the device's failure memory — it is deemed repaired); a failed probe
-//!   re-opens the breaker for another cool-down.
+//! * **Probing.** After the respective cool-down (counted in completed
+//!   queries) a breaker moves `Open → HalfOpen`; one probe per query is
+//!   admitted. A successful probe restores `Closed` and clears the failure
+//!   memory; a failed probe re-opens the breaker for another cool-down.
+//!   Kernel probes are granted per `(device, kernel)` and resolved by
+//!   [`DeviceHealthRegistry::record_kernel_success`].
 //! * **Recovery-aware placement cost.** [`DeviceHealthRegistry::retry_penalty_ns`]
 //!   is the expected retry cost of placing on a device — its observed
 //!   failure rate times the average modeled time a failed attempt wasted.
 //!   Fed into [`crate::cost::CostModel::placement_cost_ns`], it makes flaky
 //!   or memory-tight devices lose placement ties instead of winning them.
 //!
+//! The whole registry state round-trips through
+//! [`DeviceHealthRegistry::to_json`] / [`DeviceHealthRegistry::from_json`] so
+//! breaker and wasted-time memory survives engine restarts.
+//!
 //! Everything here is deterministic: state transitions depend only on the
-//! sequence of recorded events, and [`DeviceHealthRegistry::snapshot`]
-//! returns a `BTreeMap` so exported reports are byte-stable.
+//! sequence of recorded events, and the snapshot exports use `BTreeMap`s so
+//! reports are byte-stable.
 
 use crate::device::DeviceId;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
-/// Tunables of the circuit breaker and placement penalty.
+/// Tunables of the circuit breakers and placement penalty.
 #[derive(Clone, Copy, Debug, PartialEq)]
 pub struct HealthPolicy {
     /// Consecutive kernel failures (without an intervening success) that
-    /// trip a device's breaker `Closed → Open`.
+    /// trip a device's breaker `Closed → Open` — provided the streak spans
+    /// at least [`HealthPolicy::device_trip_min_kernels`] distinct kernels.
     pub failure_threshold: u32,
-    /// Completed queries a tripped breaker stays `Open` before a `HalfOpen`
-    /// probe is admitted. The query that trips the breaker does not count.
+    /// Completed queries a tripped device breaker stays `Open` before a
+    /// `HalfOpen` probe is admitted. The query that trips the breaker does
+    /// not count.
     pub cooldown_queries: u32,
-    /// Recorded failures of one kernel on one device before that kernel
-    /// counts as *known broken* there (fallback placement skips such
-    /// candidates).
+    /// Consecutive failures of one kernel on one device that trip that
+    /// `(device, kernel)` breaker `Closed → Open` (the kernel counts as
+    /// *known broken* there; placement skips such candidates).
     pub broken_kernel_threshold: u64,
+    /// Completed queries a tripped kernel breaker stays `Open` before a
+    /// `HalfOpen` kernel probe is admitted.
+    pub kernel_cooldown_queries: u32,
+    /// Distinct kernels a consecutive-failure streak must span before the
+    /// *device* breaker trips. With the default of 2, a single broken kernel
+    /// trips its own breaker but never quarantines the device.
+    pub device_trip_min_kernels: u32,
     /// Master switch: when `false` the registry records nothing and reports
     /// every device healthy (useful for A/B benchmarking the subsystem).
     pub enabled: bool,
@@ -54,15 +77,18 @@ impl Default for HealthPolicy {
             failure_threshold: 2,
             cooldown_queries: 2,
             broken_kernel_threshold: 2,
+            kernel_cooldown_queries: 2,
+            device_trip_min_kernels: 2,
             enabled: true,
         }
     }
 }
 
-/// Circuit-breaker state of one device.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// Circuit-breaker state of one device or one `(device, kernel)` pair.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum BreakerState {
-    /// Healthy: placement uses the device normally.
+    /// Healthy: placement uses the device/kernel normally.
+    #[default]
     Closed,
     /// Quarantined: skipped by placement, routing and fallback until the
     /// cool-down elapses.
@@ -70,8 +96,8 @@ pub enum BreakerState {
         /// Completed queries remaining before the breaker half-opens.
         cooldown_left: u32,
     },
-    /// Cooling down finished: one probe pipeline per query is admitted to
-    /// test whether the device recovered.
+    /// Cooling down finished: one probe per query is admitted to test
+    /// whether the device/kernel recovered.
     HalfOpen,
 }
 
@@ -85,10 +111,26 @@ impl BreakerState {
             BreakerState::HalfOpen => "half-open",
         }
     }
+
+    fn cooldown(&self) -> u32 {
+        match self {
+            BreakerState::Open { cooldown_left } => *cooldown_left,
+            _ => 0,
+        }
+    }
+
+    fn from_label(label: &str, cooldown_left: u32) -> Option<Self> {
+        match label {
+            "closed" => Some(BreakerState::Closed),
+            "open" => Some(BreakerState::Open { cooldown_left }),
+            "half-open" => Some(BreakerState::HalfOpen),
+            _ => None,
+        }
+    }
 }
 
 /// Per-device health record.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Default)]
 struct DeviceHealth {
     state: BreakerState,
     /// A `HalfOpen` probe pipeline is in flight this query.
@@ -97,25 +139,37 @@ struct DeviceHealth {
     /// starts counting from the *next* completed query).
     tripped_this_query: bool,
     consecutive_failures: u32,
+    /// Distinct kernels seen in the current consecutive-failure streak.
+    streak_kernels: BTreeSet<String>,
     total_failures: u64,
     total_attempts: u64,
     ooms: u64,
     wasted_retry_ns: f64,
 }
 
-impl Default for DeviceHealth {
-    fn default() -> Self {
-        DeviceHealth {
-            state: BreakerState::Closed,
-            probing: false,
-            tripped_this_query: false,
-            consecutive_failures: 0,
-            total_failures: 0,
-            total_attempts: 0,
-            ooms: 0,
-            wasted_retry_ns: 0.0,
-        }
-    }
+/// Per-`(device, kernel)` breaker record with its own trip/probe counters.
+#[derive(Clone, Debug, Default)]
+struct KernelHealth {
+    state: BreakerState,
+    /// A kernel probe is in flight this query.
+    probing: bool,
+    tripped_this_query: bool,
+    consecutive_failures: u64,
+    total_failures: u64,
+    /// Times this kernel breaker tripped (`Closed → Open` or failed probe).
+    trips: u64,
+    /// Kernel probes admitted.
+    probes: u64,
+}
+
+/// What a recorded kernel failure tripped, if anything.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FailureVerdict {
+    /// The *device* breaker tripped (`Closed → Open`, or a failed `HalfOpen`
+    /// device probe re-opening).
+    pub device_tripped: bool,
+    /// The `(device, kernel)` breaker tripped.
+    pub kernel_tripped: bool,
 }
 
 /// Deterministic export of one device's health (for `ExecutionStats`).
@@ -130,16 +184,31 @@ pub struct HealthSnapshot {
     pub ooms: u64,
     /// Current expected-retry placement penalty in modeled nanoseconds.
     pub retry_penalty_ns: f64,
+    /// Kernels currently quarantined (`Open`) on this device.
+    pub open_kernels: u64,
 }
 
-/// Cross-query device health registry (the tentpole of the graceful-
-/// degradation subsystem). Owned by the executor; shared across queries.
+/// Deterministic export of one `(device, kernel)` breaker.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelSnapshot {
+    /// Breaker state at snapshot time.
+    pub state: BreakerState,
+    /// Failures of this kernel on this device (lifetime, cleared by a
+    /// successful kernel probe).
+    pub failures: u64,
+    /// Times this breaker tripped.
+    pub trips: u64,
+    /// Kernel probes admitted.
+    pub probes: u64,
+}
+
+/// Cross-query device health registry. Owned by the executor; shared across
+/// queries (and across concurrently scheduled queries).
 #[derive(Clone, Debug, Default)]
 pub struct DeviceHealthRegistry {
     policy: HealthPolicy,
     devices: BTreeMap<DeviceId, DeviceHealth>,
-    /// Failure counts per `(device, kernel name)`.
-    kernel_failures: BTreeMap<(DeviceId, String), u64>,
+    kernels: BTreeMap<(DeviceId, String), KernelHealth>,
 }
 
 impl DeviceHealthRegistry {
@@ -164,7 +233,7 @@ impl DeviceHealthRegistry {
     /// Forgets all recorded health (e.g. between experiments).
     pub fn reset(&mut self) {
         self.devices.clear();
-        self.kernel_failures.clear();
+        self.kernels.clear();
     }
 
     fn entry(&mut self, device: DeviceId) -> &mut DeviceHealth {
@@ -181,36 +250,88 @@ impl DeviceHealthRegistry {
     }
 
     /// Records a kernel execution failure of `kernel` on `device` that
-    /// wasted `wasted_ns` of modeled time. Returns `true` when this failure
-    /// tripped the breaker (`Closed → Open`, or a failed `HalfOpen` probe
-    /// re-opening it).
+    /// wasted `wasted_ns` of modeled time. Returns which breakers this
+    /// failure tripped: the `(device, kernel)` breaker after
+    /// [`HealthPolicy::broken_kernel_threshold`] consecutive failures, the
+    /// device breaker only when the streak spans
+    /// [`HealthPolicy::device_trip_min_kernels`] distinct kernels.
     pub fn record_kernel_failure(
         &mut self,
         device: DeviceId,
         kernel: &str,
         wasted_ns: f64,
-    ) -> bool {
+    ) -> FailureVerdict {
         if !self.policy.enabled {
-            return false;
+            return FailureVerdict::default();
         }
-        *self
-            .kernel_failures
+        let policy = self.policy;
+        // Kernel-level breaker first.
+        let k = self
+            .kernels
             .entry((device, kernel.to_string()))
-            .or_insert(0) += 1;
-        let threshold = self.policy.failure_threshold;
-        let cooldown = self.policy.cooldown_queries;
+            .or_default();
+        k.total_failures += 1;
+        k.consecutive_failures += 1;
+        let kernel_tripped = match k.state {
+            BreakerState::HalfOpen if k.probing => {
+                k.state = BreakerState::Open {
+                    cooldown_left: policy.kernel_cooldown_queries,
+                };
+                k.probing = false;
+                k.tripped_this_query = true;
+                k.trips += 1;
+                true
+            }
+            BreakerState::Closed
+                if k.consecutive_failures >= policy.broken_kernel_threshold.max(1) =>
+            {
+                k.state = BreakerState::Open {
+                    cooldown_left: policy.kernel_cooldown_queries,
+                };
+                k.tripped_this_query = true;
+                k.trips += 1;
+                true
+            }
+            _ => false,
+        };
+        // Device-level aggregates and breaker.
         let h = self.entry(device);
         h.total_failures += 1;
         h.consecutive_failures += 1;
+        h.streak_kernels.insert(kernel.to_string());
         h.wasted_retry_ns += wasted_ns.max(0.0);
-        Self::maybe_trip(h, threshold, cooldown)
+        let device_tripped = match h.state {
+            BreakerState::HalfOpen if h.probing => {
+                h.state = BreakerState::Open {
+                    cooldown_left: policy.cooldown_queries,
+                };
+                h.probing = false;
+                h.tripped_this_query = true;
+                true
+            }
+            BreakerState::Closed
+                if h.consecutive_failures >= policy.failure_threshold.max(1)
+                    && h.streak_kernels.len() >= policy.device_trip_min_kernels.max(1) as usize =>
+            {
+                h.state = BreakerState::Open {
+                    cooldown_left: policy.cooldown_queries,
+                };
+                h.tripped_this_query = true;
+                true
+            }
+            _ => false,
+        };
+        FailureVerdict {
+            device_tripped,
+            kernel_tripped,
+        }
     }
 
     /// Records an out-of-memory event on `device` that wasted `wasted_ns`
     /// of modeled time. OOM pressure feeds the placement penalty but does
     /// not trip a `Closed` breaker (chunk backoff owns that failure class);
-    /// it *does* fail an in-flight `HalfOpen` probe. Returns `true` when the
-    /// probe was failed (breaker re-opened).
+    /// it *does* fail an in-flight `HalfOpen` device probe. Returns `true`
+    /// when the probe was failed (breaker re-opened).
     pub fn record_oom(&mut self, device: DeviceId, wasted_ns: f64) -> bool {
         if !self.policy.enabled {
             return false;
@@ -231,49 +352,68 @@ impl DeviceHealthRegistry {
         false
     }
 
-    fn maybe_trip(h: &mut DeviceHealth, threshold: u32, cooldown: u32) -> bool {
-        match h.state {
-            BreakerState::HalfOpen if h.probing => {
-                h.state = BreakerState::Open {
-                    cooldown_left: cooldown,
-                };
-                h.probing = false;
-                h.tripped_this_query = true;
-                true
-            }
-            BreakerState::Closed if h.consecutive_failures >= threshold.max(1) => {
-                h.state = BreakerState::Open {
-                    cooldown_left: cooldown,
-                };
-                h.tripped_this_query = true;
-                true
-            }
-            _ => false,
-        }
-    }
-
     /// Records a successful pipeline execution on `device`. Returns `true`
-    /// when this success completed a `HalfOpen` probe (breaker restored to
-    /// `Closed` and the device's failure memory cleared).
+    /// when this success completed a `HalfOpen` device probe (breaker
+    /// restored to `Closed` and the device's failure memory — including its
+    /// kernel breakers — cleared).
     pub fn record_success(&mut self, device: DeviceId) -> bool {
         if !self.policy.enabled {
             return false;
         }
         let h = self.entry(device);
         h.consecutive_failures = 0;
+        h.streak_kernels.clear();
         if h.state == BreakerState::HalfOpen && h.probing {
             h.state = BreakerState::Closed;
             h.probing = false;
             h.total_failures = 0;
             h.ooms = 0;
             h.wasted_retry_ns = 0.0;
-            self.kernel_failures.retain(|(d, _), _| *d != device);
+            self.kernels.retain(|(d, _), _| *d != device);
             return true;
         }
         false
     }
 
-    /// Whether `device` is quarantined (breaker `Open`).
+    /// Records that `kernel` executed successfully on `device` (the executor
+    /// reports every kernel a successful pipeline resolved). Resets the
+    /// kernel's consecutive-failure streak; returns `true` when this success
+    /// completed a `HalfOpen` kernel probe (kernel breaker restored to
+    /// `Closed`, its failure memory cleared, and — when no other kernel on
+    /// the device is still bad — the device's wasted-time memory cleared
+    /// too).
+    pub fn record_kernel_success(&mut self, device: DeviceId, kernel: &str) -> bool {
+        if !self.policy.enabled {
+            return false;
+        }
+        let Some(k) = self.kernels.get_mut(&(device, kernel.to_string())) else {
+            return false;
+        };
+        k.consecutive_failures = 0;
+        if k.state == BreakerState::HalfOpen && k.probing {
+            k.state = BreakerState::Closed;
+            k.probing = false;
+            k.total_failures = 0;
+            let all_clear = self
+                .kernels
+                .iter()
+                .filter(|((d, _), _)| *d == device)
+                .all(|(_, k)| k.state == BreakerState::Closed && k.total_failures == 0);
+            if all_clear {
+                if let Some(h) = self.devices.get_mut(&device) {
+                    if h.state == BreakerState::Closed {
+                        h.total_failures = 0;
+                        h.ooms = 0;
+                        h.wasted_retry_ns = 0.0;
+                    }
+                }
+            }
+            return true;
+        }
+        false
+    }
+
+    /// Whether `device` is quarantined (device breaker `Open`).
     pub fn is_quarantined(&self, device: DeviceId) -> bool {
         self.policy.enabled
             && matches!(
@@ -313,16 +453,63 @@ impl DeviceHealthRegistry {
         }
     }
 
-    /// Whether `kernel` has failed on `device` at least
-    /// [`HealthPolicy::broken_kernel_threshold`] times — fallback placement
-    /// must not pick such a candidate for work that runs this kernel.
+    /// Whether the `(device, kernel)` breaker is `Open` — placement and
+    /// fallback must not pick such a candidate for work that runs this
+    /// kernel, even though the device itself may be healthy.
     pub fn kernel_known_broken(&self, device: DeviceId, kernel: &str) -> bool {
         self.policy.enabled
+            && matches!(
+                self.kernels
+                    .get(&(device, kernel.to_string()))
+                    .map(|k| k.state),
+                Some(BreakerState::Open { .. })
+            )
+    }
+
+    /// The `(device, kernel)` breaker state, if any failures were recorded.
+    pub fn kernel_state(&self, device: DeviceId, kernel: &str) -> Option<BreakerState> {
+        if !self.policy.enabled {
+            return None;
+        }
+        self.kernels
+            .get(&(device, kernel.to_string()))
+            .map(|k| k.state)
+    }
+
+    /// Whether the `(device, kernel)` breaker is `HalfOpen` with no probe in
+    /// flight — the next pipeline resolving this kernel there may be
+    /// admitted via [`Self::begin_kernel_probe`].
+    pub fn kernel_probe_candidate(&self, device: DeviceId, kernel: &str) -> bool {
+        self.policy.enabled
             && self
-                .kernel_failures
+                .kernels
                 .get(&(device, kernel.to_string()))
-                .map(|&n| n >= self.policy.broken_kernel_threshold.max(1))
+                .map(|k| k.state == BreakerState::HalfOpen && !k.probing)
                 .unwrap_or(false)
+    }
+
+    /// Marks the `HalfOpen` probe of `(device, kernel)` as in flight.
+    pub fn begin_kernel_probe(&mut self, device: DeviceId, kernel: &str) {
+        if !self.policy.enabled {
+            return;
+        }
+        if let Some(k) = self.kernels.get_mut(&(device, kernel.to_string())) {
+            if k.state == BreakerState::HalfOpen && !k.probing {
+                k.probing = true;
+                k.probes += 1;
+            }
+        }
+    }
+
+    /// Kernels currently quarantined (`Open`) on `device`.
+    pub fn open_kernels(&self, device: DeviceId) -> u64 {
+        if !self.policy.enabled {
+            return 0;
+        }
+        self.kernels
+            .iter()
+            .filter(|((d, _), k)| *d == device && matches!(k.state, BreakerState::Open { .. }))
+            .count() as u64
     }
 
     /// Expected retry cost of placing work on `device`, in modeled
@@ -344,7 +531,7 @@ impl DeviceHealthRegistry {
         h.wasted_retry_ns / h.total_attempts.max(h.total_failures) as f64
     }
 
-    /// Ids currently quarantined (breaker `Open`), ascending.
+    /// Ids currently quarantined (device breaker `Open`), ascending.
     pub fn quarantined_ids(&self) -> Vec<DeviceId> {
         self.devices
             .iter()
@@ -353,9 +540,9 @@ impl DeviceHealthRegistry {
             .collect()
     }
 
-    /// Ticks the cool-down at the end of a completed query: `Open` breakers
-    /// (except those tripped during this query) count down and half-open at
-    /// zero; stale probe markers are cleared.
+    /// Ticks the cool-downs at the end of a completed query: `Open` device
+    /// and kernel breakers (except those tripped during this query) count
+    /// down and half-open at zero; stale probe markers are cleared.
     pub fn on_query_completed(&mut self) {
         if !self.policy.enabled {
             return;
@@ -373,6 +560,19 @@ impl DeviceHealthRegistry {
                 }
             }
         }
+        for k in self.kernels.values_mut() {
+            k.probing = false;
+            if k.tripped_this_query {
+                k.tripped_this_query = false;
+                continue;
+            }
+            if let BreakerState::Open { cooldown_left } = &mut k.state {
+                *cooldown_left = cooldown_left.saturating_sub(1);
+                if *cooldown_left == 0 {
+                    k.state = BreakerState::HalfOpen;
+                }
+            }
+        }
     }
 
     /// Deterministic per-device snapshot for reports.
@@ -387,10 +587,416 @@ impl DeviceHealthRegistry {
                         kernel_failures: h.total_failures - h.ooms,
                         ooms: h.ooms,
                         retry_penalty_ns: self.retry_penalty_ns(id),
+                        open_kernels: self.open_kernels(id),
                     },
                 )
             })
             .collect()
+    }
+
+    /// Deterministic per-`(device, kernel)` breaker snapshot.
+    pub fn kernel_snapshot(&self) -> BTreeMap<(DeviceId, String), KernelSnapshot> {
+        self.kernels
+            .iter()
+            .map(|((d, name), k)| {
+                (
+                    (*d, name.clone()),
+                    KernelSnapshot {
+                        state: k.state,
+                        failures: k.total_failures,
+                        trips: k.trips,
+                        probes: k.probes,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    // ---- persistence ----------------------------------------------------
+
+    /// Exports the full registry — policy, device breakers, kernel breakers
+    /// — as a JSON object string, so health memory survives engine restarts.
+    /// In-flight probe markers are transient and not exported.
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            s.replace('\\', "\\\\").replace('"', "\\\"")
+        }
+        let p = &self.policy;
+        let devices: Vec<String> = self
+            .devices
+            .iter()
+            .map(|(id, h)| {
+                let streak: Vec<String> = h
+                    .streak_kernels
+                    .iter()
+                    .map(|k| format!("\"{}\"", esc(k)))
+                    .collect();
+                format!(
+                    "{{\"id\":{},\"state\":\"{}\",\"cooldown_left\":{},\
+                     \"consecutive_failures\":{},\"total_failures\":{},\
+                     \"total_attempts\":{},\"ooms\":{},\"wasted_retry_ns\":{},\
+                     \"streak_kernels\":[{}]}}",
+                    id.0,
+                    h.state.label(),
+                    h.state.cooldown(),
+                    h.consecutive_failures,
+                    h.total_failures,
+                    h.total_attempts,
+                    h.ooms,
+                    h.wasted_retry_ns,
+                    streak.join(",")
+                )
+            })
+            .collect();
+        let kernels: Vec<String> = self
+            .kernels
+            .iter()
+            .map(|((d, name), k)| {
+                format!(
+                    "{{\"device\":{},\"kernel\":\"{}\",\"state\":\"{}\",\
+                     \"cooldown_left\":{},\"consecutive_failures\":{},\
+                     \"total_failures\":{},\"trips\":{},\"probes\":{}}}",
+                    d.0,
+                    esc(name),
+                    k.state.label(),
+                    k.state.cooldown(),
+                    k.consecutive_failures,
+                    k.total_failures,
+                    k.trips,
+                    k.probes
+                )
+            })
+            .collect();
+        format!(
+            "{{\"policy\":{{\"failure_threshold\":{},\"cooldown_queries\":{},\
+             \"broken_kernel_threshold\":{},\"kernel_cooldown_queries\":{},\
+             \"device_trip_min_kernels\":{},\"enabled\":{}}},\
+             \"devices\":[{}],\"kernels\":[{}]}}",
+            p.failure_threshold,
+            p.cooldown_queries,
+            p.broken_kernel_threshold,
+            p.kernel_cooldown_queries,
+            p.device_trip_min_kernels,
+            p.enabled,
+            devices.join(","),
+            kernels.join(",")
+        )
+    }
+
+    /// Restores a registry exported by [`Self::to_json`]. Probe markers are
+    /// reset (import happens between queries). Returns a description of the
+    /// first problem on malformed input.
+    pub fn from_json(json: &str) -> std::result::Result<Self, String> {
+        let value = json::parse(json)?;
+        let obj = value.as_object().ok_or("registry: expected object")?;
+        let pol = json::get(obj, "policy")?
+            .as_object()
+            .ok_or("policy: expected object")?;
+        let policy = HealthPolicy {
+            failure_threshold: json::get(pol, "failure_threshold")?.as_u64()? as u32,
+            cooldown_queries: json::get(pol, "cooldown_queries")?.as_u64()? as u32,
+            broken_kernel_threshold: json::get(pol, "broken_kernel_threshold")?.as_u64()?,
+            kernel_cooldown_queries: json::get(pol, "kernel_cooldown_queries")?.as_u64()? as u32,
+            device_trip_min_kernels: json::get(pol, "device_trip_min_kernels")?.as_u64()? as u32,
+            enabled: json::get(pol, "enabled")?.as_bool()?,
+        };
+        let mut reg = DeviceHealthRegistry::new(policy);
+        for item in json::get(obj, "devices")?
+            .as_array()
+            .ok_or("devices: expected array")?
+        {
+            let d = item.as_object().ok_or("device entry: expected object")?;
+            let id = DeviceId(json::get(d, "id")?.as_u64()? as u32);
+            let label = json::get(d, "state")?.as_str()?;
+            let cooldown = json::get(d, "cooldown_left")?.as_u64()? as u32;
+            let state = BreakerState::from_label(&label, cooldown)
+                .ok_or_else(|| format!("device {id}: unknown breaker state `{label}`"))?;
+            let mut streak = BTreeSet::new();
+            for k in json::get(d, "streak_kernels")?
+                .as_array()
+                .ok_or("streak_kernels: expected array")?
+            {
+                streak.insert(k.as_str()?);
+            }
+            reg.devices.insert(
+                id,
+                DeviceHealth {
+                    state,
+                    probing: false,
+                    tripped_this_query: false,
+                    consecutive_failures: json::get(d, "consecutive_failures")?.as_u64()? as u32,
+                    streak_kernels: streak,
+                    total_failures: json::get(d, "total_failures")?.as_u64()?,
+                    total_attempts: json::get(d, "total_attempts")?.as_u64()?,
+                    ooms: json::get(d, "ooms")?.as_u64()?,
+                    wasted_retry_ns: json::get(d, "wasted_retry_ns")?.as_f64()?,
+                },
+            );
+        }
+        for item in json::get(obj, "kernels")?
+            .as_array()
+            .ok_or("kernels: expected array")?
+        {
+            let k = item.as_object().ok_or("kernel entry: expected object")?;
+            let device = DeviceId(json::get(k, "device")?.as_u64()? as u32);
+            let name = json::get(k, "kernel")?.as_str()?;
+            let label = json::get(k, "state")?.as_str()?;
+            let cooldown = json::get(k, "cooldown_left")?.as_u64()? as u32;
+            let state = BreakerState::from_label(&label, cooldown)
+                .ok_or_else(|| format!("kernel `{name}`: unknown breaker state `{label}`"))?;
+            reg.kernels.insert(
+                (device, name),
+                KernelHealth {
+                    state,
+                    probing: false,
+                    tripped_this_query: false,
+                    consecutive_failures: json::get(k, "consecutive_failures")?.as_u64()?,
+                    total_failures: json::get(k, "total_failures")?.as_u64()?,
+                    trips: json::get(k, "trips")?.as_u64()?,
+                    probes: json::get(k, "probes")?.as_u64()?,
+                },
+            );
+        }
+        Ok(reg)
+    }
+}
+
+/// A minimal JSON reader for [`DeviceHealthRegistry::from_json`] — the repo
+/// is std-only, so persistence cannot lean on a format crate. Supports
+/// objects, arrays, strings (`\"`/`\\` escapes), numbers and booleans; that
+/// is exactly the grammar `to_json` emits.
+mod json {
+    pub enum Value {
+        Object(Vec<(String, Value)>),
+        Array(Vec<Value>),
+        Str(String),
+        Num(f64),
+        Bool(bool),
+    }
+
+    impl Value {
+        pub fn as_object(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Object(o) => Some(o),
+                _ => None,
+            }
+        }
+        pub fn as_array(&self) -> Option<&[Value]> {
+            match self {
+                Value::Array(a) => Some(a),
+                _ => None,
+            }
+        }
+        pub fn as_str(&self) -> Result<String, String> {
+            match self {
+                Value::Str(s) => Ok(s.clone()),
+                _ => Err("expected string".into()),
+            }
+        }
+        pub fn as_f64(&self) -> Result<f64, String> {
+            match self {
+                Value::Num(n) => Ok(*n),
+                _ => Err("expected number".into()),
+            }
+        }
+        pub fn as_u64(&self) -> Result<u64, String> {
+            match self {
+                Value::Num(n) if *n >= 0.0 => Ok(*n as u64),
+                _ => Err("expected non-negative number".into()),
+            }
+        }
+        pub fn as_bool(&self) -> Result<bool, String> {
+            match self {
+                Value::Bool(b) => Ok(*b),
+                _ => Err("expected boolean".into()),
+            }
+        }
+    }
+
+    pub fn get<'a>(obj: &'a [(String, Value)], key: &str) -> Result<&'a Value, String> {
+        obj.iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| format!("missing key `{key}`"))
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+        };
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(format!("trailing input at byte {}", p.pos));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn skip_ws(&mut self) {
+            while self
+                .bytes
+                .get(self.pos)
+                .is_some_and(|b| b.is_ascii_whitespace())
+            {
+                self.pos += 1;
+            }
+        }
+
+        fn peek(&mut self) -> Result<u8, String> {
+            self.skip_ws();
+            self.bytes
+                .get(self.pos)
+                .copied()
+                .ok_or_else(|| "unexpected end of input".to_string())
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), String> {
+            if self.peek()? == b {
+                self.pos += 1;
+                Ok(())
+            } else {
+                Err(format!("expected `{}` at byte {}", b as char, self.pos))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, String> {
+            match self.peek()? {
+                b'{' => self.object(),
+                b'[' => self.array(),
+                b'"' => Ok(Value::Str(self.string()?)),
+                b't' | b'f' => self.boolean(),
+                _ => self.number(),
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, String> {
+            self.expect(b'{')?;
+            let mut fields = Vec::new();
+            if self.peek()? == b'}' {
+                self.pos += 1;
+                return Ok(Value::Object(fields));
+            }
+            loop {
+                let key = self.string()?;
+                self.expect(b':')?;
+                fields.push((key, self.value()?));
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b'}' => {
+                        self.pos += 1;
+                        return Ok(Value::Object(fields));
+                    }
+                    other => {
+                        return Err(format!(
+                            "expected `,` or `}}`, found `{}` at byte {}",
+                            other as char, self.pos
+                        ))
+                    }
+                }
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, String> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            if self.peek()? == b']' {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(self.value()?);
+                match self.peek()? {
+                    b',' => self.pos += 1,
+                    b']' => {
+                        self.pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    other => {
+                        return Err(format!(
+                            "expected `,` or `]`, found `{}` at byte {}",
+                            other as char, self.pos
+                        ))
+                    }
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, String> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                match self.bytes.get(self.pos) {
+                    Some(b'"') => {
+                        self.pos += 1;
+                        return Ok(out);
+                    }
+                    Some(b'\\') => {
+                        match self.bytes.get(self.pos + 1) {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            _ => return Err(format!("bad escape at byte {}", self.pos)),
+                        }
+                        self.pos += 2;
+                    }
+                    Some(&b) => {
+                        // Multi-byte UTF-8 sequences pass through byte-wise;
+                        // the input came from a &str so they are valid.
+                        out.push(b as char);
+                        if b < 0x80 {
+                            self.pos += 1;
+                        } else {
+                            let start = self.pos;
+                            let s = &self.bytes[start..];
+                            let len = std::str::from_utf8(s)
+                                .map(|t| t.chars().next().map(|c| c.len_utf8()).unwrap_or(1))
+                                .unwrap_or(1);
+                            out.pop();
+                            out.push_str(
+                                std::str::from_utf8(&self.bytes[start..start + len])
+                                    .map_err(|_| "invalid utf-8".to_string())?,
+                            );
+                            self.pos += len;
+                        }
+                    }
+                    None => return Err("unterminated string".into()),
+                }
+            }
+        }
+
+        fn boolean(&mut self) -> Result<Value, String> {
+            self.skip_ws();
+            if self.bytes[self.pos..].starts_with(b"true") {
+                self.pos += 4;
+                Ok(Value::Bool(true))
+            } else if self.bytes[self.pos..].starts_with(b"false") {
+                self.pos += 5;
+                Ok(Value::Bool(false))
+            } else {
+                Err(format!("expected boolean at byte {}", self.pos))
+            }
+        }
+
+        fn number(&mut self) -> Result<Value, String> {
+            self.skip_ws();
+            let start = self.pos;
+            while self.bytes.get(self.pos).is_some_and(|b| {
+                b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E')
+            }) {
+                self.pos += 1;
+            }
+            std::str::from_utf8(&self.bytes[start..self.pos])
+                .ok()
+                .and_then(|s| s.parse::<f64>().ok())
+                .map(Value::Num)
+                .ok_or_else(|| format!("bad number at byte {start}"))
+        }
     }
 }
 
@@ -403,6 +1009,8 @@ mod tests {
             failure_threshold: 2,
             cooldown_queries: 2,
             broken_kernel_threshold: 2,
+            kernel_cooldown_queries: 2,
+            device_trip_min_kernels: 2,
             enabled: true,
         })
     }
@@ -410,30 +1018,92 @@ mod tests {
     const D: DeviceId = DeviceId(0);
 
     #[test]
-    fn breaker_trips_after_threshold() {
+    fn single_kernel_trips_kernel_breaker_not_device() {
         let mut r = reg();
         r.record_attempt(D);
-        assert!(!r.record_kernel_failure(D, "agg_block", 100.0));
-        assert!(!r.is_quarantined(D));
-        assert!(r.record_kernel_failure(D, "agg_block", 100.0));
+        let v = r.record_kernel_failure(D, "agg_block", 100.0);
+        assert!(!v.kernel_tripped && !v.device_tripped);
+        let v = r.record_kernel_failure(D, "agg_block", 100.0);
+        assert!(v.kernel_tripped, "kernel breaker should trip at threshold");
+        assert!(!v.device_tripped, "one kernel must not quarantine device");
+        assert!(r.kernel_known_broken(D, "agg_block"));
+        assert!(!r.is_quarantined(D), "device stays healthy");
+        assert_eq!(r.open_kernels(D), 1);
+        assert!(r.quarantined_ids().is_empty());
+    }
+
+    #[test]
+    fn multi_kernel_streak_trips_device_breaker() {
+        let mut r = reg();
+        let v = r.record_kernel_failure(D, "map", 10.0);
+        assert!(!v.device_tripped);
+        let v = r.record_kernel_failure(D, "agg_block", 10.0);
+        assert!(
+            v.device_tripped,
+            "streak of 2 across 2 distinct kernels trips the device"
+        );
         assert!(r.is_quarantined(D));
         assert_eq!(r.quarantined_ids(), vec![D]);
     }
 
     #[test]
-    fn success_resets_consecutive_count() {
+    fn success_resets_consecutive_and_streak() {
         let mut r = reg();
         r.record_kernel_failure(D, "map", 1.0);
         r.record_success(D);
-        assert!(!r.record_kernel_failure(D, "map", 1.0));
+        let v = r.record_kernel_failure(D, "agg_block", 1.0);
+        assert!(!v.device_tripped, "streak was reset by the success");
         assert!(!r.is_quarantined(D));
     }
 
     #[test]
-    fn cooldown_then_half_open_then_probe_restores() {
+    fn kernel_cooldown_probe_restores() {
         let mut r = reg();
         r.record_kernel_failure(D, "k", 1.0);
-        r.record_kernel_failure(D, "k", 1.0); // trips, cooldown 2
+        r.record_kernel_failure(D, "k", 1.0); // kernel breaker trips, cooldown 2
+        assert!(r.kernel_known_broken(D, "k"));
+        r.on_query_completed(); // tripped this query: no decrement
+        assert!(r.kernel_known_broken(D, "k"));
+        r.on_query_completed(); // 2 -> 1
+        assert!(r.kernel_known_broken(D, "k"));
+        r.on_query_completed(); // 1 -> 0 -> HalfOpen
+        assert!(!r.kernel_known_broken(D, "k"));
+        assert!(r.kernel_probe_candidate(D, "k"));
+        r.begin_kernel_probe(D, "k");
+        assert!(!r.kernel_probe_candidate(D, "k"), "one probe per query");
+        assert!(r.record_kernel_success(D, "k"), "probe success restores");
+        assert_eq!(r.kernel_state(D, "k"), Some(BreakerState::Closed));
+        let snap = &r.kernel_snapshot()[&(D, "k".to_string())];
+        assert_eq!(snap.trips, 1);
+        assert_eq!(snap.probes, 1);
+        assert_eq!(snap.failures, 0, "probe success clears failure memory");
+        assert_eq!(
+            r.retry_penalty_ns(D),
+            0.0,
+            "last bad kernel recovering clears the device's wasted memory"
+        );
+    }
+
+    #[test]
+    fn failed_kernel_probe_reopens() {
+        let mut r = reg();
+        r.record_kernel_failure(D, "k", 1.0);
+        r.record_kernel_failure(D, "k", 1.0);
+        r.on_query_completed();
+        r.on_query_completed();
+        r.on_query_completed();
+        r.begin_kernel_probe(D, "k");
+        let v = r.record_kernel_failure(D, "k", 1.0);
+        assert!(v.kernel_tripped, "failed kernel probe re-trips");
+        assert!(r.kernel_known_broken(D, "k"));
+        assert_eq!(r.kernel_snapshot()[&(D, "k".to_string())].trips, 2);
+    }
+
+    #[test]
+    fn device_cooldown_then_half_open_then_probe_restores() {
+        let mut r = reg();
+        r.record_kernel_failure(D, "a", 1.0);
+        r.record_kernel_failure(D, "b", 1.0); // device trips, cooldown 2
         r.on_query_completed(); // tripped this query: no decrement
         assert!(r.is_quarantined(D));
         r.on_query_completed(); // 2 -> 1
@@ -446,22 +1116,20 @@ mod tests {
         assert!(r.record_success(D), "probe success restores Closed");
         assert!(!r.is_half_open(D));
         assert_eq!(r.retry_penalty_ns(D), 0.0, "failure memory cleared");
-        assert!(!r.kernel_known_broken(D, "k"));
+        assert!(!r.kernel_known_broken(D, "a"), "kernel memory cleared too");
     }
 
     #[test]
-    fn failed_probe_reopens() {
+    fn failed_device_probe_reopens() {
         let mut r = reg();
-        r.record_kernel_failure(D, "k", 1.0);
-        r.record_kernel_failure(D, "k", 1.0);
+        r.record_kernel_failure(D, "a", 1.0);
+        r.record_kernel_failure(D, "b", 1.0);
         r.on_query_completed();
         r.on_query_completed();
         r.on_query_completed();
         r.begin_probe(D);
-        assert!(
-            r.record_kernel_failure(D, "k", 1.0),
-            "failed probe re-trips"
-        );
+        let v = r.record_kernel_failure(D, "a", 1.0);
+        assert!(v.device_tripped, "failed probe re-trips");
         assert!(r.is_quarantined(D));
     }
 
@@ -474,8 +1142,8 @@ mod tests {
         assert!(!r.is_quarantined(D));
         assert!(r.retry_penalty_ns(D) > 0.0, "OOM pressure raises penalty");
         // Trip via kernel failures, cool down, then fail the probe with OOM.
-        r.record_kernel_failure(D, "k", 1.0);
-        r.record_kernel_failure(D, "k", 1.0);
+        r.record_kernel_failure(D, "a", 1.0);
+        r.record_kernel_failure(D, "b", 1.0);
         r.on_query_completed();
         r.on_query_completed();
         r.on_query_completed();
@@ -517,8 +1185,10 @@ mod tests {
         r.record_kernel_failure(D, "k", 1.0);
         r.record_kernel_failure(D, "k", 1.0);
         assert!(!r.is_quarantined(D));
+        assert!(!r.kernel_known_broken(D, "k"));
         assert_eq!(r.retry_penalty_ns(D), 0.0);
         assert!(r.snapshot().is_empty());
+        assert!(r.kernel_snapshot().is_empty());
     }
 
     #[test]
@@ -532,9 +1202,57 @@ mod tests {
         assert_eq!(s.kernel_failures, 1);
         assert_eq!(s.ooms, 1);
         assert_eq!(s.state, BreakerState::Closed);
+        assert_eq!(s.open_kernels, 0);
         assert!(s.retry_penalty_ns > 0.0);
         assert_eq!(BreakerState::Closed.label(), "closed");
         assert_eq!(BreakerState::Open { cooldown_left: 1 }.label(), "open");
         assert_eq!(BreakerState::HalfOpen.label(), "half-open");
+    }
+
+    #[test]
+    fn json_round_trip_preserves_state_and_behavior() {
+        let mut r = DeviceHealthRegistry::new(HealthPolicy {
+            cooldown_queries: 3,
+            ..HealthPolicy::default()
+        });
+        // Mixed state: an open kernel breaker on D, a quarantined device 1,
+        // OOM pressure, attempt counts and a mid-streak kernel.
+        r.record_attempt(D);
+        r.record_attempt(D);
+        r.record_kernel_failure(D, "agg_block", 40.0);
+        r.record_kernel_failure(D, "agg_block", 60.0);
+        r.record_oom(D, 25.0);
+        r.record_kernel_failure(DeviceId(1), "map \"odd\"", 10.0);
+        r.record_kernel_failure(DeviceId(1), "sort", 10.0);
+        r.record_kernel_failure(DeviceId(2), "hash_build", 5.0);
+
+        let json = r.to_json();
+        let restored = DeviceHealthRegistry::from_json(&json).expect("round trip");
+        assert_eq!(restored.policy(), r.policy());
+        assert_eq!(restored.snapshot(), r.snapshot());
+        assert_eq!(restored.kernel_snapshot(), r.kernel_snapshot());
+        assert_eq!(restored.to_json(), json, "export is a fixed point");
+        // Behavior carries over: quarantine and known-broken checks agree.
+        assert!(restored.kernel_known_broken(D, "agg_block"));
+        assert!(restored.is_quarantined(DeviceId(1)));
+        assert!((restored.retry_penalty_ns(D) - r.retry_penalty_ns(D)).abs() < 1e-12);
+        // And the restored registry keeps ticking: half-open after cooldown.
+        let mut restored = restored;
+        for _ in 0..4 {
+            restored.on_query_completed();
+        }
+        assert!(!restored.is_quarantined(DeviceId(1)));
+        assert!(restored.is_half_open(DeviceId(1)));
+    }
+
+    #[test]
+    fn from_json_rejects_malformed_input() {
+        assert!(DeviceHealthRegistry::from_json("").is_err());
+        assert!(DeviceHealthRegistry::from_json("{}").is_err());
+        assert!(DeviceHealthRegistry::from_json("{\"policy\":7}").is_err());
+        assert!(DeviceHealthRegistry::from_json("not json at all").is_err());
+        let truncated = reg().to_json();
+        let truncated = &truncated[..truncated.len() - 2];
+        assert!(DeviceHealthRegistry::from_json(truncated).is_err());
     }
 }

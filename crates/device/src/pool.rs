@@ -23,6 +23,10 @@ pub struct BufferPool {
     peak: u64,
     /// Buffers temporarily taken by an executing kernel (see [`Self::take`]).
     taken: HashMap<BufferId, (bool, u64)>,
+    /// Bytes promised to admitted queries by the multi-query scheduler's
+    /// admission ledger (see [`Self::admission_reserve`]). Advisory:
+    /// tracked separately from `used` and not charged by [`Self::insert`].
+    admission_reserved: u64,
 }
 
 impl BufferPool {
@@ -36,6 +40,7 @@ impl BufferPool {
             pinned_used: 0,
             peak: 0,
             taken: HashMap::new(),
+            admission_reserved: 0,
         }
     }
 
@@ -233,6 +238,44 @@ impl BufferPool {
         self.buffers.keys().copied().collect()
     }
 
+    /// Reserves `bytes` of capacity in the admission ledger, failing with
+    /// [`DeviceError::OutOfMemory`] when the outstanding reservations plus
+    /// this one would exceed the device capacity.
+    ///
+    /// Admission reservations are **advisory**: they cap what the
+    /// multi-query scheduler concurrently admits so admitted queries cannot
+    /// OOM each other, but [`Self::insert`] does not consult them — each
+    /// admitted query allocates freely within the capacity its own
+    /// reservation already vouched for, and queries that over-run their
+    /// estimate still hit the hard `used`-vs-`capacity` check.
+    pub fn admission_reserve(&mut self, bytes: u64) -> Result<()> {
+        if self.admission_reserved + bytes > self.capacity {
+            return Err(DeviceError::OutOfMemory {
+                requested: bytes,
+                available: self.capacity - self.admission_reserved,
+                capacity: self.capacity,
+            });
+        }
+        self.admission_reserved += bytes;
+        Ok(())
+    }
+
+    /// Releases `bytes` from the admission ledger (saturating, so a
+    /// double-release cannot underflow).
+    pub fn admission_release(&mut self, bytes: u64) {
+        self.admission_reserved = self.admission_reserved.saturating_sub(bytes);
+    }
+
+    /// Bytes currently promised to admitted queries.
+    pub fn admission_reserved(&self) -> u64 {
+        self.admission_reserved
+    }
+
+    /// Capacity not yet promised to any admitted query.
+    pub fn admission_available(&self) -> u64 {
+        self.capacity - self.admission_reserved
+    }
+
     /// Convenience: allocates a reserved-but-empty buffer.
     pub fn reserve(&mut self, id: BufferId, bytes: u64, repr: SdkRepr, pinned: bool) -> Result<()> {
         self.insert(
@@ -350,6 +393,33 @@ mod tests {
             .unwrap();
         assert_eq!(pool.used(), 64);
         assert_eq!(pool.get(BufferId(7)).unwrap().repr, SdkRepr::ClBuffer);
+    }
+
+    #[test]
+    fn admission_ledger_caps_at_capacity() {
+        let mut pool = BufferPool::new(100, 0);
+        pool.admission_reserve(60).unwrap();
+        assert_eq!(pool.admission_reserved(), 60);
+        assert_eq!(pool.admission_available(), 40);
+        assert!(matches!(
+            pool.admission_reserve(50).unwrap_err(),
+            DeviceError::OutOfMemory {
+                requested: 50,
+                available: 40,
+                ..
+            }
+        ));
+        // Reservations are advisory: allocation still succeeds regardless.
+        pool.insert(BufferId(1), buf(10)).unwrap();
+        assert_eq!(pool.used(), 80);
+        pool.admission_release(60);
+        assert_eq!(pool.admission_reserved(), 0);
+        pool.admission_release(1); // saturating, no underflow
+        assert_eq!(pool.admission_reserved(), 0);
+        // End-of-query buffer cleanup leaves the cross-query ledger alone.
+        pool.admission_reserve(30).unwrap();
+        pool.clear();
+        assert_eq!(pool.admission_reserved(), 30);
     }
 
     #[test]

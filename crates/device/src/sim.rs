@@ -418,6 +418,10 @@ impl Device for SimDevice {
         &self.pool
     }
 
+    fn pool_mut(&mut self) -> &mut BufferPool {
+        &mut self.pool
+    }
+
     fn reset(&mut self) {
         // Fault state survives reset: the plan is configuration, and its
         // ordinals are per-plan (reinstall the plan to rewind them).

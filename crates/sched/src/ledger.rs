@@ -1,0 +1,81 @@
+//! The admission reservation ledger.
+//!
+//! Every admitted query holds a device-memory reservation from admission
+//! until it finishes (or fails) on the shared timeline, charged against the
+//! per-device [`adamant_device::pool::BufferPool`] admission counters. The
+//! scheduler admits a query only when its estimated footprint fits the
+//! target device's *unreserved* capacity — so concurrently admitted queries
+//! cannot OOM each other by construction, regardless of the order their
+//! allocations interleave on the timeline.
+
+use adamant_core::error::Result;
+use adamant_core::executor::Executor;
+use adamant_device::device::DeviceId;
+use std::collections::BTreeMap;
+
+/// Tracks which ticket holds how many reserved bytes on which device.
+#[derive(Debug, Default)]
+pub struct ReservationLedger {
+    entries: BTreeMap<u64, (DeviceId, u64)>,
+}
+
+impl ReservationLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        ReservationLedger::default()
+    }
+
+    /// Whether `bytes` more can currently be promised on `device`.
+    pub fn fits(executor: &Executor, device: DeviceId, bytes: u64) -> bool {
+        executor
+            .devices()
+            .get(device)
+            .map(|d| d.pool().admission_available() >= bytes)
+            .unwrap_or(false)
+    }
+
+    /// Reserves `bytes` on `device` for `ticket`. Fails (leaving the ledger
+    /// unchanged) when the device's outstanding reservations cannot take it.
+    pub fn reserve(
+        &mut self,
+        executor: &mut Executor,
+        device: DeviceId,
+        ticket: u64,
+        bytes: u64,
+    ) -> Result<()> {
+        debug_assert!(
+            !self.entries.contains_key(&ticket),
+            "ticket {ticket} reserved twice"
+        );
+        executor
+            .devices_mut()
+            .get_mut(device)?
+            .pool_mut()
+            .admission_reserve(bytes)?;
+        self.entries.insert(ticket, (device, bytes));
+        Ok(())
+    }
+
+    /// Releases whatever `ticket` holds (idempotent).
+    pub fn release(&mut self, executor: &mut Executor, ticket: u64) {
+        if let Some((device, bytes)) = self.entries.remove(&ticket) {
+            if let Ok(dev) = executor.devices_mut().get_mut(device) {
+                dev.pool_mut().admission_release(bytes);
+            }
+        }
+    }
+
+    /// Bytes currently reserved on `device` across all tickets.
+    pub fn reserved_on(&self, device: DeviceId) -> u64 {
+        self.entries
+            .values()
+            .filter(|(d, _)| *d == device)
+            .map(|(_, b)| b)
+            .sum()
+    }
+
+    /// Number of outstanding reservations.
+    pub fn outstanding(&self) -> usize {
+        self.entries.len()
+    }
+}

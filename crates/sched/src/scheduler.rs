@@ -1,0 +1,709 @@
+//! The multi-query scheduler: admission control, fair queuing, and
+//! device-time sharing over one [`Executor`]'s simulated timeline.
+//!
+//! # How concurrency works on a simulated timeline
+//!
+//! Queries produce *exact* results, so each admitted query really executes
+//! (sequentially, at admission time) — but its modeled device time is
+//! captured as per-chunk slices (`ExecutionStats::slice_ns`) rather than
+//! charged to the shared clock immediately. The scheduler then interleaves
+//! the slices of all admitted queries under weighted fair queuing, which
+//! reconstructs the timeline a chunk-granular time-sliced device would
+//! have produced: results stay reference-exact, while waiting, fair-share
+//! ratios and makespans reflect genuine contention.
+//!
+//! Admission is gated by the reservation ledger: a query is admitted only
+//! when its estimated footprint fits the target device's unreserved
+//! capacity, so concurrent queries cannot OOM each other (ISSUE 3's
+//! admission-control requirement). Queued queries age multiplicatively so
+//! no tenant starves, with earliest-deadline-first among equal priorities.
+
+use crate::estimate::estimate_footprint_bytes;
+use crate::ledger::ReservationLedger;
+use crate::queue::{AdmissionQueues, QueuedEntry};
+use crate::stats::SchedulerStats;
+use adamant_core::error::{ExecError, Result};
+use adamant_core::executor::{CancelToken, Executor, QueryInputs};
+use adamant_core::graph::PrimitiveGraph;
+use adamant_core::models::ExecutionModel;
+use adamant_core::result::QueryOutput;
+use adamant_core::stats::ExecutionStats;
+use adamant_core::timeline::WfqClock;
+use adamant_device::device::DeviceId;
+use adamant_plan::PlacementPolicy;
+use std::collections::{BTreeMap, VecDeque};
+
+/// Default aging horizon: waiting this many modeled ns doubles a queued
+/// query's effective weight (≈10 ms of simulated time).
+pub const DEFAULT_AGE_BOOST_NS: f64 = 1e7;
+
+/// One query submission: the plan, its inputs, and per-query scheduling
+/// knobs.
+#[derive(Clone, Debug)]
+pub struct QuerySpec {
+    graph: PrimitiveGraph,
+    inputs: QueryInputs,
+    model: ExecutionModel,
+    footprint_bytes: Option<u64>,
+    deadline_ns: Option<f64>,
+    pin_device: Option<DeviceId>,
+    policy: Option<PlacementPolicy>,
+    cancel: CancelToken,
+}
+
+impl QuerySpec {
+    /// A query running `graph` over `inputs` under `model`, with the
+    /// scheduler free to place it and no deadline.
+    pub fn new(graph: PrimitiveGraph, inputs: QueryInputs, model: ExecutionModel) -> Self {
+        QuerySpec {
+            graph,
+            inputs,
+            model,
+            footprint_bytes: None,
+            deadline_ns: None,
+            pin_device: None,
+            policy: None,
+            cancel: CancelToken::new(),
+        }
+    }
+
+    /// Overrides the admission footprint estimate (e.g. with
+    /// `TpchQuery::analytic_footprint_bytes`). Without this the scheduler
+    /// walks the primitive graph ([`estimate_footprint_bytes`]).
+    pub fn with_footprint(mut self, bytes: u64) -> Self {
+        self.footprint_bytes = Some(bytes);
+        self
+    }
+
+    /// Sets a modeled-ns budget measured from *submission*: time spent
+    /// queued counts against it, and a query whose remaining budget cannot
+    /// cover the cheapest modeled placement is shed instead of admitted.
+    pub fn with_deadline_ns(mut self, deadline_ns: f64) -> Self {
+        self.deadline_ns = Some(deadline_ns);
+        self
+    }
+
+    /// Pins execution to one device (admission still checks its capacity).
+    pub fn pin_device(mut self, device: DeviceId) -> Self {
+        self.pin_device = Some(device);
+        self
+    }
+
+    /// Places via an `adamant-plan` policy instead of the scheduler's
+    /// default cheapest-feasible-device rule. Deadlines are honored through
+    /// [`PlacementPolicy::choose_within_budget`].
+    pub fn with_policy(mut self, policy: PlacementPolicy) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Attaches a cancellation token: cancelling before admission sheds the
+    /// query; cancelling mid-run unwinds it like any executor cancel.
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+}
+
+/// Handle identifying a submitted query in the [`SchedReport`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryTicket(u64);
+
+impl QueryTicket {
+    /// The raw ticket number.
+    pub fn id(self) -> u64 {
+        self.0
+    }
+}
+
+/// What happened to one submitted query.
+#[derive(Debug)]
+pub enum QueryOutcome {
+    /// Ran to completion with exact outputs.
+    Completed {
+        /// The query's outputs (reference-exact).
+        output: QueryOutput,
+        /// Per-run executor statistics.
+        stats: Box<ExecutionStats>,
+        /// Modeled ns spent queued before admission.
+        wait_ns: f64,
+        /// Virtual time on the shared timeline when the query finished.
+        finish_ns: f64,
+    },
+    /// Admitted but failed during execution.
+    Failed {
+        /// The executor error.
+        error: ExecError,
+    },
+    /// Shed before admission (deadline unmeetable, or cancelled while
+    /// queued).
+    Shed {
+        /// Why it was shed.
+        reason: String,
+    },
+    /// Rejected: its footprint exceeds every device, so no amount of
+    /// waiting could admit it.
+    Rejected {
+        /// Why it was rejected.
+        reason: String,
+    },
+}
+
+/// Result of one [`QueryScheduler::run_all`] drain: per-ticket outcomes
+/// plus a snapshot of the cumulative scheduler statistics.
+#[derive(Debug)]
+pub struct SchedReport {
+    outcomes: BTreeMap<u64, QueryOutcome>,
+    stats: SchedulerStats,
+}
+
+impl SchedReport {
+    /// The outcome for one ticket (`None` if it was not drained by this
+    /// call).
+    pub fn outcome(&self, ticket: QueryTicket) -> Option<&QueryOutcome> {
+        self.outcomes.get(&ticket.0)
+    }
+
+    /// The completed output for one ticket, or `None` for any other
+    /// outcome.
+    pub fn output(&self, ticket: QueryTicket) -> Option<&QueryOutput> {
+        match self.outcomes.get(&ticket.0) {
+            Some(QueryOutcome::Completed { output, .. }) => Some(output),
+            _ => None,
+        }
+    }
+
+    /// Modeled queue wait for one completed ticket.
+    pub fn wait_ns(&self, ticket: QueryTicket) -> Option<f64> {
+        match self.outcomes.get(&ticket.0) {
+            Some(QueryOutcome::Completed { wait_ns, .. }) => Some(*wait_ns),
+            _ => None,
+        }
+    }
+
+    /// All outcomes, keyed by raw ticket number.
+    pub fn outcomes(&self) -> &BTreeMap<u64, QueryOutcome> {
+        &self.outcomes
+    }
+
+    /// Scheduler statistics snapshot (cumulative across `run_all` calls).
+    pub fn stats(&self) -> &SchedulerStats {
+        &self.stats
+    }
+}
+
+/// An admitted query replaying its recorded slices on the shared timeline.
+struct Active {
+    ticket: u64,
+    tenant: String,
+    device: DeviceId,
+    admit_seq: u64,
+    slices: VecDeque<f64>,
+    output: QueryOutput,
+    stats: Box<ExecutionStats>,
+    wait_ns: f64,
+}
+
+/// Schedules many queries over one executor: admission control against the
+/// device pools, weighted fair queuing across tenants, and chunk-granular
+/// device-time sharing on the simulated timeline.
+///
+/// Borrow it from the facade (`Adamant::session()`) or build one directly
+/// over any [`Executor`]. Dropping the scheduler drops any queries not yet
+/// drained by [`QueryScheduler::run_all`].
+pub struct QueryScheduler<'e> {
+    executor: &'e mut Executor,
+    queues: AdmissionQueues,
+    ledger: ReservationLedger,
+    wfq: WfqClock,
+    streams: BTreeMap<String, usize>,
+    pending: BTreeMap<u64, QuerySpec>,
+    next_ticket: u64,
+    next_seq: u64,
+    now_ns: f64,
+    stats: SchedulerStats,
+}
+
+impl<'e> QueryScheduler<'e> {
+    /// Creates a scheduler over `executor` with the default aging horizon.
+    pub fn new(executor: &'e mut Executor) -> Self {
+        QueryScheduler::with_age_boost(executor, DEFAULT_AGE_BOOST_NS)
+    }
+
+    /// Creates a scheduler with a custom aging horizon (modeled ns of
+    /// waiting that doubles a queued query's effective weight).
+    pub fn with_age_boost(executor: &'e mut Executor, age_boost_ns: f64) -> Self {
+        QueryScheduler {
+            executor,
+            queues: AdmissionQueues::new(age_boost_ns),
+            ledger: ReservationLedger::new(),
+            wfq: WfqClock::new(),
+            streams: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            next_ticket: 1,
+            next_seq: 1,
+            now_ns: 0.0,
+            stats: SchedulerStats::default(),
+        }
+    }
+
+    /// Registers `name` with a fair-share `weight`. Unregistered tenants
+    /// that submit get weight 1.0. Re-registering updates the weight for
+    /// future scheduling decisions.
+    pub fn tenant(&mut self, name: &str, weight: f64) -> &mut Self {
+        self.queues.register(name, weight);
+        self.ensure_stream(name, weight);
+        let entry = self.stats.tenants.entry(name.to_string()).or_default();
+        entry.weight = weight.max(1e-9);
+        self
+    }
+
+    /// Enqueues `spec` for `tenant`; the query runs on the next
+    /// [`QueryScheduler::run_all`].
+    pub fn submit(&mut self, tenant: &str, spec: QuerySpec) -> QueryTicket {
+        if !self.queues.tenants().contains(&tenant.to_string()) {
+            self.tenant(tenant, 1.0);
+        }
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let deadline_vt = spec.deadline_ns.map(|d| self.now_ns + d);
+        let depth = self.queues.push(
+            tenant,
+            QueuedEntry {
+                ticket,
+                seq,
+                submit_vt: self.now_ns,
+                deadline_vt,
+            },
+        );
+        self.pending.insert(ticket, spec);
+        let t = self.stats.tenants.entry(tenant.to_string()).or_default();
+        t.submitted += 1;
+        t.max_queue_depth = t.max_queue_depth.max(depth);
+        QueryTicket(ticket)
+    }
+
+    /// Current virtual time on the shared timeline (modeled ns).
+    pub fn now_ns(&self) -> f64 {
+        self.now_ns
+    }
+
+    /// Cumulative scheduler statistics.
+    pub fn stats(&self) -> &SchedulerStats {
+        &self.stats
+    }
+
+    /// Drains every submitted query: admits under the reservation ledger,
+    /// interleaves admitted queries' device time under weighted fair
+    /// queuing, and returns per-ticket outcomes. Deterministic for a given
+    /// submission order and executor state.
+    pub fn run_all(&mut self) -> SchedReport {
+        let mut outcomes: BTreeMap<u64, QueryOutcome> = BTreeMap::new();
+        let mut active: Vec<Active> = Vec::new();
+        let mut admit_seq = 0u64;
+
+        loop {
+            // Admission: keep admitting the best candidate until the gate
+            // holds (reservation doesn't fit) or the queues drain.
+            let mut gate_held = false;
+            while !gate_held {
+                let Some((tenant, entry)) = self.queues.peek_candidate(self.now_ns) else {
+                    break;
+                };
+                match self.try_admit(&tenant, &entry, &active, &mut outcomes) {
+                    Admit::Started(mut act) => {
+                        act.admit_seq = admit_seq;
+                        admit_seq += 1;
+                        let stream = self.ensure_stream(&tenant, self.queues.weight(&tenant));
+                        self.wfq.activate(stream);
+                        active.push(*act);
+                    }
+                    Admit::Resolved => {}
+                    Admit::Hold => {
+                        // Highest-priority candidate can't fit until a
+                        // running query frees its reservation; serving a
+                        // slice is the only way forward.
+                        gate_held = true;
+                    }
+                }
+            }
+
+            if active.is_empty() {
+                if self.queues.is_empty() {
+                    break;
+                }
+                // Nothing is running, yet the head candidate still can't
+                // reserve: no future completion can free memory for it.
+                if let Some((tenant, entry)) = self.queues.peek_candidate(self.now_ns) {
+                    self.queues.pop(&tenant);
+                    self.pending.remove(&entry.ticket);
+                    self.reject(
+                        &tenant,
+                        entry.ticket,
+                        "footprint cannot be reserved on an idle engine",
+                        &mut outcomes,
+                    );
+                }
+                continue;
+            }
+
+            // Serve one slice to the WFQ-chosen tenant's oldest admitted
+            // query.
+            let Some(stream) = self.wfq.next_stream() else {
+                debug_assert!(false, "active queries but no active WFQ stream");
+                break;
+            };
+            let tenant = self
+                .streams
+                .iter()
+                .find(|(_, &s)| s == stream)
+                .map(|(t, _)| t.clone())
+                .expect("stream registered");
+            let contended = {
+                let mut names: Vec<&str> = active.iter().map(|a| a.tenant.as_str()).collect();
+                names.sort_unstable();
+                names.dedup();
+                names.len() >= 2
+            };
+            let idx = active
+                .iter()
+                .enumerate()
+                .filter(|(_, a)| a.tenant == tenant)
+                .min_by_key(|(_, a)| a.admit_seq)
+                .map(|(i, _)| i)
+                .expect("active stream has an active query");
+            let slice = active[idx].slices.pop_front().unwrap_or(0.0);
+            self.now_ns += slice;
+            self.wfq.charge(stream, slice);
+            self.stats.slices += 1;
+            self.stats.makespan_ns = self.now_ns;
+            {
+                let t = self.stats.tenants.entry(tenant.clone()).or_default();
+                t.run_ns += slice;
+                if contended {
+                    t.contended_run_ns += slice;
+                }
+            }
+
+            if active[idx].slices.is_empty() {
+                let done = active.swap_remove(idx);
+                self.ledger.release(self.executor, done.ticket);
+                self.stats.completed += 1;
+                let t = self.stats.tenants.entry(done.tenant.clone()).or_default();
+                t.completed += 1;
+                outcomes.insert(
+                    done.ticket,
+                    QueryOutcome::Completed {
+                        output: done.output,
+                        stats: done.stats,
+                        wait_ns: done.wait_ns,
+                        finish_ns: self.now_ns,
+                    },
+                );
+                if !active.iter().any(|a| a.tenant == done.tenant) {
+                    self.wfq.deactivate(stream);
+                }
+            }
+        }
+
+        SchedReport {
+            outcomes,
+            stats: self.stats.clone(),
+        }
+    }
+
+    fn ensure_stream(&mut self, tenant: &str, weight: f64) -> usize {
+        if let Some(&s) = self.streams.get(tenant) {
+            return s;
+        }
+        let s = self.wfq.add_stream(weight);
+        self.streams.insert(tenant.to_string(), s);
+        s
+    }
+
+    /// Tries to admit the head-of-line candidate. `Started` hands back a
+    /// running query, `Resolved` means the candidate was consumed without
+    /// running (shed/rejected/failed), `Hold` leaves it queued.
+    fn try_admit(
+        &mut self,
+        tenant: &str,
+        entry: &QueuedEntry,
+        active: &[Active],
+        outcomes: &mut BTreeMap<u64, QueryOutcome>,
+    ) -> Admit {
+        let spec = &self.pending[&entry.ticket];
+
+        if spec.cancel.is_cancelled() {
+            self.queues.pop(tenant);
+            self.pending.remove(&entry.ticket);
+            self.shed(tenant, entry.ticket, "cancelled while queued", outcomes);
+            return Admit::Resolved;
+        }
+
+        // Remaining deadline budget after time already spent queued.
+        let remaining = entry.deadline_vt.map(|dl| dl - self.now_ns);
+        if matches!(remaining, Some(r) if r <= 0.0) {
+            self.queues.pop(tenant);
+            self.pending.remove(&entry.ticket);
+            self.stats.shed_deadline += 1;
+            self.shed(
+                tenant,
+                entry.ticket,
+                "deadline expired while queued",
+                outcomes,
+            );
+            return Admit::Resolved;
+        }
+
+        let footprint = spec.footprint_bytes.unwrap_or_else(|| {
+            estimate_footprint_bytes(&spec.graph, &spec.inputs, self.executor.config().chunk_rows)
+        });
+
+        let device = match self.choose_device(spec, footprint, remaining, active) {
+            Ok(d) => d,
+            Err(Unplaceable::Capacity) => {
+                self.queues.pop(tenant);
+                self.pending.remove(&entry.ticket);
+                self.reject(
+                    tenant,
+                    entry.ticket,
+                    "estimated footprint exceeds every device's capacity",
+                    outcomes,
+                );
+                return Admit::Resolved;
+            }
+            Err(Unplaceable::Deadline) => {
+                self.queues.pop(tenant);
+                self.pending.remove(&entry.ticket);
+                self.stats.shed_deadline += 1;
+                self.shed(
+                    tenant,
+                    entry.ticket,
+                    "remaining budget below cheapest modeled placement",
+                    outcomes,
+                );
+                return Admit::Resolved;
+            }
+            Err(Unplaceable::Other(e)) => {
+                self.queues.pop(tenant);
+                self.pending.remove(&entry.ticket);
+                self.fail(tenant, entry.ticket, e, outcomes);
+                return Admit::Resolved;
+            }
+        };
+
+        if self
+            .ledger
+            .reserve(self.executor, device, entry.ticket, footprint)
+            .is_err()
+        {
+            // Doesn't fit next to the currently admitted queries — hold at
+            // the gate until a completion frees its reservation.
+            return Admit::Hold;
+        }
+
+        // Admitted. Execute for real (results must be exact); the modeled
+        // time lands on the shared timeline slice by slice.
+        self.queues.pop(tenant);
+        let spec = self.pending.remove(&entry.ticket).expect("pending spec");
+        let wait_ns = (self.now_ns - entry.submit_vt).max(0.0);
+        self.stats.admitted += 1;
+        if wait_ns > 0.0 {
+            self.stats.held += 1;
+        }
+        {
+            let t = self.stats.tenants.entry(tenant.to_string()).or_default();
+            t.wait_ns += wait_ns;
+        }
+        let mut graph = spec.graph.clone();
+        graph.retarget(device);
+        let run = self.executor.run_with_deadline(
+            &graph,
+            &spec.inputs,
+            spec.model,
+            &spec.cancel,
+            remaining,
+        );
+        match run {
+            Ok((output, stats)) => {
+                let slices: VecDeque<f64> = if stats.slice_ns.is_empty() {
+                    VecDeque::from([stats.total_ns])
+                } else {
+                    stats.slice_ns.iter().copied().collect()
+                };
+                Admit::Started(Box::new(Active {
+                    ticket: entry.ticket,
+                    tenant: tenant.to_string(),
+                    device,
+                    admit_seq: 0,
+                    slices,
+                    output,
+                    stats: Box::new(stats),
+                    wait_ns,
+                }))
+            }
+            Err(e) => {
+                self.ledger.release(self.executor, entry.ticket);
+                self.fail(tenant, entry.ticket, e, outcomes);
+                Admit::Resolved
+            }
+        }
+    }
+
+    /// Picks the target device: the pin, the spec's policy under its
+    /// remaining budget, or the cheapest non-quarantined device with
+    /// capacity — with the modeled backlog of already-admitted queries
+    /// added to each device's cost so concurrent placements spread apart.
+    fn choose_device(
+        &self,
+        spec: &QuerySpec,
+        footprint: u64,
+        remaining_budget: Option<f64>,
+        active: &[Active],
+    ) -> std::result::Result<DeviceId, Unplaceable> {
+        let infos = self.executor.devices().infos();
+        let feasible: Vec<_> = infos
+            .iter()
+            .filter(|i| i.memory_capacity >= footprint)
+            .cloned()
+            .collect();
+
+        if let Some(pin) = spec.pin_device {
+            let info = infos.iter().find(|i| i.id == pin).ok_or_else(|| {
+                Unplaceable::Other(ExecError::InvalidGraph(format!(
+                    "pinned device {pin:?} not plugged"
+                )))
+            })?;
+            if info.memory_capacity < footprint {
+                return Err(Unplaceable::Capacity);
+            }
+            return Ok(pin);
+        }
+
+        if feasible.is_empty() {
+            return Err(Unplaceable::Capacity);
+        }
+
+        let costs: Vec<(DeviceId, f64)> = feasible
+            .iter()
+            .map(|i| {
+                let penalty = self.executor.health().retry_penalty_ns(i.id);
+                let place = self
+                    .executor
+                    .devices()
+                    .get(i.id)
+                    .map(|d| d.placement_cost_ns(footprint, penalty))
+                    .unwrap_or(f64::INFINITY);
+                (i.id, place + backlog_ns(active, i.id))
+            })
+            .collect();
+
+        if let Some(policy) = &spec.policy {
+            return policy
+                .choose_within_budget(&feasible, &costs, remaining_budget)
+                .map_err(Unplaceable::Other);
+        }
+
+        // Default rule: cheapest feasible device, skipping quarantined ones
+        // when any healthy device qualifies; shed when even the cheapest
+        // modeled cost overruns the remaining budget.
+        let healthy: Vec<_> = costs
+            .iter()
+            .filter(|(id, _)| !self.executor.health().is_quarantined(*id))
+            .copied()
+            .collect();
+        let pool = if healthy.is_empty() { &costs } else { &healthy };
+        let (best, cost) = pool
+            .iter()
+            .copied()
+            .min_by(|(ia, ca), (ib, cb)| ca.total_cmp(cb).then(ia.0.cmp(&ib.0)))
+            .expect("feasible set is non-empty");
+        if matches!(remaining_budget, Some(b) if cost > b) {
+            return Err(Unplaceable::Deadline);
+        }
+        Ok(best)
+    }
+
+    fn shed(
+        &mut self,
+        tenant: &str,
+        ticket: u64,
+        reason: &str,
+        outcomes: &mut BTreeMap<u64, QueryOutcome>,
+    ) {
+        let t = self.stats.tenants.entry(tenant.to_string()).or_default();
+        t.shed += 1;
+        outcomes.insert(
+            ticket,
+            QueryOutcome::Shed {
+                reason: reason.to_string(),
+            },
+        );
+    }
+
+    fn reject(
+        &mut self,
+        tenant: &str,
+        ticket: u64,
+        reason: &str,
+        outcomes: &mut BTreeMap<u64, QueryOutcome>,
+    ) {
+        self.stats.rejected_capacity += 1;
+        let t = self.stats.tenants.entry(tenant.to_string()).or_default();
+        t.rejected += 1;
+        outcomes.insert(
+            ticket,
+            QueryOutcome::Rejected {
+                reason: reason.to_string(),
+            },
+        );
+    }
+
+    fn fail(
+        &mut self,
+        tenant: &str,
+        ticket: u64,
+        error: ExecError,
+        outcomes: &mut BTreeMap<u64, QueryOutcome>,
+    ) {
+        self.stats.failed += 1;
+        let t = self.stats.tenants.entry(tenant.to_string()).or_default();
+        t.failed += 1;
+        outcomes.insert(ticket, QueryOutcome::Failed { error });
+    }
+
+    /// Releases any reservations still outstanding (defensive; `run_all`
+    /// releases on every exit path).
+    pub fn release_all(&mut self) -> Result<()> {
+        let outstanding: Vec<u64> = (1..self.next_ticket).collect();
+        for t in outstanding {
+            self.ledger.release(self.executor, t);
+        }
+        Ok(())
+    }
+}
+
+/// Modeled ns of already-admitted work still queued for `device` — the
+/// congestion term added to placement costs so concurrent queries spread
+/// across devices instead of piling onto the one with the best raw cost.
+fn backlog_ns(active: &[Active], device: DeviceId) -> f64 {
+    active
+        .iter()
+        .filter(|a| a.device == device)
+        .map(|a| a.slices.iter().sum::<f64>())
+        .sum()
+}
+
+enum Admit {
+    Started(Box<Active>),
+    Resolved,
+    Hold,
+}
+
+enum Unplaceable {
+    Capacity,
+    Deadline,
+    Other(ExecError),
+}

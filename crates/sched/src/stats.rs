@@ -1,0 +1,167 @@
+//! Scheduler-level statistics: per-tenant wait/run accounting, queue
+//! depths, and admission/shedding counters.
+//!
+//! All times are *modeled* nanoseconds on the shared simulated timeline, so
+//! same-seed runs export byte-identical JSON. Counters are cumulative
+//! across [`crate::QueryScheduler::run_all`] calls on one scheduler.
+
+use std::collections::BTreeMap;
+
+/// Per-tenant accounting on the shared timeline.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct TenantStats {
+    /// The tenant's fair-share weight.
+    pub weight: f64,
+    /// Queries submitted.
+    pub submitted: u64,
+    /// Queries that ran to completion.
+    pub completed: u64,
+    /// Queries admitted but failed during execution.
+    pub failed: u64,
+    /// Queries shed before admission (deadline unmeetable or cancelled).
+    pub shed: u64,
+    /// Queries rejected outright (footprint exceeds every device).
+    pub rejected: u64,
+    /// Total modeled ns the tenant's queries spent queued before admission.
+    pub wait_ns: f64,
+    /// Total modeled ns of device time charged to the tenant.
+    pub run_ns: f64,
+    /// The subset of [`TenantStats::run_ns`] accrued while at least one
+    /// *other* tenant also had an admitted query — the denominator the
+    /// fair-share guarantee is measured against.
+    pub contended_run_ns: f64,
+    /// Highest number of queries this tenant had queued at once.
+    pub max_queue_depth: usize,
+}
+
+/// Aggregate scheduler statistics.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SchedulerStats {
+    /// Modeled ns from the first admission to the last completion,
+    /// cumulative across `run_all` calls.
+    pub makespan_ns: f64,
+    /// Device-time slices interleaved on the shared timeline.
+    pub slices: u64,
+    /// Queries admitted (reservation granted, execution started).
+    pub admitted: u64,
+    /// Queries that ran to completion.
+    pub completed: u64,
+    /// Queries admitted but failed during execution.
+    pub failed: u64,
+    /// Admissions that had to wait at least one slice for reservations to
+    /// free (the "held at the gate" count).
+    pub held: u64,
+    /// Queries rejected because their footprint exceeds every device's
+    /// capacity — no amount of waiting could admit them.
+    pub rejected_capacity: u64,
+    /// Queries shed at admission because their remaining deadline budget
+    /// could not cover the cheapest modeled placement (or was already
+    /// spent waiting).
+    pub shed_deadline: u64,
+    /// Per-tenant breakdown, keyed by tenant name (deterministic order).
+    pub tenants: BTreeMap<String, TenantStats>,
+}
+
+impl SchedulerStats {
+    /// Exports the stats as a deterministic JSON object (hand-rolled, like
+    /// `ExecutionStats::to_json`; same seed ⇒ byte-identical string).
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(512);
+        s.push('{');
+        s.push_str(&format!("\"makespan_ns\":{:.1}", self.makespan_ns));
+        s.push_str(&format!(",\"slices\":{}", self.slices));
+        s.push_str(&format!(",\"admitted\":{}", self.admitted));
+        s.push_str(&format!(",\"completed\":{}", self.completed));
+        s.push_str(&format!(",\"failed\":{}", self.failed));
+        s.push_str(&format!(",\"held\":{}", self.held));
+        s.push_str(&format!(
+            ",\"rejected_capacity\":{}",
+            self.rejected_capacity
+        ));
+        s.push_str(&format!(",\"shed_deadline\":{}", self.shed_deadline));
+        s.push_str(",\"tenants\":{");
+        let mut first = true;
+        for (name, t) in &self.tenants {
+            if !first {
+                s.push(',');
+            }
+            first = false;
+            s.push_str(&format!(
+                "\"{}\":{{\"weight\":{:.3},\"submitted\":{},\"completed\":{},\
+                 \"failed\":{},\"shed\":{},\"rejected\":{},\"wait_ns\":{:.1},\
+                 \"run_ns\":{:.1},\"contended_run_ns\":{:.1},\"max_queue_depth\":{}}}",
+                escape(name),
+                t.weight,
+                t.submitted,
+                t.completed,
+                t.failed,
+                t.shed,
+                t.rejected,
+                t.wait_ns,
+                t.run_ns,
+                t.contended_run_ns,
+                t.max_queue_depth
+            ));
+        }
+        s.push_str("}}");
+        s
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_is_deterministic_and_well_formed() {
+        let mut stats = SchedulerStats {
+            makespan_ns: 1234.5,
+            slices: 7,
+            admitted: 3,
+            completed: 2,
+            failed: 1,
+            held: 1,
+            rejected_capacity: 1,
+            shed_deadline: 2,
+            ..Default::default()
+        };
+        stats.tenants.insert(
+            "beta".into(),
+            TenantStats {
+                weight: 1.0,
+                submitted: 2,
+                completed: 1,
+                wait_ns: 500.0,
+                run_ns: 300.25,
+                contended_run_ns: 100.0,
+                max_queue_depth: 2,
+                ..Default::default()
+            },
+        );
+        stats.tenants.insert(
+            "alpha".into(),
+            TenantStats {
+                weight: 2.0,
+                submitted: 1,
+                completed: 1,
+                ..Default::default()
+            },
+        );
+        let json = stats.to_json();
+        // BTreeMap keys: alpha before beta, every run.
+        assert!(json.find("\"alpha\"").unwrap() < json.find("\"beta\"").unwrap());
+        assert!(json.contains("\"makespan_ns\":1234.5"));
+        assert!(json.contains("\"wait_ns\":500.0"));
+        assert!(json.contains("\"contended_run_ns\":100.0"));
+        assert_eq!(json, stats.to_json(), "export must be deterministic");
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "balanced braces"
+        );
+    }
+}

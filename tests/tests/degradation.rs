@@ -28,19 +28,21 @@ fn expected_sum(data: &[i64], threshold: i64, factor: i64) -> i64 {
         .sum()
 }
 
-/// The acceptance scenario of the graceful-degradation subsystem, on one
+/// The acceptance scenario of the per-kernel circuit breakers, on one
 /// engine across four queries:
 ///
-/// 1. query 1 trips the breaker of a persistently broken device and falls
-///    back to the healthy one;
-/// 2. query 2 is placed around the quarantined device up front — zero
-///    retries, `quarantine_skips` recorded, the broken device untouched;
-/// 3. the device is "repaired"; after the cool-down, query 3 is admitted as
-///    a half-open probe, succeeds, and restores the breaker to `Closed`
-///    (failure memory cleared);
+/// 1. query 1 trips the `(dev0, agg_block)` breaker of a persistently
+///    broken kernel and falls back to the healthy device — while dev0
+///    itself stays out of quarantine (one broken kernel must not condemn a
+///    healthy device);
+/// 2. query 2 is placed around the quarantined kernel up front — zero
+///    retries, the broken kernel never touched, the skip recorded;
+/// 3. the kernel is "repaired"; after the cool-down, query 3 is admitted
+///    as a half-open kernel probe, succeeds, and restores the breaker to
+///    `Closed` with the failure memory cleared;
 /// 4. query 4 runs on the restored device without any health intervention.
 #[test]
-fn breaker_quarantine_probe_lifecycle() {
+fn kernel_breaker_quarantine_probe_lifecycle() {
     let data = test_data(150);
     let expected = expected_sum(&data, -100, 2);
     let mut engine = Adamant::builder()
@@ -50,6 +52,7 @@ fn breaker_quarantine_probe_lifecycle() {
         .fault_plan(0, FaultPlan::none().broken_kernel("agg_block"))
         .health_policy(HealthPolicy {
             cooldown_queries: 1,
+            kernel_cooldown_queries: 1,
             ..HealthPolicy::default()
         })
         .build()
@@ -59,14 +62,36 @@ fn breaker_quarantine_probe_lifecycle() {
     let mut inputs = QueryInputs::new();
     inputs.bind("x", data.clone());
 
-    // Query 1: two strikes on dev0 trip the breaker, fallback completes it.
+    // Query 1: two strikes on `agg_block` trip its kernel breaker; the
+    // fallback placement completes the query elsewhere. The device breaker
+    // must NOT trip: the failure streak never spanned a second kernel.
     let (out, stats) = engine
         .run(&graph, &inputs, ExecutionModel::Chunked)
         .unwrap();
     assert_eq!(out.i64_column("sum")[0], expected);
     assert!(stats.retries >= 2, "fallback needs two failed attempts");
-    assert!(stats.breaker_trips >= 1, "breaker did not trip");
-    assert!(engine.health().is_quarantined(dev0), "dev0 not quarantined");
+    assert!(
+        stats.kernel_breaker_trips >= 1,
+        "kernel breaker did not trip"
+    );
+    assert_eq!(
+        stats.breaker_trips, 0,
+        "device breaker tripped for one kernel"
+    );
+    assert!(
+        !engine.health().is_quarantined(dev0),
+        "one broken kernel must not quarantine the whole device"
+    );
+    assert!(
+        engine.health().kernel_known_broken(dev0, "agg_block"),
+        "kernel not quarantined"
+    );
+    // The open kernel count is visible in the exported stats.
+    assert!(
+        stats.to_json().contains("\"open_kernels\":1"),
+        "kernel quarantine missing from stats JSON: {}",
+        stats.to_json()
+    );
     let hits_after_q1 = engine
         .executor()
         .devices()
@@ -75,14 +100,14 @@ fn breaker_quarantine_probe_lifecycle() {
         .fault_counters()
         .broken_kernel_hits;
 
-    // Query 2: quarantine re-places the plan up front — no retries, and the
-    // broken device is never touched.
+    // Query 2: the known-broken kernel re-places the plan up front — no
+    // retries, and the broken kernel is never executed again.
     let (out, stats) = engine
         .run(&graph, &inputs, ExecutionModel::Chunked)
         .unwrap();
     assert_eq!(out.i64_column("sum")[0], expected);
-    assert_eq!(stats.retries, 0, "quarantined device was still attempted");
-    assert!(stats.quarantine_skips > 0, "no quarantine skip recorded");
+    assert_eq!(stats.retries, 0, "quarantined kernel was still attempted");
+    assert!(stats.quarantine_skips > 0, "no skip recorded");
     assert_eq!(
         engine
             .executor()
@@ -92,30 +117,36 @@ fn breaker_quarantine_probe_lifecycle() {
             .fault_counters()
             .broken_kernel_hits,
         hits_after_q1,
-        "quarantined device was still executed on"
+        "quarantined kernel was still executed"
     );
-    // Query 2 completing ends the one-query cool-down: dev0 half-opens.
-    assert!(!engine.health().is_quarantined(dev0));
+    // Query 2 completing ends the one-query cool-down: the kernel breaker
+    // half-opens (the device breaker never moved).
+    assert!(!engine.health().kernel_known_broken(dev0, "agg_block"));
     assert!(
-        engine.health().is_half_open(dev0),
-        "cool-down did not elapse"
-    );
-    // The breaker state is visible in the exported stats.
-    assert!(
-        stats.to_json().contains("\"state\":\"half-open\""),
-        "health snapshot missing from stats JSON: {}",
-        stats.to_json()
+        matches!(
+            engine.health().kernel_state(dev0, "agg_block"),
+            Some(BreakerState::HalfOpen)
+        ),
+        "kernel cool-down did not elapse"
     );
 
-    // Repair the device, then query 3 probes and restores it.
+    // Repair the kernel, then query 3 probes and restores it.
     engine.set_fault_plan(0, FaultPlan::none()).unwrap();
     let (out, stats) = engine
         .run(&graph, &inputs, ExecutionModel::Chunked)
         .unwrap();
     assert_eq!(out.i64_column("sum")[0], expected);
-    assert!(stats.probe_successes >= 1, "probe success not recorded");
-    assert!(!engine.health().is_quarantined(dev0));
-    assert!(!engine.health().is_half_open(dev0), "breaker not re-closed");
+    assert!(
+        stats.kernel_probe_successes >= 1,
+        "kernel probe success not recorded"
+    );
+    assert!(
+        !matches!(
+            engine.health().kernel_state(dev0, "agg_block"),
+            Some(BreakerState::Open { .. } | BreakerState::HalfOpen)
+        ),
+        "kernel breaker not re-closed"
+    );
     assert_eq!(
         engine.health().retry_penalty_ns(dev0),
         0.0,

@@ -1,0 +1,289 @@
+//! Multi-query scheduler end-to-end: admission control holds an
+//! over-footprint query instead of letting it OOM a running one, weighted
+//! fair queuing delivers proportional device time under contention, and
+//! deadline-infeasible queries are shed before wasting device time.
+
+use adamant::prelude::*;
+
+fn filter_map_sum(dev: DeviceId, threshold: i64, factor: i64) -> PrimitiveGraph {
+    let mut pb = PlanBuilder::new(dev);
+    let mut s = pb.scan("t", &["x"]);
+    s.filter(&mut pb, Predicate::cmp("x", CmpOp::Ge, threshold))
+        .unwrap();
+    s.project(&mut pb, "y", Expr::col("x").mul(Expr::lit(factor)))
+        .unwrap();
+    let y = s.materialized(&mut pb, "y").unwrap();
+    let sum = pb.agg_block(y, AggFunc::Sum, "sum");
+    pb.output("sum", sum);
+    pb.build().unwrap()
+}
+
+fn test_data(n: i64) -> Vec<i64> {
+    (0..n).map(|i| (i * 37 + 11) % 500 - 250).collect()
+}
+
+fn expected_sum(data: &[i64], threshold: i64, factor: i64) -> i64 {
+    data.iter()
+        .filter(|&&v| v >= threshold)
+        .map(|v| v * factor)
+        .sum()
+}
+
+/// Two tenants share one simulated GPU whose memory fits only one query's
+/// reservation at a time: the second query is *held* at admission (not
+/// OOM-killed mid-flight), runs after the first frees its reservation, and
+/// both produce reference-exact results. The queued tenant's wait shows up
+/// in `SchedulerStats::to_json()`.
+#[test]
+fn admission_holds_second_query_until_reservation_frees() {
+    let data = test_data(2_000);
+    let mut engine = Adamant::builder()
+        .chunk_rows(100)
+        // Small enough that two 150 KiB reservations cannot coexist.
+        .device(DeviceProfile::cuda_rtx2080ti().with_memory(256 << 10, 64 << 10))
+        .build()
+        .unwrap();
+    let gpu = engine.device_ids()[0];
+    let mut inputs = QueryInputs::new();
+    inputs.bind("x", data.clone());
+
+    let mut session = engine.session();
+    session.tenant("alpha", 1.0).tenant("beta", 1.0);
+    let t1 = session.submit(
+        "alpha",
+        QuerySpec::new(
+            filter_map_sum(gpu, -100, 2),
+            inputs.clone(),
+            ExecutionModel::Chunked,
+        )
+        .with_footprint(150 << 10),
+    );
+    let t2 = session.submit(
+        "beta",
+        QuerySpec::new(
+            filter_map_sum(gpu, 0, 3),
+            inputs.clone(),
+            ExecutionModel::Chunked,
+        )
+        .with_footprint(150 << 10),
+    );
+    let report = session.run_all();
+
+    let out1 = report.output(t1).expect("alpha query must complete");
+    assert_eq!(out1.i64_column("sum")[0], expected_sum(&data, -100, 2));
+    let out2 = report.output(t2).expect("beta query must complete");
+    assert_eq!(out2.i64_column("sum")[0], expected_sum(&data, 0, 3));
+
+    // The second query waited for the first's reservation: admission held
+    // it rather than risking an OOM race.
+    assert_eq!(
+        report.wait_ns(t1),
+        Some(0.0),
+        "first admission must be free"
+    );
+    assert!(
+        report.wait_ns(t2).unwrap() > 0.0,
+        "held query must record queue wait"
+    );
+    let stats = report.stats();
+    assert_eq!(stats.admitted, 2);
+    assert_eq!(stats.completed, 2);
+    assert!(stats.held >= 1, "the gate never held anyone");
+    let beta = &stats.tenants["beta"];
+    assert!(beta.wait_ns > 0.0);
+    let json = stats.to_json();
+    assert!(
+        json.contains("\"beta\":{"),
+        "tenant missing from JSON: {json}"
+    );
+    assert!(
+        !json.contains(
+            "\"beta\":{\"weight\":1.000,\"submitted\":1,\"completed\":1,\
+                        \"failed\":0,\"shed\":0,\"rejected\":0,\"wait_ns\":0.0"
+        ),
+        "queued tenant's wait must be nonzero in JSON: {json}"
+    );
+
+    // No reservation outlives its query, and no bytes leak.
+    let pool = engine.executor().devices().get(gpu).unwrap().pool();
+    assert_eq!(pool.admission_reserved(), 0, "reservation leaked");
+    assert_eq!(pool.used(), 0, "buffer bytes leaked");
+}
+
+/// A 2:1-weight tenant receives ≈2× the device time of a 1:1 tenant while
+/// both are runnable, within 10% on the simulated timeline.
+#[test]
+fn weighted_tenants_share_device_time_proportionally() {
+    let data = test_data(3_000);
+    let mut engine = Adamant::builder()
+        .chunk_rows(100)
+        .device(DeviceProfile::cuda_rtx2080ti())
+        .build()
+        .unwrap();
+    let gpu = engine.device_ids()[0];
+    let mut inputs = QueryInputs::new();
+    inputs.bind("x", data.clone());
+
+    let mut session = engine.session();
+    session.tenant("heavy", 2.0).tenant("light", 1.0);
+    let per_tenant = 5;
+    let mut tickets = Vec::new();
+    for _ in 0..per_tenant {
+        // Identical work for both tenants, so time ratios are meaningful.
+        for tenant in ["heavy", "light"] {
+            tickets.push((
+                tenant,
+                session.submit(
+                    tenant,
+                    QuerySpec::new(
+                        filter_map_sum(gpu, -100, 2),
+                        inputs.clone(),
+                        ExecutionModel::Chunked,
+                    ),
+                ),
+            ));
+        }
+    }
+    let report = session.run_all();
+    for (tenant, t) in &tickets {
+        let out = report.output(*t).unwrap_or_else(|| {
+            panic!(
+                "{tenant} query {t:?} did not complete: {:?}",
+                report.outcome(*t)
+            )
+        });
+        assert_eq!(out.i64_column("sum")[0], expected_sum(&data, -100, 2));
+    }
+
+    let stats = report.stats();
+    let heavy = &stats.tenants["heavy"];
+    let light = &stats.tenants["light"];
+    assert!(
+        heavy.contended_run_ns > 0.0 && light.contended_run_ns > 0.0,
+        "tenants never actually contended"
+    );
+    let ratio = heavy.contended_run_ns / light.contended_run_ns;
+    assert!(
+        (1.8..=2.2).contains(&ratio),
+        "2:1 weights should yield ≈2x contended device time, got {ratio:.3} \
+         (heavy {:.0} ns vs light {:.0} ns)",
+        heavy.contended_run_ns,
+        light.contended_run_ns
+    );
+    // Equal work submitted: total run time per tenant matches regardless of
+    // weights; only its *placement in time* differs.
+    let total_ratio = heavy.run_ns / light.run_ns;
+    assert!(
+        (0.99..=1.01).contains(&total_ratio),
+        "equal workloads must cost equal total device time, got {total_ratio:.3}"
+    );
+}
+
+/// A query whose deadline cannot cover even the cheapest modeled placement
+/// is shed at admission; a generous deadline sails through. Cancelling a
+/// queued query sheds it without running.
+#[test]
+fn infeasible_deadlines_and_cancellations_shed_at_admission() {
+    let data = test_data(500);
+    let mut engine = Adamant::builder()
+        .chunk_rows(100)
+        .device(DeviceProfile::cuda_rtx2080ti())
+        .build()
+        .unwrap();
+    let gpu = engine.device_ids()[0];
+    let mut inputs = QueryInputs::new();
+    inputs.bind("x", data.clone());
+
+    let cancelled = CancelToken::new();
+    cancelled.cancel();
+
+    let mut session = engine.session();
+    let doomed = session.submit(
+        "t",
+        QuerySpec::new(
+            filter_map_sum(gpu, 0, 2),
+            inputs.clone(),
+            ExecutionModel::Chunked,
+        )
+        // Far below any modeled transfer cost: unmeetable from the start.
+        .with_deadline_ns(0.5),
+    );
+    let fine = session.submit(
+        "t",
+        QuerySpec::new(
+            filter_map_sum(gpu, 0, 2),
+            inputs.clone(),
+            ExecutionModel::Chunked,
+        )
+        .with_deadline_ns(1e12),
+    );
+    let dropped = session.submit(
+        "t",
+        QuerySpec::new(
+            filter_map_sum(gpu, 0, 2),
+            inputs.clone(),
+            ExecutionModel::Chunked,
+        )
+        .with_cancel(cancelled),
+    );
+    let report = session.run_all();
+
+    assert!(
+        matches!(report.outcome(doomed), Some(QueryOutcome::Shed { .. })),
+        "unmeetable deadline must shed, got {:?}",
+        report.outcome(doomed)
+    );
+    assert!(
+        matches!(report.outcome(dropped), Some(QueryOutcome::Shed { .. })),
+        "cancelled query must shed, got {:?}",
+        report.outcome(dropped)
+    );
+    let out = report.output(fine).expect("feasible query must complete");
+    assert_eq!(out.i64_column("sum")[0], expected_sum(&data, 0, 2));
+    assert_eq!(report.stats().shed_deadline, 1);
+    assert_eq!(report.stats().tenants["t"].shed, 2);
+}
+
+/// A query whose footprint exceeds every device's capacity is rejected
+/// outright — waiting can never admit it — while a fitting query on the
+/// same session proceeds.
+#[test]
+fn oversized_footprint_is_rejected_not_queued_forever() {
+    let data = test_data(300);
+    let mut engine = Adamant::builder()
+        .chunk_rows(100)
+        .device(DeviceProfile::cuda_rtx2080ti().with_memory(128 << 10, 32 << 10))
+        .build()
+        .unwrap();
+    let gpu = engine.device_ids()[0];
+    let mut inputs = QueryInputs::new();
+    inputs.bind("x", data.clone());
+
+    let mut session = engine.session();
+    let whale = session.submit(
+        "t",
+        QuerySpec::new(
+            filter_map_sum(gpu, 0, 2),
+            inputs.clone(),
+            ExecutionModel::Chunked,
+        )
+        .with_footprint(1 << 30),
+    );
+    let minnow = session.submit(
+        "t",
+        QuerySpec::new(
+            filter_map_sum(gpu, 0, 2),
+            inputs.clone(),
+            ExecutionModel::Chunked,
+        ),
+    );
+    let report = session.run_all();
+    assert!(
+        matches!(report.outcome(whale), Some(QueryOutcome::Rejected { .. })),
+        "over-capacity footprint must reject, got {:?}",
+        report.outcome(whale)
+    );
+    let out = report.output(minnow).expect("small query must complete");
+    assert_eq!(out.i64_column("sum")[0], expected_sum(&data, 0, 2));
+    assert_eq!(report.stats().rejected_capacity, 1);
+}

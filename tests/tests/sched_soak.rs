@@ -1,0 +1,213 @@
+//! Scheduler chaos soak: many concurrent queries from multiple tenants
+//! over a faulty device, across several seeds. Every completed query must
+//! match the fault-free reference exactly, failures must be clean typed
+//! errors, device pools and the admission ledger must return to zero, and
+//! same-seed runs must export byte-identical scheduler statistics.
+//!
+//! The CI `sched` job shards this suite by seed through the `SCHED_SEED`
+//! environment variable (mirroring the `chaos` job's `CHAOS_SEED`).
+
+use adamant::prelude::*;
+
+const DEFAULT_SEEDS: [u64; 3] = [1, 7, 42];
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("SCHED_SEED") {
+        Ok(s) => vec![s
+            .trim()
+            .parse()
+            .expect("SCHED_SEED must be an unsigned integer")],
+        Err(_) => DEFAULT_SEEDS.to_vec(),
+    }
+}
+
+fn filter_map_sum(dev: DeviceId, threshold: i64, factor: i64) -> PrimitiveGraph {
+    let mut pb = PlanBuilder::new(dev);
+    let mut s = pb.scan("t", &["x"]);
+    s.filter(&mut pb, Predicate::cmp("x", CmpOp::Ge, threshold))
+        .unwrap();
+    s.project(&mut pb, "y", Expr::col("x").mul(Expr::lit(factor)))
+        .unwrap();
+    let y = s.materialized(&mut pb, "y").unwrap();
+    let sum = pb.agg_block(y, AggFunc::Sum, "sum");
+    pb.output("sum", sum);
+    pb.build().unwrap()
+}
+
+fn test_data(n: i64) -> Vec<i64> {
+    (0..n).map(|i| (i * 37 + 11) % 500 - 250).collect()
+}
+
+fn expected_sum(data: &[i64], threshold: i64, factor: i64) -> i64 {
+    data.iter()
+        .filter(|&&v| v >= threshold)
+        .map(|v| v * factor)
+        .sum()
+}
+
+/// Query mix: `(tenant, threshold, factor)` triples cycled per seed.
+const MIX: [(&str, i64, i64); 6] = [
+    ("alpha", -100, 2),
+    ("beta", 0, 3),
+    ("alpha", 50, 5),
+    ("gamma", -200, 1),
+    ("beta", 120, 7),
+    ("gamma", 10, 4),
+];
+
+/// One full scheduler session under a seeded fault plan. Returns each
+/// query's outcome (`Ok(sum)`, or the error display) plus the scheduler
+/// stats JSON.
+fn soak_run(seed: u64, data: &[i64]) -> (Vec<Result<i64, String>>, String) {
+    let mut engine = Adamant::builder()
+        .chunk_rows(100)
+        .device(DeviceProfile::cuda_rtx2080ti())
+        .device(DeviceProfile::opencl_cpu_i7())
+        .fault_plan(
+            0,
+            FaultPlan::none()
+                .with_seed(seed)
+                .exec_error_rate(0.05)
+                .oom_rate(0.05),
+        )
+        .retry_policy(RetryPolicy {
+            max_attempts: 6,
+            ..Default::default()
+        })
+        .build()
+        .unwrap();
+    let dev0 = engine.device_ids()[0];
+    let mut inputs = QueryInputs::new();
+    inputs.bind("x", data.to_vec());
+
+    let mut session = engine.session();
+    session
+        .tenant("alpha", 2.0)
+        .tenant("beta", 1.0)
+        .tenant("gamma", 1.0);
+    let mut tickets = Vec::new();
+    for (tenant, threshold, factor) in MIX {
+        let spec = QuerySpec::new(
+            filter_map_sum(dev0, threshold, factor),
+            inputs.clone(),
+            ExecutionModel::Chunked,
+        );
+        tickets.push(session.submit(tenant, spec));
+    }
+    let report = session.run_all();
+    let json = report.stats().to_json();
+    let outcomes = tickets
+        .iter()
+        .map(|&t| match report.outcome(t) {
+            Some(QueryOutcome::Completed { output, .. }) => Ok(output.i64_column("sum")[0]),
+            Some(QueryOutcome::Failed { error }) => {
+                assert!(
+                    matches!(
+                        error,
+                        ExecError::Device(_)
+                            | ExecError::KernelFailed { .. }
+                            | ExecError::DeadlineExceeded { .. }
+                    ),
+                    "seed {seed}: unexpected error class: {error}"
+                );
+                Err(error.to_string())
+            }
+            other => panic!("seed {seed}: query neither completed nor failed: {other:?}"),
+        })
+        .collect();
+    drop(report);
+
+    // Whatever happened: no buffer bytes and no reservation may survive.
+    for &d in engine.device_ids() {
+        let pool = engine.executor().devices().get(d).unwrap().pool();
+        assert_eq!(pool.used(), 0, "seed {seed}: leaked bytes on {d}");
+        assert_eq!(
+            pool.pinned_used(),
+            0,
+            "seed {seed}: leaked pinned bytes on {d}"
+        );
+        assert_eq!(
+            pool.admission_reserved(),
+            0,
+            "seed {seed}: leaked admission reservation on {d}"
+        );
+    }
+    (outcomes, json)
+}
+
+#[test]
+fn seeded_concurrent_chaos_is_survivable_and_deterministic() {
+    let data = test_data(600);
+    for seed in seeds() {
+        let (first, first_json) = soak_run(seed, &data);
+        for (i, (tenant, threshold, factor)) in MIX.iter().enumerate() {
+            if let Ok(sum) = &first[i] {
+                assert_eq!(
+                    *sum,
+                    expected_sum(&data, *threshold, *factor),
+                    "seed {seed}: {tenant} query {i} diverged from reference"
+                );
+            }
+        }
+        // Same seed, fresh engine: identical outcomes, byte-identical
+        // scheduler stats (the timeline is fully modeled — no wall clock).
+        let (second, second_json) = soak_run(seed, &data);
+        assert_eq!(first, second, "seed {seed}: outcomes flipped");
+        assert_eq!(
+            first_json, second_json,
+            "seed {seed}: scheduler stats drifted between identical runs"
+        );
+    }
+}
+
+/// Fault-free control: the same mix completes fully, with every tenant
+/// served and the scheduler's books balanced.
+#[test]
+fn fault_free_mix_completes_every_query() {
+    let data = test_data(600);
+    let (outcomes, json) = soak_run(0, &data);
+    // Seed 0 still draws from the seeded schedule; re-run without faults
+    // for the guaranteed-clean control.
+    drop(outcomes);
+    drop(json);
+
+    let mut engine = Adamant::builder()
+        .chunk_rows(100)
+        .device(DeviceProfile::cuda_rtx2080ti())
+        .device(DeviceProfile::opencl_cpu_i7())
+        .build()
+        .unwrap();
+    let dev0 = engine.device_ids()[0];
+    let mut inputs = QueryInputs::new();
+    inputs.bind("x", data.to_vec());
+    let mut session = engine.session();
+    let mut tickets = Vec::new();
+    for (tenant, threshold, factor) in MIX {
+        tickets.push((
+            threshold,
+            factor,
+            session.submit(
+                tenant,
+                QuerySpec::new(
+                    filter_map_sum(dev0, threshold, factor),
+                    inputs.clone(),
+                    ExecutionModel::Chunked,
+                ),
+            ),
+        ));
+    }
+    let report = session.run_all();
+    for (threshold, factor, t) in tickets {
+        let out = report.output(t).expect("fault-free query must complete");
+        assert_eq!(
+            out.i64_column("sum")[0],
+            expected_sum(&data, threshold, factor)
+        );
+    }
+    let stats = report.stats();
+    assert_eq!(stats.admitted, MIX.len() as u64);
+    assert_eq!(stats.completed, MIX.len() as u64);
+    assert_eq!(stats.failed, 0);
+    assert!(stats.makespan_ns > 0.0);
+    assert_eq!(stats.tenants.len(), 3, "every tenant must be accounted");
+}
