@@ -201,6 +201,7 @@ pub struct AdamantBuilder {
     chunk_rows: Option<usize>,
     retry: Option<RetryPolicy>,
     deadline_ns: Option<f64>,
+    watchdog_multiplier: Option<Option<f64>>,
     health: Option<HealthPolicy>,
     fault_plans: Vec<(usize, FaultPlan)>,
     tasks: Option<TaskRegistry>,
@@ -236,6 +237,23 @@ impl AdamantBuilder {
     /// [`adamant_core::ExecError::DeadlineExceeded`].
     pub fn deadline_ns(mut self, budget_ns: f64) -> Self {
         self.deadline_ns = Some(budget_ns);
+        self
+    }
+
+    /// Sets the straggler-watchdog budget multiplier: a streamed chunk whose
+    /// modeled duration exceeds this multiple of its fault-free cost-model
+    /// expectation trips the watchdog and races a hedged duplicate on the
+    /// best alternate device. Defaults to `3.0`; see
+    /// [`AdamantBuilder::no_hedging`] to disable.
+    pub fn watchdog_multiplier(mut self, multiplier: f64) -> Self {
+        self.watchdog_multiplier = Some(Some(multiplier));
+        self
+    }
+
+    /// Disables the straggler watchdog and hedged chunk execution entirely
+    /// (useful for A/B-comparing makespans with and without hedging).
+    pub fn no_hedging(mut self) -> Self {
+        self.watchdog_multiplier = Some(None);
         self
     }
 
@@ -278,6 +296,9 @@ impl AdamantBuilder {
             config.retry = retry;
         }
         config.deadline_ns = self.deadline_ns;
+        if let Some(watchdog) = self.watchdog_multiplier {
+            config.watchdog_multiplier = watchdog.map(|m| m.max(1.0));
+        }
         let mut engine = Adamant {
             executor: Executor::new(tasks, config),
             device_ids: Vec::new(),

@@ -60,6 +60,16 @@ pub enum ExecError {
     /// The run was cancelled through its cancellation token. Unwound exactly
     /// like [`ExecError::DeadlineExceeded`].
     Cancelled,
+    /// A host↔device transfer kept failing its end-to-end checksum after the
+    /// full retransmit budget — the link to this device is lying. The
+    /// recovery loop treats this like a broken device and re-places the
+    /// pipeline elsewhere.
+    TransferCorrupted {
+        /// The device whose transfers cannot be trusted.
+        device: DeviceId,
+        /// The buffer whose verification failed.
+        buffer: adamant_device::buffer::BufferId,
+    },
     /// Internal invariant violation (a bug in an execution model).
     Internal(String),
 }
@@ -100,6 +110,11 @@ impl fmt::Display for ExecError {
                 "query deadline exceeded: spent {spent_ns:.0} ns of a {budget_ns:.0} ns budget"
             ),
             ExecError::Cancelled => write!(f, "query cancelled"),
+            ExecError::TransferCorrupted { device, buffer } => write!(
+                f,
+                "transfer of {buffer} to/from {device} failed checksum verification \
+                 after exhausting the retransmit budget"
+            ),
             ExecError::Internal(msg) => write!(f, "internal executor error: {msg}"),
         }
     }
@@ -149,6 +164,11 @@ mod tests {
         };
         assert!(e.to_string().contains("deadline exceeded"));
         assert!(ExecError::Cancelled.to_string().contains("cancelled"));
+        let e = ExecError::TransferCorrupted {
+            device: DeviceId(1),
+            buffer: adamant_device::buffer::BufferId(7),
+        };
+        assert!(e.to_string().contains("checksum"));
     }
 
     #[test]

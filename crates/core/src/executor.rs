@@ -45,6 +45,13 @@ pub struct ExecutorConfig {
     /// each attempt; exceeding it unwinds the attempt like the OOM path and
     /// returns [`ExecError::DeadlineExceeded`]. `None` disables the check.
     pub deadline_ns: Option<f64>,
+    /// Straggler watchdog: a streamed chunk whose modeled duration exceeds
+    /// this multiple of its fault-free cost-model expectation trips the
+    /// watchdog — the overrun is fed to the health registry's latency
+    /// tracking, and a hedged duplicate of the chunk is raced on the best
+    /// alternate device (first completion wins; the loser's allocations are
+    /// reclaimed). `None` disables watchdogs and hedging.
+    pub watchdog_multiplier: Option<f64>,
 }
 
 impl Default for ExecutorConfig {
@@ -53,6 +60,7 @@ impl Default for ExecutorConfig {
             chunk_rows: 1 << 20,
             retry: RetryPolicy::default(),
             deadline_ns: None,
+            watchdog_multiplier: Some(3.0),
         }
     }
 }
@@ -305,6 +313,14 @@ impl Executor {
         self.config.deadline_ns = deadline_ns;
     }
 
+    /// Sets (or disables, with `None`) the straggler-watchdog multiplier.
+    ///
+    /// Values below `1.0` would trip on every chunk, so they are clamped up
+    /// to `1.0`.
+    pub fn set_watchdog_multiplier(&mut self, multiplier: Option<f64>) {
+        self.config.watchdog_multiplier = multiplier.map(|m| m.max(1.0));
+    }
+
     /// Replaces the health policy (breaker thresholds, cool-down length).
     /// Recorded health is kept.
     pub fn set_health_policy(&mut self, policy: HealthPolicy) {
@@ -394,6 +410,12 @@ impl Executor {
 
         let cfg = model.config();
         let mut hub = DataTransferHub::new();
+        // The hub verifies every host↔device transfer end-to-end; a corrupted
+        // transfer gets as many retransmissions as the retry policy grants
+        // attempts before the error surfaces to the recovery loop.
+        hub.set_retransmit_budget(
+            u32::try_from(self.config.retry.max_attempts).unwrap_or(u32::MAX),
+        );
         let mut stats = ExecutionStats {
             model: model.name().to_string(),
             pipelines: pipelines.len(),
@@ -436,6 +458,14 @@ impl Executor {
             }
         }
         stats.quarantine_skips += hub.take_quarantine_skips();
+        // Silent-corruption accounting: every checksum-mismatch retransmit
+        // the hub performed is charged to the offending device's health.
+        for (dev, n) in hub.take_corruption_retransmits() {
+            stats.corruption_retransmits += n as usize;
+            for _ in 0..n {
+                self.health.record_corruption(dev);
+            }
+        }
         // Delete phase: free everything this run created.
         hub.delete_all(&mut self.devices);
         for id in self.devices.ids() {
@@ -469,15 +499,52 @@ impl Executor {
     /// *on* that device — is moved to a healthy capable device when one
     /// exists; a `HalfOpen` device (or `(device, kernel)` breaker) keeps
     /// exactly one pipeline as its recovery probe and sheds the rest.
+    ///
+    /// Probe placement is latency-aware: among the pipelines placed on a
+    /// half-open device, the one with the **cheapest** modeled probe cost
+    /// (fewest nodes riding on the suspect device, weighted by its
+    /// recovery-aware placement cost including the latency penalty) carries
+    /// the probe, so the least work is at risk if the device is still sick.
     fn apply_health_placement(
         &mut self,
         graph: &mut PrimitiveGraph,
         pipelines: &PipelineSet,
         stats: &mut ExecutionStats,
     ) {
+        // Pre-pass: pick, per half-open device, the cheapest pipeline to
+        // carry its recovery probe (ties broken by earliest pipeline).
+        let est_bytes = (self.config.chunk_rows.max(1) * 8) as u64;
+        let mut probe_choice: HashMap<DeviceId, (f64, usize)> = HashMap::new();
+        for (pi, pipeline) in pipelines.pipelines.iter().enumerate() {
+            for &n in &pipeline.nodes {
+                let dev = graph.node(n).device;
+                if !(self.health.is_half_open(dev) && self.health.probe_candidate(dev)) {
+                    continue;
+                }
+                let nodes_on_dev = pipeline
+                    .nodes
+                    .iter()
+                    .filter(|&&m| graph.node(m).device == dev)
+                    .count();
+                let unit = match self.devices.get(dev) {
+                    Ok(d) => d
+                        .placement_cost_ns(
+                            est_bytes,
+                            self.health.retry_penalty_ns(dev) + self.health.latency_penalty_ns(dev),
+                        )
+                        .max(1.0),
+                    Err(_) => 1.0,
+                };
+                let cost = nodes_on_dev as f64 * unit;
+                let entry = probe_choice.entry(dev).or_insert((cost, pi));
+                if cost < entry.0 {
+                    *entry = (cost, pi);
+                }
+            }
+        }
         let mut probe_granted: HashSet<DeviceId> = HashSet::new();
         let mut kernel_probe_granted: HashSet<(DeviceId, String)> = HashSet::new();
-        for pipeline in &pipelines.pipelines {
+        for (pi, pipeline) in pipelines.pipelines.iter().enumerate() {
             let mut devs: Vec<DeviceId> = pipeline
                 .nodes
                 .iter()
@@ -490,9 +557,12 @@ impl Executor {
                 let avoid = if self.health.is_quarantined(dev) {
                     true
                 } else if self.health.is_half_open(dev) {
-                    if self.health.probe_candidate(dev) && !probe_granted.contains(&dev) {
-                        // This pipeline is the device's one probe this query.
-                        probe_granted.insert(dev);
+                    if self.health.probe_candidate(dev)
+                        && probe_choice.get(&dev).map(|&(_, p)| p) == Some(pi)
+                        && probe_granted.insert(dev)
+                    {
+                        // This pipeline is the device's one probe this query:
+                        // the cheapest eligible pipeline from the pre-pass.
                         self.health.begin_probe(dev);
                         false
                     } else {
@@ -665,6 +735,12 @@ impl Executor {
                 ExecError::KernelFailed { device, kernel, .. } => self
                     .health
                     .record_kernel_failure(*device, kernel, wasted_ns),
+                ExecError::TransferCorrupted { device, .. } => {
+                    // The retransmit loop already logged each mismatch; the
+                    // exhausted budget itself counts as one more strike.
+                    self.health.record_corruption(*device);
+                    FailureVerdict::default()
+                }
                 ExecError::Device(de) if is_oom(de) => {
                     // A bare device OOM does not say which device; charge the
                     // pipeline's first device (deterministic, and pipelines
@@ -734,6 +810,15 @@ impl Executor {
                         kernel_fault_streak = None;
                     }
                 }
+                ExecError::TransferCorrupted { device, .. } => {
+                    // The link to this device failed checksum verification
+                    // through the whole retransmit budget: treat it like a
+                    // broken device and move the pipeline elsewhere.
+                    if !retry.allow_fallback || !self.repoint_pipeline(graph, pipeline, *device)? {
+                        return Err(err);
+                    }
+                    stats.fallback_placements += 1;
+                }
                 ExecError::NoImplementation { .. } => {
                     // A placement bug, not a transient fault: retrying on
                     // the same device can never succeed, so fall back
@@ -801,7 +886,10 @@ impl Executor {
             if self.health.is_quarantined(cand) {
                 last_resort.push(cand);
             } else {
-                let penalty = self.health.retry_penalty_ns(cand);
+                // Slow devices lose placement ties: the latency EWMA the
+                // watchdog feeds joins the expected-retry penalty.
+                let penalty =
+                    self.health.retry_penalty_ns(cand) + self.health.latency_penalty_ns(cand);
                 healthy.push((dev.placement_cost_ns(est_bytes, penalty), cand));
             }
         }
@@ -932,7 +1020,7 @@ impl Executor {
 
             // Execute once over the whole inputs.
             self.execute_node(&node, &in_ids, &out_ids)?;
-            let (t, c, o) = tally.drain_split(self.devices.get_mut(node.device)?.as_mut());
+            let (t, c, o, _) = tally.drain_split(self.devices.get_mut(node.device)?.as_mut());
             tally.serial_ns += t + c + o;
             stats.transfer_ns += t;
             stats.compute_ns += c;
@@ -1081,6 +1169,10 @@ impl Executor {
 
         // ---- Copy-compute phase -------------------------------------------
         let mut chunk_costs: Vec<ChunkCost> = Vec::with_capacity(n_chunks);
+        // Device time charged to the owning query per chunk (winner cost
+        // plus any hedge work) — what the multi-query scheduler replays.
+        let mut chunk_charges: Vec<f64> = Vec::with_capacity(n_chunks);
+        let hedging = self.config.watchdog_multiplier.is_some();
         if cfg.overlap && n_chunks > 0 {
             // Algorithm 2: a transfer thread slices and hands chunks to the
             // execute thread over a bounded channel whose capacity is the
@@ -1141,7 +1233,8 @@ impl Executor {
                         "execute thread ran ahead of transfer thread"
                     );
                     let slot = chunk % staging_slots;
-                    let cost = self.run_one_chunk(
+                    let hedge_payloads = hedging.then(|| payloads.clone());
+                    let outcome = self.run_one_chunk(
                         graph,
                         pipeline,
                         inputs,
@@ -1157,8 +1250,20 @@ impl Executor {
                         len,
                         payloads,
                     )?;
+                    let (cost, charged) = self.watchdog_and_hedge(
+                        graph,
+                        pipeline,
+                        inputs,
+                        hub,
+                        stats,
+                        tally,
+                        outcome,
+                        len,
+                        hedge_payloads.as_deref(),
+                    );
                     streamed_ns += cost.transfer_ns + cost.compute_ns;
                     chunk_costs.push(cost);
+                    chunk_charges.push(charged);
                     processed.fetch_add(1, Ordering::Release);
                 }
                 Ok(())
@@ -1179,7 +1284,8 @@ impl Executor {
                     .map(|(idx, col)| (*idx, BufferData::I64(col[offset..offset + len].to_vec())))
                     .collect();
                 let slot = chunk % staging_slots;
-                let cost = self.run_one_chunk(
+                let hedge_payloads = hedging.then(|| payloads.clone());
+                let outcome = self.run_one_chunk(
                     graph,
                     pipeline,
                     inputs,
@@ -1195,18 +1301,30 @@ impl Executor {
                     len,
                     payloads,
                 )?;
+                let (cost, charged) = self.watchdog_and_hedge(
+                    graph,
+                    pipeline,
+                    inputs,
+                    hub,
+                    stats,
+                    tally,
+                    outcome,
+                    len,
+                    hedge_payloads.as_deref(),
+                );
                 streamed_ns += cost.transfer_ns + cost.compute_ns;
                 chunk_costs.push(cost);
+                chunk_charges.push(charged);
                 chunk += 1;
                 offset += len;
             }
         }
         stats.chunks_processed += chunk_costs.len();
         // Preemption points for the multi-query scheduler: each chunk is
-        // one interleavable slice of device time.
-        for c in &chunk_costs {
-            stats.slice_ns.push(c.transfer_ns + c.compute_ns);
-        }
+        // one interleavable slice of device time, charged at the winner's
+        // cost plus any hedge work the chunk spawned (hedges bill the
+        // owning query, so fair-share tenants cannot hedge for free).
+        stats.slice_ns.extend(chunk_charges);
         // Escaped scratch refs that never saw a chunk (empty scans) still
         // need an (empty) host accumulation for downstream consumers.
         for &node_id in &pipeline.nodes {
@@ -1280,7 +1398,8 @@ impl Executor {
 
     /// Processes one chunk through every primitive of the pipeline
     /// (Algorithm 1's inner loop). Returns the chunk's transfer/compute
-    /// cost pair for the model's makespan computation.
+    /// cost pair for the model's makespan computation, alongside the
+    /// fault-free modeled duration the watchdog budgets against.
     #[allow(clippy::too_many_arguments)]
     fn run_one_chunk(
         &mut self,
@@ -1298,12 +1417,13 @@ impl Executor {
         offset: usize,
         len: usize,
         payloads: Vec<(usize, BufferData)>,
-    ) -> Result<ChunkCost> {
+    ) -> Result<ChunkOutcome> {
         let mut cost = ChunkCost::default();
+        let mut clean_ns = 0.0_f64;
         let scan = pipeline.scan.as_deref().expect("streaming");
 
         // Upload this chunk into the staging buffers of every device that
-        // consumes it.
+        // consumes it, verifying each transfer's checksum end-to-end.
         let mut uploaded: HashMap<(usize, DeviceId), BufferId> = HashMap::new();
         for (input_idx, payload) in payloads {
             let mut devices_for_input: Vec<DeviceId> = staging
@@ -1314,13 +1434,12 @@ impl Executor {
             devices_for_input.sort_unstable();
             for dev_id in devices_for_input {
                 let id = staging[&(input_idx, dev_id, slot)];
-                self.devices
-                    .get_mut(dev_id)?
-                    .place_data(id, payload.clone(), 0)?;
+                hub.place_verified(&mut self.devices, dev_id, id, payload.clone(), 0)?;
                 uploaded.insert((input_idx, dev_id), id);
-                let (t, c, o) = tally.drain_split(self.devices.get_mut(dev_id)?.as_mut());
+                let (t, c, o, k) = tally.drain_split(self.devices.get_mut(dev_id)?.as_mut());
                 cost.transfer_ns += t + o;
                 cost.compute_ns += c;
+                clean_ns += k;
                 stats.transfer_ns += t;
                 stats.other_ns += o;
                 stats.compute_ns += c;
@@ -1347,9 +1466,10 @@ impl Executor {
                     scratch.insert(r, id);
                     chunk_scratch.push((r, id));
                 }
-                let (t, c, o) = tally.drain_split(self.devices.get_mut(node.device)?.as_mut());
+                let (t, c, o, k) = tally.drain_split(self.devices.get_mut(node.device)?.as_mut());
                 cost.transfer_ns += t + o;
                 cost.compute_ns += c;
+                clean_ns += k;
                 stats.transfer_ns += t;
                 stats.other_ns += o;
                 stats.compute_ns += c;
@@ -1411,15 +1531,17 @@ impl Executor {
                 }
             }
             self.execute_node(&node, &in_ids, &out_ids)?;
-            let (t, c, o) = tally.drain_split(self.devices.get_mut(node.device)?.as_mut());
+            let (t, c, o, k) = tally.drain_split(self.devices.get_mut(node.device)?.as_mut());
             cost.transfer_ns += t + o;
             cost.compute_ns += c;
+            clean_ns += k;
             stats.transfer_ns += t;
             stats.other_ns += o;
             stats.compute_ns += c;
             stats.record_primitive(&node.label, c);
 
-            // Escaped scratch: pull this chunk's result back to the host.
+            // Escaped scratch: pull this chunk's result back to the host
+            // through the checksum-verified path.
             for port in 0..node.output_count {
                 let r = DataRef::Output {
                     node: node.id,
@@ -1427,15 +1549,15 @@ impl Executor {
                 };
                 if !node.kind.is_pipeline_breaker() && escaping.contains(&r) {
                     let id = scratch[&r];
-                    let payload = self
-                        .devices
-                        .get_mut(node.device)?
-                        .retrieve_data(id, None, 0)?;
+                    let payload =
+                        hub.retrieve_verified(&mut self.devices, node.device, id, None, 0)?;
                     let semantic = graph.semantic_of(r);
                     hub.host_accumulate(r, semantic, payload, offset, len)?;
-                    let (t, c, o) = tally.drain_split(self.devices.get_mut(node.device)?.as_mut());
+                    let (t, c, o, k) =
+                        tally.drain_split(self.devices.get_mut(node.device)?.as_mut());
                     cost.transfer_ns += t + o;
                     cost.compute_ns += c;
+                    clean_ns += k;
                     stats.transfer_ns += t;
                     stats.other_ns += o;
                     stats.compute_ns += c;
@@ -1454,7 +1576,232 @@ impl Executor {
                 };
                 hub.release(&mut self.devices, node.device, id)?;
                 scratch.remove(&r);
-                let (t, c, o) = tally.drain_split(self.devices.get_mut(node.device)?.as_mut());
+                let (t, c, o, k) = tally.drain_split(self.devices.get_mut(node.device)?.as_mut());
+                cost.transfer_ns += t + o;
+                cost.compute_ns += c;
+                clean_ns += k;
+                stats.transfer_ns += t;
+                stats.other_ns += o;
+                stats.compute_ns += c;
+            }
+        }
+        Ok(ChunkOutcome { cost, clean_ns })
+    }
+
+    // ---- straggler watchdog & hedged execution ---------------------------
+
+    /// Post-chunk watchdog check (the tentpole of the straggler tolerance):
+    /// a chunk whose modeled duration overran `watchdog_multiplier ×` its
+    /// fault-free expectation feeds the offending device's latency EWMA and
+    /// races a hedged duplicate on the best alternate device.
+    ///
+    /// The race is scored on the simulated timeline: the hedge launches when
+    /// the watchdog budget expires, so it wins when `budget + hedge_cost <
+    /// primary_cost`. Data is always committed from the primary (kernels are
+    /// deterministic, so both copies are identical — only the *time* is
+    /// rescued); the hedge's allocations are reclaimed either way. Returns
+    /// the chunk cost the makespan should see and the device time charged
+    /// to the owning query (winner cost plus all hedge work).
+    #[allow(clippy::too_many_arguments)]
+    fn watchdog_and_hedge(
+        &mut self,
+        graph: &PrimitiveGraph,
+        pipeline: &Pipeline,
+        inputs: &QueryInputs,
+        hub: &mut DataTransferHub,
+        stats: &mut ExecutionStats,
+        tally: &mut Tally,
+        outcome: ChunkOutcome,
+        len: usize,
+        payloads: Option<&[(usize, BufferData)]>,
+    ) -> (ChunkCost, f64) {
+        let actual = outcome.cost.transfer_ns + outcome.cost.compute_ns;
+        let Some(mult) = self.config.watchdog_multiplier else {
+            return (outcome.cost, actual);
+        };
+        let mult = mult.max(1.0);
+        let clean = outcome.clean_ns;
+        if clean <= 0.0 || actual <= mult * clean {
+            return (outcome.cost, actual);
+        }
+        // Watchdog fired: the chunk straggled past its budget.
+        stats.watchdog_fires += 1;
+        let budget_ns = mult * clean;
+        let primary = graph.node(pipeline.nodes[0]).device;
+        if self.health.record_latency_overrun(primary, clean, actual) {
+            stats.breaker_trips += 1;
+        }
+        let Some(payloads) = payloads else {
+            return (outcome.cost, actual);
+        };
+        let est_bytes = (len.max(1) * 8) as u64;
+        let Some(alt) = self.hedge_target(graph, pipeline, primary, est_bytes) else {
+            // No alternate device can run this pipeline: the overrun is
+            // recorded but the straggler's result stands.
+            return (outcome.cost, actual);
+        };
+        stats.hedged_launches += 1;
+        match self.hedge_chunk(
+            graph, pipeline, inputs, hub, stats, tally, alt, len, payloads,
+        ) {
+            Ok(hedge) => {
+                let hedge_actual = hedge.transfer_ns + hedge.compute_ns;
+                if budget_ns + hedge_actual < actual {
+                    // The duplicate finished first: the chunk completes when
+                    // the hedge does, and the straggling primary is cancelled
+                    // at that instant — so the query is charged the winner's
+                    // timeline (primary ran budget + hedge_actual before the
+                    // cancel) plus the hedge device's own work.
+                    stats.hedge_wins += 1;
+                    let winner = ChunkCost {
+                        transfer_ns: hedge.transfer_ns + budget_ns,
+                        compute_ns: hedge.compute_ns,
+                    };
+                    (winner, budget_ns + 2.0 * hedge_actual)
+                } else {
+                    // The primary beat the hedge after all; the duplicate's
+                    // work is still honest device time the query consumed.
+                    (outcome.cost, actual + hedge_actual)
+                }
+            }
+            // A failed hedge never fails the query — the primary's result
+            // is already committed.
+            Err(_) => (outcome.cost, actual),
+        }
+    }
+
+    /// The best alternate device to hedge `pipeline`'s chunk onto: capable
+    /// of every node, not quarantined, ranked by recovery-aware placement
+    /// cost (modeled staging transfer plus retry and latency penalties),
+    /// lowest id on ties. `None` when no such device exists.
+    fn hedge_target(
+        &self,
+        graph: &PrimitiveGraph,
+        pipeline: &Pipeline,
+        primary: DeviceId,
+        est_bytes: u64,
+    ) -> Option<DeviceId> {
+        let mut best: Option<(f64, DeviceId)> = None;
+        for cand in self.devices.ids() {
+            if cand == primary || self.health.is_quarantined(cand) {
+                continue;
+            }
+            let Ok(dev) = self.devices.get(cand) else {
+                continue;
+            };
+            let sdk = dev.info().sdk;
+            let capable = pipeline.nodes.iter().all(|&n| {
+                let node = graph.node(n);
+                match self.tasks.resolve(node.kind, sdk, node.variant.as_deref()) {
+                    Some(c) => !self.health.kernel_known_broken(cand, &c.kernel_name()),
+                    None => false,
+                }
+            });
+            if !capable {
+                continue;
+            }
+            let penalty = self.health.retry_penalty_ns(cand) + self.health.latency_penalty_ns(cand);
+            let cost = dev.placement_cost_ns(est_bytes, penalty);
+            best = match best {
+                Some((bc, bid)) if bc.total_cmp(&cost).then(bid.cmp(&cand)).is_le() => {
+                    Some((bc, bid))
+                }
+                _ => Some((cost, cand)),
+            };
+        }
+        best.map(|(_, id)| id)
+    }
+
+    /// Runs a hedged duplicate of one chunk on `alt`, sandboxed: temporary
+    /// staging, fresh output buffers, nothing registered as resident, and
+    /// every allocation rolled back before returning — the primary's
+    /// committed data is untouched whether the hedge wins or loses.
+    ///
+    /// Mirrors the device-side work of the chunk (staging uploads, scratch,
+    /// kernels); host accumulation of escaped outputs stays with the
+    /// primary. Returns the duplicate's modeled cost for the race.
+    #[allow(clippy::too_many_arguments)]
+    fn hedge_chunk(
+        &mut self,
+        graph: &PrimitiveGraph,
+        pipeline: &Pipeline,
+        inputs: &QueryInputs,
+        hub: &mut DataTransferHub,
+        stats: &mut ExecutionStats,
+        tally: &mut Tally,
+        alt: DeviceId,
+        len: usize,
+        payloads: &[(usize, BufferData)],
+    ) -> Result<ChunkCost> {
+        let scan = pipeline.scan.as_deref().expect("streaming");
+        let mark = hub.mark();
+        let result = (|| -> Result<()> {
+            // Stage the scan chunk on the hedge device (verified, like the
+            // primary's uploads).
+            let mut staged: HashMap<usize, BufferId> = HashMap::new();
+            for (input_idx, payload) in payloads {
+                let id = hub.fresh_id();
+                self.devices
+                    .get_mut(alt)?
+                    .prepare_memory(id, (len.max(1) * 8) as u64)?;
+                hub.track_created(alt, id);
+                hub.place_verified(&mut self.devices, alt, id, payload.clone(), 0)?;
+                staged.insert(*input_idx, id);
+            }
+            // Mirror the pipeline's nodes onto the hedge device.
+            let mut hedge_out: HashMap<DataRef, BufferId> = HashMap::new();
+            for &node_id in &pipeline.nodes {
+                let mut node = graph.node(node_id).clone();
+                node.device = alt;
+                let mut in_ids = Vec::with_capacity(node.inputs.len());
+                for &input in &node.inputs {
+                    let id = match input {
+                        DataRef::Input(i) => {
+                            let gi = &graph.inputs()[i];
+                            if gi.scan.as_deref() == Some(scan) {
+                                *staged.get(&i).ok_or_else(|| {
+                                    ExecError::Internal(format!(
+                                        "no hedge-staged chunk for input #{i} on {alt}"
+                                    ))
+                                })?
+                            } else {
+                                let col = inputs
+                                    .get(&gi.name)
+                                    .ok_or_else(|| ExecError::MissingInput(gi.name.clone()))?
+                                    .clone();
+                                hub.load_whole_input(&mut self.devices, input, alt, &col)?
+                            }
+                        }
+                        DataRef::Output { .. } => match hedge_out.get(&input) {
+                            Some(&id) => id,
+                            None => hub.router(&mut self.devices, input, alt)?,
+                        },
+                    };
+                    in_ids.push(id);
+                }
+                let mut out_ids = Vec::with_capacity(node.output_count);
+                for port in 0..node.output_count {
+                    let r = DataRef::Output {
+                        node: node.id,
+                        port,
+                    };
+                    let semantic = graph.semantic_of(r);
+                    let id =
+                        hub.prepare_output_buffer(&mut self.devices, &node, port, semantic, len)?;
+                    hedge_out.insert(r, id);
+                    out_ids.push(id);
+                }
+                self.execute_node(&node, &in_ids, &out_ids)?;
+            }
+            Ok(())
+        })();
+        // Everything the mirror burned — on the hedge device and on any
+        // source device the router read from — is the duplicate's cost,
+        // billed to the stats lanes like all other work.
+        let mut cost = ChunkCost::default();
+        for dev_id in self.devices.ids() {
+            if let Ok(dev) = self.devices.get_mut(dev_id) {
+                let (t, c, o, _) = tally.drain_split(dev.as_mut());
                 cost.transfer_ns += t + o;
                 cost.compute_ns += c;
                 stats.transfer_ns += t;
@@ -1462,7 +1809,16 @@ impl Executor {
                 stats.compute_ns += c;
             }
         }
-        Ok(cost)
+        // Winner or loser, the duplicate's allocations are reclaimed (and
+        // its residency entries dropped); the reclaim itself is billed like
+        // any unwind.
+        hub.rollback_to(&mut self.devices, mark);
+        for dev_id in self.devices.ids() {
+            if let Ok(dev) = self.devices.get_mut(dev_id) {
+                tally.drain_serial(dev.as_mut(), stats);
+            }
+        }
+        result.map(|()| cost)
     }
 
     // ---- shared pieces ----------------------------------------------------
@@ -1516,7 +1872,7 @@ impl Executor {
             let mut found = false;
             for dev_id in self.devices.ids() {
                 if let Some(id) = hub.resident(*r, dev_id) {
-                    let payload = self.devices.get_mut(dev_id)?.retrieve_data(id, None, 0)?;
+                    let payload = hub.retrieve_verified(&mut self.devices, dev_id, id, None, 0)?;
                     tally.drain_serial(self.devices.get_mut(dev_id)?.as_mut(), stats);
                     out.insert(name.clone(), OutputData::from_buffer(payload));
                     found = true;
@@ -1536,6 +1892,16 @@ impl Executor {
         }
         Ok(out)
     }
+}
+
+/// What one streamed chunk produced for the accounting layer: its modeled
+/// cost pair (the makespan contribution) and the fault-free modeled
+/// duration of the same work, which the straggler watchdog budgets
+/// against.
+#[derive(Default)]
+struct ChunkOutcome {
+    cost: ChunkCost,
+    clean_ns: f64,
 }
 
 /// Per-run accounting accumulators.
@@ -1560,19 +1926,22 @@ impl Tally {
         }
     }
 
-    /// Drains a device's events, returning `(transfer, compute, other)`
-    /// without adding to the serial total (chunk-loop attribution).
-    fn drain_split(&mut self, dev: &mut dyn Device) -> (f64, f64, f64) {
+    /// Drains a device's events, returning `(transfer, compute, other,
+    /// clean)` without adding to the serial total (chunk-loop attribution).
+    /// `clean` is the fault-free modeled sum of the same events — the
+    /// baseline the straggler watchdog compares actual durations against.
+    fn drain_split(&mut self, dev: &mut dyn Device) -> (f64, f64, f64, f64) {
         let events = dev.clock_mut().drain_events();
-        let (mut t, mut c, mut o) = (0.0, 0.0, 0.0);
+        let (mut t, mut c, mut o, mut clean) = (0.0, 0.0, 0.0, 0.0);
         for e in events {
             match e.lane {
                 Lane::TransferH2D | Lane::TransferD2H => t += e.duration_ns,
                 Lane::Compute => c += e.duration_ns,
                 _ => o += e.duration_ns,
             }
+            clean += e.clean_ns;
         }
-        (t, c, o)
+        (t, c, o, clean)
     }
 }
 

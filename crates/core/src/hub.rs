@@ -17,6 +17,7 @@
 use crate::error::{ExecError, Result};
 use crate::graph::{DataRef, NodeParams, PrimitiveNode};
 use adamant_device::buffer::{BufferData, BufferId};
+use adamant_device::clock::Lane;
 use adamant_device::device::DeviceId;
 use adamant_device::registry::DeviceRegistry;
 use adamant_storage::bitmap::Bitmap;
@@ -112,9 +113,13 @@ impl HostAccum {
     }
 }
 
+/// Base modeled back-off charged before a checksum-failed transfer is
+/// retried; doubles with each further retransmit of the same payload.
+const RETRANSMIT_BACKOFF_NS: f64 = 500.0;
+
 /// The hub: buffer-id allocation, residency tracking, routing and output
 /// buffer preparation.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct DataTransferHub {
     next_id: u64,
     /// Where each materialized data ref lives: `(ref, device) -> buffer`.
@@ -131,12 +136,123 @@ pub struct DataTransferHub {
     quarantined: std::collections::BTreeSet<DeviceId>,
     /// Transfers whose source was re-picked away from a quarantined holder.
     quarantine_skips: usize,
+    /// Maximum transmissions of one payload before a checksum mismatch
+    /// becomes [`ExecError::TransferCorrupted`].
+    retransmit_budget: u32,
+    /// Retransmits caused by checksum mismatches, per device, since the
+    /// last [`DataTransferHub::take_corruption_retransmits`] drain.
+    corruption_log: std::collections::BTreeMap<DeviceId, u64>,
+}
+
+impl Default for DataTransferHub {
+    fn default() -> Self {
+        DataTransferHub {
+            next_id: 0,
+            resident: HashMap::new(),
+            host: HashMap::new(),
+            host_offsets: HashMap::new(),
+            created: Vec::new(),
+            quarantined: std::collections::BTreeSet::new(),
+            quarantine_skips: 0,
+            retransmit_budget: 4,
+            corruption_log: std::collections::BTreeMap::new(),
+        }
+    }
 }
 
 impl DataTransferHub {
     /// Creates an empty hub.
     pub fn new() -> Self {
         DataTransferHub::default()
+    }
+
+    /// Sets how many times one payload may be (re)transmitted before a
+    /// checksum mismatch becomes [`ExecError::TransferCorrupted`]. The
+    /// executor wires this to its `RetryPolicy::max_attempts`.
+    pub fn set_retransmit_budget(&mut self, budget: u32) {
+        self.retransmit_budget = budget.max(1);
+    }
+
+    /// Takes (and resets) the per-device counts of retransmits caused by
+    /// checksum mismatches, for the run's stats and the health registry.
+    pub fn take_corruption_retransmits(&mut self) -> std::collections::BTreeMap<DeviceId, u64> {
+        std::mem::take(&mut self.corruption_log)
+    }
+
+    /// Checksummed `place_data`: uploads `data`, asks the device to echo the
+    /// checksum of what it stored, and retransmits with doubling modeled
+    /// back-off on mismatch. After [`Self::set_retransmit_budget`]
+    /// transmissions the payload still not arriving intact becomes
+    /// [`ExecError::TransferCorrupted`] (callers re-place on another device).
+    pub fn place_verified(
+        &mut self,
+        devices: &mut DeviceRegistry,
+        device: DeviceId,
+        id: BufferId,
+        data: BufferData,
+        offset: usize,
+    ) -> Result<()> {
+        let expected = data.checksum();
+        let len = data.len();
+        for attempt in 0..self.retransmit_budget.max(1) {
+            if attempt > 0 {
+                // The link already lied once: wait out a doubling back-off
+                // before re-occupying it (charged as copy-engine time, no
+                // payload bytes).
+                let backoff = RETRANSMIT_BACKOFF_NS * f64::from(1u32 << (attempt - 1).min(16));
+                devices.get_mut(device)?.clock_mut().record(
+                    Lane::TransferH2D,
+                    backoff,
+                    0,
+                    format!("retransmit backoff {id} (attempt {attempt})"),
+                );
+            }
+            devices
+                .get_mut(device)?
+                .place_data(id, data.clone(), offset)?;
+            let echo = devices
+                .get(device)?
+                .buffer_checksum(id, Some(len), offset)?;
+            if echo == expected {
+                return Ok(());
+            }
+            *self.corruption_log.entry(device).or_insert(0) += 1;
+        }
+        Err(ExecError::TransferCorrupted { device, buffer: id })
+    }
+
+    /// Checksummed `retrieve_data`: reads the payload back, compares its
+    /// checksum against the device's echo of what it holds, and re-reads
+    /// with doubling modeled back-off on mismatch. Exhausting the budget
+    /// becomes [`ExecError::TransferCorrupted`].
+    pub fn retrieve_verified(
+        &mut self,
+        devices: &mut DeviceRegistry,
+        device: DeviceId,
+        id: BufferId,
+        len: Option<usize>,
+        offset: usize,
+    ) -> Result<BufferData> {
+        for attempt in 0..self.retransmit_budget.max(1) {
+            if attempt > 0 {
+                let backoff = RETRANSMIT_BACKOFF_NS * f64::from(1u32 << (attempt - 1).min(16));
+                devices.get_mut(device)?.clock_mut().record(
+                    Lane::TransferD2H,
+                    backoff,
+                    0,
+                    format!("retransmit backoff {id} (attempt {attempt})"),
+                );
+            }
+            let payload = devices.get_mut(device)?.retrieve_data(id, len, offset)?;
+            let echo = devices
+                .get(device)?
+                .buffer_checksum(id, Some(payload.len()), offset)?;
+            if payload.checksum() == echo {
+                return Ok(payload);
+            }
+            *self.corruption_log.entry(device).or_insert(0) += 1;
+        }
+        Err(ExecError::TransferCorrupted { device, buffer: id })
     }
 
     /// Allocates a fresh buffer id (unique across all devices in this run).
@@ -214,11 +330,11 @@ impl DataTransferHub {
             }
         }
         if let Some((src_dev, src_id)) = source {
-            let payload = devices.get_mut(src_dev)?.retrieve_data(src_id, None, 0)?;
+            let payload = self.retrieve_verified(devices, src_dev, src_id, None, 0)?;
             let new_id = self.fresh_id();
-            devices.get_mut(target)?.place_data(new_id, payload, 0)?;
-            self.register_resident(data, target, new_id);
             self.track_created(target, new_id);
+            self.place_verified(devices, target, new_id, payload, 0)?;
+            self.register_resident(data, target, new_id);
             return Ok(new_id);
         }
         if let Some(acc) = self.host.get(&data) {
@@ -227,9 +343,9 @@ impl DataTransferHub {
             // the data.
             let payload = acc.to_buffer();
             let new_id = self.fresh_id();
-            devices.get_mut(target)?.place_data(new_id, payload, 0)?;
-            self.register_resident(data, target, new_id);
             self.track_created(target, new_id);
+            self.place_verified(devices, target, new_id, payload, 0)?;
+            self.register_resident(data, target, new_id);
             return Ok(new_id);
         }
         Err(ExecError::Internal(format!(
@@ -250,11 +366,9 @@ impl DataTransferHub {
             return Ok(id);
         }
         let id = self.fresh_id();
-        devices
-            .get_mut(target)?
-            .place_data(id, BufferData::I64(column.to_vec()), 0)?;
-        self.register_resident(data, target, id);
         self.track_created(target, id);
+        self.place_verified(devices, target, id, BufferData::I64(column.to_vec()), 0)?;
+        self.register_resident(data, target, id);
         Ok(id)
     }
 
@@ -662,6 +776,83 @@ mod tests {
         assert!(hub.release(&mut devices, gpu, id).is_err());
         // The final sweep has nothing left referencing the freed id.
         hub.delete_all(&mut devices);
+    }
+
+    #[test]
+    fn corrupted_place_is_retransmitted_until_clean() {
+        use adamant_device::fault::FaultPlan;
+        let (mut devices, gpu, _) = two_devices();
+        devices
+            .get_mut(gpu)
+            .unwrap()
+            .set_fault_plan(FaultPlan::none().corrupt_on_place(1));
+        let mut hub = DataTransferHub::new();
+        let id = hub
+            .load_whole_input(&mut devices, DataRef::Input(0), gpu, &[1, 2, 3, 4])
+            .unwrap();
+        // The first transmission was corrupted; the hub retransmitted.
+        let log = hub.take_corruption_retransmits();
+        assert_eq!(log.get(&gpu), Some(&1));
+        // What the device now holds is the clean payload.
+        let payload = devices
+            .get_mut(gpu)
+            .unwrap()
+            .retrieve_data(id, None, 0)
+            .unwrap();
+        assert_eq!(payload, BufferData::I64(vec![1, 2, 3, 4]));
+        // The drain reset the log.
+        assert!(hub.take_corruption_retransmits().is_empty());
+    }
+
+    #[test]
+    fn corrupted_retrieve_is_reread() {
+        use adamant_device::fault::FaultPlan;
+        let (mut devices, gpu, _) = two_devices();
+        let mut hub = DataTransferHub::new();
+        let id = hub
+            .load_whole_input(&mut devices, DataRef::Input(0), gpu, &[9, 8, 7])
+            .unwrap();
+        // Corrupt the *next* retrieve only (transfer ordinals count from
+        // plan installation).
+        devices
+            .get_mut(gpu)
+            .unwrap()
+            .set_fault_plan(FaultPlan::none().corrupt_on_retrieve(1));
+        let payload = hub
+            .retrieve_verified(&mut devices, gpu, id, None, 0)
+            .unwrap();
+        assert_eq!(payload, BufferData::I64(vec![9, 8, 7]));
+        assert_eq!(hub.take_corruption_retransmits().get(&gpu), Some(&1));
+    }
+
+    #[test]
+    fn exhausted_retransmit_budget_surfaces_corruption_error() {
+        use adamant_device::fault::FaultPlan;
+        let (mut devices, gpu, _) = two_devices();
+        // Every place is corrupted: scripted ordinals 1..=8 cover the whole
+        // budget of 3 transmissions with room to spare.
+        let mut plan = FaultPlan::none();
+        for n in 1..=8 {
+            plan = plan.corrupt_on_place(n);
+        }
+        devices.get_mut(gpu).unwrap().set_fault_plan(plan);
+        let mut hub = DataTransferHub::new();
+        hub.set_retransmit_budget(3);
+        let before = devices.get(gpu).unwrap().clock().transfer_ns();
+        let err = hub
+            .load_whole_input(&mut devices, DataRef::Input(0), gpu, &[1, 2, 3])
+            .unwrap_err();
+        assert!(
+            matches!(err, ExecError::TransferCorrupted { device, .. } if device == gpu),
+            "got {err}"
+        );
+        assert_eq!(hub.take_corruption_retransmits().get(&gpu), Some(&3));
+        // Doubling back-off was charged for attempts 2 and 3.
+        let spent = devices.get(gpu).unwrap().clock().transfer_ns() - before;
+        assert!(spent >= 500.0 + 1000.0, "backoff missing: {spent}");
+        // The poisoned buffer is still tracked, so the sweep reclaims it.
+        hub.delete_all(&mut devices);
+        assert_eq!(devices.get(gpu).unwrap().pool().used(), 0);
     }
 
     #[test]

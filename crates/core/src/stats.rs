@@ -65,6 +65,19 @@ pub struct ExecutionStats {
     pub kernel_probe_successes: usize,
     /// Runs aborted because the simulated-timeline deadline was exceeded.
     pub deadline_aborts: usize,
+    /// Chunk executions whose modeled duration overran the watchdog budget
+    /// (the cost model's fault-free expectation times the configured
+    /// multiplier).
+    pub watchdog_fires: usize,
+    /// Hedged duplicate chunk executions launched on an alternate device
+    /// after a watchdog fired.
+    pub hedged_launches: usize,
+    /// Hedged duplicates that finished ahead of the straggling primary and
+    /// supplied the chunk's modeled completion time.
+    pub hedge_wins: usize,
+    /// Host↔device transfers retransmitted after an end-to-end checksum
+    /// mismatch (silent corruption caught and repaired by the hub).
+    pub corruption_retransmits: usize,
     /// Modeled duration of each interleavable slice of device time this run
     /// produced, in execution order: one entry per streamed chunk, one per
     /// whole-mode node. The multi-query scheduler replays these on the
@@ -143,13 +156,16 @@ impl ExecutionStats {
             .map(|(k, h)| {
                 format!(
                     "\"{}\":{{\"state\":\"{}\",\"kernel_failures\":{},\"ooms\":{},\
-                     \"retry_penalty_ns\":{:.1},\"open_kernels\":{}}}",
+                     \"retry_penalty_ns\":{:.1},\"open_kernels\":{},\
+                     \"latency_overruns\":{},\"corruptions\":{}}}",
                     esc(k),
                     h.state.label(),
                     h.kernel_failures,
                     h.ooms,
                     h.retry_penalty_ns,
                     h.open_kernels,
+                    h.latency_overruns,
+                    h.corruptions,
                 )
             })
             .collect();
@@ -162,6 +178,8 @@ impl ExecutionStats {
                 "\"chunk_regrowths\":{},\"breaker_trips\":{},\"quarantine_skips\":{},",
                 "\"probe_successes\":{},\"kernel_breaker_trips\":{},",
                 "\"kernel_probe_successes\":{},\"deadline_aborts\":{},",
+                "\"watchdog_fires\":{},\"hedged_launches\":{},\"hedge_wins\":{},",
+                "\"corruption_retransmits\":{},",
                 "\"wall_ns\":{},\"per_primitive_ns\":{{{}}},\"peak_device_bytes\":{{{}}},",
                 "\"device_faults\":{{{}}},\"device_health\":{{{}}}}}"
             ),
@@ -185,6 +203,10 @@ impl ExecutionStats {
             self.kernel_breaker_trips,
             self.kernel_probe_successes,
             self.deadline_aborts,
+            self.watchdog_fires,
+            self.hedged_launches,
+            self.hedge_wins,
+            self.corruption_retransmits,
             self.wall_ns,
             per_primitive.join(","),
             peaks.join(","),
@@ -254,6 +276,10 @@ mod tests {
         s.kernel_breaker_trips = 2;
         s.kernel_probe_successes = 1;
         s.deadline_aborts = 1;
+        s.watchdog_fires = 3;
+        s.hedged_launches = 2;
+        s.hedge_wins = 1;
+        s.corruption_retransmits = 4;
         s.device_faults.insert("gpu0".into(), 5);
         s.device_health.insert(
             "gpu0".into(),
@@ -263,6 +289,8 @@ mod tests {
                 ooms: 1,
                 retry_penalty_ns: 123.45,
                 open_kernels: 1,
+                latency_overruns: 6,
+                corruptions: 7,
             },
         );
         let json = s.to_json();
@@ -280,10 +308,15 @@ mod tests {
         assert!(json.contains("\"kernel_breaker_trips\":2"));
         assert!(json.contains("\"kernel_probe_successes\":1"));
         assert!(json.contains("\"deadline_aborts\":1"));
+        assert!(json.contains("\"watchdog_fires\":3"));
+        assert!(json.contains("\"hedged_launches\":2"));
+        assert!(json.contains("\"hedge_wins\":1"));
+        assert!(json.contains("\"corruption_retransmits\":4"));
         assert!(json.contains("\"device_faults\":{\"gpu0\":5}"));
         assert!(json.contains(
             "\"device_health\":{\"gpu0\":{\"state\":\"open\",\"kernel_failures\":2,\
-             \"ooms\":1,\"retry_penalty_ns\":123.5,\"open_kernels\":1}}"
+             \"ooms\":1,\"retry_penalty_ns\":123.5,\"open_kernels\":1,\
+             \"latency_overruns\":6,\"corruptions\":7}}"
         ));
         // Quotes in labels are escaped.
         assert!(json.contains("filter \\\"x\\\""));

@@ -216,6 +216,72 @@ impl BufferData {
             _ => None,
         }
     }
+
+    /// Content checksum (FNV-1a over the element bytes).
+    ///
+    /// The transfer-integrity protocol compares this on both ends of a
+    /// host↔device copy: the hub checksums what it sent, the device echoes
+    /// the checksum of what it stored, and a mismatch triggers a retransmit.
+    /// `Generic` payloads hash a structural marker (kind, element count,
+    /// byte length) only — opaque structures are built *on* the device, never
+    /// shipped over the simulated bus, so their content never transits.
+    pub fn checksum(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |b: u8| h = (h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+        match self {
+            BufferData::I64(v) => {
+                for x in v {
+                    x.to_le_bytes().iter().for_each(|&b| eat(b));
+                }
+            }
+            BufferData::F64(v) => {
+                for x in v {
+                    x.to_le_bytes().iter().for_each(|&b| eat(b));
+                }
+            }
+            BufferData::U32(v) => {
+                for x in v {
+                    x.to_le_bytes().iter().for_each(|&b| eat(b));
+                }
+            }
+            BufferData::BitWords(v) => {
+                for x in v {
+                    x.to_le_bytes().iter().for_each(|&b| eat(b));
+                }
+            }
+            BufferData::Raw(v) => v.iter().for_each(|&b| eat(b)),
+            BufferData::Generic(g) => {
+                for &b in b"generic" {
+                    eat(b);
+                }
+                (g.len() as u64).to_le_bytes().iter().for_each(|&b| eat(b));
+                g.byte_len().to_le_bytes().iter().for_each(|&b| eat(b));
+            }
+        }
+        h
+    }
+
+    /// Flips the low bit of the element at `element % len` (fault injection:
+    /// a single-bit DMA error). Returns `false` when there is nothing to
+    /// corrupt (empty or opaque payload), so the injector can count only
+    /// flips that actually happened.
+    pub fn flip_bit(&mut self, element: usize) -> bool {
+        if self.is_empty() {
+            return false;
+        }
+        let i = element % self.len();
+        match self {
+            BufferData::I64(v) => v[i] ^= 1,
+            BufferData::F64(v) => v[i] = f64::from_bits(v[i].to_bits() ^ 1),
+            BufferData::U32(v) => v[i] ^= 1,
+            BufferData::BitWords(v) => v[i] ^= 1,
+            BufferData::Raw(v) => v[i] ^= 1,
+            BufferData::Generic(_) => return false,
+        }
+        true
+    }
 }
 
 /// A buffer held by a device pool.
@@ -268,6 +334,49 @@ mod tests {
         let e = d.empty_like(10);
         assert_eq!(e.kind(), "u32");
         assert!(e.is_empty());
+    }
+
+    #[test]
+    fn checksum_detects_single_bit_flips() {
+        let clean = BufferData::I64((0..64).collect());
+        let base = clean.checksum();
+        assert_eq!(base, clean.clone().checksum(), "checksum is pure");
+        let mut dirty = clean.clone();
+        assert!(dirty.flip_bit(13));
+        assert_ne!(dirty.checksum(), base);
+        assert!(dirty.flip_bit(13), "flip is an involution");
+        assert_eq!(dirty.checksum(), base);
+        // Out-of-range element indexes wrap instead of panicking.
+        let mut d2 = clean.clone();
+        assert!(d2.flip_bit(64 + 13));
+        assert_eq!(d2, dirty_at(&clean, 13));
+    }
+
+    fn dirty_at(d: &BufferData, i: usize) -> BufferData {
+        let mut c = d.clone();
+        c.flip_bit(i);
+        c
+    }
+
+    #[test]
+    fn checksums_differ_across_kinds_and_contents() {
+        let a = BufferData::I64(vec![1, 2, 3]).checksum();
+        let b = BufferData::I64(vec![1, 2, 4]).checksum();
+        let c = BufferData::U32(vec![1, 2, 3]).checksum();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(
+            BufferData::Raw(vec![]).checksum(),
+            BufferData::Raw(Vec::new()).checksum()
+        );
+    }
+
+    #[test]
+    fn empty_payloads_cannot_be_corrupted() {
+        assert!(!BufferData::I64(vec![]).flip_bit(0));
+        let mut f = BufferData::F64(vec![0.5]);
+        assert!(f.flip_bit(0));
+        assert_ne!(f, BufferData::F64(vec![0.5]));
     }
 
     #[test]

@@ -35,8 +35,13 @@ impl Lane {
 pub struct CostEvent {
     /// Lane occupied.
     pub lane: Lane,
-    /// Modeled duration in nanoseconds.
+    /// Modeled duration in nanoseconds (after any injected dilation).
     pub duration_ns: f64,
+    /// Fault-free modeled duration in nanoseconds: what the cost model
+    /// predicted before slowdown/stall injection. Watchdog budgets are
+    /// derived from this value; for undilated events it equals
+    /// `duration_ns`.
+    pub clean_ns: f64,
     /// Bytes moved (0 for pure compute).
     pub bytes: u64,
     /// Human-readable label (kernel or buffer description).
@@ -60,8 +65,22 @@ impl SimClock {
         SimClock::default()
     }
 
-    /// Records an event.
+    /// Records an event whose actual duration matches the cost model.
     pub fn record(&mut self, lane: Lane, duration_ns: f64, bytes: u64, label: impl Into<String>) {
+        self.record_dilated(lane, duration_ns, duration_ns, bytes, label);
+    }
+
+    /// Records an event whose actual duration diverges from the fault-free
+    /// model (straggler injection dilates transfers and kernels). Totals use
+    /// the *actual* duration; `clean_ns` rides along for watchdog budgets.
+    pub fn record_dilated(
+        &mut self,
+        lane: Lane,
+        clean_ns: f64,
+        duration_ns: f64,
+        bytes: u64,
+        label: impl Into<String>,
+    ) {
         self.total_ns += duration_ns;
         match lane {
             Lane::TransferH2D => {
@@ -78,6 +97,7 @@ impl SimClock {
         self.events.push(CostEvent {
             lane,
             duration_ns,
+            clean_ns,
             bytes,
             label: label.into(),
         });
@@ -153,6 +173,19 @@ mod tests {
         assert_eq!(c.total_ns(), 5.0);
         c.reset();
         assert_eq!(c.total_ns(), 0.0);
+    }
+
+    #[test]
+    fn dilated_events_keep_clean_duration() {
+        let mut c = SimClock::new();
+        c.record(Lane::Compute, 5.0, 0, "k");
+        c.record_dilated(Lane::TransferH2D, 10.0, 80.0, 64, "slow place");
+        assert_eq!(c.total_ns(), 85.0, "totals bill the actual duration");
+        assert_eq!(c.transfer_ns(), 80.0);
+        let ev = c.drain_events();
+        assert_eq!(ev[0].clean_ns, ev[0].duration_ns);
+        assert_eq!(ev[1].clean_ns, 10.0);
+        assert_eq!(ev[1].duration_ns, 80.0);
     }
 
     #[test]

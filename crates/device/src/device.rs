@@ -161,6 +161,21 @@ pub trait Device: Send {
     fn placement_cost_ns(&self, _working_set_bytes: u64, retry_penalty_ns: f64) -> f64 {
         retry_penalty_ns.max(0.0)
     }
+
+    /// Echoes the checksum of the stored elements `offset..offset+len` of
+    /// buffer `id` (`len == None` = through the end of the buffer), as the
+    /// device sees them — *after* any transfer corruption.
+    ///
+    /// The hub compares this echo against the checksum of what it sent to
+    /// detect silent corruption end-to-end. The echo is an 8-byte control
+    /// message, so it is deliberately free on the simulated clock. The
+    /// default implementation reads the device's own pool, which is correct
+    /// for any driver whose `place_data` stores through [`Self::pool_mut`].
+    fn buffer_checksum(&self, id: BufferId, len: Option<usize>, offset: usize) -> Result<u64> {
+        let buf = self.pool().get(id)?;
+        let n = len.unwrap_or_else(|| buf.data.len().saturating_sub(offset));
+        Ok(buf.data.slice(offset, n).checksum())
+    }
 }
 
 #[cfg(test)]

@@ -16,6 +16,12 @@
 use crate::error::{DeviceError, Result};
 use adamant_storage::rng::Rng;
 
+/// Simulated duration of an injected stall, in nanoseconds (~11.6 days):
+/// effectively unbounded on any query timeline, so a stalled operation
+/// always blows its watchdog budget, while staying far below `f64`
+/// precision loss when summed into run totals.
+pub const STALL_NS: f64 = 1.0e15;
+
 /// A deterministic script of failures for one device.
 ///
 /// Scripted triggers are based on per-device operation ordinals (allocation
@@ -23,7 +29,7 @@ use adamant_storage::rng::Rng;
 /// [`FaultPlan::exec_error_rate`]) draw from a SplitMix64 stream seeded by
 /// [`FaultPlan::with_seed`] — never from wall-clock time or OS entropy — so
 /// a plan replays identically on every run with the same seed.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct FaultPlan {
     /// 1-based allocation ordinals that fail with
     /// [`DeviceError::OutOfMemory`]. Each listed ordinal fires exactly once.
@@ -47,6 +53,48 @@ pub struct FaultPlan {
     /// Probability in `[0, 1]` that any given allocation fails with
     /// [`DeviceError::OutOfMemory`] (drawn per call from the seeded stream).
     pub oom_rate: f64,
+    /// Multiplier applied to every modeled transfer and compute duration —
+    /// the straggler knob (a saturated PCIe link, a thermally throttled
+    /// part). `1.0` (the default) leaves timing untouched; values below
+    /// `1.0` are rejected by the builder.
+    pub slowdown_factor: f64,
+    /// 1-based `execute()` ordinals whose modeled duration gains
+    /// [`STALL_NS`] — an effectively unbounded stall. Each fires once.
+    pub stall_on_exec: Vec<u64>,
+    /// 1-based transfer ordinals (`place_data` and `retrieve_data` calls
+    /// share one counter) whose modeled duration gains [`STALL_NS`].
+    pub stall_on_transfer: Vec<u64>,
+    /// Probability in `[0, 1]` that any given `place_data`/`retrieve_data`
+    /// payload is silently corrupted (one element bit-flipped), drawn from a
+    /// seeded stream decoupled from the OOM/exec streams.
+    pub corrupt_transfer_rate: f64,
+    /// 1-based `place_data` ordinals whose stored payload is corrupted.
+    pub corrupt_on_place: Vec<u64>,
+    /// 1-based `retrieve_data` ordinals whose returned payload is corrupted
+    /// (the stored copy stays intact — an in-flight DMA flip).
+    pub corrupt_on_retrieve: Vec<u64>,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan {
+            oom_on_alloc: Vec::new(),
+            transient_exec_errors: 0,
+            broken_kernels: Vec::new(),
+            capacity_cap: None,
+            seed: None,
+            exec_error_rate: 0.0,
+            oom_rate: 0.0,
+            // A neutral multiplier, not zero: the derived default would
+            // freeze simulated time entirely.
+            slowdown_factor: 1.0,
+            stall_on_exec: Vec::new(),
+            stall_on_transfer: Vec::new(),
+            corrupt_transfer_rate: 0.0,
+            corrupt_on_place: Vec::new(),
+            corrupt_on_retrieve: Vec::new(),
+        }
+    }
 }
 
 impl FaultPlan {
@@ -106,6 +154,56 @@ impl FaultPlan {
         self
     }
 
+    /// Slows every modeled transfer and compute duration by `factor`
+    /// (straggler simulation: `8.0` makes the device 8× slower).
+    ///
+    /// # Panics
+    /// Panics if `factor < 1.0` (a speed-up is not a fault).
+    pub fn slowdown(mut self, factor: f64) -> Self {
+        assert!(factor >= 1.0, "slowdown factor must be >= 1.0");
+        self.slowdown_factor = factor;
+        self
+    }
+
+    /// Stalls the `n`-th kernel execution (1-based) for [`STALL_NS`].
+    pub fn stall_on_exec(mut self, n: u64) -> Self {
+        self.stall_on_exec.push(n);
+        self
+    }
+
+    /// Stalls the `n`-th transfer (1-based; `place_data` and
+    /// `retrieve_data` share the counter) for [`STALL_NS`].
+    pub fn stall_on_transfer(mut self, n: u64) -> Self {
+        self.stall_on_transfer.push(n);
+        self
+    }
+
+    /// Makes each transfer silently corrupt its payload with probability
+    /// `p` (drawn per call from a seeded stream decoupled from the
+    /// OOM/exec streams, so adding corruption never perturbs their
+    /// sequences).
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn corrupt_transfer_rate(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "rate must be in [0, 1]");
+        self.corrupt_transfer_rate = p;
+        self
+    }
+
+    /// Corrupts the stored payload of the `n`-th `place_data` (1-based).
+    pub fn corrupt_on_place(mut self, n: u64) -> Self {
+        self.corrupt_on_place.push(n);
+        self
+    }
+
+    /// Corrupts the returned payload of the `n`-th `retrieve_data`
+    /// (1-based); the stored copy stays intact.
+    pub fn corrupt_on_retrieve(mut self, n: u64) -> Self {
+        self.corrupt_on_retrieve.push(n);
+        self
+    }
+
     /// True when the plan injects nothing.
     pub fn is_empty(&self) -> bool {
         self.oom_on_alloc.is_empty()
@@ -114,6 +212,12 @@ impl FaultPlan {
             && self.capacity_cap.is_none()
             && self.exec_error_rate == 0.0
             && self.oom_rate == 0.0
+            && self.slowdown_factor == 1.0
+            && self.stall_on_exec.is_empty()
+            && self.stall_on_transfer.is_empty()
+            && self.corrupt_transfer_rate == 0.0
+            && self.corrupt_on_place.is_empty()
+            && self.corrupt_on_retrieve.is_empty()
     }
 }
 
@@ -126,13 +230,35 @@ pub struct FaultCounters {
     pub transient_exec_injected: u64,
     /// Executions rejected because the kernel is scripted as broken.
     pub broken_kernel_hits: u64,
+    /// Operations stalled for [`STALL_NS`] (transfer + execute ordinals).
+    pub stalls_injected: u64,
+    /// Transfer payloads silently corrupted (scripted + probabilistic).
+    pub corruptions_injected: u64,
 }
 
 impl FaultCounters {
     /// Total injected faults of any kind.
     pub fn total(&self) -> u64 {
-        self.oom_injected + self.transient_exec_injected + self.broken_kernel_hits
+        self.oom_injected
+            + self.transient_exec_injected
+            + self.broken_kernel_hits
+            + self.stalls_injected
+            + self.corruptions_injected
     }
+}
+
+/// What the fault plan decided for one transfer (`place_data` or
+/// `retrieve_data`): how much injected stall time to charge on top of the
+/// modeled duration, and whether (and where) to flip a bit in the payload.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TransferFault {
+    /// Extra simulated nanoseconds to charge ([`STALL_NS`] when stalled).
+    pub stall_ns: f64,
+    /// Whether the payload must be corrupted.
+    pub corrupt: bool,
+    /// Deterministic element index to flip when corrupting (callers take it
+    /// modulo the payload length).
+    pub corrupt_at: u64,
 }
 
 /// Live fault-injection state: the plan plus per-device ordinals and the
@@ -142,11 +268,15 @@ pub struct FaultState {
     plan: FaultPlan,
     allocs_seen: u64,
     execs_seen: u64,
+    transfers_seen: u64,
+    places_seen: u64,
+    retrieves_seen: u64,
     counters: FaultCounters,
-    /// Separate streams for allocation and execution draws, so the two
-    /// trigger kinds do not perturb each other's sequences.
+    /// Separate streams for allocation, execution and corruption draws, so
+    /// the trigger kinds do not perturb each other's sequences.
     alloc_rng: Option<Rng>,
     exec_rng: Option<Rng>,
+    corrupt_rng: Option<Rng>,
 }
 
 impl FaultState {
@@ -162,10 +292,18 @@ impl FaultState {
         } else {
             (None, None)
         };
+        // Its own stream and xor constant: enabling corruption must never
+        // shift the alloc/exec draw sequences of an existing plan.
+        let corrupt_rng = if plan.corrupt_transfer_rate > 0.0 {
+            Some(Rng::new(seed ^ 0xC2B2_AE3D_27D4_EB4F))
+        } else {
+            None
+        };
         *self = FaultState {
             plan,
             alloc_rng,
             exec_rng,
+            corrupt_rng,
             ..FaultState::default()
         };
     }
@@ -253,6 +391,64 @@ impl FaultState {
             )));
         }
         Ok(())
+    }
+
+    /// The plan's latency multiplier for modeled transfer/compute durations.
+    pub fn time_multiplier(&self) -> f64 {
+        self.plan.slowdown_factor
+    }
+
+    /// Extra stall time for the `execute()` call that
+    /// [`FaultState::on_execute`] just admitted (matched against
+    /// [`FaultPlan::stall_on_exec`] on the same ordinal). Call exactly once
+    /// per successful execute.
+    pub fn take_exec_stall(&mut self) -> f64 {
+        if self.plan.stall_on_exec.contains(&self.execs_seen) {
+            self.counters.stalls_injected += 1;
+            STALL_NS
+        } else {
+            0.0
+        }
+    }
+
+    /// Called once per `place_data`: decides stall and payload corruption
+    /// for this upload.
+    pub fn on_place(&mut self) -> TransferFault {
+        self.transfers_seen += 1;
+        self.places_seen += 1;
+        let scripted = self.plan.corrupt_on_place.contains(&self.places_seen);
+        self.transfer_fault(scripted, self.places_seen)
+    }
+
+    /// Called once per `retrieve_data`: decides stall and payload
+    /// corruption for this download.
+    pub fn on_retrieve(&mut self) -> TransferFault {
+        self.transfers_seen += 1;
+        self.retrieves_seen += 1;
+        let scripted = self.plan.corrupt_on_retrieve.contains(&self.retrieves_seen);
+        self.transfer_fault(scripted, self.retrieves_seen)
+    }
+
+    fn transfer_fault(&mut self, scripted_corrupt: bool, ordinal: u64) -> TransferFault {
+        let mut fault = TransferFault {
+            corrupt_at: ordinal,
+            ..TransferFault::default()
+        };
+        if self.plan.stall_on_transfer.contains(&self.transfers_seen) {
+            self.counters.stalls_injected += 1;
+            fault.stall_ns = STALL_NS;
+        }
+        let mut corrupt = scripted_corrupt;
+        if !corrupt && self.plan.corrupt_transfer_rate > 0.0 {
+            if let Some(rng) = &mut self.corrupt_rng {
+                corrupt = rng.gen_bool(self.plan.corrupt_transfer_rate);
+            }
+        }
+        if corrupt {
+            self.counters.corruptions_injected += 1;
+            fault.corrupt = true;
+        }
+        fault
     }
 }
 
@@ -363,6 +559,103 @@ mod tests {
     #[should_panic(expected = "rate must be in [0, 1]")]
     fn out_of_range_rate_rejected() {
         let _ = FaultPlan::none().exec_error_rate(1.5);
+    }
+
+    #[test]
+    fn slowdown_and_stalls() {
+        let mut st = FaultState::default();
+        st.install(
+            FaultPlan::none()
+                .slowdown(8.0)
+                .stall_on_exec(2)
+                .stall_on_transfer(1),
+        );
+        assert_eq!(st.time_multiplier(), 8.0);
+        // Exec stall fires on the second execute only.
+        assert!(st.on_execute("k").is_ok());
+        assert_eq!(st.take_exec_stall(), 0.0);
+        assert!(st.on_execute("k").is_ok());
+        assert_eq!(st.take_exec_stall(), STALL_NS);
+        // Transfer stall fires on the first transfer (a place here).
+        assert_eq!(st.on_place().stall_ns, STALL_NS);
+        assert_eq!(st.on_retrieve().stall_ns, 0.0);
+        assert_eq!(st.counters().stalls_injected, 2);
+    }
+
+    #[test]
+    fn transfer_ordinal_is_shared_across_directions() {
+        let mut st = FaultState::default();
+        st.install(FaultPlan::none().stall_on_transfer(2));
+        assert_eq!(st.on_place().stall_ns, 0.0);
+        // The retrieve is transfer #2.
+        assert_eq!(st.on_retrieve().stall_ns, STALL_NS);
+    }
+
+    #[test]
+    fn scripted_corruption_fires_per_direction() {
+        let mut st = FaultState::default();
+        st.install(FaultPlan::none().corrupt_on_place(2).corrupt_on_retrieve(1));
+        assert!(!st.on_place().corrupt);
+        assert!(st.on_retrieve().corrupt);
+        let f = st.on_place();
+        assert!(f.corrupt);
+        assert_eq!(f.corrupt_at, 2, "flip index follows the ordinal");
+        assert_eq!(st.counters().corruptions_injected, 2);
+    }
+
+    #[test]
+    fn probabilistic_corruption_is_deterministic_and_decoupled() {
+        let run = |plan: FaultPlan| -> Vec<bool> {
+            let mut st = FaultState::default();
+            st.install(plan);
+            (0..200).map(|_| st.on_place().corrupt).collect()
+        };
+        let plan = FaultPlan::none().with_seed(42).corrupt_transfer_rate(0.2);
+        let a = run(plan.clone());
+        assert_eq!(a, run(plan), "same seed replays the same corruptions");
+        let fired = a.iter().filter(|&&c| c).count();
+        assert!(fired > 0 && fired < 200, "corruption fired {fired}/200");
+
+        // Adding corruption must not perturb the exec draw sequence.
+        let exec_seq = |plan: FaultPlan| -> Vec<bool> {
+            let mut st = FaultState::default();
+            st.install(plan);
+            (0..100)
+                .map(|_| {
+                    let _ = st.on_place();
+                    st.on_execute("k").is_err()
+                })
+                .collect()
+        };
+        let base = FaultPlan::none().with_seed(7).exec_error_rate(0.3);
+        assert_eq!(
+            exec_seq(base.clone()),
+            exec_seq(base.corrupt_transfer_rate(0.5)),
+            "corruption stream must be decoupled from the exec stream"
+        );
+    }
+
+    #[test]
+    fn latency_and_corruption_plans_count_as_non_empty() {
+        assert!(!FaultPlan::none().slowdown(2.0).is_empty());
+        assert!(!FaultPlan::none().stall_on_exec(1).is_empty());
+        assert!(!FaultPlan::none().stall_on_transfer(1).is_empty());
+        assert!(!FaultPlan::none().corrupt_transfer_rate(0.1).is_empty());
+        assert!(!FaultPlan::none().corrupt_on_place(1).is_empty());
+        assert!(!FaultPlan::none().corrupt_on_retrieve(1).is_empty());
+        assert_eq!(FaultPlan::default().slowdown_factor, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "slowdown factor must be >= 1.0")]
+    fn speedup_rejected() {
+        let _ = FaultPlan::none().slowdown(0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in [0, 1]")]
+    fn out_of_range_corruption_rate_rejected() {
+        let _ = FaultPlan::none().corrupt_transfer_rate(-0.1);
     }
 
     #[test]

@@ -66,6 +66,15 @@ pub struct HealthPolicy {
     /// *device* breaker trips. With the default of 2, a single broken kernel
     /// trips its own breaker but never quarantines the device.
     pub device_trip_min_kernels: u32,
+    /// Minimum smoothed actual/expected latency ratio before a chronically
+    /// slow device can trip [`BreakerState::SlowOpen`].
+    pub slow_trip_ratio: f64,
+    /// Watchdog overruns that must be recorded before the slow breaker can
+    /// trip (one slow chunk is noise; a run of them is a straggler).
+    pub slow_trip_min_overruns: u32,
+    /// Completed queries a `SlowOpen` breaker waits before a `HalfOpen`
+    /// probe is admitted.
+    pub slow_cooldown_queries: u32,
     /// Master switch: when `false` the registry records nothing and reports
     /// every device healthy (useful for A/B benchmarking the subsystem).
     pub enabled: bool,
@@ -79,6 +88,9 @@ impl Default for HealthPolicy {
             broken_kernel_threshold: 2,
             kernel_cooldown_queries: 2,
             device_trip_min_kernels: 2,
+            slow_trip_ratio: 4.0,
+            slow_trip_min_overruns: 3,
+            slow_cooldown_queries: 2,
             enabled: true,
         }
     }
@@ -99,22 +111,32 @@ pub enum BreakerState {
     /// Cooling down finished: one probe per query is admitted to test
     /// whether the device/kernel recovered.
     HalfOpen,
+    /// Latency-quarantined: the device answers correctly but chronically
+    /// overruns its watchdog budgets, so placement avoids it exactly as if
+    /// it were `Open`. Cools down into `HalfOpen` like `Open` does.
+    SlowOpen {
+        /// Completed queries remaining before the breaker half-opens.
+        cooldown_left: u32,
+    },
 }
 
 impl BreakerState {
     /// Stable lowercase label for reports (`"closed"`, `"open"`,
-    /// `"half-open"`).
+    /// `"half-open"`, `"slow-open"`).
     pub fn label(&self) -> &'static str {
         match self {
             BreakerState::Closed => "closed",
             BreakerState::Open { .. } => "open",
             BreakerState::HalfOpen => "half-open",
+            BreakerState::SlowOpen { .. } => "slow-open",
         }
     }
 
     fn cooldown(&self) -> u32 {
         match self {
-            BreakerState::Open { cooldown_left } => *cooldown_left,
+            BreakerState::Open { cooldown_left } | BreakerState::SlowOpen { cooldown_left } => {
+                *cooldown_left
+            }
             _ => 0,
         }
     }
@@ -124,6 +146,7 @@ impl BreakerState {
             "closed" => Some(BreakerState::Closed),
             "open" => Some(BreakerState::Open { cooldown_left }),
             "half-open" => Some(BreakerState::HalfOpen),
+            "slow-open" => Some(BreakerState::SlowOpen { cooldown_left }),
             _ => None,
         }
     }
@@ -145,6 +168,15 @@ struct DeviceHealth {
     total_attempts: u64,
     ooms: u64,
     wasted_retry_ns: f64,
+    /// Watchdog overruns recorded (cleared by a successful probe).
+    latency_overruns: u32,
+    /// Smoothed actual/expected duration ratio of overrunning operations.
+    slow_ratio_ewma: f64,
+    /// Smoothed excess nanoseconds per overrunning operation.
+    overrun_ns_ewma: f64,
+    /// Transfer corruptions detected on this device (cleared by a successful
+    /// probe).
+    corruptions: u64,
 }
 
 /// Per-`(device, kernel)` breaker record with its own trip/probe counters.
@@ -186,6 +218,10 @@ pub struct HealthSnapshot {
     pub retry_penalty_ns: f64,
     /// Kernels currently quarantined (`Open`) on this device.
     pub open_kernels: u64,
+    /// Watchdog overruns recorded against this device.
+    pub latency_overruns: u32,
+    /// Transfer corruptions detected on this device.
+    pub corruptions: u64,
 }
 
 /// Deterministic export of one `(device, kernel)` breaker.
@@ -369,6 +405,10 @@ impl DeviceHealthRegistry {
             h.total_failures = 0;
             h.ooms = 0;
             h.wasted_retry_ns = 0.0;
+            h.latency_overruns = 0;
+            h.slow_ratio_ewma = 0.0;
+            h.overrun_ns_ewma = 0.0;
+            h.corruptions = 0;
             self.kernels.retain(|(d, _), _| *d != device);
             return true;
         }
@@ -413,12 +453,89 @@ impl DeviceHealthRegistry {
         false
     }
 
-    /// Whether `device` is quarantined (device breaker `Open`).
+    /// Records a watchdog overrun on `device`: an operation the cost model
+    /// expected to take `clean_ns` actually took `actual_ns`. Feeds the
+    /// latency EWMAs and trips the `SlowOpen` breaker once the device has
+    /// overrun at least [`HealthPolicy::slow_trip_min_overruns`] times with
+    /// a smoothed ratio of at least [`HealthPolicy::slow_trip_ratio`].
+    /// Returns `true` when this overrun tripped the breaker.
+    pub fn record_latency_overrun(
+        &mut self,
+        device: DeviceId,
+        clean_ns: f64,
+        actual_ns: f64,
+    ) -> bool {
+        if !self.policy.enabled {
+            return false;
+        }
+        let policy = self.policy;
+        let h = self.entry(device);
+        let ratio = if clean_ns > 0.0 {
+            actual_ns / clean_ns
+        } else {
+            policy.slow_trip_ratio
+        };
+        let excess = (actual_ns - clean_ns).max(0.0);
+        if h.latency_overruns == 0 {
+            h.slow_ratio_ewma = ratio;
+            h.overrun_ns_ewma = excess;
+        } else {
+            h.slow_ratio_ewma = 0.5 * h.slow_ratio_ewma + 0.5 * ratio;
+            h.overrun_ns_ewma = 0.5 * h.overrun_ns_ewma + 0.5 * excess;
+        }
+        h.latency_overruns = h.latency_overruns.saturating_add(1);
+        if h.state == BreakerState::Closed
+            && h.latency_overruns >= policy.slow_trip_min_overruns.max(1)
+            && h.slow_ratio_ewma >= policy.slow_trip_ratio
+        {
+            h.state = BreakerState::SlowOpen {
+                cooldown_left: policy.slow_cooldown_queries,
+            };
+            h.tripped_this_query = true;
+            return true;
+        }
+        false
+    }
+
+    /// Records a detected transfer corruption on `device` (checksum
+    /// mismatch). Corruptions do not trip a breaker on their own — the
+    /// retransmit/re-placement protocol owns recovery — but they are
+    /// remembered for reports and snapshots.
+    pub fn record_corruption(&mut self, device: DeviceId) {
+        if !self.policy.enabled {
+            return;
+        }
+        self.entry(device).corruptions += 1;
+    }
+
+    /// Expected extra latency of placing work on `device`, in modeled
+    /// nanoseconds: the smoothed excess duration of its watchdog overruns.
+    /// Zero for devices that never overran. Added to
+    /// [`Self::retry_penalty_ns`] when ranking placement candidates, so
+    /// chronically slow devices lose ties.
+    pub fn latency_penalty_ns(&self, device: DeviceId) -> f64 {
+        if !self.policy.enabled {
+            return 0.0;
+        }
+        self.devices
+            .get(&device)
+            .map(|h| {
+                if h.latency_overruns > 0 {
+                    h.overrun_ns_ewma
+                } else {
+                    0.0
+                }
+            })
+            .unwrap_or(0.0)
+    }
+
+    /// Whether `device` is quarantined (device breaker `Open` or
+    /// `SlowOpen`).
     pub fn is_quarantined(&self, device: DeviceId) -> bool {
         self.policy.enabled
             && matches!(
                 self.devices.get(&device).map(|h| h.state),
-                Some(BreakerState::Open { .. })
+                Some(BreakerState::Open { .. } | BreakerState::SlowOpen { .. })
             )
     }
 
@@ -531,11 +648,17 @@ impl DeviceHealthRegistry {
         h.wasted_retry_ns / h.total_attempts.max(h.total_failures) as f64
     }
 
-    /// Ids currently quarantined (device breaker `Open`), ascending.
+    /// Ids currently quarantined (device breaker `Open` or `SlowOpen`),
+    /// ascending.
     pub fn quarantined_ids(&self) -> Vec<DeviceId> {
         self.devices
             .iter()
-            .filter(|(_, h)| matches!(h.state, BreakerState::Open { .. }))
+            .filter(|(_, h)| {
+                matches!(
+                    h.state,
+                    BreakerState::Open { .. } | BreakerState::SlowOpen { .. }
+                )
+            })
             .map(|(&id, _)| id)
             .collect()
     }
@@ -553,7 +676,9 @@ impl DeviceHealthRegistry {
                 h.tripped_this_query = false;
                 continue;
             }
-            if let BreakerState::Open { cooldown_left } = &mut h.state {
+            if let BreakerState::Open { cooldown_left } | BreakerState::SlowOpen { cooldown_left } =
+                &mut h.state
+            {
                 *cooldown_left = cooldown_left.saturating_sub(1);
                 if *cooldown_left == 0 {
                     h.state = BreakerState::HalfOpen;
@@ -588,6 +713,8 @@ impl DeviceHealthRegistry {
                         ooms: h.ooms,
                         retry_penalty_ns: self.retry_penalty_ns(id),
                         open_kernels: self.open_kernels(id),
+                        latency_overruns: h.latency_overruns,
+                        corruptions: h.corruptions,
                     },
                 )
             })
@@ -635,6 +762,8 @@ impl DeviceHealthRegistry {
                     "{{\"id\":{},\"state\":\"{}\",\"cooldown_left\":{},\
                      \"consecutive_failures\":{},\"total_failures\":{},\
                      \"total_attempts\":{},\"ooms\":{},\"wasted_retry_ns\":{},\
+                     \"latency_overruns\":{},\"slow_ratio_ewma\":{},\
+                     \"overrun_ns_ewma\":{},\"corruptions\":{},\
                      \"streak_kernels\":[{}]}}",
                     id.0,
                     h.state.label(),
@@ -644,6 +773,10 @@ impl DeviceHealthRegistry {
                     h.total_attempts,
                     h.ooms,
                     h.wasted_retry_ns,
+                    h.latency_overruns,
+                    h.slow_ratio_ewma,
+                    h.overrun_ns_ewma,
+                    h.corruptions,
                     streak.join(",")
                 )
             })
@@ -670,13 +803,18 @@ impl DeviceHealthRegistry {
         format!(
             "{{\"policy\":{{\"failure_threshold\":{},\"cooldown_queries\":{},\
              \"broken_kernel_threshold\":{},\"kernel_cooldown_queries\":{},\
-             \"device_trip_min_kernels\":{},\"enabled\":{}}},\
+             \"device_trip_min_kernels\":{},\"slow_trip_ratio\":{},\
+             \"slow_trip_min_overruns\":{},\"slow_cooldown_queries\":{},\
+             \"enabled\":{}}},\
              \"devices\":[{}],\"kernels\":[{}]}}",
             p.failure_threshold,
             p.cooldown_queries,
             p.broken_kernel_threshold,
             p.kernel_cooldown_queries,
             p.device_trip_min_kernels,
+            p.slow_trip_ratio,
+            p.slow_trip_min_overruns,
+            p.slow_cooldown_queries,
             p.enabled,
             devices.join(","),
             kernels.join(",")
@@ -693,11 +831,14 @@ impl DeviceHealthRegistry {
             .as_object()
             .ok_or("policy: expected object")?;
         let policy = HealthPolicy {
-            failure_threshold: json::get(pol, "failure_threshold")?.as_u64()? as u32,
-            cooldown_queries: json::get(pol, "cooldown_queries")?.as_u64()? as u32,
+            failure_threshold: json::get(pol, "failure_threshold")?.as_u32()?,
+            cooldown_queries: json::get(pol, "cooldown_queries")?.as_u32()?,
             broken_kernel_threshold: json::get(pol, "broken_kernel_threshold")?.as_u64()?,
-            kernel_cooldown_queries: json::get(pol, "kernel_cooldown_queries")?.as_u64()? as u32,
-            device_trip_min_kernels: json::get(pol, "device_trip_min_kernels")?.as_u64()? as u32,
+            kernel_cooldown_queries: json::get(pol, "kernel_cooldown_queries")?.as_u32()?,
+            device_trip_min_kernels: json::get(pol, "device_trip_min_kernels")?.as_u32()?,
+            slow_trip_ratio: json::get(pol, "slow_trip_ratio")?.as_f64()?,
+            slow_trip_min_overruns: json::get(pol, "slow_trip_min_overruns")?.as_u32()?,
+            slow_cooldown_queries: json::get(pol, "slow_cooldown_queries")?.as_u32()?,
             enabled: json::get(pol, "enabled")?.as_bool()?,
         };
         let mut reg = DeviceHealthRegistry::new(policy);
@@ -706,9 +847,9 @@ impl DeviceHealthRegistry {
             .ok_or("devices: expected array")?
         {
             let d = item.as_object().ok_or("device entry: expected object")?;
-            let id = DeviceId(json::get(d, "id")?.as_u64()? as u32);
+            let id = DeviceId(json::get(d, "id")?.as_u32()?);
             let label = json::get(d, "state")?.as_str()?;
-            let cooldown = json::get(d, "cooldown_left")?.as_u64()? as u32;
+            let cooldown = json::get(d, "cooldown_left")?.as_u32()?;
             let state = BreakerState::from_label(&label, cooldown)
                 .ok_or_else(|| format!("device {id}: unknown breaker state `{label}`"))?;
             let mut streak = BTreeSet::new();
@@ -724,12 +865,16 @@ impl DeviceHealthRegistry {
                     state,
                     probing: false,
                     tripped_this_query: false,
-                    consecutive_failures: json::get(d, "consecutive_failures")?.as_u64()? as u32,
+                    consecutive_failures: json::get(d, "consecutive_failures")?.as_u32()?,
                     streak_kernels: streak,
                     total_failures: json::get(d, "total_failures")?.as_u64()?,
                     total_attempts: json::get(d, "total_attempts")?.as_u64()?,
                     ooms: json::get(d, "ooms")?.as_u64()?,
                     wasted_retry_ns: json::get(d, "wasted_retry_ns")?.as_f64()?,
+                    latency_overruns: json::get(d, "latency_overruns")?.as_u32()?,
+                    slow_ratio_ewma: json::get(d, "slow_ratio_ewma")?.as_f64()?,
+                    overrun_ns_ewma: json::get(d, "overrun_ns_ewma")?.as_f64()?,
+                    corruptions: json::get(d, "corruptions")?.as_u64()?,
                 },
             );
         }
@@ -738,10 +883,10 @@ impl DeviceHealthRegistry {
             .ok_or("kernels: expected array")?
         {
             let k = item.as_object().ok_or("kernel entry: expected object")?;
-            let device = DeviceId(json::get(k, "device")?.as_u64()? as u32);
+            let device = DeviceId(json::get(k, "device")?.as_u32()?);
             let name = json::get(k, "kernel")?.as_str()?;
             let label = json::get(k, "state")?.as_str()?;
-            let cooldown = json::get(k, "cooldown_left")?.as_u64()? as u32;
+            let cooldown = json::get(k, "cooldown_left")?.as_u32()?;
             let state = BreakerState::from_label(&label, cooldown)
                 .ok_or_else(|| format!("kernel `{name}`: unknown breaker state `{label}`"))?;
             reg.kernels.insert(
@@ -795,15 +940,23 @@ mod json {
         }
         pub fn as_f64(&self) -> Result<f64, String> {
             match self {
-                Value::Num(n) => Ok(*n),
+                Value::Num(n) if n.is_finite() => Ok(*n),
+                Value::Num(_) => Err("expected finite number".into()),
                 _ => Err("expected number".into()),
             }
         }
         pub fn as_u64(&self) -> Result<u64, String> {
             match self {
-                Value::Num(n) if *n >= 0.0 => Ok(*n as u64),
-                _ => Err("expected non-negative number".into()),
+                Value::Num(n)
+                    if n.is_finite() && *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 =>
+                {
+                    Ok(*n as u64)
+                }
+                _ => Err("expected non-negative integer".into()),
             }
+        }
+        pub fn as_u32(&self) -> Result<u32, String> {
+            u32::try_from(self.as_u64()?).map_err(|_| "integer out of range for u32".to_string())
         }
         pub fn as_bool(&self) -> Result<bool, String> {
             match self {
@@ -1011,7 +1164,7 @@ mod tests {
             broken_kernel_threshold: 2,
             kernel_cooldown_queries: 2,
             device_trip_min_kernels: 2,
-            enabled: true,
+            ..HealthPolicy::default()
         })
     }
 
@@ -1254,5 +1407,138 @@ mod tests {
         let truncated = reg().to_json();
         let truncated = &truncated[..truncated.len() - 2];
         assert!(DeviceHealthRegistry::from_json(truncated).is_err());
+    }
+
+    #[test]
+    fn slow_breaker_trips_cools_down_and_probe_restores() {
+        let mut r = reg(); // slow_trip_ratio 4.0, min overruns 3, cooldown 2
+        assert!(!r.record_latency_overrun(D, 100.0, 900.0));
+        assert!(!r.record_latency_overrun(D, 100.0, 900.0));
+        assert_eq!(r.latency_penalty_ns(D), 800.0, "EWMA of a constant excess");
+        assert!(!r.is_quarantined(D), "two overruns are not chronic yet");
+        assert!(
+            r.record_latency_overrun(D, 100.0, 900.0),
+            "third overrun with 9x smoothed ratio trips SlowOpen"
+        );
+        assert!(r.is_quarantined(D));
+        assert_eq!(r.quarantined_ids(), vec![D]);
+        assert_eq!(r.snapshot()[&D].state.label(), "slow-open");
+        assert_eq!(r.snapshot()[&D].latency_overruns, 3);
+        r.on_query_completed(); // tripped this query: no decrement
+        assert!(r.is_quarantined(D));
+        r.on_query_completed(); // 2 -> 1
+        r.on_query_completed(); // 1 -> 0 -> HalfOpen
+        assert!(!r.is_quarantined(D));
+        assert!(r.probe_candidate(D));
+        r.begin_probe(D);
+        assert!(r.record_success(D), "probe success restores Closed");
+        assert_eq!(r.latency_penalty_ns(D), 0.0, "latency memory cleared");
+        assert_eq!(r.snapshot()[&D].latency_overruns, 0);
+    }
+
+    #[test]
+    fn mild_overruns_never_trip() {
+        let mut r = reg();
+        for _ in 0..20 {
+            // 2x over budget: slow, but under the 4x chronic threshold.
+            assert!(!r.record_latency_overrun(D, 100.0, 200.0));
+        }
+        assert!(!r.is_quarantined(D));
+        assert!(
+            r.latency_penalty_ns(D) > 0.0,
+            "still penalized in placement"
+        );
+    }
+
+    #[test]
+    fn corruption_is_counted_and_cleared_by_probe_success() {
+        let mut r = reg();
+        r.record_corruption(D);
+        r.record_corruption(D);
+        assert_eq!(r.snapshot()[&D].corruptions, 2);
+        assert!(!r.is_quarantined(D), "corruption alone never quarantines");
+        // Corruption memory survives the JSON round trip.
+        let restored = DeviceHealthRegistry::from_json(&r.to_json()).unwrap();
+        assert_eq!(restored.snapshot()[&D].corruptions, 2);
+    }
+
+    #[test]
+    fn slow_open_state_round_trips_through_json() {
+        let mut r = reg();
+        for _ in 0..3 {
+            r.record_latency_overrun(D, 10.0, 200.0);
+        }
+        assert!(r.is_quarantined(D));
+        let restored = DeviceHealthRegistry::from_json(&r.to_json()).unwrap();
+        assert_eq!(restored.snapshot(), r.snapshot());
+        assert!(restored.is_quarantined(D));
+        assert_eq!(restored.to_json(), r.to_json(), "export is a fixed point");
+        assert!((restored.latency_penalty_ns(D) - r.latency_penalty_ns(D)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_json_survives_adversarial_inputs() {
+        let valid = {
+            let mut r = reg();
+            r.record_attempt(D);
+            r.record_kernel_failure(D, "k", 10.0);
+            r.to_json()
+        };
+        // Every prefix of a valid export errs cleanly instead of panicking.
+        for cut in 0..valid.len() {
+            assert!(
+                DeviceHealthRegistry::from_json(&valid[..cut]).is_err(),
+                "truncation at byte {cut} must be an error"
+            );
+        }
+        let adversarial: &[&str] = &[
+            // Garbage.
+            "\u{0}\u{0}\u{0}",
+            "][",
+            "{{{{",
+            "null",
+            "{\"policy\":null}",
+            // Wrong types everywhere.
+            "{\"policy\":[],\"devices\":{},\"kernels\":7}",
+            "{\"policy\":{\"failure_threshold\":\"two\"},\"devices\":[],\"kernels\":[]}",
+            "{\"policy\":{\"failure_threshold\":true},\"devices\":[],\"kernels\":[]}",
+            // Negative, fractional, overflowing and non-finite numbers where
+            // unsigned integers are required.
+            "{\"policy\":{\"failure_threshold\":-2},\"devices\":[],\"kernels\":[]}",
+            "{\"policy\":{\"failure_threshold\":2.5},\"devices\":[],\"kernels\":[]}",
+            "{\"policy\":{\"failure_threshold\":5000000000},\"devices\":[],\"kernels\":[]}",
+            "{\"policy\":{\"failure_threshold\":1e999},\"devices\":[],\"kernels\":[]}",
+            // Unknown breaker state.
+            "{\"policy\":{\"failure_threshold\":1,\"cooldown_queries\":1,\
+             \"broken_kernel_threshold\":1,\"kernel_cooldown_queries\":1,\
+             \"device_trip_min_kernels\":1,\"slow_trip_ratio\":4,\
+             \"slow_trip_min_overruns\":3,\"slow_cooldown_queries\":2,\
+             \"enabled\":true},\"devices\":[{\"id\":0,\"state\":\"ajar\",\
+             \"cooldown_left\":0}],\"kernels\":[]}",
+            // Structural damage.
+            "{\"policy\"",
+            "{\"policy\":{\"failure_threshold\":}}",
+            "{\"policy\":{,}}",
+            "[1,2,",
+            "\"unterminated",
+            "{\"a\":1}trailing",
+        ];
+        for (i, input) in adversarial.iter().enumerate() {
+            assert!(
+                DeviceHealthRegistry::from_json(input).is_err(),
+                "adversarial input #{i} must be rejected: {input:?}"
+            );
+        }
+        // Duplicated keys are tolerated deterministically (first wins) —
+        // the grammar our own exporter emits never duplicates.
+        let dup = valid.replacen(
+            "\"failure_threshold\":2",
+            "\"failure_threshold\":2,\"failure_threshold\":9",
+            1,
+        );
+        let parsed = DeviceHealthRegistry::from_json(&dup).expect("duplicate keys parse");
+        assert_eq!(parsed.policy().failure_threshold, 2, "first key wins");
+        // And the happy path still works.
+        assert!(DeviceHealthRegistry::from_json(&valid).is_ok());
     }
 }

@@ -159,6 +159,14 @@ impl Device for SimDevice {
 
     fn place_data(&mut self, id: BufferId, data: BufferData, offset: usize) -> Result<()> {
         self.ensure_init()?;
+        let fault = self.faults.on_place();
+        let mut data = data;
+        if fault.corrupt {
+            // A bit flipped on the bus: the device stores the damaged
+            // payload. The hub's checksum echo is what catches this.
+            data.flip_bit(fault.corrupt_at as usize);
+        }
+        let dilate = self.faults.time_multiplier();
         let bytes = data.byte_len();
         if self.pool.contains(id) {
             let old = self.pool.get(id)?.footprint();
@@ -169,8 +177,13 @@ impl Device for SimDevice {
             }
             self.pool.update_accounting(id, old)?;
             let t = self.cost.h2d_ns(bytes, pinned);
-            self.clock
-                .record(Lane::TransferH2D, t, bytes, format!("place {id} @{offset}"));
+            self.clock.record_dilated(
+                Lane::TransferH2D,
+                t,
+                t * dilate + fault.stall_ns,
+                bytes,
+                format!("place {id} @{offset}"),
+            );
         } else {
             if offset != 0 {
                 return Err(DeviceError::BadKernelArgs {
@@ -190,8 +203,13 @@ impl Device for SimDevice {
             self.clock
                 .record(Lane::Alloc, alloc, 0, format!("implicit alloc {id}"));
             let t = self.cost.h2d_ns(bytes, false);
-            self.clock
-                .record(Lane::TransferH2D, t, bytes, format!("place {id}"));
+            self.clock.record_dilated(
+                Lane::TransferH2D,
+                t,
+                t * dilate + fault.stall_ns,
+                bytes,
+                format!("place {id}"),
+            );
         }
         Ok(())
     }
@@ -203,6 +221,7 @@ impl Device for SimDevice {
         offset: usize,
     ) -> Result<BufferData> {
         self.ensure_init()?;
+        let fault = self.faults.on_retrieve();
         let buf = self.pool.get(id)?;
         let total = buf.data.len();
         let len = len.unwrap_or(total.saturating_sub(offset));
@@ -213,12 +232,22 @@ impl Device for SimDevice {
                 len: total,
             });
         }
-        let out = buf.data.slice(offset, len);
-        let bytes = out.byte_len();
+        let mut out = buf.data.slice(offset, len);
         let pinned = buf.pinned;
+        if fault.corrupt {
+            // The device copy stays intact; the payload was damaged in
+            // flight, so a retransmit can succeed.
+            out.flip_bit(fault.corrupt_at as usize);
+        }
+        let bytes = out.byte_len();
         let t = self.cost.d2h_ns(bytes, pinned);
-        self.clock
-            .record(Lane::TransferD2H, t, bytes, format!("retrieve {id}"));
+        self.clock.record_dilated(
+            Lane::TransferD2H,
+            t,
+            t * self.faults.time_multiplier() + fault.stall_ns,
+            bytes,
+            format!("retrieve {id}"),
+        );
         Ok(out)
     }
 
@@ -378,8 +407,14 @@ impl Device for SimDevice {
         let t = self
             .cost
             .kernel_ns(stats.cost_class, stats.elements, spec.arg_count());
-        self.clock
-            .record(Lane::Compute, t, 0, format!("kernel {}", spec.kernel));
+        let actual = t * self.faults.time_multiplier() + self.faults.take_exec_stall();
+        self.clock.record_dilated(
+            Lane::Compute,
+            t,
+            actual,
+            0,
+            format!("kernel {}", spec.kernel),
+        );
         Ok(stats)
     }
 
@@ -701,6 +736,103 @@ mod tests {
         // Freeing makes room under the cap again.
         d.delete_memory(BufferId(1)).unwrap();
         d.prepare_memory(BufferId(2), 100).unwrap();
+    }
+
+    #[test]
+    fn slowdown_dilates_transfers_and_kernels_but_not_clean_ns() {
+        let mut fast = gpu();
+        let mut slow = gpu();
+        slow.set_fault_plan(FaultPlan::none().slowdown(8.0));
+        let payload = BufferData::I64((0..1000).collect());
+        fast.place_data(BufferId(1), payload.clone(), 0).unwrap();
+        slow.place_data(BufferId(1), payload, 0).unwrap();
+        let clean_t: f64 = fast
+            .clock()
+            .events()
+            .iter()
+            .filter(|e| e.lane.is_transfer())
+            .map(|e| e.duration_ns)
+            .sum();
+        let slow_events: Vec<_> = slow
+            .clock()
+            .events()
+            .iter()
+            .filter(|e| e.lane.is_transfer())
+            .cloned()
+            .collect();
+        let slow_t: f64 = slow_events.iter().map(|e| e.duration_ns).sum();
+        let slow_clean: f64 = slow_events.iter().map(|e| e.clean_ns).sum();
+        assert!((slow_t - 8.0 * clean_t).abs() < 1e-6, "8x dilation");
+        assert!(
+            (slow_clean - clean_t).abs() < 1e-6,
+            "clean_ns reports the undilated model"
+        );
+        // Data itself is unharmed by a pure straggler.
+        assert_eq!(
+            slow.retrieve_data(BufferId(1), None, 0).unwrap(),
+            fast.retrieve_data(BufferId(1), None, 0).unwrap()
+        );
+    }
+
+    #[test]
+    fn transfer_stall_injects_unbounded_duration() {
+        use crate::fault::STALL_NS;
+        let mut d = gpu();
+        d.set_fault_plan(FaultPlan::none().stall_on_transfer(2));
+        d.place_data(BufferId(1), BufferData::I64(vec![1, 2, 3]), 0)
+            .unwrap();
+        let before = d.clock().transfer_ns();
+        assert!(before < STALL_NS);
+        let _ = d.retrieve_data(BufferId(1), None, 0).unwrap();
+        assert!(d.clock().transfer_ns() >= STALL_NS, "retrieve #2 stalled");
+        assert_eq!(d.fault_counters().stalls_injected, 1);
+    }
+
+    #[test]
+    fn place_corruption_is_visible_in_checksum_echo() {
+        let mut d = gpu();
+        let payload = BufferData::I64((0..100).collect());
+        let sent = payload.checksum();
+        d.set_fault_plan(FaultPlan::none().corrupt_on_place(1));
+        d.place_data(BufferId(1), payload.clone(), 0).unwrap();
+        let echo = d.buffer_checksum(BufferId(1), None, 0).unwrap();
+        assert_ne!(echo, sent, "stored payload must differ from what we sent");
+        // Retransmit (transfer #2, not scripted) heals the buffer.
+        d.place_data(BufferId(1), payload, 0).unwrap();
+        assert_eq!(d.buffer_checksum(BufferId(1), None, 0).unwrap(), sent);
+        assert_eq!(d.fault_counters().corruptions_injected, 1);
+    }
+
+    #[test]
+    fn retrieve_corruption_leaves_device_copy_intact() {
+        let mut d = gpu();
+        let payload = BufferData::I64((0..100).collect());
+        d.place_data(BufferId(1), payload.clone(), 0).unwrap();
+        d.set_fault_plan(FaultPlan::none().corrupt_on_retrieve(1));
+        let dirty = d.retrieve_data(BufferId(1), None, 0).unwrap();
+        assert_ne!(dirty, payload, "first retrieve was corrupted in flight");
+        assert_ne!(
+            dirty.checksum(),
+            d.buffer_checksum(BufferId(1), None, 0).unwrap()
+        );
+        let clean = d.retrieve_data(BufferId(1), None, 0).unwrap();
+        assert_eq!(clean, payload, "device copy was never damaged");
+    }
+
+    #[test]
+    fn checksum_echo_respects_range() {
+        let mut d = gpu();
+        d.place_data(BufferId(1), BufferData::I64((0..10).collect()), 0)
+            .unwrap();
+        let whole = d.buffer_checksum(BufferId(1), None, 0).unwrap();
+        let prefix = d.buffer_checksum(BufferId(1), Some(4), 0).unwrap();
+        assert_ne!(whole, prefix);
+        assert_eq!(prefix, BufferData::I64((0..4).collect()).checksum());
+        assert_eq!(
+            d.buffer_checksum(BufferId(1), Some(3), 4).unwrap(),
+            BufferData::I64((4..7).collect()).checksum()
+        );
+        assert!(d.buffer_checksum(BufferId(9), None, 0).is_err());
     }
 
     #[test]

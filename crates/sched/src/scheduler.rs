@@ -528,6 +528,7 @@ impl<'e> QueryScheduler<'e> {
         );
         match run {
             Ok((output, stats)) => {
+                self.absorb_robustness_counters(&stats);
                 let slices: VecDeque<f64> = if stats.slice_ns.is_empty() {
                     VecDeque::from([stats.total_ns])
                 } else {
@@ -545,11 +546,26 @@ impl<'e> QueryScheduler<'e> {
                 }))
             }
             Err(e) => {
+                // The failed run's counters still describe real watchdog and
+                // retransmit activity; the executor keeps them around.
+                if let Some(s) = self.executor.last_run_stats() {
+                    let s = s.clone();
+                    self.absorb_robustness_counters(&s);
+                }
                 self.ledger.release(self.executor, entry.ticket);
                 self.fail(tenant, entry.ticket, e, outcomes);
                 Admit::Resolved
             }
         }
+    }
+
+    /// Folds one executed query's straggler/corruption counters into the
+    /// scheduler-level aggregates.
+    fn absorb_robustness_counters(&mut self, stats: &ExecutionStats) {
+        self.stats.watchdog_fires += stats.watchdog_fires as u64;
+        self.stats.hedged_launches += stats.hedged_launches as u64;
+        self.stats.hedge_wins += stats.hedge_wins as u64;
+        self.stats.corruption_retransmits += stats.corruption_retransmits as u64;
     }
 
     /// Picks the target device: the pin, the spec's policy under its

@@ -58,6 +58,16 @@ pub struct SchedulerStats {
     /// could not cover the cheapest modeled placement (or was already
     /// spent waiting).
     pub shed_deadline: u64,
+    /// Straggler watchdogs fired across all executed queries (chunks whose
+    /// modeled duration overran the configured budget multiplier).
+    pub watchdog_fires: u64,
+    /// Hedged duplicate chunks launched across all executed queries.
+    pub hedged_launches: u64,
+    /// Hedged duplicates that beat their straggling primary.
+    pub hedge_wins: u64,
+    /// Checksum-mismatch retransmits across all executed queries (silent
+    /// transfer corruption caught by the hub's end-to-end verification).
+    pub corruption_retransmits: u64,
     /// Per-tenant breakdown, keyed by tenant name (deterministic order).
     pub tenants: BTreeMap<String, TenantStats>,
 }
@@ -79,6 +89,13 @@ impl SchedulerStats {
             self.rejected_capacity
         ));
         s.push_str(&format!(",\"shed_deadline\":{}", self.shed_deadline));
+        s.push_str(&format!(",\"watchdog_fires\":{}", self.watchdog_fires));
+        s.push_str(&format!(",\"hedged_launches\":{}", self.hedged_launches));
+        s.push_str(&format!(",\"hedge_wins\":{}", self.hedge_wins));
+        s.push_str(&format!(
+            ",\"corruption_retransmits\":{}",
+            self.corruption_retransmits
+        ));
         s.push_str(",\"tenants\":{");
         let mut first = true;
         for (name, t) in &self.tenants {
@@ -127,6 +144,10 @@ mod tests {
             held: 1,
             rejected_capacity: 1,
             shed_deadline: 2,
+            watchdog_fires: 4,
+            hedged_launches: 3,
+            hedge_wins: 2,
+            corruption_retransmits: 5,
             ..Default::default()
         };
         stats.tenants.insert(
@@ -155,6 +176,10 @@ mod tests {
         // BTreeMap keys: alpha before beta, every run.
         assert!(json.find("\"alpha\"").unwrap() < json.find("\"beta\"").unwrap());
         assert!(json.contains("\"makespan_ns\":1234.5"));
+        assert!(json.contains("\"watchdog_fires\":4"));
+        assert!(json.contains("\"hedged_launches\":3"));
+        assert!(json.contains("\"hedge_wins\":2"));
+        assert!(json.contains("\"corruption_retransmits\":5"));
         assert!(json.contains("\"wait_ns\":500.0"));
         assert!(json.contains("\"contended_run_ns\":100.0"));
         assert_eq!(json, stats.to_json(), "export must be deterministic");

@@ -1,0 +1,369 @@
+//! Integrity soak: straggler and silent-corruption fault plans swept across
+//! every chunked execution model. Each run must either match the fault-free
+//! reference exactly or fail with a clean typed error — never panic, never
+//! return silently corrupted data — and always return every device pool to
+//! zero bytes. Same-seed runs must be byte-identical.
+//!
+//! Also hosts the end-to-end acceptance scenario for the robustness layer
+//! (watchdog + hedged chunks + checksum retransmits) and the latency-aware
+//! half-open probe placement test.
+//!
+//! The CI `integrity` job shards the soak by seed through the
+//! `INTEGRITY_SEED` environment variable.
+
+use adamant::prelude::*;
+
+const DEFAULT_SEEDS: [u64; 3] = [1, 7, 42];
+
+/// The chunk-streaming execution models — everything but operator-at-a-time,
+/// which has no chunk loop for the watchdog to supervise.
+const CHUNKED_MODELS: [ExecutionModel; 4] = [
+    ExecutionModel::Chunked,
+    ExecutionModel::Pipelined,
+    ExecutionModel::FourPhaseChunked,
+    ExecutionModel::FourPhasePipelined,
+];
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("INTEGRITY_SEED") {
+        Ok(s) => vec![s
+            .trim()
+            .parse()
+            .expect("INTEGRITY_SEED must be an unsigned integer")],
+        Err(_) => DEFAULT_SEEDS.to_vec(),
+    }
+}
+
+/// The straggler × corruption fault matrix applied to device 0.
+fn fault_plans(seed: u64) -> Vec<(&'static str, FaultPlan)> {
+    vec![
+        ("straggler", FaultPlan::none().with_seed(seed).slowdown(4.0)),
+        (
+            "stalls",
+            FaultPlan::none()
+                .with_seed(seed)
+                .stall_on_exec(3)
+                .stall_on_transfer(2),
+        ),
+        (
+            "corruption",
+            FaultPlan::none().with_seed(seed).corrupt_transfer_rate(0.1),
+        ),
+        (
+            "combined",
+            FaultPlan::none()
+                .with_seed(seed)
+                .slowdown(8.0)
+                .stall_on_exec(2)
+                .corrupt_transfer_rate(0.05),
+        ),
+    ]
+}
+
+/// One engine under a fault plan; returns the run's outcome and the
+/// (wall-clock-free) stats JSON of the attempt.
+fn soak_run(
+    catalog: &Catalog,
+    plan: FaultPlan,
+    model: ExecutionModel,
+    hedging: bool,
+) -> (Result<i64, ExecError>, String) {
+    let mut builder = Adamant::builder()
+        .chunk_rows(500)
+        .device(DeviceProfile::cuda_rtx2080ti())
+        .device(DeviceProfile::opencl_cpu_i7())
+        .fault_plan(0, plan)
+        .retry_policy(RetryPolicy {
+            max_attempts: 6,
+            ..Default::default()
+        });
+    if !hedging {
+        builder = builder.no_hedging();
+    }
+    let mut engine = builder.build().unwrap();
+    let dev = engine.device_ids()[0];
+    let graph = TpchQuery::Q6.plan(dev, catalog).unwrap();
+    let inputs = TpchQuery::Q6.bind(catalog).unwrap();
+    let outcome = engine
+        .run(&graph, &inputs, model)
+        .map(|(out, _)| adamant::tpch::queries::q6::decode(&out));
+
+    // Whatever happened, nothing may leak.
+    for &d in engine.device_ids() {
+        let pool = engine.executor().devices().get(d).unwrap();
+        assert_eq!(
+            pool.pool().used(),
+            0,
+            "{model:?}: leaked {} bytes on {d}",
+            pool.pool().used()
+        );
+        assert_eq!(
+            pool.pool().pinned_used(),
+            0,
+            "{model:?}: leaked pinned bytes on {d}"
+        );
+    }
+    let mut stats = engine
+        .executor()
+        .last_run_stats()
+        .expect("every run leaves stats")
+        .clone();
+    stats.wall_ns = 0;
+    (outcome, stats.to_json())
+}
+
+#[test]
+fn seeded_integrity_soak_across_chunked_models() {
+    let catalog = TpchGenerator::new(0.001, 5).generate();
+    let reference = adamant::tpch::reference::q6(&catalog).unwrap();
+    for seed in seeds() {
+        for (name, plan) in fault_plans(seed) {
+            for model in CHUNKED_MODELS {
+                let (first, first_json) = soak_run(&catalog, plan.clone(), model, true);
+                match &first {
+                    Ok(result) => assert_eq!(
+                        result, &reference,
+                        "seed {seed} {name} {model:?}: survived run diverged from reference"
+                    ),
+                    Err(
+                        ExecError::Device(_)
+                        | ExecError::KernelFailed { .. }
+                        | ExecError::DeadlineExceeded { .. }
+                        | ExecError::TransferCorrupted { .. },
+                    ) => {} // clean, typed failure is acceptable under faults
+                    Err(other) => {
+                        panic!("seed {seed} {name} {model:?}: unexpected error class: {other}")
+                    }
+                }
+                // Same seed, fresh engine: identical outcome and stats.
+                let (second, second_json) = soak_run(&catalog, plan.clone(), model, true);
+                assert_eq!(
+                    first.is_ok(),
+                    second.is_ok(),
+                    "seed {seed} {name} {model:?}: outcome flipped between identical runs"
+                );
+                if let (Ok(a), Ok(b)) = (&first, &second) {
+                    assert_eq!(a, b, "seed {seed} {name} {model:?}: results differ");
+                }
+                assert_eq!(
+                    first_json, second_json,
+                    "seed {seed} {name} {model:?}: stats drifted between identical runs"
+                );
+            }
+        }
+    }
+}
+
+/// Distinct seeds must actually produce distinct corruption schedules
+/// somewhere in the sweep — otherwise the matrix tests one schedule n times.
+#[test]
+fn distinct_seeds_vary_the_schedule() {
+    let catalog = TpchGenerator::new(0.001, 5).generate();
+    let jsons: Vec<String> = DEFAULT_SEEDS
+        .iter()
+        .map(|&seed| {
+            let plan = FaultPlan::none()
+                .with_seed(seed)
+                .slowdown(2.0)
+                .corrupt_transfer_rate(0.1);
+            soak_run(&catalog, plan, ExecutionModel::Chunked, true).1
+        })
+        .collect();
+    assert!(
+        jsons.windows(2).any(|w| w[0] != w[1]),
+        "all seeds produced identical runs — seeding is broken"
+    );
+}
+
+/// The acceptance scenario of the robustness tentpole: a device that both
+/// straggles (8× slowdown plus a hard stall) and silently corrupts a
+/// transfer still completes TPC-H Q6 reference-exact, because
+///
+/// * the watchdog hedges the stalled chunk onto the healthy device and the
+///   hedge wins the race (`hedge_wins >= 1`);
+/// * the hub's end-to-end checksum catches the corrupted transfer and
+///   retransmits it (`corruption_retransmits >= 1`);
+/// * the chronic overruns trip the slow-open breaker;
+///
+/// and the hedged run's simulated makespan beats the identical run with
+/// hedging disabled. Nothing leaks, and the whole scenario is byte-stable.
+#[test]
+fn hedge_rescues_straggler_and_checksums_catch_corruption() {
+    let catalog = TpchGenerator::new(0.001, 5).generate();
+    let reference = adamant::tpch::reference::q6(&catalog).unwrap();
+    let plan = FaultPlan::none()
+        .slowdown(8.0)
+        .stall_on_exec(5)
+        .corrupt_on_place(2);
+
+    let run = |hedging: bool| -> (i64, ExecutionStats) {
+        let mut builder = Adamant::builder()
+            .chunk_rows(500)
+            .device(DeviceProfile::cuda_rtx2080ti())
+            .device(DeviceProfile::opencl_cpu_i7())
+            .fault_plan(0, plan.clone());
+        if !hedging {
+            builder = builder.no_hedging();
+        }
+        let mut engine = builder.build().unwrap();
+        let dev = engine.device_ids()[0];
+        let graph = TpchQuery::Q6.plan(dev, &catalog).unwrap();
+        let inputs = TpchQuery::Q6.bind(&catalog).unwrap();
+        let (out, stats) = engine
+            .run(&graph, &inputs, ExecutionModel::Chunked)
+            .unwrap();
+        for &d in engine.device_ids() {
+            let pool = engine.executor().devices().get(d).unwrap();
+            assert_eq!(pool.pool().used(), 0, "hedging={hedging}: leak on {d}");
+            assert_eq!(
+                pool.pool().pinned_used(),
+                0,
+                "hedging={hedging}: pinned leak on {d}"
+            );
+        }
+        (adamant::tpch::queries::q6::decode(&out), stats)
+    };
+
+    let (result, stats) = run(true);
+    assert_eq!(result, reference, "hedged run diverged from reference");
+    assert!(stats.watchdog_fires >= 1, "watchdog never fired");
+    assert!(stats.hedged_launches >= 1, "no hedge launched");
+    assert!(
+        stats.hedge_wins >= 1,
+        "hedge never beat the stalled primary"
+    );
+    assert!(
+        stats.corruption_retransmits >= 1,
+        "checksum mismatch was not caught and retransmitted"
+    );
+    assert!(
+        stats.breaker_trips >= 1,
+        "chronic overruns should trip the slow-open breaker"
+    );
+    assert!(
+        stats.to_json().contains("\"hedge_wins\":"),
+        "hedge counters missing from exported stats"
+    );
+
+    let (baseline_result, baseline_stats) = run(false);
+    assert_eq!(baseline_result, reference, "unhedged run diverged");
+    assert_eq!(
+        baseline_stats.hedged_launches, 0,
+        "no_hedging run still hedged"
+    );
+    assert!(
+        stats.total_ns < baseline_stats.total_ns,
+        "hedging did not shorten the simulated makespan: hedged {} >= unhedged {}",
+        stats.total_ns,
+        baseline_stats.total_ns
+    );
+
+    // Same faults, fresh engine: the whole rescue is deterministic.
+    let (result2, mut stats2) = run(true);
+    let mut stats1 = stats;
+    stats1.wall_ns = 0;
+    stats2.wall_ns = 0;
+    assert_eq!(result2, result, "hedged rescue result drifted");
+    assert_eq!(
+        stats1.to_json(),
+        stats2.to_json(),
+        "hedged rescue stats drifted between identical runs"
+    );
+}
+
+/// Half-open recovery probes ride the *cheapest* eligible pipeline, not
+/// merely the first one that touches the device. The expensive first
+/// pipeline needs a kernel that is broken on the recovering device, so if
+/// the probe were still granted first-come-first-served the probe would
+/// strike the broken kernel and burn retries; riding the cheap second
+/// pipeline it succeeds untouched.
+#[test]
+fn half_open_probe_rides_cheapest_pipeline() {
+    let data: Vec<i64> = (0..200).map(|i| (i * 37 + 11) % 500 - 250).collect();
+    let small: Vec<i64> = (0..200).map(|i| i % 17).collect();
+    let mut engine = Adamant::builder()
+        .chunk_rows(64)
+        .device(DeviceProfile::cuda_rtx2080ti())
+        .device(DeviceProfile::opencl_cpu_i7())
+        // Every filter flavour is broken on dev0: a probe that lands on the
+        // big filtering pipeline cannot succeed.
+        .fault_plan(
+            0,
+            FaultPlan::none()
+                .broken_kernel("filter_bitmap")
+                .broken_kernel("filter_bitmap_col")
+                .broken_kernel("filter_position"),
+        )
+        .health_policy(HealthPolicy {
+            cooldown_queries: 1,
+            ..HealthPolicy::default()
+        })
+        .build()
+        .unwrap();
+    let dev0 = engine.device_ids()[0];
+
+    // Trip dev0's breaker (a streak across two distinct kernels), then tick
+    // the cool-down so the next query admits a half-open probe.
+    let health = engine.executor_mut().health_mut();
+    health.record_kernel_failure(dev0, "k_a", 100.0);
+    health.record_kernel_failure(dev0, "k_b", 100.0);
+    assert!(health.is_quarantined(dev0), "breaker did not trip");
+    // First tick absorbs the tripping query (it doesn't count toward the
+    // cool-down); the second elapses the one-query cool-down.
+    health.on_query_completed();
+    health.on_query_completed();
+    assert!(health.is_half_open(dev0), "cool-down did not elapse");
+
+    // Pipeline 1 (first, expensive): scan → filter → project → agg.
+    // Pipeline 2 (second, cheap): scan → materialize → agg.
+    let mut pb = PlanBuilder::new(dev0);
+    let mut big = pb.scan("t", &["x"]);
+    big.filter(&mut pb, Predicate::cmp("x", CmpOp::Ge, 0))
+        .unwrap();
+    big.project(&mut pb, "y", Expr::col("x").mul(Expr::lit(2)))
+        .unwrap();
+    let y = big.materialized(&mut pb, "y").unwrap();
+    let sum_big = pb.agg_block(y, AggFunc::Sum, "sum_big");
+    pb.output("sum_big", sum_big);
+    let mut cheap = pb.scan("u", &["z"]);
+    let z = cheap.materialized(&mut pb, "z").unwrap();
+    let sum_cheap = pb.agg_block(z, AggFunc::Sum, "sum_cheap");
+    pb.output("sum_cheap", sum_cheap);
+    let graph = pb.build().unwrap();
+    let mut inputs = QueryInputs::new();
+    inputs.bind("x", data.clone());
+    inputs.bind("z", small.clone());
+
+    let (out, stats) = engine
+        .run(&graph, &inputs, ExecutionModel::Chunked)
+        .unwrap();
+    let expected_big: i64 = data.iter().filter(|&&v| v >= 0).map(|v| v * 2).sum();
+    let expected_cheap: i64 = small.iter().sum();
+    assert_eq!(out.i64_column("sum_big")[0], expected_big);
+    assert_eq!(out.i64_column("sum_cheap")[0], expected_cheap);
+
+    // The probe rode the cheap pipeline: it succeeded without ever touching
+    // dev0's broken filter kernels, and the big pipeline was shed to the
+    // healthy device up front instead of burning retries.
+    assert_eq!(stats.probe_successes, 1, "probe did not succeed cleanly");
+    assert_eq!(stats.retries, 0, "probe struck the expensive pipeline");
+    assert_eq!(
+        engine
+            .executor()
+            .devices()
+            .get(dev0)
+            .unwrap()
+            .fault_counters()
+            .broken_kernel_hits,
+        0,
+        "a broken filter kernel ran on dev0 — probe was misplaced"
+    );
+    assert!(
+        stats.quarantine_skips >= 1,
+        "the non-probe pipeline should have been shed off the half-open device"
+    );
+    assert!(
+        !engine.health().is_quarantined(dev0),
+        "successful probe should re-close the breaker"
+    );
+}

@@ -179,6 +179,98 @@ fn weighted_tenants_share_device_time_proportionally() {
     );
 }
 
+/// Weighted fair sharing survives a straggling device: with the primary
+/// device running 2× slow, every chunk overruns a tightened watchdog budget
+/// and hedges onto the second device — and because hedge duplicates are
+/// charged to the *owning* query's stream, the 2:1 contended-time ratio
+/// still holds and the straggler counters surface in the scheduler stats.
+#[test]
+fn fair_share_holds_under_straggling_device() {
+    let data = test_data(3_000);
+    let mut engine = Adamant::builder()
+        .chunk_rows(100)
+        .device(DeviceProfile::cuda_rtx2080ti())
+        .device(DeviceProfile::opencl_cpu_i7())
+        // A chronic 2× straggler: slow enough to overrun the 1.5× watchdog
+        // budget on every chunk, mild enough to stay below the slow-open
+        // breaker's trip ratio — so the device keeps straggling all run.
+        .fault_plan(0, FaultPlan::none().slowdown(2.0))
+        .watchdog_multiplier(1.5)
+        .build()
+        .unwrap();
+    let gpu = engine.device_ids()[0];
+    let mut inputs = QueryInputs::new();
+    inputs.bind("x", data.clone());
+
+    let mut session = engine.session();
+    session.tenant("heavy", 2.0).tenant("light", 1.0);
+    let per_tenant = 5;
+    let mut tickets = Vec::new();
+    for _ in 0..per_tenant {
+        for tenant in ["heavy", "light"] {
+            tickets.push((
+                tenant,
+                session.submit(
+                    tenant,
+                    QuerySpec::new(
+                        filter_map_sum(gpu, -100, 2),
+                        inputs.clone(),
+                        ExecutionModel::Chunked,
+                    ),
+                ),
+            ));
+        }
+    }
+    let report = session.run_all();
+    for (tenant, t) in &tickets {
+        let out = report.output(*t).unwrap_or_else(|| {
+            panic!(
+                "{tenant} query {t:?} did not complete: {:?}",
+                report.outcome(*t)
+            )
+        });
+        assert_eq!(out.i64_column("sum")[0], expected_sum(&data, -100, 2));
+    }
+
+    let stats = report.stats();
+    assert!(
+        stats.watchdog_fires >= 1,
+        "straggling chunks never tripped the watchdog"
+    );
+    assert!(
+        stats.hedged_launches >= 1,
+        "overrunning chunks never hedged onto the healthy device"
+    );
+    let json = stats.to_json();
+    assert!(
+        json.contains("\"watchdog_fires\":") && json.contains("\"hedged_launches\":"),
+        "straggler counters missing from scheduler JSON: {json}"
+    );
+
+    let heavy = &stats.tenants["heavy"];
+    let light = &stats.tenants["light"];
+    assert!(
+        heavy.contended_run_ns > 0.0 && light.contended_run_ns > 0.0,
+        "tenants never actually contended"
+    );
+    let ratio = heavy.contended_run_ns / light.contended_run_ns;
+    assert!(
+        (1.8..=2.2).contains(&ratio),
+        "2:1 weights should survive a straggling device, got {ratio:.3} \
+         (heavy {:.0} ns vs light {:.0} ns)",
+        heavy.contended_run_ns,
+        light.contended_run_ns
+    );
+    // Hedge duplicates are billed to their owners, not dropped on the
+    // floor: every query completed, so both tenants paid real device time.
+    // (Admission may place some queries on the healthy device outright, so
+    // equal workloads need not cost equal totals here — the fair-share
+    // guarantee is the contended ratio above.)
+    assert_eq!(heavy.completed, per_tenant as u64);
+    assert_eq!(light.completed, per_tenant as u64);
+    assert!(heavy.run_ns > 0.0 && light.run_ns > 0.0);
+}
+
 /// A query whose deadline cannot cover even the cheapest modeled placement
 /// is shed at admission; a generous deadline sails through. Cancelling a
 /// queued query sheds it without running.
