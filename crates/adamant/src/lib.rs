@@ -80,13 +80,14 @@ use adamant_device::fault::FaultPlan;
 use adamant_device::health::{DeviceHealthRegistry, HealthPolicy};
 use adamant_device::profiles::DeviceProfile;
 use adamant_device::sdk::SdkKind;
-use adamant_sched::{QueryScheduler, QuerySpec, SchedReport};
+use adamant_sched::{PreemptPolicy, QueryScheduler, QuerySpec, SchedReport};
 use adamant_task::registry::TaskRegistry;
 
 /// The top-level engine: devices + tasks + executor, ready to run plans.
 pub struct Adamant {
     executor: Executor,
     device_ids: Vec<DeviceId>,
+    preempt: PreemptPolicy,
 }
 
 impl Adamant {
@@ -141,10 +142,25 @@ impl Adamant {
     /// tenants, [`QueryScheduler::submit`] queries, then
     /// [`QueryScheduler::run_all`] to interleave them on the shared
     /// simulated timeline under admission control and weighted fair
-    /// queuing. The session borrows the engine exclusively; drop it to run
-    /// single queries again.
+    /// queuing (and, when enabled on the builder, deadline-driven
+    /// preemption). The session borrows the engine exclusively; drop it to
+    /// run single queries again.
     pub fn session(&mut self) -> QueryScheduler<'_> {
-        QueryScheduler::new(&mut self.executor)
+        let preempt = self.preempt;
+        let mut session = QueryScheduler::new(&mut self.executor);
+        session.preemption(preempt);
+        session
+    }
+
+    /// The preemption policy sessions start with (see
+    /// [`AdamantBuilder::preempt_slack_ns`]).
+    pub fn preempt_policy(&self) -> PreemptPolicy {
+        self.preempt
+    }
+
+    /// Replaces the preemption policy for future sessions.
+    pub fn set_preempt_policy(&mut self, policy: PreemptPolicy) {
+        self.preempt = policy;
     }
 
     /// Convenience for one-tenant concurrency: submits `(tenant, spec)`
@@ -205,6 +221,7 @@ pub struct AdamantBuilder {
     health: Option<HealthPolicy>,
     fault_plans: Vec<(usize, FaultPlan)>,
     tasks: Option<TaskRegistry>,
+    preempt: Option<PreemptPolicy>,
 }
 
 impl AdamantBuilder {
@@ -257,6 +274,24 @@ impl AdamantBuilder {
         self
     }
 
+    /// Enables scheduler-level preemption for `Adamant::session()` with
+    /// `slack_ns` of urgency headroom: a deadline query whose slack
+    /// (`deadline − now − remaining work`) shrinks to this value suspends
+    /// lower-urgency running queries until its own slices drain. `0.0`
+    /// preempts only at the last feasible moment; larger values preempt
+    /// earlier. Disabled by default (pure weighted-fair interleaving).
+    pub fn preempt_slack_ns(mut self, slack_ns: f64) -> Self {
+        self.preempt = Some(PreemptPolicy::with_slack_ns(slack_ns));
+        self
+    }
+
+    /// Full control over the preemption policy (enable flag, urgency slack,
+    /// starvation-horizon multiplier).
+    pub fn preemption(mut self, policy: PreemptPolicy) -> Self {
+        self.preempt = Some(policy);
+        self
+    }
+
     /// Sets the device health policy (circuit-breaker thresholds, cool-down
     /// length). Defaults to [`HealthPolicy::default`].
     pub fn health_policy(mut self, policy: HealthPolicy) -> Self {
@@ -302,6 +337,7 @@ impl AdamantBuilder {
         let mut engine = Adamant {
             executor: Executor::new(tasks, config),
             device_ids: Vec::new(),
+            preempt: self.preempt.unwrap_or_default(),
         };
         if let Some(policy) = self.health {
             engine.executor.set_health_policy(policy);
@@ -345,8 +381,8 @@ pub mod prelude {
         Expr, GroupResult, PlacementPolicy, PlanBuilder, Predicate, Stream,
     };
     pub use adamant_sched::{
-        QueryOutcome, QueryScheduler, QuerySpec, QueryTicket, SchedReport, SchedulerStats,
-        TenantStats,
+        PreemptPolicy, QueryOutcome, QueryScheduler, QuerySpec, QueryTicket, SchedReport,
+        SchedulerStats, TenantStats,
     };
     pub use adamant_storage::prelude::{Bitmap, Catalog, Column, PositionList, Table};
     pub use adamant_task::params::{AggFunc, BitmapOp, CmpOp, MapOp};

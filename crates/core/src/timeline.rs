@@ -63,12 +63,19 @@ pub fn overlapped_makespan(chunks: &[ChunkCost], staging_buffers: usize) -> f64 
 /// minimum active pass (it does not bank credit while idle — the classic
 /// start-time fair queuing rule that keeps the discipline starvation-free).
 ///
+/// Suspension is distinct from idling: a *suspended* stream still has work
+/// but is being preempted by the scheduler, so it keeps its pass frozen.
+/// [`WfqClock::resume`] does not advance it to the active floor the way
+/// [`WfqClock::activate`] does — the stream resumes behind its competitors
+/// and catches up, exactly compensating the service it was denied.
+///
 /// Fully deterministic: ties break on the lowest stream index.
 #[derive(Clone, Debug, Default)]
 pub struct WfqClock {
     weights: Vec<f64>,
     passes: Vec<f64>,
     active: Vec<bool>,
+    suspended: Vec<bool>,
 }
 
 impl WfqClock {
@@ -83,7 +90,20 @@ impl WfqClock {
         self.weights.push(weight.max(1e-9));
         self.passes.push(0.0);
         self.active.push(false);
+        self.suspended.push(false);
         self.weights.len() - 1
+    }
+
+    /// Updates a stream's weight (floored like [`WfqClock::add_stream`]).
+    /// Takes effect on the next charge; the accumulated pass is kept, so a
+    /// re-weighted tenant neither gains nor loses banked service.
+    pub fn set_weight(&mut self, idx: usize, weight: f64) {
+        self.weights[idx] = weight.max(1e-9);
+    }
+
+    /// A stream's current weight.
+    pub fn weight(&self, idx: usize) -> f64 {
+        self.weights[idx]
     }
 
     /// Marks a stream active (it has work queued). A stream re-activating
@@ -105,17 +125,39 @@ impl WfqClock {
         self.active[idx] = true;
     }
 
-    /// Marks a stream idle (no work left).
+    /// Marks a stream idle (no work left). Clears any suspension: an idle
+    /// stream re-enters through [`WfqClock::activate`]'s floor rule.
     pub fn deactivate(&mut self, idx: usize) {
         self.active[idx] = false;
+        self.suspended[idx] = false;
+    }
+
+    /// Suspends a stream *without* deactivating it: the stream still holds
+    /// work (preempted, not idle), keeps its pass frozen, and is skipped by
+    /// [`WfqClock::next_stream`] until [`WfqClock::resume`].
+    pub fn suspend(&mut self, idx: usize) {
+        self.suspended[idx] = true;
+    }
+
+    /// Lifts a suspension. Unlike [`WfqClock::activate`], the pass is NOT
+    /// advanced to the active floor — the preempted stream re-enters behind
+    /// its competitors and catches up the service it was denied.
+    pub fn resume(&mut self, idx: usize) {
+        self.suspended[idx] = false;
+    }
+
+    /// Whether a stream is currently suspended.
+    pub fn is_suspended(&self, idx: usize) -> bool {
+        self.suspended[idx]
     }
 
     /// The active stream that should receive the next slice: minimum pass,
-    /// lowest index on ties. `None` when every stream is idle.
+    /// lowest index on ties, suspended streams skipped. `None` when every
+    /// stream is idle or suspended.
     pub fn next_stream(&self) -> Option<usize> {
         let mut best: Option<(f64, usize)> = None;
         for (i, (&p, &a)) in self.passes.iter().zip(&self.active).enumerate() {
-            if !a {
+            if !a || self.suspended[i] {
                 continue;
             }
             match best {
@@ -251,6 +293,76 @@ mod tests {
             max_streak <= 2,
             "late arrival must not monopolize: streak {max_streak}"
         );
+    }
+
+    #[test]
+    fn wfq_set_weight_takes_effect_immediately() {
+        let mut clock = WfqClock::new();
+        let a = clock.add_stream(1.0);
+        let b = clock.add_stream(1.0);
+        clock.activate(a);
+        clock.activate(b);
+        // Re-weight `a` to 2.0 before any service: it must now receive ≈2×.
+        clock.set_weight(a, 2.0);
+        assert_eq!(clock.weight(a), 2.0);
+        let mut served = [0.0f64; 2];
+        for _ in 0..300 {
+            let s = clock.next_stream().unwrap();
+            clock.charge(s, 10.0);
+            served[s] += 10.0;
+        }
+        let ratio = served[a] / served[b];
+        assert!(
+            (ratio - 2.0).abs() < 0.05,
+            "updated weight must drive service, got {ratio}"
+        );
+        // Floor applies to updates too: zero weight cannot stall the clock.
+        clock.set_weight(b, 0.0);
+        clock.charge(b, 1.0);
+        assert!(clock.weight(b) > 0.0);
+    }
+
+    #[test]
+    fn wfq_suspended_stream_is_skipped_and_catches_up_on_resume() {
+        let mut clock = WfqClock::new();
+        let a = clock.add_stream(1.0);
+        let b = clock.add_stream(1.0);
+        clock.activate(a);
+        clock.activate(b);
+        // Preempt `a`: all service goes to `b`, `a`'s pass stays frozen.
+        clock.suspend(a);
+        assert!(clock.is_suspended(a));
+        for _ in 0..10 {
+            let s = clock.next_stream().unwrap();
+            assert_eq!(s, b, "suspended stream must never be served");
+            clock.charge(s, 10.0);
+        }
+        // Resume without the activate() floor: `a` is behind and catches up
+        // exactly the 100 ns it was denied before `b` is served again.
+        clock.resume(a);
+        assert!(!clock.is_suspended(a));
+        let mut a_catchup = 0.0;
+        loop {
+            let s = clock.next_stream().unwrap();
+            if s != a {
+                break;
+            }
+            clock.charge(s, 10.0);
+            a_catchup += 10.0;
+        }
+        // 100 ns of catch-up brings the passes level; the tie then breaks
+        // on the lowest index, so `a` gets exactly one extra slice.
+        assert_eq!(
+            a_catchup, 110.0,
+            "resumed stream must catch up the denied service"
+        );
+        // Suspending everything leaves the clock with no eligible stream.
+        clock.suspend(a);
+        clock.suspend(b);
+        assert_eq!(clock.next_stream(), None);
+        // Deactivation clears suspension: re-entry goes through activate().
+        clock.deactivate(a);
+        assert!(!clock.is_suspended(a));
     }
 
     #[test]

@@ -65,6 +65,23 @@ impl ReservationLedger {
         }
     }
 
+    /// Releases every outstanding reservation in one pass. O(outstanding),
+    /// not O(tickets ever issued): only tickets the ledger actually tracks
+    /// are touched.
+    pub fn release_outstanding(&mut self, executor: &mut Executor) {
+        let entries = std::mem::take(&mut self.entries);
+        for (device, bytes) in entries.into_values() {
+            if let Ok(dev) = executor.devices_mut().get_mut(device) {
+                dev.pool_mut().admission_release(bytes);
+            }
+        }
+    }
+
+    /// Whether `ticket` currently holds a reservation.
+    pub fn holds(&self, ticket: u64) -> bool {
+        self.entries.contains_key(&ticket)
+    }
+
     /// Bytes currently reserved on `device` across all tickets.
     pub fn reserved_on(&self, device: DeviceId) -> u64 {
         self.entries

@@ -100,6 +100,26 @@ impl AdmissionQueues {
         self.weight(tenant) * (1.0 + waited / self.age_boost_ns)
     }
 
+    /// The aging horizon (modeled ns; `INFINITY` when aging is disabled).
+    pub fn age_boost_ns(&self) -> f64 {
+        self.age_boost_ns
+    }
+
+    /// The starvation signal preemption listens to: true when `entry` has
+    /// waited past `horizon_multiplier ×` the aging horizon at `now_vt`.
+    /// Such a waiter has been overtaken long enough that, once admitted, it
+    /// is treated as urgent and may preempt running queries. Always false
+    /// when aging is disabled (`age_boost_ns == INFINITY`).
+    pub fn crossed_starvation_horizon(
+        &self,
+        entry: &QueuedEntry,
+        now_vt: f64,
+        horizon_multiplier: f64,
+    ) -> bool {
+        let waited = (now_vt - entry.submit_vt).max(0.0);
+        waited >= self.age_boost_ns * horizon_multiplier.max(0.0)
+    }
+
     /// The next admission candidate at `now_vt`: the head-of-line entry of
     /// the tenant with the highest effective weight; ties broken by
     /// earliest deadline (EDF, `None` last), then submission order.
@@ -201,6 +221,18 @@ mod tests {
         f.push("b", entry(2, 1, 0.0, None));
         f.push("a", entry(1, 2, 0.0, None));
         assert_eq!(f.peek_candidate(0.0).unwrap().1.seq, 1);
+    }
+
+    #[test]
+    fn starvation_horizon_scales_with_age_boost() {
+        let q = AdmissionQueues::new(1_000.0);
+        let e = entry(1, 1, 0.0, None);
+        assert!(!q.crossed_starvation_horizon(&e, 3_999.0, 4.0));
+        assert!(q.crossed_starvation_horizon(&e, 4_000.0, 4.0));
+        // Disabled aging never reports starvation.
+        let off = AdmissionQueues::new(0.0);
+        assert_eq!(off.age_boost_ns(), f64::INFINITY);
+        assert!(!off.crossed_starvation_horizon(&e, 1e18, 4.0));
     }
 
     #[test]

@@ -17,6 +17,17 @@
 //! capacity, so concurrent queries cannot OOM each other (ISSUE 3's
 //! admission-control requirement). Queued queries age multiplicatively so
 //! no tenant starves, with earliest-deadline-first among equal priorities.
+//!
+//! With a [`PreemptPolicy`] enabled, the slice-serving loop additionally
+//! preempts: when an active query turns *urgent* (its deadline slack has
+//! shrunk below the policy's `slack_ns`, or it was admitted after crossing
+//! the starvation horizon), every lower-urgency active query is suspended —
+//! remaining slices parked, tenant WFQ pass frozen — until the urgent
+//! slices drain, after which the suspended queries resume and catch up the
+//! service they were denied. Either way a completed query whose finish time
+//! exceeded its own deadline is reported `Completed { missed_deadline:
+//! true }` and counted in `SchedulerStats::deadline_misses`, never as
+//! silent success.
 
 use crate::estimate::estimate_footprint_bytes;
 use crate::ledger::ReservationLedger;
@@ -36,6 +47,52 @@ use std::collections::{BTreeMap, VecDeque};
 /// Default aging horizon: waiting this many modeled ns doubles a queued
 /// query's effective weight (≈10 ms of simulated time).
 pub const DEFAULT_AGE_BOOST_NS: f64 = 1e7;
+
+/// Scheduler-level preemption policy: whether (and how eagerly) a
+/// tight-deadline query — or a waiter that crossed the starvation horizon —
+/// may suspend lower-urgency running queries so its slices drain first.
+///
+/// Suspension parks a query's remaining `slice_ns` without losing fairness
+/// accounting: suspended time is not charged as `run_ns`, the suspended
+/// tenant's WFQ pass stays frozen (`WfqClock::suspend`), and on resume the
+/// tenant catches up exactly the service it was denied. Disabled by
+/// default, preserving pure WFQ interleaving.
+#[derive(Clone, Copy, Debug)]
+pub struct PreemptPolicy {
+    /// Master switch; `false` means never suspend anyone.
+    pub enabled: bool,
+    /// Urgency headroom: a deadline query turns urgent once
+    /// `deadline − now − remaining_work ≤ slack_ns`. Larger slack preempts
+    /// earlier; `0.0` preempts only when any further interleaving would
+    /// push the query past its deadline.
+    pub slack_ns: f64,
+    /// A query admitted after waiting more than `starve_multiplier ×` the
+    /// queue's aging horizon is treated as urgent too (the aged-waiter
+    /// trigger); never fires when aging is disabled.
+    pub starve_multiplier: f64,
+}
+
+impl Default for PreemptPolicy {
+    fn default() -> Self {
+        PreemptPolicy {
+            enabled: false,
+            slack_ns: 0.0,
+            starve_multiplier: 4.0,
+        }
+    }
+}
+
+impl PreemptPolicy {
+    /// Preemption enabled with `slack_ns` of urgency headroom and the
+    /// default starvation horizon.
+    pub fn with_slack_ns(slack_ns: f64) -> Self {
+        PreemptPolicy {
+            enabled: true,
+            slack_ns: slack_ns.max(0.0),
+            ..PreemptPolicy::default()
+        }
+    }
+}
 
 /// One query submission: the plan, its inputs, and per-query scheduling
 /// knobs.
@@ -129,6 +186,11 @@ pub enum QueryOutcome {
         wait_ns: f64,
         /// Virtual time on the shared timeline when the query finished.
         finish_ns: f64,
+        /// True when the query had a deadline and `finish_ns` exceeded it:
+        /// admitted in time, but WFQ interleaving pushed it past its budget.
+        /// Counted in [`crate::SchedulerStats::deadline_misses`] — a late
+        /// completion is never reported as silent success.
+        missed_deadline: bool,
     },
     /// Admitted but failed during execution.
     Failed {
@@ -181,6 +243,25 @@ impl SchedReport {
         }
     }
 
+    /// Whether a completed ticket finished past its own deadline (`None`
+    /// for any non-completed outcome).
+    pub fn missed_deadline(&self, ticket: QueryTicket) -> Option<bool> {
+        match self.outcomes.get(&ticket.0) {
+            Some(QueryOutcome::Completed {
+                missed_deadline, ..
+            }) => Some(*missed_deadline),
+            _ => None,
+        }
+    }
+
+    /// Virtual finish time for one completed ticket.
+    pub fn finish_ns(&self, ticket: QueryTicket) -> Option<f64> {
+        match self.outcomes.get(&ticket.0) {
+            Some(QueryOutcome::Completed { finish_ns, .. }) => Some(*finish_ns),
+            _ => None,
+        }
+    }
+
     /// All outcomes, keyed by raw ticket number.
     pub fn outcomes(&self) -> &BTreeMap<u64, QueryOutcome> {
         &self.outcomes
@@ -199,9 +280,31 @@ struct Active {
     device: DeviceId,
     admit_seq: u64,
     slices: VecDeque<f64>,
+    /// Cached `slices` sum, decremented as slices serve (urgency checks
+    /// run every loop iteration; re-summing would be quadratic).
+    remaining_ns: f64,
+    /// Absolute deadline on the shared timeline, if any.
+    deadline_vt: Option<f64>,
+    /// Parked by preemption: slices stay queued, no service, no `run_ns`.
+    suspended: bool,
+    /// Admitted after crossing the starvation horizon: urgent for life.
+    aged_urgent: bool,
     output: QueryOutput,
     stats: Box<ExecutionStats>,
     wait_ns: f64,
+}
+
+impl Active {
+    /// Urgency at `now_ns`: an aged waiter, or a deadline query whose slack
+    /// (`deadline − now − remaining work`) has shrunk to `slack_ns` or
+    /// less. Monotone: serving the query itself keeps its slack constant,
+    /// serving anyone else shrinks it — once urgent, always urgent.
+    fn urgent(&self, now_ns: f64, slack_ns: f64) -> bool {
+        self.aged_urgent
+            || self
+                .deadline_vt
+                .is_some_and(|d| d - now_ns - self.remaining_ns <= slack_ns)
+    }
 }
 
 /// Schedules many queries over one executor: admission control against the
@@ -221,6 +324,7 @@ pub struct QueryScheduler<'e> {
     next_ticket: u64,
     next_seq: u64,
     now_ns: f64,
+    preempt: PreemptPolicy,
     stats: SchedulerStats,
 }
 
@@ -243,8 +347,26 @@ impl<'e> QueryScheduler<'e> {
             next_ticket: 1,
             next_seq: 1,
             now_ns: 0.0,
+            preempt: PreemptPolicy::default(),
             stats: SchedulerStats::default(),
         }
+    }
+
+    /// Sets the preemption policy for subsequent [`QueryScheduler::run_all`]
+    /// calls (see [`PreemptPolicy`]; disabled by default).
+    pub fn preemption(&mut self, policy: PreemptPolicy) -> &mut Self {
+        self.preempt = policy;
+        self
+    }
+
+    /// The current preemption policy.
+    pub fn preempt_policy(&self) -> PreemptPolicy {
+        self.preempt
+    }
+
+    /// Reservations currently outstanding in the admission ledger.
+    pub fn outstanding_reservations(&self) -> usize {
+        self.ledger.outstanding()
     }
 
     /// Registers `name` with a fair-share `weight`. Unregistered tenants
@@ -349,10 +471,18 @@ impl<'e> QueryScheduler<'e> {
                 continue;
             }
 
-            // Serve one slice to the WFQ-chosen tenant's oldest admitted
-            // query.
+            // Preemption: (re)classify urgency at the current virtual time —
+            // suspend lower-urgency queries while any urgent query is
+            // active, resume them once the urgent work drains — and mirror
+            // per-query suspension onto the tenants' WFQ streams.
+            if self.preempt.enabled {
+                self.apply_preemption(&mut active);
+            }
+
+            // Serve one slice to the WFQ-chosen tenant's next eligible
+            // admitted query (suspended streams are skipped by the clock).
             let Some(stream) = self.wfq.next_stream() else {
-                debug_assert!(false, "active queries but no active WFQ stream");
+                debug_assert!(false, "active queries but no servable WFQ stream");
                 break;
             };
             let tenant = self
@@ -367,14 +497,33 @@ impl<'e> QueryScheduler<'e> {
                 names.dedup();
                 names.len() >= 2
             };
-            let idx = active
-                .iter()
-                .enumerate()
-                .filter(|(_, a)| a.tenant == tenant)
-                .min_by_key(|(_, a)| a.admit_seq)
-                .map(|(i, _)| i)
-                .expect("active stream has an active query");
+            let idx = if self.preempt.enabled {
+                // Within the chosen tenant: non-suspended queries only,
+                // earliest deadline first, then admission order — so when a
+                // tenant holds both an urgent and a parked query, the
+                // urgent one's slices drain first.
+                active
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| a.tenant == tenant && !a.suspended)
+                    .min_by(|(_, x), (_, y)| {
+                        let dx = x.deadline_vt.unwrap_or(f64::INFINITY);
+                        let dy = y.deadline_vt.unwrap_or(f64::INFINITY);
+                        dx.total_cmp(&dy).then(x.admit_seq.cmp(&y.admit_seq))
+                    })
+                    .map(|(i, _)| i)
+                    .expect("servable stream has a non-suspended query")
+            } else {
+                active
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, a)| a.tenant == tenant)
+                    .min_by_key(|(_, a)| a.admit_seq)
+                    .map(|(i, _)| i)
+                    .expect("active stream has an active query")
+            };
             let slice = active[idx].slices.pop_front().unwrap_or(0.0);
+            active[idx].remaining_ns = (active[idx].remaining_ns - slice).max(0.0);
             self.now_ns += slice;
             self.wfq.charge(stream, slice);
             self.stats.slices += 1;
@@ -391,8 +540,18 @@ impl<'e> QueryScheduler<'e> {
                 let done = active.swap_remove(idx);
                 self.ledger.release(self.executor, done.ticket);
                 self.stats.completed += 1;
+                // Deadline-exact accounting: a query that was admitted in
+                // time but finished late is a counted miss, not a silent
+                // success.
+                let missed = done.deadline_vt.is_some_and(|d| self.now_ns > d);
+                if missed {
+                    self.stats.deadline_misses += 1;
+                }
                 let t = self.stats.tenants.entry(done.tenant.clone()).or_default();
                 t.completed += 1;
+                if missed {
+                    t.deadline_misses += 1;
+                }
                 outcomes.insert(
                     done.ticket,
                     QueryOutcome::Completed {
@@ -400,6 +559,7 @@ impl<'e> QueryScheduler<'e> {
                         stats: done.stats,
                         wait_ns: done.wait_ns,
                         finish_ns: self.now_ns,
+                        missed_deadline: missed,
                     },
                 );
                 if !active.iter().any(|a| a.tenant == done.tenant) {
@@ -416,11 +576,62 @@ impl<'e> QueryScheduler<'e> {
 
     fn ensure_stream(&mut self, tenant: &str, weight: f64) -> usize {
         if let Some(&s) = self.streams.get(tenant) {
+            // Re-registration must reach the clock too: the early return
+            // used to leave the existing stream on its original weight,
+            // silently ignoring `tenant()`'s documented weight update.
+            self.wfq.set_weight(s, weight);
             return s;
         }
         let s = self.wfq.add_stream(weight);
         self.streams.insert(tenant.to_string(), s);
         s
+    }
+
+    /// One preemption pass at the current virtual time: while any active
+    /// query is urgent, every non-urgent active query is suspended (its
+    /// remaining slices parked, accruing no `run_ns`); once no urgency
+    /// remains, everything suspended is resumed. A tenant's WFQ stream is
+    /// suspended exactly when all of its active queries are — via
+    /// `WfqClock::suspend`, which freezes the pass instead of deactivating,
+    /// so resumed tenants catch up precisely the service they were denied.
+    fn apply_preemption(&mut self, active: &mut [Active]) {
+        let now = self.now_ns;
+        let slack = self.preempt.slack_ns;
+        let any_urgent = active.iter().any(|a| a.urgent(now, slack));
+        for a in active.iter_mut() {
+            let urgent = a.urgent(now, slack);
+            if any_urgent && !urgent && !a.suspended {
+                a.suspended = true;
+                self.stats.preemptions += 1;
+                let t = self.stats.tenants.entry(a.tenant.clone()).or_default();
+                t.preemptions += 1;
+            } else if a.suspended && (urgent || !any_urgent) {
+                // An urgent query never stays parked (its own deadline is
+                // at risk), and once the urgent work drains everyone comes
+                // back.
+                a.suspended = false;
+                self.stats.resumed += 1;
+            }
+        }
+        // Mirror query suspension onto streams: servable iff the tenant has
+        // at least one runnable (non-suspended) active query.
+        let wfq = &mut self.wfq;
+        for (tenant, &stream) in &self.streams {
+            let mut has_any = false;
+            let mut runnable = false;
+            for a in active.iter().filter(|a| &a.tenant == tenant) {
+                has_any = true;
+                runnable |= !a.suspended;
+            }
+            if !has_any {
+                continue;
+            }
+            if runnable {
+                wfq.resume(stream);
+            } else {
+                wfq.suspend(stream);
+            }
+        }
     }
 
     /// Tries to admit the head-of-line candidate. `Started` hands back a
@@ -506,6 +717,14 @@ impl<'e> QueryScheduler<'e> {
 
         // Admitted. Execute for real (results must be exact); the modeled
         // time lands on the shared timeline slice by slice.
+        // A waiter admitted past the starvation horizon carries urgency in
+        // with it (the aged-waiter preemption trigger).
+        let aged_urgent = self.preempt.enabled
+            && self.queues.crossed_starvation_horizon(
+                entry,
+                self.now_ns,
+                self.preempt.starve_multiplier,
+            );
         self.queues.pop(tenant);
         let spec = self.pending.remove(&entry.ticket).expect("pending spec");
         let wait_ns = (self.now_ns - entry.submit_vt).max(0.0);
@@ -534,12 +753,17 @@ impl<'e> QueryScheduler<'e> {
                 } else {
                     stats.slice_ns.iter().copied().collect()
                 };
+                let remaining_ns = slices.iter().sum();
                 Admit::Started(Box::new(Active {
                     ticket: entry.ticket,
                     tenant: tenant.to_string(),
                     device,
                     admit_seq: 0,
                     slices,
+                    remaining_ns,
+                    deadline_vt: entry.deadline_vt,
+                    suspended: false,
+                    aged_urgent,
                     output,
                     stats: Box::new(stats),
                     wait_ns,
@@ -691,12 +915,10 @@ impl<'e> QueryScheduler<'e> {
     }
 
     /// Releases any reservations still outstanding (defensive; `run_all`
-    /// releases on every exit path).
+    /// releases on every exit path). O(outstanding reservations), not
+    /// O(tickets ever issued): the ledger walks only what it still tracks.
     pub fn release_all(&mut self) -> Result<()> {
-        let outstanding: Vec<u64> = (1..self.next_ticket).collect();
-        for t in outstanding {
-            self.ledger.release(self.executor, t);
-        }
+        self.ledger.release_outstanding(self.executor);
         Ok(())
     }
 }

@@ -32,6 +32,13 @@ pub struct TenantStats {
     pub contended_run_ns: f64,
     /// Highest number of queries this tenant had queued at once.
     pub max_queue_depth: usize,
+    /// Times one of this tenant's running queries was suspended by a
+    /// higher-urgency query (its remaining slices parked until resume).
+    pub preemptions: u64,
+    /// Queries that completed *after* their own deadline (admitted in time
+    /// but finished late under contention — never silent: the outcome
+    /// carries `missed_deadline: true`).
+    pub deadline_misses: u64,
 }
 
 /// Aggregate scheduler statistics.
@@ -68,6 +75,17 @@ pub struct SchedulerStats {
     /// Checksum-mismatch retransmits across all executed queries (silent
     /// transfer corruption caught by the hub's end-to-end verification).
     pub corruption_retransmits: u64,
+    /// Running queries suspended so a higher-urgency (tight-deadline or
+    /// starvation-horizon) query's slices could drain first.
+    pub preemptions: u64,
+    /// Suspended queries resumed after the urgent work drained (every
+    /// preemption is eventually matched by a resume or a completion).
+    pub resumed: u64,
+    /// Queries that completed past their own deadline. With preemption on,
+    /// urgent queries are prioritized to avoid this; any residue is
+    /// surfaced on the outcome (`Completed { missed_deadline: true }`), not
+    /// reported as silent success.
+    pub deadline_misses: u64,
     /// Per-tenant breakdown, keyed by tenant name (deterministic order).
     pub tenants: BTreeMap<String, TenantStats>,
 }
@@ -96,6 +114,9 @@ impl SchedulerStats {
             ",\"corruption_retransmits\":{}",
             self.corruption_retransmits
         ));
+        s.push_str(&format!(",\"preemptions\":{}", self.preemptions));
+        s.push_str(&format!(",\"resumed\":{}", self.resumed));
+        s.push_str(&format!(",\"deadline_misses\":{}", self.deadline_misses));
         s.push_str(",\"tenants\":{");
         let mut first = true;
         for (name, t) in &self.tenants {
@@ -106,7 +127,8 @@ impl SchedulerStats {
             s.push_str(&format!(
                 "\"{}\":{{\"weight\":{:.3},\"submitted\":{},\"completed\":{},\
                  \"failed\":{},\"shed\":{},\"rejected\":{},\"wait_ns\":{:.1},\
-                 \"run_ns\":{:.1},\"contended_run_ns\":{:.1},\"max_queue_depth\":{}}}",
+                 \"run_ns\":{:.1},\"contended_run_ns\":{:.1},\"max_queue_depth\":{},\
+                 \"preemptions\":{},\"deadline_misses\":{}}}",
                 escape(name),
                 t.weight,
                 t.submitted,
@@ -117,7 +139,9 @@ impl SchedulerStats {
                 t.wait_ns,
                 t.run_ns,
                 t.contended_run_ns,
-                t.max_queue_depth
+                t.max_queue_depth,
+                t.preemptions,
+                t.deadline_misses
             ));
         }
         s.push_str("}}");
@@ -148,6 +172,9 @@ mod tests {
             hedged_launches: 3,
             hedge_wins: 2,
             corruption_retransmits: 5,
+            preemptions: 3,
+            resumed: 3,
+            deadline_misses: 1,
             ..Default::default()
         };
         stats.tenants.insert(
@@ -180,6 +207,9 @@ mod tests {
         assert!(json.contains("\"hedged_launches\":3"));
         assert!(json.contains("\"hedge_wins\":2"));
         assert!(json.contains("\"corruption_retransmits\":5"));
+        assert!(json.contains("\"preemptions\":3"));
+        assert!(json.contains("\"resumed\":3"));
+        assert!(json.contains("\"deadline_misses\":1"));
         assert!(json.contains("\"wait_ns\":500.0"));
         assert!(json.contains("\"contended_run_ns\":100.0"));
         assert_eq!(json, stats.to_json(), "export must be deterministic");

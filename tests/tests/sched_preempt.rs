@@ -1,0 +1,673 @@
+//! Scheduler-level preemption: a tight-deadline query suspends
+//! lower-urgency running queries at chunk granularity, meets its deadline,
+//! and the suspended queries resume without losing fairness accounting or
+//! result exactness. Also the regression suite for the fair-share
+//! weight-update and completed-past-deadline bugs, and the ledger's
+//! O(outstanding) release.
+//!
+//! The CI `preempt` job shards the seeded soak through `PREEMPT_SEED`
+//! (mirroring `SCHED_SEED`/`INTEGRITY_SEED`), randomizing arrival order ×
+//! deadlines × preemption on/off and asserting no completed query silently
+//! misses its deadline.
+
+use adamant::prelude::*;
+use adamant::sched::ReservationLedger;
+use adamant::storage::Rng;
+
+fn filter_map_sum(dev: DeviceId, threshold: i64, factor: i64) -> PrimitiveGraph {
+    let mut pb = PlanBuilder::new(dev);
+    let mut s = pb.scan("t", &["x"]);
+    s.filter(&mut pb, Predicate::cmp("x", CmpOp::Ge, threshold))
+        .unwrap();
+    s.project(&mut pb, "y", Expr::col("x").mul(Expr::lit(factor)))
+        .unwrap();
+    let y = s.materialized(&mut pb, "y").unwrap();
+    let sum = pb.agg_block(y, AggFunc::Sum, "sum");
+    pb.output("sum", sum);
+    pb.build().unwrap()
+}
+
+fn test_data(n: i64) -> Vec<i64> {
+    (0..n).map(|i| (i * 37 + 11) % 500 - 250).collect()
+}
+
+fn expected_sum(data: &[i64], threshold: i64, factor: i64) -> i64 {
+    data.iter()
+        .filter(|&&v| v >= threshold)
+        .map(|v| v * factor)
+        .sum()
+}
+
+fn engine() -> Adamant {
+    Adamant::builder()
+        .chunk_rows(100)
+        .device(DeviceProfile::cuda_rtx2080ti())
+        .build()
+        .unwrap()
+}
+
+/// The rt query's solo modeled runtime on a fresh engine — the baseline
+/// both deadline choices below are derived from.
+fn solo_ns(data: &[i64], threshold: i64, factor: i64) -> f64 {
+    let mut e = engine();
+    let dev = e.device_ids()[0];
+    let mut inputs = QueryInputs::new();
+    inputs.bind("x", data.to_vec());
+    let (_, stats) = e
+        .run(
+            &filter_map_sum(dev, threshold, factor),
+            &inputs,
+            ExecutionModel::Chunked,
+        )
+        .unwrap();
+    // The scheduler serves exactly the recorded per-chunk slices, so the
+    // slice sum — not total_ns — is the query's service demand on the
+    // shared timeline.
+    if stats.slice_ns.is_empty() {
+        stats.total_ns
+    } else {
+        stats.slice_ns.iter().sum()
+    }
+}
+
+/// One bulk-vs-realtime contention run. The bulk tenant's long query and
+/// the rt tenant's small deadline query are both admitted at vt 0; under
+/// pure WFQ the rt query finishes at ≈2× its work and misses, with
+/// preemption it drains first and meets.
+fn contention_run(
+    data_bulk: &[i64],
+    data_rt: &[i64],
+    deadline_ns: f64,
+    preempt: Option<f64>,
+) -> (SchedReport, QueryTicket, QueryTicket) {
+    let mut e = engine();
+    if let Some(slack) = preempt {
+        e.set_preempt_policy(PreemptPolicy::with_slack_ns(slack));
+    }
+    let dev = e.device_ids()[0];
+    let mut bulk_inputs = QueryInputs::new();
+    bulk_inputs.bind("x", data_bulk.to_vec());
+    let mut rt_inputs = QueryInputs::new();
+    rt_inputs.bind("x", data_rt.to_vec());
+
+    let mut session = e.session();
+    session.tenant("bulk", 1.0).tenant("rt", 1.0);
+    let bulk = session.submit(
+        "bulk",
+        QuerySpec::new(
+            filter_map_sum(dev, -100, 2),
+            bulk_inputs,
+            ExecutionModel::Chunked,
+        ),
+    );
+    let rt = session.submit(
+        "rt",
+        QuerySpec::new(
+            filter_map_sum(dev, 0, 3),
+            rt_inputs,
+            ExecutionModel::Chunked,
+        )
+        .with_deadline_ns(deadline_ns),
+    );
+    (session.run_all(), bulk, rt)
+}
+
+/// The acceptance A/B: the same tight-deadline query submitted behind a
+/// long-running tenant misses its deadline under pure WFQ interleaving and
+/// meets it with preemption enabled — both configurations reference-exact,
+/// with `preemptions`/`deadline_misses` surfaced in the stats JSON.
+#[test]
+fn tight_deadline_met_only_with_preemption() {
+    let data_bulk = test_data(6_000);
+    let data_rt = test_data(1_000);
+    let rt_solo = solo_ns(&data_rt, 0, 3);
+    // Comfortably above the solo cost, comfortably below the ≈2× finish
+    // that 1:1 interleaving with the (longer) bulk query forces.
+    let deadline = 1.5 * rt_solo;
+
+    // A: preemption disabled — admitted in time, finishes late, and the
+    // miss is *reported*, not silent (the completed-past-deadline bugfix).
+    let (report, bulk, rt) = contention_run(&data_bulk, &data_rt, deadline, None);
+    assert_eq!(
+        report
+            .output(bulk)
+            .expect("bulk completes")
+            .i64_column("sum")[0],
+        expected_sum(&data_bulk, -100, 2)
+    );
+    assert_eq!(
+        report.output(rt).expect("rt completes").i64_column("sum")[0],
+        expected_sum(&data_rt, 0, 3)
+    );
+    assert!(
+        report.finish_ns(rt).unwrap() > deadline,
+        "without preemption the rt query must finish late (finish {} vs deadline {})",
+        report.finish_ns(rt).unwrap(),
+        deadline
+    );
+    assert_eq!(
+        report.missed_deadline(rt),
+        Some(true),
+        "late completion must carry missed_deadline"
+    );
+    assert_eq!(report.stats().deadline_misses, 1);
+    assert_eq!(report.stats().preemptions, 0);
+    assert_eq!(report.stats().tenants["rt"].deadline_misses, 1);
+    let json = report.stats().to_json();
+    assert!(
+        json.contains("\"deadline_misses\":1") && json.contains("\"preemptions\":0"),
+        "counters missing from JSON: {json}"
+    );
+
+    // B: preemption enabled — the bulk query is suspended, the rt slices
+    // drain first, the deadline is met, and the bulk query still completes
+    // reference-exact after resuming.
+    let (report, bulk, rt) = contention_run(&data_bulk, &data_rt, deadline, Some(deadline));
+    assert_eq!(
+        report
+            .output(bulk)
+            .expect("bulk completes")
+            .i64_column("sum")[0],
+        expected_sum(&data_bulk, -100, 2)
+    );
+    assert_eq!(
+        report.output(rt).expect("rt completes").i64_column("sum")[0],
+        expected_sum(&data_rt, 0, 3)
+    );
+    assert!(
+        report.finish_ns(rt).unwrap() <= deadline,
+        "with preemption the rt query must meet its deadline (finish {} vs deadline {})",
+        report.finish_ns(rt).unwrap(),
+        deadline
+    );
+    assert_eq!(report.missed_deadline(rt), Some(false));
+    let stats = report.stats();
+    assert_eq!(stats.deadline_misses, 0);
+    assert!(stats.preemptions >= 1, "the bulk query was never suspended");
+    assert!(stats.resumed >= 1, "the bulk query was never resumed");
+    assert!(stats.tenants["bulk"].preemptions >= 1);
+    let json = stats.to_json();
+    assert!(
+        json.contains("\"preemptions\":") && json.contains("\"resumed\":"),
+        "preemption counters missing from JSON: {json}"
+    );
+}
+
+/// Suspension is bookkeeping-clean: every preemption is matched by a
+/// resume by drain time, suspended time is not charged as `run_ns` (equal
+/// workloads still cost equal totals), and all queries stay exact.
+#[test]
+fn suspended_queries_resume_and_accounting_balances() {
+    let data_bulk = test_data(4_000);
+    let data_rt = test_data(800);
+    let rt_solo = solo_ns(&data_rt, 0, 3);
+    let deadline = 1.5 * rt_solo;
+
+    let mut e = engine();
+    e.set_preempt_policy(PreemptPolicy::with_slack_ns(deadline));
+    let dev = e.device_ids()[0];
+    let mut bulk_inputs = QueryInputs::new();
+    bulk_inputs.bind("x", data_bulk.clone());
+    let mut rt_inputs = QueryInputs::new();
+    rt_inputs.bind("x", data_rt.clone());
+
+    let mut session = e.session();
+    session
+        .tenant("bulk-a", 1.0)
+        .tenant("bulk-b", 1.0)
+        .tenant("rt", 1.0);
+    let mut bulks = Vec::new();
+    for tenant in ["bulk-a", "bulk-b"] {
+        bulks.push((
+            tenant,
+            session.submit(
+                tenant,
+                QuerySpec::new(
+                    filter_map_sum(dev, -100, 2),
+                    bulk_inputs.clone(),
+                    ExecutionModel::Chunked,
+                ),
+            ),
+        ));
+    }
+    let rt = session.submit(
+        "rt",
+        QuerySpec::new(
+            filter_map_sum(dev, 0, 3),
+            rt_inputs,
+            ExecutionModel::Chunked,
+        )
+        .with_deadline_ns(deadline),
+    );
+    let report = session.run_all();
+
+    for (tenant, t) in &bulks {
+        let out = report
+            .output(*t)
+            .unwrap_or_else(|| panic!("{tenant} must complete: {:?}", report.outcome(*t)));
+        assert_eq!(
+            out.i64_column("sum")[0],
+            expected_sum(&data_bulk, -100, 2),
+            "{tenant} diverged after suspension"
+        );
+    }
+    assert_eq!(report.missed_deadline(rt), Some(false));
+
+    let stats = report.stats();
+    // Both bulk tenants were parked while the rt slices drained.
+    assert!(stats.preemptions >= 2);
+    assert_eq!(
+        stats.preemptions, stats.resumed,
+        "every suspension must be matched by a resume once the run drains"
+    );
+    // Suspended time charges no run_ns: the two identical bulk workloads
+    // still cost identical totals.
+    let a = &stats.tenants["bulk-a"];
+    let b = &stats.tenants["bulk-b"];
+    let ratio = a.run_ns / b.run_ns;
+    assert!(
+        (0.99..=1.01).contains(&ratio),
+        "equal bulk workloads must cost equal device time, got {ratio:.3}"
+    );
+
+    // Books balanced: nothing reserved, nothing leaked.
+    drop(session);
+    let pool = e.executor().devices().get(dev).unwrap().pool();
+    assert_eq!(pool.admission_reserved(), 0);
+    assert_eq!(pool.used(), 0);
+}
+
+/// With preemption enabled but no urgent queries in the mix, the fair-share
+/// guarantee is untouched: 2:1 weights still yield ≈2× contended device
+/// time and zero preemption events.
+#[test]
+fn fair_share_holds_with_preemption_enabled() {
+    let data = test_data(3_000);
+    let mut e = Adamant::builder()
+        .chunk_rows(100)
+        .device(DeviceProfile::cuda_rtx2080ti())
+        .preempt_slack_ns(1e6)
+        .build()
+        .unwrap();
+    let dev = e.device_ids()[0];
+    let mut inputs = QueryInputs::new();
+    inputs.bind("x", data.clone());
+
+    let mut session = e.session();
+    assert!(session.preempt_policy().enabled);
+    session.tenant("heavy", 2.0).tenant("light", 1.0);
+    let mut tickets = Vec::new();
+    for _ in 0..5 {
+        for tenant in ["heavy", "light"] {
+            tickets.push(session.submit(
+                tenant,
+                QuerySpec::new(
+                    filter_map_sum(dev, -100, 2),
+                    inputs.clone(),
+                    ExecutionModel::Chunked,
+                ),
+            ));
+        }
+    }
+    let report = session.run_all();
+    for t in &tickets {
+        let out = report.output(*t).expect("all queries complete");
+        assert_eq!(out.i64_column("sum")[0], expected_sum(&data, -100, 2));
+    }
+    let stats = report.stats();
+    assert_eq!(
+        stats.preemptions, 0,
+        "no deadlines, no starvation: preemption must stay dormant"
+    );
+    let ratio = stats.tenants["heavy"].contended_run_ns / stats.tenants["light"].contended_run_ns;
+    assert!(
+        (1.8..=2.2).contains(&ratio),
+        "2:1 weights must survive an enabled-but-dormant preempter, got {ratio:.3}"
+    );
+}
+
+/// Regression (fair-share weight-update bug): re-registering a tenant's
+/// weight mid-session must reach the WFQ clock. On the seed tree
+/// `ensure_stream` returned early with the old stream and the second batch
+/// below still ran at the stale 1:1 ratio.
+#[test]
+fn reregistered_weight_updates_fair_share_mid_session() {
+    let data = test_data(3_000);
+    let mut e = engine();
+    let dev = e.device_ids()[0];
+    let mut inputs = QueryInputs::new();
+    inputs.bind("x", data.clone());
+
+    let mut session = e.session();
+    session.tenant("heavy", 1.0).tenant("light", 1.0);
+    let submit_batch = |session: &mut QueryScheduler| {
+        let mut tickets = Vec::new();
+        for _ in 0..5 {
+            for tenant in ["heavy", "light"] {
+                tickets.push(session.submit(
+                    tenant,
+                    QuerySpec::new(
+                        filter_map_sum(dev, -100, 2),
+                        inputs.clone(),
+                        ExecutionModel::Chunked,
+                    ),
+                ));
+            }
+        }
+        tickets
+    };
+
+    // Batch 1 at 1:1.
+    let batch1 = submit_batch(&mut session);
+    let report1 = session.run_all();
+    for t in &batch1 {
+        assert!(report1.output(*t).is_some(), "batch-1 query must complete");
+    }
+    let first = report1.stats().clone();
+    let ratio1 = first.tenants["heavy"].contended_run_ns / first.tenants["light"].contended_run_ns;
+    assert!(
+        (0.9..=1.1).contains(&ratio1),
+        "1:1 batch must split evenly, got {ratio1:.3}"
+    );
+
+    // Re-register heavy at 3.0 — the documented contract says this updates
+    // future scheduling decisions — then run an identical batch.
+    session.tenant("heavy", 3.0);
+    let batch2 = submit_batch(&mut session);
+    let report2 = session.run_all();
+    for t in &batch2 {
+        assert!(report2.output(*t).is_some(), "batch-2 query must complete");
+    }
+    let second = report2.stats();
+    let d_heavy =
+        second.tenants["heavy"].contended_run_ns - first.tenants["heavy"].contended_run_ns;
+    let d_light =
+        second.tenants["light"].contended_run_ns - first.tenants["light"].contended_run_ns;
+    let ratio2 = d_heavy / d_light;
+    assert!(
+        (2.6..=3.4).contains(&ratio2),
+        "re-registered 3:1 weight must reach the WFQ clock, got {ratio2:.3} \
+         (stale-stream bug would leave this at ≈1.0)"
+    );
+}
+
+/// Regression (ledger): a failed admission leaves no reservation behind,
+/// and `release_all` releases exactly the outstanding set (O(outstanding),
+/// not a walk over every ticket ever issued).
+#[test]
+fn failed_admission_holds_no_reservation_and_release_all_drains() {
+    let data = test_data(300);
+    let mut e = Adamant::builder()
+        .chunk_rows(100)
+        .device(DeviceProfile::cuda_rtx2080ti().with_memory(128 << 10, 32 << 10))
+        .build()
+        .unwrap();
+    let dev = e.device_ids()[0];
+
+    // Ledger-level: a reservation that does not fit fails cleanly and
+    // leaves the ledger untracked.
+    {
+        let mut ledger = ReservationLedger::new();
+        let exec = e.executor_mut();
+        assert!(ledger.reserve(exec, dev, 1, 1 << 30).is_err());
+        assert!(!ledger.holds(1), "failed reservation must not be tracked");
+        assert_eq!(ledger.outstanding(), 0);
+        assert!(ledger.reserve(exec, dev, 2, 16 << 10).is_ok());
+        assert!(ledger.holds(2));
+        assert_eq!(ledger.outstanding(), 1);
+        ledger.release_outstanding(exec);
+        assert_eq!(ledger.outstanding(), 0);
+        assert_eq!(
+            e.executor()
+                .devices()
+                .get(dev)
+                .unwrap()
+                .pool()
+                .admission_reserved(),
+            0
+        );
+    }
+
+    // Scheduler-level: an over-capacity submission is rejected; its ticket
+    // holds nothing afterwards, and release_all on a session with many
+    // historical tickets only touches the (empty) outstanding set.
+    let mut inputs = QueryInputs::new();
+    inputs.bind("x", data.clone());
+    let mut session = e.session();
+    for _ in 0..20 {
+        session.submit(
+            "t",
+            QuerySpec::new(
+                filter_map_sum(dev, 0, 2),
+                inputs.clone(),
+                ExecutionModel::Chunked,
+            ),
+        );
+    }
+    let whale = session.submit(
+        "t",
+        QuerySpec::new(
+            filter_map_sum(dev, 0, 2),
+            inputs.clone(),
+            ExecutionModel::Chunked,
+        )
+        .with_footprint(1 << 30),
+    );
+    let report = session.run_all();
+    assert!(matches!(
+        report.outcome(whale),
+        Some(QueryOutcome::Rejected { .. })
+    ));
+    assert_eq!(
+        session.outstanding_reservations(),
+        0,
+        "failed admission left a reservation in the ledger"
+    );
+    session.release_all().unwrap();
+    assert_eq!(session.outstanding_reservations(), 0);
+    drop(session);
+    let pool = e.executor().devices().get(dev).unwrap().pool();
+    assert_eq!(pool.admission_reserved(), 0, "reservation leaked");
+}
+
+/// Identical configurations replay identically: byte-identical stats JSON
+/// and identical outcome classes across two runs with preemption enabled.
+#[test]
+fn preemption_is_deterministic_across_identical_runs() {
+    let data_bulk = test_data(4_000);
+    let data_rt = test_data(800);
+    let deadline = 1.5 * solo_ns(&data_rt, 0, 3);
+    let run = || {
+        let (report, bulk, rt) = contention_run(&data_bulk, &data_rt, deadline, Some(deadline));
+        (
+            report.stats().to_json(),
+            report.finish_ns(bulk),
+            report.finish_ns(rt),
+            report.missed_deadline(rt),
+        )
+    };
+    let first = run();
+    let second = run();
+    assert_eq!(first, second, "preemption broke determinism");
+}
+
+// ---------------------------------------------------------------------------
+// Seeded soak (PREEMPT_SEED CI shard)
+// ---------------------------------------------------------------------------
+
+const DEFAULT_SEEDS: [u64; 3] = [1, 7, 42];
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("PREEMPT_SEED") {
+        Ok(s) => vec![s
+            .trim()
+            .parse()
+            .expect("PREEMPT_SEED must be an unsigned integer")],
+        Err(_) => DEFAULT_SEEDS.to_vec(),
+    }
+}
+
+/// Query mix drawn per seed: tenant × workload class; deadlines and arrival
+/// order are randomized from the seed.
+const SOAK_MIX: [(&str, i64, i64, i64); 6] = [
+    ("alpha", 2_000, -100, 2),
+    ("beta", 500, 0, 3),
+    ("alpha", 1_000, 50, 5),
+    ("gamma", 1_500, -200, 1),
+    ("beta", 800, 120, 7),
+    ("gamma", 600, 10, 4),
+];
+
+/// One seeded soak run: shuffled arrival order, randomized deadlines,
+/// preemption on or off. Returns per-query `(sum, finish, deadline,
+/// missed_flag)` plus the stats JSON.
+#[allow(clippy::type_complexity)]
+fn soak_run(
+    seed: u64,
+    preempt_on: bool,
+) -> (Vec<(i64, Option<f64>, Option<f64>, Option<bool>)>, String) {
+    let mut rng = Rng::new(seed.wrapping_mul(2) + preempt_on as u64);
+    let mut e = Adamant::builder()
+        .chunk_rows(100)
+        .device(DeviceProfile::cuda_rtx2080ti())
+        .build()
+        .unwrap();
+    if preempt_on {
+        e.set_preempt_policy(PreemptPolicy::with_slack_ns(1e7));
+    }
+    let dev = e.device_ids()[0];
+
+    // Seed-shuffled arrival order (Fisher–Yates on indices).
+    let mut order: Vec<usize> = (0..SOAK_MIX.len()).collect();
+    for i in (1..order.len()).rev() {
+        let j = rng.gen_range(0..=i as u64) as usize;
+        order.swap(i, j);
+    }
+
+    let mut session = e.session();
+    session
+        .tenant("alpha", 2.0)
+        .tenant("beta", 1.0)
+        .tenant("gamma", 1.0);
+    let mut submitted = Vec::new();
+    for &i in &order {
+        let (tenant, rows, threshold, factor) = SOAK_MIX[i];
+        let data = test_data(rows);
+        let mut inputs = QueryInputs::new();
+        inputs.bind("x", data.clone());
+        // Half the queries carry a deadline drawn wide enough that some
+        // meet and some miss, across seeds.
+        let deadline = if rng.gen_bool(0.5) {
+            Some(rng.gen_range(2_000_000u64..40_000_000u64) as f64)
+        } else {
+            None
+        };
+        let mut spec = QuerySpec::new(
+            filter_map_sum(dev, threshold, factor),
+            inputs,
+            ExecutionModel::Chunked,
+        );
+        if let Some(d) = deadline {
+            spec = spec.with_deadline_ns(d);
+        }
+        let ticket = session.submit(tenant, spec);
+        submitted.push((i, deadline, ticket, expected_sum(&data, threshold, factor)));
+    }
+    let report = session.run_all();
+
+    let mut results = Vec::new();
+    let mut observed_misses = 0u64;
+    for (_, deadline, ticket, expect) in &submitted {
+        match report.outcome(*ticket) {
+            Some(QueryOutcome::Completed {
+                output,
+                finish_ns,
+                missed_deadline,
+                ..
+            }) => {
+                assert_eq!(
+                    output.i64_column("sum")[0],
+                    *expect,
+                    "seed {seed}: completed query diverged from reference"
+                );
+                // The deadline-exactness invariant: a completed query is
+                // flagged as missed IFF it actually finished past its own
+                // deadline — never a silent miss, never a false alarm.
+                let really_missed = deadline.is_some_and(|d| *finish_ns > d);
+                assert_eq!(
+                    *missed_deadline, really_missed,
+                    "seed {seed}: missed_deadline flag disagrees with finish \
+                     {finish_ns} vs deadline {deadline:?}"
+                );
+                observed_misses += missed_deadline.then_some(1).unwrap_or(0);
+                results.push((*expect, Some(*finish_ns), *deadline, Some(*missed_deadline)));
+            }
+            Some(QueryOutcome::Shed { .. }) => {
+                assert!(
+                    deadline.is_some(),
+                    "seed {seed}: only deadline queries may shed"
+                );
+                results.push((*expect, None, *deadline, None));
+            }
+            Some(QueryOutcome::Failed { error }) => {
+                // A query whose solo modeled time exceeds its remaining
+                // budget aborts mid-run; that is a clean typed failure, not
+                // a silent miss.
+                assert!(
+                    matches!(error, ExecError::DeadlineExceeded { .. }),
+                    "seed {seed}: unexpected failure class: {error}"
+                );
+                assert!(deadline.is_some());
+                results.push((*expect, None, *deadline, None));
+            }
+            other => panic!("seed {seed}: unexpected outcome {other:?}"),
+        }
+    }
+    let stats = report.stats();
+    assert_eq!(
+        stats.deadline_misses, observed_misses,
+        "seed {seed}: aggregate miss counter out of sync with outcomes"
+    );
+    assert_eq!(
+        stats.preemptions, stats.resumed,
+        "seed {seed}: unbalanced suspend/resume after drain"
+    );
+    if !preempt_on {
+        assert_eq!(
+            stats.preemptions, 0,
+            "seed {seed}: preemption while disabled"
+        );
+    }
+    let json = stats.to_json();
+    drop(report);
+    drop(session);
+
+    for &d in e.device_ids() {
+        let pool = e.executor().devices().get(d).unwrap().pool();
+        assert_eq!(pool.used(), 0, "seed {seed}: leaked bytes on {d}");
+        assert_eq!(
+            pool.admission_reserved(),
+            0,
+            "seed {seed}: leaked reservation on {d}"
+        );
+    }
+    (results, json)
+}
+
+#[test]
+fn seeded_preempt_soak_no_silent_misses_and_deterministic() {
+    for seed in seeds() {
+        for preempt_on in [false, true] {
+            let (first, first_json) = soak_run(seed, preempt_on);
+            let (second, second_json) = soak_run(seed, preempt_on);
+            assert_eq!(
+                first, second,
+                "seed {seed} preempt={preempt_on}: outcomes flipped"
+            );
+            assert_eq!(
+                first_json, second_json,
+                "seed {seed} preempt={preempt_on}: stats drifted between identical runs"
+            );
+        }
+    }
+}
