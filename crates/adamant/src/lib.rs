@@ -73,6 +73,7 @@ use adamant_core::error::Result;
 use adamant_core::executor::{CancelToken, Executor, ExecutorConfig, QueryInputs, RetryPolicy};
 use adamant_core::graph::PrimitiveGraph;
 use adamant_core::models::ExecutionModel;
+use adamant_core::residency::ResidencyConfig;
 use adamant_core::result::QueryOutput;
 use adamant_core::stats::ExecutionStats;
 use adamant_device::device::{Device, DeviceId};
@@ -222,6 +223,7 @@ pub struct AdamantBuilder {
     fault_plans: Vec<(usize, FaultPlan)>,
     tasks: Option<TaskRegistry>,
     preempt: Option<PreemptPolicy>,
+    residency: Option<ResidencyConfig>,
 }
 
 impl AdamantBuilder {
@@ -313,6 +315,16 @@ impl AdamantBuilder {
         self
     }
 
+    /// Enables the cross-query residency cache: input columns stay pinned
+    /// device-side between runs (up to the configured per-device budget),
+    /// served without re-transfer on later queries and evicted
+    /// LRU-by-modeled-transfer-cost under memory or admission pressure.
+    /// Disabled by default.
+    pub fn residency_cache(mut self, config: ResidencyConfig) -> Self {
+        self.residency = Some(config);
+        self
+    }
+
     /// Builds the engine.
     pub fn build(self) -> Result<Adamant> {
         let tasks = self.tasks.unwrap_or_else(|| {
@@ -351,6 +363,9 @@ impl AdamantBuilder {
         for (index, plan) in self.fault_plans {
             engine.set_fault_plan(index, plan)?;
         }
+        if let Some(residency) = self.residency {
+            engine.executor.set_residency_cache(residency);
+        }
         Ok(engine)
     }
 }
@@ -364,6 +379,7 @@ pub mod prelude {
     };
     pub use adamant_core::graph::{DataRef, GraphBuilder, NodeParams, PrimitiveGraph};
     pub use adamant_core::models::ExecutionModel;
+    pub use adamant_core::residency::{ResidencyCache, ResidencyConfig, ResidencyCounters};
     pub use adamant_core::result::{OutputData, QueryOutput};
     pub use adamant_core::stats::ExecutionStats;
     pub use adamant_core::ExecError;

@@ -1,0 +1,376 @@
+//! Schema check for the `BENCH_*.json` perf-trajectory files — the jq-free
+//! gate used by the `bench-trajectory` CI job.
+//!
+//! Validates, for each of `BENCH_fig03.json` / `BENCH_fig11.json` /
+//! `BENCH_table02.json` (in the directory given as the first argument,
+//! default `.`):
+//!
+//! - the envelope: `benchmark` matches the file name, `schema_version` is
+//!   the current [`adamant_bench::BENCH_SCHEMA_VERSION`], `unit` is
+//!   `modeled_ns`, and `rows` is a non-empty array of objects;
+//! - for fig11: the `cold_warm` section exists and the warm run's modeled
+//!   time is strictly below the cold run's — with a nonzero cache-hit
+//!   counter — for at least 4 queries (the steady-state acceptance bar).
+//!
+//! Exits nonzero with a diagnostic on any violation.
+//!
+//! Run: `cargo run --release -p adamant-bench --bin check_bench_json [dir]`
+
+use std::collections::BTreeMap;
+
+/// Minimal JSON value for the restricted grammar the reporters emit.
+#[derive(Debug)]
+enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any numeric literal, held as `f64`.
+    Num(f64),
+    /// A string literal (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (key order irrelevant for validation).
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+    fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(v) => Some(*v),
+            _ => None,
+        }
+    }
+    fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    s: &'a [u8],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Self {
+        Parser {
+            s: s.as_bytes(),
+            i: 0,
+        }
+    }
+
+    fn err(&self, msg: &str) -> String {
+        format!("{msg} at byte {}", self.i)
+    }
+
+    fn ws(&mut self) {
+        while self.i < self.s.len() && self.s[self.i].is_ascii_whitespace() {
+            self.i += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.s.get(self.i).copied()
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        self.ws();
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn lit(&mut self, word: &str) -> Result<(), String> {
+        if self.s[self.i..].starts_with(word.as_bytes()) {
+            self.i += word.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.lit("true").map(|_| Json::Bool(true)),
+            Some(b'f') => self.lit("false").map(|_| Json::Bool(false)),
+            Some(b'n') => self.lit("null").map(|_| Json::Null),
+            Some(_) => self.number(),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut map = BTreeMap::new();
+        self.ws();
+        if self.peek() == Some(b'}') {
+            self.i += 1;
+            return Ok(Json::Obj(map));
+        }
+        loop {
+            self.ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            map.insert(key, self.value()?);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b'}') => {
+                    self.i += 1;
+                    return Ok(Json::Obj(map));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut out = Vec::new();
+        self.ws();
+        if self.peek() == Some(b']') {
+            self.i += 1;
+            return Ok(Json::Arr(out));
+        }
+        loop {
+            out.push(self.value()?);
+            self.ws();
+            match self.peek() {
+                Some(b',') => self.i += 1,
+                Some(b']') => {
+                    self.i += 1;
+                    return Ok(Json::Arr(out));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        if self.peek() != Some(b'"') {
+            return Err(self.err("expected '\"'"));
+        }
+        self.i += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.i += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .s
+                                .get(self.i + 1..self.i + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u"))?,
+                                16,
+                            )
+                            .map_err(|_| self.err("bad \\u"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.i += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.i += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (the input is valid UTF-8).
+                    let rest = std::str::from_utf8(&self.s[self.i..])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.i;
+        while self
+            .peek()
+            .is_some_and(|c| c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E'))
+        {
+            self.i += 1;
+        }
+        std::str::from_utf8(&self.s[start..self.i])
+            .ok()
+            .and_then(|t| t.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+
+    fn parse(mut self) -> Result<Json, String> {
+        let v = self.value()?;
+        self.ws();
+        if self.i != self.s.len() {
+            return Err(self.err("trailing garbage"));
+        }
+        Ok(v)
+    }
+}
+
+/// Loads one `BENCH_<name>.json`, validates the envelope, returns the rows.
+fn load(dir: &std::path::Path, name: &str) -> Result<Vec<Json>, String> {
+    let path = dir.join(format!("BENCH_{name}.json"));
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("{}: {e} (run the bench bins first)", path.display()))?;
+    let root = Parser::new(&text)
+        .parse()
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    let bench = root
+        .get("benchmark")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{name}: missing 'benchmark'"))?;
+    if bench != name {
+        return Err(format!("{name}: benchmark field is '{bench}'"));
+    }
+    let ver = root
+        .get("schema_version")
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("{name}: missing 'schema_version'"))?;
+    if ver != adamant_bench::BENCH_SCHEMA_VERSION as f64 {
+        return Err(format!(
+            "{name}: schema_version {ver} (expected {})",
+            adamant_bench::BENCH_SCHEMA_VERSION
+        ));
+    }
+    let unit = root
+        .get("unit")
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("{name}: missing 'unit'"))?;
+    if unit != "modeled_ns" {
+        return Err(format!("{name}: unit '{unit}' (expected 'modeled_ns')"));
+    }
+    let rows = root
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{name}: missing 'rows' array"))?;
+    if rows.is_empty() {
+        return Err(format!("{name}: rows is empty"));
+    }
+    for (i, r) in rows.iter().enumerate() {
+        if !matches!(r, Json::Obj(_)) {
+            return Err(format!("{name}: row {i} is not an object"));
+        }
+    }
+    println!("BENCH_{name}.json: envelope ok, {} rows", rows.len());
+    Ok(rows.iter().map(clone_json).collect())
+}
+
+fn clone_json(v: &Json) -> Json {
+    match v {
+        Json::Null => Json::Null,
+        Json::Bool(b) => Json::Bool(*b),
+        Json::Num(n) => Json::Num(*n),
+        Json::Str(s) => Json::Str(s.clone()),
+        Json::Arr(a) => Json::Arr(a.iter().map(clone_json).collect()),
+        Json::Obj(m) => Json::Obj(m.iter().map(|(k, v)| (k.clone(), clone_json(v))).collect()),
+    }
+}
+
+/// The fig11 steady-state gate: ≥ 4 queries with warm < cold and hits > 0.
+fn check_fig11(rows: &[Json]) -> Result<(), String> {
+    let cold_warm: Vec<&Json> = rows
+        .iter()
+        .filter(|r| r.get("section").and_then(Json::as_str) == Some("cold_warm"))
+        .collect();
+    if cold_warm.is_empty() {
+        return Err("fig11: no 'cold_warm' rows".into());
+    }
+    let mut wins = 0usize;
+    for r in &cold_warm {
+        let q = r.get("query").and_then(Json::as_str).unwrap_or("?");
+        let cold = r
+            .get("cold_ns")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("fig11 {q}: missing cold_ns"))?;
+        let warm = r
+            .get("warm_ns")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("fig11 {q}: missing warm_ns"))?;
+        let hits = r
+            .get("cache_hits")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("fig11 {q}: missing cache_hits"))?;
+        if warm < cold && hits > 0.0 {
+            wins += 1;
+        }
+    }
+    if wins < 4 {
+        return Err(format!(
+            "fig11: warm < cold with cache hits on only {wins}/{} queries (need >= 4)",
+            cold_warm.len()
+        ));
+    }
+    println!(
+        "BENCH_fig11.json: steady-state gate ok ({wins}/{} queries warm < cold with hits)",
+        cold_warm.len()
+    );
+    Ok(())
+}
+
+fn main() {
+    let dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
+    let dir = std::path::PathBuf::from(dir);
+    let mut failed = false;
+    let mut fig11_rows = None;
+    for name in ["fig03", "fig11", "table02"] {
+        match load(&dir, name) {
+            Ok(rows) => {
+                if name == "fig11" {
+                    fig11_rows = Some(rows);
+                }
+            }
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                failed = true;
+            }
+        }
+    }
+    if let Some(rows) = fig11_rows {
+        if let Err(e) = check_fig11(&rows) {
+            eprintln!("FAIL: {e}");
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("all BENCH_*.json files pass schema + steady-state checks");
+}

@@ -7,14 +7,18 @@
 //! `retrieve_data` into pageable and pinned staging), and effective
 //! bandwidth is computed from the clock's modeled durations.
 //!
+//! Emits `BENCH_fig03.json` (one row per size × driver × mode × direction)
+//! alongside the markdown tables.
+//!
 //! Run: `cargo run --release -p adamant-bench --bin fig03_bandwidth`
 
 use adamant::prelude::*;
-use adamant_bench::{gibs, Report};
+use adamant_bench::{gibs, jnum, jobj, jstr, write_bench_json, Report};
 
 fn main() {
     println!("# Figure 3 — transfer bandwidth (CUDA vs OpenCL, RTX 2080 Ti class)");
     let sizes_mib: [u64; 6] = [1, 4, 16, 64, 128, 256];
+    let mut json_rows: Vec<String> = Vec::new();
 
     for direction in ["H2D", "D2H"] {
         let mut report = Report::new(&[
@@ -55,12 +59,26 @@ fn main() {
                     let elapsed =
                         dev.clock().total_ns() - if direction == "H2D" { before } else { 0.0 };
                     cells.push(gibs(bytes, elapsed));
+                    json_rows.push(jobj(&[
+                        ("driver", jstr(&profile.name)),
+                        ("direction", jstr(direction)),
+                        ("mode", jstr(if pinned { "pinned" } else { "pageable" })),
+                        ("mib", mib.to_string()),
+                        ("modeled_ns", jnum(elapsed)),
+                        (
+                            "gibs",
+                            jnum(bytes as f64 / (1u64 << 30) as f64 / (elapsed / 1e9)),
+                        ),
+                    ]));
                 }
             }
             report.row(cells);
         }
         report.print(&format!("{direction} effective bandwidth (GiB/s)"));
     }
+
+    let path = write_bench_json("fig03", &json_rows).expect("write BENCH_fig03.json");
+    println!("\nwrote {}", path.display());
 
     println!(
         "\nShape check vs paper: CUDA > OpenCL at every size; pinned ≈ 2x pageable;\n\

@@ -1,9 +1,12 @@
 //! Table II — the evaluated environments, as simulated device profiles.
 //!
+//! Emits `BENCH_table02.json` (one row per profile, calibrated parameters)
+//! alongside the markdown table.
+//!
 //! Run: `cargo run --release -p adamant-bench --bin table02_profiles`
 
 use adamant::prelude::*;
-use adamant_bench::Report;
+use adamant_bench::{jnum, jobj, jstr, write_bench_json, Report};
 
 fn main() {
     println!("# Table II — simulated device/driver profiles");
@@ -19,6 +22,7 @@ fn main() {
         "per-arg (µs)",
         "runtime JIT",
     ]);
+    let mut json_rows: Vec<String> = Vec::new();
     for p in DeviceProfile::setup1()
         .into_iter()
         .chain(DeviceProfile::setup2())
@@ -35,8 +39,24 @@ fn main() {
             format!("{:.2}", p.cost.per_arg_overhead_ns / 1000.0),
             format!("{}", p.supports_compilation),
         ]);
+        json_rows.push(jobj(&[
+            ("profile", jstr(&p.name)),
+            ("kind", jstr(&format!("{:?}", p.kind))),
+            ("sdk", jstr(&p.sdk.to_string())),
+            ("memory_bytes", p.memory_capacity.to_string()),
+            ("h2d_pageable_gibs", jnum(p.cost.h2d_pageable_gibs)),
+            ("h2d_pinned_gibs", jnum(p.cost.h2d_pinned_gibs)),
+            ("mem_bandwidth_gibs", jnum(p.cost.mem_bandwidth_gibs)),
+            ("launch_overhead_ns", jnum(p.cost.launch_overhead_ns)),
+            ("per_arg_overhead_ns", jnum(p.cost.per_arg_overhead_ns)),
+            ("runtime_jit", p.supports_compilation.to_string()),
+        ]));
     }
     rep.print("calibrated profiles (Setup 1 = i7-8700 + RTX 2080 Ti class, Setup 2 = Xeon 5220R + A100 class)");
+
+    let path = write_bench_json("table02", &json_rows).expect("write BENCH_table02.json");
+    println!("\nwrote {}", path.display());
+
     println!(
         "\nPaper Table II lists the physical machines; these profiles are their\n\
          simulated stand-ins (calibration rationale in crates/device/src/profiles.rs)."

@@ -149,6 +149,70 @@ impl Report {
     }
 }
 
+// ---- machine-readable trajectory reports --------------------------------
+//
+// Each figure bin additionally emits a `BENCH_<name>.json` next to the
+// markdown table, so successive commits leave a comparable perf trajectory.
+// Hand-rolled JSON like the rest of the workspace (std-only, no format
+// crate); the `check_bench_json` bin validates the schema in CI.
+
+/// Schema version stamped into every `BENCH_*.json`.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Quotes and escapes a JSON string.
+pub fn jstr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Formats an `f64` as a JSON number (non-finite values become 0 — JSON has
+/// no NaN/Infinity).
+pub fn jnum(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.1}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+/// Builds one JSON object from pre-rendered `(key, value)` pairs (values
+/// must already be valid JSON fragments).
+pub fn jobj(fields: &[(&str, String)]) -> String {
+    let body: Vec<String> = fields
+        .iter()
+        .map(|(k, v)| format!("{}:{v}", jstr(k)))
+        .collect();
+    format!("{{{}}}", body.join(","))
+}
+
+/// Writes `BENCH_<name>.json` into the current directory (the repo root
+/// when run via `cargo run`): a schema-versioned envelope around the bin's
+/// result rows. Returns the path written.
+pub fn write_bench_json(name: &str, rows: &[String]) -> std::io::Result<std::path::PathBuf> {
+    let payload = jobj(&[
+        ("benchmark", jstr(name)),
+        ("schema_version", BENCH_SCHEMA_VERSION.to_string()),
+        ("unit", jstr("modeled_ns")),
+        ("rows", format!("[{}]", rows.join(","))),
+    ]);
+    let path = std::path::PathBuf::from(format!("BENCH_{name}.json"));
+    std::fs::write(&path, payload + "\n")?;
+    Ok(path)
+}
+
 /// Formats nanoseconds as milliseconds with 2 decimals.
 pub fn ms(ns: f64) -> String {
     format!("{:.2}", ns / 1e6)
@@ -190,6 +254,17 @@ mod tests {
         assert_eq!(ms(2_500_000.0), "2.50");
         assert_eq!(gips(1 << 30, 1e9), "1.000");
         assert_eq!(gibs(1 << 30, 1e9), "1.00");
+    }
+
+    #[test]
+    fn json_helpers_render_valid_fragments() {
+        assert_eq!(jstr("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(jnum(1.25), "1.2");
+        assert_eq!(jnum(f64::NAN), "0.0");
+        assert_eq!(jnum(f64::INFINITY), "0.0");
+        let o = jobj(&[("x", "1".into()), ("s", jstr("hi"))]);
+        assert_eq!(o, "{\"x\":1,\"s\":\"hi\"}");
+        assert_eq!(o.matches('{').count(), o.matches('}').count());
     }
 
     #[test]

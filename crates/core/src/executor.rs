@@ -13,6 +13,7 @@ use crate::graph::{DataRef, PrimitiveGraph, PrimitiveNode};
 use crate::hub::DataTransferHub;
 use crate::models::{ExecutionModel, ModelConfig};
 use crate::pipeline::{Pipeline, PipelineSet};
+use crate::residency::{ResidencyCache, ResidencyConfig};
 use crate::result::{OutputData, QueryOutput};
 use crate::stats::ExecutionStats;
 use crate::timeline::{overlapped_makespan, ChunkCost};
@@ -238,6 +239,11 @@ impl QueryInputs {
     pub fn is_empty(&self) -> bool {
         self.cols.is_empty()
     }
+
+    /// Iterates bound `(name, column)` pairs in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Arc<Vec<i64>>)> {
+        self.cols.iter().map(|(n, c)| (n.as_str(), c))
+    }
 }
 
 /// The ADAMANT executor: plugged devices + task registry + configuration,
@@ -248,6 +254,7 @@ pub struct Executor {
     config: ExecutorConfig,
     health: DeviceHealthRegistry,
     last_stats: Option<ExecutionStats>,
+    residency: Option<ResidencyCache>,
 }
 
 impl Executor {
@@ -259,6 +266,7 @@ impl Executor {
             config,
             health: DeviceHealthRegistry::default(),
             last_stats: None,
+            residency: None,
         }
     }
 
@@ -355,6 +363,61 @@ impl Executor {
         Ok(())
     }
 
+    /// Enables the cross-query residency cache: hot input columns stay
+    /// pinned device-side between runs (up to `config.max_bytes_per_device`
+    /// per device), with LRU-by-modeled-transfer-cost eviction. Replaces
+    /// any previous cache, freeing its pins.
+    pub fn set_residency_cache(&mut self, config: ResidencyConfig) {
+        self.clear_residency();
+        self.residency = Some(ResidencyCache::new(config));
+    }
+
+    /// The residency cache, if enabled (read-only; counters and pins).
+    pub fn residency_cache(&self) -> Option<&ResidencyCache> {
+        self.residency.as_ref()
+    }
+
+    /// Drops the residency cache and frees every pinned buffer it holds,
+    /// releasing the admission bytes reserved against each device pool.
+    pub fn clear_residency(&mut self) {
+        if let Some(mut cache) = self.residency.take() {
+            cache.clear(&mut self.devices);
+        }
+    }
+
+    /// Evicts residency pins on `device` until at least `bytes` of
+    /// admission budget is available (or no pins remain). Returns the bytes
+    /// freed. The scheduler's reservation ledger calls this before failing
+    /// an admission so cache pins always yield to query reservations —
+    /// pins can starve, admissions cannot.
+    pub fn evict_residency_for_admission(&mut self, device: DeviceId, bytes: u64) -> u64 {
+        match self.residency.as_mut() {
+            Some(cache) => cache.evict_for_admission(&mut self.devices, device, bytes),
+            None => 0,
+        }
+    }
+
+    /// Bytes of residency pins on `device` that admission pressure could
+    /// reclaim.
+    pub fn residency_evictable_bytes(&self, device: DeviceId) -> u64 {
+        self.residency
+            .as_ref()
+            .map_or(0, |c| c.pinned_bytes_on(device))
+    }
+
+    /// Bytes of `inputs` already resident on `device` via the cache —
+    /// transfers the next run of this query would not pay. Placement uses
+    /// this to discount modeled transfer cost for cache-warm devices.
+    pub fn residency_resident_bytes(&self, device: DeviceId, inputs: &QueryInputs) -> u64 {
+        let Some(cache) = self.residency.as_ref() else {
+            return 0;
+        };
+        inputs
+            .iter()
+            .map(|(name, col)| cache.resident_bytes(device, name, col))
+            .sum()
+    }
+
     /// Executes `graph` over `inputs` under `model`.
     ///
     /// Returns exact query outputs plus the modeled execution statistics.
@@ -426,6 +489,16 @@ impl Executor {
         // devices to avoid as transfer sources.
         self.apply_health_placement(&mut graph, &pipelines, &mut stats);
         hub.set_quarantined(self.health.quarantined_ids().into_iter().collect());
+        // Lend the cross-query residency cache to this run's hub. Pins on
+        // quarantined devices are invalidated up front — a tripped device's
+        // contents are not trusted, and holding the pins would leak their
+        // admission charge if the device later resets.
+        if let Some(mut cache) = self.residency.take() {
+            for dev in self.health.quarantined_ids() {
+                cache.invalidate_device(&mut self.devices, dev);
+            }
+            hub.install_cache(cache);
+        }
         let control = RunControl {
             deadline_ns,
             cancel: cancel.clone(),
@@ -466,8 +539,20 @@ impl Executor {
                 self.health.record_corruption(dev);
             }
         }
-        // Delete phase: free everything this run created.
+        stats.rollback_delete_errors += hub.take_rollback_delete_errors();
+        // Delete phase: free everything this run created. Cache pins are not
+        // run-created and survive into the next run.
         hub.delete_all(&mut self.devices);
+        if let Some(mut cache) = hub.take_cache() {
+            let c = cache.take_counters();
+            stats.cache_hits += c.hits;
+            stats.cache_misses += c.misses;
+            stats.cache_evictions += c.evictions;
+            stats.cache_invalidations += c.invalidations;
+            stats.cache_saved_transfer_ns += c.saved_transfer_ns;
+            stats.cache_pinned_bytes = cache.total_pinned_bytes();
+            self.residency = Some(cache);
+        }
         for id in self.devices.ids() {
             tally.drain_serial(self.devices.get_mut(id)?.as_mut(), &mut stats);
         }
@@ -761,6 +846,20 @@ impl Executor {
             if verdict.kernel_tripped {
                 stats.kernel_breaker_trips += 1;
             }
+            // Residency pins on the failing devices are part of the fault
+            // domain: an OOM retry needs the memory back, a tripped breaker
+            // or corrupted link means the device's contents are not trusted.
+            // Invalidate instead of leaking them into the next attempt.
+            let cache_affected = verdict.device_tripped
+                || matches!(&err, ExecError::TransferCorrupted { .. })
+                || matches!(&err, ExecError::Device(de) if is_oom(de))
+                || matches!(&err,
+                    ExecError::KernelFailed { source, .. } if is_oom(source));
+            if cache_affected {
+                for &d in &attempt_devs {
+                    hub.evict_cache_on(&mut self.devices, d);
+                }
+            }
 
             if attempt >= retry.max_attempts.max(1) {
                 return Err(err);
@@ -981,7 +1080,7 @@ impl Executor {
                     DataRef::Input(i) => {
                         let gi = &graph.inputs()[i];
                         let col = inputs.get(&gi.name).expect("validated");
-                        hub.load_whole_input(&mut self.devices, input, node.device, col)?
+                        hub.load_whole_input(&mut self.devices, input, node.device, &gi.name, col)?
                     }
                     DataRef::Output { .. } => hub.router(&mut self.devices, input, node.device)?,
                 };
@@ -1434,7 +1533,26 @@ impl Executor {
             devices_for_input.sort_unstable();
             for dev_id in devices_for_input {
                 let id = staging[&(input_idx, dev_id, slot)];
-                hub.place_verified(&mut self.devices, dev_id, id, payload.clone(), 0)?;
+                // A residency-cached copy of the scan column serves the
+                // chunk with a device-internal copy instead of a fresh
+                // host→device upload; otherwise fall back to the verified
+                // transfer path.
+                let gi = &graph.inputs()[input_idx];
+                let from_cache = match inputs.get(&gi.name) {
+                    Some(col) => hub.stage_chunk_from_cache(
+                        &mut self.devices,
+                        dev_id,
+                        id,
+                        &gi.name,
+                        col,
+                        offset,
+                        len,
+                    )?,
+                    None => false,
+                };
+                if !from_cache {
+                    hub.place_verified(&mut self.devices, dev_id, id, payload.clone(), 0)?;
+                }
                 uploaded.insert((input_idx, dev_id), id);
                 let (t, c, o, k) = tally.drain_split(self.devices.get_mut(dev_id)?.as_mut());
                 cost.transfer_ns += t + o;
@@ -1498,7 +1616,13 @@ impl Executor {
                                 .get(&gi.name)
                                 .ok_or_else(|| ExecError::MissingInput(gi.name.clone()))?
                                 .clone();
-                            hub.load_whole_input(&mut self.devices, input, node.device, &col)?
+                            hub.load_whole_input(
+                                &mut self.devices,
+                                input,
+                                node.device,
+                                &gi.name,
+                                &col,
+                            )?
                         }
                     }
                     DataRef::Output { .. } => {
@@ -1769,7 +1893,7 @@ impl Executor {
                                     .get(&gi.name)
                                     .ok_or_else(|| ExecError::MissingInput(gi.name.clone()))?
                                     .clone();
-                                hub.load_whole_input(&mut self.devices, input, alt, &col)?
+                                hub.load_whole_input(&mut self.devices, input, alt, &gi.name, &col)?
                             }
                         }
                         DataRef::Output { .. } => match hedge_out.get(&input) {

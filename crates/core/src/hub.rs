@@ -16,15 +16,17 @@
 
 use crate::error::{ExecError, Result};
 use crate::graph::{DataRef, NodeParams, PrimitiveNode};
+use crate::residency::ResidencyCache;
 use adamant_device::buffer::{BufferData, BufferId};
 use adamant_device::clock::Lane;
 use adamant_device::device::DeviceId;
+use adamant_device::error::DeviceError;
 use adamant_device::registry::DeviceRegistry;
 use adamant_storage::bitmap::Bitmap;
 use adamant_task::container::DataContainer;
 use adamant_task::primitive::PrimitiveKind;
 use adamant_task::semantics::DataSemantic;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Host-side accumulation of per-chunk results.
 #[derive(Debug)]
@@ -129,11 +131,29 @@ pub struct DataTransferHub {
     /// Next expected chunk offset per host accumulation — chunks must
     /// arrive in order, contiguously.
     host_offsets: HashMap<DataRef, usize>,
-    /// Every buffer created per device, for the delete phase.
+    /// Every buffer created per device, in creation order. Append-only so
+    /// [`DataTransferHub::mark`] positions stay stable; [`Self::release`]
+    /// clears `live` membership instead of splicing this list.
     created: Vec<(DeviceId, BufferId)>,
+    /// Created buffers not yet freed. The delete phase and rollback only
+    /// delete buffers still in here, so a mid-run `release` can never lead
+    /// to a double free.
+    live: BTreeSet<(DeviceId, BufferId)>,
+    /// Reverse residency index: `(device, buffer) -> data refs resident in
+    /// it`. Keeps [`Self::release`] O(log n) per buffer instead of a full
+    /// scan of the residency map.
+    by_buffer: BTreeMap<(DeviceId, BufferId), Vec<DataRef>>,
+    /// Work counter for the release paths: entries examined while
+    /// untracking. Tests assert bulk eviction does bounded work with this
+    /// (a counter, not a wall clock).
+    release_probes: u64,
+    /// `delete_memory` failures during rollback that were *not* the
+    /// tolerated died-mid-allocation case (see
+    /// [`DataTransferHub::rollback_to`]).
+    rollback_delete_errors: usize,
     /// Devices quarantined by the health registry: the router avoids them
     /// as transfer sources while any healthy copy exists.
-    quarantined: std::collections::BTreeSet<DeviceId>,
+    quarantined: BTreeSet<DeviceId>,
     /// Transfers whose source was re-picked away from a quarantined holder.
     quarantine_skips: usize,
     /// Maximum transmissions of one payload before a checksum mismatch
@@ -141,7 +161,10 @@ pub struct DataTransferHub {
     retransmit_budget: u32,
     /// Retransmits caused by checksum mismatches, per device, since the
     /// last [`DataTransferHub::take_corruption_retransmits`] drain.
-    corruption_log: std::collections::BTreeMap<DeviceId, u64>,
+    corruption_log: BTreeMap<DeviceId, u64>,
+    /// The cross-query residency cache, lent by the executor for the
+    /// duration of one run (`None` when caching is disabled).
+    cache: Option<ResidencyCache>,
 }
 
 impl Default for DataTransferHub {
@@ -152,10 +175,15 @@ impl Default for DataTransferHub {
             host: HashMap::new(),
             host_offsets: HashMap::new(),
             created: Vec::new(),
-            quarantined: std::collections::BTreeSet::new(),
+            live: BTreeSet::new(),
+            by_buffer: BTreeMap::new(),
+            release_probes: 0,
+            rollback_delete_errors: 0,
+            quarantined: BTreeSet::new(),
             quarantine_skips: 0,
             retransmit_budget: 4,
-            corruption_log: std::collections::BTreeMap::new(),
+            corruption_log: BTreeMap::new(),
+            cache: None,
         }
     }
 }
@@ -276,12 +304,68 @@ impl DataTransferHub {
 
     /// Records that `data` is materialized on `device` under `id`.
     pub fn register_resident(&mut self, data: DataRef, device: DeviceId, id: BufferId) {
-        self.resident.insert((data, device), id);
+        if let Some(old) = self.resident.insert((data, device), id) {
+            if old != id {
+                if let Some(refs) = self.by_buffer.get_mut(&(device, old)) {
+                    refs.retain(|r| *r != data);
+                    if refs.is_empty() {
+                        self.by_buffer.remove(&(device, old));
+                    }
+                }
+            }
+        }
+        let refs = self.by_buffer.entry((device, id)).or_default();
+        if !refs.contains(&data) {
+            refs.push(data);
+        }
     }
 
     /// Records a created buffer for the delete phase.
     pub fn track_created(&mut self, device: DeviceId, id: BufferId) {
         self.created.push((device, id));
+        self.live.insert((device, id));
+    }
+
+    /// Lends the cross-query residency cache to this hub for one run.
+    pub fn install_cache(&mut self, mut cache: ResidencyCache) {
+        cache.begin_run();
+        self.cache = Some(cache);
+    }
+
+    /// Takes the residency cache back at the end of a run.
+    pub fn take_cache(&mut self) -> Option<ResidencyCache> {
+        self.cache.take()
+    }
+
+    /// Whether a residency cache is installed.
+    pub fn has_cache(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Drops every residency-cache entry on `device` (fault recovery:
+    /// failed attempt, breaker trip) and purges per-run residency entries
+    /// that pointed at the freed buffers. Returns the bytes freed.
+    pub fn evict_cache_on(&mut self, devices: &mut DeviceRegistry, device: DeviceId) -> u64 {
+        let Some(mut cache) = self.cache.take() else {
+            return 0;
+        };
+        let freed = cache.invalidate_device(devices, device);
+        for (d, id) in cache.take_freed() {
+            self.untrack_buffer(d, id);
+        }
+        self.cache = Some(cache);
+        freed
+    }
+
+    /// Takes (and resets) the count of unexpected `delete_memory` failures
+    /// surfaced by rollback, for the run's stats.
+    pub fn take_rollback_delete_errors(&mut self) -> usize {
+        std::mem::take(&mut self.rollback_delete_errors)
+    }
+
+    /// Entries examined by the release paths so far (bounded-work tests).
+    pub fn release_probes(&self) -> u64 {
+        self.release_probes
     }
 
     /// Where `data` is resident on `device`, if it is.
@@ -293,9 +377,14 @@ impl DataTransferHub {
     /// function iterates over all the incoming edges to a primitive and
     /// loads the data to the target device").
     ///
-    /// Resolution order: already resident on target → reuse; resident on
-    /// another device → retrieve there, place on target; host-accumulated →
-    /// upload. Transfer costs land on the involved devices' clocks.
+    /// Resolution order: already resident on target → reuse; resident on a
+    /// *healthy* device → retrieve there, place on target;
+    /// host-accumulated → upload; resident only on quarantined devices →
+    /// read through one as a last resort. A host copy always beats a
+    /// quarantined holder: the data is intact either way, but reading
+    /// through a tripped device keeps it on the critical path and delays
+    /// its recovery probe. Transfer costs land on the involved devices'
+    /// clocks.
     pub fn router(
         &mut self,
         devices: &mut DeviceRegistry,
@@ -308,10 +397,7 @@ impl DataTransferHub {
         // Find a source device holding it. When several devices hold a
         // copy, pick the lowest device id so the transfer source (and the
         // clocks it charges) is deterministic across runs — HashMap
-        // iteration order must never leak into the execution. Quarantined
-        // holders are passed over while any healthy copy exists (the data is
-        // intact either way, but reading through a tripped device keeps it
-        // on the critical path and delays its recovery probe).
+        // iteration order must never leak into the execution.
         let mut holders: Vec<(DeviceId, BufferId)> = self
             .resident
             .iter()
@@ -319,11 +405,17 @@ impl DataTransferHub {
             .map(|((_, d), id)| (*d, *id))
             .collect();
         holders.sort_unstable_by_key(|(d, _)| *d);
-        let source = holders
+        let healthy = holders
             .iter()
             .find(|(d, _)| !self.quarantined.contains(d))
-            .or_else(|| holders.first())
             .copied();
+        let source = match healthy {
+            Some(h) => Some(h),
+            // Every holder is quarantined: prefer the authoritative host
+            // copy (if any) over reading through a tripped device.
+            None if self.host.contains_key(&data) => None,
+            None => holders.first().copied(),
+        };
         if let (Some((chosen, _)), Some(&(lowest, _))) = (source, holders.first()) {
             if chosen != lowest {
                 self.quarantine_skips += 1;
@@ -341,6 +433,10 @@ impl DataTransferHub {
             // Upload a clone: the host accumulation stays authoritative, so
             // a recovery rollback that deletes the device copy cannot lose
             // the data.
+            if !holders.is_empty() {
+                // The holders were all quarantined and the host copy won.
+                self.quarantine_skips += 1;
+            }
             let payload = acc.to_buffer();
             let new_id = self.fresh_id();
             self.track_created(target, new_id);
@@ -355,21 +451,153 @@ impl DataTransferHub {
 
     /// `load_data()`: places a whole host column onto a device as a
     /// materialized external input.
+    ///
+    /// With a residency cache installed, the cache is consulted before any
+    /// transfer: a valid pin of `name` is served without touching the bus,
+    /// and a miss tries to pin the column for future runs (falling back to
+    /// an uncached per-run upload when the column does not fit the cache
+    /// budget or the device).
     pub fn load_whole_input(
         &mut self,
         devices: &mut DeviceRegistry,
         data: DataRef,
         target: DeviceId,
+        name: &str,
         column: &[i64],
     ) -> Result<BufferId> {
         if let Some(id) = self.resident(data, target) {
             return Ok(id);
+        }
+        if self.cache.is_some() {
+            if let Some((id, was_hit)) = self.cache_acquire_whole(devices, target, name, column)? {
+                if was_hit {
+                    // The whole upload was avoided.
+                    let bytes = (column.len() as u64) * 8;
+                    let saved = devices
+                        .get(target)
+                        .map(|d| d.placement_cost_ns(bytes, 0.0))
+                        .unwrap_or(0.0);
+                    if let Some(cache) = &mut self.cache {
+                        cache.note_saved_transfer_ns(saved);
+                    }
+                }
+                self.register_resident(data, target, id);
+                return Ok(id);
+            }
         }
         let id = self.fresh_id();
         self.track_created(target, id);
         self.place_verified(devices, target, id, BufferData::I64(column.to_vec()), 0)?;
         self.register_resident(data, target, id);
         Ok(id)
+    }
+
+    /// Serves a whole column from the residency cache: `Some((id, true))`
+    /// for a pre-existing pin, `Some((id, false))` for a pin created (and
+    /// paid for) just now, `Ok(None)` when the cache passed — the caller
+    /// uploads uncached. Does not touch the saved-transfer counter; callers
+    /// account what they actually avoided.
+    fn cache_acquire_whole(
+        &mut self,
+        devices: &mut DeviceRegistry,
+        target: DeviceId,
+        name: &str,
+        column: &[i64],
+    ) -> Result<Option<(BufferId, bool)>> {
+        let bytes = (column.len() as u64) * 8;
+        let transfer_ns = devices
+            .get(target)
+            .map(|d| d.placement_cost_ns(bytes, 0.0))
+            .unwrap_or(0.0);
+        let mut cache = self.cache.take().expect("caller checked");
+        if let Some(id) = cache.lookup(devices, target, name, column) {
+            self.absorb_cache_frees(&mut cache);
+            self.cache = Some(cache);
+            return Ok(Some((id, true)));
+        }
+        let Some(id) = cache.begin_pin(devices, target, column) else {
+            self.absorb_cache_frees(&mut cache);
+            self.cache = Some(cache);
+            return Ok(None);
+        };
+        self.absorb_cache_frees(&mut cache);
+        match self.place_verified(devices, target, id, BufferData::I64(column.to_vec()), 0) {
+            Ok(()) => {
+                cache.commit_pin(target, name, column, id, transfer_ns);
+                self.cache = Some(cache);
+                Ok(Some((id, false)))
+            }
+            Err(e) => {
+                cache.abort_pin(devices, target, id, bytes);
+                self.cache = Some(cache);
+                if matches!(
+                    e,
+                    ExecError::Device(
+                        DeviceError::OutOfMemory { .. } | DeviceError::OutOfPinnedMemory { .. }
+                    )
+                ) {
+                    // Admission said yes but the pool is genuinely full —
+                    // fall back to the uncached path (which may still OOM,
+                    // surfacing through the normal recovery machinery).
+                    Ok(None)
+                } else {
+                    Err(e)
+                }
+            }
+        }
+    }
+
+    /// Stages one chunk of a scan column into `staging` from a cached pin
+    /// of the whole column, via a device-internal `create_chunk` copy
+    /// instead of a host→device upload. On the first touch of an uncached
+    /// column the whole column is pinned (once), so this and every later
+    /// chunk stage device-internally.
+    ///
+    /// Returns `false` when the cache is absent or passed — the caller
+    /// uploads the chunk payload as usual.
+    #[allow(clippy::too_many_arguments)]
+    pub fn stage_chunk_from_cache(
+        &mut self,
+        devices: &mut DeviceRegistry,
+        device: DeviceId,
+        staging: BufferId,
+        name: &str,
+        column: &[i64],
+        offset: usize,
+        len: usize,
+    ) -> Result<bool> {
+        if self.cache.is_none() || len == 0 {
+            return Ok(false);
+        }
+        let src = match self.cache_acquire_whole(devices, device, name, column)? {
+            Some((id, _)) => id,
+            None => return Ok(false),
+        };
+        let chunk_bytes = (len as u64) * 8;
+        let saved = devices
+            .get(device)
+            .map(|d| d.placement_cost_ns(chunk_bytes, 0.0))
+            .unwrap_or(0.0);
+        let dev = devices.get_mut(device)?;
+        // The staging slot was pre-allocated for uploads; re-materialize it
+        // as a device-internal sub-buffer of the pinned column.
+        match dev.delete_memory(staging) {
+            Ok(()) | Err(DeviceError::UnknownBuffer(_)) => {}
+            Err(e) => return Err(e.into()),
+        }
+        dev.create_chunk(src, staging, offset, len)?;
+        if let Some(cache) = &mut self.cache {
+            cache.note_saved_transfer_ns(saved);
+        }
+        Ok(true)
+    }
+
+    /// Purges per-run residency entries pointing at buffers the cache just
+    /// freed (eviction under pressure mid-run must not leave dangling ids).
+    fn absorb_cache_frees(&mut self, cache: &mut ResidencyCache) {
+        for (d, id) in cache.take_freed() {
+            self.untrack_buffer(d, id);
+        }
     }
 
     /// Appends one chunk's worth of an escaped scratch result to the host
@@ -490,27 +718,49 @@ impl DataTransferHub {
 
     /// Frees every buffer created after `mark` (on its owning device) and
     /// drops the matching residency entries. Used by the executor's
-    /// recovery path to unwind a failed pipeline attempt; tolerant of
-    /// buffers that never finished allocating.
+    /// recovery path to unwind a failed pipeline attempt.
+    ///
+    /// Tolerates exactly one failure mode:
+    /// [`DeviceError::UnknownBuffer`] — the attempt died mid-allocation, so
+    /// the buffer was tracked but never materialized. Any *other*
+    /// `delete_memory` error is a real accounting bug (double free, driver
+    /// fault) and is counted into `rollback_delete_errors` instead of being
+    /// silently swallowed; the executor surfaces the count in
+    /// `ExecutionStats`.
     pub fn rollback_to(&mut self, devices: &mut DeviceRegistry, mark: usize) {
         if mark >= self.created.len() {
             return;
         }
-        let rolled = self.created.split_off(mark);
-        let ids: HashSet<(DeviceId, BufferId)> = rolled.iter().copied().collect();
-        for (dev, id) in rolled {
-            if let Ok(device) = devices.get_mut(dev) {
-                // The failed attempt may have died mid-allocation.
-                let _ = device.delete_memory(id);
+        for (dev, id) in self.created.split_off(mark) {
+            self.release_probes += 1;
+            if !self.live.remove(&(dev, id)) {
+                // Already released mid-attempt; nothing to free.
+                continue;
+            }
+            if let Some(refs) = self.by_buffer.remove(&(dev, id)) {
+                self.release_probes += refs.len() as u64;
+                for r in refs {
+                    self.resident.remove(&(r, dev));
+                }
+            }
+            match devices.get_mut(dev) {
+                Ok(device) => match device.delete_memory(id) {
+                    Ok(()) | Err(DeviceError::UnknownBuffer(_)) => {}
+                    Err(_) => self.rollback_delete_errors += 1,
+                },
+                Err(_) => self.rollback_delete_errors += 1,
             }
         }
-        self.resident.retain(|(_, d), id| !ids.contains(&(*d, *id)));
     }
 
     /// Frees one tracked buffer on its owning device, untracking it from
-    /// both the created list and the residency map. Unlike the final
+    /// the live set and the residency maps. Unlike the final
     /// [`DataTransferHub::delete_all`] sweep, errors here are real (the
     /// buffer is expected to exist) and are propagated.
+    ///
+    /// O(log n) in tracked buffers: residency entries are found through the
+    /// `(device, id)` reverse index instead of scanning the whole map, so
+    /// bulk eviction sweeps stay linear in the buffers released.
     pub fn release(
         &mut self,
         devices: &mut DeviceRegistry,
@@ -518,29 +768,63 @@ impl DataTransferHub {
         id: BufferId,
     ) -> Result<()> {
         devices.get_mut(device)?.delete_memory(id)?;
-        self.created.retain(|&(d, i)| !(d == device && i == id));
-        self.resident
-            .retain(|&(_, d), &mut i| !(d == device && i == id));
+        if !self.live.remove(&(device, id)) {
+            return Err(ExecError::Internal(format!(
+                "release of untracked buffer {id} on {device}"
+            )));
+        }
+        self.untrack_buffer(device, id);
         Ok(())
     }
 
+    /// Batch [`DataTransferHub::release`]: frees many tracked buffers in
+    /// one sweep, stopping at the first error.
+    pub fn release_many(
+        &mut self,
+        devices: &mut DeviceRegistry,
+        buffers: &[(DeviceId, BufferId)],
+    ) -> Result<()> {
+        for &(device, id) in buffers {
+            self.release(devices, device, id)?;
+        }
+        Ok(())
+    }
+
+    /// Drops residency bookkeeping for `(device, id)` via the reverse
+    /// index (the buffer itself is already gone or owned elsewhere).
+    fn untrack_buffer(&mut self, device: DeviceId, id: BufferId) {
+        self.release_probes += 1;
+        self.live.remove(&(device, id));
+        if let Some(refs) = self.by_buffer.remove(&(device, id)) {
+            self.release_probes += refs.len() as u64;
+            for r in refs {
+                self.resident.remove(&(r, device));
+            }
+        }
+    }
+
     /// The delete phase: frees every buffer this hub created that is still
-    /// tracked.
+    /// live.
     ///
     /// This is the final idempotent sweep, by design tolerant of buffers
-    /// that are already gone (released mid-run via
-    /// [`DataTransferHub::release`] in a previous incarnation of the id
-    /// space, or wiped by a device reset). Per-pipeline cleanup goes
-    /// through `release`, which *does* surface errors and untracks ids so
-    /// this sweep never double-deletes.
+    /// that are already gone (wiped by a device reset). Per-pipeline
+    /// cleanup goes through `release`, which *does* surface errors and
+    /// clears live membership so this sweep never double-deletes.
+    /// Residency-cache pins are not created through [`Self::track_created`]
+    /// and therefore survive — they belong to the cache, not the run.
     pub fn delete_all(&mut self, devices: &mut DeviceRegistry) {
         for (dev, id) in self.created.drain(..) {
+            if !self.live.remove(&(dev, id)) {
+                continue;
+            }
             if let Ok(device) = devices.get_mut(dev) {
                 // Buffers may already be gone if a device was reset.
                 let _ = device.delete_memory(id);
             }
         }
         self.resident.clear();
+        self.by_buffer.clear();
+        self.live.clear();
     }
 }
 
@@ -562,10 +846,13 @@ mod tests {
         let mut hub = DataTransferHub::new();
         let data = DataRef::Input(0);
         let col = vec![1i64, 2, 3];
-        let id_gpu = hub.load_whole_input(&mut devices, data, gpu, &col).unwrap();
+        let id_gpu = hub
+            .load_whole_input(&mut devices, data, gpu, "in0", &col)
+            .unwrap();
         // Second load is a no-op.
         assert_eq!(
-            hub.load_whole_input(&mut devices, data, gpu, &col).unwrap(),
+            hub.load_whole_input(&mut devices, data, gpu, "in0", &col)
+                .unwrap(),
             id_gpu
         );
         // Route to the CPU device: retrieve from GPU, place on CPU.
@@ -663,7 +950,7 @@ mod tests {
     fn delete_phase_frees_everything() {
         let (mut devices, gpu, _) = two_devices();
         let mut hub = DataTransferHub::new();
-        hub.load_whole_input(&mut devices, DataRef::Input(0), gpu, &[1, 2, 3])
+        hub.load_whole_input(&mut devices, DataRef::Input(0), gpu, "in0", &[1, 2, 3])
             .unwrap();
         assert!(devices.get(gpu).unwrap().pool().used() > 0);
         hub.delete_all(&mut devices);
@@ -682,8 +969,10 @@ mod tests {
         let mut hub = DataTransferHub::new();
         let data = DataRef::Input(0);
         let col = vec![7i64; 64];
-        hub.load_whole_input(&mut devices, data, b, &col).unwrap();
-        hub.load_whole_input(&mut devices, data, c, &col).unwrap();
+        hub.load_whole_input(&mut devices, data, b, "in0", &col)
+            .unwrap();
+        hub.load_whole_input(&mut devices, data, c, "in0", &col)
+            .unwrap();
 
         hub.router(&mut devices, data, a).unwrap();
         assert!(devices.get(b).unwrap().clock().bytes_d2h() > 0);
@@ -741,13 +1030,13 @@ mod tests {
         let (mut devices, gpu, _) = two_devices();
         let mut hub = DataTransferHub::new();
         let kept = DataRef::Input(0);
-        hub.load_whole_input(&mut devices, kept, gpu, &[1, 2, 3])
+        hub.load_whole_input(&mut devices, kept, gpu, "in0", &[1, 2, 3])
             .unwrap();
         let used_before = devices.get(gpu).unwrap().pool().used();
         let mark = hub.mark();
 
         let rolled = DataRef::Input(1);
-        hub.load_whole_input(&mut devices, rolled, gpu, &[4; 100])
+        hub.load_whole_input(&mut devices, rolled, gpu, "in0", &[4; 100])
             .unwrap();
         assert!(devices.get(gpu).unwrap().pool().used() > used_before);
 
@@ -767,7 +1056,7 @@ mod tests {
         let mut hub = DataTransferHub::new();
         let data = DataRef::Input(0);
         let id = hub
-            .load_whole_input(&mut devices, data, gpu, &[1, 2, 3])
+            .load_whole_input(&mut devices, data, gpu, "in0", &[1, 2, 3])
             .unwrap();
         hub.release(&mut devices, gpu, id).unwrap();
         assert_eq!(devices.get(gpu).unwrap().pool().used(), 0);
@@ -788,7 +1077,7 @@ mod tests {
             .set_fault_plan(FaultPlan::none().corrupt_on_place(1));
         let mut hub = DataTransferHub::new();
         let id = hub
-            .load_whole_input(&mut devices, DataRef::Input(0), gpu, &[1, 2, 3, 4])
+            .load_whole_input(&mut devices, DataRef::Input(0), gpu, "in0", &[1, 2, 3, 4])
             .unwrap();
         // The first transmission was corrupted; the hub retransmitted.
         let log = hub.take_corruption_retransmits();
@@ -810,7 +1099,7 @@ mod tests {
         let (mut devices, gpu, _) = two_devices();
         let mut hub = DataTransferHub::new();
         let id = hub
-            .load_whole_input(&mut devices, DataRef::Input(0), gpu, &[9, 8, 7])
+            .load_whole_input(&mut devices, DataRef::Input(0), gpu, "in0", &[9, 8, 7])
             .unwrap();
         // Corrupt the *next* retrieve only (transfer ordinals count from
         // plan installation).
@@ -840,7 +1129,7 @@ mod tests {
         hub.set_retransmit_budget(3);
         let before = devices.get(gpu).unwrap().clock().transfer_ns();
         let err = hub
-            .load_whole_input(&mut devices, DataRef::Input(0), gpu, &[1, 2, 3])
+            .load_whole_input(&mut devices, DataRef::Input(0), gpu, "in0", &[1, 2, 3])
             .unwrap_err();
         assert!(
             matches!(err, ExecError::TransferCorrupted { device, .. } if device == gpu),
@@ -853,6 +1142,125 @@ mod tests {
         // The poisoned buffer is still tracked, so the sweep reclaims it.
         hub.delete_all(&mut devices);
         assert_eq!(devices.get(gpu).unwrap().pool().used(), 0);
+    }
+
+    #[test]
+    fn router_prefers_host_copy_over_quarantined_holder() {
+        // Regression: with every resident holder quarantined AND a host
+        // accumulation present, the router used to read through the tripped
+        // device. The host copy is authoritative and off the sick device's
+        // critical path — it must win.
+        let (mut devices, gpu, cpu) = two_devices();
+        let mut hub = DataTransferHub::new();
+        let r = DataRef::Output {
+            node: crate::graph::NodeId(0),
+            port: 0,
+        };
+        // Host copy exists...
+        hub.host_accumulate(r, DataSemantic::Numeric, BufferData::I64(vec![5, 6]), 0, 2)
+            .unwrap();
+        // ...and so does a device copy, but its holder is quarantined.
+        let id = hub.fresh_id();
+        devices
+            .get_mut(gpu)
+            .unwrap()
+            .prepare_memory(id, 16)
+            .unwrap();
+        devices
+            .get_mut(gpu)
+            .unwrap()
+            .place_data(id, BufferData::I64(vec![5, 6]), 0)
+            .unwrap();
+        hub.track_created(gpu, id);
+        hub.register_resident(r, gpu, id);
+        hub.set_quarantined([gpu].into_iter().collect());
+        let d2h_before = devices.get(gpu).unwrap().clock().bytes_d2h();
+
+        let id_cpu = hub.router(&mut devices, r, cpu).unwrap();
+
+        // The quarantined holder was never read; the upload came from host.
+        assert_eq!(devices.get(gpu).unwrap().clock().bytes_d2h(), d2h_before);
+        let payload = devices
+            .get_mut(cpu)
+            .unwrap()
+            .retrieve_data(id_cpu, None, 0)
+            .unwrap();
+        assert_eq!(payload, BufferData::I64(vec![5, 6]));
+        // With no host copy it still reads through the quarantined holder
+        // as a last resort (Input refs have no host accumulation).
+        let last_resort = DataRef::Input(0);
+        hub.load_whole_input(&mut devices, last_resort, gpu, "in0", &[1, 2])
+            .unwrap();
+        hub.router(&mut devices, last_resort, cpu).unwrap();
+        assert!(devices.get(gpu).unwrap().clock().bytes_d2h() > d2h_before);
+    }
+
+    #[test]
+    fn bulk_release_does_bounded_work() {
+        // Regression: `release` used to do two full-map `retain` scans per
+        // freed buffer, making a bulk evict sweep O(created × resident).
+        // The reverse index keeps it O(log n) per buffer; the probe counter
+        // (not a wall clock) asserts the bound.
+        let (mut devices, gpu, _) = two_devices();
+        let mut hub = DataTransferHub::new();
+        let n = 1000usize;
+        let mut buffers = Vec::with_capacity(n);
+        for i in 0..n {
+            let id = hub
+                .load_whole_input(&mut devices, DataRef::Input(i), gpu, "in0", &[i as i64])
+                .unwrap();
+            buffers.push((gpu, id));
+        }
+        assert_eq!(hub.release_probes(), 0, "loads must not count as probes");
+        hub.release_many(&mut devices, &buffers).unwrap();
+        // One probe per buffer plus one per resident ref pointing at it:
+        // 2n here. The old quadratic sweep would have counted ~n²/2.
+        assert_eq!(hub.release_probes(), 2 * n as u64);
+        assert_eq!(devices.get(gpu).unwrap().pool().used(), 0);
+        // Everything is untracked: the sweep has nothing left to free.
+        hub.delete_all(&mut devices);
+    }
+
+    #[test]
+    fn rollback_counts_unexpected_delete_errors() {
+        use adamant_device::device::DeviceInfo;
+        use adamant_device::sim::SimDevice;
+        use adamant_device::transform::TransformTable;
+
+        // A buffer tracked but never actually allocated: the fault died
+        // mid-allocation (OOM between `track_created` and the pool insert).
+        // Rollback must tolerate the resulting `UnknownBuffer` silently.
+        let (mut devices, gpu, _) = two_devices();
+        let mut hub = DataTransferHub::new();
+        let mark = hub.mark();
+        hub.track_created(gpu, BufferId(777));
+        hub.rollback_to(&mut devices, mark);
+        assert_eq!(hub.take_rollback_delete_errors(), 0);
+
+        // A device that fails `delete_memory` for a *different* reason
+        // (never initialized → `DeviceError::NotInitialized`): that is data
+        // loss the run must hear about, not swallow.
+        let p = DeviceProfile::cuda_rtx2080ti();
+        let broken = SimDevice::new(
+            DeviceInfo {
+                id: DeviceId(9),
+                name: p.name.clone(),
+                kind: p.kind,
+                sdk: p.sdk,
+                memory_capacity: p.memory_capacity,
+                pinned_capacity: p.pinned_capacity,
+            },
+            p.cost.clone(),
+            TransformTable::new(),
+            p.supports_compilation,
+        );
+        let bad = devices.add(Box::new(broken));
+        let mark = hub.mark();
+        hub.track_created(bad, BufferId(1));
+        hub.rollback_to(&mut devices, mark);
+        assert_eq!(hub.take_rollback_delete_errors(), 1);
+        // The drain reset the counter.
+        assert_eq!(hub.take_rollback_delete_errors(), 0);
     }
 
     #[test]

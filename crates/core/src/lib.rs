@@ -29,6 +29,7 @@ pub mod graph;
 pub mod hub;
 pub mod models;
 pub mod pipeline;
+pub mod residency;
 pub mod result;
 pub mod stats;
 pub mod timeline;
@@ -38,6 +39,7 @@ pub use executor::{CancelToken, Executor, ExecutorConfig, QueryInputs, RetryPoli
 pub use graph::{DataRef, GraphBuilder, NodeId, NodeParams, PrimitiveGraph, PrimitiveNode};
 pub use models::ExecutionModel;
 pub use pipeline::{Pipeline, PipelineSet};
+pub use residency::{ResidencyCache, ResidencyConfig, ResidencyCounters};
 pub use result::{OutputData, QueryOutput};
 pub use stats::ExecutionStats;
 
@@ -50,6 +52,7 @@ pub mod prelude {
     };
     pub use crate::models::ExecutionModel;
     pub use crate::pipeline::{Pipeline, PipelineSet};
+    pub use crate::residency::{ResidencyCache, ResidencyConfig, ResidencyCounters};
     pub use crate::result::{OutputData, QueryOutput};
     pub use crate::stats::ExecutionStats;
 }

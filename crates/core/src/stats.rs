@@ -78,6 +78,24 @@ pub struct ExecutionStats {
     /// Host↔device transfers retransmitted after an end-to-end checksum
     /// mismatch (silent corruption caught and repaired by the hub).
     pub corruption_retransmits: usize,
+    /// Inputs served from a cross-query residency-cache pin created by an
+    /// earlier run (first touch per run per `(device, input)`).
+    pub cache_hits: usize,
+    /// First-touch residency-cache lookups that found no usable pin.
+    pub cache_misses: usize,
+    /// Residency-cache entries evicted for budget or admission pressure.
+    pub cache_evictions: usize,
+    /// Residency-cache entries dropped by fault recovery or staleness.
+    pub cache_invalidations: usize,
+    /// Bytes the residency cache holds pinned device-side after this run.
+    pub cache_pinned_bytes: u64,
+    /// Modeled host→device nanoseconds the residency cache avoided (whole
+    /// hits plus chunk stagings served device-internally).
+    pub cache_saved_transfer_ns: f64,
+    /// Rollback `delete_memory` failures that were *not* the tolerated
+    /// died-mid-allocation case — real double-free/accounting bugs that
+    /// would previously have been swallowed silently.
+    pub rollback_delete_errors: usize,
     /// Modeled duration of each interleavable slice of device time this run
     /// produced, in execution order: one entry per streamed chunk, one per
     /// whole-mode node. The multi-query scheduler replays these on the
@@ -180,6 +198,9 @@ impl ExecutionStats {
                 "\"kernel_probe_successes\":{},\"deadline_aborts\":{},",
                 "\"watchdog_fires\":{},\"hedged_launches\":{},\"hedge_wins\":{},",
                 "\"corruption_retransmits\":{},",
+                "\"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},",
+                "\"cache_invalidations\":{},\"cache_pinned_bytes\":{},",
+                "\"cache_saved_transfer_ns\":{:.1},\"rollback_delete_errors\":{},",
                 "\"wall_ns\":{},\"per_primitive_ns\":{{{}}},\"peak_device_bytes\":{{{}}},",
                 "\"device_faults\":{{{}}},\"device_health\":{{{}}}}}"
             ),
@@ -207,6 +228,13 @@ impl ExecutionStats {
             self.hedged_launches,
             self.hedge_wins,
             self.corruption_retransmits,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_evictions,
+            self.cache_invalidations,
+            self.cache_pinned_bytes,
+            self.cache_saved_transfer_ns,
+            self.rollback_delete_errors,
             self.wall_ns,
             per_primitive.join(","),
             peaks.join(","),
@@ -280,6 +308,13 @@ mod tests {
         s.hedged_launches = 2;
         s.hedge_wins = 1;
         s.corruption_retransmits = 4;
+        s.cache_hits = 6;
+        s.cache_misses = 2;
+        s.cache_evictions = 1;
+        s.cache_invalidations = 3;
+        s.cache_pinned_bytes = 4096;
+        s.cache_saved_transfer_ns = 987.6;
+        s.rollback_delete_errors = 1;
         s.device_faults.insert("gpu0".into(), 5);
         s.device_health.insert(
             "gpu0".into(),
@@ -312,6 +347,13 @@ mod tests {
         assert!(json.contains("\"hedged_launches\":2"));
         assert!(json.contains("\"hedge_wins\":1"));
         assert!(json.contains("\"corruption_retransmits\":4"));
+        assert!(json.contains("\"cache_hits\":6"));
+        assert!(json.contains("\"cache_misses\":2"));
+        assert!(json.contains("\"cache_evictions\":1"));
+        assert!(json.contains("\"cache_invalidations\":3"));
+        assert!(json.contains("\"cache_pinned_bytes\":4096"));
+        assert!(json.contains("\"cache_saved_transfer_ns\":987.6"));
+        assert!(json.contains("\"rollback_delete_errors\":1"));
         assert!(json.contains("\"device_faults\":{\"gpu0\":5}"));
         assert!(json.contains(
             "\"device_health\":{\"gpu0\":{\"state\":\"open\",\"kernel_failures\":2,\

@@ -221,6 +221,24 @@ impl CostModel {
     pub fn placement_cost_ns(&self, working_set_bytes: u64, retry_penalty_ns: f64) -> f64 {
         self.h2d_ns(working_set_bytes, false) + retry_penalty_ns.max(0.0)
     }
+
+    /// [`CostModel::placement_cost_ns`] discounted by bytes already resident
+    /// on the device (a residency-cache pin): only the *missing* part of the
+    /// working set pays transfer. A fully cached working set prices at zero
+    /// transfer — just the health penalty.
+    pub fn placement_cost_ns_resident(
+        &self,
+        working_set_bytes: u64,
+        resident_bytes: u64,
+        retry_penalty_ns: f64,
+    ) -> f64 {
+        let moved = working_set_bytes.saturating_sub(resident_bytes);
+        if moved == 0 {
+            retry_penalty_ns.max(0.0)
+        } else {
+            self.placement_cost_ns(moved, retry_penalty_ns)
+        }
+    }
 }
 
 impl Default for CostModel {
@@ -364,5 +382,22 @@ mod tests {
         assert!((flaky - healthy - 50_000.0).abs() < 1e-9);
         // Negative penalties (a bug upstream) must not discount a device.
         assert_eq!(m.placement_cost_ns(1 << 20, -10.0), healthy);
+    }
+
+    #[test]
+    fn resident_discount_prices_cache_hits_at_zero_transfer() {
+        let m = discrete();
+        let cold = m.placement_cost_ns_resident(1 << 20, 0, 0.0);
+        assert_eq!(cold, m.placement_cost_ns(1 << 20, 0.0));
+        // Half the working set cached: only the rest pays transfer.
+        let half = m.placement_cost_ns_resident(1 << 20, 1 << 19, 0.0);
+        assert_eq!(half, m.placement_cost_ns(1 << 19, 0.0));
+        assert!(half < cold);
+        // Fully cached: zero transfer, only the health penalty survives.
+        assert_eq!(m.placement_cost_ns_resident(1 << 20, 1 << 20, 0.0), 0.0);
+        assert_eq!(
+            m.placement_cost_ns_resident(1 << 20, u64::MAX, 7_500.0),
+            7_500.0
+        );
     }
 }

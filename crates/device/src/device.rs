@@ -162,6 +162,23 @@ pub trait Device: Send {
         retry_penalty_ns.max(0.0)
     }
 
+    /// [`Device::placement_cost_ns`] discounted by working-set bytes already
+    /// resident on the device (a residency-cache pin): only the missing part
+    /// pays transfer, so a cache-warm device prices a hit at zero transfer.
+    fn placement_cost_ns_resident(
+        &self,
+        working_set_bytes: u64,
+        resident_bytes: u64,
+        retry_penalty_ns: f64,
+    ) -> f64 {
+        let moved = working_set_bytes.saturating_sub(resident_bytes);
+        if moved == 0 {
+            retry_penalty_ns.max(0.0)
+        } else {
+            self.placement_cost_ns(moved, retry_penalty_ns)
+        }
+    }
+
     /// Echoes the checksum of the stored elements `offset..offset+len` of
     /// buffer `id` (`len == None` = through the end of the buffer), as the
     /// device sees them — *after* any transfer corruption.

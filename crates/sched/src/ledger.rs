@@ -25,17 +25,28 @@ impl ReservationLedger {
         ReservationLedger::default()
     }
 
-    /// Whether `bytes` more can currently be promised on `device`.
+    /// Whether `bytes` more can currently be promised on `device`. Counts
+    /// residency-cache pins as available: pins yield to admission (they are
+    /// evicted by [`ReservationLedger::reserve`]), so budget they hold is
+    /// still promisable.
     pub fn fits(executor: &Executor, device: DeviceId, bytes: u64) -> bool {
         executor
             .devices()
             .get(device)
-            .map(|d| d.pool().admission_available() >= bytes)
+            .map(|d| {
+                d.pool().admission_available() + executor.residency_evictable_bytes(device) >= bytes
+            })
             .unwrap_or(false)
     }
 
     /// Reserves `bytes` on `device` for `ticket`. Fails (leaving the ledger
     /// unchanged) when the device's outstanding reservations cannot take it.
+    ///
+    /// Residency-cache pins draw from the same admission budget; when the
+    /// first attempt fails the executor evicts pins on `device` until the
+    /// reservation fits (LRU order) and one retry is made. Admissions
+    /// therefore always win over cache pins — the cache can be starved, the
+    /// admission queue cannot deadlock behind it.
     pub fn reserve(
         &mut self,
         executor: &mut Executor,
@@ -47,11 +58,21 @@ impl ReservationLedger {
             !self.entries.contains_key(&ticket),
             "ticket {ticket} reserved twice"
         );
-        executor
+        let first = executor
             .devices_mut()
             .get_mut(device)?
             .pool_mut()
-            .admission_reserve(bytes)?;
+            .admission_reserve(bytes);
+        if let Err(first_err) = first {
+            if executor.evict_residency_for_admission(device, bytes) == 0 {
+                return Err(first_err.into());
+            }
+            executor
+                .devices_mut()
+                .get_mut(device)?
+                .pool_mut()
+                .admission_reserve(bytes)?;
+        }
         self.entries.insert(ticket, (device, bytes));
         Ok(())
     }
@@ -94,5 +115,94 @@ impl ReservationLedger {
     /// Number of outstanding reservations.
     pub fn outstanding(&self) -> usize {
         self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adamant_core::executor::{Executor, ExecutorConfig, QueryInputs};
+    use adamant_core::models::ExecutionModel;
+    use adamant_core::residency::ResidencyConfig;
+    use adamant_device::profiles::DeviceProfile;
+    use adamant_device::sdk::SdkKind;
+    use adamant_plan::PlanBuilder;
+    use adamant_task::params::AggFunc;
+    use adamant_task::registry::TaskRegistry;
+
+    fn executor_with_cache() -> (Executor, DeviceId) {
+        let tasks = TaskRegistry::with_defaults(&[SdkKind::Cuda, SdkKind::Host]);
+        let mut exec = Executor::new(
+            tasks,
+            ExecutorConfig {
+                chunk_rows: 256,
+                ..Default::default()
+            },
+        );
+        let dev = exec.add_profile(&DeviceProfile::cuda_rtx2080ti()).unwrap();
+        exec.set_residency_cache(ResidencyConfig::new(1 << 20));
+        (exec, dev)
+    }
+
+    fn run_sum_query(exec: &mut Executor, dev: DeviceId) {
+        let mut pb = PlanBuilder::new(dev);
+        let mut s = pb.scan("t", &["x"]);
+        let x = s.materialized(&mut pb, "x").unwrap();
+        let sum = pb.agg_block(x, AggFunc::Sum, "s");
+        pb.output("s", sum);
+        let graph = pb.build().unwrap();
+        let mut inputs = QueryInputs::new();
+        inputs.bind("x", (0..4096).collect());
+        exec.run(&graph, &inputs, ExecutionModel::Chunked).unwrap();
+    }
+
+    #[test]
+    fn admission_evicts_cache_pins_instead_of_deadlocking() {
+        // The pathological shape: the residency cache holds pins charged
+        // against the admission budget, and a query asks for 100% of the
+        // device. Pins must yield (LRU-evicted), the reservation must
+        // succeed — admission can never starve behind the cache.
+        let (mut exec, dev) = executor_with_cache();
+        run_sum_query(&mut exec, dev);
+        let pinned = exec.residency_evictable_bytes(dev);
+        assert!(pinned > 0, "the run should have pinned its input");
+        let pool_total = exec.devices().get(dev).unwrap().pool().capacity();
+        // The pins hold part of the admission budget...
+        assert_eq!(
+            exec.devices().get(dev).unwrap().pool().admission_reserved(),
+            pinned
+        );
+        // ...yet the full capacity still *fits* (pins are promisable).
+        assert!(ReservationLedger::fits(&exec, dev, pool_total));
+
+        let mut ledger = ReservationLedger::new();
+        ledger.reserve(&mut exec, dev, 1, pool_total).unwrap();
+        assert!(ledger.holds(1));
+        assert_eq!(ledger.reserved_on(dev), pool_total);
+        // The pins were evicted to make room, not deadlocked against.
+        assert_eq!(exec.residency_evictable_bytes(dev), 0);
+
+        // Beyond capacity still fails cleanly (nothing left to evict).
+        assert!(ledger.reserve(&mut exec, dev, 2, 1).is_err());
+        assert!(!ledger.holds(2));
+
+        ledger.release(&mut exec, 1);
+        assert_eq!(
+            exec.devices().get(dev).unwrap().pool().admission_reserved(),
+            0
+        );
+    }
+
+    #[test]
+    fn reserve_without_cache_still_fails_on_oversubscription() {
+        let tasks = TaskRegistry::with_defaults(&[SdkKind::Cuda, SdkKind::Host]);
+        let mut exec = Executor::new(tasks, ExecutorConfig::default());
+        let dev = exec.add_profile(&DeviceProfile::cuda_rtx2080ti()).unwrap();
+        let cap = exec.devices().get(dev).unwrap().pool().capacity();
+        let mut ledger = ReservationLedger::new();
+        ledger.reserve(&mut exec, dev, 1, cap).unwrap();
+        assert!(ledger.reserve(&mut exec, dev, 2, 1).is_err());
+        ledger.release_outstanding(&mut exec);
+        assert_eq!(ledger.outstanding(), 0);
     }
 }

@@ -830,11 +830,15 @@ impl<'e> QueryScheduler<'e> {
             .iter()
             .map(|i| {
                 let penalty = self.executor.health().retry_penalty_ns(i.id);
+                // Inputs already pinned on a device by the residency cache
+                // do not pay transfer again — a cache-warm device wins the
+                // placement it is warm for.
+                let resident = self.executor.residency_resident_bytes(i.id, &spec.inputs);
                 let place = self
                     .executor
                     .devices()
                     .get(i.id)
-                    .map(|d| d.placement_cost_ns(footprint, penalty))
+                    .map(|d| d.placement_cost_ns_resident(footprint, resident, penalty))
                     .unwrap_or(f64::INFINITY);
                 (i.id, place + backlog_ns(active, i.id))
             })

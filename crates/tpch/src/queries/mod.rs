@@ -5,6 +5,7 @@
 //! rows comparable with [`crate::reference`]).
 
 pub mod q1;
+pub mod q10;
 pub mod q12;
 pub mod q14;
 pub mod q3;
@@ -29,6 +30,8 @@ pub enum TpchQuery {
     Q4,
     /// Revenue forecast (heavy aggregation).
     Q6,
+    /// Returned item reporting, reduced form (join + grouped revenue).
+    Q10,
     /// Shipping modes and order priority (IN-lists + conditional counts).
     Q12,
     /// Promotion effect (derived join payload + conditional revenue).
@@ -37,11 +40,12 @@ pub enum TpchQuery {
 
 impl TpchQuery {
     /// All implemented queries.
-    pub const ALL: [TpchQuery; 6] = [
+    pub const ALL: [TpchQuery; 7] = [
         TpchQuery::Q1,
         TpchQuery::Q3,
         TpchQuery::Q4,
         TpchQuery::Q6,
+        TpchQuery::Q10,
         TpchQuery::Q12,
         TpchQuery::Q14,
     ];
@@ -56,6 +60,7 @@ impl TpchQuery {
             TpchQuery::Q3 => "Q3",
             TpchQuery::Q4 => "Q4",
             TpchQuery::Q6 => "Q6",
+            TpchQuery::Q10 => "Q10",
             TpchQuery::Q12 => "Q12",
             TpchQuery::Q14 => "Q14",
         }
@@ -68,6 +73,7 @@ impl TpchQuery {
             TpchQuery::Q3 => q3::plan(device, catalog),
             TpchQuery::Q4 => q4::plan(device, catalog),
             TpchQuery::Q6 => q6::plan(device, catalog),
+            TpchQuery::Q10 => q10::plan(device, catalog),
             TpchQuery::Q12 => q12::plan(device, catalog),
             TpchQuery::Q14 => q14::plan(device, catalog),
         }
@@ -86,6 +92,7 @@ impl TpchQuery {
             TpchQuery::Q3 => q3::COLUMNS,
             TpchQuery::Q4 => q4::COLUMNS,
             TpchQuery::Q6 => q6::COLUMNS,
+            TpchQuery::Q10 => q10::COLUMNS,
             TpchQuery::Q12 => q12::COLUMNS,
             TpchQuery::Q14 => q14::COLUMNS,
         }
@@ -99,6 +106,7 @@ impl TpchQuery {
             TpchQuery::Q3 => 3,
             TpchQuery::Q4 => 4,
             TpchQuery::Q6 => 6,
+            TpchQuery::Q10 => 10,
             TpchQuery::Q12 => 12,
             TpchQuery::Q14 => 14,
         }

@@ -315,6 +315,59 @@ pub fn q14(catalog: &Catalog) -> Result<(i64, i64), StorageError> {
     Ok((promo_rev, total_rev))
 }
 
+/// One Q10 (reduced) result row.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Q10Row {
+    /// `o_custkey`.
+    pub custkey: i64,
+    /// `sum(l_extendedprice * (100 - l_discount))` — divide by 100.
+    pub revenue: i64,
+}
+
+/// TPC-H Q10 (returned item reporting, reduced to the orders⋈lineitem
+/// revenue core), validation parameters (`DATE = 1993-10-01`, one
+/// quarter). Top-20 customers by `(revenue desc, custkey asc)`.
+pub fn q10(catalog: &Catalog) -> Result<Vec<Q10Row>, StorageError> {
+    let lo = date_to_days(1993, 10, 1) as i64;
+    let hi = date_to_days(1994, 1, 1) as i64; // exclusive
+
+    let orders = catalog.table("orders")?;
+    let o_key = orders.column("o_orderkey")?.to_i64_vec()?;
+    let o_cust = orders.column("o_custkey")?.to_i64_vec()?;
+    let o_date = orders.column("o_orderdate")?.to_i64_vec()?;
+    let mut order_cust: HashMap<i64, i64> = HashMap::new();
+    for i in 0..o_key.len() {
+        if o_date[i] >= lo && o_date[i] < hi {
+            order_cust.insert(o_key[i], o_cust[i]);
+        }
+    }
+
+    let li = catalog.table("lineitem")?;
+    let l_key = li.column("l_orderkey")?.to_i64_vec()?;
+    let flag = li.column("l_returnflag")?;
+    let flag_codes = flag.to_i64_vec()?;
+    let returned = flag.dict_code("R").expect("R flag exists") as i64;
+    let price = li.column("l_extendedprice")?.to_i64_vec()?;
+    let disc = li.column("l_discount")?.to_i64_vec()?;
+
+    let mut revenue: HashMap<i64, i64> = HashMap::new();
+    for i in 0..l_key.len() {
+        if flag_codes[i] != returned {
+            continue;
+        }
+        if let Some(&cust) = order_cust.get(&l_key[i]) {
+            *revenue.entry(cust).or_insert(0) += price[i] * (100 - disc[i]);
+        }
+    }
+    let mut rows: Vec<Q10Row> = revenue
+        .into_iter()
+        .map(|(custkey, revenue)| Q10Row { custkey, revenue })
+        .collect();
+    rows.sort_by(|a, b| b.revenue.cmp(&a.revenue).then(a.custkey.cmp(&b.custkey)));
+    rows.truncate(20);
+    Ok(rows)
+}
+
 /// TPC-H Q6 (revenue forecast), validation parameters
 /// (`DATE = 1994-01-01`, `DISCOUNT = 0.06 ± 0.01`, `QUANTITY = 24`).
 /// Returns `sum(l_extendedprice * l_discount)` as a scaled integer
@@ -403,6 +456,21 @@ mod tests {
         }
         if rows.len() == 2 {
             assert!(rows[0].shipmode < rows[1].shipmode);
+        }
+    }
+
+    #[test]
+    fn q10_top20_ordering() {
+        let rows = q10(&catalog()).unwrap();
+        assert!(!rows.is_empty() && rows.len() <= 20);
+        for r in &rows {
+            assert!(r.revenue > 0);
+        }
+        for w in rows.windows(2) {
+            assert!(
+                w[0].revenue > w[1].revenue
+                    || (w[0].revenue == w[1].revenue && w[0].custkey < w[1].custkey)
+            );
         }
     }
 

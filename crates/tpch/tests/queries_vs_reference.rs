@@ -8,7 +8,7 @@ use adamant_device::sdk::SdkKind;
 use adamant_storage::prelude::Catalog;
 use adamant_task::registry::TaskRegistry;
 use adamant_tpch::gen::TpchGenerator;
-use adamant_tpch::queries::{q1, q12, q14, q3, q4, q6, TpchQuery};
+use adamant_tpch::queries::{q1, q10, q12, q14, q3, q4, q6, TpchQuery};
 use adamant_tpch::reference;
 
 fn catalog() -> Catalog {
@@ -136,6 +136,23 @@ fn q14_matches_reference_all_models() {
 }
 
 #[test]
+fn q10_matches_reference_all_models() {
+    let cat = catalog();
+    let expected = reference::q10(&cat).unwrap();
+    assert!(!expected.is_empty(), "Q10 reference empty at this SF");
+    for model in ExecutionModel::ALL {
+        let mut exec = executor(DeviceProfile::cuda_rtx2080ti(), 1000);
+        let graph = TpchQuery::Q10
+            .plan(adamant_device::device::DeviceId(0), &cat)
+            .unwrap();
+        let inputs = TpchQuery::Q10.bind(&cat).unwrap();
+        let (out, _) = exec.run(&graph, &inputs, model).unwrap();
+        let rows = q10::decode(&out);
+        assert_eq!(rows, expected, "Q10 under {model}");
+    }
+}
+
+#[test]
 fn all_queries_on_all_drivers_chunked() {
     let cat = catalog();
     for profile in DeviceProfile::setup1() {
@@ -161,6 +178,9 @@ fn all_queries_on_all_drivers_chunked() {
                     )
                 }
                 TpchQuery::Q6 => assert_eq!(q6::decode(&out), reference::q6(&cat).unwrap()),
+                TpchQuery::Q10 => {
+                    assert_eq!(q10::decode(&out), reference::q10(&cat).unwrap())
+                }
                 TpchQuery::Q12 => {
                     assert_eq!(
                         q12::decode(&cat, &out).unwrap(),

@@ -81,6 +81,17 @@ fn main() {
                 assert_eq!(rev, reference::q6(&catalog).unwrap(), "Q6 mismatch");
                 println!("  revenue = {:.2}", rev as f64 / 10_000.0);
             }
+            TpchQuery::Q10 => {
+                let rows = queries::q10::decode(&out);
+                assert_eq!(rows, reference::q10(&catalog).unwrap(), "Q10 mismatch");
+                for r in rows.iter().take(5) {
+                    println!(
+                        "  customer {} | revenue={:.2}",
+                        r.custkey,
+                        r.revenue as f64 / 100.0
+                    );
+                }
+            }
             TpchQuery::Q12 => {
                 let rows = queries::q12::decode(&catalog, &out).unwrap();
                 assert_eq!(rows, reference::q12(&catalog).unwrap(), "Q12 mismatch");

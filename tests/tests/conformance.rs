@@ -227,6 +227,10 @@ fn custom_device_runs_full_query_suite() {
                     adamant::tpch::queries::q4::decode(&catalog, &out).unwrap(),
                     adamant::tpch::reference::q4(&catalog).unwrap()
                 ),
+                TpchQuery::Q10 => assert_eq!(
+                    adamant::tpch::queries::q10::decode(&out),
+                    adamant::tpch::reference::q10(&catalog).unwrap()
+                ),
                 TpchQuery::Q12 => assert_eq!(
                     adamant::tpch::queries::q12::decode(&catalog, &out).unwrap(),
                     adamant::tpch::reference::q12(&catalog).unwrap()
