@@ -116,6 +116,37 @@ impl Adamant {
         Ok(id)
     }
 
+    /// Hot-adds a device between runs. Unlike [`Adamant::plug_device`], the
+    /// newcomer enters through the health registry in `HalfOpen` and earns
+    /// traffic via the probe ramp (one probe pipeline per query until a
+    /// success closes its breaker); placement and the cost model pick it up
+    /// on the next run without a rebuild. The add is counted in the next
+    /// run's `ExecutionStats::hot_adds`.
+    pub fn attach_device(&mut self, device: Box<dyn Device>) -> Result<DeviceId> {
+        let id = self.executor.attach_device(device)?;
+        self.device_ids.push(id);
+        Ok(id)
+    }
+
+    /// Hot-adds a device from a profile (see [`Adamant::attach_device`]).
+    pub fn attach_profile(&mut self, profile: &DeviceProfile) -> Result<DeviceId> {
+        let id = self.executor.attach_profile(profile)?;
+        self.device_ids.push(id);
+        Ok(id)
+    }
+
+    /// Administratively unplugs a healthy device between runs, returning
+    /// it: residency pins evicted cleanly, health records dropped, the id
+    /// retired (never reused). Mid-query deaths need no call here — the
+    /// engine unplugs a dead device on the first `Gone` it observes.
+    pub fn detach_device(&mut self, id: DeviceId) -> Option<Box<dyn Device>> {
+        let dev = self.executor.detach_device(id);
+        if dev.is_some() {
+            self.device_ids.retain(|&d| d != id);
+        }
+        dev
+    }
+
     /// Executes a primitive graph.
     pub fn run(
         &mut self,
@@ -398,7 +429,7 @@ pub mod prelude {
     };
     pub use adamant_sched::{
         PreemptPolicy, QueryOutcome, QueryScheduler, QuerySpec, QueryTicket, SchedReport,
-        SchedulerStats, TenantStats,
+        SchedulerStats, ShedReason, TenantStats,
     };
     pub use adamant_storage::prelude::{Bitmap, Catalog, Column, PositionList, Table};
     pub use adamant_task::params::{AggFunc, BitmapOp, CmpOp, MapOp};

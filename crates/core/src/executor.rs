@@ -255,6 +255,9 @@ pub struct Executor {
     health: DeviceHealthRegistry,
     last_stats: Option<ExecutionStats>,
     residency: Option<ResidencyCache>,
+    /// Devices hot-added since the last run; drained into
+    /// [`ExecutionStats::hot_adds`] by the next run.
+    pending_hot_adds: usize,
 }
 
 impl Executor {
@@ -267,6 +270,7 @@ impl Executor {
             health: DeviceHealthRegistry::default(),
             last_stats: None,
             residency: None,
+            pending_hot_adds: 0,
         }
     }
 
@@ -281,9 +285,46 @@ impl Executor {
     /// Convenience: builds and plugs a device from a profile.
     pub fn add_profile(&mut self, profile: &DeviceProfile) -> Result<DeviceId> {
         // The id baked into the built device matches the one the registry
-        // will assign (ids are sequential).
-        let next = DeviceId(self.devices.len() as u32);
+        // will assign. Ids are never reused after a removal, so this must
+        // come from the registry, not from counting live devices.
+        let next = self.devices.peek_next_id();
         self.add_device(Box::new(profile.build(next)))
+    }
+
+    /// Hot-adds a device between runs. Unlike [`Executor::add_device`], the
+    /// newcomer enters through the health registry in `HalfOpen`, so it
+    /// earns traffic via the existing probe ramp (one probe pipeline per
+    /// query until a success closes the breaker) instead of instantly
+    /// absorbing load the engine knows nothing about. Placement and the
+    /// cost model pick it up on the next run without any rebuild.
+    pub fn attach_device(&mut self, device: Box<dyn Device>) -> Result<DeviceId> {
+        let id = self.devices.add(device);
+        let dev = self.devices.get_mut(id)?;
+        self.tasks.install_on(dev.as_mut())?;
+        self.health.admit_half_open(id);
+        self.pending_hot_adds += 1;
+        Ok(id)
+    }
+
+    /// Convenience: builds and hot-adds a device from a profile (see
+    /// [`Executor::attach_device`]).
+    pub fn attach_profile(&mut self, profile: &DeviceProfile) -> Result<DeviceId> {
+        let next = self.devices.peek_next_id();
+        self.attach_device(Box::new(profile.build(next)))
+    }
+
+    /// Administratively unplugs a healthy device between runs, returning
+    /// it. Residency pins on it are evicted cleanly (buffers freed,
+    /// admission charges released — the device is alive, unlike the
+    /// mid-query death path), and its health records are dropped so no
+    /// ghost entries survive into reports.
+    pub fn detach_device(&mut self, id: DeviceId) -> Option<Box<dyn Device>> {
+        if let Some(cache) = self.residency.as_mut() {
+            cache.invalidate_device(&mut self.devices, id);
+            cache.take_freed();
+        }
+        self.health.forget_device(id);
+        self.devices.remove(id)
     }
 
     /// The plugged devices.
@@ -482,6 +523,7 @@ impl Executor {
         let mut stats = ExecutionStats {
             model: model.name().to_string(),
             pipelines: pipelines.len(),
+            hot_adds: std::mem::take(&mut self.pending_hot_adds),
             ..Default::default()
         };
         // Health-aware placement repair: move pipelines off quarantined
@@ -506,15 +548,42 @@ impl Executor {
         let mut tally = Tally::default();
         let escaping = escaping_refs(&graph, &pipelines);
 
-        let run_result = (|| -> Result<QueryOutput> {
-            for pipeline in &pipelines.pipelines {
-                self.run_pipeline_with_recovery(
-                    &mut graph, pipeline, inputs, cfg, &mut hub, &mut stats, &mut tally, &escaping,
-                    &control,
-                )?;
+        // Graph-level restart loop: a permanent device death (`Gone`)
+        // unwinds the whole run — the corpse's buffers are written off, the
+        // survivors rolled back to pristine, pipelines re-placed — and the
+        // query restarts from row 0 on the remaining devices. Bounded by
+        // the initial device count: each restart retires one device.
+        let mut restarts_left = self.devices.len();
+        let run_result = loop {
+            let attempt = (|| -> Result<QueryOutput> {
+                for pipeline in &pipelines.pipelines {
+                    self.run_pipeline_with_recovery(
+                        &mut graph, pipeline, inputs, cfg, &mut hub, &mut stats, &mut tally,
+                        &escaping, &control,
+                    )?;
+                }
+                self.collect_outputs(&graph, &mut hub, &mut stats, &mut tally)
+            })();
+            match attempt {
+                Err(err) if gone_device(&err).is_some() && restarts_left > 0 => {
+                    restarts_left -= 1;
+                    let dead = gone_device(&err).expect("checked above");
+                    match self.handle_device_loss(
+                        dead,
+                        &mut graph,
+                        &pipelines,
+                        &mut hub,
+                        &mut stats,
+                        &mut fault_base,
+                        &mut tally,
+                    ) {
+                        Ok(()) => continue,
+                        Err(e) => break Err(e),
+                    }
+                }
+                other => break other,
             }
-            self.collect_outputs(&graph, &mut hub, &mut stats, &mut tally)
-        })();
+        };
 
         // Peaks, byte counts and per-run fault deltas before cleanup.
         for id in self.devices.ids() {
@@ -639,7 +708,13 @@ impl Executor {
             devs.dedup();
             for dev in devs {
                 let kernels = self.kernels_on_device(graph, pipeline, dev);
-                let avoid = if self.health.is_quarantined(dev) {
+                let avoid = if self.devices.get(dev).is_err() {
+                    // The plan targets a device that is no longer plugged
+                    // (it died in an earlier run, or was detached): move the
+                    // work to a live device rather than failing the lookup
+                    // mid-pipeline.
+                    true
+                } else if self.health.is_quarantined(dev) {
                     true
                 } else if self.health.is_half_open(dev) {
                     if self.health.probe_candidate(dev)
@@ -771,6 +846,13 @@ impl Executor {
                 self.run_whole(graph, pipeline, inputs, hub, stats, tally, control)
             };
             let err = match result {
+                Err(e) if gone_device(&e).is_some() => {
+                    // Permanent device death: pipeline-scope recovery must
+                    // not touch the corpse (rollback would call into it and
+                    // a health verdict would record a ghost), so surface it
+                    // untouched to the run-level membership recovery.
+                    return Err(e);
+                }
                 Ok(()) => {
                     for &d in &attempt_devs {
                         if self.health.record_success(d) {
@@ -939,6 +1021,73 @@ impl Executor {
             }
             stats.retries += 1;
         }
+    }
+
+    /// Full-engine recovery from a permanent device death (the membership
+    /// tentpole). In order:
+    ///
+    /// 1. the corpse's modeled time, byte counts, pool peak and fault delta
+    ///    are captured into the stats (the post-run sweep only sees
+    ///    survivors);
+    /// 2. every hub buffer and residency pin on it is written off without
+    ///    calling into it, and its pool/admission accounting zeroed so the
+    ///    no-leak invariant still holds;
+    /// 3. the whole attempt is unwound on the survivors (buffers freed,
+    ///    host accumulations discarded) so the restart re-stages inputs
+    ///    from pristine host copies;
+    /// 4. health records are dropped, the device unplugged, and every
+    ///    pipeline still pointing at it re-placed onto the best survivor.
+    ///
+    /// Errors with the original `Gone` when no survivor can take the work.
+    #[allow(clippy::too_many_arguments)]
+    fn handle_device_loss(
+        &mut self,
+        dead: DeviceId,
+        graph: &mut PrimitiveGraph,
+        pipelines: &PipelineSet,
+        hub: &mut DataTransferHub,
+        stats: &mut ExecutionStats,
+        fault_base: &mut BTreeMap<DeviceId, u64>,
+        tally: &mut Tally,
+    ) -> Result<()> {
+        stats.device_deaths += 1;
+        if let Ok(dev) = self.devices.get_mut(dead) {
+            // Host-side accessors still work on the corpse; capture its
+            // contribution before it is unplugged.
+            tally.drain_serial(dev.as_mut(), stats);
+            stats.bytes_h2d += dev.clock().bytes_h2d();
+            stats.bytes_d2h += dev.clock().bytes_d2h();
+            stats
+                .peak_device_bytes
+                .insert(dev.info().name.clone(), dev.pool().peak());
+            let base = fault_base.get(&dead).copied().unwrap_or(0);
+            let delta = dev.fault_counters().total().saturating_sub(base);
+            if delta > 0 {
+                stats.device_faults.insert(dev.info().name.clone(), delta);
+            }
+        }
+        let (buffers, lost_bytes) = hub.write_off_device(&mut self.devices, dead);
+        stats.buffers_written_off += buffers;
+        stats.restaged_bytes += lost_bytes;
+        hub.rollback_to(&mut self.devices, 0);
+        hub.discard_all_host();
+        self.health.forget_device(dead);
+        fault_base.remove(&dead);
+        self.devices.remove(dead);
+        if self.devices.is_empty() {
+            return Err(ExecError::Device(
+                adamant_device::error::DeviceError::Gone { device: dead },
+            ));
+        }
+        for pipeline in &pipelines.pipelines {
+            let on_dead = pipeline.nodes.iter().any(|&n| graph.node(n).device == dead);
+            if on_dead && !self.repoint_pipeline(graph, pipeline, dead)? {
+                return Err(ExecError::Device(
+                    adamant_device::error::DeviceError::Gone { device: dead },
+                ));
+            }
+        }
+        Ok(())
     }
 
     /// Moves every node of `pipeline` currently placed on `failed` onto the
@@ -2066,6 +2215,20 @@ impl Tally {
             clean += e.clean_ns;
         }
         (t, c, o, clean)
+    }
+}
+
+/// The device a permanent-death (`Gone`) error names, whether it surfaced
+/// bare from a hub transfer/allocation or wrapped in a kernel failure —
+/// the trigger for run-level membership recovery.
+fn gone_device(e: &ExecError) -> Option<DeviceId> {
+    match e {
+        ExecError::Device(adamant_device::error::DeviceError::Gone { device }) => Some(*device),
+        ExecError::KernelFailed {
+            source: adamant_device::error::DeviceError::Gone { device },
+            ..
+        } => Some(*device),
+        _ => None,
     }
 }
 

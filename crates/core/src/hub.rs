@@ -363,6 +363,63 @@ impl DataTransferHub {
         std::mem::take(&mut self.rollback_delete_errors)
     }
 
+    /// Writes off every buffer on a permanently dead device **without
+    /// calling into it**: no `delete_memory`, just bookkeeping. Live
+    /// buffers on `dead` are untracked (so rollback and the delete phase
+    /// skip them), residency entries pointing at them are dropped,
+    /// residency-cache pins on the device are written off the same way, and
+    /// the corpse's host-side pool accounting is zeroed so the no-leak
+    /// invariant still reconciles.
+    ///
+    /// Returns `(buffers_written_off, lost_bytes)` where `lost_bytes` is
+    /// the pool footprint of the written-off buffers — the data that must
+    /// be re-staged from host/survivor copies.
+    pub fn write_off_device(
+        &mut self,
+        devices: &mut DeviceRegistry,
+        dead: DeviceId,
+    ) -> (usize, u64) {
+        let doomed: Vec<BufferId> = self
+            .live
+            .iter()
+            .filter(|(d, _)| *d == dead)
+            .map(|&(_, id)| id)
+            .collect();
+        let mut buffers = 0usize;
+        let mut lost_bytes = 0u64;
+        for id in doomed {
+            buffers += 1;
+            if let Ok(dev) = devices.get(dead) {
+                if let Ok(buf) = dev.pool().get(id) {
+                    lost_bytes += buf.footprint();
+                }
+            }
+            self.untrack_buffer(dead, id);
+        }
+        if let Some(mut cache) = self.cache.take() {
+            cache.write_off_device(dead);
+            for (d, id) in cache.take_freed() {
+                self.untrack_buffer(d, id);
+            }
+            self.cache = Some(cache);
+        }
+        // Host-side accessors still work on the corpse: zero its pool and
+        // admission accounting so nothing appears leaked post-mortem.
+        if let Ok(dev) = devices.get_mut(dead) {
+            let reserved = dev.pool().admission_reserved();
+            dev.pool_mut().admission_release(reserved);
+            dev.pool_mut().clear();
+        }
+        (buffers, lost_bytes)
+    }
+
+    /// Discards every host accumulation (a whole-graph restart after device
+    /// loss re-streams all pipelines from row 0).
+    pub fn discard_all_host(&mut self) {
+        self.host.clear();
+        self.host_offsets.clear();
+    }
+
     /// Entries examined by the release paths so far (bounded-work tests).
     pub fn release_probes(&self) -> u64 {
         self.release_probes

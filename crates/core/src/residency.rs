@@ -392,6 +392,32 @@ impl ResidencyCache {
         total
     }
 
+    /// Writes off every pin on a permanently dead device **without calling
+    /// into it**: entries and the pinned-bytes ledger are dropped, and the
+    /// freed ids are logged for the hub, but no `delete_memory` or
+    /// admission release touches the corpse — its pool accounting is
+    /// reconciled by the device write-off, not by the cache. Returns the
+    /// pinned bytes written off.
+    pub fn write_off_device(&mut self, device: DeviceId) -> u64 {
+        let keys: Vec<_> = self
+            .entries
+            .keys()
+            .filter(|(d, _)| *d == device)
+            .cloned()
+            .collect();
+        let mut total = 0;
+        for key in keys {
+            let Some(entry) = self.entries.remove(&key) else {
+                continue;
+            };
+            self.counters.invalidations += 1;
+            self.freed.push((device, entry.id));
+            total += entry.bytes;
+        }
+        self.pinned.remove(&device);
+        total
+    }
+
     /// Drops every entry on every device, freeing all pinned buffers and
     /// admission charges (engine teardown). Returns the bytes freed.
     pub fn clear(&mut self, devices: &mut DeviceRegistry) -> u64 {
@@ -576,6 +602,26 @@ mod tests {
         let mut expected = vec![(dev, ida), (dev, idb)];
         expected.sort_unstable();
         assert_eq!(drained, expected);
+    }
+
+    #[test]
+    fn write_off_device_never_touches_the_corpse() {
+        use adamant_device::fault::FaultPlan;
+        let (mut reg, dev) = one_device();
+        let mut cache = ResidencyCache::new(ResidencyConfig::new(1 << 20));
+        cache.begin_run();
+        let col: Vec<i64> = (0..32).collect();
+        let id = pin(&mut cache, &mut reg, dev, "a", &col);
+        // Kill the device: any data-plane call would now fail.
+        reg.get_mut(dev)
+            .unwrap()
+            .set_fault_plan(FaultPlan::none().die_on_exec(1).die_at_ns(0.0));
+        let freed = cache.write_off_device(dev);
+        assert_eq!(freed, 32 * 8, "pinned bytes written off");
+        assert!(cache.is_empty());
+        assert_eq!(cache.pinned_bytes_on(dev), 0);
+        assert_eq!(cache.take_freed(), vec![(dev, id)]);
+        assert_eq!(cache.take_counters().invalidations, 1);
     }
 
     #[test]

@@ -96,6 +96,18 @@ pub struct ExecutionStats {
     /// died-mid-allocation case — real double-free/accounting bugs that
     /// would previously have been swallowed silently.
     pub rollback_delete_errors: usize,
+    /// Devices that died permanently mid-run (first `Gone` observed) and
+    /// were unplugged by the membership recovery path.
+    pub device_deaths: usize,
+    /// Buffers written off a dead device's hub bookkeeping without calling
+    /// into it (the corpse keeps no reachable state).
+    pub buffers_written_off: usize,
+    /// Bytes of input lost with a dead device that were re-staged onto
+    /// survivors from host copies during recovery.
+    pub restaged_bytes: u64,
+    /// Devices hot-added (through the health registry's `HalfOpen` probe
+    /// ramp) since the previous run.
+    pub hot_adds: usize,
     /// Modeled duration of each interleavable slice of device time this run
     /// produced, in execution order: one entry per streamed chunk, one per
     /// whole-mode node. The multi-query scheduler replays these on the
@@ -201,6 +213,8 @@ impl ExecutionStats {
                 "\"cache_hits\":{},\"cache_misses\":{},\"cache_evictions\":{},",
                 "\"cache_invalidations\":{},\"cache_pinned_bytes\":{},",
                 "\"cache_saved_transfer_ns\":{:.1},\"rollback_delete_errors\":{},",
+                "\"device_deaths\":{},\"buffers_written_off\":{},",
+                "\"restaged_bytes\":{},\"hot_adds\":{},",
                 "\"wall_ns\":{},\"per_primitive_ns\":{{{}}},\"peak_device_bytes\":{{{}}},",
                 "\"device_faults\":{{{}}},\"device_health\":{{{}}}}}"
             ),
@@ -235,6 +249,10 @@ impl ExecutionStats {
             self.cache_pinned_bytes,
             self.cache_saved_transfer_ns,
             self.rollback_delete_errors,
+            self.device_deaths,
+            self.buffers_written_off,
+            self.restaged_bytes,
+            self.hot_adds,
             self.wall_ns,
             per_primitive.join(","),
             peaks.join(","),
@@ -315,6 +333,10 @@ mod tests {
         s.cache_pinned_bytes = 4096;
         s.cache_saved_transfer_ns = 987.6;
         s.rollback_delete_errors = 1;
+        s.device_deaths = 1;
+        s.buffers_written_off = 5;
+        s.restaged_bytes = 8192;
+        s.hot_adds = 2;
         s.device_faults.insert("gpu0".into(), 5);
         s.device_health.insert(
             "gpu0".into(),
@@ -354,6 +376,10 @@ mod tests {
         assert!(json.contains("\"cache_pinned_bytes\":4096"));
         assert!(json.contains("\"cache_saved_transfer_ns\":987.6"));
         assert!(json.contains("\"rollback_delete_errors\":1"));
+        assert!(json.contains("\"device_deaths\":1"));
+        assert!(json.contains("\"buffers_written_off\":5"));
+        assert!(json.contains("\"restaged_bytes\":8192"));
+        assert!(json.contains("\"hot_adds\":2"));
         assert!(json.contains("\"device_faults\":{\"gpu0\":5}"));
         assert!(json.contains(
             "\"device_health\":{\"gpu0\":{\"state\":\"open\",\"kernel_failures\":2,\

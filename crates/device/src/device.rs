@@ -149,6 +149,11 @@ pub trait Device: Send {
         FaultCounters::default()
     }
 
+    /// Zeroes the injected-fault counters without touching the installed
+    /// plan or its ordinals, so back-to-back soak iterations start from a
+    /// clean slate. No-op for drivers without injection.
+    fn reset_fault_counters(&mut self) {}
+
     /// Recovery-aware placement cost of moving a `working_set_bytes` working
     /// set onto this device, given the expected-retry penalty the health
     /// registry attributes to it. Fallback placement ranks candidate devices

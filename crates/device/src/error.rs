@@ -74,6 +74,13 @@ pub enum DeviceError {
     },
     /// The device was used before `initialize()`.
     NotInitialized,
+    /// The device died permanently (hot-unplug, terminal fault): every
+    /// operation on it fails with this error forever. Recovery must write
+    /// the device off rather than retry.
+    Gone {
+        /// The dead device.
+        device: crate::device::DeviceId,
+    },
     /// Catch-all for driver-specific failures.
     Driver(String),
 }
@@ -125,6 +132,9 @@ impl fmt::Display for DeviceError {
                 "buffer {id:?} type mismatch: expected {expected}, got {actual}"
             ),
             DeviceError::NotInitialized => write!(f, "device used before initialize()"),
+            DeviceError::Gone { device } => {
+                write!(f, "device {device} is gone (permanent failure)")
+            }
             DeviceError::Driver(msg) => write!(f, "driver error: {msg}"),
         }
     }

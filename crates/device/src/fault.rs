@@ -73,6 +73,18 @@ pub struct FaultPlan {
     /// 1-based `retrieve_data` ordinals whose returned payload is corrupted
     /// (the stored copy stays intact — an in-flight DMA flip).
     pub corrupt_on_retrieve: Vec<u64>,
+    /// Simulated-clock instant (device-cumulative nanoseconds) at which the
+    /// device dies *permanently*: the first operation observed at or after
+    /// this instant — and every operation thereafter — fails with
+    /// [`DeviceError::Gone`]. Terminal, unlike every other trigger.
+    pub die_at_ns: Option<f64>,
+    /// 1-based `execute()` ordinal at which the device dies permanently
+    /// (the listed execution itself fails with [`DeviceError::Gone`]).
+    pub die_on_exec_n: Option<u64>,
+    /// Probability in `[0, 1]` that any given `execute()` call kills the
+    /// device permanently, drawn from a seeded stream decoupled from every
+    /// other trigger stream.
+    pub death_rate: f64,
 }
 
 impl Default for FaultPlan {
@@ -93,6 +105,9 @@ impl Default for FaultPlan {
             corrupt_transfer_rate: 0.0,
             corrupt_on_place: Vec::new(),
             corrupt_on_retrieve: Vec::new(),
+            die_at_ns: None,
+            die_on_exec_n: None,
+            death_rate: 0.0,
         }
     }
 }
@@ -204,6 +219,39 @@ impl FaultPlan {
         self
     }
 
+    /// Kills the device permanently once its simulated clock reaches `ns`
+    /// (the first operation at or past that instant fails with
+    /// [`DeviceError::Gone`], and so does everything after it).
+    ///
+    /// # Panics
+    /// Panics if `ns` is negative or not finite.
+    pub fn die_at_ns(mut self, ns: f64) -> Self {
+        assert!(ns.is_finite() && ns >= 0.0, "death instant must be >= 0");
+        self.die_at_ns = Some(ns);
+        self
+    }
+
+    /// Kills the device permanently on its `n`-th `execute()` call
+    /// (1-based); that call and every later operation fail with
+    /// [`DeviceError::Gone`].
+    pub fn die_on_exec(mut self, n: u64) -> Self {
+        self.die_on_exec_n = Some(n);
+        self
+    }
+
+    /// Makes each `execute()` call kill the device permanently with
+    /// probability `p` (drawn per call from a seeded stream decoupled from
+    /// the OOM/exec/corruption streams, so enabling death never perturbs
+    /// their sequences).
+    ///
+    /// # Panics
+    /// Panics if `p` is outside `[0, 1]`.
+    pub fn death_rate(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "rate must be in [0, 1]");
+        self.death_rate = p;
+        self
+    }
+
     /// True when the plan injects nothing.
     pub fn is_empty(&self) -> bool {
         self.oom_on_alloc.is_empty()
@@ -218,6 +266,9 @@ impl FaultPlan {
             && self.corrupt_transfer_rate == 0.0
             && self.corrupt_on_place.is_empty()
             && self.corrupt_on_retrieve.is_empty()
+            && self.die_at_ns.is_none()
+            && self.die_on_exec_n.is_none()
+            && self.death_rate == 0.0
     }
 }
 
@@ -234,6 +285,9 @@ pub struct FaultCounters {
     pub stalls_injected: u64,
     /// Transfer payloads silently corrupted (scripted + probabilistic).
     pub corruptions_injected: u64,
+    /// Permanent device deaths injected (at most 1 per install — death is
+    /// terminal).
+    pub deaths_injected: u64,
 }
 
 impl FaultCounters {
@@ -244,6 +298,7 @@ impl FaultCounters {
             + self.broken_kernel_hits
             + self.stalls_injected
             + self.corruptions_injected
+            + self.deaths_injected
     }
 }
 
@@ -277,6 +332,7 @@ pub struct FaultState {
     alloc_rng: Option<Rng>,
     exec_rng: Option<Rng>,
     corrupt_rng: Option<Rng>,
+    death_rng: Option<Rng>,
 }
 
 impl FaultState {
@@ -299,13 +355,60 @@ impl FaultState {
         } else {
             None
         };
+        // Death draws live on their own stream too: enabling a death rate
+        // must never shift the alloc/exec/corruption sequences of an
+        // existing plan (chaos soaks rely on that stability).
+        let death_rng = if plan.death_rate > 0.0 {
+            Some(Rng::new(seed ^ 0x94D0_49BB_1331_11EB))
+        } else {
+            None
+        };
         *self = FaultState {
             plan,
             alloc_rng,
             exec_rng,
             corrupt_rng,
+            death_rng,
             ..FaultState::default()
         };
+    }
+
+    /// Zeroes the injected-fault counters without touching the plan,
+    /// ordinals, or seeded streams (back-to-back soak iterations start from
+    /// a clean slate).
+    pub fn reset_counters(&mut self) {
+        self.counters = FaultCounters::default();
+    }
+
+    /// Whether the plan's wall-clock death trigger has fired: true once the
+    /// device's cumulative simulated clock reaches
+    /// [`FaultPlan::die_at_ns`]. Does not count the death — callers invoke
+    /// [`FaultState::note_death`] exactly once when they act on it.
+    pub fn death_due(&self, clock_ns: f64) -> bool {
+        matches!(self.plan.die_at_ns, Some(at) if clock_ns >= at)
+    }
+
+    /// Whether the *next* `execute()` call kills the device: true when its
+    /// 1-based ordinal matches [`FaultPlan::die_on_exec_n`] or the seeded
+    /// death stream draws a hit. Call before [`FaultState::on_execute`]
+    /// (which advances the ordinal); callers then invoke
+    /// [`FaultState::note_death`] exactly once when they act on it.
+    pub fn exec_death_due(&mut self) -> bool {
+        let next = self.execs_seen + 1;
+        if self.plan.die_on_exec_n == Some(next) {
+            return true;
+        }
+        if self.plan.death_rate > 0.0 {
+            if let Some(rng) = &mut self.death_rng {
+                return rng.gen_bool(self.plan.death_rate);
+            }
+        }
+        false
+    }
+
+    /// Records the (single, terminal) injected death.
+    pub fn note_death(&mut self) {
+        self.counters.deaths_injected += 1;
     }
 
     /// Injected-fault counters so far.
@@ -656,6 +759,101 @@ mod tests {
     #[should_panic(expected = "rate must be in [0, 1]")]
     fn out_of_range_corruption_rate_rejected() {
         let _ = FaultPlan::none().corrupt_transfer_rate(-0.1);
+    }
+
+    #[test]
+    fn death_triggers_count_as_non_empty() {
+        assert!(!FaultPlan::none().die_at_ns(5.0e6).is_empty());
+        assert!(!FaultPlan::none().die_on_exec(3).is_empty());
+        assert!(!FaultPlan::none().death_rate(0.01).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be in [0, 1]")]
+    fn out_of_range_death_rate_rejected() {
+        let _ = FaultPlan::none().death_rate(1.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "death instant must be >= 0")]
+    fn negative_death_instant_rejected() {
+        let _ = FaultPlan::none().die_at_ns(-1.0);
+    }
+
+    #[test]
+    fn clock_death_fires_at_the_scripted_instant() {
+        let mut st = FaultState::default();
+        st.install(FaultPlan::none().die_at_ns(1000.0));
+        assert!(!st.death_due(999.9));
+        assert!(st.death_due(1000.0));
+        assert!(st.death_due(5000.0));
+        st.note_death();
+        assert_eq!(st.counters().deaths_injected, 1);
+    }
+
+    #[test]
+    fn exec_death_fires_on_the_scripted_ordinal() {
+        let mut st = FaultState::default();
+        st.install(FaultPlan::none().die_on_exec(2));
+        // Execute #1 survives, #2 dies.
+        assert!(!st.exec_death_due());
+        assert!(st.on_execute("k").is_ok());
+        assert!(st.exec_death_due());
+    }
+
+    #[test]
+    fn probabilistic_death_is_deterministic_and_decoupled() {
+        let run = |plan: FaultPlan| -> Vec<bool> {
+            let mut st = FaultState::default();
+            st.install(plan);
+            (0..200)
+                .map(|_| {
+                    let due = st.exec_death_due();
+                    let _ = st.on_execute("k");
+                    due
+                })
+                .collect()
+        };
+        let plan = FaultPlan::none().with_seed(42).death_rate(0.05);
+        let a = run(plan.clone());
+        assert_eq!(a, run(plan), "same seed replays the same deaths");
+        assert!(a.iter().any(|&d| d), "the rate never fired");
+
+        // Enabling death must not perturb the exec draw sequence.
+        let exec_seq = |plan: FaultPlan| -> Vec<bool> {
+            let mut st = FaultState::default();
+            st.install(plan);
+            (0..100)
+                .map(|_| {
+                    let _ = st.exec_death_due();
+                    st.on_execute("k").is_err()
+                })
+                .collect()
+        };
+        let base = FaultPlan::none().with_seed(7).exec_error_rate(0.3);
+        assert_eq!(
+            exec_seq(base.clone()),
+            exec_seq(base.death_rate(0.5)),
+            "death stream must be decoupled from the exec stream"
+        );
+    }
+
+    #[test]
+    fn reset_counters_keeps_plan_and_ordinals() {
+        let mut st = FaultState::default();
+        st.install(
+            FaultPlan::none()
+                .oom_on_allocation(1)
+                .transient_exec_errors(1),
+        );
+        assert!(st.on_alloc(8, 0, 64).is_err());
+        assert!(st.on_execute("k").is_err());
+        assert_eq!(st.counters().total(), 2);
+        st.reset_counters();
+        assert_eq!(st.counters().total(), 0, "counters zeroed");
+        // Ordinals were not rewound: the one-shot triggers stay consumed.
+        assert!(st.on_alloc(8, 0, 64).is_ok());
+        assert!(st.on_execute("k").is_ok());
     }
 
     #[test]

@@ -272,6 +272,30 @@ impl DeviceHealthRegistry {
         self.kernels.clear();
     }
 
+    /// Drops every record for `device` — its device breaker and all of its
+    /// `(device, kernel)` breakers. Called when a device is unplugged so the
+    /// registry (and its JSON export) never reports a ghost device, and a
+    /// later hot-add reusing nothing starts with a clean slate.
+    pub fn forget_device(&mut self, device: DeviceId) {
+        self.devices.remove(&device);
+        self.kernels.retain(|(d, _), _| *d != device);
+    }
+
+    /// Registers a hot-added `device` in `HalfOpen`: it earns traffic
+    /// through the existing probe ramp (one probe pipeline per query,
+    /// promoted to `Closed` by [`Self::record_success`]) instead of
+    /// instantly absorbing a full share of placement.
+    pub fn admit_half_open(&mut self, device: DeviceId) {
+        if !self.policy.enabled {
+            return;
+        }
+        let h = self.entry(device);
+        *h = DeviceHealth {
+            state: BreakerState::HalfOpen,
+            ..DeviceHealth::default()
+        };
+    }
+
     fn entry(&mut self, device: DeviceId) -> &mut DeviceHealth {
         self.devices.entry(device).or_default()
     }
@@ -1169,6 +1193,43 @@ mod tests {
     }
 
     const D: DeviceId = DeviceId(0);
+
+    #[test]
+    fn forget_device_drops_every_record_including_json() {
+        let mut r = reg();
+        r.record_attempt(D);
+        r.record_kernel_failure(D, "agg_block", 100.0);
+        r.record_kernel_failure(D, "agg_block", 100.0);
+        let other = DeviceId(1);
+        r.record_attempt(other);
+        assert!(r.to_json().contains("\"id\":0"), "device 0 is reported");
+        r.forget_device(D);
+        let json = r.to_json();
+        assert!(
+            !json.contains("\"id\":0"),
+            "ghost device must vanish from the export: {json}"
+        );
+        assert!(
+            !json.contains("\"device\":0"),
+            "ghost kernel breakers must vanish too: {json}"
+        );
+        assert!(json.contains("\"id\":1"), "other devices are kept");
+        assert!(!r.kernel_known_broken(D, "agg_block"));
+        assert_eq!(r.retry_penalty_ns(D), 0.0);
+    }
+
+    #[test]
+    fn admit_half_open_enters_the_probe_ramp() {
+        let mut r = reg();
+        r.admit_half_open(D);
+        assert!(r.is_half_open(D));
+        assert!(r.probe_candidate(D));
+        r.begin_probe(D);
+        assert!(!r.probe_candidate(D), "one probe in flight at a time");
+        assert!(r.record_success(D), "probe success closes the breaker");
+        assert!(!r.is_half_open(D));
+        assert!(!r.is_quarantined(D));
+    }
 
     #[test]
     fn single_kernel_trips_kernel_breaker_not_device() {

@@ -49,6 +49,17 @@ impl BufferPool {
         self.capacity
     }
 
+    /// Re-sizes the device region to `bytes` (capacity re-negotiation, e.g.
+    /// after membership changes). Existing allocations and admission
+    /// reservations are untouched — a shrink below what is currently
+    /// used/reserved leaves the pool over-subscribed, and only *new*
+    /// allocations/reservations observe the lower cap; callers that need
+    /// the over-subscription resolved (the scheduler's reservation ledger)
+    /// must evict reservations themselves.
+    pub fn set_capacity(&mut self, bytes: u64) {
+        self.capacity = bytes;
+    }
+
     /// Bytes currently allocated from the device region.
     pub fn used(&self) -> u64 {
         self.used
@@ -64,9 +75,10 @@ impl BufferPool {
         self.peak
     }
 
-    /// Remaining device bytes.
+    /// Remaining device bytes (zero while over-subscribed after a
+    /// [`Self::set_capacity`] shrink).
     pub fn available(&self) -> u64 {
-        self.capacity - self.used
+        self.capacity.saturating_sub(self.used)
     }
 
     /// Number of live buffers (taken ones included).
@@ -92,7 +104,7 @@ impl BufferPool {
             if self.used + bytes > self.capacity {
                 return Err(DeviceError::OutOfMemory {
                     requested: bytes,
-                    available: self.capacity - self.used,
+                    available: self.capacity.saturating_sub(self.used),
                     capacity: self.capacity,
                 });
             }
@@ -184,7 +196,7 @@ impl BufferPool {
                 self.used -= old_bytes;
                 return Err(DeviceError::OutOfMemory {
                     requested: new_bytes - old_bytes,
-                    available: self.capacity - self.used,
+                    available: self.capacity.saturating_sub(self.used),
                     capacity: self.capacity,
                 });
             }
@@ -252,7 +264,7 @@ impl BufferPool {
         if self.admission_reserved + bytes > self.capacity {
             return Err(DeviceError::OutOfMemory {
                 requested: bytes,
-                available: self.capacity - self.admission_reserved,
+                available: self.capacity.saturating_sub(self.admission_reserved),
                 capacity: self.capacity,
             });
         }
@@ -271,9 +283,10 @@ impl BufferPool {
         self.admission_reserved
     }
 
-    /// Capacity not yet promised to any admitted query.
+    /// Capacity not yet promised to any admitted query (zero while
+    /// over-subscribed after a [`Self::set_capacity`] shrink).
     pub fn admission_available(&self) -> u64 {
-        self.capacity - self.admission_reserved
+        self.capacity.saturating_sub(self.admission_reserved)
     }
 
     /// Convenience: allocates a reserved-but-empty buffer.
@@ -321,6 +334,24 @@ mod tests {
             other => panic!("unexpected error {other:?}"),
         }
         assert_eq!(pool.used(), 80);
+    }
+
+    #[test]
+    fn set_capacity_shrink_is_safe_while_oversubscribed() {
+        let mut pool = BufferPool::new(1000, 0);
+        pool.insert(BufferId(1), buf(10)).unwrap(); // 80 bytes
+        pool.admission_reserve(500).unwrap();
+        pool.set_capacity(50); // below both `used` and `admission_reserved`
+        assert_eq!(pool.capacity(), 50);
+        assert_eq!(pool.available(), 0, "no underflow while over-subscribed");
+        assert_eq!(pool.admission_available(), 0);
+        assert!(pool.insert(BufferId(2), buf(1)).is_err());
+        assert!(pool.admission_reserve(1).is_err());
+        // Releasing resolves the over-subscription; new work fits again.
+        pool.admission_release(500);
+        pool.remove(BufferId(1)).unwrap();
+        pool.insert(BufferId(3), buf(1)).unwrap();
+        pool.admission_reserve(10).unwrap();
     }
 
     #[test]

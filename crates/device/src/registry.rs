@@ -29,6 +29,14 @@ impl DeviceRegistry {
         id
     }
 
+    /// The id the next [`DeviceRegistry::add`] will assign. Ids are never
+    /// reused: a removed device's id stays retired, so callers building a
+    /// device ahead of plugging it (profiles bake the id into
+    /// [`DeviceInfo`]) must use this instead of counting live devices.
+    pub fn peek_next_id(&self) -> DeviceId {
+        DeviceId(self.next_id)
+    }
+
     /// Borrows a device.
     pub fn get(&self, id: DeviceId) -> Result<&dyn Device> {
         self.devices
@@ -69,10 +77,12 @@ impl DeviceRegistry {
         self.devices.is_empty()
     }
 
-    /// Resets every device (buffers, clocks) between experiments.
+    /// Resets every device (buffers, clocks, fault counters) between
+    /// experiments, so each iteration starts from a clean slate.
     pub fn reset_all(&mut self) {
         for d in self.devices.values_mut() {
             d.reset();
+            d.reset_fault_counters();
         }
     }
 }
@@ -96,6 +106,39 @@ mod tests {
         assert!(reg.get(DeviceId(99)).is_err());
         assert!(reg.remove(id0).is_some());
         assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_never_reused_after_remove() {
+        let mut reg = DeviceRegistry::new();
+        let id0 = reg.add(Box::new(DeviceProfile::host().build(DeviceId(0))));
+        assert_eq!(reg.peek_next_id(), DeviceId(1));
+        reg.remove(id0);
+        // The retired id stays retired; the next add gets a fresh one.
+        assert_eq!(reg.peek_next_id(), DeviceId(1));
+        let id1 = reg.add(Box::new(DeviceProfile::host().build(reg.peek_next_id())));
+        assert_eq!(id1, DeviceId(1));
+    }
+
+    #[test]
+    fn reset_all_clears_fault_counters() {
+        use crate::fault::FaultPlan;
+        let mut reg = DeviceRegistry::new();
+        let id = reg.add(Box::new(DeviceProfile::cuda_rtx2080ti().build(DeviceId(0))));
+        {
+            let dev = reg.get_mut(id).unwrap();
+            dev.initialize().unwrap();
+            dev.set_fault_plan(FaultPlan::none().oom_on_allocation(1));
+            assert!(dev.prepare_memory(crate::buffer::BufferId(1), 64).is_err());
+            assert_eq!(dev.fault_counters().oom_injected, 1);
+        }
+        reg.reset_all();
+        let dev = reg.get(id).unwrap();
+        assert_eq!(
+            dev.fault_counters().total(),
+            0,
+            "reset_all must clear accumulated fault counters"
+        );
     }
 
     #[test]

@@ -29,6 +29,10 @@ pub struct SimDevice {
     supports_compilation: bool,
     initialized: bool,
     faults: FaultState,
+    /// Permanent death (hot-unplug / terminal fault): once set, every
+    /// data-plane operation fails with [`DeviceError::Gone`] forever —
+    /// `reset()` does not revive a dead device.
+    dead: bool,
 }
 
 impl SimDevice {
@@ -50,7 +54,14 @@ impl SimDevice {
             supports_compilation,
             initialized: false,
             faults: FaultState::default(),
+            dead: false,
         }
+    }
+
+    /// Whether the device has died permanently (every data-plane operation
+    /// now fails with [`DeviceError::Gone`]).
+    pub fn is_dead(&self) -> bool {
+        self.dead
     }
 
     /// The device's cost model (benches read parameters from here).
@@ -88,6 +99,35 @@ impl SimDevice {
         } else {
             Err(DeviceError::NotInitialized)
         }
+    }
+
+    /// Kills the device permanently, counting the injected death exactly
+    /// once, and returns the terminal error.
+    fn die(&mut self) -> DeviceError {
+        if !self.dead {
+            self.dead = true;
+            self.faults.note_death();
+        }
+        DeviceError::Gone {
+            device: self.info.id,
+        }
+    }
+
+    /// Gate at the top of every data-plane operation: a dead device only
+    /// ever answers [`DeviceError::Gone`], and the plan's wall-clock death
+    /// trigger fires on the first operation at or past its instant.
+    /// Host-side accessors (`info`, `clock`, `pool`, `fault_counters`) stay
+    /// usable so write-off accounting can still read the corpse.
+    fn ensure_alive(&mut self) -> Result<()> {
+        if self.dead {
+            return Err(DeviceError::Gone {
+                device: self.info.id,
+            });
+        }
+        if self.faults.death_due(self.clock.total_ns()) {
+            return Err(self.die());
+        }
+        Ok(())
     }
 
     fn native_repr(&self) -> SdkRepr {
@@ -153,11 +193,13 @@ impl Device for SimDevice {
     }
 
     fn initialize(&mut self) -> Result<()> {
+        self.ensure_alive()?;
         self.initialized = true;
         Ok(())
     }
 
     fn place_data(&mut self, id: BufferId, data: BufferData, offset: usize) -> Result<()> {
+        self.ensure_alive()?;
         self.ensure_init()?;
         let fault = self.faults.on_place();
         let mut data = data;
@@ -220,6 +262,7 @@ impl Device for SimDevice {
         len: Option<usize>,
         offset: usize,
     ) -> Result<BufferData> {
+        self.ensure_alive()?;
         self.ensure_init()?;
         let fault = self.faults.on_retrieve();
         let buf = self.pool.get(id)?;
@@ -252,6 +295,7 @@ impl Device for SimDevice {
     }
 
     fn prepare_memory(&mut self, id: BufferId, bytes: u64) -> Result<()> {
+        self.ensure_alive()?;
         self.ensure_init()?;
         self.check_alloc(bytes)?;
         self.pool.reserve(id, bytes, self.native_repr(), false)?;
@@ -266,6 +310,7 @@ impl Device for SimDevice {
     }
 
     fn transform_memory(&mut self, id: BufferId, target: SdkRepr) -> Result<TransformKind> {
+        self.ensure_alive()?;
         self.ensure_init()?;
         let (from, bytes, pinned) = {
             let buf = self.pool.get(id)?;
@@ -305,6 +350,7 @@ impl Device for SimDevice {
     }
 
     fn delete_memory(&mut self, id: BufferId) -> Result<()> {
+        self.ensure_alive()?;
         self.ensure_init()?;
         self.pool.remove(id)?;
         self.clock.record(
@@ -317,6 +363,7 @@ impl Device for SimDevice {
     }
 
     fn prepare_kernel(&mut self, name: &str, source: KernelSource) -> Result<()> {
+        self.ensure_alive()?;
         // Binding kernels before initialize() is allowed (paper compiles at
         // initialization); compilation cost is charged when it happens.
         let entry = match source {
@@ -347,6 +394,7 @@ impl Device for SimDevice {
         offset: usize,
         len: usize,
     ) -> Result<()> {
+        self.ensure_alive()?;
         self.ensure_init()?;
         let (slice, repr) = {
             let buf = self.pool.get(src)?;
@@ -382,6 +430,7 @@ impl Device for SimDevice {
     }
 
     fn add_pinned_memory(&mut self, id: BufferId, bytes: u64) -> Result<()> {
+        self.ensure_alive()?;
         self.ensure_init()?;
         self.check_pinned_alloc(bytes)?;
         self.pool.reserve(id, bytes, self.native_repr(), true)?;
@@ -396,7 +445,13 @@ impl Device for SimDevice {
     }
 
     fn execute(&mut self, spec: &ExecuteSpec) -> Result<KernelStats> {
+        self.ensure_alive()?;
         self.ensure_init()?;
+        // The terminal trigger is checked before `on_execute` advances the
+        // ordinal, so `die_on_exec(n)` kills the n-th call itself.
+        if self.faults.exec_death_due() {
+            return Err(self.die());
+        }
         self.faults.on_execute(&spec.kernel)?;
         let kernel = self
             .kernels
@@ -419,6 +474,7 @@ impl Device for SimDevice {
     }
 
     fn init_structure(&mut self, id: BufferId, data: BufferData) -> Result<()> {
+        self.ensure_alive()?;
         self.ensure_init()?;
         let bytes = data.byte_len();
         self.check_alloc(bytes)?;
@@ -459,7 +515,8 @@ impl Device for SimDevice {
 
     fn reset(&mut self) {
         // Fault state survives reset: the plan is configuration, and its
-        // ordinals are per-plan (reinstall the plan to rewind them).
+        // ordinals are per-plan (reinstall the plan to rewind them). Death
+        // also survives — it is permanent by definition.
         self.pool.clear();
         self.pool.reset_peak();
         self.clock.reset();
@@ -471,6 +528,10 @@ impl Device for SimDevice {
 
     fn fault_counters(&self) -> FaultCounters {
         self.faults.counters()
+    }
+
+    fn reset_fault_counters(&mut self) {
+        self.faults.reset_counters();
     }
 
     fn placement_cost_ns(&self, working_set_bytes: u64, retry_penalty_ns: f64) -> f64 {
@@ -833,6 +894,73 @@ mod tests {
             BufferData::I64((4..7).collect()).checksum()
         );
         assert!(d.buffer_checksum(BufferId(9), None, 0).is_err());
+    }
+
+    #[test]
+    fn exec_death_is_permanent_and_survives_reset() {
+        let mut d = gpu();
+        let f: KernelFn = Arc::new(|_, _, _| Ok(KernelStats::new(0, CostClass::MapLike)));
+        d.prepare_kernel("noop", KernelSource::Builtin(f)).unwrap();
+        d.set_fault_plan(FaultPlan::none().die_on_exec(2));
+        let spec = ExecuteSpec::new("noop", vec![], vec![]);
+        d.execute(&spec).unwrap();
+        assert!(!d.is_dead());
+        assert!(matches!(d.execute(&spec), Err(DeviceError::Gone { .. })));
+        assert!(d.is_dead());
+        // Every data-plane operation is now Gone — including re-initialize.
+        assert!(matches!(
+            d.place_data(BufferId(1), BufferData::I64(vec![1]), 0),
+            Err(DeviceError::Gone { .. })
+        ));
+        assert!(matches!(
+            d.delete_memory(BufferId(1)),
+            Err(DeviceError::Gone { .. })
+        ));
+        d.reset();
+        assert!(d.is_dead(), "reset must not revive a dead device");
+        assert!(matches!(d.initialize(), Err(DeviceError::Gone { .. })));
+        // The death was counted exactly once, even after more attempts.
+        assert_eq!(d.fault_counters().deaths_injected, 1);
+        // Host-side accessors still work on the corpse.
+        assert_eq!(d.pool().used(), 0);
+        assert_eq!(d.info().name, "test-gpu");
+    }
+
+    #[test]
+    fn clock_death_fires_once_simulated_time_passes() {
+        let mut d = gpu();
+        d.place_data(BufferId(1), BufferData::I64(vec![1, 2, 3]), 0)
+            .unwrap();
+        let now = d.clock().total_ns();
+        assert!(now > 0.0);
+        d.set_fault_plan(FaultPlan::none().die_at_ns(now / 2.0));
+        // The very next operation observes the clock past the instant.
+        assert!(matches!(
+            d.retrieve_data(BufferId(1), None, 0),
+            Err(DeviceError::Gone { .. })
+        ));
+        assert!(d.is_dead());
+        assert_eq!(d.fault_counters().deaths_injected, 1);
+    }
+
+    #[test]
+    fn future_clock_death_does_not_fire_early() {
+        let mut d = gpu();
+        d.set_fault_plan(FaultPlan::none().die_at_ns(1.0e18));
+        d.place_data(BufferId(1), BufferData::I64(vec![1]), 0)
+            .unwrap();
+        assert!(!d.is_dead());
+        assert_eq!(d.fault_counters().deaths_injected, 0);
+    }
+
+    #[test]
+    fn reset_fault_counters_clears_accumulated_counts() {
+        let mut d = gpu();
+        d.set_fault_plan(FaultPlan::none().oom_on_allocation(1));
+        assert!(d.prepare_memory(BufferId(1), 64).is_err());
+        assert_eq!(d.fault_counters().oom_injected, 1);
+        d.reset_fault_counters();
+        assert_eq!(d.fault_counters(), FaultCounters::default());
     }
 
     #[test]

@@ -98,6 +98,68 @@ impl ReservationLedger {
         }
     }
 
+    /// Forgets every reservation on a permanently dead device **without**
+    /// releasing anything against its pool (the corpse's accounting is
+    /// reconciled by the engine's write-off, not by the ledger). Returns
+    /// the displaced `(ticket, bytes)` pairs ascending by ticket — the
+    /// scheduler re-admits them against survivors or sheds them with a
+    /// typed outcome.
+    pub fn detach_device(&mut self, device: DeviceId) -> Vec<(u64, u64)> {
+        let displaced: Vec<(u64, u64)> = self
+            .entries
+            .iter()
+            .filter(|(_, (d, _))| *d == device)
+            .map(|(&t, &(_, b))| (t, b))
+            .collect();
+        for (t, _) in &displaced {
+            self.entries.remove(t);
+        }
+        displaced
+    }
+
+    /// Devices with at least one outstanding reservation, ascending.
+    pub fn devices(&self) -> Vec<DeviceId> {
+        let mut v: Vec<DeviceId> = self.entries.values().map(|(d, _)| *d).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Shrinks (or grows) `device`'s admission capacity to `bytes`. On a
+    /// shrink that leaves the pool over-subscribed, outstanding
+    /// reservations are evicted highest-ticket-first (newest admissions
+    /// yield; their bytes are released against the pool) until the rest
+    /// fit the new capacity. Returns the displaced tickets.
+    pub fn set_capacity(
+        &mut self,
+        executor: &mut Executor,
+        device: DeviceId,
+        bytes: u64,
+    ) -> Vec<u64> {
+        let mut displaced = Vec::new();
+        let Ok(dev) = executor.devices_mut().get_mut(device) else {
+            return displaced;
+        };
+        dev.pool_mut().set_capacity(bytes);
+        while executor
+            .devices()
+            .get(device)
+            .map(|d| d.pool().admission_reserved() > d.pool().capacity())
+            .unwrap_or(false)
+        {
+            let victim = self
+                .entries
+                .iter()
+                .rev()
+                .find(|(_, (d, _))| *d == device)
+                .map(|(&t, _)| t);
+            let Some(ticket) = victim else { break };
+            self.release(executor, ticket);
+            displaced.push(ticket);
+        }
+        displaced
+    }
+
     /// Whether `ticket` currently holds a reservation.
     pub fn holds(&self, ticket: u64) -> bool {
         self.entries.contains_key(&ticket)
@@ -191,6 +253,47 @@ mod tests {
             exec.devices().get(dev).unwrap().pool().admission_reserved(),
             0
         );
+    }
+
+    #[test]
+    fn detach_forgets_reservations_without_touching_the_pool() {
+        let tasks = TaskRegistry::with_defaults(&[SdkKind::Cuda, SdkKind::Host]);
+        let mut exec = Executor::new(tasks, ExecutorConfig::default());
+        let dev = exec.add_profile(&DeviceProfile::cuda_rtx2080ti()).unwrap();
+        let mut ledger = ReservationLedger::new();
+        ledger.reserve(&mut exec, dev, 1, 1024).unwrap();
+        ledger.reserve(&mut exec, dev, 2, 2048).unwrap();
+        let displaced = ledger.detach_device(dev);
+        assert_eq!(displaced, vec![(1, 1024), (2, 2048)]);
+        assert_eq!(ledger.outstanding(), 0);
+        // The pool still carries the charge: the engine's write-off owns
+        // reconciling a dead device, not the ledger.
+        assert_eq!(
+            exec.devices().get(dev).unwrap().pool().admission_reserved(),
+            1024 + 2048
+        );
+    }
+
+    #[test]
+    fn set_capacity_shrink_evicts_newest_reservations_first() {
+        let tasks = TaskRegistry::with_defaults(&[SdkKind::Cuda, SdkKind::Host]);
+        let mut exec = Executor::new(tasks, ExecutorConfig::default());
+        let dev = exec.add_profile(&DeviceProfile::cuda_rtx2080ti()).unwrap();
+        let mut ledger = ReservationLedger::new();
+        ledger.reserve(&mut exec, dev, 1, 1000).unwrap();
+        ledger.reserve(&mut exec, dev, 2, 1000).unwrap();
+        ledger.reserve(&mut exec, dev, 3, 1000).unwrap();
+        // Shrink so only 1500 bytes of admission capacity remain: tickets 3
+        // then 2 must yield (newest first); ticket 1 survives.
+        let displaced = ledger.set_capacity(&mut exec, dev, 1500);
+        assert_eq!(displaced, vec![3, 2]);
+        assert!(ledger.holds(1));
+        assert!(!ledger.holds(2) && !ledger.holds(3));
+        assert_eq!(
+            exec.devices().get(dev).unwrap().pool().admission_reserved(),
+            1000
+        );
+        assert_eq!(exec.devices().get(dev).unwrap().pool().capacity(), 1500);
     }
 
     #[test]

@@ -44,7 +44,7 @@ pub use estimate::estimate_footprint_bytes;
 pub use ledger::ReservationLedger;
 pub use queue::AdmissionQueues;
 pub use scheduler::{
-    PreemptPolicy, QueryOutcome, QueryScheduler, QuerySpec, QueryTicket, SchedReport,
+    PreemptPolicy, QueryOutcome, QueryScheduler, QuerySpec, QueryTicket, SchedReport, ShedReason,
 };
 pub use stats::{SchedulerStats, TenantStats};
 
@@ -53,6 +53,7 @@ pub mod prelude {
     pub use crate::estimate::estimate_footprint_bytes;
     pub use crate::scheduler::{
         PreemptPolicy, QueryOutcome, QueryScheduler, QuerySpec, QueryTicket, SchedReport,
+        ShedReason,
     };
     pub use crate::stats::{SchedulerStats, TenantStats};
 }

@@ -173,6 +173,32 @@ impl QueryTicket {
     }
 }
 
+/// Why a query was shed — typed so callers can react programmatically
+/// (retry, re-queue, alert) instead of parsing reason strings.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShedReason {
+    /// Its cancel token fired while it was still queued.
+    Cancelled,
+    /// Its deadline expired while it was still queued.
+    DeadlineExpired,
+    /// Its remaining budget was below the cheapest modeled placement.
+    BudgetExceeded,
+    /// It was admitted against capacity a permanent device death took
+    /// away, and no survivor could absorb its reservation.
+    CapacityLost,
+}
+
+impl std::fmt::Display for ShedReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ShedReason::Cancelled => "cancelled while queued",
+            ShedReason::DeadlineExpired => "deadline expired while queued",
+            ShedReason::BudgetExceeded => "remaining budget below cheapest modeled placement",
+            ShedReason::CapacityLost => "admitted capacity lost to device death",
+        })
+    }
+}
+
 /// What happened to one submitted query.
 #[derive(Debug)]
 pub enum QueryOutcome {
@@ -197,11 +223,11 @@ pub enum QueryOutcome {
         /// The executor error.
         error: ExecError,
     },
-    /// Shed before admission (deadline unmeetable, or cancelled while
-    /// queued).
+    /// Shed: deadline unmeetable, cancelled while queued, or its admitted
+    /// capacity vanished with a dead device and no survivor could take it.
     Shed {
         /// Why it was shed.
-        reason: String,
+        reason: ShedReason,
     },
     /// Rejected: its footprint exceeds every device, so no amount of
     /// waiting could admit it.
@@ -450,6 +476,11 @@ impl<'e> QueryScheduler<'e> {
                         gate_held = true;
                     }
                 }
+                // The run inside try_admit may have lost a device for good
+                // (the executor unplugs it on the first `Gone`). Reconcile
+                // the ledger and the active set with the new membership
+                // before the next fits-check trusts stale capacity.
+                self.reconcile_membership(&mut active, &mut outcomes);
             }
 
             if active.is_empty() {
@@ -634,6 +665,66 @@ impl<'e> QueryScheduler<'e> {
         }
     }
 
+    /// Reconciles the admission ledger and the active set with the
+    /// executor's current device membership. Reservations held against a
+    /// device that no longer exists (it died mid-run and was unplugged)
+    /// are detached without touching the corpse's pool; each displaced
+    /// admitted query is re-admitted against the surviving devices
+    /// (ascending id, first fit — evicting residency pins if needed) or,
+    /// when no survivor can take its reservation, shed with the typed
+    /// [`ShedReason::CapacityLost`] — never silently wedged.
+    fn reconcile_membership(
+        &mut self,
+        active: &mut Vec<Active>,
+        outcomes: &mut BTreeMap<u64, QueryOutcome>,
+    ) {
+        let live = self.executor.devices().ids();
+        let ghosts: Vec<DeviceId> = self
+            .ledger
+            .devices()
+            .into_iter()
+            .filter(|d| !live.contains(d))
+            .collect();
+        for ghost in ghosts {
+            for (ticket, bytes) in self.ledger.detach_device(ghost) {
+                let Some(idx) = active.iter().position(|a| a.ticket == ticket) else {
+                    // The reservation belonged to a query that already
+                    // resolved this step; nothing left to re-home.
+                    continue;
+                };
+                let mut rehomed = None;
+                for &cand in &live {
+                    if self
+                        .ledger
+                        .reserve(self.executor, cand, ticket, bytes)
+                        .is_ok()
+                    {
+                        rehomed = Some(cand);
+                        break;
+                    }
+                }
+                match rehomed {
+                    Some(cand) => active[idx].device = cand,
+                    None => {
+                        let gone = active.remove(idx);
+                        self.stats.shed_capacity_lost += 1;
+                        self.shed(
+                            &gone.tenant,
+                            gone.ticket,
+                            ShedReason::CapacityLost,
+                            outcomes,
+                        );
+                        if !active.iter().any(|a| a.tenant == gone.tenant) {
+                            if let Some(&s) = self.streams.get(&gone.tenant) {
+                                self.wfq.deactivate(s);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
     /// Tries to admit the head-of-line candidate. `Started` hands back a
     /// running query, `Resolved` means the candidate was consumed without
     /// running (shed/rejected/failed), `Hold` leaves it queued.
@@ -649,7 +740,7 @@ impl<'e> QueryScheduler<'e> {
         if spec.cancel.is_cancelled() {
             self.queues.pop(tenant);
             self.pending.remove(&entry.ticket);
-            self.shed(tenant, entry.ticket, "cancelled while queued", outcomes);
+            self.shed(tenant, entry.ticket, ShedReason::Cancelled, outcomes);
             return Admit::Resolved;
         }
 
@@ -659,12 +750,7 @@ impl<'e> QueryScheduler<'e> {
             self.queues.pop(tenant);
             self.pending.remove(&entry.ticket);
             self.stats.shed_deadline += 1;
-            self.shed(
-                tenant,
-                entry.ticket,
-                "deadline expired while queued",
-                outcomes,
-            );
+            self.shed(tenant, entry.ticket, ShedReason::DeadlineExpired, outcomes);
             return Admit::Resolved;
         }
 
@@ -689,12 +775,7 @@ impl<'e> QueryScheduler<'e> {
                 self.queues.pop(tenant);
                 self.pending.remove(&entry.ticket);
                 self.stats.shed_deadline += 1;
-                self.shed(
-                    tenant,
-                    entry.ticket,
-                    "remaining budget below cheapest modeled placement",
-                    outcomes,
-                );
+                self.shed(tenant, entry.ticket, ShedReason::BudgetExceeded, outcomes);
                 return Admit::Resolved;
             }
             Err(Unplaceable::Other(e)) => {
@@ -790,6 +871,10 @@ impl<'e> QueryScheduler<'e> {
         self.stats.hedged_launches += stats.hedged_launches as u64;
         self.stats.hedge_wins += stats.hedge_wins as u64;
         self.stats.corruption_retransmits += stats.corruption_retransmits as u64;
+        self.stats.device_deaths += stats.device_deaths as u64;
+        self.stats.buffers_written_off += stats.buffers_written_off as u64;
+        self.stats.restaged_bytes += stats.restaged_bytes;
+        self.stats.hot_adds += stats.hot_adds as u64;
     }
 
     /// Picks the target device: the pin, the spec's policy under its
@@ -874,17 +959,12 @@ impl<'e> QueryScheduler<'e> {
         &mut self,
         tenant: &str,
         ticket: u64,
-        reason: &str,
+        reason: ShedReason,
         outcomes: &mut BTreeMap<u64, QueryOutcome>,
     ) {
         let t = self.stats.tenants.entry(tenant.to_string()).or_default();
         t.shed += 1;
-        outcomes.insert(
-            ticket,
-            QueryOutcome::Shed {
-                reason: reason.to_string(),
-            },
-        );
+        outcomes.insert(ticket, QueryOutcome::Shed { reason });
     }
 
     fn reject(

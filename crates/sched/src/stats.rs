@@ -86,6 +86,18 @@ pub struct SchedulerStats {
     /// surfaced on the outcome (`Completed { missed_deadline: true }`), not
     /// reported as silent success.
     pub deadline_misses: u64,
+    /// Admitted queries shed because their reserved capacity vanished with
+    /// a permanently dead device and no survivor could absorb the
+    /// reservation (`QueryOutcome::Shed { reason: CapacityLost }`).
+    pub shed_capacity_lost: u64,
+    /// Permanent device deaths observed across all executed queries.
+    pub device_deaths: u64,
+    /// Buffers written off dead devices across all executed queries.
+    pub buffers_written_off: u64,
+    /// Bytes re-staged onto survivors after device deaths.
+    pub restaged_bytes: u64,
+    /// Devices hot-added through the health probe ramp.
+    pub hot_adds: u64,
     /// Per-tenant breakdown, keyed by tenant name (deterministic order).
     pub tenants: BTreeMap<String, TenantStats>,
 }
@@ -117,6 +129,17 @@ impl SchedulerStats {
         s.push_str(&format!(",\"preemptions\":{}", self.preemptions));
         s.push_str(&format!(",\"resumed\":{}", self.resumed));
         s.push_str(&format!(",\"deadline_misses\":{}", self.deadline_misses));
+        s.push_str(&format!(
+            ",\"shed_capacity_lost\":{}",
+            self.shed_capacity_lost
+        ));
+        s.push_str(&format!(",\"device_deaths\":{}", self.device_deaths));
+        s.push_str(&format!(
+            ",\"buffers_written_off\":{}",
+            self.buffers_written_off
+        ));
+        s.push_str(&format!(",\"restaged_bytes\":{}", self.restaged_bytes));
+        s.push_str(&format!(",\"hot_adds\":{}", self.hot_adds));
         s.push_str(",\"tenants\":{");
         let mut first = true;
         for (name, t) in &self.tenants {
@@ -175,6 +198,11 @@ mod tests {
             preemptions: 3,
             resumed: 3,
             deadline_misses: 1,
+            shed_capacity_lost: 1,
+            device_deaths: 2,
+            buffers_written_off: 6,
+            restaged_bytes: 4096,
+            hot_adds: 1,
             ..Default::default()
         };
         stats.tenants.insert(
@@ -210,6 +238,11 @@ mod tests {
         assert!(json.contains("\"preemptions\":3"));
         assert!(json.contains("\"resumed\":3"));
         assert!(json.contains("\"deadline_misses\":1"));
+        assert!(json.contains("\"shed_capacity_lost\":1"));
+        assert!(json.contains("\"device_deaths\":2"));
+        assert!(json.contains("\"buffers_written_off\":6"));
+        assert!(json.contains("\"restaged_bytes\":4096"));
+        assert!(json.contains("\"hot_adds\":1"));
         assert!(json.contains("\"wait_ns\":500.0"));
         assert!(json.contains("\"contended_run_ns\":100.0"));
         assert_eq!(json, stats.to_json(), "export must be deterministic");
