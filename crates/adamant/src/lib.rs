@@ -65,6 +65,7 @@ pub use adamant_core as core;
 pub use adamant_device as device;
 pub use adamant_plan as plan;
 pub use adamant_sched as sched;
+pub use adamant_sql as sql;
 pub use adamant_storage as storage;
 pub use adamant_task as task;
 pub use adamant_tpch as tpch;
@@ -83,6 +84,9 @@ use adamant_device::profiles::DeviceProfile;
 use adamant_device::sdk::SdkKind;
 use adamant_sched::{PreemptPolicy, QueryScheduler, QuerySpec, SchedReport};
 use adamant_task::registry::TaskRegistry;
+
+pub mod session;
+pub use session::{Session, SessionError, SqlResultSet, SqlValue};
 
 /// The top-level engine: devices + tasks + executor, ready to run plans.
 pub struct Adamant {
@@ -403,6 +407,7 @@ impl AdamantBuilder {
 
 /// One-stop imports for applications.
 pub mod prelude {
+    pub use crate::session::{Session, SessionError, SqlResultSet, SqlValue};
     pub use crate::{Adamant, AdamantBuilder};
     pub use adamant_baseline::{BaselineExecutor, BaselineRun};
     pub use adamant_core::executor::{
@@ -431,6 +436,7 @@ pub mod prelude {
         PreemptPolicy, QueryOutcome, QueryScheduler, QuerySpec, QueryTicket, SchedReport,
         SchedulerStats, ShedReason, TenantStats,
     };
+    pub use adamant_sql::{SqlError, SqlErrorKind};
     pub use adamant_storage::prelude::{Bitmap, Catalog, Column, PositionList, Table};
     pub use adamant_task::params::{AggFunc, BitmapOp, CmpOp, MapOp};
     pub use adamant_task::primitive::PrimitiveKind;

@@ -252,6 +252,13 @@ impl SchedReport {
         self.outcomes.get(&ticket.0)
     }
 
+    /// Removes and returns the outcome for one ticket, handing the caller
+    /// ownership of the output and statistics (a serving layer returning
+    /// results to a client wants to move them, not clone them).
+    pub fn take_outcome(&mut self, ticket: QueryTicket) -> Option<QueryOutcome> {
+        self.outcomes.remove(&ticket.0)
+    }
+
     /// The completed output for one ticket, or `None` for any other
     /// outcome.
     pub fn output(&self, ticket: QueryTicket) -> Option<&QueryOutput> {

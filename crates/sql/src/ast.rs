@@ -1,0 +1,289 @@
+//! Abstract syntax tree for the supported SQL subset.
+//!
+//! Every node carries a [`Span`] back into the source text so binder and
+//! lowering diagnostics can point at the offending fragment. The tree is
+//! deliberately close to the grammar — name resolution, type checks and
+//! plan construction all happen later in the binder.
+
+use crate::error::Span;
+
+/// Aggregate functions the engine can compute.
+///
+/// `AVG` is recognized by the parser but rejected with a typed
+/// `Unsupported` error: the engine computes in integers and callers should
+/// decompose an average into `SUM(x) / COUNT(x)` explicitly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AggName {
+    /// `SUM(expr)`
+    Sum,
+    /// `COUNT(expr)` or `COUNT(*)`
+    Count,
+    /// `MIN(expr)`
+    Min,
+    /// `MAX(expr)`
+    Max,
+}
+
+impl AggName {
+    /// SQL spelling, for diagnostics and default output names.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AggName::Sum => "sum",
+            AggName::Count => "count",
+            AggName::Min => "min",
+            AggName::Max => "max",
+        }
+    }
+}
+
+/// Comparison operators in predicates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpName {
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `=`
+    Eq,
+    /// `<>` / `!=`
+    Ne,
+}
+
+/// A scalar-valued expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScalarExpr {
+    /// Column reference, optionally qualified: `l_quantity` or `lineitem.l_quantity`.
+    Column {
+        /// Optional table qualifier.
+        table: Option<String>,
+        /// Column name.
+        name: String,
+        /// Source span.
+        span: Span,
+    },
+    /// Integer literal (dates written as `DATE 'yyyy-mm-dd'` are folded to
+    /// days-since-epoch here at parse time).
+    Int {
+        /// The value.
+        value: i64,
+        /// Source span.
+        span: Span,
+    },
+    /// String literal — only meaningful compared against dictionary or date
+    /// columns; the binder translates it to a code or day number.
+    Str {
+        /// The text between the quotes.
+        value: String,
+        /// Source span.
+        span: Span,
+    },
+    /// Binary arithmetic.
+    Binary {
+        /// `+`, `-`, `*` or `/`.
+        op: BinOp,
+        /// Left operand.
+        left: Box<ScalarExpr>,
+        /// Right operand.
+        right: Box<ScalarExpr>,
+        /// Source span.
+        span: Span,
+    },
+    /// Aggregate call, e.g. `SUM(l_quantity)`. `COUNT(*)` has `arg = None`.
+    Agg {
+        /// The function.
+        func: AggName,
+        /// Argument; `None` only for `COUNT(*)`.
+        arg: Option<Box<ScalarExpr>>,
+        /// Source span.
+        span: Span,
+    },
+    /// `CASE WHEN cond THEN a [ELSE b] END` (missing ELSE defaults to 0).
+    Case {
+        /// The condition.
+        when: Box<BoolExpr>,
+        /// Value when the condition holds.
+        then: Box<ScalarExpr>,
+        /// Value otherwise (0 when omitted).
+        otherwise: Option<Box<ScalarExpr>>,
+        /// Source span.
+        span: Span,
+    },
+}
+
+impl ScalarExpr {
+    /// The node's source span.
+    pub fn span(&self) -> Span {
+        match self {
+            ScalarExpr::Column { span, .. }
+            | ScalarExpr::Int { span, .. }
+            | ScalarExpr::Str { span, .. }
+            | ScalarExpr::Binary { span, .. }
+            | ScalarExpr::Agg { span, .. }
+            | ScalarExpr::Case { span, .. } => *span,
+        }
+    }
+
+    /// True if any node in the tree is an aggregate call.
+    pub fn has_agg(&self) -> bool {
+        match self {
+            ScalarExpr::Agg { .. } => true,
+            ScalarExpr::Binary { left, right, .. } => left.has_agg() || right.has_agg(),
+            ScalarExpr::Case {
+                then, otherwise, ..
+            } => then.has_agg() || otherwise.as_ref().is_some_and(|e| e.has_agg()),
+            _ => false,
+        }
+    }
+}
+
+/// Binary arithmetic operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+}
+
+/// A boolean-valued expression (WHERE clause, CASE condition, JOIN ... ON).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum BoolExpr {
+    /// `left op right`.
+    Cmp {
+        /// Left operand.
+        left: Box<ScalarExpr>,
+        /// Comparison operator.
+        op: CmpName,
+        /// Right operand.
+        right: Box<ScalarExpr>,
+        /// Source span.
+        span: Span,
+    },
+    /// `expr BETWEEN lo AND hi` (inclusive both ends).
+    Between {
+        /// The tested expression.
+        expr: Box<ScalarExpr>,
+        /// Lower bound.
+        lo: Box<ScalarExpr>,
+        /// Upper bound.
+        hi: Box<ScalarExpr>,
+        /// Source span.
+        span: Span,
+    },
+    /// `expr IN (v1, v2, ...)`.
+    InList {
+        /// The tested expression.
+        expr: Box<ScalarExpr>,
+        /// Literal alternatives.
+        list: Vec<ScalarExpr>,
+        /// Source span.
+        span: Span,
+    },
+    /// `expr LIKE 'PREFIX%'` — only prefix patterns are supported.
+    Like {
+        /// The tested expression.
+        expr: Box<ScalarExpr>,
+        /// The pattern (with trailing `%`).
+        pattern: String,
+        /// Source span.
+        span: Span,
+    },
+    /// `EXISTS (SELECT ...)` — correlated existence test.
+    Exists {
+        /// The subquery.
+        query: Box<SelectStmt>,
+        /// Source span.
+        span: Span,
+    },
+    /// Conjunction.
+    And(Box<BoolExpr>, Box<BoolExpr>),
+    /// Disjunction.
+    Or(Box<BoolExpr>, Box<BoolExpr>),
+}
+
+impl BoolExpr {
+    /// The node's source span.
+    pub fn span(&self) -> Span {
+        match self {
+            BoolExpr::Cmp { span, .. }
+            | BoolExpr::Between { span, .. }
+            | BoolExpr::InList { span, .. }
+            | BoolExpr::Like { span, .. }
+            | BoolExpr::Exists { span, .. } => *span,
+            BoolExpr::And(a, b) | BoolExpr::Or(a, b) => a.span().to(b.span()),
+        }
+    }
+}
+
+/// One item in the SELECT list: an expression plus optional `AS alias`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SelectItem {
+    /// The projected expression.
+    pub expr: ScalarExpr,
+    /// Output name (`AS alias`, or derived from the expression).
+    pub alias: Option<String>,
+    /// Source span.
+    pub span: Span,
+}
+
+/// A table in the FROM clause.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableRef {
+    /// Catalog table name.
+    pub name: String,
+    /// Source span.
+    pub span: Span,
+}
+
+/// One `JOIN table ON left = right` link.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct JoinClause {
+    /// The joined table.
+    pub table: TableRef,
+    /// Left side of the equality (a column reference).
+    pub left: ScalarExpr,
+    /// Right side of the equality (a column reference).
+    pub right: ScalarExpr,
+    /// Source span.
+    pub span: Span,
+}
+
+/// One ORDER BY key.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct OrderItem {
+    /// Output column or alias name.
+    pub name: String,
+    /// Descending?
+    pub desc: bool,
+    /// Source span.
+    pub span: Span,
+}
+
+/// A parsed SELECT statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SelectStmt {
+    /// Projection list.
+    pub items: Vec<SelectItem>,
+    /// The first FROM table.
+    pub from: TableRef,
+    /// INNER JOIN chain, in source order.
+    pub joins: Vec<JoinClause>,
+    /// WHERE clause.
+    pub filter: Option<BoolExpr>,
+    /// GROUP BY column references.
+    pub group_by: Vec<ScalarExpr>,
+    /// ORDER BY keys.
+    pub order_by: Vec<OrderItem>,
+    /// LIMIT row count.
+    pub limit: Option<usize>,
+    /// Span of the whole statement.
+    pub span: Span,
+}

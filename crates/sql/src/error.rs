@@ -1,0 +1,146 @@
+//! Typed SQL errors with byte-offset spans.
+//!
+//! Every stage of the front door — lexer, parser, binder, rewriter,
+//! lowering — reports failures through [`SqlError`]. Adversarial input must
+//! surface here as a typed error, never as a panic: the serving layer turns
+//! these into client-facing messages with a caret position.
+
+/// A half-open byte range `[start, end)` into the original SQL text.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct Span {
+    /// First byte of the offending fragment.
+    pub start: usize,
+    /// One past the last byte.
+    pub end: usize,
+}
+
+impl Span {
+    /// Creates a span.
+    pub fn new(start: usize, end: usize) -> Span {
+        Span { start, end }
+    }
+
+    /// A zero-width span at `at` (end-of-input errors).
+    pub fn at(at: usize) -> Span {
+        Span { start: at, end: at }
+    }
+
+    /// Covers both spans.
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+}
+
+/// Which stage rejected the query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SqlErrorKind {
+    /// Tokenization failed (bad character, unterminated string, overflow).
+    Lex,
+    /// The token stream does not match the grammar.
+    Parse,
+    /// Names or types do not resolve against the catalog.
+    Bind,
+    /// Valid SQL, but outside the subset this engine lowers.
+    Unsupported,
+    /// The logical plan could not be lowered to a primitive graph.
+    Lower,
+}
+
+impl std::fmt::Display for SqlErrorKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            SqlErrorKind::Lex => "lex error",
+            SqlErrorKind::Parse => "parse error",
+            SqlErrorKind::Bind => "bind error",
+            SqlErrorKind::Unsupported => "unsupported",
+            SqlErrorKind::Lower => "lowering error",
+        })
+    }
+}
+
+/// A typed SQL front-door error: stage, message, and source span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SqlError {
+    /// The stage that rejected the query.
+    pub kind: SqlErrorKind,
+    /// Human-readable description.
+    pub message: String,
+    /// Where in the SQL text the problem is.
+    pub span: Span,
+}
+
+impl SqlError {
+    /// Creates an error.
+    pub fn new(kind: SqlErrorKind, message: impl Into<String>, span: Span) -> SqlError {
+        SqlError {
+            kind,
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// Lexer error.
+    pub fn lex(message: impl Into<String>, span: Span) -> SqlError {
+        SqlError::new(SqlErrorKind::Lex, message, span)
+    }
+
+    /// Parser error.
+    pub fn parse(message: impl Into<String>, span: Span) -> SqlError {
+        SqlError::new(SqlErrorKind::Parse, message, span)
+    }
+
+    /// Binder error.
+    pub fn bind(message: impl Into<String>, span: Span) -> SqlError {
+        SqlError::new(SqlErrorKind::Bind, message, span)
+    }
+
+    /// Outside the supported subset.
+    pub fn unsupported(message: impl Into<String>, span: Span) -> SqlError {
+        SqlError::new(SqlErrorKind::Unsupported, message, span)
+    }
+
+    /// Lowering error.
+    pub fn lower(message: impl Into<String>, span: Span) -> SqlError {
+        SqlError::new(SqlErrorKind::Lower, message, span)
+    }
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} at byte {}..{}: {}",
+            self.kind, self.span.start, self.span.end, self.message
+        )
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Result alias for the front door.
+pub type SqlResult<T> = std::result::Result<T, SqlError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_stage_and_span() {
+        let e = SqlError::parse("expected FROM", Span::new(7, 11));
+        let s = e.to_string();
+        assert!(s.contains("parse error"), "{s}");
+        assert!(s.contains("7..11"), "{s}");
+        assert!(s.contains("expected FROM"), "{s}");
+    }
+
+    #[test]
+    fn span_union() {
+        let a = Span::new(3, 5);
+        let b = Span::new(9, 12);
+        assert_eq!(a.to(b), Span::new(3, 12));
+        assert_eq!(b.to(a), Span::new(3, 12));
+    }
+}

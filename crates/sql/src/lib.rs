@@ -1,0 +1,67 @@
+//! SQL front door for the ADAMANT-style executor.
+//!
+//! A std-only pipeline from SQL text to the executor's primitive graphs:
+//!
+//! 1. [`lexer`]/[`parser`] — tokenizer and recursive-descent parser for a
+//!    SQL subset (projections, arithmetic, aggregates, inner joins, WHERE
+//!    with `AND`/`OR`/`BETWEEN`/`IN`/`LIKE`/`EXISTS`, GROUP BY, ORDER BY,
+//!    LIMIT) producing a spanned AST. Adversarial input yields a typed
+//!    [`SqlError`], never a panic.
+//! 2. [`binder`]/[`logical`] — name resolution against the storage
+//!    [`Catalog`] into a [`BoundQuery`]
+//!    reusing the planner's `Expr`/`Predicate` vocabulary; string literals
+//!    become dictionary codes or day numbers, CASE becomes indicator
+//!    arithmetic.
+//! 3. [`rewrite`] — constant folding, predicate pushdown, projection
+//!    pruning.
+//! 4. [`lower`] — physical lowering to a
+//!    [`PrimitiveGraph`](adamant_core::graph::PrimitiveGraph) via the same
+//!    `PlanBuilder`/`Stream` machinery as the hand-built TPC-H plans, so
+//!    placement, scheduling, fault recovery and residency caching apply
+//!    unchanged.
+//! 5. [`interp`] — a scalar host interpreter over the same logical plan,
+//!    used as the oracle in randomized soak tests.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod ast;
+pub mod binder;
+pub mod error;
+pub mod interp;
+pub mod lexer;
+pub mod logical;
+pub mod lower;
+pub mod parser;
+pub mod rewrite;
+
+pub use error::{Span, SqlError, SqlErrorKind, SqlResult};
+pub use logical::{BoundQuery, ColumnDecode};
+pub use lower::{CompiledQuery, OutputColumn};
+
+use adamant_device::device::DeviceId;
+use adamant_storage::catalog::Catalog;
+
+/// Parses, binds and rewrites `sql` into its normalized logical form.
+pub fn plan(sql: &str, catalog: &Catalog) -> SqlResult<BoundQuery> {
+    let stmt = parser::parse(sql)?;
+    let mut q = binder::bind(&stmt, catalog)?;
+    rewrite::rewrite(&mut q)?;
+    Ok(q)
+}
+
+/// Full front-door pipeline: SQL text → executable [`CompiledQuery`] on
+/// `device`.
+pub fn compile(sql: &str, catalog: &Catalog, device: DeviceId) -> SqlResult<CompiledQuery> {
+    let q = plan(sql, catalog)?;
+    lower::lower(&q, device)
+}
+
+/// Common imports for SQL front-door users.
+pub mod prelude {
+    pub use crate::error::{Span, SqlError, SqlErrorKind, SqlResult};
+    pub use crate::interp::{execute_host, run_sql_host};
+    pub use crate::logical::{BoundQuery, ColumnDecode};
+    pub use crate::lower::{CompiledQuery, OutputColumn};
+    pub use crate::{compile, plan};
+}

@@ -1,0 +1,816 @@
+//! Recursive-descent parser for the supported SQL subset.
+//!
+//! Grammar (keywords case-insensitive):
+//!
+//! ```text
+//! query      := SELECT item (',' item)* FROM table join* [WHERE bool]
+//!               [GROUP BY colref (',' colref)*]
+//!               [ORDER BY orderitem (',' orderitem)*] [LIMIT n] [';']
+//! item       := scalar [AS ident]
+//! join       := [INNER] JOIN table ON colref '=' colref
+//! bool       := bterm (OR bterm)*
+//! bterm      := bfactor (AND bfactor)*
+//! bfactor    := '(' bool ')' | EXISTS '(' query ')' | predicate
+//! predicate  := scalar cmp scalar
+//!             | scalar BETWEEN scalar AND scalar
+//!             | scalar IN '(' scalar (',' scalar)* ')'
+//!             | scalar LIKE string
+//! scalar     := term (('+' | '-') term)*
+//! term       := factor (('*' | '/') factor)*
+//! factor     := number | '-' number | string | DATE string
+//!             | agg '(' scalar | '*' ')' | CASE WHEN bool THEN scalar
+//!               [ELSE scalar] END | colref | '(' scalar ')'
+//! colref     := ident ['.' ident]
+//! ```
+//!
+//! A recursion-depth guard bounds nesting so adversarial input (thousands
+//! of parentheses) yields a typed [`SqlError`] instead of a stack overflow.
+
+use crate::ast::*;
+use crate::error::{Span, SqlError, SqlResult};
+use crate::lexer::{lex, SpannedTok, Tok};
+
+/// Maximum expression nesting depth before the parser bails out.
+const MAX_DEPTH: usize = 48;
+
+/// Maximum terms in one operator chain (`a AND b AND …`, `a + b + …`,
+/// `IN (…)`). The AST stores chains as left-deep boxed trees, so this also
+/// bounds drop/visit recursion over hostile megabyte-long inputs.
+const MAX_TERMS: usize = 256;
+
+/// Reserved words that cannot be used as identifiers.
+const RESERVED: &[&str] = &[
+    "select", "from", "where", "group", "order", "by", "limit", "join", "inner", "on", "and", "or",
+    "not", "between", "in", "like", "exists", "case", "when", "then", "else", "end", "as", "asc",
+    "desc", "date",
+];
+
+/// Parses one SELECT statement; trailing `;` is allowed, trailing garbage
+/// is a parse error.
+pub fn parse(input: &str) -> SqlResult<SelectStmt> {
+    let toks = lex(input)?;
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        depth: 0,
+    };
+    let stmt = p.select_stmt()?;
+    if p.peek() == &Tok::Semi {
+        p.bump();
+    }
+    if p.peek() != &Tok::Eof {
+        return Err(SqlError::parse(
+            format!("unexpected {} after statement", p.peek()),
+            p.peek_span(),
+        ));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    toks: Vec<SpannedTok>,
+    pos: usize,
+    depth: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].tok
+    }
+
+    fn peek_span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    fn bump(&mut self) -> SpannedTok {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn enter(&mut self) -> SqlResult<()> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(SqlError::parse(
+                format!("expression nested deeper than {MAX_DEPTH} levels"),
+                self.peek_span(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn leave(&mut self) {
+        self.depth -= 1;
+    }
+
+    /// Is the current token the given keyword?
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> SqlResult<Span> {
+        if self.at_kw(kw) {
+            Ok(self.bump().span)
+        } else {
+            Err(SqlError::parse(
+                format!(
+                    "expected {}, found {}",
+                    kw.to_ascii_uppercase(),
+                    self.peek()
+                ),
+                self.peek_span(),
+            ))
+        }
+    }
+
+    fn expect_tok(&mut self, want: Tok, what: &str) -> SqlResult<Span> {
+        if self.peek() == &want {
+            Ok(self.bump().span)
+        } else {
+            Err(SqlError::parse(
+                format!("expected {what}, found {}", self.peek()),
+                self.peek_span(),
+            ))
+        }
+    }
+
+    /// A non-reserved identifier.
+    fn ident(&mut self, what: &str) -> SqlResult<(String, Span)> {
+        match self.peek() {
+            Tok::Ident(s) if !RESERVED.contains(&s.to_ascii_lowercase().as_str()) => {
+                let s = s.clone();
+                let sp = self.bump().span;
+                Ok((s, sp))
+            }
+            other => Err(SqlError::parse(
+                format!("expected {what}, found {other}"),
+                self.peek_span(),
+            )),
+        }
+    }
+
+    // ---- statement ------------------------------------------------------
+
+    fn select_stmt(&mut self) -> SqlResult<SelectStmt> {
+        let start = self.expect_kw("select")?;
+        let mut items = vec![self.select_item()?];
+        while self.peek() == &Tok::Comma {
+            self.bump();
+            items.push(self.select_item()?);
+        }
+        self.expect_kw("from")?;
+        let from = self.table_ref()?;
+        let mut joins = Vec::new();
+        loop {
+            let inner = self.at_kw("inner");
+            if inner {
+                self.bump();
+            }
+            if self.at_kw("join") {
+                self.bump();
+            } else if inner {
+                return Err(SqlError::parse(
+                    format!("expected JOIN after INNER, found {}", self.peek()),
+                    self.peek_span(),
+                ));
+            } else {
+                break;
+            }
+            let table = self.table_ref()?;
+            self.expect_kw("on")?;
+            let left = self.column_ref()?;
+            self.expect_tok(Tok::Eq, "`=` in join condition")?;
+            let right = self.column_ref()?;
+            let span = table.span.to(right.span());
+            joins.push(JoinClause {
+                table,
+                left,
+                right,
+                span,
+            });
+        }
+        let filter = if self.eat_kw("where") {
+            Some(self.bool_expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            group_by.push(self.column_ref()?);
+            while self.peek() == &Tok::Comma {
+                self.bump();
+                group_by.push(self.column_ref()?);
+            }
+        }
+        let mut order_by = Vec::new();
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            order_by.push(self.order_item()?);
+            while self.peek() == &Tok::Comma {
+                self.bump();
+                order_by.push(self.order_item()?);
+            }
+        }
+        let limit = if self.eat_kw("limit") {
+            match self.peek().clone() {
+                Tok::Number(n) if n >= 0 => {
+                    self.bump();
+                    Some(n as usize)
+                }
+                other => {
+                    return Err(SqlError::parse(
+                        format!("expected non-negative LIMIT count, found {other}"),
+                        self.peek_span(),
+                    ))
+                }
+            }
+        } else {
+            None
+        };
+        let end = self.toks[self.pos.saturating_sub(1)].span;
+        Ok(SelectStmt {
+            items,
+            from,
+            joins,
+            filter,
+            group_by,
+            order_by,
+            limit,
+            span: start.to(end),
+        })
+    }
+
+    fn select_item(&mut self) -> SqlResult<SelectItem> {
+        if self.peek() == &Tok::Star {
+            return Err(SqlError::unsupported(
+                "bare `*` projection is not supported; list columns explicitly",
+                self.peek_span(),
+            ));
+        }
+        let expr = self.scalar_expr()?;
+        let alias = if self.eat_kw("as") {
+            Some(self.ident("output alias")?.0)
+        } else {
+            None
+        };
+        let span = expr.span();
+        Ok(SelectItem { expr, alias, span })
+    }
+
+    fn table_ref(&mut self) -> SqlResult<TableRef> {
+        let (name, span) = self.ident("table name")?;
+        Ok(TableRef { name, span })
+    }
+
+    fn column_ref(&mut self) -> SqlResult<ScalarExpr> {
+        let (first, sp1) = self.ident("column name")?;
+        if self.peek() == &Tok::Dot {
+            self.bump();
+            let (second, sp2) = self.ident("column name after `.`")?;
+            Ok(ScalarExpr::Column {
+                table: Some(first),
+                name: second,
+                span: sp1.to(sp2),
+            })
+        } else {
+            Ok(ScalarExpr::Column {
+                table: None,
+                name: first,
+                span: sp1,
+            })
+        }
+    }
+
+    fn order_item(&mut self) -> SqlResult<OrderItem> {
+        let col = self.column_ref()?;
+        let (name, span) = match col {
+            ScalarExpr::Column { name, span, .. } => (name, span),
+            _ => unreachable!("column_ref returns Column"),
+        };
+        let desc = if self.eat_kw("desc") {
+            true
+        } else {
+            self.eat_kw("asc");
+            false
+        };
+        Ok(OrderItem { name, desc, span })
+    }
+
+    // ---- boolean expressions --------------------------------------------
+
+    fn bool_expr(&mut self) -> SqlResult<BoolExpr> {
+        let mut left = self.bool_term()?;
+        let mut terms = 1usize;
+        while self.eat_kw("or") {
+            terms += 1;
+            self.check_terms(terms)?;
+            let right = self.bool_term()?;
+            left = BoolExpr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn bool_term(&mut self) -> SqlResult<BoolExpr> {
+        let mut left = self.bool_factor()?;
+        let mut terms = 1usize;
+        while self.eat_kw("and") {
+            terms += 1;
+            self.check_terms(terms)?;
+            let right = self.bool_factor()?;
+            left = BoolExpr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn check_terms(&self, terms: usize) -> SqlResult<()> {
+        if terms > MAX_TERMS {
+            return Err(SqlError::parse(
+                format!("operator chain longer than {MAX_TERMS} terms"),
+                self.peek_span(),
+            ));
+        }
+        Ok(())
+    }
+
+    fn bool_factor(&mut self) -> SqlResult<BoolExpr> {
+        self.enter()?;
+        let result = self.bool_factor_inner();
+        self.leave();
+        result
+    }
+
+    fn bool_factor_inner(&mut self) -> SqlResult<BoolExpr> {
+        if self.at_kw("not") {
+            return Err(SqlError::unsupported(
+                "NOT is not supported; rewrite with the inverse comparison",
+                self.peek_span(),
+            ));
+        }
+        if self.at_kw("exists") {
+            let start = self.bump().span;
+            self.expect_tok(Tok::LParen, "`(` after EXISTS")?;
+            let query = self.select_stmt()?;
+            let end = self.expect_tok(Tok::RParen, "`)` closing EXISTS subquery")?;
+            return Ok(BoolExpr::Exists {
+                query: Box::new(query),
+                span: start.to(end),
+            });
+        }
+        // `(` is ambiguous: parenthesized boolean vs parenthesized arithmetic
+        // starting a predicate, e.g. `(a AND b)` vs `(a + b) < 10`. Try the
+        // boolean reading first and backtrack on failure.
+        if self.peek() == &Tok::LParen {
+            let save_pos = self.pos;
+            let save_depth = self.depth;
+            self.bump();
+            if let Ok(inner) = self.bool_expr() {
+                if self.peek() == &Tok::RParen {
+                    self.bump();
+                    return Ok(inner);
+                }
+            }
+            self.pos = save_pos;
+            self.depth = save_depth;
+        }
+        self.predicate()
+    }
+
+    fn predicate(&mut self) -> SqlResult<BoolExpr> {
+        let left = self.scalar_expr()?;
+        if self.eat_kw("between") {
+            let lo = self.scalar_expr()?;
+            self.expect_kw("and")?;
+            let hi = self.scalar_expr()?;
+            let span = left.span().to(hi.span());
+            return Ok(BoolExpr::Between {
+                expr: Box::new(left),
+                lo: Box::new(lo),
+                hi: Box::new(hi),
+                span,
+            });
+        }
+        if self.eat_kw("in") {
+            self.expect_tok(Tok::LParen, "`(` after IN")?;
+            let mut list = vec![self.scalar_expr()?];
+            while self.peek() == &Tok::Comma {
+                self.bump();
+                self.check_terms(list.len() + 1)?;
+                list.push(self.scalar_expr()?);
+            }
+            let end = self.expect_tok(Tok::RParen, "`)` closing IN list")?;
+            let span = left.span().to(end);
+            return Ok(BoolExpr::InList {
+                expr: Box::new(left),
+                list,
+                span,
+            });
+        }
+        if self.eat_kw("like") {
+            return match self.peek().clone() {
+                Tok::Str(pattern) => {
+                    let end = self.bump().span;
+                    let span = left.span().to(end);
+                    Ok(BoolExpr::Like {
+                        expr: Box::new(left),
+                        pattern,
+                        span,
+                    })
+                }
+                other => Err(SqlError::parse(
+                    format!("expected string pattern after LIKE, found {other}"),
+                    self.peek_span(),
+                )),
+            };
+        }
+        let op = match self.peek() {
+            Tok::Lt => CmpName::Lt,
+            Tok::Le => CmpName::Le,
+            Tok::Gt => CmpName::Gt,
+            Tok::Ge => CmpName::Ge,
+            Tok::Eq => CmpName::Eq,
+            Tok::Ne => CmpName::Ne,
+            other => {
+                return Err(SqlError::parse(
+                    format!("expected comparison operator, found {other}"),
+                    self.peek_span(),
+                ))
+            }
+        };
+        self.bump();
+        let right = self.scalar_expr()?;
+        let span = left.span().to(right.span());
+        Ok(BoolExpr::Cmp {
+            left: Box::new(left),
+            op,
+            right: Box::new(right),
+            span,
+        })
+    }
+
+    // ---- scalar expressions ---------------------------------------------
+
+    fn scalar_expr(&mut self) -> SqlResult<ScalarExpr> {
+        let mut left = self.term()?;
+        let mut terms = 1usize;
+        loop {
+            let op = match self.peek() {
+                Tok::Plus => BinOp::Add,
+                Tok::Minus => BinOp::Sub,
+                _ => break,
+            };
+            terms += 1;
+            self.check_terms(terms)?;
+            self.bump();
+            let right = self.term()?;
+            let span = left.span().to(right.span());
+            left = ScalarExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+                span,
+            };
+        }
+        Ok(left)
+    }
+
+    fn term(&mut self) -> SqlResult<ScalarExpr> {
+        let mut left = self.factor()?;
+        let mut terms = 1usize;
+        loop {
+            let op = match self.peek() {
+                Tok::Star => BinOp::Mul,
+                Tok::Slash => BinOp::Div,
+                _ => break,
+            };
+            terms += 1;
+            self.check_terms(terms)?;
+            self.bump();
+            let right = self.factor()?;
+            let span = left.span().to(right.span());
+            left = ScalarExpr::Binary {
+                op,
+                left: Box::new(left),
+                right: Box::new(right),
+                span,
+            };
+        }
+        Ok(left)
+    }
+
+    fn factor(&mut self) -> SqlResult<ScalarExpr> {
+        self.enter()?;
+        let result = self.factor_inner();
+        self.leave();
+        result
+    }
+
+    fn factor_inner(&mut self) -> SqlResult<ScalarExpr> {
+        match self.peek().clone() {
+            Tok::Number(value) => {
+                let span = self.bump().span;
+                Ok(ScalarExpr::Int { value, span })
+            }
+            Tok::Minus => {
+                let start = self.bump().span;
+                match self.peek().clone() {
+                    Tok::Number(value) => {
+                        let end = self.bump().span;
+                        Ok(ScalarExpr::Int {
+                            value: value.wrapping_neg(),
+                            span: start.to(end),
+                        })
+                    }
+                    other => Err(SqlError::parse(
+                        format!("expected number after unary `-`, found {other}"),
+                        self.peek_span(),
+                    )),
+                }
+            }
+            Tok::Str(value) => {
+                let span = self.bump().span;
+                Ok(ScalarExpr::Str { value, span })
+            }
+            Tok::LParen => {
+                self.bump();
+                let inner = self.scalar_expr()?;
+                self.expect_tok(Tok::RParen, "`)`")?;
+                Ok(inner)
+            }
+            Tok::Ident(word) => {
+                let lower = word.to_ascii_lowercase();
+                if lower == "date" {
+                    return self.date_literal();
+                }
+                if lower == "case" {
+                    return self.case_expr();
+                }
+                if lower == "avg" && self.toks[self.pos + 1].tok == Tok::LParen {
+                    return Err(SqlError::unsupported(
+                        "AVG is not supported; the engine computes in integers — \
+                         decompose into SUM(x) / COUNT(x)",
+                        self.peek_span(),
+                    ));
+                }
+                let agg = match lower.as_str() {
+                    "sum" => Some(AggName::Sum),
+                    "count" => Some(AggName::Count),
+                    "min" => Some(AggName::Min),
+                    "max" => Some(AggName::Max),
+                    _ => None,
+                };
+                if let Some(func) = agg {
+                    if self.toks[self.pos + 1].tok == Tok::LParen {
+                        return self.agg_call(func);
+                    }
+                }
+                self.column_ref()
+            }
+            other => Err(SqlError::parse(
+                format!("expected expression, found {other}"),
+                self.peek_span(),
+            )),
+        }
+    }
+
+    fn agg_call(&mut self, func: AggName) -> SqlResult<ScalarExpr> {
+        let start = self.bump().span; // function name
+        self.bump(); // `(`
+        if func == AggName::Count && self.peek() == &Tok::Star {
+            self.bump();
+            let end = self.expect_tok(Tok::RParen, "`)` closing COUNT(*)")?;
+            return Ok(ScalarExpr::Agg {
+                func,
+                arg: None,
+                span: start.to(end),
+            });
+        }
+        let arg = self.scalar_expr()?;
+        let end = self.expect_tok(Tok::RParen, "`)` closing aggregate call")?;
+        Ok(ScalarExpr::Agg {
+            func,
+            arg: Some(Box::new(arg)),
+            span: start.to(end),
+        })
+    }
+
+    fn case_expr(&mut self) -> SqlResult<ScalarExpr> {
+        let start = self.bump().span; // CASE
+        self.expect_kw("when")?;
+        let when = self.bool_expr()?;
+        self.expect_kw("then")?;
+        let then = self.scalar_expr()?;
+        if self.at_kw("when") {
+            return Err(SqlError::unsupported(
+                "multiple WHEN arms are not supported; nest CASE expressions",
+                self.peek_span(),
+            ));
+        }
+        let otherwise = if self.eat_kw("else") {
+            Some(Box::new(self.scalar_expr()?))
+        } else {
+            None
+        };
+        let end = self.expect_kw("end")?;
+        Ok(ScalarExpr::Case {
+            when: Box::new(when),
+            then: Box::new(then),
+            otherwise,
+            span: start.to(end),
+        })
+    }
+
+    /// `DATE 'yyyy-mm-dd'`, validated and folded to days since 1970-01-01.
+    fn date_literal(&mut self) -> SqlResult<ScalarExpr> {
+        let start = self.bump().span; // DATE
+        match self.peek().clone() {
+            Tok::Str(text) => {
+                let end = self.bump().span;
+                let span = start.to(end);
+                let days = parse_date(&text).ok_or_else(|| {
+                    SqlError::parse(
+                        format!(
+                            "invalid date literal '{text}' (expected 'yyyy-mm-dd' in 1970..=2199)"
+                        ),
+                        span,
+                    )
+                })?;
+                Ok(ScalarExpr::Int { value: days, span })
+            }
+            other => Err(SqlError::parse(
+                format!("expected 'yyyy-mm-dd' string after DATE, found {other}"),
+                self.peek_span(),
+            )),
+        }
+    }
+}
+
+/// Parses `yyyy-mm-dd` into days since epoch, or `None` if malformed or out
+/// of the supported 1970..=2199 range.
+pub(crate) fn parse_date(text: &str) -> Option<i64> {
+    let bytes = text.as_bytes();
+    if bytes.len() != 10 || bytes[4] != b'-' || bytes[7] != b'-' {
+        return None;
+    }
+    let num = |s: &str| -> Option<u32> {
+        if s.bytes().all(|b| b.is_ascii_digit()) {
+            s.parse().ok()
+        } else {
+            None
+        }
+    };
+    let year = num(&text[0..4])? as i32;
+    let month = num(&text[5..7])?;
+    let day = num(&text[8..10])?;
+    if !(1970..=2199).contains(&year) || !(1..=12).contains(&month) {
+        return None;
+    }
+    let month_days = [31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31];
+    let leap = (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+    let max_day = month_days[(month - 1) as usize] + u32::from(month == 2 && leap);
+    if !(1..=max_day).contains(&day) {
+        return None;
+    }
+    Some(adamant_storage::datatype::date_to_days(year, month, day) as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_clause_set() {
+        let stmt = parse(
+            "SELECT l_returnflag, SUM(l_quantity) AS qty \
+             FROM lineitem JOIN orders ON l_orderkey = o_orderkey \
+             WHERE l_shipdate <= DATE '1998-09-02' AND l_discount BETWEEN 5 AND 7 \
+             GROUP BY l_returnflag ORDER BY qty DESC LIMIT 10;",
+        )
+        .unwrap();
+        assert_eq!(stmt.items.len(), 2);
+        assert_eq!(stmt.items[1].alias.as_deref(), Some("qty"));
+        assert_eq!(stmt.from.name, "lineitem");
+        assert_eq!(stmt.joins.len(), 1);
+        assert!(stmt.filter.is_some());
+        assert_eq!(stmt.group_by.len(), 1);
+        assert_eq!(stmt.order_by.len(), 1);
+        assert!(stmt.order_by[0].desc);
+        assert_eq!(stmt.limit, Some(10));
+    }
+
+    #[test]
+    fn date_literal_folds_to_days() {
+        let stmt = parse("SELECT a FROM t WHERE a < DATE '1970-01-02'").unwrap();
+        match stmt.filter.unwrap() {
+            BoolExpr::Cmp { right, .. } => {
+                assert_eq!(
+                    *right,
+                    ScalarExpr::Int {
+                        value: 1,
+                        span: right.span()
+                    }
+                );
+            }
+            other => panic!("unexpected filter {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bad_dates_are_errors_not_panics() {
+        for bad in [
+            "'1969-12-31'",
+            "'2200-01-01'",
+            "'1995-13-01'",
+            "'1995-02-29'",
+            "'1995-1-1'",
+            "'garbage'",
+        ] {
+            let sql = format!("SELECT a FROM t WHERE a < DATE {bad}");
+            assert!(parse(&sql).is_err(), "{bad} should be rejected");
+        }
+        assert!(parse("SELECT a FROM t WHERE a < DATE '1996-02-29'").is_ok());
+    }
+
+    #[test]
+    fn paren_ambiguity_backtracks() {
+        // Parenthesized boolean.
+        assert!(parse("SELECT a FROM t WHERE (a = 1 OR b = 2) AND c = 3").is_ok());
+        // Parenthesized arithmetic starting a predicate.
+        assert!(parse("SELECT a FROM t WHERE (a + b) < 10").is_ok());
+    }
+
+    #[test]
+    fn depth_guard_rejects_pathological_nesting() {
+        let mut sql = String::from("SELECT a FROM t WHERE ");
+        for _ in 0..1000 {
+            sql.push('(');
+        }
+        sql.push_str("a = 1");
+        for _ in 0..1000 {
+            sql.push(')');
+        }
+        let err = parse(&sql).unwrap_err();
+        assert!(err.message.contains("nested"), "{err}");
+    }
+
+    #[test]
+    fn unsupported_constructs_have_typed_errors() {
+        use crate::error::SqlErrorKind;
+        for sql in [
+            "SELECT * FROM t",
+            "SELECT AVG(a) FROM t",
+            "SELECT a FROM t WHERE NOT a = 1",
+            "SELECT CASE WHEN a = 1 THEN 1 WHEN a = 2 THEN 2 ELSE 0 END AS c FROM t",
+        ] {
+            let err = parse(sql).unwrap_err();
+            assert_eq!(err.kind, SqlErrorKind::Unsupported, "{sql}: {err}");
+        }
+    }
+
+    #[test]
+    fn truncated_and_garbage_inputs_error() {
+        for sql in [
+            "",
+            "SELECT",
+            "SELECT a",
+            "SELECT a FROM",
+            "SELECT a FROM t WHERE",
+            "SELECT a FROM t WHERE a <",
+            "SELECT a FROM t GROUP",
+            "SELECT a FROM t LIMIT x",
+            "FROM t SELECT a",
+            "SELECT a FROM t; extra",
+            "SELECT a FROM t JOIN",
+            "SELECT a FROM t INNER x",
+            "SELECT COUNT(* FROM t",
+        ] {
+            assert!(parse(sql).is_err(), "{sql:?} should fail");
+        }
+    }
+
+    #[test]
+    fn exists_subquery_parses() {
+        let stmt = parse(
+            "SELECT o_orderpriority, COUNT(*) AS n FROM orders \
+             WHERE EXISTS (SELECT l_orderkey FROM lineitem \
+                           WHERE l_orderkey = o_orderkey AND l_commitdate < l_receiptdate) \
+             GROUP BY o_orderpriority",
+        )
+        .unwrap();
+        match stmt.filter.unwrap() {
+            BoolExpr::Exists { query, .. } => assert_eq!(query.from.name, "lineitem"),
+            other => panic!("expected EXISTS, got {other:?}"),
+        }
+    }
+}

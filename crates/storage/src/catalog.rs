@@ -55,6 +55,13 @@ impl Catalog {
     pub fn byte_len(&self) -> usize {
         self.tables.values().map(|t| t.byte_len()).sum()
     }
+
+    /// Schema introspection for every table, sorted by table name — the
+    /// catalog view a SQL binder (or a `DESCRIBE`-style shell command)
+    /// consumes.
+    pub fn describe(&self) -> Vec<crate::table::TableInfo> {
+        self.tables.values().map(|t| t.describe()).collect()
+    }
 }
 
 #[cfg(test)]
@@ -76,6 +83,20 @@ mod tests {
         assert!(cat.drop_table("a").is_some());
         assert!(cat.drop_table("a").is_none());
         assert_eq!(cat.len(), 1);
+    }
+
+    #[test]
+    fn describe_lists_tables_sorted() {
+        let mut cat = Catalog::new();
+        cat.register(Table::new("b", vec![Column::from_i32("x", vec![1])]).unwrap());
+        cat.register(Table::new("a", vec![Column::from_i64("y", vec![1, 2])]).unwrap());
+        let infos = cat.describe();
+        assert_eq!(infos.len(), 2);
+        assert_eq!(infos[0].name, "a");
+        assert_eq!(infos[0].rows, 2);
+        assert_eq!(infos[0].columns[0].name, "y");
+        assert_eq!(infos[1].name, "b");
+        assert_eq!(infos[1].bytes, 4);
     }
 
     #[test]

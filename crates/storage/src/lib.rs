@@ -42,7 +42,7 @@ pub use datatype::{DataType, Value};
 pub use error::StorageError;
 pub use position::PositionList;
 pub use rng::Rng;
-pub use table::{Field, Schema, Table};
+pub use table::{ColumnInfo, Field, Schema, Table, TableInfo};
 
 /// Convenience re-exports for downstream crates.
 pub mod prelude {
@@ -55,5 +55,5 @@ pub mod prelude {
     pub use crate::fnv::{FnvHashMap, FnvHashSet};
     pub use crate::position::PositionList;
     pub use crate::rng::Rng;
-    pub use crate::table::{Field, Schema, Table};
+    pub use crate::table::{ColumnInfo, Field, Schema, Table, TableInfo};
 }

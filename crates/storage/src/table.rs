@@ -56,6 +56,35 @@ impl Schema {
     }
 }
 
+/// Size and type summary of one column, as reported by
+/// [`Table::describe`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ColumnInfo {
+    /// Column name.
+    pub name: String,
+    /// Logical type.
+    pub data_type: DataType,
+    /// Bytes of row data (dictionary columns count codes only).
+    pub bytes: usize,
+    /// Number of distinct dictionary entries, for dictionary columns.
+    pub dict_size: Option<usize>,
+}
+
+/// Schema and size summary of one table, as reported by
+/// [`Table::describe`] and `Catalog::describe`. This is what a SQL binder
+/// needs to resolve and type column references without touching row data.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TableInfo {
+    /// Table name.
+    pub name: String,
+    /// Number of rows.
+    pub rows: usize,
+    /// Total bytes of row data.
+    pub bytes: usize,
+    /// Per-column name/type/size, in column order.
+    pub columns: Vec<ColumnInfo>,
+}
+
 /// A named table: a schema plus equal-length columns.
 #[derive(Clone, Debug, PartialEq)]
 pub struct Table {
@@ -122,6 +151,26 @@ impl Table {
     /// Total bytes of row data across all columns.
     pub fn byte_len(&self) -> usize {
         self.columns.iter().map(|c| c.byte_len()).sum()
+    }
+
+    /// Schema introspection: name, row count and per-column type/size
+    /// summary (no row data is copied).
+    pub fn describe(&self) -> TableInfo {
+        TableInfo {
+            name: self.name.clone(),
+            rows: self.row_count,
+            bytes: self.byte_len(),
+            columns: self
+                .columns
+                .iter()
+                .map(|c| ColumnInfo {
+                    name: c.name().to_string(),
+                    data_type: c.data_type(),
+                    bytes: c.byte_len(),
+                    dict_size: c.dictionary().map(|d| d.len()),
+                })
+                .collect(),
+        }
     }
 
     /// Bytes of row data for a subset of columns (a query's input footprint;
@@ -196,6 +245,24 @@ mod tests {
         assert_eq!(t.byte_len(), 3 * 8 + 3 * 4);
         assert_eq!(t.footprint_of(&["v"]).unwrap(), 12);
         assert!(t.footprint_of(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn describe_reports_schema_and_sizes() {
+        let mut t = sample();
+        t.push_column(Column::from_strings("s", &["x", "y", "x"]))
+            .unwrap();
+        let info = t.describe();
+        assert_eq!(info.name, "t");
+        assert_eq!(info.rows, 3);
+        assert_eq!(info.bytes, t.byte_len());
+        assert_eq!(info.columns.len(), 3);
+        assert_eq!(info.columns[0].name, "k");
+        assert_eq!(info.columns[0].data_type, DataType::Int64);
+        assert_eq!(info.columns[0].bytes, 24);
+        assert_eq!(info.columns[0].dict_size, None);
+        assert_eq!(info.columns[2].data_type, DataType::DictStr);
+        assert_eq!(info.columns[2].dict_size, Some(2));
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub mod footprint;
 pub mod gen;
 pub mod queries;
 pub mod reference;
+pub mod sql;
 
 pub use gen::TpchGenerator;
 pub use queries::TpchQuery;

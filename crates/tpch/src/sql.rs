@@ -1,0 +1,128 @@
+//! SQL texts for the evaluated TPC-H queries.
+//!
+//! These are the queries of [`crate::queries`] written in the engine's SQL
+//! subset, in the same scaled-integer form the hand-built plans compute
+//! (prices in cents, discounts/taxes in whole percent, dates compared as
+//! `DATE` literals). Compiling one of these through `adamant_sql` must
+//! produce reference-exact results against the corresponding hand-built
+//! primitive graph — the equivalence suite in `tests/` asserts exactly
+//! that, query by query.
+//!
+//! Differences from the official TPC-H text, matching the hand-built
+//! plans and `crate::reference`:
+//!
+//! - all decimals are scaled integers, so `l_extendedprice * (1 -
+//!   l_discount)` becomes `l_extendedprice * (100 - l_discount)` and the
+//!   Q1 charge keeps the extra factor of 100 from `(100 + l_tax)`;
+//! - `avg` aggregates are omitted (derivable host-side from the exported
+//!   sums and counts);
+//! - Q10 is the reduced orders⋈lineitem core the reference implements
+//!   (no customer/nation display columns);
+//! - Q14 exports the promo and total revenue sums separately; the
+//!   percentage is a host-side division (`queries::q14::promo_percent`).
+
+use crate::queries::TpchQuery;
+
+/// Q1 — pricing summary report.
+pub const Q1: &str = "\
+SELECT l_returnflag, l_linestatus, \
+       SUM(l_quantity) AS sum_qty, \
+       SUM(l_extendedprice) AS sum_base_price, \
+       SUM(l_extendedprice * (100 - l_discount)) AS sum_disc_price, \
+       SUM(l_extendedprice * (100 - l_discount) * (100 + l_tax)) AS sum_charge, \
+       SUM(l_discount) AS sum_disc, \
+       COUNT(*) AS count_order \
+FROM lineitem \
+WHERE l_shipdate <= DATE '1998-09-02' \
+GROUP BY l_returnflag, l_linestatus \
+ORDER BY l_returnflag, l_linestatus";
+
+/// Q3 — shipping priority.
+pub const Q3: &str = "\
+SELECT l_orderkey, \
+       SUM(l_extendedprice * (100 - l_discount)) AS revenue, \
+       o_orderdate, o_shippriority \
+FROM customer \
+JOIN orders ON o_custkey = c_custkey \
+JOIN lineitem ON l_orderkey = o_orderkey \
+WHERE c_mktsegment = 'BUILDING' \
+  AND o_orderdate < DATE '1995-03-15' \
+  AND l_shipdate > DATE '1995-03-15' \
+GROUP BY l_orderkey, o_orderdate, o_shippriority \
+ORDER BY revenue DESC, o_orderdate \
+LIMIT 10";
+
+/// Q4 — order priority checking.
+pub const Q4: &str = "\
+SELECT o_orderpriority, COUNT(*) AS order_count \
+FROM orders \
+WHERE o_orderdate >= DATE '1993-07-01' \
+  AND o_orderdate < DATE '1993-10-01' \
+  AND EXISTS (SELECT l_orderkey FROM lineitem \
+              WHERE l_orderkey = o_orderkey \
+                AND l_commitdate < l_receiptdate) \
+GROUP BY o_orderpriority \
+ORDER BY o_orderpriority";
+
+/// Q6 — revenue forecast.
+pub const Q6: &str = "\
+SELECT SUM(l_extendedprice * l_discount) AS revenue \
+FROM lineitem \
+WHERE l_shipdate >= DATE '1994-01-01' \
+  AND l_shipdate < DATE '1995-01-01' \
+  AND l_discount BETWEEN 5 AND 7 \
+  AND l_quantity < 24";
+
+/// Q10 — returned item reporting (reduced form).
+pub const Q10: &str = "\
+SELECT o_custkey, \
+       SUM(l_extendedprice * (100 - l_discount)) AS revenue \
+FROM orders \
+JOIN lineitem ON l_orderkey = o_orderkey \
+WHERE o_orderdate >= DATE '1993-10-01' \
+  AND o_orderdate < DATE '1994-01-01' \
+  AND l_returnflag = 'R' \
+GROUP BY o_custkey \
+ORDER BY revenue DESC \
+LIMIT 20";
+
+/// Q12 — shipping modes and order priority.
+pub const Q12: &str = "\
+SELECT l_shipmode, \
+       SUM(CASE WHEN o_orderpriority IN ('1-URGENT', '2-HIGH') \
+                THEN 1 ELSE 0 END) AS high_line_count, \
+       SUM(CASE WHEN o_orderpriority IN ('1-URGENT', '2-HIGH') \
+                THEN 0 ELSE 1 END) AS low_line_count \
+FROM orders \
+JOIN lineitem ON l_orderkey = o_orderkey \
+WHERE l_shipmode IN ('MAIL', 'SHIP') \
+  AND l_commitdate < l_receiptdate \
+  AND l_shipdate < l_commitdate \
+  AND l_receiptdate >= DATE '1994-01-01' \
+  AND l_receiptdate < DATE '1995-01-01' \
+GROUP BY l_shipmode \
+ORDER BY l_shipmode";
+
+/// Q14 — promotion effect.
+pub const Q14: &str = "\
+SELECT SUM(CASE WHEN p_type LIKE 'PROMO%' \
+                THEN l_extendedprice * (100 - l_discount) \
+                ELSE 0 END) AS promo_revenue, \
+       SUM(l_extendedprice * (100 - l_discount)) AS total_revenue \
+FROM lineitem \
+JOIN part ON p_partkey = l_partkey \
+WHERE l_shipdate >= DATE '1995-09-01' \
+  AND l_shipdate < DATE '1995-10-01'";
+
+/// The SQL text of one evaluated query.
+pub fn text(q: TpchQuery) -> &'static str {
+    match q {
+        TpchQuery::Q1 => Q1,
+        TpchQuery::Q3 => Q3,
+        TpchQuery::Q4 => Q4,
+        TpchQuery::Q6 => Q6,
+        TpchQuery::Q10 => Q10,
+        TpchQuery::Q12 => Q12,
+        TpchQuery::Q14 => Q14,
+    }
+}

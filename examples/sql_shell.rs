@@ -1,0 +1,88 @@
+//! SQL shell: the whole front door in one loop — type SQL, get rows.
+//!
+//! Serves queries against a generated TPC-H catalog through a [`Session`]:
+//! parse → bind → rewrite → lower to a primitive graph, footprint-estimated
+//! admission through the multi-query scheduler, typed decode, and per-query
+//! executor statistics. `\d` lists the schema, `\q` quits.
+//!
+//! Run: `cargo run --release -p adamant-examples --example sql_shell`
+//!
+//! Try:
+//!   SELECT SUM(l_extendedprice * (100 - l_discount)) AS revenue
+//!   FROM lineitem WHERE l_quantity < 2400
+//!   AND l_shipdate >= DATE '1994-01-01' AND l_shipdate < DATE '1995-01-01'
+
+use adamant::prelude::*;
+use adamant::tpch::{self, TpchGenerator};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let catalog = TpchGenerator::new(0.01, 42).generate();
+    let mut engine = Adamant::builder()
+        .chunk_rows(4096)
+        .device(DeviceProfile::cuda_rtx2080ti())
+        .build()
+        .expect("engine");
+
+    println!("ADAMANT SQL shell — TPC-H sf 0.01, one simulated CUDA device.");
+    println!("Commands: \\d (schema), \\tpch (example queries), \\q (quit).");
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("sql> ");
+        out.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break, // EOF
+            Ok(_) => {}
+        }
+        let text = line.trim();
+        match text {
+            "" => continue,
+            "\\q" | "exit" | "quit" => break,
+            "\\d" => {
+                for t in catalog.describe() {
+                    println!("{} ({} rows, {} bytes)", t.name, t.rows, t.bytes);
+                    for c in &t.columns {
+                        match c.dict_size {
+                            Some(n) => {
+                                println!("  {:<16} {:?} (dict, {} entries)", c.name, c.data_type, n)
+                            }
+                            None => println!("  {:<16} {:?}", c.name, c.data_type),
+                        }
+                    }
+                }
+                continue;
+            }
+            "\\tpch" => {
+                for q in TpchQuery::ALL {
+                    println!("-- {q}\n{}\n", tpch::sql::text(q));
+                }
+                continue;
+            }
+            _ => {}
+        }
+
+        match Session::new(&mut engine, &catalog)
+            .tenant("shell", 1.0)
+            .sql(text)
+        {
+            Ok(rs) => {
+                println!("{}", rs.columns.join(" | "));
+                for row in &rs.rows {
+                    let cells: Vec<String> = row.iter().map(|v| v.to_string()).collect();
+                    println!("{}", cells.join(" | "));
+                }
+                println!(
+                    "({} rows; modeled {:.3} ms, {} chunks, {} KiB admitted)",
+                    rs.rows.len(),
+                    rs.stats.total_ms(),
+                    rs.stats.chunks_processed,
+                    rs.footprint_bytes / 1024,
+                );
+            }
+            Err(e) => println!("error: {e}"),
+        }
+    }
+}
