@@ -70,6 +70,7 @@ pub use adamant_storage as storage;
 pub use adamant_task as task;
 pub use adamant_tpch as tpch;
 
+use adamant_core::checkpoint::CheckpointConfig;
 use adamant_core::error::Result;
 use adamant_core::executor::{CancelToken, Executor, ExecutorConfig, QueryInputs, RetryPolicy};
 use adamant_core::graph::PrimitiveGraph;
@@ -86,7 +87,7 @@ use adamant_sched::{PreemptPolicy, QueryScheduler, QuerySpec, SchedReport};
 use adamant_task::registry::TaskRegistry;
 
 pub mod session;
-pub use session::{Session, SessionError, SqlResultSet, SqlValue};
+pub use session::{Session, SessionError, SessionRetryPolicy, SqlResultSet, SqlValue};
 
 /// The top-level engine: devices + tasks + executor, ready to run plans.
 pub struct Adamant {
@@ -252,6 +253,7 @@ pub struct AdamantBuilder {
     devices: Vec<Box<dyn Device>>,
     chunk_rows: Option<usize>,
     retry: Option<RetryPolicy>,
+    checkpoints: Option<CheckpointConfig>,
     deadline_ns: Option<f64>,
     watchdog_multiplier: Option<Option<f64>>,
     health: Option<HealthPolicy>,
@@ -277,6 +279,15 @@ impl AdamantBuilder {
     /// Sets the chunk size in rows for the chunked models.
     pub fn chunk_rows(mut self, rows: usize) -> Self {
         self.chunk_rows = Some(rows);
+        self
+    }
+
+    /// Enables partial-progress checkpoints: consistent snapshots at
+    /// pipeline-breaker and chunk-interval boundaries, so heavyweight
+    /// recovery (a device death, exhausted retries) resumes from the last
+    /// validated boundary instead of restarting from row 0.
+    pub fn checkpoints(mut self, config: CheckpointConfig) -> Self {
+        self.checkpoints = Some(config);
         self
     }
 
@@ -377,6 +388,9 @@ impl AdamantBuilder {
         if let Some(retry) = self.retry {
             config.retry = retry;
         }
+        if let Some(checkpoints) = self.checkpoints {
+            config.checkpoints = checkpoints;
+        }
         config.deadline_ns = self.deadline_ns;
         if let Some(watchdog) = self.watchdog_multiplier {
             config.watchdog_multiplier = watchdog.map(|m| m.max(1.0));
@@ -407,9 +421,10 @@ impl AdamantBuilder {
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use crate::session::{Session, SessionError, SqlResultSet, SqlValue};
+    pub use crate::session::{Session, SessionError, SessionRetryPolicy, SqlResultSet, SqlValue};
     pub use crate::{Adamant, AdamantBuilder};
     pub use adamant_baseline::{BaselineExecutor, BaselineRun};
+    pub use adamant_core::checkpoint::{CheckpointConfig, QueryCheckpoint};
     pub use adamant_core::executor::{
         CancelToken, Executor, ExecutorConfig, QueryInputs, RetryPolicy,
     };

@@ -2,15 +2,18 @@
 //! gate used by the `bench-trajectory` CI job.
 //!
 //! Validates, for each of `BENCH_fig03.json` / `BENCH_fig11.json` /
-//! `BENCH_table02.json` (in the directory given as the first argument,
-//! default `.`):
+//! `BENCH_table02.json` / `BENCH_recovery.json` (in the directory given as
+//! the first argument, default `.`):
 //!
 //! - the envelope: `benchmark` matches the file name, `schema_version` is
 //!   the current [`adamant_bench::BENCH_SCHEMA_VERSION`], `unit` is
 //!   `modeled_ns`, and `rows` is a non-empty array of objects;
 //! - for fig11: the `cold_warm` section exists and the warm run's modeled
 //!   time is strictly below the cold run's — with a nonzero cache-hit
-//!   counter — for at least 4 queries (the steady-state acceptance bar).
+//!   counter — for at least 4 queries (the steady-state acceptance bar);
+//! - for recovery: every `restart_vs_resume` row (deaths at >= 50%
+//!   progress) resumed from a validated checkpoint and re-executed
+//!   strictly fewer chunks than the restart-from-zero run.
 //!
 //! Exits nonzero with a diagnostic on any violation.
 //!
@@ -345,16 +348,64 @@ fn check_fig11(rows: &[Json]) -> Result<(), String> {
     Ok(())
 }
 
+/// The recovery gate: every restart-vs-resume row must have resumed from a
+/// checkpoint and re-executed strictly fewer chunks than the full restart.
+fn check_recovery(rows: &[Json]) -> Result<(), String> {
+    let cmp: Vec<&Json> = rows
+        .iter()
+        .filter(|r| r.get("section").and_then(Json::as_str) == Some("restart_vs_resume"))
+        .collect();
+    if cmp.is_empty() {
+        return Err("recovery: no 'restart_vs_resume' rows".into());
+    }
+    for r in &cmp {
+        let label = format!(
+            "recovery {} @{}",
+            r.get("model").and_then(Json::as_str).unwrap_or("?"),
+            r.get("death_frac").and_then(Json::as_num).unwrap_or(0.0)
+        );
+        let restart = r
+            .get("restart_chunks")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("{label}: missing restart_chunks"))?;
+        let resume = r
+            .get("resume_chunks")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("{label}: missing resume_chunks"))?;
+        let resumes = r
+            .get("resumes")
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("{label}: missing resumes"))?;
+        if resumes < 1.0 {
+            return Err(format!("{label}: recovery never resumed from a checkpoint"));
+        }
+        if resume >= restart {
+            return Err(format!(
+                "{label}: resume re-executed {resume} chunks vs {restart} restarted \
+                 (must be strictly fewer)"
+            ));
+        }
+    }
+    println!(
+        "BENCH_recovery.json: resume gate ok ({} rows resume < restart with checkpoints)",
+        cmp.len()
+    );
+    Ok(())
+}
+
 fn main() {
     let dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
     let dir = std::path::PathBuf::from(dir);
     let mut failed = false;
     let mut fig11_rows = None;
-    for name in ["fig03", "fig11", "table02"] {
+    let mut recovery_rows = None;
+    for name in ["fig03", "fig11", "table02", "recovery"] {
         match load(&dir, name) {
             Ok(rows) => {
                 if name == "fig11" {
                     fig11_rows = Some(rows);
+                } else if name == "recovery" {
+                    recovery_rows = Some(rows);
                 }
             }
             Err(e) => {
@@ -365,6 +416,12 @@ fn main() {
     }
     if let Some(rows) = fig11_rows {
         if let Err(e) = check_fig11(&rows) {
+            eprintln!("FAIL: {e}");
+            failed = true;
+        }
+    }
+    if let Some(rows) = recovery_rows {
+        if let Err(e) = check_recovery(&rows) {
             eprintln!("FAIL: {e}");
             failed = true;
         }

@@ -1,0 +1,270 @@
+//! Query checkpoints: consistent host-side snapshots of partial progress.
+//!
+//! Every heavyweight recovery path used to restart the query from row 0 —
+//! a fault at 95% progress forfeited 95% of the work. A [`QueryCheckpoint`]
+//! captures, at pipeline-breaker and chunk-interval boundaries, everything
+//! needed to resume from the last consistent boundary instead:
+//!
+//! * the number of pipelines already completed;
+//! * the in-progress pipeline's high-water scan offset (rows whose results
+//!   are already host-accumulated) and the chunk count behind it;
+//! * every host accumulation (cloned, with its contiguity watermark);
+//! * host copies of every materialized breaker accumulator still resident
+//!   on a device (retrieved over the verified transfer path, so capture
+//!   pays real modeled D2H cost);
+//! * a staging manifest naming what must be re-placed on survivors.
+//!
+//! Checkpoints are **device-agnostic**: no [`DeviceId`] appears in the
+//! snapshot. On resume the post-re-placement graph annotation decides where
+//! each entry lands, so a snapshot taken before a device died restores
+//! cleanly onto whatever survivors remain. The whole snapshot is guarded by
+//! an FNV-1a checksum over a canonical serialization; a snapshot that fails
+//! [`QueryCheckpoint::validate`] (e.g. scripted corruption via
+//! `FaultPlan::corrupt_checkpoint`) is discarded and recovery degrades to
+//! the old full restart — never a wrong answer.
+//!
+//! [`DeviceId`]: adamant_device::device::DeviceId
+
+use crate::graph::DataRef;
+use crate::hub::HostAccum;
+use adamant_device::buffer::BufferData;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// Configuration of the checkpoint subsystem (disabled by default).
+///
+/// Capture sites are chunk boundaries (every
+/// [`CheckpointConfig::chunk_interval`]-th chunk is *considered*) and
+/// pipeline-breaker boundaries (always considered). A considered boundary
+/// actually captures only when the cost-model policy agrees: the modeled
+/// re-execution cost accumulated since the last snapshot must exceed the
+/// estimated capture cost times [`CheckpointConfig::cost_factor`].
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CheckpointConfig {
+    /// Master switch; `false` keeps the legacy restart-from-row-0 behavior.
+    pub enabled: bool,
+    /// Consider a snapshot every `chunk_interval` streamed chunks (minimum
+    /// 1 = every chunk boundary).
+    pub chunk_interval: usize,
+    /// Capture when `work_since_last_snapshot > capture_cost_estimate *
+    /// cost_factor`. Lower values checkpoint more eagerly; `0.0` captures
+    /// at every considered boundary.
+    pub cost_factor: f64,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        CheckpointConfig {
+            enabled: false,
+            chunk_interval: 1,
+            cost_factor: 2.0,
+        }
+    }
+}
+
+impl CheckpointConfig {
+    /// An enabled config with the default interval and cost factor.
+    pub fn enabled() -> Self {
+        CheckpointConfig {
+            enabled: true,
+            ..CheckpointConfig::default()
+        }
+    }
+
+    /// Sets the chunk interval between considered snapshot boundaries.
+    pub fn chunk_interval(mut self, every: usize) -> Self {
+        self.chunk_interval = every.max(1);
+        self
+    }
+
+    /// Sets the re-execution-cost-to-capture-cost factor.
+    ///
+    /// # Panics
+    /// Panics if `factor` is negative or not finite.
+    pub fn cost_factor(mut self, factor: f64) -> Self {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "cost factor must be finite and >= 0"
+        );
+        self.cost_factor = factor;
+        self
+    }
+}
+
+/// One consistent snapshot of query progress, host-side and checksummed.
+#[derive(Debug)]
+pub struct QueryCheckpoint {
+    /// Pipelines fully completed when the snapshot was taken; resume skips
+    /// them entirely.
+    pub pipelines_done: usize,
+    /// Scan rows of the in-progress streaming pipeline whose results are
+    /// inside the snapshot (0 when captured at a pipeline boundary). The
+    /// resumed pipeline streams from this offset.
+    pub resume_offset: usize,
+    /// Streamed chunks whose results the snapshot holds (what a resume
+    /// skips re-executing).
+    pub chunks_done: usize,
+    /// Host accumulations: `(ref, cloned accumulation, contiguity
+    /// watermark)`, sorted by ref for deterministic checksums.
+    pub host: Vec<(DataRef, HostAccum, usize)>,
+    /// Host copies of device-resident breaker accumulators, sorted by ref.
+    /// Device-agnostic: the resume re-places each onto the producing node's
+    /// post-recovery device.
+    pub resident: Vec<(DataRef, BufferData)>,
+    /// Human-readable staging manifest: what the resume must re-place.
+    pub manifest: Vec<String>,
+    /// Total snapshot payload bytes (host accumulations + resident copies).
+    pub bytes: u64,
+    /// FNV-1a checksum over the canonical serialization of everything
+    /// above; [`QueryCheckpoint::validate`] recomputes and compares.
+    pub checksum: u64,
+}
+
+fn eat(h: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *h = (*h ^ u64::from(b)).wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn eat_ref(h: &mut u64, r: &DataRef) {
+    match r {
+        DataRef::Input(i) => {
+            eat(h, &[0]);
+            eat(h, &(*i as u64).to_le_bytes());
+            eat(h, &0u64.to_le_bytes());
+        }
+        DataRef::Output { node, port } => {
+            eat(h, &[1]);
+            eat(h, &(node.0 as u64).to_le_bytes());
+            eat(h, &(*port as u64).to_le_bytes());
+        }
+    }
+}
+
+impl QueryCheckpoint {
+    /// Computes the canonical FNV-1a checksum of the snapshot's content
+    /// (everything except the stored `checksum` itself).
+    pub fn compute_checksum(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        eat(&mut h, &(self.pipelines_done as u64).to_le_bytes());
+        eat(&mut h, &(self.resume_offset as u64).to_le_bytes());
+        eat(&mut h, &(self.chunks_done as u64).to_le_bytes());
+        eat(&mut h, &(self.host.len() as u64).to_le_bytes());
+        for (r, accum, watermark) in &self.host {
+            eat_ref(&mut h, r);
+            eat(&mut h, &(*watermark as u64).to_le_bytes());
+            eat(&mut h, &accum.to_buffer().checksum().to_le_bytes());
+        }
+        eat(&mut h, &(self.resident.len() as u64).to_le_bytes());
+        for (r, payload) in &self.resident {
+            eat_ref(&mut h, r);
+            eat(&mut h, &payload.checksum().to_le_bytes());
+        }
+        eat(&mut h, &(self.manifest.len() as u64).to_le_bytes());
+        for entry in &self.manifest {
+            eat(&mut h, entry.as_bytes());
+            eat(&mut h, &[0xff]);
+        }
+        h
+    }
+
+    /// Seals the snapshot: stores the canonical checksum and the payload
+    /// byte total. Called once by the capture path after assembly.
+    pub fn seal(&mut self) {
+        self.bytes = self
+            .host
+            .iter()
+            .map(|(_, a, _)| a.to_buffer().byte_len())
+            .chain(self.resident.iter().map(|(_, p)| p.byte_len()))
+            .sum();
+        self.checksum = self.compute_checksum();
+    }
+
+    /// Whether the snapshot still matches its sealed checksum. A resume
+    /// only trusts a validating snapshot; anything else degrades to a full
+    /// restart.
+    pub fn validate(&self) -> bool {
+        self.compute_checksum() == self.checksum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeId;
+
+    fn sample() -> QueryCheckpoint {
+        let mut c = QueryCheckpoint {
+            pipelines_done: 1,
+            resume_offset: 512,
+            chunks_done: 2,
+            host: vec![(
+                DataRef::Output {
+                    node: NodeId(3),
+                    port: 0,
+                },
+                HostAccum::Numeric(vec![1, 2, 3]),
+                512,
+            )],
+            resident: vec![(
+                DataRef::Output {
+                    node: NodeId(1),
+                    port: 0,
+                },
+                BufferData::I64(vec![10, 20]),
+            )],
+            manifest: vec!["resident Output { node: NodeId(1), port: 0 }".into()],
+            bytes: 0,
+            checksum: 0,
+        };
+        c.seal();
+        c
+    }
+
+    #[test]
+    fn sealed_snapshot_validates() {
+        let c = sample();
+        assert!(c.validate());
+        assert_eq!(c.bytes, 3 * 8 + 2 * 8);
+    }
+
+    #[test]
+    fn content_tamper_fails_validation() {
+        let mut c = sample();
+        match &mut c.resident[0].1 {
+            BufferData::I64(v) => v[0] ^= 1,
+            _ => unreachable!(),
+        }
+        assert!(!c.validate());
+    }
+
+    #[test]
+    fn checksum_tamper_fails_validation() {
+        let mut c = sample();
+        c.checksum ^= 1;
+        assert!(!c.validate());
+    }
+
+    #[test]
+    fn metadata_is_part_of_the_checksum() {
+        let mut c = sample();
+        c.resume_offset += 1;
+        assert!(!c.validate());
+        let mut c = sample();
+        c.manifest.push("extra".into());
+        assert!(!c.validate());
+    }
+
+    #[test]
+    fn config_defaults_are_off_and_builders_clamp() {
+        let d = CheckpointConfig::default();
+        assert!(!d.enabled);
+        let c = CheckpointConfig::enabled()
+            .chunk_interval(0)
+            .cost_factor(0.5);
+        assert!(c.enabled);
+        assert_eq!(c.chunk_interval, 1);
+        assert_eq!(c.cost_factor, 0.5);
+    }
+}

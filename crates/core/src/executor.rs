@@ -8,9 +8,10 @@
 //! overlapping the copy with compute on a real transfer thread synchronized
 //! by `fetched_until`/`processed_until` counters (Algorithm 2).
 
+use crate::checkpoint::{CheckpointConfig, QueryCheckpoint};
 use crate::error::{ExecError, Result};
-use crate::graph::{DataRef, PrimitiveGraph, PrimitiveNode};
-use crate::hub::DataTransferHub;
+use crate::graph::{DataRef, NodeId, PrimitiveGraph, PrimitiveNode};
+use crate::hub::{DataTransferHub, HostAccum};
 use crate::models::{ExecutionModel, ModelConfig};
 use crate::pipeline::{Pipeline, PipelineSet};
 use crate::residency::{ResidencyCache, ResidencyConfig};
@@ -53,6 +54,11 @@ pub struct ExecutorConfig {
     /// alternate device (first completion wins; the loser's allocations are
     /// reclaimed). `None` disables watchdogs and hedging.
     pub watchdog_multiplier: Option<f64>,
+    /// Partial-progress checkpoints: when enabled, the executor snapshots
+    /// query progress at pipeline-breaker and chunk-interval boundaries and
+    /// heavyweight recovery (device death, exhausted retries) resumes from
+    /// the last validated snapshot instead of restarting from row 0.
+    pub checkpoints: CheckpointConfig,
 }
 
 impl Default for ExecutorConfig {
@@ -62,6 +68,7 @@ impl Default for ExecutorConfig {
             retry: RetryPolicy::default(),
             deadline_ns: None,
             watchdog_multiplier: Some(3.0),
+            checkpoints: CheckpointConfig::default(),
         }
     }
 }
@@ -550,23 +557,39 @@ impl Executor {
 
         // Graph-level restart loop: a permanent device death (`Gone`)
         // unwinds the whole run — the corpse's buffers are written off, the
-        // survivors rolled back to pristine, pipelines re-placed — and the
-        // query restarts from row 0 on the remaining devices. Bounded by
-        // the initial device count: each restart retires one device.
+        // survivors rolled back, pipelines re-placed — and the query either
+        // resumes from the last validated checkpoint (when enabled and one
+        // exists) or restarts from row 0 on the remaining devices. The bound
+        // is recomputed from the live registry after every death: each
+        // restart retires exactly one device, so the loop still terminates,
+        // but devices hot-added via `attach_device` since the run began
+        // extend the budget instead of being silently ignored.
+        let mut ckpt = CheckpointState::new(self.config.checkpoints);
         let mut restarts_left = self.devices.len();
         let run_result = loop {
             let attempt = (|| -> Result<QueryOutput> {
-                for pipeline in &pipelines.pipelines {
+                let cursor = ckpt.cursor.take();
+                let skip = cursor.as_ref().map_or(0, |c| c.pipelines_done);
+                for (pi, pipeline) in pipelines.pipelines.iter().enumerate() {
+                    if pi < skip {
+                        continue;
+                    }
+                    let resume = cursor
+                        .as_ref()
+                        .filter(|c| pi == skip && c.resume_offset > 0);
                     self.run_pipeline_with_recovery(
                         &mut graph, pipeline, inputs, cfg, &mut hub, &mut stats, &mut tally,
-                        &escaping, &control,
+                        &escaping, &control, &mut ckpt, resume,
                     )?;
+                    ckpt.pipelines_done = pi + 1;
+                    // Pipeline-breaker boundary: always a considered capture
+                    // site; the cost policy decides whether to snapshot.
+                    self.maybe_capture_checkpoint(&mut hub, &mut stats, &mut tally, &mut ckpt, 0)?;
                 }
                 self.collect_outputs(&graph, &mut hub, &mut stats, &mut tally)
             })();
             match attempt {
                 Err(err) if gone_device(&err).is_some() && restarts_left > 0 => {
-                    restarts_left -= 1;
                     let dead = gone_device(&err).expect("checked above");
                     match self.handle_device_loss(
                         dead,
@@ -576,8 +599,12 @@ impl Executor {
                         &mut stats,
                         &mut fault_base,
                         &mut tally,
+                        &mut ckpt,
                     ) {
-                        Ok(()) => continue,
+                        Ok(()) => {
+                            restarts_left = self.devices.len();
+                            continue;
+                        }
                         Err(e) => break Err(e),
                     }
                 }
@@ -814,6 +841,8 @@ impl Executor {
         tally: &mut Tally,
         escaping: &HashSet<DataRef>,
         control: &RunControl,
+        ckpt: &mut CheckpointState,
+        resume: Option<&ResumeCursor>,
     ) -> Result<()> {
         let retry = self.config.retry;
         let mut chunk_rows = self.config.chunk_rows;
@@ -841,6 +870,7 @@ impl Executor {
             let result = if pipeline.is_streaming() && cfg.chunked {
                 self.run_streaming(
                     graph, pipeline, inputs, cfg, chunk_rows, hub, stats, tally, escaping, control,
+                    ckpt, resume,
                 )
             } else {
                 self.run_whole(graph, pipeline, inputs, hub, stats, tally, control)
@@ -885,6 +915,13 @@ impl Executor {
                         hub.discard_host(*r);
                     }
                 }
+            }
+            // A resumed pipeline retries from the checkpoint boundary, not
+            // row 0: reinstate the snapshot's host prefix (content and
+            // contiguity watermark) that the discard just dropped, so the
+            // next attempt's accumulations continue from `resume_offset`.
+            if let Some(c) = resume {
+                hub.restore_host(&c.host);
             }
 
             // Feed the failure back into the health registry: what the
@@ -1033,10 +1070,16 @@ impl Executor {
     ///    calling into it, and its pool/admission accounting zeroed so the
     ///    no-leak invariant still holds;
     /// 3. the whole attempt is unwound on the survivors (buffers freed,
-    ///    host accumulations discarded) so the restart re-stages inputs
-    ///    from pristine host copies;
+    ///    host accumulations discarded) so re-staging starts from pristine
+    ///    host copies;
     /// 4. health records are dropped, the device unplugged, and every
-    ///    pipeline still pointing at it re-placed onto the best survivor.
+    ///    pipeline still pointing at it re-placed onto the best survivor;
+    /// 5. when checkpoints are enabled and the latest snapshot validates,
+    ///    its host accumulations and completed-pipeline breaker copies are
+    ///    restored onto the (re-placed) survivors and a resume cursor is
+    ///    armed, so the restart skips everything the snapshot holds; any
+    ///    validation or restore failure counts a typed stat and degrades to
+    ///    the legacy full restart from row 0 — never a wrong answer.
     ///
     /// Errors with the original `Gone` when no survivor can take the work.
     #[allow(clippy::too_many_arguments)]
@@ -1049,6 +1092,7 @@ impl Executor {
         stats: &mut ExecutionStats,
         fault_base: &mut BTreeMap<DeviceId, u64>,
         tally: &mut Tally,
+        ckpt: &mut CheckpointState,
     ) -> Result<()> {
         stats.device_deaths += 1;
         if let Ok(dev) = self.devices.get_mut(dead) {
@@ -1087,6 +1131,190 @@ impl Executor {
                 ));
             }
         }
+        // Membership is settled; default to a full restart unless a
+        // checkpoint restores cleanly below.
+        ckpt.cursor = None;
+        ckpt.pipelines_done = 0;
+        ckpt.chunks_done = 0;
+        if !ckpt.cfg.enabled {
+            return Ok(());
+        }
+        let valid = match &ckpt.latest {
+            Some(cp) if cp.validate() => true,
+            Some(_) => {
+                // Corrupted snapshot (e.g. scripted via
+                // `FaultPlan::corrupt_checkpoint`): drop it and restart from
+                // row 0 rather than resume from untrusted state.
+                stats.resume_validation_failures += 1;
+                ckpt.latest = None;
+                false
+            }
+            None => false,
+        };
+        if !valid {
+            return Ok(());
+        }
+        let cp = ckpt.latest.as_ref().expect("validated above");
+        // Split the snapshot's resident copies: accumulators of *completed*
+        // pipelines are restored here (later pipelines consume them
+        // read-only), while the in-progress pipeline's own accumulators are
+        // carried in the cursor and seeded per attempt by `run_streaming` —
+        // they are mutated in place by every chunk, so they must live inside
+        // the attempt's rollback scope or a retry would double-count.
+        let in_progress: &[NodeId] = pipelines
+            .pipelines
+            .get(cp.pipelines_done)
+            .map_or(&[], |p| p.nodes.as_slice());
+        let restored = (|| -> Result<()> {
+            hub.restore_host(&cp.host);
+            for (r, payload) in &cp.resident {
+                let target = match r {
+                    DataRef::Output { node, .. } if !in_progress.contains(node) => {
+                        graph.node(*node).device
+                    }
+                    _ => continue,
+                };
+                hub.restore_resident(&mut self.devices, *r, target, payload)?;
+            }
+            Ok(())
+        })();
+        match restored {
+            Ok(()) => {
+                stats.resumes += 1;
+                stats.chunks_skipped_on_resume += cp.chunks_done;
+                ckpt.pipelines_done = cp.pipelines_done;
+                ckpt.chunks_done = cp.chunks_done;
+                ckpt.cursor = Some(ResumeCursor {
+                    pipelines_done: cp.pipelines_done,
+                    resume_offset: cp.resume_offset,
+                    host: cp.host.clone(),
+                    seed: cp
+                        .resident
+                        .iter()
+                        .filter(|(r, _)| {
+                            matches!(r, DataRef::Output { node, .. }
+                                if in_progress.contains(node))
+                        })
+                        .map(|(r, p)| (*r, p.clone()))
+                        .collect(),
+                });
+                Ok(())
+            }
+            Err(_) => {
+                // Re-staging the snapshot failed (e.g. a second device died
+                // or OOMed mid-restore). Unwind whatever landed and fall
+                // back to the full restart; if a survivor really is gone the
+                // restart will hit its `Gone` and run-level recovery handles
+                // that death in turn.
+                hub.rollback_to(&mut self.devices, 0);
+                hub.discard_all_host();
+                stats.resume_validation_failures += 1;
+                ckpt.latest = None;
+                Ok(())
+            }
+        }
+    }
+
+    /// Modeled cost of capturing a checkpoint right now: one verified D2H
+    /// retrieval per device-resident breaker accumulator, priced by each
+    /// holder's own cost model (host accumulations are already host-side
+    /// and cost nothing to snapshot).
+    fn estimate_capture_ns(&self, hub: &DataTransferHub) -> f64 {
+        let mut total = 0.0;
+        for (r, dev, id) in hub.resident_refs() {
+            if !matches!(r, DataRef::Output { .. }) {
+                continue;
+            }
+            if let Ok(d) = self.devices.get(dev) {
+                if let Ok(buf) = d.pool().get(id) {
+                    total += d.placement_cost_ns(buf.footprint(), 0.0);
+                }
+            }
+        }
+        total
+    }
+
+    /// Considered checkpoint boundary: captures a snapshot when the
+    /// cost-model policy agrees — the modeled re-execution cost accumulated
+    /// since the last snapshot must exceed the estimated capture cost times
+    /// [`CheckpointConfig::cost_factor`]. `resume_offset` is the in-progress
+    /// pipeline's high-water scan row (0 at pipeline boundaries).
+    fn maybe_capture_checkpoint(
+        &mut self,
+        hub: &mut DataTransferHub,
+        stats: &mut ExecutionStats,
+        tally: &mut Tally,
+        ckpt: &mut CheckpointState,
+        resume_offset: usize,
+    ) -> Result<()> {
+        if !ckpt.cfg.enabled {
+            return Ok(());
+        }
+        let est = self.estimate_capture_ns(hub);
+        let lanes = stats.transfer_ns + stats.compute_ns + stats.other_ns;
+        if lanes - ckpt.lanes_mark <= est * ckpt.cfg.cost_factor {
+            return Ok(());
+        }
+        self.capture_checkpoint(hub, stats, tally, ckpt, resume_offset)
+    }
+
+    /// Captures one consistent snapshot. The candidate is fully assembled
+    /// and sealed before it replaces `ckpt.latest`, so a device death in
+    /// the middle of a capture (any retrieval may return `Gone`) leaves the
+    /// previous snapshot intact — recovery then resumes from the older but
+    /// still consistent boundary. Capture transfers pay real modeled D2H
+    /// cost, drained into the stats here so the surrounding chunk loop's
+    /// per-chunk attribution stays clean.
+    fn capture_checkpoint(
+        &mut self,
+        hub: &mut DataTransferHub,
+        stats: &mut ExecutionStats,
+        tally: &mut Tally,
+        ckpt: &mut CheckpointState,
+        resume_offset: usize,
+    ) -> Result<()> {
+        let host = hub.snapshot_host();
+        let mut resident: Vec<(DataRef, BufferData)> = Vec::new();
+        let mut manifest: Vec<String> = Vec::new();
+        for (r, dev, id) in hub.resident_refs() {
+            // Inputs re-stage from pristine host columns for free; only
+            // materialized intermediates need host copies.
+            if !matches!(r, DataRef::Output { .. }) {
+                continue;
+            }
+            let payload = hub.retrieve_verified(&mut self.devices, dev, id, None, 0)?;
+            manifest.push(format!("place {:?} ({} B)", r, payload.byte_len()));
+            resident.push((r, payload));
+        }
+        for (r, _, watermark) in &host {
+            manifest.push(format!("host {:?} @{}", r, watermark));
+        }
+        let mut cp = QueryCheckpoint {
+            pipelines_done: ckpt.pipelines_done,
+            resume_offset,
+            chunks_done: ckpt.chunks_done,
+            host,
+            resident,
+            manifest,
+            bytes: 0,
+            checksum: 0,
+        };
+        cp.seal();
+        for id in self.devices.ids() {
+            tally.drain_serial(self.devices.get_mut(id)?.as_mut(), stats);
+            // Scripted checkpoint corruption: a device's fault plan may
+            // damage the snapshot in flight. The stored checksum no longer
+            // matches the content, so the resume-time validation rejects it
+            // and recovery degrades to a full restart — never resumes from
+            // (or produces) corrupt state.
+            if self.devices.get_mut(id)?.corrupt_checkpoint_capture() {
+                cp.checksum ^= 1;
+            }
+        }
+        stats.checkpoints_taken += 1;
+        stats.checkpoint_bytes += cp.bytes;
+        ckpt.lanes_mark = stats.transfer_ns + stats.compute_ns + stats.other_ns;
+        ckpt.latest = Some(cp);
         Ok(())
     }
 
@@ -1296,6 +1524,8 @@ impl Executor {
         tally: &mut Tally,
         escaping: &HashSet<DataRef>,
         control: &RunControl,
+        ckpt: &mut CheckpointState,
+        resume: Option<&ResumeCursor>,
     ) -> Result<()> {
         let scan = pipeline
             .scan
@@ -1333,6 +1563,10 @@ impl Executor {
         }
         let rows = scan_cols.first().map(|(_, c)| c.len()).unwrap_or(0);
         let n_chunks = rows.div_ceil(chunk_rows);
+        // Resuming from a checkpoint: rows below the snapshot's high-water
+        // offset are already host-accumulated (and folded into the seeded
+        // breaker accumulators), so the scan starts there instead of row 0.
+        let resume_offset = resume.map_or(0, |c| c.resume_offset).min(rows);
 
         // Order-sensitive breakers cannot stream across multiple chunks.
         if n_chunks > 1 {
@@ -1399,6 +1633,15 @@ impl Executor {
                     let id =
                         hub.prepare_output_buffer(&mut self.devices, &node, port, semantic, rows)?;
                     hub.register_resident(r, node.device, id);
+                    // Checkpoint resume: seed the freshly created accumulator
+                    // with the snapshot's partial state. The seed is applied
+                    // per attempt (the accumulator is created after the
+                    // recovery mark), so an intra-pipeline retry rolls the
+                    // in-place chunk mutations back and re-seeds cleanly —
+                    // chunks past `resume_offset` are never double-counted.
+                    if let Some(seed) = resume.and_then(|c| c.seed_for(r)) {
+                        hub.place_verified(&mut self.devices, node.device, id, seed.clone(), 0)?;
+                    }
                 } else if cfg.stage_once {
                     let id = hub.prepare_output_buffer(
                         &mut self.devices,
@@ -1439,7 +1682,7 @@ impl Executor {
                 let processed = &processed_until;
                 scope.spawn(move || {
                     let mut chunk = 0usize;
-                    let mut offset = 0usize;
+                    let mut offset = resume_offset;
                     while offset < rows {
                         // Cooperative cancellation: stop slicing; the execute
                         // side surfaces the error at its own check.
@@ -1512,6 +1755,12 @@ impl Executor {
                     streamed_ns += cost.transfer_ns + cost.compute_ns;
                     chunk_costs.push(cost);
                     chunk_charges.push(charged);
+                    // Chunk-interval checkpoint boundary: host accumulations
+                    // and the breaker accumulators consistently reflect rows
+                    // `[0, offset + len)` right here.
+                    if ckpt.cfg.enabled && ckpt.on_chunk_completed() {
+                        self.maybe_capture_checkpoint(hub, stats, tally, ckpt, offset + len)?;
+                    }
                     processed.fetch_add(1, Ordering::Release);
                 }
                 Ok(())
@@ -1519,7 +1768,7 @@ impl Executor {
             result?;
         } else {
             let mut chunk = 0usize;
-            let mut offset = 0usize;
+            let mut offset = resume_offset;
             let mut streamed_ns = 0.0_f64;
             while offset < rows {
                 control.check(tally.serial_ns + tally.overlap_ns + streamed_ns, stats)?;
@@ -1563,6 +1812,9 @@ impl Executor {
                 streamed_ns += cost.transfer_ns + cost.compute_ns;
                 chunk_costs.push(cost);
                 chunk_charges.push(charged);
+                if ckpt.cfg.enabled && ckpt.on_chunk_completed() {
+                    self.maybe_capture_checkpoint(hub, stats, tally, ckpt, offset + len)?;
+                }
                 chunk += 1;
                 offset += len;
             }
@@ -2178,6 +2430,76 @@ struct ChunkOutcome {
 }
 
 /// Per-run accounting accumulators.
+/// Per-run checkpoint machinery: the configuration, the latest sealed
+/// snapshot, the cost-policy bookkeeping, and the resume cursor armed by
+/// `handle_device_loss` for the next restart-loop iteration. Lives only for
+/// the duration of one `run_with_deadline` call, so every byte of snapshot
+/// storage is released when the run returns — the no-leak invariant covers
+/// checkpoints too.
+struct CheckpointState {
+    cfg: CheckpointConfig,
+    latest: Option<QueryCheckpoint>,
+    /// Stats-lane total (`transfer + compute + other`) at the last capture:
+    /// the difference to the current total is the modeled re-execution cost
+    /// a death right now would forfeit.
+    lanes_mark: f64,
+    /// Chunks streamed since the last considered boundary (capture sites
+    /// are every `cfg.chunk_interval`-th chunk).
+    chunks_since_consider: usize,
+    /// Chunks whose results the current attempt lineage already holds (the
+    /// next snapshot records this as what a resume may skip).
+    chunks_done: usize,
+    /// Pipelines fully completed in the current attempt lineage.
+    pipelines_done: usize,
+    /// Armed by a successful checkpoint restore; consumed by the next
+    /// restart-loop iteration.
+    cursor: Option<ResumeCursor>,
+}
+
+impl CheckpointState {
+    fn new(cfg: CheckpointConfig) -> Self {
+        CheckpointState {
+            cfg,
+            latest: None,
+            lanes_mark: 0.0,
+            chunks_since_consider: 0,
+            chunks_done: 0,
+            pipelines_done: 0,
+            cursor: None,
+        }
+    }
+
+    /// Advances the chunk counters; returns whether this boundary is a
+    /// considered capture site.
+    fn on_chunk_completed(&mut self) -> bool {
+        self.chunks_done += 1;
+        self.chunks_since_consider += 1;
+        if self.chunks_since_consider >= self.cfg.chunk_interval.max(1) {
+            self.chunks_since_consider = 0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// What a resumed restart-loop iteration needs: how many pipelines to skip,
+/// the in-progress pipeline's scan offset, the snapshot's host entries (for
+/// re-restore when an intra-pipeline retry discards them), and the seeds
+/// for the in-progress pipeline's breaker accumulators.
+struct ResumeCursor {
+    pipelines_done: usize,
+    resume_offset: usize,
+    host: Vec<(DataRef, HostAccum, usize)>,
+    seed: Vec<(DataRef, BufferData)>,
+}
+
+impl ResumeCursor {
+    fn seed_for(&self, r: DataRef) -> Option<&BufferData> {
+        self.seed.iter().find(|(sr, _)| *sr == r).map(|(_, p)| p)
+    }
+}
+
 #[derive(Default)]
 struct Tally {
     serial_ns: f64,

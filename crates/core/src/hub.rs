@@ -29,7 +29,10 @@ use adamant_task::semantics::DataSemantic;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 /// Host-side accumulation of per-chunk results.
-#[derive(Debug)]
+///
+/// `Clone` so the checkpoint subsystem can snapshot accumulations without
+/// disturbing the live copies.
+#[derive(Clone, Debug)]
 pub enum HostAccum {
     /// Concatenated numeric rows.
     Numeric(Vec<i64>),
@@ -418,6 +421,72 @@ impl DataTransferHub {
     pub fn discard_all_host(&mut self) {
         self.host.clear();
         self.host_offsets.clear();
+    }
+
+    /// Clones every host accumulation with its contiguity watermark, sorted
+    /// by ref for deterministic checkpoint checksums.
+    pub fn snapshot_host(&self) -> Vec<(DataRef, HostAccum, usize)> {
+        let mut out: Vec<(DataRef, HostAccum, usize)> = self
+            .host
+            .iter()
+            .map(|(&r, accum)| {
+                let watermark = self.host_offsets.get(&r).copied().unwrap_or(0);
+                (r, accum.clone(), watermark)
+            })
+            .collect();
+        out.sort_by_key(|(r, _, _)| *r);
+        out
+    }
+
+    /// Restores host accumulations from a checkpoint snapshot, replacing
+    /// whatever partial state a rolled-back attempt left behind. The
+    /// watermark re-arms the in-order contiguity check, so the resumed
+    /// stream appends exactly where the snapshot left off.
+    pub fn restore_host(&mut self, entries: &[(DataRef, HostAccum, usize)]) {
+        for (r, accum, watermark) in entries {
+            self.host.insert(*r, accum.clone());
+            self.host_offsets.insert(*r, *watermark);
+        }
+    }
+
+    /// Every data ref currently resident on some device, deduplicated and
+    /// sorted, each with its lowest-id holder (deterministic). The
+    /// checkpoint capture path retrieves these through the verified
+    /// transfer path to build the snapshot's resident section.
+    pub fn resident_refs(&self) -> Vec<(DataRef, DeviceId, BufferId)> {
+        let mut best: BTreeMap<DataRef, (DeviceId, BufferId)> = BTreeMap::new();
+        for (&(r, dev), &id) in &self.resident {
+            match best.get(&r) {
+                Some(&(held, _)) if held <= dev => {}
+                _ => {
+                    best.insert(r, (dev, id));
+                }
+            }
+        }
+        best.into_iter()
+            .map(|(r, (dev, id))| (r, dev, id))
+            .collect()
+    }
+
+    /// Re-materializes a checkpointed payload as a resident buffer on
+    /// `device`: allocates, uploads through the verified transfer path, and
+    /// registers residency + creation tracking so the normal rollback and
+    /// delete phases own the restored buffer like any other.
+    pub fn restore_resident(
+        &mut self,
+        devices: &mut DeviceRegistry,
+        data: DataRef,
+        device: DeviceId,
+        payload: &BufferData,
+    ) -> Result<BufferId> {
+        let id = self.fresh_id();
+        devices
+            .get_mut(device)?
+            .prepare_memory(id, payload.byte_len().max(8))?;
+        self.track_created(device, id);
+        self.place_verified(devices, device, id, payload.clone(), 0)?;
+        self.register_resident(data, device, id);
+        Ok(id)
     }
 
     /// Entries examined by the release paths so far (bounded-work tests).

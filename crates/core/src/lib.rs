@@ -23,6 +23,7 @@
 #![deny(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod checkpoint;
 pub mod error;
 pub mod executor;
 pub mod graph;
@@ -34,6 +35,7 @@ pub mod result;
 pub mod stats;
 pub mod timeline;
 
+pub use checkpoint::{CheckpointConfig, QueryCheckpoint};
 pub use error::ExecError;
 pub use executor::{CancelToken, Executor, ExecutorConfig, QueryInputs, RetryPolicy};
 pub use graph::{DataRef, GraphBuilder, NodeId, NodeParams, PrimitiveGraph, PrimitiveNode};
@@ -45,6 +47,7 @@ pub use stats::ExecutionStats;
 
 /// Convenience re-exports.
 pub mod prelude {
+    pub use crate::checkpoint::{CheckpointConfig, QueryCheckpoint};
     pub use crate::error::ExecError;
     pub use crate::executor::{CancelToken, Executor, ExecutorConfig, QueryInputs, RetryPolicy};
     pub use crate::graph::{

@@ -108,6 +108,22 @@ pub struct ExecutionStats {
     /// Devices hot-added (through the health registry's `HalfOpen` probe
     /// ramp) since the previous run.
     pub hot_adds: usize,
+    /// Query checkpoints captured (pipeline-boundary + chunk-interval
+    /// snapshots the cost policy accepted).
+    pub checkpoints_taken: usize,
+    /// Payload bytes across all captured snapshots (host accumulations plus
+    /// retrieved breaker-accumulator copies).
+    pub checkpoint_bytes: u64,
+    /// Recoveries that resumed from a validated checkpoint instead of
+    /// restarting from row 0.
+    pub resumes: usize,
+    /// Streamed chunks a resume skipped re-executing (work the latest
+    /// checkpoint preserved).
+    pub chunks_skipped_on_resume: usize,
+    /// Recoveries that wanted to resume but found the latest checkpoint
+    /// failing validation (or impossible to restore) and degraded to a full
+    /// restart from row 0.
+    pub resume_validation_failures: usize,
     /// Modeled duration of each interleavable slice of device time this run
     /// produced, in execution order: one entry per streamed chunk, one per
     /// whole-mode node. The multi-query scheduler replays these on the
@@ -215,6 +231,8 @@ impl ExecutionStats {
                 "\"cache_saved_transfer_ns\":{:.1},\"rollback_delete_errors\":{},",
                 "\"device_deaths\":{},\"buffers_written_off\":{},",
                 "\"restaged_bytes\":{},\"hot_adds\":{},",
+                "\"checkpoints_taken\":{},\"checkpoint_bytes\":{},\"resumes\":{},",
+                "\"chunks_skipped_on_resume\":{},\"resume_validation_failures\":{},",
                 "\"wall_ns\":{},\"per_primitive_ns\":{{{}}},\"peak_device_bytes\":{{{}}},",
                 "\"device_faults\":{{{}}},\"device_health\":{{{}}}}}"
             ),
@@ -253,6 +271,11 @@ impl ExecutionStats {
             self.buffers_written_off,
             self.restaged_bytes,
             self.hot_adds,
+            self.checkpoints_taken,
+            self.checkpoint_bytes,
+            self.resumes,
+            self.chunks_skipped_on_resume,
+            self.resume_validation_failures,
             self.wall_ns,
             per_primitive.join(","),
             peaks.join(","),
@@ -337,6 +360,11 @@ mod tests {
         s.buffers_written_off = 5;
         s.restaged_bytes = 8192;
         s.hot_adds = 2;
+        s.checkpoints_taken = 3;
+        s.checkpoint_bytes = 512;
+        s.resumes = 1;
+        s.chunks_skipped_on_resume = 7;
+        s.resume_validation_failures = 1;
         s.device_faults.insert("gpu0".into(), 5);
         s.device_health.insert(
             "gpu0".into(),
@@ -380,6 +408,11 @@ mod tests {
         assert!(json.contains("\"buffers_written_off\":5"));
         assert!(json.contains("\"restaged_bytes\":8192"));
         assert!(json.contains("\"hot_adds\":2"));
+        assert!(json.contains("\"checkpoints_taken\":3"));
+        assert!(json.contains("\"checkpoint_bytes\":512"));
+        assert!(json.contains("\"resumes\":1"));
+        assert!(json.contains("\"chunks_skipped_on_resume\":7"));
+        assert!(json.contains("\"resume_validation_failures\":1"));
         assert!(json.contains("\"device_faults\":{\"gpu0\":5}"));
         assert!(json.contains(
             "\"device_health\":{\"gpu0\":{\"state\":\"open\",\"kernel_failures\":2,\

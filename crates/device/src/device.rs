@@ -154,6 +154,15 @@ pub trait Device: Send {
     /// clean slate. No-op for drivers without injection.
     fn reset_fault_counters(&mut self) {}
 
+    /// Asked once per query-checkpoint capture: returns whether this
+    /// device's fault plan scripts the snapshot being captured right now to
+    /// be damaged ([`FaultPlan::corrupt_checkpoint`], 1-based capture
+    /// ordinals). Drivers without injection never corrupt, so the default
+    /// returns `false`. [`crate::sim::SimDevice`] honors the plan.
+    fn corrupt_checkpoint_capture(&mut self) -> bool {
+        false
+    }
+
     /// Recovery-aware placement cost of moving a `working_set_bytes` working
     /// set onto this device, given the expected-retry penalty the health
     /// registry attributes to it. Fallback placement ranks candidate devices

@@ -85,6 +85,12 @@ pub struct FaultPlan {
     /// device permanently, drawn from a seeded stream decoupled from every
     /// other trigger stream.
     pub death_rate: f64,
+    /// 1-based checkpoint-capture ordinals (as observed by this device) at
+    /// which the snapshot being captured is damaged in flight, so its
+    /// stored checksum no longer matches its content. The executor's
+    /// resume-time validation must then reject the snapshot and degrade to
+    /// a full restart.
+    pub corrupt_checkpoint: Vec<u64>,
 }
 
 impl Default for FaultPlan {
@@ -108,6 +114,7 @@ impl Default for FaultPlan {
             die_at_ns: None,
             die_on_exec_n: None,
             death_rate: 0.0,
+            corrupt_checkpoint: Vec::new(),
         }
     }
 }
@@ -252,6 +259,12 @@ impl FaultPlan {
         self
     }
 
+    /// Damages the `n`-th checkpoint capture this device observes (1-based).
+    pub fn corrupt_checkpoint(mut self, n: u64) -> Self {
+        self.corrupt_checkpoint.push(n);
+        self
+    }
+
     /// True when the plan injects nothing.
     pub fn is_empty(&self) -> bool {
         self.oom_on_alloc.is_empty()
@@ -269,6 +282,7 @@ impl FaultPlan {
             && self.die_at_ns.is_none()
             && self.die_on_exec_n.is_none()
             && self.death_rate == 0.0
+            && self.corrupt_checkpoint.is_empty()
     }
 }
 
@@ -288,6 +302,8 @@ pub struct FaultCounters {
     /// Permanent device deaths injected (at most 1 per install — death is
     /// terminal).
     pub deaths_injected: u64,
+    /// Checkpoint snapshots damaged in flight (scripted capture ordinals).
+    pub checkpoint_corruptions_injected: u64,
 }
 
 impl FaultCounters {
@@ -299,6 +315,7 @@ impl FaultCounters {
             + self.stalls_injected
             + self.corruptions_injected
             + self.deaths_injected
+            + self.checkpoint_corruptions_injected
     }
 }
 
@@ -326,6 +343,7 @@ pub struct FaultState {
     transfers_seen: u64,
     places_seen: u64,
     retrieves_seen: u64,
+    checkpoints_seen: u64,
     counters: FaultCounters,
     /// Separate streams for allocation, execution and corruption draws, so
     /// the trigger kinds do not perturb each other's sequences.
@@ -409,6 +427,22 @@ impl FaultState {
     /// Records the (single, terminal) injected death.
     pub fn note_death(&mut self) {
         self.counters.deaths_injected += 1;
+    }
+
+    /// Called once per checkpoint capture this device observes. Returns
+    /// whether the plan scripts this capture's snapshot to be damaged
+    /// (1-based ordinal listed in [`FaultPlan::corrupt_checkpoint`]).
+    pub fn on_checkpoint_capture(&mut self) -> bool {
+        self.checkpoints_seen += 1;
+        if self
+            .plan
+            .corrupt_checkpoint
+            .contains(&self.checkpoints_seen)
+        {
+            self.counters.checkpoint_corruptions_injected += 1;
+            return true;
+        }
+        false
     }
 
     /// Injected-fault counters so far.

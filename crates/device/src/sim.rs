@@ -534,6 +534,10 @@ impl Device for SimDevice {
         self.faults.reset_counters();
     }
 
+    fn corrupt_checkpoint_capture(&mut self) -> bool {
+        self.faults.on_checkpoint_capture()
+    }
+
     fn placement_cost_ns(&self, working_set_bytes: u64, retry_penalty_ns: f64) -> f64 {
         self.cost
             .placement_cost_ns(working_set_bytes, retry_penalty_ns)

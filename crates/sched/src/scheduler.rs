@@ -882,6 +882,11 @@ impl<'e> QueryScheduler<'e> {
         self.stats.buffers_written_off += stats.buffers_written_off as u64;
         self.stats.restaged_bytes += stats.restaged_bytes;
         self.stats.hot_adds += stats.hot_adds as u64;
+        self.stats.checkpoints_taken += stats.checkpoints_taken as u64;
+        self.stats.checkpoint_bytes += stats.checkpoint_bytes;
+        self.stats.resumes += stats.resumes as u64;
+        self.stats.chunks_skipped_on_resume += stats.chunks_skipped_on_resume as u64;
+        self.stats.resume_validation_failures += stats.resume_validation_failures as u64;
     }
 
     /// Picks the target device: the pin, the spec's policy under its

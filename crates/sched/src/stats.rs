@@ -98,6 +98,18 @@ pub struct SchedulerStats {
     pub restaged_bytes: u64,
     /// Devices hot-added through the health probe ramp.
     pub hot_adds: u64,
+    /// Partial-progress checkpoints captured across all executed queries.
+    pub checkpoints_taken: u64,
+    /// Total bytes of checkpoint snapshot payload captured.
+    pub checkpoint_bytes: u64,
+    /// Recoveries that resumed from a validated checkpoint instead of
+    /// restarting from row 0.
+    pub resumes: u64,
+    /// Chunks whose re-execution checkpoint resumes skipped.
+    pub chunks_skipped_on_resume: u64,
+    /// Checkpoints rejected at resume time (failed validation or restore),
+    /// degrading recovery to a full restart.
+    pub resume_validation_failures: u64,
     /// Per-tenant breakdown, keyed by tenant name (deterministic order).
     pub tenants: BTreeMap<String, TenantStats>,
 }
@@ -140,6 +152,20 @@ impl SchedulerStats {
         ));
         s.push_str(&format!(",\"restaged_bytes\":{}", self.restaged_bytes));
         s.push_str(&format!(",\"hot_adds\":{}", self.hot_adds));
+        s.push_str(&format!(
+            ",\"checkpoints_taken\":{}",
+            self.checkpoints_taken
+        ));
+        s.push_str(&format!(",\"checkpoint_bytes\":{}", self.checkpoint_bytes));
+        s.push_str(&format!(",\"resumes\":{}", self.resumes));
+        s.push_str(&format!(
+            ",\"chunks_skipped_on_resume\":{}",
+            self.chunks_skipped_on_resume
+        ));
+        s.push_str(&format!(
+            ",\"resume_validation_failures\":{}",
+            self.resume_validation_failures
+        ));
         s.push_str(",\"tenants\":{");
         let mut first = true;
         for (name, t) in &self.tenants {
@@ -203,6 +229,11 @@ mod tests {
             buffers_written_off: 6,
             restaged_bytes: 4096,
             hot_adds: 1,
+            checkpoints_taken: 4,
+            checkpoint_bytes: 2048,
+            resumes: 2,
+            chunks_skipped_on_resume: 9,
+            resume_validation_failures: 1,
             ..Default::default()
         };
         stats.tenants.insert(
@@ -243,6 +274,11 @@ mod tests {
         assert!(json.contains("\"buffers_written_off\":6"));
         assert!(json.contains("\"restaged_bytes\":4096"));
         assert!(json.contains("\"hot_adds\":1"));
+        assert!(json.contains("\"checkpoints_taken\":4"));
+        assert!(json.contains("\"checkpoint_bytes\":2048"));
+        assert!(json.contains("\"resumes\":2"));
+        assert!(json.contains("\"chunks_skipped_on_resume\":9"));
+        assert!(json.contains("\"resume_validation_failures\":1"));
         assert!(json.contains("\"wait_ns\":500.0"));
         assert!(json.contains("\"contended_run_ns\":100.0"));
         assert_eq!(json, stats.to_json(), "export must be deterministic");

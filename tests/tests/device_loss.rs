@@ -317,6 +317,173 @@ fn seeded_death_soak_is_survivable_and_deterministic() {
     }
 }
 
+/// Death *during recovery*: the second device dies while the engine is
+/// re-staging checkpointed state onto it. With no survivors left the run
+/// must terminate in a clean typed error — never a hang — and the emptied
+/// registry trivially holds zero bytes.
+#[test]
+fn second_death_during_restage_is_a_typed_error() {
+    let catalog = TpchGenerator::new(0.001, 7).generate();
+    let mut engine = Adamant::builder()
+        .chunk_rows(500)
+        .device(DeviceProfile::cuda_rtx2080ti())
+        .device(DeviceProfile::opencl_cpu_i7())
+        .checkpoints(CheckpointConfig::enabled().cost_factor(0.0))
+        .fault_plan(0, FaultPlan::none().die_on_exec(3))
+        // The survivor's clock first moves when recovery restores the
+        // snapshot onto it — and the first tick kills it.
+        .fault_plan(1, FaultPlan::none().die_at_ns(1.0))
+        .build()
+        .unwrap();
+    let dev0 = engine.device_ids()[0];
+    let graph = TpchQuery::Q6.plan(dev0, &catalog).unwrap();
+    let inputs = TpchQuery::Q6.bind(&catalog).unwrap();
+    let err = engine
+        .run(&graph, &inputs, ExecutionModel::Chunked)
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ExecError::Device(_)
+                | ExecError::KernelFailed { .. }
+                | ExecError::TransferCorrupted { .. }
+        ),
+        "second death during re-staging must be typed, got: {err}"
+    );
+    assert!(
+        engine.executor().devices().is_empty(),
+        "both corpses must be unplugged"
+    );
+    assert_no_leaks(&mut engine, "second death during re-stage");
+}
+
+/// Sequential deaths with a survivor left: device 0 dies, recovery resumes
+/// on device 1, which then also dies; the run must finish reference-exact
+/// on device 2. This also pins the restart-bound fix: the per-run restart
+/// allowance is refreshed after every *successful* recovery rather than
+/// captured once at entry, so a second death never trips a stale bound.
+#[test]
+fn sequential_deaths_exhaust_down_to_the_last_survivor() {
+    let catalog = TpchGenerator::new(0.001, 42).generate();
+    let reference = adamant::tpch::reference::q6(&catalog).unwrap();
+    let build = |second_death: Option<usize>| {
+        let mut b = Adamant::builder()
+            .chunk_rows(500)
+            .device(DeviceProfile::cuda_rtx2080ti())
+            .device(DeviceProfile::opencl_cpu_i7())
+            .device(DeviceProfile::openmp_cpu_i7())
+            .checkpoints(CheckpointConfig::enabled().cost_factor(0.0))
+            .fault_plan(0, FaultPlan::none().die_on_exec(3));
+        if let Some(idx) = second_death {
+            b = b.fault_plan(idx, FaultPlan::none().die_on_exec(4));
+        }
+        b.build().unwrap()
+    };
+
+    // Phase A: only device 0 dies. Recovery re-points the work onto the
+    // cost-model's preferred survivor; find out which one by its clock.
+    let mut probe = build(None);
+    let ids = probe.device_ids().to_vec();
+    let dev0 = ids[0];
+    let graph = TpchQuery::Q6.plan(dev0, &catalog).unwrap();
+    let inputs = TpchQuery::Q6.bind(&catalog).unwrap();
+    let (out, stats) = probe.run(&graph, &inputs, ExecutionModel::Chunked).unwrap();
+    assert_eq!(adamant::tpch::queries::q6::decode(&out), reference);
+    assert_eq!(stats.device_deaths, 1);
+    let chosen_idx = (1..ids.len())
+        .max_by(|&a, &b| {
+            let ns = |i: usize| {
+                probe
+                    .executor()
+                    .devices()
+                    .get(ids[i])
+                    .map(|d| d.clock().total_ns())
+                    .unwrap_or(0.0)
+            };
+            ns(a).total_cmp(&ns(b))
+        })
+        .expect("two survivors");
+
+    // Phase B: the same run, but the chosen survivor dies mid-re-run too.
+    // The work must hop to the last device and still end reference-exact.
+    let mut engine = build(Some(chosen_idx));
+    let dev0 = engine.device_ids()[0];
+    let graph = TpchQuery::Q6.plan(dev0, &catalog).unwrap();
+    let (out, stats) = engine
+        .run(&graph, &inputs, ExecutionModel::Chunked)
+        .unwrap();
+    assert_eq!(
+        adamant::tpch::queries::q6::decode(&out),
+        reference,
+        "two sequential deaths must still end reference-exact"
+    );
+    assert_eq!(stats.device_deaths, 2, "both scripted deaths must fire");
+    assert_eq!(
+        engine.executor().devices().ids().len(),
+        1,
+        "only the last survivor remains"
+    );
+    assert_no_leaks(&mut engine, "sequential deaths");
+}
+
+/// Death while a checkpoint is being captured: snapshots are assembled
+/// off to the side and swapped in whole, so a death mid-capture leaves the
+/// *previous* snapshot valid — recovery still terminates reference-exact
+/// (resumed or fully restarted), never from a half-written checkpoint.
+/// The death clock is swept across the run so some placements land inside
+/// capture transfers.
+#[test]
+fn death_mid_capture_keeps_recovery_exact() {
+    let catalog = TpchGenerator::new(0.001, 1).generate();
+    let reference = adamant::tpch::reference::q6(&catalog).unwrap();
+    // Fault-free run (checkpoints on, so capture time is on the clock).
+    let clean_ns = {
+        let mut engine = Adamant::builder()
+            .chunk_rows(500)
+            .device(DeviceProfile::cuda_rtx2080ti())
+            .device(DeviceProfile::opencl_cpu_i7())
+            .checkpoints(CheckpointConfig::enabled().cost_factor(0.0))
+            .build()
+            .unwrap();
+        let dev0 = engine.device_ids()[0];
+        let graph = TpchQuery::Q6.plan(dev0, &catalog).unwrap();
+        let inputs = TpchQuery::Q6.bind(&catalog).unwrap();
+        engine
+            .run(&graph, &inputs, ExecutionModel::Chunked)
+            .unwrap();
+        engine
+            .executor()
+            .devices()
+            .get(dev0)
+            .unwrap()
+            .clock()
+            .total_ns()
+    };
+    for frac in [0.3, 0.5, 0.7, 0.9] {
+        let mut engine = Adamant::builder()
+            .chunk_rows(500)
+            .device(DeviceProfile::cuda_rtx2080ti())
+            .device(DeviceProfile::opencl_cpu_i7())
+            .checkpoints(CheckpointConfig::enabled().cost_factor(0.0))
+            .fault_plan(0, FaultPlan::none().die_at_ns(clean_ns * frac))
+            .build()
+            .unwrap();
+        let dev0 = engine.device_ids()[0];
+        let graph = TpchQuery::Q6.plan(dev0, &catalog).unwrap();
+        let inputs = TpchQuery::Q6.bind(&catalog).unwrap();
+        let (out, stats) = engine
+            .run(&graph, &inputs, ExecutionModel::Chunked)
+            .unwrap();
+        assert_eq!(
+            adamant::tpch::queries::q6::decode(&out),
+            reference,
+            "death at {frac} of the clean run must stay exact"
+        );
+        assert_eq!(stats.device_deaths, 1, "the death at {frac} must fire");
+        assert_no_leaks(&mut engine, &format!("death mid-capture at {frac}"));
+    }
+}
+
 /// Scheduler-level membership: a device death mid-session must never wedge
 /// `run_all`. Reservations stranded on the corpse are re-admitted against
 /// survivors when they fit; when they cannot, the query is shed with the

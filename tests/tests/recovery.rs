@@ -1,0 +1,416 @@
+//! Checkpointed partial-progress recovery: seeded checkpoint × death ×
+//! chaos soak. With checkpoints enabled the engine snapshots progress at
+//! pipeline-breaker and chunk-interval boundaries; a permanent device
+//! death mid-query must resume from the last validated boundary — strictly
+//! fewer re-executed chunks than the legacy restart-from-row-0 — while
+//! staying reference-exact under every execution model, leaking zero
+//! bytes (checkpoint storage included), and degrading to a full restart
+//! with a typed stat when the snapshot is corrupted.
+//!
+//! The CI `recovery` job shards the seeded soak by seed through the
+//! `RECOVERY_SEED` environment variable (mirroring `chaos`/`device-loss`).
+
+use adamant::prelude::*;
+
+const DEFAULT_SEEDS: [u64; 4] = [1, 7, 42, 1337];
+
+/// The chunk-streaming execution models — everything but operator-at-a-time.
+const CHUNKED_MODELS: [ExecutionModel; 4] = [
+    ExecutionModel::Chunked,
+    ExecutionModel::Pipelined,
+    ExecutionModel::FourPhaseChunked,
+    ExecutionModel::FourPhasePipelined,
+];
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("RECOVERY_SEED") {
+        Ok(s) => vec![s
+            .trim()
+            .parse()
+            .expect("RECOVERY_SEED must be an unsigned integer")],
+        Err(_) => DEFAULT_SEEDS.to_vec(),
+    }
+}
+
+/// Zero-leak check over the devices still plugged in. Dropping the
+/// residency cache first means any surviving bytes would be genuine leaks
+/// — including anything a checkpoint capture or resume left behind.
+fn assert_no_leaks(engine: &mut Adamant, context: &str) {
+    engine.executor_mut().clear_residency();
+    let live: Vec<DeviceId> = engine.executor().devices().ids();
+    for d in live {
+        let dev = engine.executor().devices().get(d).unwrap();
+        assert_eq!(dev.pool().used(), 0, "{context}: leaked bytes on {d}");
+        assert_eq!(
+            dev.pool().pinned_used(),
+            0,
+            "{context}: leaked pinned bytes on {d}"
+        );
+        assert_eq!(
+            dev.pool().admission_reserved(),
+            0,
+            "{context}: leaked admission reservation on {d}"
+        );
+    }
+}
+
+fn two_device_engine(plan: FaultPlan, checkpoints: Option<CheckpointConfig>) -> Adamant {
+    let mut b = Adamant::builder()
+        .chunk_rows(500)
+        .device(DeviceProfile::cuda_rtx2080ti())
+        .device(DeviceProfile::opencl_cpu_i7())
+        .fault_plan(0, plan)
+        .retry_policy(RetryPolicy {
+            max_attempts: 6,
+            ..Default::default()
+        });
+    if let Some(cfg) = checkpoints {
+        b = b.checkpoints(cfg);
+    }
+    b.build().unwrap()
+}
+
+/// Device-0 time of a fault-free Q6 run under `model` — the clock the
+/// death triggers below are placed on.
+fn clean_q6_ns(catalog: &Catalog, model: ExecutionModel) -> f64 {
+    let mut engine = two_device_engine(FaultPlan::none(), None);
+    let dev0 = engine.device_ids()[0];
+    let graph = TpchQuery::Q6.plan(dev0, catalog).unwrap();
+    let inputs = TpchQuery::Q6.bind(catalog).unwrap();
+    engine.run(&graph, &inputs, model).unwrap();
+    engine
+        .executor()
+        .devices()
+        .get(dev0)
+        .unwrap()
+        .clock()
+        .total_ns()
+}
+
+/// Acceptance: for a death after ≥50% progress, checkpoint-resume
+/// re-executes strictly fewer chunks than restart-from-zero, under every
+/// chunked execution model, with reference-exact results both ways.
+#[test]
+fn checkpoint_resume_reexecutes_fewer_chunks_than_restart() {
+    let catalog = TpchGenerator::new(0.001, 7).generate();
+    let reference = adamant::tpch::reference::q6(&catalog).unwrap();
+    for model in CHUNKED_MODELS {
+        let die_at = clean_q6_ns(&catalog, model) * 0.75;
+
+        // Legacy behavior: checkpoints off, recovery restarts from row 0.
+        let mut restart = two_device_engine(FaultPlan::none().die_at_ns(die_at), None);
+        let dev0 = restart.device_ids()[0];
+        let graph = TpchQuery::Q6.plan(dev0, &catalog).unwrap();
+        let inputs = TpchQuery::Q6.bind(&catalog).unwrap();
+        let (out, base) = restart.run(&graph, &inputs, model).unwrap();
+        assert_eq!(adamant::tpch::queries::q6::decode(&out), reference);
+        assert_eq!(base.device_deaths, 1, "{model:?}: the death must fire");
+        assert_eq!(base.resumes, 0);
+        assert_no_leaks(&mut restart, "restart-from-zero");
+
+        // Checkpointed: capture at every chunk boundary, resume on death.
+        let mut ckpt = two_device_engine(
+            FaultPlan::none().die_at_ns(die_at),
+            Some(CheckpointConfig::enabled().cost_factor(0.0)),
+        );
+        let (out, stats) = ckpt.run(&graph, &inputs, model).unwrap();
+        assert_eq!(
+            adamant::tpch::queries::q6::decode(&out),
+            reference,
+            "{model:?}: checkpoint resume diverged from reference"
+        );
+        assert_eq!(stats.device_deaths, 1, "{model:?}: the death must fire");
+        assert!(stats.checkpoints_taken >= 1, "{model:?}: no snapshot taken");
+        assert!(stats.checkpoint_bytes > 0);
+        assert!(stats.resumes >= 1, "{model:?}: recovery did not resume");
+        assert!(
+            stats.chunks_skipped_on_resume > 0,
+            "{model:?}: the resume skipped nothing"
+        );
+        assert_eq!(stats.resume_validation_failures, 0);
+        assert!(
+            stats.chunks_processed < base.chunks_processed,
+            "{model:?}: resume must re-execute strictly fewer chunks \
+             ({} vs {} restarted)",
+            stats.chunks_processed,
+            base.chunks_processed
+        );
+        assert_no_leaks(&mut ckpt, "checkpoint resume");
+    }
+}
+
+/// Operator-at-a-time has no chunk boundaries; checkpoints are captured at
+/// pipeline-breaker boundaries instead, and a resume skips the completed
+/// pipelines — including restoring a hash-join build table (a `Generic`
+/// device payload) onto the survivor.
+#[test]
+fn operator_at_a_time_resumes_at_pipeline_boundaries() {
+    let catalog = TpchGenerator::new(0.001, 7).generate();
+    let reference = adamant::tpch::reference::q3(&catalog).unwrap();
+    let die_at = {
+        let mut engine = two_device_engine(FaultPlan::none(), None);
+        let dev0 = engine.device_ids()[0];
+        let graph = TpchQuery::Q3.plan(dev0, &catalog).unwrap();
+        let inputs = TpchQuery::Q3.bind(&catalog).unwrap();
+        engine
+            .run(&graph, &inputs, ExecutionModel::OperatorAtATime)
+            .unwrap();
+        let clean = engine
+            .executor()
+            .devices()
+            .get(dev0)
+            .unwrap()
+            .clock()
+            .total_ns();
+        clean * 0.9
+    };
+    let mut engine = two_device_engine(
+        FaultPlan::none().die_at_ns(die_at),
+        Some(CheckpointConfig::enabled().cost_factor(0.0)),
+    );
+    let dev0 = engine.device_ids()[0];
+    let graph = TpchQuery::Q3.plan(dev0, &catalog).unwrap();
+    let inputs = TpchQuery::Q3.bind(&catalog).unwrap();
+    let (out, stats) = engine
+        .run(&graph, &inputs, ExecutionModel::OperatorAtATime)
+        .unwrap();
+    assert_eq!(
+        adamant::tpch::queries::q3::decode(&out),
+        reference,
+        "operator-at-a-time checkpoint resume diverged"
+    );
+    assert_eq!(stats.device_deaths, 1);
+    assert!(stats.checkpoints_taken >= 1);
+    assert!(stats.resumes >= 1, "death at 90% must resume, not restart");
+    assert_no_leaks(&mut engine, "operator-at-a-time resume");
+}
+
+/// Scripted checkpoint corruption (`FaultPlan::corrupt_checkpoint`): every
+/// snapshot the doomed device observes is damaged in flight, so resume-time
+/// validation must reject it and recovery degrades to the full restart —
+/// with the typed stat, and never a wrong answer.
+#[test]
+fn corrupted_checkpoint_degrades_to_full_restart() {
+    let catalog = TpchGenerator::new(0.001, 42).generate();
+    let reference = adamant::tpch::reference::q6(&catalog).unwrap();
+    let die_at = clean_q6_ns(&catalog, ExecutionModel::Chunked) * 0.75;
+    let plan = (1u64..=64).fold(FaultPlan::none().die_at_ns(die_at), |p, n| {
+        p.corrupt_checkpoint(n)
+    });
+    let mut engine = two_device_engine(plan, Some(CheckpointConfig::enabled().cost_factor(0.0)));
+    let dev0 = engine.device_ids()[0];
+    let graph = TpchQuery::Q6.plan(dev0, &catalog).unwrap();
+    let inputs = TpchQuery::Q6.bind(&catalog).unwrap();
+    let (out, stats) = engine
+        .run(&graph, &inputs, ExecutionModel::Chunked)
+        .unwrap();
+    assert_eq!(
+        adamant::tpch::queries::q6::decode(&out),
+        reference,
+        "corrupted checkpoint must never change the answer"
+    );
+    assert_eq!(stats.device_deaths, 1);
+    assert!(stats.checkpoints_taken >= 1, "captures still happen");
+    assert_eq!(stats.resumes, 0, "a corrupt snapshot must not be resumed");
+    assert!(
+        stats.resume_validation_failures >= 1,
+        "the rejection must be counted"
+    );
+    assert_no_leaks(&mut engine, "corrupted checkpoint");
+}
+
+/// One engine lifetime under a checkpoint × death × chaos plan: three
+/// back-to-back runs, reference-exact or typed error, zero leaks.
+fn recovery_sweep(
+    seed: u64,
+    name: &str,
+    plan: FaultPlan,
+    model: ExecutionModel,
+    catalog: &Catalog,
+    reference: i64,
+) -> (Vec<Result<i64, String>>, String) {
+    let mut engine = Adamant::builder()
+        .chunk_rows(500)
+        .device(DeviceProfile::cuda_rtx2080ti())
+        .device(DeviceProfile::opencl_cpu_i7())
+        .residency_cache(ResidencyConfig::new(1 << 30))
+        .checkpoints(
+            CheckpointConfig::enabled()
+                .chunk_interval(2)
+                .cost_factor(0.5),
+        )
+        .fault_plan(0, plan)
+        .retry_policy(RetryPolicy {
+            max_attempts: 6,
+            ..Default::default()
+        })
+        .build()
+        .unwrap();
+    let dev0 = engine.device_ids()[0];
+    let graph = TpchQuery::Q6.plan(dev0, catalog).unwrap();
+    let inputs = TpchQuery::Q6.bind(catalog).unwrap();
+    let mut outcomes = Vec::new();
+    let mut stats_json = String::new();
+    for run in 0..3 {
+        let context = format!("seed {seed} {name} {model:?} run {run}");
+        match engine.run(&graph, &inputs, model) {
+            Ok((out, stats)) => {
+                let decoded = adamant::tpch::queries::q6::decode(&out);
+                assert_eq!(decoded, reference, "{context}: diverged from reference");
+                let mut stats = stats;
+                stats.wall_ns = 0;
+                stats_json.push_str(&stats.to_json());
+                stats_json.push('\n');
+                outcomes.push(Ok(decoded));
+            }
+            Err(err) => {
+                assert!(
+                    matches!(
+                        err,
+                        ExecError::Device(_)
+                            | ExecError::KernelFailed { .. }
+                            | ExecError::DeadlineExceeded { .. }
+                            | ExecError::TransferCorrupted { .. }
+                    ),
+                    "{context}: unexpected error class: {err}"
+                );
+                outcomes.push(Err(err.to_string()));
+            }
+        }
+        assert_no_leaks(&mut engine, &context);
+    }
+    (outcomes, stats_json)
+}
+
+/// Seeded checkpoint × death × chaos soak across every chunked model:
+/// survivable, typed, leak-free, and — same seed, fresh engine —
+/// byte-identically deterministic (stats JSON with wall time zeroed).
+#[test]
+fn seeded_recovery_soak_is_survivable_and_deterministic() {
+    for seed in seeds() {
+        let catalog = TpchGenerator::new(0.001, seed).generate();
+        let reference = adamant::tpch::reference::q6(&catalog).unwrap();
+        let plans: Vec<(&str, FaultPlan)> = vec![
+            ("exec-death", FaultPlan::none().die_on_exec(5)),
+            (
+                "seeded-death",
+                FaultPlan::none().with_seed(seed).death_rate(0.05),
+            ),
+            (
+                "death+chaos",
+                FaultPlan::none()
+                    .with_seed(seed)
+                    .death_rate(0.03)
+                    .slowdown(3.0)
+                    .oom_on_allocation(2)
+                    .corrupt_checkpoint(2),
+            ),
+        ];
+        for model in CHUNKED_MODELS {
+            for (name, plan) in &plans {
+                let first = recovery_sweep(seed, name, plan.clone(), model, &catalog, reference);
+                let second = recovery_sweep(seed, name, plan.clone(), model, &catalog, reference);
+                assert_eq!(
+                    first, second,
+                    "seed {seed} {name} {model:?}: same-seed sweeps diverged"
+                );
+            }
+        }
+    }
+}
+
+/// Checkpoints off (the default) must be byte-for-byte inert: a run with
+/// the default config reports all-zero checkpoint counters.
+#[test]
+fn checkpoints_are_off_by_default_and_inert() {
+    let catalog = TpchGenerator::new(0.001, 1).generate();
+    let mut engine = two_device_engine(FaultPlan::none(), None);
+    let dev0 = engine.device_ids()[0];
+    let graph = TpchQuery::Q6.plan(dev0, &catalog).unwrap();
+    let inputs = TpchQuery::Q6.bind(&catalog).unwrap();
+    let (_, stats) = engine
+        .run(&graph, &inputs, ExecutionModel::Chunked)
+        .unwrap();
+    assert_eq!(stats.checkpoints_taken, 0);
+    assert_eq!(stats.checkpoint_bytes, 0);
+    assert_eq!(stats.resumes, 0);
+    assert_eq!(stats.chunks_skipped_on_resume, 0);
+    assert_eq!(stats.resume_validation_failures, 0);
+}
+
+/// Session-level bounded retry (opt-in): a capacity-loss shed is
+/// re-submitted exactly once against the reconciled membership and
+/// terminates with a typed outcome; without the policy the shed surfaces
+/// directly. Cancellations and deadline sheds are never retried.
+#[test]
+fn session_retry_resubmits_capacity_loss_once() {
+    let mut catalog = Catalog::new();
+    catalog.register(
+        Table::new(
+            "sales",
+            vec![
+                Column::from_i64("qty", (0..4000).map(|i| i % 97).collect()),
+                Column::from_i64("price", (0..4000).map(|i| (i % 13) * 100).collect()),
+            ],
+        )
+        .unwrap(),
+    );
+    // Big doomed primary; the survivor's pool sits between the query's
+    // *actual* chunk-bounded working set (so execution itself recovers and
+    // completes there) and its conservative admission footprint (so the
+    // stranded reservation cannot be re-homed). The run is shed
+    // `CapacityLost` after reconciliation; a resubmission is admitted
+    // against the survivors alone, where the footprint exceeds every
+    // device — it must end *typed* (`Rejected`), not loop forever and not
+    // surface the shed.
+    let build = || {
+        Adamant::builder()
+            .chunk_rows(256)
+            .device(DeviceProfile::cuda_rtx2080ti())
+            .device(DeviceProfile::opencl_cpu_i7().with_memory(16 << 10, 4 << 10))
+            .fault_plan(0, FaultPlan::none().die_on_exec(1))
+            .build()
+            .unwrap()
+    };
+
+    // Without the opt-in policy the shed surfaces to the caller.
+    let mut engine = build();
+    let err = Session::new(&mut engine, &catalog)
+        .sql("SELECT SUM(price) FROM sales WHERE qty < 50")
+        .unwrap_err();
+    assert!(
+        matches!(err, SessionError::Shed(ShedReason::CapacityLost)),
+        "expected a CapacityLost shed, got: {err}"
+    );
+
+    // With it, the query is re-submitted once after reconciliation; the
+    // survivors cannot hold it, so the retry terminates with the typed
+    // admission rejection instead of the shed.
+    let mut engine = build();
+    let err = Session::new(&mut engine, &catalog)
+        .retry(SessionRetryPolicy::default())
+        .sql("SELECT SUM(price) FROM sales WHERE qty < 50")
+        .unwrap_err();
+    assert!(
+        matches!(err, SessionError::Rejected(_)),
+        "retried shed must end in a typed admission outcome, got: {err}"
+    );
+
+    // A deadline shed is never retried, with or without the policy.
+    let mut engine = Adamant::builder()
+        .chunk_rows(256)
+        .device(DeviceProfile::cuda_rtx2080ti())
+        .build()
+        .unwrap();
+    let err = Session::new(&mut engine, &catalog)
+        .retry(SessionRetryPolicy::default())
+        .deadline_ns(1e-9)
+        .sql("SELECT SUM(price) FROM sales WHERE qty < 50")
+        .unwrap_err();
+    match err {
+        SessionError::Shed(ShedReason::DeadlineExpired)
+        | SessionError::Shed(ShedReason::BudgetExceeded)
+        | SessionError::Exec(_) => {}
+        other => panic!("deadline outcome must not be retried, got: {other}"),
+    }
+}
