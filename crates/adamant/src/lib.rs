@@ -261,6 +261,7 @@ pub struct AdamantBuilder {
     tasks: Option<TaskRegistry>,
     preempt: Option<PreemptPolicy>,
     residency: Option<ResidencyConfig>,
+    fusion: Option<bool>,
 }
 
 impl AdamantBuilder {
@@ -361,6 +362,18 @@ impl AdamantBuilder {
         self
     }
 
+    /// Enables or disables the fusion pass (DESIGN.md §16): eligible
+    /// producer→consumer primitive chains are merged into single fused
+    /// kernels, eliding the intermediate buffers between them. On by
+    /// default; results are reference-exact either way. Disable to A/B the
+    /// saving, or when fault plans / task-registry overrides target the
+    /// individual kernels by name (a fused chain executes as `fused` /
+    /// `fused_agg` instead).
+    pub fn fusion(mut self, enabled: bool) -> Self {
+        self.fusion = Some(enabled);
+        self
+    }
+
     /// Enables the cross-query residency cache: input columns stay pinned
     /// device-side between runs (up to the configured per-device budget),
     /// served without re-transfer on later queries and evicted
@@ -394,6 +407,9 @@ impl AdamantBuilder {
         config.deadline_ns = self.deadline_ns;
         if let Some(watchdog) = self.watchdog_multiplier {
             config.watchdog_multiplier = watchdog.map(|m| m.max(1.0));
+        }
+        if let Some(fusion) = self.fusion {
+            config.fusion = fusion;
         }
         let mut engine = Adamant {
             executor: Executor::new(tasks, config),

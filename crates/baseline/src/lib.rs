@@ -126,7 +126,16 @@ impl BaselineExecutor {
             SdkKind::OpenMp,
             SdkKind::Host,
         ]);
-        let mut exec = Executor::new(tasks, ExecutorConfig::default());
+        // The baseline models the naive whole-table-resident strategy; it
+        // must not inherit the runtime's fusion pass, or the comparison
+        // would credit the baseline with ADAMANT's optimization.
+        let mut exec = Executor::new(
+            tasks,
+            ExecutorConfig {
+                fusion: false,
+                ..ExecutorConfig::default()
+            },
+        );
         let dev = exec.add_profile(&exec_profile)?;
         let graph = query.plan(dev, catalog)?;
         let inputs = query.bind(catalog)?;

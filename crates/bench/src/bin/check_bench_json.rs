@@ -2,8 +2,8 @@
 //! gate used by the `bench-trajectory` CI job.
 //!
 //! Validates, for each of `BENCH_fig03.json` / `BENCH_fig11.json` /
-//! `BENCH_table02.json` / `BENCH_recovery.json` (in the directory given as
-//! the first argument, default `.`):
+//! `BENCH_table02.json` / `BENCH_recovery.json` / `BENCH_fusion.json` (in
+//! the directory given as the first argument, default `.`):
 //!
 //! - the envelope: `benchmark` matches the file name, `schema_version` is
 //!   the current [`adamant_bench::BENCH_SCHEMA_VERSION`], `unit` is
@@ -13,7 +13,10 @@
 //!   counter — for at least 4 queries (the steady-state acceptance bar);
 //! - for recovery: every `restart_vs_resume` row (deaths at >= 50%
 //!   progress) resumed from a validated checkpoint and re-executed
-//!   strictly fewer chunks than the restart-from-zero run.
+//!   strictly fewer chunks than the restart-from-zero run;
+//! - for fusion: **every** `fused_vs_unfused` row actually fused (one
+//!   chain or more), materialized strictly fewer intermediate bytes than
+//!   the unfused run, and was never slower on the modeled timeline.
 //!
 //! Exits nonzero with a diagnostic on any violation.
 //!
@@ -393,19 +396,73 @@ fn check_recovery(rows: &[Json]) -> Result<(), String> {
     Ok(())
 }
 
+/// The fusion gate: every fused-vs-unfused row must have fused at least
+/// one chain, elided intermediates (strictly fewer materialized bytes than
+/// the unfused run), and never be slower on the modeled timeline.
+fn check_fusion(rows: &[Json]) -> Result<(), String> {
+    let cmp: Vec<&Json> = rows
+        .iter()
+        .filter(|r| r.get("section").and_then(Json::as_str) == Some("fused_vs_unfused"))
+        .collect();
+    if cmp.is_empty() {
+        return Err("fusion: no 'fused_vs_unfused' rows".into());
+    }
+    for r in &cmp {
+        let label = format!(
+            "fusion {}/{}",
+            r.get("query").and_then(Json::as_str).unwrap_or("?"),
+            r.get("model").and_then(Json::as_str).unwrap_or("?")
+        );
+        let num = |key: &str| -> Result<f64, String> {
+            r.get(key)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("{label}: missing {key}"))
+        };
+        if num("fused_chains")? < 1.0 {
+            return Err(format!("{label}: the pass fused nothing"));
+        }
+        let fused_b = num("fused_intermediate_bytes")?;
+        let unfused_b = num("unfused_intermediate_bytes")?;
+        if fused_b >= unfused_b {
+            return Err(format!(
+                "{label}: fused materialized {fused_b} intermediate bytes vs \
+                 {unfused_b} unfused (must be strictly fewer)"
+            ));
+        }
+        if num("elided_bytes")? <= 0.0 {
+            return Err(format!("{label}: no intermediates elided"));
+        }
+        let fused_ns = num("fused_ns")?;
+        let unfused_ns = num("unfused_ns")?;
+        if fused_ns > unfused_ns {
+            return Err(format!(
+                "{label}: fused {fused_ns} ns slower than unfused {unfused_ns} ns"
+            ));
+        }
+    }
+    println!(
+        "BENCH_fusion.json: fusion gate ok ({} rows fused with fewer intermediates, never slower)",
+        cmp.len()
+    );
+    Ok(())
+}
+
 fn main() {
     let dir = std::env::args().nth(1).unwrap_or_else(|| ".".into());
     let dir = std::path::PathBuf::from(dir);
     let mut failed = false;
     let mut fig11_rows = None;
     let mut recovery_rows = None;
-    for name in ["fig03", "fig11", "table02", "recovery"] {
+    let mut fusion_rows = None;
+    for name in ["fig03", "fig11", "table02", "recovery", "fusion"] {
         match load(&dir, name) {
             Ok(rows) => {
                 if name == "fig11" {
                     fig11_rows = Some(rows);
                 } else if name == "recovery" {
                     recovery_rows = Some(rows);
+                } else if name == "fusion" {
+                    fusion_rows = Some(rows);
                 }
             }
             Err(e) => {
@@ -422,6 +479,12 @@ fn main() {
     }
     if let Some(rows) = recovery_rows {
         if let Err(e) = check_recovery(&rows) {
+            eprintln!("FAIL: {e}");
+            failed = true;
+        }
+    }
+    if let Some(rows) = fusion_rows {
+        if let Err(e) = check_fusion(&rows) {
             eprintln!("FAIL: {e}");
             failed = true;
         }

@@ -1,0 +1,101 @@
+//! Fusion trajectory — fused vs unfused execution over the full TPC-H set.
+//!
+//! For every query and every execution model the same plan runs twice on
+//! the same device profile: once with the fusion pass disengaged and once
+//! with it on (the default). Rows land in `BENCH_fusion.json`;
+//! `check_bench_json` gates that on **every** row the fused run
+//! materializes strictly fewer intermediate bytes and is never slower on
+//! the modeled timeline.
+//!
+//! Run: `cargo run --release -p adamant-bench --bin fusion`
+
+use adamant::prelude::*;
+use adamant_bench::{catalog, jnum, jobj, jstr, ms, standard_tasks, write_bench_json, Report};
+
+const SF: f64 = 0.01;
+const CHUNK_ROWS: usize = 1 << 11;
+
+fn engine(fusion: bool) -> Adamant {
+    Adamant::builder()
+        .tasks(standard_tasks())
+        .chunk_rows(CHUNK_ROWS)
+        .fusion(fusion)
+        .device(DeviceProfile::cuda_rtx2080ti())
+        .build()
+        .expect("engine construction")
+}
+
+fn main() {
+    println!("# Fusion — fused vs unfused execution (SF {SF})");
+    let cat = catalog(SF);
+    let mut fused_engine = engine(true);
+    let mut unfused_engine = engine(false);
+    let dev = fused_engine.device_ids()[0];
+
+    let mut rep = Report::new(&[
+        "query",
+        "model",
+        "chains",
+        "stages",
+        "elided (B)",
+        "interm fused (B)",
+        "interm unfused (B)",
+        "unfused (ms)",
+        "fused (ms)",
+    ]);
+    let mut json_rows: Vec<String> = Vec::new();
+    for q in TpchQuery::ALL {
+        let graph = q.plan(dev, &cat).unwrap();
+        let inputs = q.bind(&cat).unwrap();
+        for model in ExecutionModel::ALL {
+            let (out_f, fused) = fused_engine.run(&graph, &inputs, model).expect("fused run");
+            let (out_u, unfused) = unfused_engine
+                .run(&graph, &inputs, model)
+                .expect("unfused run");
+            assert_eq!(
+                format!("{out_f:?}"),
+                format!("{out_u:?}"),
+                "{q}/{model}: fused result diverged from unfused"
+            );
+            rep.row(vec![
+                q.to_string(),
+                model.to_string(),
+                fused.fused_chains.to_string(),
+                fused.nodes_fused.to_string(),
+                fused.intermediates_elided_bytes.to_string(),
+                fused.intermediate_bytes.to_string(),
+                unfused.intermediate_bytes.to_string(),
+                ms(unfused.total_ns),
+                ms(fused.total_ns),
+            ]);
+            json_rows.push(jobj(&[
+                ("section", jstr("fused_vs_unfused")),
+                ("query", jstr(&q.to_string())),
+                ("model", jstr(&model.to_string())),
+                ("fused_chains", fused.fused_chains.to_string()),
+                ("nodes_fused", fused.nodes_fused.to_string()),
+                ("elided_bytes", fused.intermediates_elided_bytes.to_string()),
+                (
+                    "fused_intermediate_bytes",
+                    fused.intermediate_bytes.to_string(),
+                ),
+                (
+                    "unfused_intermediate_bytes",
+                    unfused.intermediate_bytes.to_string(),
+                ),
+                ("saved_ns", jnum(fused.fusion_saved_transfer_ns)),
+                ("fused_ns", jnum(fused.total_ns)),
+                ("unfused_ns", jnum(unfused.total_ns)),
+            ]));
+        }
+    }
+    rep.print("fused vs unfused, per query x execution model");
+    println!(
+        "\nEvery row is gated by check_bench_json: the fused run must\n\
+         materialize strictly fewer intermediate bytes and must never be\n\
+         slower than the unfused run on the modeled timeline."
+    );
+
+    let path = write_bench_json("fusion", &json_rows).expect("write BENCH_fusion.json");
+    println!("\nwrote {}", path.display());
+}

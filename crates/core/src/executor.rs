@@ -59,6 +59,10 @@ pub struct ExecutorConfig {
     /// heavyweight recovery (device death, exhausted retries) resumes from
     /// the last validated snapshot instead of restarting from row 0.
     pub checkpoints: CheckpointConfig,
+    /// Whether the fusion pass rewrites eligible primitive chains into fused
+    /// nodes before pipeline splitting (DESIGN.md §16). On by default;
+    /// results are reference-exact either way.
+    pub fusion: bool,
 }
 
 impl Default for ExecutorConfig {
@@ -69,6 +73,7 @@ impl Default for ExecutorConfig {
             deadline_ns: None,
             watchdog_multiplier: Some(3.0),
             checkpoints: CheckpointConfig::default(),
+            fusion: true,
         }
     }
 }
@@ -507,6 +512,14 @@ impl Executor {
         // Work on a private copy: recovery may re-place nodes onto fallback
         // devices, and the caller's graph must not change under them.
         let mut graph = graph.clone();
+        // Fuse eligible chains before splitting: fused nodes enter pipeline
+        // assignment, placement, checkpointing and the watchdog as ordinary
+        // primitives, so every downstream policy prices the fused unit.
+        let fusion_report = if self.config.fusion {
+            crate::fusion::fuse_graph(&mut graph)
+        } else {
+            crate::fusion::FusionReport::default()
+        };
         let pipelines = PipelineSet::split(&graph)?;
         self.validate_inputs(&graph, inputs)?;
 
@@ -531,6 +544,8 @@ impl Executor {
             model: model.name().to_string(),
             pipelines: pipelines.len(),
             hot_adds: std::mem::take(&mut self.pending_hot_adds),
+            nodes_fused: fusion_report.nodes_fused,
+            fused_chains: fusion_report.fused_chains,
             ..Default::default()
         };
         // Health-aware placement repair: move pipelines off quarantined
@@ -1495,7 +1510,9 @@ impl Executor {
             tally.drain_serial(self.devices.get_mut(node.device)?.as_mut(), stats);
 
             // Execute once over the whole inputs.
-            self.execute_node(&node, &in_ids, &out_ids)?;
+            let saved = self.execute_node(&node, &in_ids, &out_ids)?;
+            stats.fusion_saved_transfer_ns += saved;
+            Self::note_intermediates(graph, &node, est_rows, stats);
             let (t, c, o, _) = tally.drain_split(self.devices.get_mut(node.device)?.as_mut());
             tally.serial_ns += t + c + o;
             stats.transfer_ns += t;
@@ -2055,7 +2072,9 @@ impl Executor {
                     )));
                 }
             }
-            self.execute_node(&node, &in_ids, &out_ids)?;
+            let saved = self.execute_node(&node, &in_ids, &out_ids)?;
+            stats.fusion_saved_transfer_ns += saved;
+            Self::note_intermediates(graph, &node, len, stats);
             let (t, c, o, k) = tally.drain_split(self.devices.get_mut(node.device)?.as_mut());
             cost.transfer_ns += t + o;
             cost.compute_ns += c;
@@ -2316,6 +2335,8 @@ impl Executor {
                     hedge_out.insert(r, id);
                     out_ids.push(id);
                 }
+                // The hedge is a duplicate: its modeled fused saving is not
+                // added to the query's counter.
                 self.execute_node(&node, &in_ids, &out_ids)?;
             }
             Ok(())
@@ -2348,12 +2369,39 @@ impl Executor {
 
     // ---- shared pieces ----------------------------------------------------
 
+    /// Per-node-execution intermediate accounting: bytes flowing through
+    /// materialized non-breaker outputs (`intermediate_bytes`) and the
+    /// interior bytes fused chains kept in kernel-local memory instead
+    /// (`intermediates_elided_bytes`). Streaming paths call this once per
+    /// chunk with the chunk length; whole mode once with the input rows.
+    fn note_intermediates(
+        graph: &PrimitiveGraph,
+        node: &PrimitiveNode,
+        rows: usize,
+        stats: &mut ExecutionStats,
+    ) {
+        if !node.kind.is_pipeline_breaker() {
+            for port in 0..node.output_count {
+                let semantic = graph.semantic_of(DataRef::Output {
+                    node: node.id,
+                    port,
+                });
+                stats.intermediate_bytes +=
+                    adamant_task::container::DataContainer::estimate_output_bytes(semantic, rows);
+            }
+        }
+        stats.intermediates_elided_bytes += crate::fusion::elided_bytes(&node.params, rows);
+    }
+
+    /// Resolves and runs one node's kernel. Returns the modeled nanoseconds
+    /// a fused node saved over launching its stages individually (`0.0` for
+    /// ordinary nodes, or when the device exposes no cost model).
     fn execute_node(
         &mut self,
         node: &PrimitiveNode,
         in_ids: &[BufferId],
         out_ids: &[BufferId],
-    ) -> Result<()> {
+    ) -> Result<f64> {
         let sdk = self.devices.get(node.device)?.info().sdk;
         let container = self
             .tasks
@@ -2369,7 +2417,8 @@ impl Executor {
         let mut buffers = in_ids.to_vec();
         buffers.extend_from_slice(out_ids);
         let spec = ExecuteSpec::new(container.kernel_name(), buffers, node.params.to_scalars());
-        self.devices
+        let kstats = self
+            .devices
             .get_mut(node.device)?
             .execute(&spec)
             .map_err(|e| ExecError::KernelFailed {
@@ -2377,7 +2426,19 @@ impl Executor {
                 kernel: spec.kernel.clone(),
                 source: e,
             })?;
-        Ok(())
+        if let crate::graph::NodeParams::Fused { stages, .. } = &node.params {
+            if !kstats.stages.is_empty() {
+                if let Some(cost) = self.devices.get(node.device)?.cost_model() {
+                    return Ok(crate::fusion::fused_saved_ns(
+                        cost,
+                        stages,
+                        &kstats.stages,
+                        spec.arg_count(),
+                    ));
+                }
+            }
+        }
+        Ok(0.0)
     }
 
     fn collect_outputs(

@@ -106,8 +106,51 @@ pub enum NodeParams {
         /// Aggregate count in the table.
         agg_count: usize,
     },
+    /// `FUSED` / `FUSED_AGG` — a merged producer→consumer chain built by the
+    /// fusion pass (`crate::fusion`). Stages run in order inside one kernel;
+    /// interior results never get a buffer.
+    Fused {
+        /// The merged stages in execution order (terminal last).
+        stages: Vec<FusedStageSpec>,
+        /// Semantic of the terminal stage's output — what `semantic_of`
+        /// reports for the fused node's port 0.
+        output_semantic: DataSemantic,
+    },
     /// No parameters (`MATERIALIZE`, `PREFIX_SUM`, `HASH_PROBE_SEMI`, …).
     None,
+}
+
+/// Where one stage of a fused chain reads an operand from.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FusedOperand {
+    /// The fused node's external input at this index.
+    External(usize),
+    /// The in-kernel result of an earlier stage.
+    Stage(usize),
+}
+
+impl FusedOperand {
+    /// Scalar encoding: externals as their index (`>= 0`), stage results as
+    /// `-(index + 1)`.
+    pub fn to_code(self) -> i64 {
+        match self {
+            FusedOperand::External(i) => i as i64,
+            FusedOperand::Stage(j) => -(j as i64) - 1,
+        }
+    }
+}
+
+/// One original primitive inside a fused chain: its kind, its own decoded
+/// parameters, and where each of its operands comes from.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FusedStageSpec {
+    /// The original primitive.
+    pub kind: PrimitiveKind,
+    /// The original node's parameters (encoded per stage into the fused
+    /// scalar program).
+    pub params: Box<NodeParams>,
+    /// Operand sources, positional per the original signature.
+    pub operands: Vec<FusedOperand>,
 }
 
 impl NodeParams {
@@ -130,6 +173,20 @@ impl NodeParams {
                 payload_cols,
                 agg_count,
             } => vec![*payload_cols as i64, *agg_count as i64],
+            NodeParams::Fused { stages, .. } => {
+                // Flattened stage program, decoded by the `fused` kernel:
+                // `[n_stages, (kind, n_ops, ops.., n_params, params..)*]`.
+                let mut out = vec![stages.len() as i64];
+                for stage in stages {
+                    out.push(stage.kind.op_code());
+                    out.push(stage.operands.len() as i64);
+                    out.extend(stage.operands.iter().map(|o| o.to_code()));
+                    let p = stage.params.to_scalars();
+                    out.push(p.len() as i64);
+                    out.extend(p);
+                }
+                out
+            }
             NodeParams::None => Vec::new(),
         }
     }
@@ -201,6 +258,14 @@ impl PrimitiveGraph {
             DataRef::Input(_) => DataSemantic::Numeric,
             DataRef::Output { node, port } => {
                 let n = self.node(node);
+                // Fused nodes are generic at the signature level; their true
+                // output semantic travels in the params.
+                if let NodeParams::Fused {
+                    output_semantic, ..
+                } = &n.params
+                {
+                    return *output_semantic;
+                }
                 let sig = n.kind.signature();
                 if port < sig.outputs.len() {
                     sig.outputs[port]

@@ -825,6 +825,32 @@ impl DataTransferHub {
                 };
                 device.init_structure(id, BufferData::I64(vec![identity, 0]))?;
             }
+            (PrimitiveKind::FusedAgg, NodeParams::Fused { stages, .. }) => {
+                // The fused accumulator is whatever the terminal aggregation
+                // stage would have gotten unfused; interior stages get
+                // nothing at all — that is the fusion win.
+                match stages.last().map(|s| s.params.as_ref()) {
+                    Some(NodeParams::AggBlock { agg }) => {
+                        device.init_structure(id, BufferData::I64(vec![agg.identity(), 0]))?;
+                    }
+                    Some(NodeParams::HashAgg {
+                        payload_cols,
+                        aggs,
+                        expected_groups,
+                    }) => {
+                        device.init_structure(
+                            id,
+                            DataContainer::agg_table(*expected_groups, aggs.clone(), *payload_cols),
+                        )?;
+                    }
+                    _ => {
+                        return Err(ExecError::Internal(format!(
+                            "fused_agg node `{}` lacks an aggregation terminal stage",
+                            node.label
+                        )))
+                    }
+                }
+            }
             _ => {
                 let bytes = DataContainer::estimate_output_bytes(semantic, estimate_rows).max(8);
                 device.prepare_memory(id, bytes)?;

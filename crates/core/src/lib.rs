@@ -26,6 +26,7 @@
 pub mod checkpoint;
 pub mod error;
 pub mod executor;
+pub mod fusion;
 pub mod graph;
 pub mod hub;
 pub mod models;
@@ -38,7 +39,11 @@ pub mod timeline;
 pub use checkpoint::{CheckpointConfig, QueryCheckpoint};
 pub use error::ExecError;
 pub use executor::{CancelToken, Executor, ExecutorConfig, QueryInputs, RetryPolicy};
-pub use graph::{DataRef, GraphBuilder, NodeId, NodeParams, PrimitiveGraph, PrimitiveNode};
+pub use fusion::{fuse_graph, FusionReport};
+pub use graph::{
+    DataRef, FusedOperand, FusedStageSpec, GraphBuilder, NodeId, NodeParams, PrimitiveGraph,
+    PrimitiveNode,
+};
 pub use models::ExecutionModel;
 pub use pipeline::{Pipeline, PipelineSet};
 pub use residency::{ResidencyCache, ResidencyConfig, ResidencyCounters};
@@ -50,8 +55,10 @@ pub mod prelude {
     pub use crate::checkpoint::{CheckpointConfig, QueryCheckpoint};
     pub use crate::error::ExecError;
     pub use crate::executor::{CancelToken, Executor, ExecutorConfig, QueryInputs, RetryPolicy};
+    pub use crate::fusion::{fuse_graph, FusionReport};
     pub use crate::graph::{
-        DataRef, GraphBuilder, NodeId, NodeParams, PrimitiveGraph, PrimitiveNode,
+        DataRef, FusedOperand, FusedStageSpec, GraphBuilder, NodeId, NodeParams, PrimitiveGraph,
+        PrimitiveNode,
     };
     pub use crate::models::ExecutionModel;
     pub use crate::pipeline::{Pipeline, PipelineSet};

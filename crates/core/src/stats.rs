@@ -124,6 +124,24 @@ pub struct ExecutionStats {
     /// failing validation (or impossible to restore) and degraded to a full
     /// restart from row 0.
     pub resume_validation_failures: usize,
+    /// Original graph nodes the fusion pass merged into fused nodes (stage
+    /// count summed over all fused chains).
+    pub nodes_fused: usize,
+    /// Fused chains the fusion pass created (one fused node each).
+    pub fused_chains: usize,
+    /// Bytes of non-breaker intermediate output buffers this run actually
+    /// materialized through the hub (sizing per
+    /// `DataContainer::estimate_output_bytes`, whole-mode per node, streaming
+    /// per chunk).
+    pub intermediate_bytes: u64,
+    /// Bytes of interior intermediates fused chains *avoided* materializing
+    /// — what the same run would have added to `intermediate_bytes` with
+    /// fusion off.
+    pub intermediates_elided_bytes: u64,
+    /// Modeled nanoseconds fused kernels saved over executing their stages
+    /// as individual launches (per-stage launch overhead plus undiscounted
+    /// bodies, minus the fused price).
+    pub fusion_saved_transfer_ns: f64,
     /// Modeled duration of each interleavable slice of device time this run
     /// produced, in execution order: one entry per streamed chunk, one per
     /// whole-mode node. The multi-query scheduler replays these on the
@@ -233,6 +251,8 @@ impl ExecutionStats {
                 "\"restaged_bytes\":{},\"hot_adds\":{},",
                 "\"checkpoints_taken\":{},\"checkpoint_bytes\":{},\"resumes\":{},",
                 "\"chunks_skipped_on_resume\":{},\"resume_validation_failures\":{},",
+                "\"nodes_fused\":{},\"fused_chains\":{},\"intermediate_bytes\":{},",
+                "\"intermediates_elided_bytes\":{},\"fusion_saved_transfer_ns\":{:.1},",
                 "\"wall_ns\":{},\"per_primitive_ns\":{{{}}},\"peak_device_bytes\":{{{}}},",
                 "\"device_faults\":{{{}}},\"device_health\":{{{}}}}}"
             ),
@@ -276,6 +296,11 @@ impl ExecutionStats {
             self.resumes,
             self.chunks_skipped_on_resume,
             self.resume_validation_failures,
+            self.nodes_fused,
+            self.fused_chains,
+            self.intermediate_bytes,
+            self.intermediates_elided_bytes,
+            self.fusion_saved_transfer_ns,
             self.wall_ns,
             per_primitive.join(","),
             peaks.join(","),
@@ -365,6 +390,11 @@ mod tests {
         s.resumes = 1;
         s.chunks_skipped_on_resume = 7;
         s.resume_validation_failures = 1;
+        s.nodes_fused = 3;
+        s.fused_chains = 1;
+        s.intermediate_bytes = 16384;
+        s.intermediates_elided_bytes = 12288;
+        s.fusion_saved_transfer_ns = 456.7;
         s.device_faults.insert("gpu0".into(), 5);
         s.device_health.insert(
             "gpu0".into(),
@@ -413,6 +443,11 @@ mod tests {
         assert!(json.contains("\"resumes\":1"));
         assert!(json.contains("\"chunks_skipped_on_resume\":7"));
         assert!(json.contains("\"resume_validation_failures\":1"));
+        assert!(json.contains("\"nodes_fused\":3"));
+        assert!(json.contains("\"fused_chains\":1"));
+        assert!(json.contains("\"intermediate_bytes\":16384"));
+        assert!(json.contains("\"intermediates_elided_bytes\":12288"));
+        assert!(json.contains("\"fusion_saved_transfer_ns\":456.7"));
         assert!(json.contains("\"device_faults\":{\"gpu0\":5}"));
         assert!(json.contains(
             "\"device_health\":{\"gpu0\":{\"state\":\"open\",\"kernel_failures\":2,\

@@ -101,6 +101,11 @@ pub struct CostModel {
     pub bitmap_extract_penalty: f64,
     /// Zero-copy representation transform cost (bookkeeping only).
     pub transform_zero_copy_ns: f64,
+    /// Body-time multiplier for stages of a fused kernel (< 1.0). Fusing
+    /// keeps interior values in registers instead of streaming them through
+    /// device memory, so each stage's bandwidth-bound body gets cheaper on
+    /// top of saving the per-stage launch overheads.
+    pub fused_discount: f64,
     /// Whether this device is a SIMT-style co-processor behind a bus
     /// (transfers are billed) or shares host memory (transfers ~free).
     pub discrete: bool,
@@ -162,11 +167,35 @@ impl CostModel {
     ///
     /// `arg_count` models the launch-time argument mapping (Fig. 10).
     pub fn kernel_ns(&self, class: CostClass, elements: u64, arg_count: usize) -> f64 {
+        self.launch_ns(arg_count) + self.body_ns(class, elements)
+    }
+
+    /// The fixed launch cost for a kernel with `arg_count` arguments.
+    pub fn launch_ns(&self, arg_count: usize) -> f64 {
+        self.launch_overhead_ns + self.per_arg_overhead_ns * arg_count as f64
+    }
+
+    /// Fused-kernel execution time: **one** launch for the whole chain plus
+    /// each stage's body discounted by [`CostModel::fused_discount`]. This is
+    /// the fused cost entry — placement, watchdog budgets and WFQ billing all
+    /// price a fused chain through it, never by summing per-primitive
+    /// `kernel_ns` (which would over-charge k-1 launches and undiscounted
+    /// bodies).
+    pub fn fused_kernel_ns(&self, stages: &[(CostClass, u64)], arg_count: usize) -> f64 {
+        let bodies: f64 = stages
+            .iter()
+            .map(|&(class, elements)| self.body_ns(class, elements))
+            .sum();
+        self.launch_ns(arg_count) + self.fused_discount * bodies
+    }
+
+    /// The per-class, per-element body term of [`CostModel::kernel_ns`]
+    /// (everything except the launch).
+    pub fn body_ns(&self, class: CostClass, elements: u64) -> f64 {
         let n = elements as f64;
-        let launch = self.launch_overhead_ns + self.per_arg_overhead_ns * arg_count as f64;
         let stream =
             |bytes_per_elem: f64| n * bytes_per_elem / (self.mem_bandwidth_gibs * GIB) * 1e9;
-        let body = match class {
+        match class {
             // read 8B + write 8B per element
             CostClass::MapLike => stream(16.0),
             // read 8B, negligible write
@@ -200,8 +229,7 @@ impl CostModel {
             CostClass::SortAgg => stream(24.0),
             CostClass::Sort => n.max(1.0).log2().max(1.0) * stream(8.0),
             CostClass::Custom(ns_per_elem) => n * ns_per_elem,
-        };
-        launch + body
+        }
     }
 
     /// Primitive throughput in Gi elements/s — the y-axis of Figs. 5 and 9.
@@ -264,6 +292,7 @@ impl Default for CostModel {
             probe_penalty: 1.0,
             bitmap_extract_penalty: 1.1,
             transform_zero_copy_ns: 300.0,
+            fused_discount: 0.8,
             discrete: false,
         }
     }
@@ -364,6 +393,30 @@ mod tests {
         let few = m.kernel_ns(CostClass::MapLike, 1024, 1);
         let many = m.kernel_ns(CostClass::MapLike, 1024, 9);
         assert!((many - few - 8_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn fused_strictly_cheaper_than_stage_sum() {
+        let m = CostModel {
+            per_arg_overhead_ns: 1_000.0,
+            ..CostModel::default()
+        };
+        let stages = [
+            (CostClass::FilterBitmap, 1u64 << 20),
+            (CostClass::MaterializeBitmap, 1 << 20),
+            (CostClass::ReduceLike, 1 << 19),
+        ];
+        // Unfused: each stage pays its own launch (3 args each, say).
+        let unfused: f64 = stages.iter().map(|&(c, n)| m.kernel_ns(c, n, 3)).sum();
+        // Fused: one launch (more args) + discounted bodies.
+        let fused = m.fused_kernel_ns(&stages, 9);
+        assert!(fused < unfused, "fused {fused} >= unfused {unfused}");
+        // And the decomposition holds exactly.
+        let bodies: f64 = stages.iter().map(|&(c, n)| m.body_ns(c, n)).sum();
+        assert!((fused - (m.launch_ns(9) + m.fused_discount * bodies)).abs() < 1e-9);
+        // kernel_ns is launch + body.
+        let k = m.kernel_ns(CostClass::MapLike, 1024, 4);
+        assert!((k - (m.launch_ns(4) + m.body_ns(CostClass::MapLike, 1024))).abs() < 1e-9);
     }
 
     #[test]

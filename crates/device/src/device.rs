@@ -137,6 +137,14 @@ pub trait Device: Send {
     /// Frees all buffers and resets usage (between queries/experiments).
     fn reset(&mut self);
 
+    /// The device's kernel cost model, when it has one. The runtime uses it
+    /// for read-only accounting (e.g. pricing what a fused chain would have
+    /// cost unfused); drivers for real hardware may have no analytical model,
+    /// so the default is `None`.
+    fn cost_model(&self) -> Option<&crate::cost::CostModel> {
+        None
+    }
+
     /// Installs a deterministic fault-injection plan.
     ///
     /// Optional: drivers for real hardware have nothing to inject, so the

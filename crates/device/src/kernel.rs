@@ -13,12 +13,18 @@ use crate::pool::BufferPool;
 use std::sync::Arc;
 
 /// What a kernel reports back for costing.
-#[derive(Clone, Copy, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct KernelStats {
     /// Elements processed (drives bandwidth-bound cost terms).
     pub elements: u64,
     /// Cost class (drives the per-class formula).
     pub cost_class: CostClass,
+    /// Per-stage `(class, elements)` breakdown reported by fused kernels.
+    /// Empty for ordinary kernels. When non-empty the device prices the
+    /// launch through [`crate::cost::CostModel::fused_kernel_ns`] — one
+    /// launch overhead plus discounted per-stage bodies — instead of the
+    /// single-class formula.
+    pub stages: Vec<(CostClass, u64)>,
 }
 
 impl KernelStats {
@@ -27,6 +33,16 @@ impl KernelStats {
         KernelStats {
             elements,
             cost_class,
+            stages: Vec::new(),
+        }
+    }
+
+    /// Constructor for fused kernels reporting a per-stage breakdown.
+    pub fn fused(elements: u64, cost_class: CostClass, stages: Vec<(CostClass, u64)>) -> Self {
+        KernelStats {
+            elements,
+            cost_class,
+            stages,
         }
     }
 }

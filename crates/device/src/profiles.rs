@@ -113,6 +113,7 @@ impl DeviceProfile {
                 probe_penalty: 1.35,
                 bitmap_extract_penalty: 3.1,
                 transform_zero_copy_ns: 500.0,
+                fused_discount: 0.75,
                 discrete: true,
             },
         }
@@ -147,6 +148,7 @@ impl DeviceProfile {
                 probe_penalty: 1.0,
                 bitmap_extract_penalty: 3.0,
                 transform_zero_copy_ns: 800.0,
+                fused_discount: 0.75,
                 discrete: true,
             },
         }
@@ -181,6 +183,7 @@ impl DeviceProfile {
                 probe_penalty: 1.0,
                 bitmap_extract_penalty: 1.12,
                 transform_zero_copy_ns: 300.0,
+                fused_discount: 0.85,
                 discrete: false,
             },
         }
@@ -219,6 +222,7 @@ impl DeviceProfile {
                 probe_penalty: 1.05,
                 bitmap_extract_penalty: 1.15,
                 transform_zero_copy_ns: 200.0,
+                fused_discount: 0.85,
                 discrete: false,
             },
         }

@@ -459,9 +459,16 @@ impl Device for SimDevice {
             .cloned()
             .ok_or_else(|| DeviceError::KernelNotFound(spec.kernel.clone()))?;
         let stats = kernel(&mut self.pool, &spec.buffers, &spec.params)?;
-        let t = self
-            .cost
-            .kernel_ns(stats.cost_class, stats.elements, spec.arg_count());
+        // Fused kernels report a per-stage breakdown and are priced through
+        // the fused cost entry (one launch + discounted stage bodies) —
+        // the watchdog's fault-free budget sees the same figure, so healthy
+        // fused chunks never look like stragglers.
+        let t = if stats.stages.is_empty() {
+            self.cost
+                .kernel_ns(stats.cost_class, stats.elements, spec.arg_count())
+        } else {
+            self.cost.fused_kernel_ns(&stats.stages, spec.arg_count())
+        };
         let actual = t * self.faults.time_multiplier() + self.faults.take_exec_stall();
         self.clock.record_dilated(
             Lane::Compute,
@@ -520,6 +527,10 @@ impl Device for SimDevice {
         self.pool.clear();
         self.pool.reset_peak();
         self.clock.reset();
+    }
+
+    fn cost_model(&self) -> Option<&CostModel> {
+        Some(&self.cost)
     }
 
     fn set_fault_plan(&mut self, plan: FaultPlan) {

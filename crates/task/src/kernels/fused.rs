@@ -1,0 +1,546 @@
+//! `FUSED` and `FUSED_AGG` — the interpreter kernel behind graph fusion.
+//!
+//! A fused node carries a flattened stage program in its scalar parameters
+//! (encoded by `NodeParams::Fused::to_scalars` in `adamant-core`); this
+//! kernel interprets the stages in order, keeping every interior value in
+//! kernel-local memory. No interior stage touches the buffer pool — that is
+//! the whole point of fusion: the intermediates the unfused graph would have
+//! materialized through the hub (bitmaps, mapped columns) never get a buffer
+//! id, never charge the pool and never ride a transfer.
+//!
+//! Stage semantics replicate the standalone kernels bit for bit (same
+//! packing, same error conditions, same accumulator layout), so fused and
+//! unfused execution are reference-exact. Per-stage `(CostClass, elements)`
+//! pairs are reported in `KernelStats::stages`; the device prices them
+//! through `CostModel::fused_kernel_ns` (one launch + discounted bodies).
+//!
+//! Registered through the ordinary task-registry defaults — a fused chain is
+//! just another primitive to the plug-in interface, so per-SDK variants can
+//! override it like any other kernel (Breß et al.'s portability argument).
+
+use super::{bad_args, input_bitwords, input_i64, need_bufs, write_output};
+use crate::hashtable::AggHashTable;
+use crate::params::{AggFunc, BitmapOp, CmpOp, MapOp};
+use crate::primitive::PrimitiveKind;
+use adamant_device::buffer::{BufferData, BufferId};
+use adamant_device::cost::CostClass;
+use adamant_device::error::Result;
+use adamant_device::kernel::KernelStats;
+use adamant_device::pool::BufferPool;
+
+const K: &str = "fused";
+
+/// One decoded stage: the original primitive, its operand sources and its
+/// own scalar parameters (exactly what the standalone kernel would receive).
+struct Stage {
+    kind: PrimitiveKind,
+    /// `>= 0`: external input index (position in the fused node's buffer
+    /// list); `< 0`: result of stage `-(code + 1)`.
+    operands: Vec<i64>,
+    params: Vec<i64>,
+}
+
+/// Decodes the flattened stage program:
+/// `[n_stages, (kind, n_operands, operands.., n_params, params..)*]`.
+fn decode(params: &[i64]) -> Result<Vec<Stage>> {
+    let mut it = params.iter().copied();
+    let mut next = |what: &str| {
+        it.next()
+            .ok_or_else(|| bad_args(K, format!("truncated stage program at {what}")))
+    };
+    let n_stages = next("stage count")?;
+    if n_stages < 1 {
+        return Err(bad_args(K, "empty stage program"));
+    }
+    let mut stages = Vec::with_capacity(n_stages as usize);
+    for si in 0..n_stages {
+        let kind = PrimitiveKind::from_op_code(next("stage kind")?)
+            .ok_or_else(|| bad_args(K, "unknown stage op code"))?;
+        let n_ops = next("operand count")?;
+        if n_ops < 0 {
+            return Err(bad_args(K, "negative operand count"));
+        }
+        let mut operands = Vec::with_capacity(n_ops as usize);
+        for _ in 0..n_ops {
+            let code = next("operand")?;
+            if code < 0 && -(code + 1) >= si {
+                return Err(bad_args(K, "stage operand references a later stage"));
+            }
+            operands.push(code);
+        }
+        let n_params = next("param count")?;
+        if n_params < 0 {
+            return Err(bad_args(K, "negative param count"));
+        }
+        let mut sp = Vec::with_capacity(n_params as usize);
+        for _ in 0..n_params {
+            sp.push(next("stage param")?);
+        }
+        stages.push(Stage {
+            kind,
+            operands,
+            params: sp,
+        });
+    }
+    Ok(stages)
+}
+
+/// An interior value held in kernel-local memory instead of the pool.
+enum Val {
+    I64(Vec<i64>),
+    Bits(Vec<u64>),
+}
+
+/// Resolves an operand to an `i64` slice (external buffer or earlier stage).
+fn i64_operand<'a>(
+    pool: &'a BufferPool,
+    bufs: &[BufferId],
+    results: &'a [Val],
+    code: i64,
+) -> Result<&'a [i64]> {
+    if code >= 0 {
+        let idx = code as usize;
+        if idx + 1 >= bufs.len() {
+            return Err(bad_args(K, "external operand index out of range"));
+        }
+        Ok(input_i64(pool, K, bufs[idx])?.as_slice())
+    } else {
+        match results.get((-(code + 1)) as usize) {
+            Some(Val::I64(v)) => Ok(v),
+            Some(Val::Bits(_)) => Err(bad_args(K, "stage operand is a bitmap, need i64")),
+            None => Err(bad_args(K, "stage operand index out of range")),
+        }
+    }
+}
+
+/// Resolves an operand to a bitmap-word slice.
+fn bits_operand<'a>(
+    pool: &'a BufferPool,
+    bufs: &[BufferId],
+    results: &'a [Val],
+    code: i64,
+) -> Result<&'a [u64]> {
+    if code >= 0 {
+        let idx = code as usize;
+        if idx + 1 >= bufs.len() {
+            return Err(bad_args(K, "external operand index out of range"));
+        }
+        Ok(input_bitwords(pool, K, bufs[idx])?.as_slice())
+    } else {
+        match results.get((-(code + 1)) as usize) {
+            Some(Val::Bits(v)) => Ok(v),
+            Some(Val::I64(_)) => Err(bad_args(K, "stage operand is i64, need bitmap")),
+            None => Err(bad_args(K, "stage operand index out of range")),
+        }
+    }
+}
+
+fn pack_bits(bools: impl Iterator<Item = bool>, n: usize) -> Vec<u64> {
+    let mut words = vec![0u64; n.div_ceil(64)];
+    for (i, b) in bools.enumerate() {
+        if b {
+            words[i / 64] |= 1 << (i % 64);
+        }
+    }
+    words
+}
+
+fn need_operands(stage: &Stage, n: usize) -> Result<()> {
+    if stage.operands.len() < n {
+        Err(bad_args(
+            K,
+            format!(
+                "{} stage expects {n} operands, got {}",
+                stage.kind,
+                stage.operands.len()
+            ),
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+fn need_stage_params(stage: &Stage, n: usize) -> Result<()> {
+    if stage.params.len() < n {
+        Err(bad_args(
+            K,
+            format!(
+                "{} stage expects {n} params, got {}",
+                stage.kind,
+                stage.params.len()
+            ),
+        ))
+    } else {
+        Ok(())
+    }
+}
+
+/// Evaluates one non-accumulating stage, mirroring the standalone kernel.
+fn eval_stage(
+    pool: &BufferPool,
+    bufs: &[BufferId],
+    results: &[Val],
+    stage: &Stage,
+    stats: &mut Vec<(CostClass, u64)>,
+) -> Result<Val> {
+    let p = &stage.params;
+    match stage.kind {
+        PrimitiveKind::FilterBitmap => {
+            need_operands(stage, 1)?;
+            need_stage_params(stage, 2)?;
+            let cmp = CmpOp::from_code(p[0]).ok_or_else(|| bad_args(K, "unknown comparison"))?;
+            let v = p[1];
+            let hi = p.get(2).copied().unwrap_or(0);
+            let input = i64_operand(pool, bufs, results, stage.operands[0])?;
+            let n = input.len();
+            stats.push((CostClass::FilterBitmap, n as u64));
+            Ok(Val::Bits(pack_bits(
+                input.iter().map(|&x| cmp.eval(x, v, hi)),
+                n,
+            )))
+        }
+        PrimitiveKind::FilterBitmapCol => {
+            need_operands(stage, 2)?;
+            need_stage_params(stage, 1)?;
+            let cmp = CmpOp::from_code(p[0]).ok_or_else(|| bad_args(K, "unknown comparison"))?;
+            if cmp == CmpOp::Between {
+                return Err(bad_args(K, "Between needs a constant"));
+            }
+            let a = i64_operand(pool, bufs, results, stage.operands[0])?;
+            let b = i64_operand(pool, bufs, results, stage.operands[1])?;
+            if a.len() != b.len() {
+                return Err(bad_args(K, "input length mismatch"));
+            }
+            let n = a.len();
+            stats.push((CostClass::FilterBitmap, n as u64));
+            Ok(Val::Bits(pack_bits(
+                a.iter().zip(b).map(|(&x, &y)| cmp.eval(x, y, 0)),
+                n,
+            )))
+        }
+        PrimitiveKind::BitmapOp => {
+            need_operands(stage, 2)?;
+            need_stage_params(stage, 1)?;
+            let op = BitmapOp::from_code(p[0]).ok_or_else(|| bad_args(K, "unknown opcode"))?;
+            let a = bits_operand(pool, bufs, results, stage.operands[0])?;
+            let b = bits_operand(pool, bufs, results, stage.operands[1])?;
+            if a.len() != b.len() {
+                return Err(bad_args(
+                    K,
+                    format!("word count mismatch: {} vs {}", a.len(), b.len()),
+                ));
+            }
+            let out: Vec<u64> = a.iter().zip(b).map(|(&x, &y)| op.apply(x, y)).collect();
+            stats.push((CostClass::MapLike, out.len() as u64));
+            Ok(Val::Bits(out))
+        }
+        PrimitiveKind::Map => {
+            need_stage_params(stage, 1)?;
+            let op = MapOp::from_code(p[0]).ok_or_else(|| bad_args(K, "unknown opcode"))?;
+            let out = if op.is_const() {
+                need_operands(stage, 1)?;
+                need_stage_params(stage, 2)?;
+                let c = p[1];
+                let input = i64_operand(pool, bufs, results, stage.operands[0])?;
+                input.iter().map(|&x| op.apply(x, c)).collect::<Vec<i64>>()
+            } else {
+                need_operands(stage, 2)?;
+                let a = i64_operand(pool, bufs, results, stage.operands[0])?;
+                let b = i64_operand(pool, bufs, results, stage.operands[1])?;
+                if a.len() != b.len() {
+                    return Err(bad_args(
+                        K,
+                        format!("input length mismatch: {} vs {}", a.len(), b.len()),
+                    ));
+                }
+                a.iter().zip(b).map(|(&x, &y)| op.apply(x, y)).collect()
+            };
+            stats.push((CostClass::MapLike, out.len() as u64));
+            Ok(Val::I64(out))
+        }
+        PrimitiveKind::Materialize => {
+            need_operands(stage, 2)?;
+            let values = i64_operand(pool, bufs, results, stage.operands[0])?;
+            let words = bits_operand(pool, bufs, results, stage.operands[1])?;
+            let n = values.len();
+            if words.len() * 64 < n {
+                return Err(bad_args(
+                    K,
+                    format!("bitmap covers {} rows, values have {n}", words.len() * 64),
+                ));
+            }
+            let mut out = Vec::new();
+            for (w, &word) in words.iter().enumerate() {
+                let mut bits = word;
+                while bits != 0 {
+                    let bit = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    let idx = w * 64 + bit;
+                    if idx < n {
+                        out.push(values[idx]);
+                    }
+                }
+            }
+            stats.push((CostClass::MaterializeBitmap, n as u64));
+            Ok(Val::I64(out))
+        }
+        other => Err(bad_args(K, format!("stage kind {other} is not fusible"))),
+    }
+}
+
+/// Shared driver for both fused kernels. Buffers are
+/// `[external_0, .., external_{m-1}, out]` where `out` is per-chunk scratch
+/// (`fused`) or the persistent accumulator (`fused_agg`).
+fn run_chain(
+    pool: &mut BufferPool,
+    bufs: &[BufferId],
+    params: &[i64],
+    agg_terminal: bool,
+) -> Result<KernelStats> {
+    need_bufs(K, bufs, 2)?;
+    let stages = decode(params)?;
+    let last = stages.len() - 1;
+    let out_id = bufs[bufs.len() - 1];
+    let mut results: Vec<Val> = Vec::with_capacity(stages.len());
+    let mut stage_stats: Vec<(CostClass, u64)> = Vec::with_capacity(stages.len());
+
+    let interior = if agg_terminal { last } else { stages.len() };
+    for stage in &stages[..interior] {
+        let val = eval_stage(pool, bufs, &results, stage, &mut stage_stats)?;
+        results.push(val);
+    }
+
+    if agg_terminal {
+        let stage = &stages[last];
+        match stage.kind {
+            PrimitiveKind::AggBlock => {
+                need_operands(stage, 1)?;
+                need_stage_params(stage, 1)?;
+                let agg = AggFunc::from_code(stage.params[0])
+                    .ok_or_else(|| bad_args(K, "unknown aggregate"))?;
+                let (mut state, mut rows) = {
+                    let acc = pool.get(out_id)?;
+                    match acc.data.as_i64() {
+                        Some(v) if v.len() >= 2 => (v[0], v[1]),
+                        _ => (agg.identity(), 0),
+                    }
+                };
+                let input = i64_operand(pool, bufs, &results, stage.operands[0])?;
+                for &x in input {
+                    state = agg.fold(state, x);
+                }
+                rows += input.len() as i64;
+                let n = input.len() as u64;
+                stage_stats.push((CostClass::ReduceLike, n));
+                write_output(pool, out_id, BufferData::I64(vec![state, rows]))?;
+            }
+            PrimitiveKind::HashAgg => {
+                need_stage_params(stage, 2)?;
+                let payload_cols = stage.params[0] as usize;
+                let agg_count = stage.params[1] as usize;
+                need_operands(stage, 1 + payload_cols + agg_count)?;
+                let mut table_buf = pool.take(out_id)?;
+                let result = (|| -> Result<u64> {
+                    let table = table_buf
+                        .data
+                        .as_generic_mut::<AggHashTable>()
+                        .ok_or_else(|| bad_args(K, "table buffer does not hold an AggHashTable"))?;
+                    if table.agg_funcs().len() != agg_count {
+                        return Err(bad_args(
+                            K,
+                            format!(
+                                "table has {} aggregates, call supplies {agg_count}",
+                                table.agg_funcs().len()
+                            ),
+                        ));
+                    }
+                    let keys = i64_operand(pool, bufs, &results, stage.operands[0])?;
+                    let mut payload_refs = Vec::with_capacity(payload_cols);
+                    for i in 0..payload_cols {
+                        let col = i64_operand(pool, bufs, &results, stage.operands[1 + i])?;
+                        if col.len() != keys.len() {
+                            return Err(bad_args(K, "payload length mismatch"));
+                        }
+                        payload_refs.push(col);
+                    }
+                    let mut val_refs = Vec::with_capacity(agg_count);
+                    for i in 0..agg_count {
+                        let col = i64_operand(
+                            pool,
+                            bufs,
+                            &results,
+                            stage.operands[1 + payload_cols + i],
+                        )?;
+                        if col.len() != keys.len() {
+                            return Err(bad_args(K, "value length mismatch"));
+                        }
+                        val_refs.push(col);
+                    }
+                    let mut payload_row = vec![0i64; payload_cols];
+                    let mut val_row = vec![0i64; agg_count];
+                    for (i, &key) in keys.iter().enumerate() {
+                        for (c, col) in payload_refs.iter().enumerate() {
+                            payload_row[c] = col[i];
+                        }
+                        for (c, col) in val_refs.iter().enumerate() {
+                            val_row[c] = col[i];
+                        }
+                        table.update(key, &payload_row, &val_row);
+                    }
+                    stage_stats.push((
+                        CostClass::HashAgg {
+                            groups: table.group_count() as u64,
+                        },
+                        keys.len() as u64,
+                    ));
+                    Ok(keys.len() as u64)
+                })();
+                pool.restore(out_id, table_buf)?;
+                result?;
+            }
+            other => {
+                return Err(bad_args(
+                    K,
+                    format!("fused_agg terminal stage {other} is not an aggregation"),
+                ))
+            }
+        }
+    } else {
+        let data = match results.pop().expect("at least one stage") {
+            Val::I64(v) => BufferData::I64(v),
+            Val::Bits(w) => BufferData::BitWords(w),
+        };
+        write_output(pool, out_id, data)?;
+    }
+
+    let (class, elements) = *stage_stats.last().expect("at least one stage");
+    Ok(KernelStats::fused(elements, class, stage_stats))
+}
+
+/// `fused` — interprets a non-accumulating fused chain into scratch output.
+pub fn fused(pool: &mut BufferPool, bufs: &[BufferId], params: &[i64]) -> Result<KernelStats> {
+    run_chain(pool, bufs, params, false)
+}
+
+/// `fused_agg` — a fused chain terminating in `AGG_BLOCK` or `HASH_AGG`;
+/// accumulates into the last buffer across chunks like its terminal would.
+pub fn fused_agg(pool: &mut BufferPool, bufs: &[BufferId], params: &[i64]) -> Result<KernelStats> {
+    run_chain(pool, bufs, params, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernels::testutil::*;
+    use crate::kernels::{agg, filter, map, materialize};
+
+    // Stage program builder mirroring `NodeParams::Fused::to_scalars`.
+    fn program(stages: &[(PrimitiveKind, &[i64], &[i64])]) -> Vec<i64> {
+        let mut out = vec![stages.len() as i64];
+        for (kind, ops, params) in stages {
+            out.push(kind.op_code());
+            out.push(ops.len() as i64);
+            out.extend_from_slice(ops);
+            out.push(params.len() as i64);
+            out.extend_from_slice(params);
+        }
+        out
+    }
+
+    #[test]
+    fn filter_map_agg_matches_unfused() {
+        let data: Vec<i64> = (0..500).map(|i| (i * 37) % 100).collect();
+        let vals: Vec<i64> = (0..500).map(|i| i * 3).collect();
+
+        // Unfused: filter -> materialize -> agg_block through the pool.
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(data.clone()));
+        put(&mut p, 2, BufferData::I64(vals.clone()));
+        out(&mut p, 3); // bitmap
+        out(&mut p, 4); // materialized
+        out(&mut p, 5); // acc
+        filter::filter_bitmap(&mut p, &[b(1), b(3)], &[CmpOp::Lt.to_code(), 50, 0]).unwrap();
+        materialize::materialize(&mut p, &[b(2), b(3), b(4)], &[]).unwrap();
+        agg::agg_block(&mut p, &[b(4), b(5)], &[AggFunc::Sum.to_code()]).unwrap();
+        let expect = read_i64(&p, 5);
+
+        // Fused: one kernel, no interior buffers.
+        let mut q = pool();
+        put(&mut q, 1, BufferData::I64(data));
+        put(&mut q, 2, BufferData::I64(vals));
+        out(&mut q, 9); // acc only
+        let prog = program(&[
+            (
+                PrimitiveKind::FilterBitmap,
+                &[0],
+                &[CmpOp::Lt.to_code(), 50, 0],
+            ),
+            (PrimitiveKind::Materialize, &[1, -1], &[]),
+            (PrimitiveKind::AggBlock, &[-2], &[AggFunc::Sum.to_code()]),
+        ]);
+        let stats = fused_agg(&mut q, &[b(1), b(2), b(9)], &prog).unwrap();
+        assert_eq!(read_i64(&q, 9), expect);
+        assert_eq!(stats.stages.len(), 3);
+        assert_eq!(stats.stages[0].0, CostClass::FilterBitmap);
+        assert_eq!(stats.stages[0].1, 500);
+    }
+
+    #[test]
+    fn fused_map_chain_writes_scratch() {
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(vec![1, 2, 3, 4]));
+        out(&mut p, 2);
+        // map *10 then map +1, all in registers.
+        let prog = program(&[
+            (PrimitiveKind::Map, &[0], &[MapOp::MulConst.to_code(), 10]),
+            (PrimitiveKind::Map, &[-1], &[MapOp::AddConst.to_code(), 1]),
+        ]);
+        let stats = fused(&mut p, &[b(1), b(2)], &prog).unwrap();
+        assert_eq!(read_i64(&p, 2), vec![11, 21, 31, 41]);
+        assert_eq!(stats.stages.len(), 2);
+        // Matches the two standalone map kernels.
+        let mut q = pool();
+        put(&mut q, 1, BufferData::I64(vec![1, 2, 3, 4]));
+        out(&mut q, 2);
+        out(&mut q, 3);
+        map::map(&mut q, &[b(1), b(2)], &[MapOp::MulConst.to_code(), 10]).unwrap();
+        map::map(&mut q, &[b(2), b(3)], &[MapOp::AddConst.to_code(), 1]).unwrap();
+        assert_eq!(read_i64(&q, 3), read_i64(&p, 2));
+    }
+
+    #[test]
+    fn accumulates_across_calls() {
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(vec![1, 2, 3]));
+        out(&mut p, 2);
+        let prog = program(&[(PrimitiveKind::AggBlock, &[0], &[AggFunc::Sum.to_code()])]);
+        fused_agg(&mut p, &[b(1), b(2)], &prog).unwrap();
+        assert_eq!(read_i64(&p, 2), vec![6, 3]);
+        // Second chunk folds into the same accumulator.
+        fused_agg(&mut p, &[b(1), b(2)], &prog).unwrap();
+        assert_eq!(read_i64(&p, 2), vec![12, 6]);
+    }
+
+    #[test]
+    fn malformed_programs_rejected() {
+        let mut p = pool();
+        put(&mut p, 1, BufferData::I64(vec![1]));
+        out(&mut p, 2);
+        // Empty program.
+        assert!(fused(&mut p, &[b(1), b(2)], &[0]).is_err());
+        // Truncated.
+        assert!(fused(&mut p, &[b(1), b(2)], &[1, PrimitiveKind::Map.op_code()]).is_err());
+        // Forward stage reference.
+        let prog = program(&[(PrimitiveKind::Map, &[-1], &[MapOp::AddConst.to_code(), 1])]);
+        assert!(fused(&mut p, &[b(1), b(2)], &prog).is_err());
+        // Non-fusible stage kind.
+        let prog = program(&[(PrimitiveKind::Sort, &[0], &[])]);
+        assert!(fused(&mut p, &[b(1), b(2)], &prog).is_err());
+        // Non-agg terminal under fused_agg.
+        let prog = program(&[(PrimitiveKind::Map, &[0], &[MapOp::AddConst.to_code(), 1])]);
+        assert!(fused_agg(&mut p, &[b(1), b(2)], &prog).is_err());
+        // External operand out of range.
+        let prog = program(&[(PrimitiveKind::Map, &[7], &[MapOp::AddConst.to_code(), 1])]);
+        assert!(fused(&mut p, &[b(1), b(2)], &prog).is_err());
+    }
+}

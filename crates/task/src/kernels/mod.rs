@@ -15,6 +15,7 @@
 
 pub mod agg;
 pub mod filter;
+pub mod fused;
 pub mod join;
 pub mod map;
 pub mod materialize;

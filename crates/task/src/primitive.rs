@@ -62,6 +62,15 @@ pub enum PrimitiveKind {
     /// exports an aggregation table's dense columns (extension; feeds
     /// ORDER BY over group-by results without a host round-trip).
     AggExport,
+    /// `FUSED(GENERIC in[n]…, GENERIC out)` — a producer→consumer chain of
+    /// streamable primitives merged by the fusion pass (extension, DESIGN.md
+    /// §16). Stage structure travels in `NodeParams`; the kernel interprets
+    /// it in-registers without materializing interior intermediates.
+    Fused,
+    /// `FUSED_AGG(GENERIC in[n]…, GENERIC acc)` † — a fused chain whose
+    /// terminal stage is an accumulating aggregation (`AGG_BLOCK` or
+    /// `HASH_AGG`); a pipeline breaker like its terminal.
+    FusedAgg,
 }
 
 /// The I/O signature of a primitive.
@@ -81,7 +90,7 @@ pub struct PrimitiveSignature {
 
 impl PrimitiveKind {
     /// All primitives, in Table I order followed by the extensions.
-    pub const ALL: [PrimitiveKind; 16] = [
+    pub const ALL: [PrimitiveKind; 18] = [
         PrimitiveKind::Map,
         PrimitiveKind::AggBlock,
         PrimitiveKind::HashAgg,
@@ -98,6 +107,8 @@ impl PrimitiveKind {
         PrimitiveKind::HashProbeSemi,
         PrimitiveKind::Sort,
         PrimitiveKind::AggExport,
+        PrimitiveKind::Fused,
+        PrimitiveKind::FusedAgg,
     ];
 
     /// The kernel name this primitive dispatches to.
@@ -119,7 +130,42 @@ impl PrimitiveKind {
             PrimitiveKind::SortAgg => "sort_agg",
             PrimitiveKind::Sort => "sort",
             PrimitiveKind::AggExport => "agg_export",
+            PrimitiveKind::Fused => "fused",
+            PrimitiveKind::FusedAgg => "fused_agg",
         }
+    }
+
+    /// Stable scalar code for this kind, used to flatten fused stage lists
+    /// into `ExecuteSpec` parameters. Codes are append-only.
+    pub fn op_code(self) -> i64 {
+        match self {
+            PrimitiveKind::Map => 0,
+            PrimitiveKind::BitmapOp => 1,
+            PrimitiveKind::FilterBitmap => 2,
+            PrimitiveKind::FilterBitmapCol => 3,
+            PrimitiveKind::FilterPosition => 4,
+            PrimitiveKind::Materialize => 5,
+            PrimitiveKind::MaterializePosition => 6,
+            PrimitiveKind::PrefixSum => 7,
+            PrimitiveKind::AggBlock => 8,
+            PrimitiveKind::HashBuild => 9,
+            PrimitiveKind::HashProbe => 10,
+            PrimitiveKind::HashProbeSemi => 11,
+            PrimitiveKind::HashAgg => 12,
+            PrimitiveKind::SortAgg => 13,
+            PrimitiveKind::Sort => 14,
+            PrimitiveKind::AggExport => 15,
+            PrimitiveKind::Fused => 16,
+            PrimitiveKind::FusedAgg => 17,
+        }
+    }
+
+    /// Inverse of [`PrimitiveKind::op_code`].
+    pub fn from_op_code(code: i64) -> Option<PrimitiveKind> {
+        PrimitiveKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.op_code() == code)
     }
 
     /// Whether this primitive is a pipeline breaker (Table I's †).
@@ -135,6 +181,7 @@ impl PrimitiveKind {
                 | PrimitiveKind::HashAgg
                 | PrimitiveKind::SortAgg
                 | PrimitiveKind::Sort
+                | PrimitiveKind::FusedAgg
         )
     }
 
@@ -173,6 +220,13 @@ impl PrimitiveKind {
             }
             PrimitiveKind::Sort => (vec![Numeric], vec![Position], true, false),
             PrimitiveKind::AggExport => (vec![HashTable], vec![Numeric], false, true),
+            // Fused chains carry their true per-stage semantics in
+            // `NodeParams`; at the signature level they are generic so any
+            // upstream edge type-checks (the fusion pass only merges edges
+            // the unfused graph already validated).
+            PrimitiveKind::Fused | PrimitiveKind::FusedAgg => {
+                (vec![Generic], vec![Generic], true, false)
+            }
         };
         PrimitiveSignature {
             inputs,
@@ -219,17 +273,28 @@ mod tests {
     #[test]
     fn breakers_match_table_one() {
         // Table I marks AGG_BLOCK, HASH_AGG, HASH_BUILD, SORT_AGG and
-        // PREFIX_SUM with †; SORT is our breaker extension.
+        // PREFIX_SUM with †; SORT and FUSED_AGG are our breaker extensions.
         let breakers: Vec<_> = PrimitiveKind::ALL
             .iter()
             .filter(|p| p.is_pipeline_breaker())
             .collect();
-        assert_eq!(breakers.len(), 6);
+        assert_eq!(breakers.len(), 7);
         assert!(PrimitiveKind::AggBlock.is_pipeline_breaker());
         assert!(PrimitiveKind::HashBuild.is_pipeline_breaker());
+        assert!(PrimitiveKind::FusedAgg.is_pipeline_breaker());
         assert!(!PrimitiveKind::HashProbe.is_pipeline_breaker());
         assert!(!PrimitiveKind::Materialize.is_pipeline_breaker());
         assert!(!PrimitiveKind::FilterBitmap.is_pipeline_breaker());
+        assert!(!PrimitiveKind::Fused.is_pipeline_breaker());
+    }
+
+    #[test]
+    fn op_codes_round_trip() {
+        for kind in PrimitiveKind::ALL {
+            assert_eq!(PrimitiveKind::from_op_code(kind.op_code()), Some(kind));
+        }
+        assert_eq!(PrimitiveKind::from_op_code(-1), None);
+        assert_eq!(PrimitiveKind::from_op_code(18), None);
     }
 
     #[test]

@@ -43,7 +43,7 @@ impl TaskRegistry {
     /// standard signatures.
     pub fn register_defaults_for(&mut self, sdk: SdkKind) {
         use PrimitiveKind::*;
-        let defaults: [(PrimitiveKind, KernelFn); 16] = [
+        let defaults: [(PrimitiveKind, KernelFn); 18] = [
             (Map, Arc::new(kernels::map::map)),
             (BitmapOp, Arc::new(kernels::map::bitmap_op)),
             (FilterBitmap, Arc::new(kernels::filter::filter_bitmap)),
@@ -66,6 +66,8 @@ impl TaskRegistry {
             (HashProbeSemi, Arc::new(kernels::join::hash_probe_semi)),
             (Sort, Arc::new(kernels::sort::sort)),
             (AggExport, Arc::new(kernels::agg::agg_export)),
+            (Fused, Arc::new(kernels::fused::fused)),
+            (FusedAgg, Arc::new(kernels::fused::fused_agg)),
         ];
         for (kind, entry) in defaults {
             self.register(KernelContainer::builtin(kind, sdk, entry));
@@ -162,8 +164,8 @@ mod tests {
                 "missing {kind} for opencl"
             );
         }
-        // 16 defaults + 2 variants per SDK.
-        assert_eq!(reg.len(), 2 * 18);
+        // 18 defaults + 2 variants per SDK.
+        assert_eq!(reg.len(), 2 * 20);
     }
 
     #[test]
@@ -190,7 +192,7 @@ mod tests {
         let reg = TaskRegistry::with_defaults(&[SdkKind::Cuda]);
         let mut dev = DeviceProfile::cuda_rtx2080ti().build(DeviceId(0));
         let installed = reg.install_on(&mut dev).unwrap();
-        assert_eq!(installed, 18);
+        assert_eq!(installed, 20);
         assert!(dev.kernel_names().contains(&"hash_probe"));
         assert!(dev.kernel_names().contains(&"map@blocked"));
     }

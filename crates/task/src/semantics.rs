@@ -22,6 +22,11 @@ pub enum DataSemantic {
     /// Result of `HASH_BUILD` or `HASH_AGG` — a device-resident table.
     HashTable,
     /// Any custom data semantic (e.g. a specialized tree structure).
+    ///
+    /// Also the signature-level type of `FUSED` / `FUSED_AGG` edges: a
+    /// fused chain's true per-stage semantics live in its stage specs, so
+    /// at the graph boundary it accepts whatever the unfused edges — which
+    /// were already validated before fusion — carried.
     Generic,
 }
 

@@ -47,6 +47,9 @@ fn kernel_breaker_quarantine_probe_lifecycle() {
     let expected = expected_sum(&data, -100, 2);
     let mut engine = Adamant::builder()
         .chunk_rows(50)
+        // Fault scripting targets the unfused kernel names / allocation
+        // ordinals, so run this scenario with fusion off.
+        .fusion(false)
         .device(DeviceProfile::cuda_rtx2080ti())
         .device(DeviceProfile::opencl_cpu_i7())
         .fault_plan(0, FaultPlan::none().broken_kernel("agg_block"))
@@ -174,6 +177,9 @@ fn repoint_skips_known_broken_kernel_candidates() {
     let data = test_data(120);
     let mut engine = Adamant::builder()
         .chunk_rows(40)
+        // Fault scripting targets the unfused kernel names / allocation
+        // ordinals, so run this scenario with fusion off.
+        .fusion(false)
         .device(DeviceProfile::cuda_rtx2080ti())
         .device(DeviceProfile::opencl_cpu_i7())
         .device(DeviceProfile::openmp_cpu_i7())
@@ -334,6 +340,9 @@ fn chunk_size_regrows_after_backoff() {
     for model in [ExecutionModel::Chunked, ExecutionModel::Pipelined] {
         let mut engine = Adamant::builder()
             .chunk_rows(64)
+            // Fault scripting targets the unfused kernel names / allocation
+            // ordinals, so run this scenario with fusion off.
+            .fusion(false)
             .device(DeviceProfile::cuda_rtx2080ti())
             .fault_plan(0, FaultPlan::none().oom_on_allocation(3))
             .retry_policy(RetryPolicy {
@@ -366,6 +375,9 @@ fn disabled_health_policy_is_inert() {
     let data = test_data(100);
     let mut engine = Adamant::builder()
         .chunk_rows(32)
+        // Fault scripting targets the unfused kernel names / allocation
+        // ordinals, so run this scenario with fusion off.
+        .fusion(false)
         .device(DeviceProfile::cuda_rtx2080ti())
         .device(DeviceProfile::opencl_cpu_i7())
         .fault_plan(0, FaultPlan::none().broken_kernel("agg_block"))

@@ -60,6 +60,9 @@ fn oom_fault_backoff_completes_chunked() {
     for model in [ExecutionModel::Chunked, ExecutionModel::Pipelined] {
         let mut engine = Adamant::builder()
             .chunk_rows(32)
+            // Fault scripting targets the unfused kernel names / allocation
+            // ordinals, so run this scenario with fusion off.
+            .fusion(false)
             .device(DeviceProfile::cuda_rtx2080ti())
             .fault_plan(0, FaultPlan::none().oom_on_allocation(3))
             .build()
@@ -99,6 +102,9 @@ fn persistent_kernel_fault_falls_back_to_second_device() {
     let data = test_data(150);
     let mut engine = Adamant::builder()
         .chunk_rows(50)
+        // Fault scripting targets the unfused kernel names / allocation
+        // ordinals, so run this scenario with fusion off.
+        .fusion(false)
         .device(DeviceProfile::cuda_rtx2080ti())
         .device(DeviceProfile::opencl_cpu_i7())
         .fault_plan(0, FaultPlan::none().broken_kernel("agg_block"))

@@ -1,0 +1,288 @@
+//! Fusion end-to-end: fused execution must be **reference-exact** against
+//! unfused execution for every TPC-H query, under every execution model,
+//! for both plan sources (hand-built plans and SQL-lowered plans) — while
+//! actually fusing (chains recorded, interior intermediates elided, modeled
+//! launch overhead saved).
+//!
+//! Also here: the straggler-watchdog regression (a fused chain on a healthy
+//! device must not trip the watchdog — its budget must come from the fused
+//! cost entry, not a per-stage sum), the residency interaction (elided
+//! intermediates are never pinned), and a seeded fusion × faults soak
+//! (same-seed runs byte-identical, zero leaked bytes), CI-shardable through
+//! the `FUSION_SEED` environment variable.
+
+use adamant::prelude::*;
+
+const DEFAULT_SEEDS: [u64; 3] = [3, 11, 58];
+
+fn seeds() -> Vec<u64> {
+    match std::env::var("FUSION_SEED") {
+        Ok(s) => vec![s
+            .trim()
+            .parse()
+            .expect("FUSION_SEED must be an unsigned integer")],
+        Err(_) => DEFAULT_SEEDS.to_vec(),
+    }
+}
+
+fn engine(fusion: bool) -> Adamant {
+    Adamant::builder()
+        .chunk_rows(1000)
+        .fusion(fusion)
+        .device(DeviceProfile::cuda_rtx2080ti())
+        .build()
+        .unwrap()
+}
+
+/// Canonical, deterministic form of a query output (`QueryOutput` keeps its
+/// columns in a `BTreeMap`, so the debug form is stable).
+fn canon(out: &QueryOutput) -> String {
+    format!("{out:?}")
+}
+
+fn assert_no_leaks(engine: &mut Adamant, context: &str) {
+    engine.executor_mut().clear_residency();
+    for d in engine.executor().devices().ids() {
+        let dev = engine.executor().devices().get(d).unwrap();
+        assert_eq!(dev.pool().used(), 0, "{context}: leaked bytes on {d}");
+        assert_eq!(
+            dev.pool().pinned_used(),
+            0,
+            "{context}: leaked pinned bytes on {d}"
+        );
+    }
+}
+
+/// SQL-lowered plans bind their scan columns straight from the catalog
+/// (the same binding the session serving layer performs).
+fn bind_compiled(compiled: &adamant::sql::CompiledQuery, catalog: &Catalog) -> QueryInputs {
+    let mut inputs = QueryInputs::new();
+    for (table, col) in &compiled.input_columns {
+        let t = catalog.table(table).unwrap();
+        inputs
+            .bind_column(col.as_str(), t.column(col).unwrap())
+            .unwrap();
+    }
+    inputs
+}
+
+/// The acceptance matrix: 7 queries × 5 models × both plan sources, fused
+/// vs unfused reference-exact, with the fusion counters moving in the right
+/// directions.
+#[test]
+fn fused_matches_unfused_for_every_query_model_and_plan_source() {
+    let catalog = TpchGenerator::new(0.002, 0xF05E).generate();
+    let mut fused = engine(true);
+    let mut unfused = engine(false);
+    let dev = fused.device_ids()[0];
+
+    for q in TpchQuery::ALL {
+        let hand_graph = q.plan(dev, &catalog).unwrap();
+        let hand_inputs = q.bind(&catalog).unwrap();
+        let compiled = adamant::sql::compile(adamant::tpch::sql::text(q), &catalog, dev)
+            .unwrap_or_else(|e| panic!("{q}: SQL lowering failed: {e}"));
+        let sql_inputs = bind_compiled(&compiled, &catalog);
+        let sources: [(&str, &PrimitiveGraph, &QueryInputs); 2] = [
+            ("hand-built", &hand_graph, &hand_inputs),
+            ("sql-lowered", &compiled.graph, &sql_inputs),
+        ];
+        for model in ExecutionModel::ALL {
+            for (source, graph, inputs) in sources {
+                let ctx = format!("{q}/{model}/{source}");
+                let (out_f, st_f) = fused
+                    .run(graph, inputs, model)
+                    .unwrap_or_else(|e| panic!("{ctx} fused: {e}"));
+                let (out_u, st_u) = unfused
+                    .run(graph, inputs, model)
+                    .unwrap_or_else(|e| panic!("{ctx} unfused: {e}"));
+                assert_eq!(
+                    canon(&out_f),
+                    canon(&out_u),
+                    "{ctx}: fused result diverged from unfused"
+                );
+                // The pass must actually engage on every query's plan…
+                assert!(st_f.fused_chains >= 1, "{ctx}: nothing fused");
+                assert!(
+                    st_f.nodes_fused >= 2 * st_f.fused_chains,
+                    "{ctx}: a chain has fewer than 2 stages"
+                );
+                assert!(
+                    st_f.intermediates_elided_bytes > 0,
+                    "{ctx}: no intermediates elided"
+                );
+                assert!(
+                    st_f.fusion_saved_transfer_ns > 0.0,
+                    "{ctx}: no modeled saving recorded"
+                );
+                // …materialize strictly fewer intermediate bytes…
+                assert!(
+                    st_f.intermediate_bytes < st_u.intermediate_bytes,
+                    "{ctx}: fused {} !< unfused {} intermediate bytes",
+                    st_f.intermediate_bytes,
+                    st_u.intermediate_bytes
+                );
+                // …and never run slower on the modeled timeline.
+                assert!(
+                    st_f.total_ns <= st_u.total_ns,
+                    "{ctx}: fused {} slower than unfused {}",
+                    st_f.total_ns,
+                    st_u.total_ns
+                );
+                // The disengaged pass reports nothing.
+                assert_eq!(st_u.fused_chains, 0, "{ctx}");
+                assert_eq!(st_u.nodes_fused, 0, "{ctx}");
+                assert_eq!(st_u.intermediates_elided_bytes, 0, "{ctx}");
+                assert_eq!(st_u.fusion_saved_transfer_ns, 0.0, "{ctx}");
+            }
+        }
+    }
+    assert_no_leaks(&mut fused, "fused engine");
+    assert_no_leaks(&mut unfused, "unfused engine");
+}
+
+/// Watchdog regression: the straggler budget of a chunk containing a fused
+/// chain must come from the **fused** cost entry. If the watchdog budgeted
+/// the fused kernel at its per-stage sum — or worse, budgeted per-stage
+/// while the device charged fused — a healthy device would look like a
+/// straggler (or get hidden slack). On a healthy two-device engine with a
+/// tight multiplier, nothing may fire and nothing may hedge.
+#[test]
+fn fused_chain_does_not_trip_watchdog_on_healthy_device() {
+    let catalog = TpchGenerator::new(0.002, 0xF05E).generate();
+    let mut engine = Adamant::builder()
+        .chunk_rows(500)
+        .watchdog_multiplier(1.05)
+        .device(DeviceProfile::cuda_rtx2080ti())
+        .device(DeviceProfile::opencl_cpu_i7())
+        .build()
+        .unwrap();
+    let dev = engine.device_ids()[0];
+    for q in [TpchQuery::Q1, TpchQuery::Q6, TpchQuery::Q14] {
+        let graph = q.plan(dev, &catalog).unwrap();
+        let inputs = q.bind(&catalog).unwrap();
+        for model in [ExecutionModel::Chunked, ExecutionModel::Pipelined] {
+            let (_, stats) = engine.run(&graph, &inputs, model).unwrap();
+            assert!(stats.fused_chains >= 1, "{q}/{model}: nothing fused");
+            assert_eq!(
+                stats.watchdog_fires, 0,
+                "{q}/{model}: healthy fused chunk budgeted as a straggler"
+            );
+            assert_eq!(
+                stats.hedged_launches, 0,
+                "{q}/{model}: healthy fused chunk was hedged"
+            );
+        }
+    }
+}
+
+/// Residency interaction: the cross-query cache pins *input* columns; the
+/// buffers a fused chain elides must never be pinned or fingerprinted. The
+/// pinned footprint with fusion on must equal the footprint with fusion off
+/// (same inputs, same pins), results stay exact, and eviction pressure
+/// under fusion leaks nothing.
+#[test]
+fn elided_intermediates_are_never_pinned_by_the_residency_cache() {
+    let catalog = TpchGenerator::new(0.001, 0xF05E).generate();
+    let reference = adamant::tpch::reference::q6(&catalog).unwrap();
+    let run_pair = |fusion: bool| -> (u64, usize) {
+        let mut engine = Adamant::builder()
+            .chunk_rows(500)
+            .fusion(fusion)
+            .residency_cache(ResidencyConfig::new(1 << 30))
+            .device(DeviceProfile::cuda_rtx2080ti())
+            .build()
+            .unwrap();
+        let dev = engine.device_ids()[0];
+        let graph = TpchQuery::Q6.plan(dev, &catalog).unwrap();
+        let inputs = TpchQuery::Q6.bind(&catalog).unwrap();
+        let mut pinned = 0;
+        let mut hits = 0;
+        for _ in 0..2 {
+            let (out, stats) = engine
+                .run(&graph, &inputs, ExecutionModel::Chunked)
+                .unwrap();
+            assert_eq!(adamant::tpch::queries::q6::decode(&out), reference);
+            pinned = stats.cache_pinned_bytes;
+            hits = stats.cache_hits;
+        }
+        assert_no_leaks(&mut engine, &format!("residency fusion={fusion}"));
+        (pinned, hits)
+    };
+    let (pinned_fused, hits_fused) = run_pair(true);
+    let (pinned_unfused, hits_unfused) = run_pair(false);
+    assert!(pinned_fused > 0, "cache never pinned the scan columns");
+    assert_eq!(
+        pinned_fused, pinned_unfused,
+        "fusion changed the pinned footprint: fused chains must pin only \
+         real inputs, never elided intermediates"
+    );
+    assert_eq!(hits_fused, hits_unfused, "warm-run hit profile diverged");
+}
+
+/// Seeded fusion × faults soak: fused execution under probabilistic fault
+/// plans must stay reference-exact on success, fail typed on defeat, leak
+/// nothing either way — and same-seed runs must be byte-identical in their
+/// exported stats (fusion counters included).
+#[test]
+fn seeded_fusion_fault_soak_is_exact_and_deterministic() {
+    let sweep = |catalog: &Catalog, seed: u64, model: ExecutionModel| -> (Option<i64>, String) {
+        let mut engine = Adamant::builder()
+            .chunk_rows(500)
+            .device(DeviceProfile::cuda_rtx2080ti())
+            .device(DeviceProfile::opencl_cpu_i7())
+            .fault_plan(
+                0,
+                FaultPlan::none()
+                    .with_seed(seed)
+                    .exec_error_rate(0.05)
+                    .oom_rate(0.05),
+            )
+            .retry_policy(RetryPolicy {
+                max_attempts: 6,
+                ..Default::default()
+            })
+            .build()
+            .unwrap();
+        let dev = engine.device_ids()[0];
+        let graph = TpchQuery::Q6.plan(dev, catalog).unwrap();
+        let inputs = TpchQuery::Q6.bind(catalog).unwrap();
+        let outcome = engine
+            .run(&graph, &inputs, model)
+            .map(|(out, stats)| {
+                assert!(stats.fused_chains >= 1, "seed {seed} {model}: no fusion");
+                adamant::tpch::queries::q6::decode(&out)
+            })
+            .ok();
+        let json = engine
+            .executor()
+            .last_run_stats()
+            .map(|s| {
+                let mut s = s.clone();
+                s.wall_ns = 0;
+                s.to_json()
+            })
+            .unwrap_or_default();
+        assert_no_leaks(&mut engine, &format!("seed {seed} {model}"));
+        (outcome, json)
+    };
+
+    for seed in seeds() {
+        let catalog = TpchGenerator::new(0.001, seed).generate();
+        let reference = adamant::tpch::reference::q6(&catalog).unwrap();
+        for model in ExecutionModel::ALL {
+            let (first, json_a) = sweep(&catalog, seed, model);
+            let (second, json_b) = sweep(&catalog, seed, model);
+            if let Some(v) = first {
+                assert_eq!(v, reference, "seed {seed} {model}: survived but diverged");
+            }
+            assert_eq!(
+                first, second,
+                "seed {seed} {model}: same-seed outcomes diverged"
+            );
+            assert_eq!(
+                json_a, json_b,
+                "seed {seed} {model}: same-seed stats drifted"
+            );
+        }
+    }
+}

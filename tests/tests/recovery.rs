@@ -139,6 +139,95 @@ fn checkpoint_resume_reexecutes_fewer_chunks_than_restart() {
     }
 }
 
+/// Fusion × checkpoints: chunk-interval boundaries come from the scan
+/// chunker, not from the kernel structure, so fusing a chain must not move
+/// the grid that checkpoints are cut on or that `ResumeCursor` high-water
+/// rows validate against. A resume-after-death with fusion on (the
+/// default) must be reference-exact, its skipped-chunk count must be
+/// consistent with the grid (positive, and strictly below a clean run's
+/// chunk total), and the grid itself must be identical to the unfused one.
+#[test]
+fn checkpoint_resume_with_fusion_is_exact_on_the_same_chunk_grid() {
+    let catalog = TpchGenerator::new(0.001, 7).generate();
+    let reference = adamant::tpch::reference::q6(&catalog).unwrap();
+    for model in CHUNKED_MODELS {
+        let run_one = |fusion: bool| -> (ExecutionStats, usize) {
+            let build = |plan: FaultPlan, ckpt: Option<CheckpointConfig>| {
+                let mut b = Adamant::builder()
+                    .chunk_rows(500)
+                    .fusion(fusion)
+                    .device(DeviceProfile::cuda_rtx2080ti())
+                    .device(DeviceProfile::opencl_cpu_i7())
+                    .fault_plan(0, plan)
+                    .retry_policy(RetryPolicy {
+                        max_attempts: 6,
+                        ..Default::default()
+                    });
+                if let Some(cfg) = ckpt {
+                    b = b.checkpoints(cfg);
+                }
+                b.build().unwrap()
+            };
+            // The death fires on this configuration's *own* clock (a fused
+            // chain compresses device time, so 75% means 75% of its run).
+            let mut clean = build(FaultPlan::none(), None);
+            let dev0 = clean.device_ids()[0];
+            let graph = TpchQuery::Q6.plan(dev0, &catalog).unwrap();
+            let inputs = TpchQuery::Q6.bind(&catalog).unwrap();
+            let (_, clean_stats) = clean.run(&graph, &inputs, model).unwrap();
+            let clean_chunks = clean_stats.chunks_processed;
+            let die_at = clean
+                .executor()
+                .devices()
+                .get(dev0)
+                .unwrap()
+                .clock()
+                .total_ns()
+                * 0.75;
+
+            let mut engine = build(
+                FaultPlan::none().die_at_ns(die_at),
+                Some(CheckpointConfig::enabled().cost_factor(0.0)),
+            );
+            let (out, stats) = engine.run(&graph, &inputs, model).unwrap();
+            assert_eq!(
+                adamant::tpch::queries::q6::decode(&out),
+                reference,
+                "{model:?} fusion={fusion}: resume diverged from reference"
+            );
+            assert_eq!(stats.device_deaths, 1, "{model:?} fusion={fusion}");
+            assert!(
+                stats.resumes >= 1,
+                "{model:?} fusion={fusion}: recovery did not resume"
+            );
+            assert!(
+                stats.chunks_skipped_on_resume > 0,
+                "{model:?} fusion={fusion}: the resume skipped nothing"
+            );
+            assert!(
+                stats.chunks_skipped_on_resume < clean_chunks,
+                "{model:?} fusion={fusion}: skipped {} of only {} grid chunks",
+                stats.chunks_skipped_on_resume,
+                clean_chunks
+            );
+            assert_eq!(stats.resume_validation_failures, 0);
+            assert_no_leaks(&mut engine, "fused checkpoint resume");
+            (stats, clean_chunks)
+        };
+        let (fused, fused_grid) = run_one(true);
+        let (unfused, unfused_grid) = run_one(false);
+        assert!(
+            fused.fused_chains >= 1,
+            "{model:?}: the resumed run never fused"
+        );
+        assert_eq!(unfused.fused_chains, 0);
+        assert_eq!(
+            fused_grid, unfused_grid,
+            "{model:?}: fusion moved the chunk grid"
+        );
+    }
+}
+
 /// Operator-at-a-time has no chunk boundaries; checkpoints are captured at
 /// pipeline-breaker boundaries instead, and a resume skips the completed
 /// pipelines — including restoring a hash-join build table (a `Generic`

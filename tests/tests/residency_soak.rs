@@ -164,6 +164,78 @@ fn eviction_pressure_keeps_results_exact() {
     }
 }
 
+/// Fusion × residency: the cache pins and fingerprints *input* columns
+/// only, so the intermediates a fused chain elides must never show up in
+/// the pinned footprint — under eviction pressure the fused and unfused
+/// runs must pin the same bytes, evict the same way, stay exact, and
+/// clearing the cache must return every pool to zero either way.
+#[test]
+fn eviction_pressure_under_fusion_pins_only_real_inputs() {
+    for seed in seeds() {
+        let catalog = TpchGenerator::new(0.001, seed).generate();
+        let ref_q6 = adamant::tpch::reference::q6(&catalog).unwrap();
+        let ref_q14 = adamant::tpch::reference::q14(&catalog).unwrap();
+        let budget = (TpchQuery::Q6.input_bytes(&catalog).unwrap()
+            + TpchQuery::Q14.input_bytes(&catalog).unwrap())
+            / 2;
+        let sweep = |fusion: bool| -> (u64, usize, usize) {
+            let mut engine = Adamant::builder()
+                .chunk_rows(500)
+                .fusion(fusion)
+                .device(DeviceProfile::cuda_rtx2080ti())
+                .device(DeviceProfile::opencl_cpu_i7())
+                .residency_cache(ResidencyConfig::new(budget))
+                .build()
+                .unwrap();
+            let dev = engine.device_ids()[0];
+            let g6 = TpchQuery::Q6.plan(dev, &catalog).unwrap();
+            let in6 = TpchQuery::Q6.bind(&catalog).unwrap();
+            let g14 = TpchQuery::Q14.plan(dev, &catalog).unwrap();
+            let in14 = TpchQuery::Q14.bind(&catalog).unwrap();
+            let (mut pinned, mut evictions, mut fused_chains) = (0, 0, 0);
+            for round in 0..3 {
+                let (out, s6) = engine.run(&g6, &in6, ExecutionModel::Chunked).unwrap();
+                assert_eq!(
+                    adamant::tpch::queries::q6::decode(&out),
+                    ref_q6,
+                    "seed {seed} round {round} fusion={fusion}: Q6 diverged"
+                );
+                let (out, s14) = engine.run(&g14, &in14, ExecutionModel::Chunked).unwrap();
+                assert_eq!(
+                    adamant::tpch::queries::q14::decode(&out),
+                    ref_q14,
+                    "seed {seed} round {round} fusion={fusion}: Q14 diverged"
+                );
+                pinned = s14.cache_pinned_bytes;
+                evictions += s6.cache_evictions + s14.cache_evictions;
+                fused_chains += s6.fused_chains + s14.fused_chains;
+            }
+            assert_no_leaks(
+                &mut engine,
+                &format!("seed {seed} fusion={fusion} pressure"),
+            );
+            (pinned, evictions, fused_chains)
+        };
+        let (pinned_f, evictions_f, chains_f) = sweep(true);
+        let (pinned_u, evictions_u, chains_u) = sweep(false);
+        assert!(chains_f > 0, "seed {seed}: fused sweep never fused");
+        assert_eq!(chains_u, 0);
+        assert!(pinned_f > 0, "seed {seed}: nothing pinned under pressure");
+        assert_eq!(
+            pinned_f, pinned_u,
+            "seed {seed}: fusion changed the pinned footprint — an elided \
+             intermediate leaked into the residency cache"
+        );
+        // Eviction *ordering* rides the modeled clock (which fusion
+        // compresses), so only the pressure itself must be preserved.
+        assert!(evictions_f > 0, "seed {seed}: fused pressure never evicted");
+        assert!(
+            evictions_u > 0,
+            "seed {seed}: unfused pressure never evicted"
+        );
+    }
+}
+
 /// One full cached sweep under a fault plan: cold + warm run, outcome
 /// classification, leak check — returns the outcomes and wall-clock-free
 /// stats JSON for determinism comparison.

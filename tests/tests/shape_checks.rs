@@ -11,8 +11,13 @@ fn run(
     model: ExecutionModel,
     chunk_rows: usize,
 ) -> ExecutionStats {
+    // The §V shapes are claims about per-primitive execution as the paper
+    // measured it, so the shape harness runs with fusion off (the fused
+    // pipeline compresses exactly the chains whose relative costs these
+    // orderings assert).
     let mut engine = Adamant::builder()
         .chunk_rows(chunk_rows)
+        .fusion(false)
         .device(profile.clone())
         .build()
         .unwrap();
